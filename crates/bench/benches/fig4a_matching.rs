@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 4(a): CN vs GQL matching across graph
+//! sizes (reduced sizes; the `fig4a` binary runs the full sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ego_bench::eval_graph;
+use ego_matcher::{find_matches, MatcherKind};
+use ego_pattern::builtin;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_cn_vs_gql");
+    group.sample_size(10);
+    for &n in &[5_000usize, 10_000, 20_000] {
+        let g = eval_graph(n, Some(4), 4242);
+        let clq3 = builtin::clq3();
+        group.bench_with_input(BenchmarkId::new("CN/clq3", n), &g, |b, g| {
+            b.iter(|| find_matches(g, &clq3, MatcherKind::CandidateNeighbors))
+        });
+        group.bench_with_input(BenchmarkId::new("GQL/clq3", n), &g, |b, g| {
+            b.iter(|| find_matches(g, &clq3, MatcherKind::GqlStyle))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

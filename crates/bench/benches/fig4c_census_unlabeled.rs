@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 4(c): census algorithms on the unselective
+//! unlabeled triangle (node-driven should win).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ego_bench::eval_graph;
+use ego_census::{global_matches, nd_diff, nd_pivot, pt_bas, pt_opt, CensusSpec, PtConfig};
+use ego_pattern::builtin;
+
+fn bench(c: &mut Criterion) {
+    let g = eval_graph(4_000, None, 777);
+    let pattern = builtin::clq3_unlabeled();
+    let spec = CensusSpec::single(&pattern, 2);
+    let matches = global_matches(&g, &pattern);
+
+    let mut group = c.benchmark_group("fig4c_unlabeled_census");
+    group.sample_size(10);
+    group.bench_function("ND-PVOT", |b| {
+        b.iter(|| nd_pivot::run(&g, &spec, &matches).unwrap())
+    });
+    group.bench_function("ND-DIFF", |b| {
+        b.iter(|| nd_diff::run(&g, &spec, &matches).unwrap())
+    });
+    group.bench_function("PT-BAS", |b| {
+        b.iter(|| pt_bas::run(&g, &spec, &matches).unwrap())
+    });
+    group.bench_function("PT-OPT", |b| {
+        b.iter(|| pt_opt::run(&g, &spec, &matches, &PtConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 4(e): node-driven cost grows with focal
+//! selectivity; pattern-driven cost does not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ego_bench::eval_graph;
+use ego_census::{global_matches, nd_pivot, pt_opt, CensusSpec, FocalNodes, PtConfig};
+use ego_graph::NodeId;
+use ego_pattern::builtin;
+
+fn bench(c: &mut Criterion) {
+    let g = eval_graph(8_000, None, 777);
+    let pattern = builtin::clq3_unlabeled();
+    let matches = global_matches(&g, &pattern);
+
+    let mut group = c.benchmark_group("fig4e_selectivity");
+    group.sample_size(10);
+    for r_pct in [20u32, 60, 100] {
+        let focal: Vec<NodeId> = g
+            .node_ids()
+            .filter(|n| (n.0.wrapping_mul(2654435761)) % 100 < r_pct)
+            .collect();
+        let spec = CensusSpec::single(&pattern, 2).with_focal(FocalNodes::Set(focal));
+        group.bench_with_input(BenchmarkId::new("ND-PVOT", r_pct), &spec, |b, spec| {
+            b.iter(|| nd_pivot::run(&g, spec, &matches).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("PT-OPT", r_pct), &spec, |b, spec| {
+            b.iter(|| pt_opt::run(&g, spec, &matches, &PtConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

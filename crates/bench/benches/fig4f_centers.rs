@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 4(f): effect of center count and strategy
+//! on PT-OPT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ego_bench::eval_graph;
+use ego_census::{global_matches, pt_opt, CensusSpec, CenterStrategy, PtConfig};
+use ego_pattern::builtin;
+
+fn bench(c: &mut Criterion) {
+    let g = eval_graph(20_000, Some(4), 777);
+    let pattern = builtin::clq3();
+    let spec = CensusSpec::single(&pattern, 2);
+    let matches = global_matches(&g, &pattern);
+
+    let mut group = c.benchmark_group("fig4f_centers");
+    group.sample_size(10);
+    for centers in [0usize, 12, 24] {
+        for (name, strategy) in [("DEG", CenterStrategy::Degree), ("RND", CenterStrategy::Random)]
+        {
+            let cfg = PtConfig {
+                num_centers: centers,
+                center_strategy: strategy,
+                clustering_centers: Some(12),
+                ..PtConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, centers),
+                &cfg,
+                |b, cfg| b.iter(|| pt_opt::run(&g, &spec, &matches, cfg).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Figure 4(g): clustering strategy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ego_bench::eval_graph;
+use ego_census::{global_matches, pt_opt, CensusSpec, Clustering, PtConfig};
+use ego_pattern::builtin;
+
+fn bench(c: &mut Criterion) {
+    let g = eval_graph(20_000, Some(4), 777);
+    let pattern = builtin::clq3();
+    let spec = CensusSpec::single(&pattern, 2);
+    let matches = global_matches(&g, &pattern);
+
+    let mut group = c.benchmark_group("fig4g_clustering");
+    group.sample_size(10);
+    let k = (matches.len() / 4).max(1);
+    for (name, strategy) in [
+        ("NO-CLUST", Clustering::None),
+        ("RND-CLUST", Clustering::Random(k)),
+        ("OPT-CLUST", Clustering::KMeans(k)),
+    ] {
+        let cfg = PtConfig {
+            clustering: strategy,
+            ..PtConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new(name, k), &cfg, |b, cfg| {
+            b.iter(|| pt_opt::run(&g, &spec, &matches, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 4(h): one pairwise census measure per
+//! structure on a small synthetic DBLP dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ego_census::{run_pair_census, Algorithm, PairCensusSpec, PairSelector};
+use ego_datagen::dblp::{self, DblpConfig};
+use ego_datagen::rng;
+use ego_linkpred::measures::{candidate_pairs, MeasureKind};
+
+fn bench(c: &mut Criterion) {
+    let data = dblp::generate(
+        &DblpConfig {
+            num_authors: 400,
+            num_communities: 12,
+            papers_per_year: 100,
+            ..Default::default()
+        },
+        &mut rng(2001),
+    );
+    let g = &data.train;
+
+    let mut group = c.benchmark_group("fig4h_pairwise_measures");
+    group.sample_size(10);
+    for kind in [MeasureKind::Node, MeasureKind::Edge, MeasureKind::Triangle] {
+        let pattern = kind.pattern();
+        let pairs = candidate_pairs(g, 2);
+        let spec = PairCensusSpec::intersection(&pattern, 2, PairSelector::Pairs(pairs));
+        group.bench_with_input(
+            BenchmarkId::new("ND-PVOT", kind.name()),
+            &spec,
+            |b, spec| b.iter(|| run_pair_census(g, spec, Algorithm::NdPivot).unwrap()),
+        );
+        if kind == MeasureKind::Triangle {
+            group.bench_with_input(
+                BenchmarkId::new("PT-OPT", kind.name()),
+                &spec,
+                |b, spec| b.iter(|| run_pair_census(g, spec, Algorithm::PtOpt).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

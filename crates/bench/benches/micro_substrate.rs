@@ -1,0 +1,51 @@
+//! Microbenchmarks for the substrate hot paths: BFS neighborhoods,
+//! profile index construction, sorted intersection, and the bucket queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ego_bench::eval_graph;
+use ego_census::bucket_queue::BucketQueue;
+use ego_graph::bfs::BfsScratch;
+use ego_graph::profile::ProfileIndex;
+use ego_graph::{neighborhood, NodeId};
+
+fn bench(c: &mut Criterion) {
+    let g = eval_graph(50_000, Some(4), 99);
+
+    c.bench_function("bfs_2hop_from_hub", |b| {
+        let hub = g.top_degree_nodes(1)[0];
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            scratch.bounded_bfs(&g, hub, 2, &mut out);
+            out.len()
+        })
+    });
+
+    c.bench_function("profile_index_build", |b| {
+        b.iter(|| ProfileIndex::build(&g))
+    });
+
+    c.bench_function("sorted_intersection", |b| {
+        let a: Vec<NodeId> = (0..20_000u32).step_by(2).map(NodeId).collect();
+        let d: Vec<NodeId> = (0..20_000u32).step_by(3).map(NodeId).collect();
+        b.iter(|| neighborhood::intersect_sorted(&a, &d).len())
+    });
+
+    c.bench_function("bucket_queue_churn", |b| {
+        b.iter(|| {
+            let mut q = BucketQueue::new(64);
+            for i in 0..10_000u32 {
+                q.push((i % 64) as usize, i);
+            }
+            let mut sum = 0u64;
+            while let Some((s, _)) = q.pop_min() {
+                sum += s as u64;
+            }
+            sum
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Parallel extensions vs their sequential counterparts: CN match
+//! enumeration sharded over first-level candidates, and ND-PVOT census
+//! sharded over focal nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ego_bench::eval_graph;
+use ego_census::{global_matches, nd_pivot, parallel, CensusSpec};
+use ego_matcher::{find_embeddings, parallel::enumerate_parallel, MatcherKind};
+use ego_pattern::builtin;
+
+fn bench(c: &mut Criterion) {
+    let g = eval_graph(20_000, Some(4), 99);
+    let pattern = builtin::clq3();
+
+    let mut group = c.benchmark_group("parallel_matcher");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| find_embeddings(&g, &pattern, MatcherKind::CandidateNeighbors))
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| b.iter(|| enumerate_parallel(&g, &pattern, t)),
+        );
+    }
+    group.finish();
+
+    let matches = global_matches(&g, &pattern);
+    let spec = CensusSpec::single(&pattern, 2);
+    let mut group = c.benchmark_group("parallel_census");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| nd_pivot::run(&g, &spec, &matches).unwrap())
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| parallel::run_nd_pivot_parallel(&g, &spec, &matches, t).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

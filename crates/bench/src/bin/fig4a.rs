@@ -1,0 +1,61 @@
+//! Figure 4(a): CN vs GQL pattern matching time, varying graph size.
+//!
+//! Paper setting: BA graphs from 200K nodes / 1M edges to 1M nodes / 5M
+//! edges, 4 random labels, patterns clq3 and clq4; CN is 10–140x faster.
+//!
+//! ```sh
+//! cargo run --release -p ego-bench --bin fig4a [-- --scale paper]
+//! ```
+
+use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
+use ego_matcher::spath::{SignatureIndex, SIGNATURE_RADIUS};
+use ego_matcher::{find_matches_with_stats, MatchList, MatchStats, MatcherKind};
+use ego_pattern::builtin;
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![20_000, 40_000, 60_000, 80_000, 100_000],
+        Scale::Paper => vec![200_000, 400_000, 600_000, 800_000, 1_000_000],
+    };
+    println!("# Figure 4(a): CN vs GQL, varying graph size (4 labels, |E| = 5|V|)\n");
+    header(&[
+        "nodes", "pattern", "CN time", "GQL time", "SPATH time", "GQL/CN", "matches",
+        "CN ext-scans", "GQL ext-scans",
+    ]);
+    for &n in &sizes {
+        let g = eval_graph(n, Some(4), 4242);
+        let profiles = ego_graph::profile::ProfileIndex::build(&g);
+        let sigs = SignatureIndex::build(&g, SIGNATURE_RADIUS);
+        for pattern in [builtin::clq3(), builtin::clq4()] {
+            let mut cn_stats = MatchStats::default();
+            let (cn_matches, cn_t) = timed(|| {
+                find_matches_with_stats(&g, &pattern, MatcherKind::CandidateNeighbors, &mut cn_stats)
+            });
+            let mut gql_stats = MatchStats::default();
+            let (gql_matches, gql_t) = timed(|| {
+                find_matches_with_stats(&g, &pattern, MatcherKind::GqlStyle, &mut gql_stats)
+            });
+            let (sp_matches, sp_t) = timed(|| {
+                let mut stats = MatchStats::default();
+                let embs = ego_matcher::spath::enumerate_with_index(
+                    &g, &pattern, &profiles, &sigs, &mut stats,
+                );
+                MatchList::from_embeddings(&pattern, embs)
+            });
+            assert_eq!(cn_matches.len(), gql_matches.len(), "matchers disagree");
+            assert_eq!(cn_matches.len(), sp_matches.len(), "spath disagrees");
+            row(&[
+                n.to_string(),
+                pattern.name().to_string(),
+                fmt_secs(cn_t),
+                fmt_secs(gql_t),
+                fmt_secs(sp_t),
+                format!("{:.1}x", gql_t / cn_t.max(1e-9)),
+                cn_matches.len().to_string(),
+                cn_stats.extension_candidates_scanned.to_string(),
+                gql_stats.extension_candidates_scanned.to_string(),
+            ]);
+        }
+    }
+}

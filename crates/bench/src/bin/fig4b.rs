@@ -1,0 +1,55 @@
+//! Figure 4(b): CN vs GQL across the Figure 3 query patterns.
+//!
+//! Paper setting: 1M-node / 5M-edge BA graph, 4 labels, all labeled
+//! patterns; GQL takes 37 hours on `sqr` (480x CN) and loses by orders of
+//! magnitude everywhere.
+//!
+//! ```sh
+//! cargo run --release -p ego-bench --bin fig4b [-- --scale paper]
+//! ```
+
+use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
+use ego_matcher::spath::{SignatureIndex, SIGNATURE_RADIUS};
+use ego_matcher::{find_matches, MatchList, MatchStats, MatcherKind};
+use ego_pattern::builtin;
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = match scale {
+        Scale::Quick => 100_000,
+        Scale::Paper => 1_000_000,
+    };
+    let g = eval_graph(n, Some(4), 4242);
+    println!("# Figure 4(b): CN vs GQL across patterns ({n} nodes, 4 labels)\n");
+    let profiles = ego_graph::profile::ProfileIndex::build(&g);
+    let (sigs, sig_t) = timed(|| SignatureIndex::build(&g, SIGNATURE_RADIUS));
+    println!("SPATH signature index built once: {}\n", fmt_secs(sig_t));
+    header(&["pattern", "CN time", "GQL time", "SPATH time", "GQL/CN", "matches"]);
+    for pattern in [
+        builtin::path3(),
+        builtin::star3(),
+        builtin::clq3(),
+        builtin::clq4(),
+        builtin::sqr(),
+    ] {
+        let (cn, cn_t) = timed(|| find_matches(&g, &pattern, MatcherKind::CandidateNeighbors));
+        let (gql, gql_t) = timed(|| find_matches(&g, &pattern, MatcherKind::GqlStyle));
+        let (sp, sp_t) = timed(|| {
+            let mut stats = MatchStats::default();
+            let embs = ego_matcher::spath::enumerate_with_index(
+                &g, &pattern, &profiles, &sigs, &mut stats,
+            );
+            MatchList::from_embeddings(&pattern, embs)
+        });
+        assert_eq!(cn.len(), gql.len(), "matchers disagree on {}", pattern.name());
+        assert_eq!(cn.len(), sp.len(), "spath disagrees on {}", pattern.name());
+        row(&[
+            pattern.name().to_string(),
+            fmt_secs(cn_t),
+            fmt_secs(gql_t),
+            fmt_secs(sp_t),
+            format!("{:.1}x", gql_t / cn_t.max(1e-9)),
+            cn.len().to_string(),
+        ]);
+    }
+}

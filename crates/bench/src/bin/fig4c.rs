@@ -1,0 +1,71 @@
+//! Figure 4(c): census algorithms vs graph size — unlabeled triangle.
+//!
+//! Paper setting: unlabeled BA graphs 20K–100K nodes, `clq3-unlb`, k = 2.
+//! The unlabeled triangle is unselective (huge match counts), so
+//! node-driven ND-PVOT wins and ND-BAS is reported separately (116 min at
+//! 20K nodes — 218x ND-PVOT).
+//!
+//! ```sh
+//! cargo run --release -p ego-bench --bin fig4c [-- --scale paper]
+//! ```
+
+use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
+use ego_census::{global_matches, nd_bas, nd_diff, nd_pivot, pt_bas, pt_opt, CensusSpec, PtConfig, PtOrdering};
+use ego_pattern::builtin;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (sizes, bas_size): (Vec<usize>, usize) = match scale {
+        Scale::Quick => (vec![4_000, 8_000, 12_000, 16_000, 20_000], 4_000),
+        Scale::Paper => (vec![20_000, 40_000, 60_000, 80_000, 100_000], 20_000),
+    };
+    let pattern = builtin::clq3_unlabeled();
+    let k = 2;
+
+    println!("# Figure 4(c): pattern census vs graph size (unlabeled clq3, k = 2)\n");
+    header(&["nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT"]);
+    for &n in &sizes {
+        let g = eval_graph(n, None, 777);
+        let spec = CensusSpec::single(&pattern, k);
+        let (matches, _) = timed(|| global_matches(&g, &pattern));
+
+        let (r_pvot, t_pvot) = timed(|| nd_pivot::run(&g, &spec, &matches).unwrap());
+        let (r_diff, t_diff) = timed(|| nd_diff::run(&g, &spec, &matches).unwrap());
+        let (r_ptb, t_ptb) = timed(|| pt_bas::run(&g, &spec, &matches).unwrap());
+        let rnd_cfg = PtConfig {
+            ordering: PtOrdering::Random,
+            ..PtConfig::default()
+        };
+        let (r_ptr, t_ptr) = timed(|| pt_opt::run(&g, &spec, &matches, &rnd_cfg).unwrap());
+        let (r_pto, t_pto) =
+            timed(|| pt_opt::run(&g, &spec, &matches, &PtConfig::default()).unwrap());
+
+        for other in [&r_diff, &r_ptb, &r_ptr, &r_pto] {
+            assert_eq!(other, &r_pvot, "algorithms disagree at n={n}");
+        }
+        row(&[
+            n.to_string(),
+            matches.len().to_string(),
+            fmt_secs(t_pvot),
+            fmt_secs(t_diff),
+            fmt_secs(t_ptb),
+            fmt_secs(t_ptr),
+            fmt_secs(t_pto),
+        ]);
+    }
+
+    // ND-BAS, smallest size only (the paper reports it out-of-plot).
+    let g = eval_graph(bas_size, None, 777);
+    let spec = CensusSpec::single(&pattern, k);
+    let (r_bas, t_bas) = timed(|| nd_bas::run(&g, &spec).unwrap());
+    let matches = global_matches(&g, &pattern);
+    let r_pvot = nd_pivot::run(&g, &spec, &matches).unwrap();
+    assert_eq!(r_bas, r_pvot, "ND-BAS disagrees");
+    let (_, t_pvot) = timed(|| nd_pivot::run(&g, &spec, &matches).unwrap());
+    println!(
+        "\nND-BAS at {bas_size} nodes: {} ({}x ND-PVOT's {})",
+        fmt_secs(t_bas),
+        (t_bas / t_pvot.max(1e-9)) as u64,
+        fmt_secs(t_pvot)
+    );
+}

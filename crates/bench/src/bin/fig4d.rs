@@ -1,0 +1,67 @@
+//! Figure 4(d): census algorithms vs graph size — labeled triangle.
+//!
+//! Paper setting: labeled BA graphs 200K–1M nodes, 4 labels, `clq3`,
+//! k = 2. The labeled triangle is selective (few matches), so the
+//! pattern-driven algorithms win and PT-OPT beats PT-RND (best-first
+//! ordering matters).
+//!
+//! The paper's prototype ran on disk-resident Neo4j, where **edge
+//! traversals** dominate; this binary therefore reports both wall time
+//! (in-memory substrate) and edge traversals (the disk-I/O proxy that
+//! the paper's optimizations target). See EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p ego-bench --bin fig4d [-- --scale paper]
+//! ```
+
+use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
+use ego_census::{global_matches, nd_diff, nd_pivot, pt_bas, pt_opt, CensusSpec, PtConfig, PtOrdering};
+use ego_pattern::builtin;
+
+fn main() {
+    let scale = Scale::from_args();
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![20_000, 40_000, 60_000, 80_000, 100_000],
+        Scale::Paper => vec![200_000, 400_000, 600_000, 800_000, 1_000_000],
+    };
+    let pattern = builtin::clq3();
+    let k = 2;
+
+    println!("# Figure 4(d): pattern census vs graph size (labeled clq3, 4 labels, k = 2)\n");
+    println!("each cell: wall time / edge traversals (M = millions)\n");
+    header(&["nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT"]);
+    for &n in &sizes {
+        let g = eval_graph(n, Some(4), 777);
+        let spec = CensusSpec::single(&pattern, k);
+        let matches = global_matches(&g, &pattern);
+
+        let ((r_pvot, s_pvot), t_pvot) =
+            timed(|| nd_pivot::run_instrumented(&g, &spec, &matches).unwrap());
+        let ((r_diff, s_diff), t_diff) =
+            timed(|| nd_diff::run_instrumented(&g, &spec, &matches).unwrap());
+        let ((r_ptb, s_ptb), t_ptb) =
+            timed(|| pt_bas::run_instrumented(&g, &spec, &matches).unwrap());
+        let rnd_cfg = PtConfig {
+            ordering: PtOrdering::Random,
+            ..PtConfig::default()
+        };
+        let ((r_ptr, s_ptr), t_ptr) =
+            timed(|| pt_opt::run_instrumented(&g, &spec, &matches, &rnd_cfg).unwrap());
+        let ((r_pto, s_pto), t_pto) =
+            timed(|| pt_opt::run_instrumented(&g, &spec, &matches, &PtConfig::default()).unwrap());
+
+        for other in [&r_diff, &r_ptb, &r_ptr, &r_pto] {
+            assert_eq!(other, &r_pvot, "algorithms disagree at n={n}");
+        }
+        let cell = |t: f64, e: u64| format!("{} / {:.1}M", fmt_secs(t), e as f64 / 1e6);
+        row(&[
+            n.to_string(),
+            matches.len().to_string(),
+            cell(t_pvot, s_pvot.edges_traversed),
+            cell(t_diff, s_diff.edges_traversed),
+            cell(t_ptb, s_ptb.edges_traversed),
+            cell(t_ptr, s_ptr.edges_traversed),
+            cell(t_pto, s_pto.edges_traversed),
+        ]);
+    }
+}

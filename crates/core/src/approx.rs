@@ -1,0 +1,300 @@
+//! Approximate census — the paper's second "future work" item:
+//! "approximation techniques for even larger graphs."
+//!
+//! Two estimators over the pattern-driven view (each match contributes 1
+//! to every node whose neighborhood contains it):
+//!
+//! * [`approx_census`] — **match sampling**: process a uniform sample of
+//!   `s` matches exactly and scale per-node counts by `|M| / s`. Per-node
+//!   estimates are unbiased (each match is a Bernoulli(s/|M|) inclusion),
+//!   with relative error shrinking as counts grow — precisely the regime
+//!   (huge match sets) where exact census gets expensive.
+//! * [`approx_census_horvitz`] — the same sample reused with explicit
+//!   Horvitz–Thompson weights, provided for when the caller wants
+//!   per-match inclusion probabilities that are *not* uniform (e.g.
+//!   stratified by region). With uniform weights it coincides with
+//!   [`approx_census`].
+
+use crate::result::{CensusError, CountVector};
+use crate::spec::CensusSpec;
+use ego_graph::bfs::BfsScratch;
+use ego_graph::Graph;
+use ego_matcher::{MatchList, PatternMatch};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-node estimated counts (floating point, since scaling is fractional).
+#[derive(Clone, Debug)]
+pub struct ApproxCounts {
+    estimates: Vec<f64>,
+}
+
+impl ApproxCounts {
+    /// The estimate for a node.
+    pub fn get(&self, n: ego_graph::NodeId) -> f64 {
+        self.estimates[n.index()]
+    }
+
+    /// Round to integer counts (for drop-in comparisons).
+    pub fn rounded(&self, focal_mask: Vec<bool>) -> CountVector {
+        let mut cv = CountVector::new(self.estimates.len(), focal_mask);
+        for (i, &e) in self.estimates.iter().enumerate() {
+            cv.set(ego_graph::NodeId::from_index(i), e.round() as u64);
+        }
+        cv
+    }
+
+    /// The nodes with the highest estimates.
+    pub fn top_k(&self, k: usize) -> Vec<(ego_graph::NodeId, f64)> {
+        let mut v: Vec<(ego_graph::NodeId, f64)> = self
+            .estimates
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (ego_graph::NodeId::from_index(i), e))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+/// Sampling-based approximate census: process `sample_size` uniformly
+/// sampled matches exactly (pattern-driven crediting), scale by
+/// `|M| / sample_size`.
+pub fn approx_census<R: Rng>(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    matches: &MatchList,
+    sample_size: usize,
+    rng: &mut R,
+) -> Result<ApproxCounts, CensusError> {
+    let total = matches.len();
+    let mut estimates = vec![0.0f64; g.num_nodes()];
+    if total == 0 || sample_size == 0 {
+        return Ok(ApproxCounts { estimates });
+    }
+    let s = sample_size.min(total);
+    let scale = total as f64 / s as f64;
+
+    let mut idx: Vec<usize> = (0..total).collect();
+    idx.shuffle(rng);
+    idx.truncate(s);
+
+    credit_matches(
+        g,
+        spec,
+        idx.iter().map(|&i| &matches.matches()[i]),
+        |node| estimates[node] += scale,
+    )?;
+    Ok(ApproxCounts { estimates })
+}
+
+/// Horvitz–Thompson estimator: caller supplies one inclusion probability
+/// per match; sampled match `i` contributes `1 / p[i]` to each covered
+/// node. Matches with `p = 0` must not appear in `sampled`.
+pub fn approx_census_horvitz<'m>(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    sampled: impl Iterator<Item = (&'m PatternMatch, f64)>,
+    num_nodes: usize,
+) -> Result<ApproxCounts, CensusError> {
+    let mut estimates = vec![0.0f64; num_nodes];
+    let pairs: Vec<(&PatternMatch, f64)> = sampled.collect();
+    for &(_, p) in &pairs {
+        assert!(p > 0.0 && p <= 1.0, "inclusion probability out of range");
+    }
+    // Credit one match at a time so each weight applies to its own match.
+    for (m, p) in pairs {
+        let weight = 1.0 / p;
+        credit_matches(g, spec, std::iter::once(m), |node| {
+            estimates[node] += weight
+        })?;
+    }
+    Ok(ApproxCounts { estimates })
+}
+
+/// Shared crediting core: for each match, find the nodes whose `k`-hop
+/// neighborhood contains all its anchor images (multi-anchor ball
+/// intersection), and invoke `credit` with each such node's index.
+fn credit_matches<'m>(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    sample: impl Iterator<Item = &'m PatternMatch>,
+    mut credit: impl FnMut(usize),
+) -> Result<(), CensusError> {
+    let anchors = spec.anchor_nodes()?;
+    let k = spec.k();
+    let mask = spec.focal().mask(g);
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut buf = Vec::new();
+    let mut balls: Vec<Vec<ego_graph::NodeId>> = Vec::new();
+    for m in sample {
+        balls.clear();
+        for &a in &anchors {
+            buf.clear();
+            scratch.bounded_bfs(g, m.image(a), k, &mut buf);
+            let mut ball = buf.clone();
+            ball.sort_unstable();
+            balls.push(ball);
+        }
+        balls.sort_by_key(Vec::len);
+        let mut covered = balls[0].clone();
+        for b in &balls[1..] {
+            if covered.is_empty() {
+                break;
+            }
+            covered = ego_graph::neighborhood::intersect_sorted(&covered, b);
+        }
+        for n in covered {
+            if mask[n.index()] {
+                credit(n.index());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{global_matches, nd_pivot};
+    use ego_graph::{GraphBuilder, Label, NodeId};
+    use ego_pattern::Pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring_with_chords(n: u32) -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(n as usize, Label(0));
+        for i in 0..n {
+            b.add_edge(NodeId(i), NodeId((i + 1) % n));
+            b.add_edge(NodeId(i), NodeId((i + 2) % n));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let g = ring_with_chords(40);
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 2);
+        let exact = nd_pivot::run(&g, &spec, &m).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let approx = approx_census(&g, &spec, &m, m.len(), &mut rng).unwrap();
+        for n in g.node_ids() {
+            assert!(
+                (approx.get(n) - exact.get(n) as f64).abs() < 1e-9,
+                "node {n:?}: {} vs {}",
+                approx.get(n),
+                exact.get(n)
+            );
+        }
+    }
+
+    #[test]
+    fn half_sample_is_close_on_large_counts() {
+        let g = ring_with_chords(200);
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 4);
+        let exact = nd_pivot::run(&g, &spec, &m).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let approx = approx_census(&g, &spec, &m, m.len() / 2, &mut rng).unwrap();
+        // Average relative error over nodes with meaningful counts.
+        let mut total_rel = 0.0;
+        let mut cnt = 0;
+        for n in g.node_ids() {
+            let e = exact.get(n) as f64;
+            if e >= 10.0 {
+                total_rel += (approx.get(n) - e).abs() / e;
+                cnt += 1;
+            }
+        }
+        let avg_rel = total_rel / cnt.max(1) as f64;
+        assert!(avg_rel < 0.25, "avg relative error {avg_rel}");
+    }
+
+    #[test]
+    fn estimator_is_unbiased_over_seeds() {
+        let g = ring_with_chords(60);
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 2);
+        let exact = nd_pivot::run(&g, &spec, &m).unwrap();
+        let probe = NodeId(0);
+        let trials = 60;
+        let mut sum = 0.0;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let approx = approx_census(&g, &spec, &m, m.len() / 3, &mut rng).unwrap();
+            sum += approx.get(probe);
+        }
+        let mean = sum / trials as f64;
+        let truth = exact.get(probe) as f64;
+        assert!(
+            (mean - truth).abs() < 0.15 * truth.max(1.0),
+            "mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn horvitz_thompson_uniform_matches_plain() {
+        let g = ring_with_chords(30);
+        let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 1);
+        // Uniform p = 1.0 over ALL matches = exact counting.
+        let exact = nd_pivot::run(&g, &spec, &m).unwrap();
+        let ht = approx_census_horvitz(
+            &g,
+            &spec,
+            m.iter().map(|mm| (mm, 1.0)),
+            g.num_nodes(),
+        )
+        .unwrap();
+        for n in g.node_ids() {
+            assert!((ht.get(n) - exact.get(n) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_sample_and_empty_matches() {
+        let g = ring_with_chords(10);
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = approx_census(&g, &spec, &m, 0, &mut rng).unwrap();
+        assert_eq!(a.get(NodeId(0)), 0.0);
+        let empty = MatchList::default();
+        let b = approx_census(&g, &spec, &empty, 10, &mut rng).unwrap();
+        assert_eq!(b.get(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn top_k_estimates_rank_hubs_first() {
+        // Dense core + pendant path: core nodes must top the estimates.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(30, Label(0));
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                b.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        for i in 6..29u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        b.add_edge(NodeId(0), NodeId(6));
+        let g = b.build();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let approx = approx_census(&g, &spec, &m, m.len(), &mut rng).unwrap();
+        let top = approx.top_k(3);
+        for (node, est) in top {
+            assert!(node.0 < 7, "unexpected top node {node} ({est})");
+        }
+    }
+}

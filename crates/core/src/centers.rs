@@ -1,0 +1,233 @@
+//! Center-based expansion support (Section IV-B4).
+//!
+//! A small set of *center* nodes is chosen apriori and their distances to
+//! every node are precomputed. During PT-OPT traversal the triangle
+//! inequality `d(m, n') ≤ d(m, c) + d(c, n')` yields initialization bounds
+//! that can stop expansions early; the same distances feed the K-means
+//! feature vectors of match clustering.
+
+use ego_graph::bfs::BfsScratch;
+use ego_graph::{Graph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How centers are picked.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CenterStrategy {
+    /// Highest-degree nodes (the paper's DEG-CNTR; "primarily due to its
+    /// low computation cost compared to other centrality measures").
+    #[default]
+    Degree,
+    /// Uniformly random nodes (the RND-CNTR ablation of Fig 4(f)).
+    Random,
+}
+
+/// Precomputed exact BFS distances from each center to every node.
+#[derive(Clone, Debug)]
+pub struct CenterIndex {
+    centers: Vec<NodeId>,
+    /// `dist[ci]` = distances from `centers[ci]`; `u32::MAX` = unreachable.
+    dist: Vec<Vec<u32>>,
+    /// Edge scans spent building the index (traversal-cost accounting).
+    build_edges: u64,
+}
+
+impl CenterIndex {
+    /// Build an index with `count` centers chosen by `strategy`.
+    pub fn build<R: Rng>(g: &Graph, count: usize, strategy: CenterStrategy, rng: &mut R) -> Self {
+        let count = count.min(g.num_nodes());
+        let centers = match strategy {
+            CenterStrategy::Degree => g.top_degree_nodes(count),
+            CenterStrategy::Random => {
+                let mut nodes: Vec<NodeId> = g.node_ids().collect();
+                nodes.shuffle(rng);
+                nodes.truncate(count);
+                nodes
+            }
+        };
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let dist = centers
+            .iter()
+            .map(|&c| {
+                let mut d = vec![0u32; g.num_nodes()];
+                scratch.full_bfs_distances(g, c, &mut d);
+                d
+            })
+            .collect();
+        CenterIndex {
+            centers,
+            dist,
+            build_edges: scratch.edges_scanned(),
+        }
+    }
+
+    /// Edge scans spent precomputing the center distances.
+    pub fn build_edges(&self) -> u64 {
+        self.build_edges
+    }
+
+    /// An index with no centers (disables center bounds).
+    pub fn empty() -> Self {
+        CenterIndex {
+            centers: Vec::new(),
+            dist: Vec::new(),
+            build_edges: 0,
+        }
+    }
+
+    /// The chosen centers.
+    pub fn centers(&self) -> &[NodeId] {
+        &self.centers
+    }
+
+    /// Number of centers.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True if no centers were built.
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Exact distance from center `ci` to `n` (`u32::MAX` if unreachable).
+    #[inline]
+    pub fn distance(&self, ci: usize, n: NodeId) -> u32 {
+        self.dist[ci][n.index()]
+    }
+
+    /// Triangle-inequality upper bound on `d(a, b)` through the best
+    /// center: `min_c d(a, c) + d(c, b)`. `u32::MAX` when no center
+    /// reaches both.
+    pub fn bound(&self, a: NodeId, b: NodeId) -> u32 {
+        let mut best = u32::MAX;
+        for d in &self.dist {
+            let da = d[a.index()];
+            let db = d[b.index()];
+            if da != u32::MAX && db != u32::MAX {
+                best = best.min(da + db);
+            }
+        }
+        best
+    }
+
+    /// A restricted view using only the first `count` centers (used by the
+    /// Fig 4(f) experiment to vary PMD centers while keeping clustering
+    /// features fixed).
+    pub fn take(&self, count: usize) -> CenterIndex {
+        let count = count.min(self.centers.len());
+        CenterIndex {
+            centers: self.centers[..count].to_vec(),
+            dist: self.dist[..count].to_vec(),
+            build_edges: self.build_edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ego_graph::{GraphBuilder, Label};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Path 0-1-2-3-4 with a hub 5 connected to 1, 2, 3.
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(6, Label(0));
+        for (x, y) in [(0u32, 1), (1, 2), (2, 3), (3, 4)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        for t in [1u32, 2, 3] {
+            b.add_edge(NodeId(5), NodeId(t));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn degree_strategy_picks_hubs() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = CenterIndex::build(&g, 2, CenterStrategy::Degree, &mut rng);
+        // Degrees: 1,2,3 have 3 (2 also 3?). 0:1, 1:3, 2:3, 3:3, 4:1, 5:3.
+        // Top 2 by (degree, low id): nodes 1 and 2.
+        assert_eq!(idx.centers(), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = CenterIndex::build(&g, 1, CenterStrategy::Degree, &mut rng);
+        // Center = node 1. Distances: 0:1, 1:0, 2:1, 3:2, 4:3, 5:1.
+        let want = [1u32, 0, 1, 2, 3, 1];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(idx.distance(0, NodeId(i as u32)), w, "node {i}");
+        }
+    }
+
+    #[test]
+    fn bound_is_valid_upper_bound() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let idx = CenterIndex::build(&g, 3, CenterStrategy::Degree, &mut rng);
+        // True d(0, 4) = 4; any center bound must be >= 4.
+        assert!(idx.bound(NodeId(0), NodeId(4)) >= 4);
+        // Bound through node 1 (center) for (0, 5): d(0,1)+d(1,5) = 2.
+        assert!(idx.bound(NodeId(0), NodeId(5)) <= 2);
+    }
+
+    #[test]
+    fn random_strategy_is_seeded() {
+        let g = graph();
+        let a = CenterIndex::build(&g, 3, CenterStrategy::Random, &mut StdRng::seed_from_u64(7));
+        let b = CenterIndex::build(&g, 3, CenterStrategy::Random, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.centers(), b.centers());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn empty_and_take() {
+        let g = graph();
+        let idx = CenterIndex::build(
+            &g,
+            4,
+            CenterStrategy::Degree,
+            &mut StdRng::seed_from_u64(0),
+        );
+        let sub = idx.take(2);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.centers(), &idx.centers()[..2]);
+        let empty = CenterIndex::empty();
+        assert!(empty.is_empty());
+        assert_eq!(empty.bound(NodeId(0), NodeId(1)), u32::MAX);
+    }
+
+    #[test]
+    fn disconnected_unreachable() {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        let g = b.build();
+        let idx = CenterIndex::build(
+            &g,
+            1,
+            CenterStrategy::Degree,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(idx.distance(0, NodeId(2)), u32::MAX);
+        assert_eq!(idx.bound(NodeId(0), NodeId(2)), u32::MAX);
+    }
+
+    #[test]
+    fn count_larger_than_graph_is_clamped() {
+        let g = graph();
+        let idx = CenterIndex::build(
+            &g,
+            100,
+            CenterStrategy::Degree,
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(idx.len(), 6);
+    }
+}

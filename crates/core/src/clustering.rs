@@ -1,0 +1,193 @@
+//! Pattern match clustering (Section IV-B5).
+//!
+//! Nearby (often overlapping) matches are grouped so one simultaneous
+//! traversal serves the whole group. Each match `M` is embedded as the
+//! feature vector `F(M) = <d(c_1, m_1), ..., d(c_|C|, m_|V_P|)>` over the
+//! center distance index, then K-means groups the vectors.
+
+use crate::centers::CenterIndex;
+use crate::kmeans::kmeans;
+use crate::spec::Clustering;
+use ego_matcher::MatchList;
+use rand::Rng;
+
+/// Group match indices `0..matches.len()` into clusters according to
+/// `strategy`. Always returns non-empty groups covering every match.
+pub fn cluster_matches<R: Rng>(
+    matches: &MatchList,
+    centers: &CenterIndex,
+    strategy: Clustering,
+    max_auto_clusters: usize,
+    kmeans_iters: usize,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    let n = matches.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    match strategy {
+        Clustering::None => (0..n as u32).map(|i| vec![i]).collect(),
+        Clustering::Random(k) => {
+            let k = k.clamp(1, n);
+            let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k];
+            for i in 0..n as u32 {
+                groups[rng.gen_range(0..k)].push(i);
+            }
+            groups.retain(|g| !g.is_empty());
+            groups
+        }
+        Clustering::KMeans(k) => kmeans_groups(matches, centers, k, kmeans_iters, rng),
+        Clustering::Auto => {
+            // Paper default: K = |M| / 4, capped so K-means cannot dominate.
+            let k = (n / 4).clamp(1, max_auto_clusters);
+            kmeans_groups(matches, centers, k, kmeans_iters, rng)
+        }
+    }
+}
+
+fn kmeans_groups<R: Rng>(
+    matches: &MatchList,
+    centers: &CenterIndex,
+    k: usize,
+    iters: usize,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
+    let n = matches.len();
+    let k = k.clamp(1, n);
+    if centers.is_empty() || k == 1 {
+        // Without center distances there is no feature space; fall back to
+        // one big group (documented: clustering requires centers).
+        return vec![(0..n as u32).collect()];
+    }
+    let num_nodes = matches[0].nodes.len();
+    let dim = centers.len() * num_nodes;
+    let mut points = Vec::with_capacity(n * dim);
+    for m in matches.iter() {
+        for ci in 0..centers.len() {
+            for &node in &m.nodes {
+                let d = centers.distance(ci, node);
+                // Unreachable → large sentinel, keeps disconnected matches
+                // together rather than poisoning the arithmetic.
+                points.push(if d == u32::MAX { 1e6 } else { d as f32 });
+            }
+        }
+    }
+    let assign = kmeans(&points, dim, k, iters, rng);
+    let k_eff = assign.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k_eff];
+    for (i, &c) in assign.iter().enumerate() {
+        groups[c as usize].push(i as u32);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centers::CenterStrategy;
+    use ego_graph::{GraphBuilder, Label, NodeId};
+    use ego_matcher::{MatchList, PatternMatch};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two distant triangles connected by a long path.
+    fn graph_and_matches() -> (ego_graph::Graph, MatchList) {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(12, Label(0));
+        // Triangle 1: 0-1-2, triangle 2: 9-10-11, path 2-3-...-9.
+        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (9, 10), (10, 11), (9, 11)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        for i in 2u32..9 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let g = b.build();
+        let matches = MatchList::from_matches(vec![
+            PatternMatch {
+                nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            },
+            PatternMatch {
+                nodes: vec![NodeId(9), NodeId(10), NodeId(11)],
+            },
+        ]);
+        (g, matches)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn none_gives_singletons() {
+        let (g, m) = graph_and_matches();
+        let c = CenterIndex::build(&g, 2, CenterStrategy::Degree, &mut rng());
+        let groups = cluster_matches(&m, &c, Clustering::None, 256, 10, &mut rng());
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn random_covers_all() {
+        let (g, m) = graph_and_matches();
+        let c = CenterIndex::build(&g, 2, CenterStrategy::Degree, &mut rng());
+        let groups = cluster_matches(&m, &c, Clustering::Random(2), 256, 10, &mut rng());
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn kmeans_separates_distant_matches() {
+        let (g, m) = graph_and_matches();
+        let c = CenterIndex::build(&g, 3, CenterStrategy::Degree, &mut rng());
+        let groups = cluster_matches(&m, &c, Clustering::KMeans(2), 256, 10, &mut rng());
+        assert_eq!(groups.len(), 2);
+        // The two matches are far apart: they must land in different groups.
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+
+    #[test]
+    fn auto_caps_cluster_count() {
+        let (g, _) = graph_and_matches();
+        let c = CenterIndex::build(&g, 2, CenterStrategy::Degree, &mut rng());
+        let many = MatchList::from_matches(
+            (0..100)
+                .map(|i| PatternMatch {
+                    nodes: vec![NodeId(i % 12)],
+                })
+                .collect(),
+        );
+        let groups = cluster_matches(&many, &c, Clustering::Auto, 5, 10, &mut rng());
+        assert!(groups.len() <= 5);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn no_centers_falls_back_to_single_group() {
+        let (_, m) = graph_and_matches();
+        let groups = cluster_matches(
+            &m,
+            &CenterIndex::empty(),
+            Clustering::KMeans(2),
+            256,
+            10,
+            &mut rng(),
+        );
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn empty_matches() {
+        let groups = cluster_matches(
+            &MatchList::default(),
+            &CenterIndex::empty(),
+            Clustering::Auto,
+            256,
+            10,
+            &mut rng(),
+        );
+        assert!(groups.is_empty());
+    }
+}

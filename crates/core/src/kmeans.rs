@@ -1,0 +1,179 @@
+//! K-means clustering (MacQueen), used to group nearby pattern matches.
+//!
+//! Points are dense `f32` rows in a flat buffer. Initialization samples
+//! distinct points (Forgy); empty clusters are re-seeded from the point
+//! farthest from its centroid, so the requested `k` is honored whenever
+//! there are at least `k` distinct points.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Cluster `points` (row-major, `dim` columns) into `k` groups with at
+/// most `iters` Lloyd iterations. Returns per-point cluster assignments
+/// in `0..k_effective` where `k_effective = k.min(num_points)`.
+pub fn kmeans<R: Rng>(
+    points: &[f32],
+    dim: usize,
+    k: usize,
+    iters: usize,
+    rng: &mut R,
+) -> Vec<u32> {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(points.len() % dim, 0, "points not divisible by dim");
+    let n = points.len() / dim;
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.clamp(1, n);
+
+    // Forgy init on a random permutation of rows.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    for &i in order.iter().take(k) {
+        centroids.extend_from_slice(&points[i * dim..(i + 1) * dim]);
+    }
+
+    let mut assign = vec![0u32; n];
+    let mut counts = vec![0u32; k];
+    for _ in 0..iters.max(1) {
+        // Assignment step.
+        let mut changed = false;
+        for i in 0..n {
+            let row = &points[i * dim..(i + 1) * dim];
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let cen = &centroids[c * dim..(c + 1) * dim];
+                let d = sq_dist(row, cen);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assign[i] != best as u32 {
+                assign[i] = best as u32;
+                changed = true;
+            }
+        }
+
+        // Update step.
+        centroids.iter_mut().for_each(|x| *x = 0.0);
+        counts.iter_mut().for_each(|c| *c = 0);
+        for i in 0..n {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            let row = &points[i * dim..(i + 1) * dim];
+            let cen = &mut centroids[c * dim..(c + 1) * dim];
+            for (a, b) in cen.iter_mut().zip(row) {
+                *a += b;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                for x in &mut centroids[c * dim..(c + 1) * dim] {
+                    *x *= inv;
+                }
+            }
+        }
+
+        // Re-seed empty clusters from the worst-fit point.
+        for c in 0..k {
+            if counts[c] == 0 {
+                let (worst, _) = (0..n)
+                    .map(|i| {
+                        let row = &points[i * dim..(i + 1) * dim];
+                        let cen = &centroids
+                            [assign[i] as usize * dim..(assign[i] as usize + 1) * dim];
+                        (i, sq_dist(row, cen))
+                    })
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("n > 0");
+                let row = points[worst * dim..(worst + 1) * dim].to_vec();
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(&row);
+                assign[worst] = c as u32;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    assign
+}
+
+#[inline]
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        // Blob A around (0,0), blob B around (10,10).
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push((i % 5) as f32 * 0.1);
+            pts.push((i % 3) as f32 * 0.1);
+        }
+        for i in 0..20 {
+            pts.push(10.0 + (i % 5) as f32 * 0.1);
+            pts.push(10.0 + (i % 3) as f32 * 0.1);
+        }
+        let assign = kmeans(&pts, 2, 2, 20, &mut rng());
+        let first = assign[0];
+        assert!(assign[..20].iter().all(|&a| a == first));
+        assert!(assign[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let pts = vec![0.0f32, 1.0, 2.0]; // 3 points in 1D
+        let assign = kmeans(&pts, 1, 10, 5, &mut rng());
+        assert_eq!(assign.len(), 3);
+        // With k = n every point can sit in its own cluster.
+        let mut sorted = assign.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn single_cluster() {
+        let pts = vec![1.0f32; 12];
+        let assign = kmeans(&pts, 3, 1, 5, &mut rng());
+        assert!(assign.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn empty_input() {
+        let assign = kmeans(&[], 4, 3, 5, &mut rng());
+        assert!(assign.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts: Vec<f32> = (0..60).map(|i| (i * 7 % 13) as f32).collect();
+        let a = kmeans(&pts, 2, 4, 10, &mut StdRng::seed_from_u64(5));
+        let b = kmeans(&pts, 2, 4, 10, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn assignments_in_range() {
+        let pts: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let assign = kmeans(&pts, 1, 7, 10, &mut rng());
+        assert!(assign.iter().all(|&a| a < 7));
+    }
+}

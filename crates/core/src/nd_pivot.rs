@@ -1,0 +1,276 @@
+//! ND-PVOT: pivot indexing (Section IV-A1, Algorithm 2).
+//!
+//! 1. Find all matches `M` once, globally.
+//! 2. Pick the pattern's *pivot* `v` (minimum eccentricity; for COUNTSP,
+//!    drawn from the subpattern nodes) and index `M` by the image of `v`
+//!    — the pattern match index `PMI_v`.
+//! 3. For each focal node `n`, BFS to depth `k`. For every visited node
+//!    `n'` at distance `d`, the matches in `PMI_v(n')` are candidates:
+//!    * if `d + max_v ≤ k`, **every** such match is fully contained in
+//!      `S(n, k)` (pattern distances upper-bound graph distances) — add
+//!      `|PMI_v(n')|` without looking at the matches;
+//!    * otherwise only anchor nodes at pattern distance `> k - d` from
+//!      the pivot can stick out — check just those (`distant[k-d+1]`).
+
+use crate::result::{CensusError, CountVector};
+use crate::spec::CensusSpec;
+use crate::tstats::TraversalStats;
+use ego_graph::bfs::BfsScratch;
+use ego_graph::{FastHashMap, Graph, NodeId};
+use ego_matcher::MatchList;
+use ego_pattern::analysis::{PatternAnalysis, UNREACHABLE};
+use ego_pattern::PNode;
+
+/// The pattern match index: match indices keyed by the pivot's image.
+pub struct PivotIndex {
+    map: FastHashMap<u32, Vec<u32>>,
+    pivot: PNode,
+}
+
+impl PivotIndex {
+    /// Index `matches` by the image of `pivot`.
+    pub fn build(matches: &MatchList, pivot: PNode) -> Self {
+        let mut map: FastHashMap<u32, Vec<u32>> = FastHashMap::default();
+        for (i, m) in matches.iter().enumerate() {
+            map.entry(m.image(pivot).0).or_default().push(i as u32);
+        }
+        PivotIndex { map, pivot }
+    }
+
+    /// Matches whose pivot image is `n`.
+    pub fn get(&self, n: NodeId) -> &[u32] {
+        self.map.get(&n.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The pivot this index is keyed on.
+    pub fn pivot(&self) -> PNode {
+        self.pivot
+    }
+}
+
+/// Run ND-PVOT over precomputed global matches.
+pub fn run(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    matches: &MatchList,
+) -> Result<CountVector, CensusError> {
+    run_instrumented(g, spec, matches).map(|(cv, _)| cv)
+}
+
+/// [`run`] with traversal-cost instrumentation.
+pub fn run_instrumented(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    matches: &MatchList,
+) -> Result<(CountVector, TraversalStats), CensusError> {
+    let p = spec.pattern();
+    let k = spec.k();
+    let anchors = spec.anchor_nodes()?;
+    let analysis = PatternAnalysis::with_pivot_candidates(p, Some(&anchors));
+    let pivot = analysis.pivot();
+
+    // max_v over ANCHORS only: non-anchor images may fall outside S(n,k).
+    // An anchor disconnected from the pivot (disconnected pattern) always
+    // needs an explicit check, so it forces the slow path via max_v = ∞.
+    let mut max_v: u32 = 0;
+    let mut has_unreachable_anchor = false;
+    for &a in &anchors {
+        let d = analysis.distance(pivot, a);
+        if d == UNREACHABLE {
+            has_unreachable_anchor = true;
+        } else {
+            max_v = max_v.max(d);
+        }
+    }
+
+    // distant[i] (1-indexed): anchors with pattern distance >= i from the
+    // pivot (or disconnected), i in 1..=max_v (+1 slot so the i = k-d+1
+    // index never overflows when d + max_v = k + 1).
+    let distant: Vec<Vec<PNode>> = (1..=max_v.max(1) as usize + 1)
+        .map(|i| {
+            anchors
+                .iter()
+                .copied()
+                .filter(|&a| {
+                    let d = analysis.distance(pivot, a);
+                    d == UNREACHABLE || d >= i as u32
+                })
+                .collect()
+        })
+        .collect();
+
+    let pmi = PivotIndex::build(matches, pivot);
+
+    let mask = spec.focal().mask(g);
+    let mut counts = CountVector::new(g.num_nodes(), mask);
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut visited = Vec::new();
+
+    for n in spec.focal().nodes(g) {
+        visited.clear();
+        scratch.bounded_bfs(g, n, k, &mut visited);
+        let mut total = 0u64;
+        for &np in &visited {
+            let bucket = pmi.get(np);
+            if bucket.is_empty() {
+                continue;
+            }
+            let d = scratch.distance(np);
+            if !has_unreachable_anchor && d + max_v <= k {
+                // Containment guaranteed: count without checking.
+                total += bucket.len() as u64;
+            } else {
+                // Only anchors that can stick out need checking: pattern
+                // distance > k - d, i.e. >= k - d + 1. Clamping to the last
+                // slot (max_v + 1) leaves exactly the disconnected anchors,
+                // which must always be checked.
+                let i = ((k - d) as usize + 1).min(distant.len());
+                let to_check: &[PNode] = &distant[i - 1];
+                for &mi in bucket {
+                    let m = &matches[mi as usize];
+                    let ok = to_check.iter().all(|&a| {
+                        let img = m.image(a);
+                        scratch.visited(img) // visited ⇒ within k hops of n
+                    });
+                    if ok {
+                        total += 1;
+                    }
+                }
+            }
+        }
+        counts.set(n, total);
+    }
+    let tstats = TraversalStats {
+        edges_traversed: scratch.edges_scanned(),
+        nodes_expanded: spec.focal().count(g) as u64,
+        reinsertions: 0,
+        index_edges: 0,
+    };
+    Ok((counts, tstats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FocalNodes;
+    use crate::{global_matches, nd_bas};
+    use ego_graph::{GraphBuilder, Label};
+    use ego_pattern::Pattern;
+
+    fn fixture() -> Graph {
+        // Two triangles sharing node 2 plus chain 4-5-6.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(7, Label(0));
+        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        b.build()
+    }
+
+    fn run_spec(g: &Graph, spec: &CensusSpec<'_>) -> CountVector {
+        let m = global_matches(g, spec.pattern());
+        run(g, spec, &m).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_nd_bas_on_triangles() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        for k in 0..4 {
+            let spec = CensusSpec::single(&p, k);
+            let fast = run_spec(&g, &spec);
+            let slow = nd_bas::run(&g, &spec).unwrap();
+            for n in g.node_ids() {
+                assert_eq!(fast.get(n), slow.get(n), "k={k} node={n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_index_buckets() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let idx = PivotIndex::build(&m, PNode(0));
+        let total: usize = g.node_ids().map(|n| idx.get(n).len()).sum();
+        assert_eq!(total, m.len());
+    }
+
+    #[test]
+    fn subpattern_census_k0() {
+        // Count triangles anchored at each node: COUNTSP with a single-node
+        // subpattern and k = 0 counts the triangles the node participates in.
+        let g = fixture();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }")
+            .unwrap();
+        let spec = CensusSpec::single(&p, 0).with_subpattern("me");
+        let counts = run_spec(&g, &spec);
+        // The subpattern pins ?A, so the automorphism group only swaps
+        // B and C: each triangle yields 3 distinct matches, one per
+        // choice of A-image. COUNTSP(me, t, SUBGRAPH(ID, 0)) therefore
+        // counts exactly the triangles each node participates in.
+        let want = [1u64, 1, 2, 1, 1, 0, 0];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(counts.get(NodeId(i as u32)), w, "node {i}");
+        }
+    }
+
+    #[test]
+    fn directed_subpattern_middle_node() {
+        // Coordinator triads: 0->1->2 without 0->2.
+        let mut b = GraphBuilder::directed();
+        b.add_nodes(4, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        let p = Pattern::parse(
+            "PATTERN triad { ?A->?B; ?B->?C; ?A!->?C; SUBPATTERN mid {?B;} }",
+        )
+        .unwrap();
+        let spec = CensusSpec::single(&p, 0).with_subpattern("mid");
+        let counts = run_spec(&g, &spec);
+        // Middle of 0->1->2 is 1; middle of 1->2->3 is 2.
+        assert_eq!(counts.get(NodeId(0)), 0);
+        assert_eq!(counts.get(NodeId(1)), 1);
+        assert_eq!(counts.get(NodeId(2)), 1);
+        assert_eq!(counts.get(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn focal_subset_only() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
+        let spec = CensusSpec::single(&p, 1)
+            .with_focal(FocalNodes::Set(vec![NodeId(5), NodeId(0)]));
+        let counts = run_spec(&g, &spec);
+        assert_eq!(counts.get(NodeId(5)), 2);
+        assert_eq!(counts.get(NodeId(0)), 3); // edges 0-1, 0-2, 1-2
+        assert!(!counts.is_focal(NodeId(2)));
+    }
+
+    #[test]
+    fn large_k_counts_everything() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let spec = CensusSpec::single(&p, 10);
+        let counts = run_spec(&g, &spec);
+        for n in g.node_ids() {
+            assert_eq!(counts.get(n), 2, "node {n:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_anchor_checks() {
+        // Pattern: edge + isolated node. The isolated node's image can be
+        // anywhere; containment needs the explicit check path.
+        let g = fixture();
+        let p = Pattern::parse("PATTERN p { ?A-?B; ?C; }").unwrap();
+        let spec = CensusSpec::single(&p, 1);
+        let fast = run_spec(&g, &spec);
+        let slow = nd_bas::run(&g, &spec).unwrap();
+        for n in g.node_ids() {
+            assert_eq!(fast.get(n), slow.get(n), "node {n:?}");
+        }
+    }
+}

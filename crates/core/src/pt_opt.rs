@@ -1,0 +1,507 @@
+//! PT-OPT: the optimized pattern-driven algorithm (Section IV-B,
+//! Algorithm 4) with all five optimizations:
+//!
+//! 1. **Simultaneous traversal** — one relaxation-based expansion per
+//!    cluster of matches maintains `PMD_m[n]`, an upper bound on
+//!    `d(m, n)` for every anchor node `m`, instead of one BFS per anchor.
+//! 2. **Distance shortcuts** — `PMD` between two anchors of the same
+//!    match is initialized from the pattern distance
+//!    `d(μ⁻¹(m), μ⁻¹(m'))`, which upper-bounds the graph distance.
+//! 3. **Best-first ordering** — the node with minimum
+//!    `score(n) = Σ_m PMD_m[n]` is expanded next, via the O(1)
+//!    array-bucket queue (scores are bounded by `(k+1)·|anchors|`).
+//! 4. **Center-based expansion** — precomputed center distances seed
+//!    exact values for the centers and triangle-inequality bounds
+//!    `min_c d(m,c) + d(c,n')` for first-touched nodes.
+//! 5. **Pattern match clustering** — K-means over center-distance
+//!    feature vectors groups overlapping matches into shared traversals.
+
+use crate::centers::CenterIndex;
+use crate::clustering::cluster_matches;
+use crate::result::{CensusError, CountVector};
+use crate::spec::{CensusSpec, PtConfig, PtOrdering};
+use crate::tstats::TraversalStats;
+use ego_graph::{FastHashMap, Graph, NodeId};
+use ego_matcher::MatchList;
+use ego_pattern::analysis::{PatternAnalysis, UNREACHABLE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run PT-OPT (or PT-RND, via `config.ordering`) over precomputed matches.
+pub fn run(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    matches: &MatchList,
+    config: &PtConfig,
+) -> Result<CountVector, CensusError> {
+    run_instrumented(g, spec, matches, config).map(|(cv, _)| cv)
+}
+
+/// [`run`] with traversal-cost instrumentation (edge scans, node
+/// expansions, queue reinsertions) — the disk-I/O proxy metrics the
+/// paper's optimizations target.
+pub fn run_instrumented(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    matches: &MatchList,
+    config: &PtConfig,
+) -> Result<(CountVector, TraversalStats), CensusError> {
+    let mut tstats = TraversalStats::default();
+    let anchors = spec.anchor_nodes()?;
+    let mask = spec.focal().mask(g);
+    let mut counts = CountVector::new(g.num_nodes(), mask.clone());
+    if matches.is_empty() {
+        return Ok((counts, tstats));
+    }
+    let k = spec.k();
+    assert!(k < u16::MAX as u32, "k too large for PMD storage");
+
+    let p = spec.pattern();
+    let analysis = PatternAnalysis::new(p);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // One center index serves both PMD initialization and clustering
+    // features; Fig 4(f) varies the former while pinning the latter.
+    let cluster_center_count = config.clustering_centers.unwrap_or(config.num_centers);
+    let total = config.num_centers.max(cluster_center_count);
+    let full_centers = if total > 0 {
+        CenterIndex::build(g, total, config.center_strategy, &mut rng)
+    } else {
+        CenterIndex::empty()
+    };
+    tstats.index_edges += full_centers.build_edges();
+    let pmd_centers = full_centers.take(config.num_centers);
+    let cluster_centers = full_centers.take(cluster_center_count);
+
+    let groups = cluster_matches(
+        matches,
+        &cluster_centers,
+        config.clustering,
+        config.max_auto_clusters,
+        config.kmeans_iters,
+        &mut rng,
+    );
+
+    let mut queue = TraversalQueue::new(config.ordering, &mut rng);
+    for group in &groups {
+        process_cluster(
+            g,
+            k,
+            &anchors,
+            &analysis,
+            matches,
+            group,
+            &pmd_centers,
+            &mut queue,
+            &mask,
+            &mut counts,
+            &mut tstats,
+            config.use_distance_shortcuts,
+        );
+    }
+    Ok((counts, tstats))
+}
+
+/// Queue abstraction: bucket best-first (PT-OPT) or random pop (PT-RND).
+struct TraversalQueue<'r> {
+    ordering: PtOrdering,
+    bucket: crate::bucket_queue::BucketQueue,
+    random: Vec<u32>,
+    rng: &'r mut StdRng,
+}
+
+impl<'r> TraversalQueue<'r> {
+    fn new(ordering: PtOrdering, rng: &'r mut StdRng) -> Self {
+        TraversalQueue {
+            ordering,
+            bucket: crate::bucket_queue::BucketQueue::new(0),
+            random: Vec::new(),
+            rng,
+        }
+    }
+
+    fn reset(&mut self, max_score: usize) {
+        match self.ordering {
+            PtOrdering::BestFirst => self.bucket = crate::bucket_queue::BucketQueue::new(max_score),
+            PtOrdering::Random => self.random.clear(),
+        }
+    }
+
+    fn push(&mut self, score: usize, item: u32) {
+        match self.ordering {
+            PtOrdering::BestFirst => self.bucket.push(score, item),
+            PtOrdering::Random => self.random.push(item),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(usize, u32)> {
+        match self.ordering {
+            PtOrdering::BestFirst => self.bucket.pop_min(),
+            PtOrdering::Random => {
+                if self.random.is_empty() {
+                    None
+                } else {
+                    let i = self.rng.gen_range(0..self.random.len());
+                    Some((0, self.random.swap_remove(i)))
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_cluster(
+    g: &Graph,
+    k: u32,
+    anchors: &[ego_pattern::PNode],
+    analysis: &PatternAnalysis,
+    matches: &MatchList,
+    group: &[u32],
+    centers: &CenterIndex,
+    queue: &mut TraversalQueue<'_>,
+    mask: &[bool],
+    counts: &mut CountVector,
+    tstats: &mut TraversalStats,
+    use_distance_shortcuts: bool,
+) {
+    let inf = (k + 1) as u16;
+
+    // Unique anchor nodes across the cluster, each with a dense position.
+    let mut anchor_pos: FastHashMap<u32, u16> = FastHashMap::default();
+    let mut anchor_nodes: Vec<NodeId> = Vec::new();
+    // Per match in the group: the positions of its anchors.
+    let mut match_positions: Vec<Vec<u16>> = Vec::with_capacity(group.len());
+    for &mi in group {
+        let m = &matches[mi as usize];
+        let mut positions = Vec::with_capacity(anchors.len());
+        for &a in anchors {
+            let img = m.image(a);
+            let pos = *anchor_pos.entry(img.0).or_insert_with(|| {
+                anchor_nodes.push(img);
+                (anchor_nodes.len() - 1) as u16
+            });
+            positions.push(pos);
+        }
+        match_positions.push(positions);
+    }
+    let na = anchor_nodes.len();
+    let max_score = (inf as usize) * na;
+
+    // d(anchor, center) matrix for triangle-inequality initialization.
+    let anchor_center: Vec<Vec<u32>> = anchor_nodes
+        .iter()
+        .map(|&a| {
+            (0..centers.len())
+                .map(|ci| centers.distance(ci, a))
+                .collect()
+        })
+        .collect();
+
+    // PMD: per visited node, per anchor position, current distance bound.
+    let mut pmd: FastHashMap<u32, Vec<u16>> = FastHashMap::default();
+    // Best known score per node, for lazy stale-entry skipping.
+    let mut best_score: FastHashMap<u32, u32> = FastHashMap::default();
+    queue.reset(max_score);
+
+    // --- Initialization ---
+    // Anchors: distance 0 to themselves, pattern-distance shortcuts to
+    // co-match anchors.
+    for (pos, &a) in anchor_nodes.iter().enumerate() {
+        let mut row = vec![inf; na];
+        row[pos] = 0;
+        pmd.insert(a.0, row);
+    }
+    for (gi, &mi) in group.iter().enumerate() {
+        if !use_distance_shortcuts {
+            break;
+        }
+        let m = &matches[mi as usize];
+        let positions = &match_positions[gi];
+        for (ai, &pa) in anchors.iter().enumerate() {
+            let img_a = m.image(pa);
+            let row = pmd.get_mut(&img_a.0).expect("anchor row exists");
+            for (bi, &pb) in anchors.iter().enumerate() {
+                if ai == bi {
+                    continue;
+                }
+                let d = analysis.distance(pb, pa);
+                if d != UNREACHABLE && (d as u16) < row[positions[bi] as usize] {
+                    // PMD_{m_b}[img_a] bound from the pattern graph.
+                    row[positions[bi] as usize] = d as u16;
+                }
+            }
+        }
+    }
+    // Centers: exact distances (never reinserted — relaxation cannot beat
+    // an exact value).
+    for (ci, &c) in centers.centers().iter().enumerate().take(centers.len()) {
+        let row: Vec<u16> = (0..na)
+            .map(|pos| {
+                let d = anchor_center[pos][ci];
+                if d == u32::MAX {
+                    inf
+                } else {
+                    (d as u16).min(inf)
+                }
+            })
+            .collect();
+        // Merge (a center may coincide with an anchor).
+        match pmd.get_mut(&c.0) {
+            Some(existing) => {
+                for (e, r) in existing.iter_mut().zip(&row) {
+                    *e = (*e).min(*r);
+                }
+            }
+            None => {
+                pmd.insert(c.0, row);
+            }
+        }
+    }
+
+    // Queue everything initialized.
+    let score_of = |row: &[u16]| -> usize { row.iter().map(|&v| v as usize).sum() };
+    let mut seeds: Vec<u32> = pmd.keys().copied().collect();
+    seeds.sort_unstable(); // determinism
+    for nraw in seeds {
+        let s = score_of(&pmd[&nraw]);
+        best_score.insert(nraw, s as u32);
+        queue.push(s, nraw);
+    }
+
+    // --- Traversal ---
+    let mut row_buf: Vec<u16> = Vec::with_capacity(na);
+    while let Some((popped_score, nraw)) = queue.pop() {
+        let row = match pmd.get(&nraw) {
+            Some(r) => r,
+            None => continue,
+        };
+        // Lazy stale check (best-first only; random pops carry score 0).
+        if matches!(queue.ordering, PtOrdering::BestFirst)
+            && best_score.get(&nraw).map(|&s| s as usize) != Some(popped_score)
+        {
+            continue;
+        }
+        // Expansion gate: expand only if some anchor is strictly closer
+        // than k (otherwise neighbors cannot be within k of anything new).
+        if !row.iter().any(|&v| (v as u32) < k) {
+            continue;
+        }
+        tstats.nodes_expanded += 1;
+        tstats.edges_traversed += g.degree(NodeId(nraw)) as u64;
+        row_buf.clear();
+        row_buf.extend_from_slice(row);
+
+        for &nb in g.neighbors(NodeId(nraw)) {
+            let entry = pmd.entry(nb.0);
+            let mut changed = false;
+            let row_nb = match entry {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let r = o.into_mut();
+                    for pos in 0..na {
+                        let cand = row_buf[pos].saturating_add(1).min(inf);
+                        if cand < r[pos] {
+                            r[pos] = cand;
+                            changed = true;
+                        }
+                    }
+                    r
+                }
+                std::collections::hash_map::Entry::Vacant(vac) => {
+                    // First touch: combine relaxation with center bounds.
+                    let mut r = vec![inf; na];
+                    for pos in 0..na {
+                        let mut v = row_buf[pos].saturating_add(1).min(inf);
+                        for (ci, &dac) in anchor_center[pos].iter().enumerate() {
+                            let dcn = centers.distance(ci, nb);
+                            if dac != u32::MAX && dcn != u32::MAX {
+                                let bound = (dac + dcn).min(inf as u32) as u16;
+                                if bound < v {
+                                    v = bound;
+                                }
+                            }
+                        }
+                        r[pos] = v;
+                    }
+                    changed = true;
+                    vac.insert(r)
+                }
+            };
+            if changed {
+                let s = score_of(row_nb);
+                let stale = best_score
+                    .get(&nb.0)
+                    .map(|&old| s < old as usize)
+                    .unwrap_or(true);
+                if stale {
+                    if best_score.insert(nb.0, s as u32).is_some() {
+                        // Decrease-key on an already-seen node: a
+                        // reinsertion in the paper's Figure 2 sense.
+                        tstats.reinsertions += 1;
+                    }
+                    queue.push(s, nb.0);
+                }
+            }
+        }
+    }
+
+    // --- Counting ---
+    // N[M] = visited nodes within k of every anchor of M, intersected with
+    // the focal set.
+    for (nraw, row) in &pmd {
+        let n = NodeId(*nraw);
+        if !mask[n.index()] {
+            continue;
+        }
+        for positions in &match_positions {
+            if positions.iter().all(|&pos| row[pos as usize] as u32 <= k) {
+                counts.increment(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Clustering, FocalNodes};
+    use crate::{global_matches, nd_bas, nd_pivot, CenterStrategy};
+    use ego_graph::{GraphBuilder, Label};
+    use ego_pattern::Pattern;
+
+    fn fixture() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(7, Label(0));
+        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        b.build()
+    }
+
+    fn configs() -> Vec<PtConfig> {
+        vec![
+            PtConfig::default(),
+            PtConfig {
+                num_centers: 0,
+                clustering: Clustering::None,
+                ..PtConfig::default()
+            },
+            PtConfig {
+                num_centers: 3,
+                center_strategy: CenterStrategy::Random,
+                clustering: Clustering::Random(2),
+                ..PtConfig::default()
+            },
+            PtConfig {
+                ordering: PtOrdering::Random,
+                ..PtConfig::default()
+            },
+            PtConfig {
+                num_centers: 2,
+                clustering: Clustering::KMeans(2),
+                ..PtConfig::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn agrees_with_nd_bas_across_configs() {
+        let g = fixture();
+        for pat_text in [
+            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; }",
+            "PATTERN e { ?A-?B; }",
+            "PATTERN p3 { ?A-?B; ?B-?C; }",
+        ] {
+            let p = Pattern::parse(pat_text).unwrap();
+            let m = global_matches(&g, &p);
+            for k in 0..4 {
+                let spec = CensusSpec::single(&p, k);
+                let oracle = nd_bas::run(&g, &spec).unwrap();
+                for (ci, cfg) in configs().iter().enumerate() {
+                    let fast = run(&g, &spec, &m, cfg).unwrap();
+                    for n in g.node_ids() {
+                        assert_eq!(
+                            fast.get(n),
+                            oracle.get(n),
+                            "{pat_text} k={k} cfg={ci} node={n:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subpattern_agrees_with_nd_pivot() {
+        let g = fixture();
+        let p = Pattern::parse(
+            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }",
+        )
+        .unwrap();
+        let m = global_matches(&g, &p);
+        for k in 0..3 {
+            let spec = CensusSpec::single(&p, k).with_subpattern("one");
+            let expect = nd_pivot::run(&g, &spec, &m).unwrap();
+            let got = run(&g, &spec, &m, &PtConfig::default()).unwrap();
+            for n in g.node_ids() {
+                assert_eq!(got.get(n), expect.get(n), "k={k} node={n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn focal_mask_respected() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 2)
+            .with_focal(FocalNodes::Set(vec![NodeId(0), NodeId(6)]));
+        let counts = run(&g, &spec, &m, &PtConfig::default()).unwrap();
+        assert_eq!(counts.get(NodeId(0)), 2);
+        assert_eq!(counts.get(NodeId(6)), 0);
+        assert_eq!(counts.get(NodeId(2)), 0); // non-focal
+    }
+
+    #[test]
+    fn empty_matches_short_circuits() {
+        let g = fixture();
+        let p = Pattern::parse(
+            "PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }",
+        )
+        .unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 2);
+        let counts = run(&g, &spec, &m, &PtConfig::default()).unwrap();
+        assert_eq!(counts.total(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_components() {
+        // Matches in one component must not leak counts into another.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(6, Label(0));
+        for (x, y) in [(0u32, 1), (1, 2), (0, 2)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        b.add_edge(NodeId(3), NodeId(4));
+        let g = b.build();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 3);
+        let counts = run(&g, &spec, &m, &PtConfig::default()).unwrap();
+        assert_eq!(counts.get(NodeId(0)), 1);
+        assert_eq!(counts.get(NodeId(3)), 0);
+        assert_eq!(counts.get(NodeId(5)), 0);
+    }
+
+    #[test]
+    fn k_zero_single_anchor() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN n { ?A; }").unwrap();
+        let m = global_matches(&g, &p);
+        let spec = CensusSpec::single(&p, 0);
+        let counts = run(&g, &spec, &m, &PtConfig::default()).unwrap();
+        for n in g.node_ids() {
+            assert_eq!(counts.get(n), 1);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Barabási–Albert preferential attachment.
+
+use ego_graph::{Graph, GraphBuilder, Label, NodeId};
+use rand::Rng;
+
+/// Generate a Barabási–Albert graph with `n` nodes, each new node
+/// attaching `m` edges to existing nodes with probability proportional to
+/// degree. With `m = 5` this matches the paper's `|E| = 5 |V|` datasets.
+///
+/// The first `m` nodes form a seed clique-free core: node `i < m` exists
+/// without edges; node `m` connects to all of them; subsequent nodes use
+/// preferential attachment via the standard repeated-endpoints trick.
+///
+/// All nodes carry [`Label::UNLABELED`]; use
+/// [`crate::labeler::assign_random_labels`] for labeled experiments.
+///
+/// # Panics
+/// If `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m > 0, "m must be positive");
+    assert!(n > m, "need more nodes ({n}) than edges per node ({m})");
+    let mut b = GraphBuilder::undirected().with_capacity(n, n * m);
+    b.add_nodes(n, Label::UNLABELED);
+
+    // `endpoints` holds one entry per edge endpoint, so sampling uniformly
+    // from it is degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    // Node m connects to each of 0..m once, seeding the degree pool.
+    let first = NodeId::from_index(m);
+    for i in 0..m {
+        let t = NodeId::from_index(i);
+        b.add_edge(first, t);
+        endpoints.push(first);
+        endpoints.push(t);
+    }
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        let src = NodeId::from_index(v);
+        chosen.clear();
+        // Sample m distinct targets degree-proportionally (rejection on
+        // duplicates; collisions are rare once the pool is large).
+        let mut guard = 0;
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            if guard > 50 * m {
+                // Degenerate tiny pools: fall back to any not-yet-chosen node.
+                for u in 0..v {
+                    let u = NodeId::from_index(u);
+                    if !chosen.contains(&u) {
+                        chosen.push(u);
+                        break;
+                    }
+                }
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(src, t);
+            endpoints.push(src);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let g = barabasi_albert(500, 5, &mut rng(7));
+        assert_eq!(g.num_nodes(), 500);
+        // m edges per node after the seed: m*(n - m - 1) + m.
+        assert_eq!(g.num_edges(), 5 * (500 - 5 - 1) + 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = barabasi_albert(200, 3, &mut rng(42));
+        let g2 = barabasi_albert(200, 3, &mut rng(42));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for n in g1.node_ids() {
+            assert_eq!(g1.neighbors(n), g2.neighbors(n));
+        }
+        let g3 = barabasi_albert(200, 3, &mut rng(43));
+        let same = g1.node_ids().all(|n| g1.neighbors(n) == g3.neighbors(n));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 5, &mut rng(1));
+        let max_deg = g.max_degree();
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        // Hubs should far exceed the average degree.
+        assert!(
+            (max_deg as f64) > 4.0 * avg,
+            "max {max_deg} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn connected() {
+        let g = barabasi_albert(300, 2, &mut rng(5));
+        assert_eq!(ego_graph::stats::connected_components(&g), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 5, &mut rng(0));
+    }
+
+    #[test]
+    fn m1_is_a_tree() {
+        let g = barabasi_albert(100, 1, &mut rng(9));
+        assert_eq!(g.num_edges(), 99);
+        assert_eq!(ego_graph::stats::connected_components(&g), 1);
+        assert_eq!(ego_graph::stats::total_triangles(&g), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Erdős–Rényi random graphs.
+
+use ego_graph::{FastHashSet, Graph, GraphBuilder, Label, NodeId};
+use rand::Rng;
+
+/// `G(n, m)`: exactly `m` distinct edges chosen uniformly among all node
+/// pairs.
+///
+/// # Panics
+/// If `m` exceeds the number of possible edges.
+pub fn erdos_renyi_gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let possible = n * n.saturating_sub(1) / 2;
+    assert!(m <= possible, "m={m} exceeds {possible} possible edges");
+    let mut b = GraphBuilder::undirected().with_capacity(n, m);
+    b.add_nodes(n, Label::UNLABELED);
+    let mut seen: FastHashSet<(u32, u32)> = FastHashSet::default();
+    // Rejection sampling is fine for sparse graphs (the census workloads);
+    // for dense requests fall back to explicit enumeration.
+    if m * 3 < possible {
+        while seen.len() < m {
+            let a = rng.gen_range(0..n as u32);
+            let c = rng.gen_range(0..n as u32);
+            if a == c {
+                continue;
+            }
+            let key = (a.min(c), a.max(c));
+            if seen.insert(key) {
+                b.add_edge(NodeId(key.0), NodeId(key.1));
+            }
+        }
+    } else {
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(possible);
+        for a in 0..n as u32 {
+            for c in (a + 1)..n as u32 {
+                all.push((a, c));
+            }
+        }
+        // Partial Fisher-Yates.
+        for i in 0..m {
+            let j = rng.gen_range(i..all.len());
+            all.swap(i, j);
+            b.add_edge(NodeId(all[i].0), NodeId(all[i].1));
+        }
+    }
+    b.build()
+}
+
+/// `G(n, p)`: each pair independently an edge with probability `p`.
+pub fn erdos_renyi_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::undirected();
+    b.add_nodes(n, Label::UNLABELED);
+    if p >= 1.0 {
+        for a in 0..n {
+            for c in (a + 1)..n {
+                b.add_edge(NodeId::from_index(a), NodeId::from_index(c));
+            }
+        }
+        return b.build();
+    }
+    if p > 0.0 && n > 1 {
+        // Geometric skipping (Batagelj & Brandes): iterate only over
+        // realized edges in the lower triangle (w < v).
+        let log1p = (1.0 - p).ln();
+        let mut v: i64 = 1;
+        let mut w: i64 = -1;
+        while v < n as i64 {
+            let r: f64 = rng.gen(); // [0, 1)
+            let skip = ((1.0 - r).ln() / log1p).floor() as i64;
+            w += 1 + skip.max(0);
+            while w >= v && v < n as i64 {
+                w -= v;
+                v += 1;
+            }
+            if v < n as i64 {
+                b.add_edge(NodeId(w as u32), NodeId(v as u32));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(100, 250, &mut rng(3));
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        // 10 nodes, 45 possible; ask for 40 (dense branch).
+        let g = erdos_renyi_gnm(10, 40, &mut rng(3));
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn gnm_complete() {
+        let g = erdos_renyi_gnm(8, 28, &mut rng(0));
+        assert_eq!(g.num_edges(), 28);
+        assert_eq!(g.max_degree(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn gnm_too_many_edges() {
+        erdos_renyi_gnm(4, 100, &mut rng(0));
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, &mut rng(11));
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.2 * expected,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_zero_and_determinism() {
+        let g = erdos_renyi_gnp(50, 0.0, &mut rng(1));
+        assert_eq!(g.num_edges(), 0);
+        let a = erdos_renyi_gnp(100, 0.1, &mut rng(5));
+        let b = erdos_renyi_gnp(100, 0.1, &mut rng(5));
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

@@ -1,0 +1,150 @@
+//! Label and attribute decoration for generated graphs.
+
+use ego_graph::{AttrValue, Graph, GraphBuilder, Label};
+use rand::Rng;
+
+/// Return a copy of `g` with labels drawn uniformly from `0..num_labels`
+/// ("For labeled graphs, the labels are generated randomly", Section V).
+pub fn assign_random_labels<R: Rng>(g: &Graph, num_labels: u16, rng: &mut R) -> Graph {
+    assert!(num_labels > 0);
+    rebuild(g, |b| {
+        for n in g.node_ids() {
+            b.set_label(n, Label(rng.gen_range(0..num_labels)));
+        }
+    })
+}
+
+/// Return a copy of `g` with each edge given a `sign` attribute of `+1`
+/// with probability `p_positive`, else `-1` — the signed networks of the
+/// structural-balance application (Section I).
+pub fn assign_random_signs<R: Rng>(g: &Graph, p_positive: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p_positive));
+    rebuild(g, |b| {
+        for (a, c) in g.edges() {
+            let sign = if rng.gen_bool(p_positive) { 1i64 } else { -1i64 };
+            b.set_edge_attr(a, c, "sign", sign);
+        }
+    })
+}
+
+/// Return a copy of `g` where each node gets an integer attribute `name`
+/// drawn uniformly from `range`.
+pub fn assign_random_int_attr<R: Rng>(
+    g: &Graph,
+    name: &str,
+    range: std::ops::Range<i64>,
+    rng: &mut R,
+) -> Graph {
+    rebuild(g, |b| {
+        for n in g.node_ids() {
+            b.set_node_attr(n, name, AttrValue::Int(rng.gen_range(range.clone())));
+        }
+    })
+}
+
+/// Copy `g` into a builder (structure, labels, and node attributes are not
+/// carried — labels only), apply `f`, rebuild.
+fn rebuild(g: &Graph, f: impl FnOnce(&mut GraphBuilder)) -> Graph {
+    let mut b = if g.is_directed() {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    b = b.with_capacity(g.num_nodes(), g.num_edges());
+    for n in g.node_ids() {
+        b.add_node(g.label(n));
+    }
+    for (a, c) in g.edges() {
+        b.add_edge(a, c);
+    }
+    // Carry existing attributes forward.
+    for name in g.node_attrs().attribute_names() {
+        for (n, v) in g.node_attrs().column(name) {
+            b.set_node_attr(n, name, v.clone());
+        }
+    }
+    for name in g.edge_attrs().attribute_names() {
+        for (a, c) in g.edges() {
+            if let Some(v) = g.edge_attr(a, c, name) {
+                b.set_edge_attr(a, c, name, v.clone());
+            }
+        }
+    }
+    f(&mut b);
+    b.build()
+}
+
+/// Number of nodes carrying each label (diagnostics for label balance).
+pub fn label_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.num_labels() as usize];
+    for n in g.node_ids() {
+        hist[g.label(n).index()] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{barabasi_albert, rng};
+    use ego_graph::NodeId;
+
+    #[test]
+    fn labels_roughly_uniform() {
+        let g = barabasi_albert(2000, 3, &mut rng(0));
+        let lg = assign_random_labels(&g, 4, &mut rng(1));
+        assert_eq!(lg.num_labels(), 4);
+        let hist = label_histogram(&lg);
+        assert_eq!(hist.iter().sum::<usize>(), 2000);
+        for &c in &hist {
+            assert!((350..=650).contains(&c), "unbalanced: {hist:?}");
+        }
+        // Structure preserved.
+        assert_eq!(lg.num_edges(), g.num_edges());
+        for n in g.node_ids() {
+            assert_eq!(lg.neighbors(n), g.neighbors(n));
+        }
+    }
+
+    #[test]
+    fn signs_cover_all_edges() {
+        let g = barabasi_albert(100, 2, &mut rng(0));
+        let sg = assign_random_signs(&g, 0.7, &mut rng(2));
+        let mut pos = 0;
+        let mut neg = 0;
+        for (a, c) in sg.edges() {
+            match sg.edge_attr(a, c, "sign") {
+                Some(AttrValue::Int(1)) => pos += 1,
+                Some(AttrValue::Int(-1)) => neg += 1,
+                other => panic!("missing sign: {other:?}"),
+            }
+        }
+        assert_eq!(pos + neg, sg.num_edges());
+        assert!(pos > neg);
+    }
+
+    #[test]
+    fn int_attr_in_range() {
+        let g = barabasi_albert(50, 2, &mut rng(0));
+        let ag = assign_random_int_attr(&g, "age", 18..65, &mut rng(3));
+        for n in ag.node_ids() {
+            match ag.node_attr(n, "age") {
+                Some(AttrValue::Int(v)) => assert!((18..65).contains(v)),
+                other => panic!("missing age: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn decorations_stack() {
+        let g = barabasi_albert(50, 2, &mut rng(0));
+        let g = assign_random_labels(&g, 3, &mut rng(1));
+        let g = assign_random_signs(&g, 0.5, &mut rng(2));
+        let g = assign_random_int_attr(&g, "age", 0..10, &mut rng(3));
+        // All three decorations present.
+        assert!(g.num_labels() <= 3);
+        let (a, c) = g.edges().next().unwrap();
+        assert!(g.edge_attr(a, c, "sign").is_some());
+        assert!(g.node_attr(NodeId(0), "age").is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! # ego-datagen
+//!
+//! Synthetic graph and workload generators for the experimental
+//! evaluation (Section V).
+//!
+//! * [`ba`] — Barabási–Albert preferential attachment, the paper's
+//!   generator ("synthetic database graphs generated according to the
+//!   preferential attachment model"); `m = 5` reproduces the paper's
+//!   `|E| = 5 |V|` setting.
+//! * [`er`] — Erdős–Rényi `G(n, m)` / `G(n, p)` for robustness tests.
+//! * [`ws`] — Watts–Strogatz small-world graphs (high clustering, so
+//!   triangle-heavy census workloads).
+//! * [`labeler`] — uniform random labels ("labels are generated
+//!   randomly"), attribute decoration, and ±1 edge signs for the
+//!   structural-balance application.
+//! * [`dblp`] — a community-structured temporal co-authorship generator
+//!   standing in for the paper's DBLP snapshot (SIGMOD/VLDB/ICDE
+//!   2001–2010), which is not available offline. It produces a train
+//!   graph (years 0..split) and test pairs (new collaborations in
+//!   years split..horizon), preserving what the link prediction
+//!   experiment exercises: skewed collaboration degree, triadic closure,
+//!   and temporally persistent communities.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod ba;
+pub mod dblp;
+pub mod er;
+pub mod labeler;
+pub mod ws;
+
+pub use ba::barabasi_albert;
+pub use dblp::{DblpConfig, DblpData};
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use labeler::{assign_random_labels, assign_random_signs};
+pub use ws::watts_strogatz;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Create the crate's deterministic RNG from a seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,273 @@
+//! Attribute storage for nodes and edges.
+//!
+//! The data model (Section II) allows arbitrary attribute-value pairs on
+//! both nodes and edges, with attribute references interpreted dynamically
+//! ("the list of attributes does not have to be pre-specified"). We store
+//! attributes sparsely: most algorithmic work touches only the label, so
+//! attribute lookups happen during predicate evaluation only.
+
+use crate::hash::FastHashMap;
+use crate::ids::NodeId;
+use std::fmt;
+
+/// A dynamically-typed attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Numeric view (ints widen to float) for comparison purposes.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Compare two values for equality with Int/Float coercion.
+    pub fn loosely_eq(&self, other: &AttrValue) -> bool {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => a == b,
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// Total order for comparison predicates; `None` if incomparable types.
+    pub fn partial_cmp_loose(&self, other: &AttrValue) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.cmp(b)),
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => Some(a.cmp(b)),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a.partial_cmp(&b),
+                _ => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// Sparse attribute store: attribute name -> (node -> value).
+///
+/// Organized column-wise so that evaluating one predicate over many nodes
+/// touches a single map, and nodes without the attribute cost nothing.
+#[derive(Clone, Debug, Default)]
+pub struct AttrStore {
+    columns: FastHashMap<String, FastHashMap<u32, AttrValue>>,
+}
+
+impl AttrStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `name` = `value` for `node`.
+    pub fn set(&mut self, node: NodeId, name: &str, value: AttrValue) {
+        self.columns
+            .entry(name.to_string())
+            .or_default()
+            .insert(node.0, value);
+    }
+
+    /// Get the value of `name` for `node`, if present.
+    pub fn get(&self, node: NodeId, name: &str) -> Option<&AttrValue> {
+        self.columns.get(name)?.get(&node.0)
+    }
+
+    /// Iterate all `(node, value)` pairs of one attribute column.
+    pub fn column(&self, name: &str) -> impl Iterator<Item = (NodeId, &AttrValue)> + '_ {
+        self.columns
+            .get(name)
+            .into_iter()
+            .flat_map(|col| col.iter().map(|(&n, v)| (NodeId(n), v)))
+    }
+
+    /// Names of all attribute columns present.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+
+    /// Number of attribute columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if no attribute has ever been set.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// Sparse attribute store for edges, keyed by (source, target) pairs.
+///
+/// For undirected graphs the key is normalized to (min, max) so lookups
+/// succeed from either endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeAttrStore {
+    columns: FastHashMap<String, FastHashMap<(u32, u32), AttrValue>>,
+    directed: bool,
+}
+
+impl EdgeAttrStore {
+    /// Empty store; `directed` controls key normalization.
+    pub fn new(directed: bool) -> Self {
+        EdgeAttrStore {
+            columns: FastHashMap::default(),
+            directed,
+        }
+    }
+
+    fn key(&self, a: NodeId, b: NodeId) -> (u32, u32) {
+        if self.directed || a.0 <= b.0 {
+            (a.0, b.0)
+        } else {
+            (b.0, a.0)
+        }
+    }
+
+    /// Set `name` = `value` for edge `(a, b)`.
+    pub fn set(&mut self, a: NodeId, b: NodeId, name: &str, value: AttrValue) {
+        let key = self.key(a, b);
+        self.columns
+            .entry(name.to_string())
+            .or_default()
+            .insert(key, value);
+    }
+
+    /// Get the value of `name` for edge `(a, b)`, if present.
+    pub fn get(&self, a: NodeId, b: NodeId, name: &str) -> Option<&AttrValue> {
+        let key = self.key(a, b);
+        self.columns.get(name)?.get(&key)
+    }
+
+    /// True if no attribute has ever been set.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Names of all edge-attribute columns present.
+    pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_attr_set_get() {
+        let mut s = AttrStore::new();
+        s.set(NodeId(3), "age", AttrValue::Int(30));
+        s.set(NodeId(3), "name", "carol".into());
+        s.set(NodeId(5), "age", AttrValue::Int(40));
+
+        assert_eq!(s.get(NodeId(3), "age"), Some(&AttrValue::Int(30)));
+        assert_eq!(s.get(NodeId(3), "name"), Some(&AttrValue::Str("carol".into())));
+        assert_eq!(s.get(NodeId(4), "age"), None);
+        assert_eq!(s.get(NodeId(3), "height"), None);
+        assert_eq!(s.num_columns(), 2);
+    }
+
+    #[test]
+    fn column_iteration() {
+        let mut s = AttrStore::new();
+        s.set(NodeId(0), "x", AttrValue::Int(1));
+        s.set(NodeId(1), "x", AttrValue::Int(2));
+        let mut got: Vec<_> = s.column("x").map(|(n, v)| (n.0, v.clone())).collect();
+        got.sort_by_key(|(n, _)| *n);
+        assert_eq!(got, vec![(0, AttrValue::Int(1)), (1, AttrValue::Int(2))]);
+        assert_eq!(s.column("missing").count(), 0);
+    }
+
+    #[test]
+    fn loose_equality_coerces_numerics() {
+        assert!(AttrValue::Int(3).loosely_eq(&AttrValue::Float(3.0)));
+        assert!(!AttrValue::Int(3).loosely_eq(&AttrValue::Str("3".into())));
+        assert!(AttrValue::Str("a".into()).loosely_eq(&AttrValue::Str("a".into())));
+        assert!(AttrValue::Bool(true).loosely_eq(&AttrValue::Bool(true)));
+        assert!(!AttrValue::Bool(true).loosely_eq(&AttrValue::Int(1)));
+    }
+
+    #[test]
+    fn loose_comparison() {
+        use std::cmp::Ordering::*;
+        assert_eq!(
+            AttrValue::Int(2).partial_cmp_loose(&AttrValue::Float(3.0)),
+            Some(Less)
+        );
+        assert_eq!(
+            AttrValue::Str("b".into()).partial_cmp_loose(&AttrValue::Str("a".into())),
+            Some(Greater)
+        );
+        assert_eq!(
+            AttrValue::Str("b".into()).partial_cmp_loose(&AttrValue::Int(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn edge_attrs_undirected_normalization() {
+        let mut s = EdgeAttrStore::new(false);
+        s.set(NodeId(5), NodeId(2), "sign", AttrValue::Int(-1));
+        assert_eq!(s.get(NodeId(2), NodeId(5), "sign"), Some(&AttrValue::Int(-1)));
+        assert_eq!(s.get(NodeId(5), NodeId(2), "sign"), Some(&AttrValue::Int(-1)));
+    }
+
+    #[test]
+    fn edge_attrs_directed_no_normalization() {
+        let mut s = EdgeAttrStore::new(true);
+        s.set(NodeId(5), NodeId(2), "w", AttrValue::Int(7));
+        assert_eq!(s.get(NodeId(5), NodeId(2), "w"), Some(&AttrValue::Int(7)));
+        assert_eq!(s.get(NodeId(2), NodeId(5), "w"), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Incremental graph construction.
+
+use crate::attrs::{AttrStore, AttrValue, EdgeAttrStore};
+use crate::graph::Graph;
+use crate::ids::{Label, NodeId};
+
+/// Builds a [`Graph`] incrementally, then freezes it into CSR form.
+///
+/// Parallel edges and self-loops are dropped at [`GraphBuilder::build`]
+/// time (the paper's data model works on simple graphs). Labels may be
+/// assigned at node-creation time or re-assigned later.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    directed: bool,
+    labels: Vec<Label>,
+    edges: Vec<(NodeId, NodeId)>,
+    node_attrs: AttrStore,
+    edge_attrs: Option<EdgeAttrStore>,
+}
+
+impl GraphBuilder {
+    /// A builder for an undirected graph.
+    pub fn undirected() -> Self {
+        Self::new(false)
+    }
+
+    /// A builder for a directed graph.
+    pub fn directed() -> Self {
+        Self::new(true)
+    }
+
+    fn new(directed: bool) -> Self {
+        GraphBuilder {
+            directed,
+            labels: Vec::new(),
+            edges: Vec::new(),
+            node_attrs: AttrStore::new(),
+            edge_attrs: None,
+        }
+    }
+
+    /// Pre-size internal buffers.
+    pub fn with_capacity(mut self, nodes: usize, edges: usize) -> Self {
+        self.labels.reserve(nodes);
+        self.edges.reserve(edges);
+        self
+    }
+
+    /// Add a node with the given label; returns its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = NodeId::from_index(self.labels.len());
+        self.labels.push(label);
+        id
+    }
+
+    /// Add `count` nodes all carrying `label`; returns the first new id.
+    pub fn add_nodes(&mut self, count: usize, label: Label) -> NodeId {
+        let first = NodeId::from_index(self.labels.len());
+        self.labels.resize(self.labels.len() + count, label);
+        first
+    }
+
+    /// Current number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Overwrite the label of an existing node.
+    pub fn set_label(&mut self, n: NodeId, label: Label) {
+        self.labels[n.index()] = label;
+    }
+
+    /// Add an edge. For directed builders the edge is `a -> b`. Self-loops
+    /// and duplicates are silently dropped during `build`.
+    ///
+    /// # Panics
+    /// If either endpoint has not been added.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(
+            a.index() < self.labels.len() && b.index() < self.labels.len(),
+            "edge ({a:?}, {b:?}) references a node that was never added"
+        );
+        self.edges.push((a, b));
+    }
+
+    /// Set a node attribute.
+    pub fn set_node_attr(&mut self, n: NodeId, name: &str, value: impl Into<AttrValue>) {
+        self.node_attrs.set(n, name, value.into());
+    }
+
+    /// Set an edge attribute. The edge does not need to exist yet.
+    pub fn set_edge_attr(&mut self, a: NodeId, b: NodeId, name: &str, value: impl Into<AttrValue>) {
+        self.edge_attrs
+            .get_or_insert_with(|| EdgeAttrStore::new(self.directed))
+            .set(a, b, name, value.into());
+    }
+
+    /// Freeze into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.labels.len();
+        let num_labels = self
+            .labels
+            .iter()
+            .map(|l| l.0)
+            .max()
+            .map_or(1, |m| m + 1);
+
+        // Deduplicate and drop self-loops. For directed graphs (a,b) and
+        // (b,a) are distinct; for undirected they are normalized.
+        let mut edges: Vec<(NodeId, NodeId)> = self
+            .edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| {
+                if !self.directed && b < a {
+                    (b, a)
+                } else {
+                    (a, b)
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let num_edges = edges.len();
+
+        // Build the undirected view: both directions of every edge,
+        // deduplicated (antiparallel directed pairs collapse to one entry).
+        let mut und_pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(edges.len() * 2);
+        for &(a, b) in &edges {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            und_pairs.push((lo, hi));
+        }
+        und_pairs.sort_unstable();
+        und_pairs.dedup();
+
+        let (und_offsets, und_targets) = csr_from_symmetric(n, &und_pairs);
+
+        let (out_offsets, out_targets, in_offsets, in_targets) = if self.directed {
+            let (oo, ot) = csr_from_oriented(n, edges.iter().copied());
+            let (io, it) = csr_from_oriented(n, edges.iter().map(|&(a, b)| (b, a)));
+            (oo, ot, io, it)
+        } else {
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+        };
+
+        Graph {
+            directed: self.directed,
+            labels: self.labels,
+            num_labels,
+            und_offsets,
+            und_targets,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            num_edges,
+            node_attrs: self.node_attrs,
+            edge_attrs: self.edge_attrs.unwrap_or_else(|| EdgeAttrStore::new(self.directed)),
+        }
+    }
+}
+
+/// Build CSR from normalized (lo, hi) pairs, emitting both directions.
+fn csr_from_symmetric(n: usize, pairs: &[(NodeId, NodeId)]) -> (Vec<u32>, Vec<NodeId>) {
+    let mut degree = vec![0u32; n];
+    for &(a, b) in pairs {
+        degree[a.index()] += 1;
+        degree[b.index()] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut targets = vec![NodeId(0); acc as usize];
+    for &(a, b) in pairs {
+        targets[cursor[a.index()] as usize] = b;
+        cursor[a.index()] += 1;
+        targets[cursor[b.index()] as usize] = a;
+        cursor[b.index()] += 1;
+    }
+    sort_adjacency(&offsets, &mut targets);
+    (offsets, targets)
+}
+
+/// Build CSR from oriented (src, dst) pairs.
+fn csr_from_oriented(
+    n: usize,
+    pairs: impl Iterator<Item = (NodeId, NodeId)> + Clone,
+) -> (Vec<u32>, Vec<NodeId>) {
+    let mut degree = vec![0u32; n];
+    for (a, _) in pairs.clone() {
+        degree[a.index()] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let mut targets = vec![NodeId(0); acc as usize];
+    for (a, b) in pairs {
+        targets[cursor[a.index()] as usize] = b;
+        cursor[a.index()] += 1;
+    }
+    sort_adjacency(&offsets, &mut targets);
+    (offsets, targets)
+}
+
+fn sort_adjacency(offsets: &[u32], targets: &mut [NodeId]) {
+    for w in offsets.windows(2) {
+        targets[w[0] as usize..w[1] as usize].sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loop_removal() {
+        let mut b = GraphBuilder::undirected();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n0); // duplicate (reversed)
+        b.add_edge(n0, n1); // duplicate
+        b.add_edge(n0, n0); // self loop
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(n0), &[n1]);
+        assert_eq!(g.neighbors(n1), &[n0]);
+    }
+
+    #[test]
+    fn directed_dedup_keeps_antiparallel() {
+        let mut b = GraphBuilder::directed();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = GraphBuilder::undirected();
+        let first = b.add_nodes(10, Label(2));
+        assert_eq!(first, NodeId(0));
+        assert_eq!(b.num_nodes(), 10);
+        b.set_label(NodeId(3), Label(5));
+        let g = b.build();
+        assert_eq!(g.label(NodeId(0)), Label(2));
+        assert_eq!(g.label(NodeId(3)), Label(5));
+        assert_eq!(g.num_labels(), 6);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let mut b = GraphBuilder::undirected();
+        for _ in 0..6 {
+            b.add_node(Label(0));
+        }
+        // Insert edges in scrambled order.
+        for &t in &[5u32, 2, 4, 1, 3] {
+            b.add_edge(NodeId(0), NodeId(t));
+        }
+        let g = b.build();
+        let ns: Vec<u32> = g.neighbors(NodeId(0)).iter().map(|n| n.0).collect();
+        assert_eq!(ns, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn attributes_survive_build() {
+        let mut b = GraphBuilder::undirected();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.set_node_attr(n0, "org", "acme");
+        b.set_edge_attr(n0, n1, "since", 2001i64);
+        let g = b.build();
+        assert_eq!(g.node_attr(n0, "org"), Some(&AttrValue::Str("acme".into())));
+        assert_eq!(g.edge_attr(n1, n0, "since"), Some(&AttrValue::Int(2001)));
+    }
+
+    #[test]
+    #[should_panic(expected = "never added")]
+    fn edge_to_missing_node_panics() {
+        let mut b = GraphBuilder::undirected();
+        let n0 = b.add_node(Label(0));
+        b.add_edge(n0, NodeId(7));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighborhoods() {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(3, Label(0));
+        let g = b.build();
+        for n in g.node_ids() {
+            assert!(g.neighbors(n).is_empty());
+        }
+    }
+}

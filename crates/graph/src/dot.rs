@@ -1,0 +1,96 @@
+//! Graphviz DOT export, for eyeballing small graphs and census results.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+use std::fmt::Write as _;
+
+/// Color palette cycled by label.
+const COLORS: &[&str] = &[
+    "lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightgray",
+];
+
+/// Render `g` as DOT. Node labels show `id:label`; an optional
+/// `highlight` function can annotate nodes (e.g. census counts shown as
+/// a second line and bolder peripheries for non-zero counts).
+pub fn to_dot(g: &Graph, highlight: Option<&dyn Fn(NodeId) -> Option<String>>) -> String {
+    let mut out = String::new();
+    let (gtype, arrow) = if g.is_directed() {
+        ("digraph", "->")
+    } else {
+        ("graph", "--")
+    };
+    let _ = writeln!(out, "{gtype} egocensus {{");
+    let _ = writeln!(out, "  node [style=filled];");
+    for n in g.node_ids() {
+        let l = g.label(n);
+        let color = COLORS[l.index() % COLORS.len()];
+        let extra = highlight.and_then(|f| f(n));
+        let label = match &extra {
+            Some(e) => format!("{n}:{l}\\n{e}"),
+            None => format!("{n}:{l}"),
+        };
+        let penwidth = if extra.is_some() { 2.0 } else { 1.0 };
+        let _ = writeln!(
+            out,
+            "  n{n} [label=\"{label}\", fillcolor={color}, penwidth={penwidth}];"
+        );
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(out, "  n{a} {arrow} n{b};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::Label;
+
+    fn small() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_node(Label(0));
+        b.add_node(Label(1));
+        b.add_node(Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.build()
+    }
+
+    #[test]
+    fn undirected_dot_structure() {
+        let dot = to_dot(&small(), None);
+        assert!(dot.starts_with("graph egocensus {"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.contains("n1 -- n2;"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("fillcolor=lightsalmon"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn directed_uses_arrows() {
+        let mut b = GraphBuilder::directed();
+        b.add_nodes(2, Label(0));
+        b.add_edge(NodeId(1), NodeId(0));
+        let dot = to_dot(&b.build(), None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n1 -> n0;"));
+    }
+
+    #[test]
+    fn highlight_annotations() {
+        let g = small();
+        let f = |n: NodeId| {
+            if n.0 == 1 {
+                Some("count=7".to_string())
+            } else {
+                None
+            }
+        };
+        let dot = to_dot(&g, Some(&f));
+        assert!(dot.contains("count=7"));
+        assert!(dot.contains("penwidth=2"));
+    }
+}

@@ -1,0 +1,305 @@
+//! The CSR graph type.
+
+use crate::attrs::{AttrStore, AttrValue, EdgeAttrStore};
+use crate::ids::{Label, NodeId};
+
+/// An immutable labeled, attributed graph in compressed-sparse-row form.
+///
+/// Construction goes through [`crate::GraphBuilder`]. Neighbor lists are
+/// sorted by node id, which gives:
+///
+/// * O(log d) edge-membership tests via binary search,
+/// * linear-time sorted-list intersection for the candidate-neighbor
+///   operations of the matching algorithm,
+/// * deterministic iteration order everywhere.
+///
+/// Directed graphs keep three adjacency structures: out-neighbors,
+/// in-neighbors, and the *undirected view* (union of both, deduplicated).
+/// The undirected view is what `k`-hop neighborhoods traverse: the paper
+/// defines `S(n, k)` as the subgraph incident on nodes *reachable* from
+/// `n`, and its neighborhood semantics ignore edge orientation. For
+/// undirected graphs all three views are the same arrays.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    pub(crate) directed: bool,
+    pub(crate) labels: Vec<Label>,
+    pub(crate) num_labels: u16,
+
+    /// Undirected view: offsets into `und_targets`, length `n + 1`.
+    pub(crate) und_offsets: Vec<u32>,
+    pub(crate) und_targets: Vec<NodeId>,
+
+    /// Directed views; empty for undirected graphs (use the undirected view).
+    pub(crate) out_offsets: Vec<u32>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) in_offsets: Vec<u32>,
+    pub(crate) in_targets: Vec<NodeId>,
+
+    /// Count of distinct edges (undirected edges counted once).
+    pub(crate) num_edges: usize,
+
+    pub(crate) node_attrs: AttrStore,
+    pub(crate) edge_attrs: EdgeAttrStore,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of distinct edges (an undirected edge counts once; a directed
+    /// edge and its reverse count as two).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether edges are directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Size of the label space (labels are `0..num_labels`).
+    #[inline]
+    pub fn num_labels(&self) -> u16 {
+        self.num_labels
+    }
+
+    /// The label of `n`.
+    #[inline(always)]
+    pub fn label(&self, n: NodeId) -> Label {
+        self.labels[n.index()]
+    }
+
+    /// All node labels, indexed by node id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// Neighbors of `n` in the undirected view, sorted by id.
+    #[inline(always)]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        let lo = self.und_offsets[n.index()] as usize;
+        let hi = self.und_offsets[n.index() + 1] as usize;
+        &self.und_targets[lo..hi]
+    }
+
+    /// Degree of `n` in the undirected view.
+    #[inline(always)]
+    pub fn degree(&self, n: NodeId) -> usize {
+        (self.und_offsets[n.index() + 1] - self.und_offsets[n.index()]) as usize
+    }
+
+    /// Out-neighbors of `n` (same as [`Self::neighbors`] for undirected graphs).
+    #[inline(always)]
+    pub fn out_neighbors(&self, n: NodeId) -> &[NodeId] {
+        if !self.directed {
+            return self.neighbors(n);
+        }
+        let lo = self.out_offsets[n.index()] as usize;
+        let hi = self.out_offsets[n.index() + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbors of `n` (same as [`Self::neighbors`] for undirected graphs).
+    #[inline(always)]
+    pub fn in_neighbors(&self, n: NodeId) -> &[NodeId] {
+        if !self.directed {
+            return self.neighbors(n);
+        }
+        let lo = self.in_offsets[n.index()] as usize;
+        let hi = self.in_offsets[n.index() + 1] as usize;
+        &self.in_targets[lo..hi]
+    }
+
+    /// True if `a` and `b` are adjacent in the undirected view.
+    #[inline]
+    pub fn has_undirected_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// True if the directed edge `a -> b` exists. For undirected graphs this
+    /// is adjacency.
+    #[inline]
+    pub fn has_directed_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.out_neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Node attribute store.
+    #[inline]
+    pub fn node_attrs(&self) -> &AttrStore {
+        &self.node_attrs
+    }
+
+    /// Edge attribute store.
+    #[inline]
+    pub fn edge_attrs(&self) -> &EdgeAttrStore {
+        &self.edge_attrs
+    }
+
+    /// Convenience: node attribute lookup.
+    pub fn node_attr(&self, n: NodeId, name: &str) -> Option<&AttrValue> {
+        self.node_attrs.get(n, name)
+    }
+
+    /// Convenience: edge attribute lookup.
+    pub fn edge_attr(&self, a: NodeId, b: NodeId, name: &str) -> Option<&AttrValue> {
+        self.edge_attrs.get(a, b, name)
+    }
+
+    /// Iterator over distinct edges. For undirected graphs each edge is
+    /// yielded once with `a < b`; for directed graphs each `(src, dst)` pair
+    /// is yielded once.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        let directed = self.directed;
+        self.node_ids().flat_map(move |a| {
+            let neigh = if directed {
+                self.out_neighbors(a)
+            } else {
+                self.neighbors(a)
+            };
+            neigh
+                .iter()
+                .copied()
+                .filter(move |&b| directed || a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
+    /// Maximum undirected degree over all nodes (0 for empty graphs).
+    pub fn max_degree(&self) -> usize {
+        self.node_ids().map(|n| self.degree(n)).max().unwrap_or(0)
+    }
+
+    /// The `count` highest-degree nodes (ties broken by lower id), used for
+    /// degree-centrality center selection (Section IV-B4).
+    pub fn top_degree_nodes(&self, count: usize) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.node_ids().collect();
+        nodes.sort_by_key(|&n| (std::cmp::Reverse(self.degree(n)), n));
+        nodes.truncate(count);
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::ids::{Label, NodeId};
+
+    fn path3_undirected() -> super::Graph {
+        // 0 - 1 - 2
+        let mut b = GraphBuilder::undirected();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(1));
+        let n2 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n2);
+        b.build()
+    }
+
+    #[test]
+    fn undirected_adjacency() {
+        let g = path3_undirected();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.is_directed());
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert!(g.has_undirected_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_undirected_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_undirected_edge(NodeId(0), NodeId(2)));
+        // For undirected graphs directed adjacency == adjacency.
+        assert!(g.has_directed_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_directed_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn directed_adjacency_and_views() {
+        // 0 -> 1 -> 2, and 2 -> 0
+        let mut b = GraphBuilder::directed();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        let n2 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n2);
+        b.add_edge(n2, n0);
+        let g = b.build();
+
+        assert!(g.is_directed());
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(g.in_neighbors(NodeId(0)), &[NodeId(2)]);
+        // Undirected view merges both directions.
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert!(g.has_directed_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_directed_edge(NodeId(1), NodeId(0)));
+        assert!(g.has_undirected_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn antiparallel_directed_edges_count_separately() {
+        let mut b = GraphBuilder::directed();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        // But the undirected view has one neighbor entry each.
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn edges_iterator_undirected_yields_each_once() {
+        let g = path3_undirected();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn edges_iterator_directed_yields_oriented() {
+        let mut b = GraphBuilder::directed();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        b.add_edge(n1, n0);
+        let g = b.build();
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(NodeId(1), NodeId(0))]);
+    }
+
+    #[test]
+    fn top_degree_nodes_orders_by_degree_then_id() {
+        // Star around 1 plus an edge 2-3: degrees 1:3, 2:2, and 0/3/4 tie at 1
+        // (lowest id wins the tie).
+        let mut b = GraphBuilder::undirected();
+        for _ in 0..5 {
+            b.add_node(Label(0));
+        }
+        b.add_edge(NodeId(1), NodeId(0));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(1), NodeId(4));
+        b.add_edge(NodeId(2), NodeId(3));
+        let g = b.build();
+        assert_eq!(g.top_degree_nodes(3), vec![NodeId(1), NodeId(2), NodeId(0)]);
+        assert_eq!(g.top_degree_nodes(0), Vec::<NodeId>::new());
+        assert_eq!(g.top_degree_nodes(100).len(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.node_ids().count(), 0);
+    }
+}

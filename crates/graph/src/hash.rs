@@ -1,0 +1,142 @@
+//! Fast, non-cryptographic hashing for hot hash-table paths.
+//!
+//! The census algorithms hash node ids (small integers) constantly —
+//! pattern-match indexes, visited sets, candidate sets. The standard
+//! library's SipHash is collision-resistant but slow for integer keys, so
+//! we use the Fx hash algorithm (the multiply-xor hash used by rustc),
+//! implemented here directly to keep the dependency set to the approved
+//! list. HashDoS is not a concern: all inputs are internally generated.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with the Fx hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with the Fx hasher.
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hash function: for each input word, `hash = (hash.rotl(5) ^ word) * SEED`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline(always)]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) | ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline(always)]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline(always)]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline(always)]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_basic_ops() {
+        let mut m: FastHashMap<u32, &str> = FastHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+
+        let mut s: FastHashSet<u64> = FastHashSet::default();
+        for i in 0..1000u64 {
+            s.insert(i * 7);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(12345), h(12345));
+        assert_ne!(h(12345), h(12346));
+    }
+
+    #[test]
+    fn byte_stream_hashing_distinguishes_lengths() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        // Different-length zero-padded inputs must not collide trivially.
+        assert_ne!(h(&[0, 0, 0]), h(&[0, 0, 0, 0]));
+        assert_ne!(h(b"abc"), h(b"abd"));
+        // Long inputs exercise the chunked path.
+        assert_ne!(h(b"abcdefghijklmnop"), h(b"abcdefghijklmnoq"));
+    }
+
+    #[test]
+    fn integer_keys_have_low_collision_rate_in_low_bits() {
+        // Sanity check the hash spreads sequential keys: a table of 1<<12
+        // buckets should see most buckets occupied for 4096 sequential keys.
+        let mut buckets = vec![0u32; 1 << 12];
+        for i in 0..4096u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(i);
+            buckets[(hasher.finish() & 0xFFF) as usize] += 1;
+        }
+        let occupied = buckets.iter().filter(|&&c| c > 0).count();
+        assert!(occupied > 2000, "only {occupied} of 4096 buckets occupied");
+    }
+}

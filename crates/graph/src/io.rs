@@ -1,0 +1,401 @@
+//! Plain-text graph serialization.
+//!
+//! A deliberately simple, self-describing line format so generated
+//! datasets can be inspected, diffed, and shared:
+//!
+//! ```text
+//! # egocensus graph v1
+//! graph <directed|undirected> nodes=<n>
+//! node <id> <label> [key=value ...]
+//! edge <a> <b> [key=value ...]
+//! ```
+//!
+//! `node` lines may be omitted for nodes with label 0 and no attributes.
+//! Attribute values are typed by syntax: `123` is an Int, `1.5` a Float,
+//! `true`/`false` Bool, anything else a Str (no spaces).
+
+use crate::attrs::AttrValue;
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::{Label, NodeId};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from graph deserialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a line number.
+    Parse { line: usize, message: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Serialize `g` to `w` in the v1 text format.
+pub fn write_graph<W: Write>(g: &Graph, w: &mut W) -> std::io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "# egocensus graph v1").unwrap();
+    writeln!(
+        buf,
+        "graph {} nodes={}",
+        if g.is_directed() { "directed" } else { "undirected" },
+        g.num_nodes()
+    )
+    .unwrap();
+    for n in g.node_ids() {
+        let label = g.label(n);
+        let mut attrs: Vec<(String, String)> = g
+            .node_attrs()
+            .attribute_names()
+            .filter_map(|name| {
+                g.node_attr(n, name)
+                    .map(|v| (name.to_string(), format_value(v)))
+            })
+            .collect();
+        attrs.sort();
+        if label != Label::UNLABELED || !attrs.is_empty() {
+            write!(buf, "node {} {}", n.0, label.0).unwrap();
+            for (k, v) in attrs {
+                write!(buf, " {k}={v}").unwrap();
+            }
+            buf.push('\n');
+        }
+        if buf.len() > 1 << 16 {
+            w.write_all(buf.as_bytes())?;
+            buf.clear();
+        }
+    }
+    for (a, b) in g.edges() {
+        write!(buf, "edge {} {}", a.0, b.0).unwrap();
+        let mut attrs: Vec<(String, String)> = g
+            .edge_attrs()
+            .attribute_names()
+            .filter_map(|name| {
+                g.edge_attr(a, b, name)
+                    .map(|v| (name.to_string(), format_value(v)))
+            })
+            .collect();
+        attrs.sort();
+        for (k, v) in attrs {
+            write!(buf, " {k}={v}").unwrap();
+        }
+        buf.push('\n');
+        if buf.len() > 1 << 16 {
+            w.write_all(buf.as_bytes())?;
+            buf.clear();
+        }
+    }
+    w.write_all(buf.as_bytes())
+}
+
+fn format_value(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => {
+            // Ensure floats round-trip as floats even when integral.
+            let s = f.to_string();
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        AttrValue::Str(s) => s.clone(),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn parse_value(s: &str) -> AttrValue {
+    if s == "true" {
+        return AttrValue::Bool(true);
+    }
+    if s == "false" {
+        return AttrValue::Bool(false);
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return AttrValue::Int(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return AttrValue::Float(f);
+    }
+    AttrValue::Str(s.to_string())
+}
+
+/// Deserialize a graph from `r` in the v1 text format.
+pub fn read_graph<R: Read>(r: R) -> Result<Graph, IoError> {
+    let reader = BufReader::new(r);
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("graph") => {
+                let dir = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing directedness"))?;
+                let directed = match dir {
+                    "directed" => true,
+                    "undirected" => false,
+                    other => return Err(parse_err(lineno, format!("bad directedness `{other}`"))),
+                };
+                let nodes_kv = parts
+                    .next()
+                    .ok_or_else(|| parse_err(lineno, "missing nodes=<n>"))?;
+                let n: usize = nodes_kv
+                    .strip_prefix("nodes=")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad nodes=<n>"))?;
+                let mut b = if directed {
+                    GraphBuilder::directed()
+                } else {
+                    GraphBuilder::undirected()
+                };
+                b.add_nodes(n, Label::UNLABELED);
+                builder = Some(b);
+            }
+            Some("node") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(lineno, "node before graph header"))?;
+                let id: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad node id"))?;
+                let label: u16 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad label"))?;
+                if id as usize >= b.num_nodes() {
+                    return Err(parse_err(lineno, format!("node id {id} out of range")));
+                }
+                b.set_label(NodeId(id), Label(label));
+                for kv in parts {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| parse_err(lineno, format!("bad attr `{kv}`")))?;
+                    b.set_node_attr(NodeId(id), k, parse_value(v));
+                }
+            }
+            Some("edge") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(lineno, "edge before graph header"))?;
+                let a: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad edge source"))?;
+                let c: u32 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| parse_err(lineno, "bad edge target"))?;
+                if a as usize >= b.num_nodes() || c as usize >= b.num_nodes() {
+                    return Err(parse_err(lineno, "edge endpoint out of range"));
+                }
+                b.add_edge(NodeId(a), NodeId(c));
+                for kv in parts {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| parse_err(lineno, format!("bad attr `{kv}`")))?;
+                    b.set_edge_attr(NodeId(a), NodeId(c), k, parse_value(v));
+                }
+            }
+            Some(other) => {
+                return Err(parse_err(lineno, format!("unknown record `{other}`")));
+            }
+            None => unreachable!("empty lines filtered above"),
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| parse_err(0, "missing graph header"))
+}
+
+/// Read a plain edge list (SNAP / common research format): one `src dst`
+/// pair per line, whitespace-separated, `#`/`%` comment lines ignored.
+/// Node ids are taken literally (the graph allocates `0..=max_id` nodes);
+/// all nodes get [`Label::UNLABELED`].
+pub fn read_edge_list<R: Read>(r: R, directed: bool) -> Result<Graph, IoError> {
+    let reader = BufReader::new(r);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let a: u32 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad source id"))?;
+        let b: u32 = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| parse_err(lineno, "bad target id"))?;
+        max_id = max_id.max(a).max(b);
+        edges.push((a, b));
+    }
+    let mut builder = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    if !edges.is_empty() || max_id > 0 {
+        builder.add_nodes(max_id as usize + 1, Label::UNLABELED);
+    }
+    for (a, b) in edges {
+        builder.add_edge(NodeId(a), NodeId(b));
+    }
+    Ok(builder.build())
+}
+
+/// Serialize to an in-memory string.
+pub fn to_string(g: &Graph) -> String {
+    let mut out = Vec::new();
+    write_graph(g, &mut out).expect("writing to Vec cannot fail");
+    String::from_utf8(out).expect("format is ASCII")
+}
+
+/// Deserialize from a string.
+pub fn from_str(s: &str) -> Result<Graph, IoError> {
+    read_graph(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        let a = b.add_node(Label(1));
+        let c = b.add_node(Label(0));
+        let d = b.add_node(Label(2));
+        b.add_edge(a, c);
+        b.add_edge(c, d);
+        b.set_node_attr(a, "name", "alice");
+        b.set_node_attr(a, "age", 33i64);
+        b.set_edge_attr(a, c, "w", 0.5f64);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_undirected() {
+        let g = sample();
+        let text = to_string(&g);
+        let g2 = from_str(&text).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert!(!g2.is_directed());
+        for n in g.node_ids() {
+            assert_eq!(g2.label(n), g.label(n));
+            assert_eq!(g2.neighbors(n), g.neighbors(n));
+        }
+        assert_eq!(g2.node_attr(NodeId(0), "name"), Some(&AttrValue::Str("alice".into())));
+        assert_eq!(g2.node_attr(NodeId(0), "age"), Some(&AttrValue::Int(33)));
+        assert_eq!(g2.edge_attr(NodeId(0), NodeId(1), "w"), Some(&AttrValue::Float(0.5)));
+    }
+
+    #[test]
+    fn roundtrip_directed() {
+        let mut b = GraphBuilder::directed();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(0));
+        b.add_edge(NodeId(2), NodeId(0));
+        let g = b.build();
+        let g2 = from_str(&to_string(&g)).unwrap();
+        assert!(g2.is_directed());
+        assert_eq!(g2.num_edges(), 3);
+        assert!(g2.has_directed_edge(NodeId(0), NodeId(1)));
+        assert!(g2.has_directed_edge(NodeId(1), NodeId(0)));
+        assert!(g2.has_directed_edge(NodeId(2), NodeId(0)));
+        assert!(!g2.has_directed_edge(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn float_attrs_roundtrip_as_floats() {
+        let mut b = GraphBuilder::undirected();
+        let n = b.add_node(Label(0));
+        b.set_node_attr(n, "x", 2.0f64);
+        let g = b.build();
+        let g2 = from_str(&to_string(&g)).unwrap();
+        assert_eq!(g2.node_attr(NodeId(0), "x"), Some(&AttrValue::Float(2.0)));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(from_str("nonsense 1 2").is_err());
+        assert!(from_str("").is_err());
+        assert!(from_str("edge 0 1").is_err()); // before header
+        assert!(from_str("graph undirected nodes=1\nedge 0 5").is_err()); // out of range
+        assert!(from_str("graph sideways nodes=1").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\ngraph undirected nodes=2\n# another\nedge 0 1\n";
+        let g = from_str(text).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edge_list_import() {
+        let text = "# a SNAP-style comment\n% another\n0 1\n1 2\n2 0\n2 5\n";
+        let g = read_edge_list(text.as_bytes(), false).unwrap();
+        assert_eq!(g.num_nodes(), 6); // ids 0..=5, gaps become isolated nodes
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_undirected_edge(NodeId(2), NodeId(5)));
+        assert!(g.neighbors(NodeId(3)).is_empty());
+
+        let d = read_edge_list("0 1\n1 0\n".as_bytes(), true).unwrap();
+        assert!(d.is_directed());
+        assert_eq!(d.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_errors_and_empty() {
+        assert!(read_edge_list("0 x".as_bytes(), false).is_err());
+        assert!(read_edge_list("justone".as_bytes(), false).is_err());
+        let empty = read_edge_list("# nothing\n".as_bytes(), false).unwrap();
+        assert_eq!(empty.num_nodes(), 0);
+    }
+
+    #[test]
+    fn value_parsing_types() {
+        assert_eq!(parse_value("42"), AttrValue::Int(42));
+        assert_eq!(parse_value("4.5"), AttrValue::Float(4.5));
+        assert_eq!(parse_value("true"), AttrValue::Bool(true));
+        assert_eq!(parse_value("hello"), AttrValue::Str("hello".into()));
+    }
+}

@@ -1,0 +1,197 @@
+//! Search neighborhoods: `SUBGRAPH`, `SUBGRAPH-INTERSECTION`, `SUBGRAPH-UNION`.
+//!
+//! The language (Section II) supports three neighborhood types. This module
+//! computes their *node sets*; [`crate::subgraph`] turns a node set into the
+//! induced subgraph when an algorithm needs the actual edges.
+
+use crate::bfs::BfsScratch;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// The kind of search neighborhood named in a census query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NeighborhoodKind {
+    /// `SUBGRAPH(N, k)` — the k-hop neighborhood of one node.
+    Single,
+    /// `SUBGRAPH-INTERSECTION(N1, N2, k)` — nodes within k hops of *both*.
+    Intersection,
+    /// `SUBGRAPH-UNION(N1, N2, k)` — nodes within k hops of *either*.
+    Union,
+}
+
+/// Nodes within `k` hops of `n` (including `n`), sorted by id.
+pub fn khop_nodes(g: &Graph, n: NodeId, k: u32) -> Vec<NodeId> {
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut out = Vec::new();
+    scratch.bounded_bfs(g, n, k, &mut out);
+    out.sort_unstable();
+    out
+}
+
+/// Nodes within `k` hops of `n` with their distances, in nondecreasing
+/// distance order.
+pub fn khop_nodes_with_dist(g: &Graph, n: NodeId, k: u32) -> Vec<(NodeId, u32)> {
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut out = Vec::new();
+    scratch.bounded_bfs(g, n, k, &mut out);
+    out.into_iter().map(|m| (m, scratch.distance(m))).collect()
+}
+
+/// `N_k(n1) ∩ N_k(n2)`: nodes within `k` hops of both, sorted by id.
+///
+/// Implemented as two bounded BFS runs and a sorted-merge; uses caller
+/// scratch so pairwise census loops don't re-allocate.
+pub fn khop_intersection(
+    g: &Graph,
+    scratch: &mut BfsScratch,
+    n1: NodeId,
+    n2: NodeId,
+    k: u32,
+) -> Vec<NodeId> {
+    let mut a = Vec::new();
+    scratch.bounded_bfs(g, n1, k, &mut a);
+    a.sort_unstable();
+    let mut b = Vec::new();
+    scratch.bounded_bfs(g, n2, k, &mut b);
+    b.sort_unstable();
+    intersect_sorted(&a, &b)
+}
+
+/// `N_k(n1) ∪ N_k(n2)`: nodes within `k` hops of either, sorted by id.
+pub fn khop_union(
+    g: &Graph,
+    scratch: &mut BfsScratch,
+    n1: NodeId,
+    n2: NodeId,
+    k: u32,
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    scratch.bounded_bfs_multi(g, &[n1, n2], k, &mut out);
+    out.sort_unstable();
+    out
+}
+
+/// Intersection of two sorted, deduplicated node slices.
+pub fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    // Galloping pays off when the lists are very unbalanced; otherwise a
+    // linear merge is fastest. 32x is the usual crossover heuristic.
+    if long.len() / 32 > short.len() {
+        return short
+            .iter()
+            .copied()
+            .filter(|x| long.binary_search(x).is_ok())
+            .collect();
+    }
+    let mut out = Vec::with_capacity(short.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Set-difference `a \ b` of two sorted, deduplicated node slices.
+pub fn difference_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::Label;
+
+    /// 0-1-2-3-4 path.
+    fn path5() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(5, Label(0));
+        for i in 0u32..4 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn khop_sorted() {
+        let g = path5();
+        assert_eq!(khop_nodes(&g, NodeId(2), 1), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(khop_nodes(&g, NodeId(0), 2), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn khop_with_dist() {
+        let g = path5();
+        let d = khop_nodes_with_dist(&g, NodeId(0), 2);
+        assert_eq!(d, vec![(NodeId(0), 0), (NodeId(1), 1), (NodeId(2), 2)]);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let g = path5();
+        let mut s = BfsScratch::new(g.num_nodes());
+        // N_1(1) = {0,1,2}, N_1(3) = {2,3,4}
+        assert_eq!(khop_intersection(&g, &mut s, NodeId(1), NodeId(3), 1), vec![NodeId(2)]);
+        assert_eq!(
+            khop_union(&g, &mut s, NodeId(1), NodeId(3), 1),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn intersection_of_identical_nodes_is_khop() {
+        let g = path5();
+        let mut s = BfsScratch::new(g.num_nodes());
+        assert_eq!(
+            khop_intersection(&g, &mut s, NodeId(2), NodeId(2), 1),
+            khop_nodes(&g, NodeId(2), 1)
+        );
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let g = path5();
+        let mut s = BfsScratch::new(g.num_nodes());
+        assert!(khop_intersection(&g, &mut s, NodeId(0), NodeId(4), 1).is_empty());
+    }
+
+    #[test]
+    fn sorted_set_ops() {
+        let a: Vec<NodeId> = [1u32, 3, 5, 7].iter().map(|&i| NodeId(i)).collect();
+        let b: Vec<NodeId> = [3u32, 4, 5].iter().map(|&i| NodeId(i)).collect();
+        assert_eq!(intersect_sorted(&a, &b), vec![NodeId(3), NodeId(5)]);
+        assert_eq!(intersect_sorted(&b, &a), vec![NodeId(3), NodeId(5)]);
+        assert_eq!(difference_sorted(&a, &b), vec![NodeId(1), NodeId(7)]);
+        assert_eq!(difference_sorted(&b, &a), vec![NodeId(4)]);
+        assert_eq!(intersect_sorted(&a, &[]), vec![]);
+        assert_eq!(difference_sorted(&a, &[]), a);
+    }
+
+    #[test]
+    fn galloping_path_matches_merge_path() {
+        let long: Vec<NodeId> = (0..10_000u32).map(NodeId).collect();
+        let short: Vec<NodeId> = [5u32, 9_999, 20_000].iter().map(|&i| NodeId(i)).collect();
+        assert_eq!(
+            intersect_sorted(&short, &long),
+            vec![NodeId(5), NodeId(9_999)]
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Node profiles: the per-label neighbor-count index (Section III-A).
+//!
+//! A node's profile is the vector `<|N^l1(n)|, ..., |N^lL(n)|>` of neighbor
+//! counts per label. A database node `n` is a candidate for a pattern node
+//! `v` iff `P(v) ⊑ P(n)` (containment: `n` has at least as many neighbors
+//! of every label as `v`). The paper stores profiles "along with the graph
+//! as an index" — [`ProfileIndex`] is that index, computed once per graph.
+
+use crate::graph::Graph;
+use crate::ids::{Label, NodeId};
+
+/// A single node's profile: sorted `(label, count)` pairs for labels with
+/// at least one neighbor. Sparse because real label spaces are small but a
+/// node usually touches only a few of them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeProfile {
+    entries: Vec<(Label, u32)>,
+}
+
+impl NodeProfile {
+    /// Compute the profile of `n` in `g` (undirected-view neighbors).
+    pub fn of(g: &Graph, n: NodeId) -> Self {
+        Self::from_neighbor_labels(g.neighbors(n).iter().map(|&m| g.label(m)))
+    }
+
+    /// Build from an iterator of neighbor labels.
+    pub fn from_neighbor_labels(labels: impl Iterator<Item = Label>) -> Self {
+        let mut entries: Vec<(Label, u32)> = Vec::new();
+        for l in labels {
+            match entries.binary_search_by_key(&l, |&(el, _)| el) {
+                Ok(i) => entries[i].1 += 1,
+                Err(i) => entries.insert(i, (l, 1)),
+            }
+        }
+        NodeProfile { entries }
+    }
+
+    /// Count of neighbors with label `l`.
+    pub fn count(&self, l: Label) -> u32 {
+        self.entries
+            .binary_search_by_key(&l, |&(el, _)| el)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Total neighbor count (the node's degree).
+    pub fn total(&self) -> u32 {
+        self.entries.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Containment test: `self ⊑ other` iff for every label,
+    /// `self.count(l) <= other.count(l)`.
+    pub fn contained_in(&self, other: &NodeProfile) -> bool {
+        // Both entry lists are sorted by label: merge-scan.
+        let mut oi = 0;
+        for &(l, c) in &self.entries {
+            while oi < other.entries.len() && other.entries[oi].0 < l {
+                oi += 1;
+            }
+            if oi >= other.entries.len() || other.entries[oi].0 != l || other.entries[oi].1 < c {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The sorted `(label, count)` entries.
+    pub fn entries(&self) -> &[(Label, u32)] {
+        &self.entries
+    }
+}
+
+/// Profiles for every node of a graph, stored in one flat arena.
+#[derive(Clone, Debug)]
+pub struct ProfileIndex {
+    offsets: Vec<u32>,
+    entries: Vec<(Label, u32)>,
+}
+
+impl ProfileIndex {
+    /// Compute the index for `g`. O(sum of degrees).
+    pub fn build(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u32);
+        let mut counts = vec![0u32; g.num_labels() as usize];
+        let mut touched: Vec<Label> = Vec::new();
+        for node in g.node_ids() {
+            for &m in g.neighbors(node) {
+                let l = g.label(m);
+                if counts[l.index()] == 0 {
+                    touched.push(l);
+                }
+                counts[l.index()] += 1;
+            }
+            touched.sort_unstable();
+            for &l in &touched {
+                entries.push((l, counts[l.index()]));
+                counts[l.index()] = 0;
+            }
+            touched.clear();
+            offsets.push(entries.len() as u32);
+        }
+        ProfileIndex { offsets, entries }
+    }
+
+    /// The profile entries of `n` as a sorted `(label, count)` slice.
+    #[inline]
+    pub fn entries(&self, n: NodeId) -> &[(Label, u32)] {
+        let lo = self.offsets[n.index()] as usize;
+        let hi = self.offsets[n.index() + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Containment test `needle ⊑ profile(n)` without materializing a
+    /// [`NodeProfile`] for `n`.
+    #[inline]
+    pub fn contains(&self, n: NodeId, needle: &NodeProfile) -> bool {
+        let hay = self.entries(n);
+        let mut oi = 0;
+        for &(l, c) in needle.entries() {
+            while oi < hay.len() && hay[oi].0 < l {
+                oi += 1;
+            }
+            if oi >= hay.len() || hay[oi].0 != l || hay[oi].1 < c {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Star: center 0 with two label-1 leaves and one label-2 leaf.
+    fn star() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        let c = b.add_node(Label(0));
+        let l1a = b.add_node(Label(1));
+        let l1b = b.add_node(Label(1));
+        let l2 = b.add_node(Label(2));
+        b.add_edge(c, l1a);
+        b.add_edge(c, l1b);
+        b.add_edge(c, l2);
+        b.build()
+    }
+
+    #[test]
+    fn profile_counts() {
+        let g = star();
+        let p = NodeProfile::of(&g, NodeId(0));
+        assert_eq!(p.count(Label(1)), 2);
+        assert_eq!(p.count(Label(2)), 1);
+        assert_eq!(p.count(Label(0)), 0);
+        assert_eq!(p.total(), 3);
+
+        let leaf = NodeProfile::of(&g, NodeId(1));
+        assert_eq!(leaf.count(Label(0)), 1);
+        assert_eq!(leaf.total(), 1);
+    }
+
+    #[test]
+    fn containment() {
+        let g = star();
+        let center = NodeProfile::of(&g, NodeId(0));
+        let one_l1 = NodeProfile::from_neighbor_labels([Label(1)].into_iter());
+        let two_l1 = NodeProfile::from_neighbor_labels([Label(1), Label(1)].into_iter());
+        let three_l1 = NodeProfile::from_neighbor_labels([Label(1); 3].into_iter());
+        let l3 = NodeProfile::from_neighbor_labels([Label(3)].into_iter());
+
+        assert!(one_l1.contained_in(&center));
+        assert!(two_l1.contained_in(&center));
+        assert!(!three_l1.contained_in(&center));
+        assert!(!l3.contained_in(&center));
+        // Empty profile is contained in everything.
+        assert!(NodeProfile::default().contained_in(&center));
+        assert!(NodeProfile::default().contained_in(&NodeProfile::default()));
+        // Nothing nonempty is contained in the empty profile.
+        assert!(!one_l1.contained_in(&NodeProfile::default()));
+    }
+
+    #[test]
+    fn index_matches_per_node_profiles() {
+        let g = star();
+        let idx = ProfileIndex::build(&g);
+        assert_eq!(idx.num_nodes(), 4);
+        for n in g.node_ids() {
+            let p = NodeProfile::of(&g, n);
+            assert_eq!(idx.entries(n), p.entries(), "node {n:?}");
+            assert!(idx.contains(n, &p));
+        }
+    }
+
+    #[test]
+    fn index_containment_agrees_with_profile_containment() {
+        let g = star();
+        let idx = ProfileIndex::build(&g);
+        let needle = NodeProfile::from_neighbor_labels([Label(1), Label(2)].into_iter());
+        for n in g.node_ids() {
+            let full = NodeProfile::of(&g, n);
+            assert_eq!(idx.contains(n, &needle), needle.contained_in(&full));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Basic network statistics.
+//!
+//! Several of the paper's motivating ego-centric measures (degree,
+//! clustering coefficient) are special cases of pattern census; these
+//! direct implementations serve as independent oracles in the test suite.
+
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// Degree histogram: `hist[d]` = number of nodes with undirected degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for n in g.node_ids() {
+        hist[g.degree(n)] += 1;
+    }
+    hist
+}
+
+/// Number of triangles incident to `n` (pairs of adjacent neighbors).
+pub fn local_triangles(g: &Graph, n: NodeId) -> usize {
+    let neigh = g.neighbors(n);
+    let mut count = 0;
+    for (i, &a) in neigh.iter().enumerate() {
+        for &b in &neigh[i + 1..] {
+            if g.has_undirected_edge(a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of `n`: triangles / possible neighbor pairs.
+/// 0.0 for degree < 2.
+pub fn local_clustering(g: &Graph, n: NodeId) -> f64 {
+    let d = g.degree(n);
+    if d < 2 {
+        return 0.0;
+    }
+    let pairs = d * (d - 1) / 2;
+    local_triangles(g, n) as f64 / pairs as f64
+}
+
+/// Average local clustering coefficient over all nodes.
+pub fn average_clustering(g: &Graph) -> f64 {
+    if g.num_nodes() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = g.node_ids().map(|n| local_clustering(g, n)).sum();
+    sum / g.num_nodes() as f64
+}
+
+/// Total triangle count in the graph (each counted once).
+pub fn total_triangles(g: &Graph) -> usize {
+    // Each triangle {a,b,c} is seen once from each vertex; rely on ordering:
+    // count only pairs (a,b) with n < a < b.
+    let mut count = 0;
+    for n in g.node_ids() {
+        let neigh = g.neighbors(n);
+        let start = neigh.partition_point(|&m| m <= n);
+        let upper = &neigh[start..];
+        for (i, &a) in upper.iter().enumerate() {
+            for &b in &upper[i + 1..] {
+                if g.has_undirected_edge(a, b) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges); NaN-free: returns 0.0 for degenerate graphs.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let mut n = 0.0f64;
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for (a, b) in g.edges() {
+        // Count each undirected edge in both orientations so the measure
+        // is symmetric.
+        for (x, y) in [(a, b), (b, a)] {
+            let dx = g.degree(x) as f64;
+            let dy = g.degree(y) as f64;
+            n += 1.0;
+            sx += dx;
+            sy += dy;
+            sxx += dx * dx;
+            syy += dy * dy;
+            sxy += dx * dy;
+        }
+    }
+    if n == 0.0 {
+        return 0.0;
+    }
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sxx / n - (sx / n) * (sx / n);
+    let vy = syy / n - (sy / n) * (sy / n);
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Estimate the diameter (longest shortest path) with the standard
+/// double-sweep lower bound: BFS from `samples` seed nodes, then BFS again
+/// from the farthest node found in each sweep. Exact on trees; a lower
+/// bound in general.
+pub fn diameter_lower_bound(g: &Graph, samples: usize) -> u32 {
+    use crate::bfs::BfsScratch;
+    if g.num_nodes() == 0 {
+        return 0;
+    }
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut dist = vec![0u32; g.num_nodes()];
+    let mut best = 0;
+    let step = (g.num_nodes() / samples.max(1)).max(1);
+    for s in (0..g.num_nodes()).step_by(step).take(samples.max(1)) {
+        let start = NodeId::from_index(s);
+        scratch.full_bfs_distances(g, start, &mut dist);
+        let (far, d) = dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != u32::MAX)
+            .max_by_key(|&(_, &d)| d)
+            .map(|(i, &d)| (NodeId::from_index(i), d))
+            .unwrap_or((start, 0));
+        best = best.max(d);
+        // Second sweep from the eccentric node.
+        scratch.full_bfs_distances(g, far, &mut dist);
+        let d2 = dist
+            .iter()
+            .filter(|&&d| d != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0);
+        best = best.max(d2);
+    }
+    best
+}
+
+/// Number of connected components (undirected view).
+pub fn connected_components(g: &Graph) -> usize {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    let mut components = 0;
+    for start in g.node_ids() {
+        if seen[start.index()] {
+            continue;
+        }
+        components += 1;
+        seen[start.index()] = true;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &m in g.neighbors(v) {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    stack.push(m);
+                }
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::Label;
+
+    /// Triangle 0-1-2 with a pendant 3 on node 2, plus isolated node 4.
+    fn fixture() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(5, Label(0));
+        for (a, c) in [(0u32, 1u32), (1, 2), (0, 2), (2, 3)] {
+            b.add_edge(NodeId(a), NodeId(c));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = fixture();
+        // degrees: 0:2, 1:2, 2:3, 3:1, 4:0
+        assert_eq!(degree_histogram(&g), vec![1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn triangles() {
+        let g = fixture();
+        assert_eq!(local_triangles(&g, NodeId(0)), 1);
+        assert_eq!(local_triangles(&g, NodeId(2)), 1);
+        assert_eq!(local_triangles(&g, NodeId(3)), 0);
+        assert_eq!(total_triangles(&g), 1);
+    }
+
+    #[test]
+    fn clustering() {
+        let g = fixture();
+        assert_eq!(local_clustering(&g, NodeId(0)), 1.0);
+        // Node 2 has degree 3 -> 3 pairs, 1 closed.
+        assert!((local_clustering(&g, NodeId(2)) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, NodeId(3)), 0.0);
+        assert_eq!(local_clustering(&g, NodeId(4)), 0.0);
+        let avg = average_clustering(&g);
+        assert!((avg - (1.0 + 1.0 + 1.0 / 3.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components() {
+        let g = fixture();
+        assert_eq!(connected_components(&g), 2);
+        let empty = GraphBuilder::undirected().build();
+        assert_eq!(connected_components(&empty), 0);
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        // A star is maximally disassortative (hub-leaf edges only).
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(6, Label(0));
+        for i in 1..6u32 {
+            b.add_edge(NodeId(0), NodeId(i));
+        }
+        let star = b.build();
+        assert!(degree_assortativity(&star) <= 0.0);
+        // A disjoint union of same-degree cliques is degenerate: variance 0.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(6, Label(0));
+        for base in [0u32, 3] {
+            for i in 0..3u32 {
+                for j in (i + 1)..3 {
+                    b.add_edge(NodeId(base + i), NodeId(base + j));
+                }
+            }
+        }
+        assert_eq!(degree_assortativity(&b.build()), 0.0);
+        assert_eq!(degree_assortativity(&GraphBuilder::undirected().build()), 0.0);
+    }
+
+    #[test]
+    fn diameter_bounds() {
+        // Path of 10: diameter 9, found exactly by the double sweep.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(10, Label(0));
+        for i in 0..9u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        let g = b.build();
+        assert_eq!(diameter_lower_bound(&g, 2), 9);
+        // Complete graph: diameter 1.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(5, Label(0));
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        assert_eq!(diameter_lower_bound(&b.build(), 1), 1);
+        assert_eq!(diameter_lower_bound(&GraphBuilder::undirected().build(), 1), 0);
+    }
+
+    #[test]
+    fn complete_graph_k4_triangles() {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(4, Label(0));
+        for i in 0u32..4 {
+            for j in (i + 1)..4 {
+                b.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        let g = b.build();
+        assert_eq!(total_triangles(&g), 4);
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Induced subgraph extraction with id remapping.
+//!
+//! The node-driven baseline (ND-BAS) extracts `S(n, k)` — the incident
+//! subgraph on a k-hop node set — and runs the matcher on it. The extracted
+//! graph uses dense local ids; [`InducedSubgraph`] carries the mapping back
+//! to the original graph's ids.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::ids::NodeId;
+
+/// A subgraph induced on a node set, with a bidirectional id mapping.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The extracted graph over local ids `0..nodes.len()`.
+    pub graph: Graph,
+    /// `local_to_global[local.index()]` = original id.
+    pub local_to_global: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Extract the subgraph of `g` induced on `nodes`.
+    ///
+    /// `nodes` must be sorted and deduplicated (as produced by the
+    /// neighborhood functions). Node labels carry over; attributes are not
+    /// copied (census algorithms evaluate attribute predicates against the
+    /// *original* graph through the id mapping).
+    pub fn extract(g: &Graph, nodes: &[NodeId]) -> Self {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be sorted+dedup");
+        let mut b = if g.is_directed() {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        };
+        b = b.with_capacity(nodes.len(), nodes.len() * 4);
+        for &n in nodes {
+            b.add_node(g.label(n));
+        }
+        // For each member, keep edges to members with a larger local id
+        // (undirected) or all out-edges to members (directed). Membership
+        // tests are binary searches over the sorted `nodes` slice.
+        for (li, &n) in nodes.iter().enumerate() {
+            if g.is_directed() {
+                for &m in g.out_neighbors(n) {
+                    if let Ok(lj) = nodes.binary_search(&m) {
+                        b.add_edge(NodeId::from_index(li), NodeId::from_index(lj));
+                    }
+                }
+            } else {
+                for &m in g.neighbors(n) {
+                    if m <= n {
+                        continue;
+                    }
+                    if let Ok(lj) = nodes.binary_search(&m) {
+                        b.add_edge(NodeId::from_index(li), NodeId::from_index(lj));
+                    }
+                }
+            }
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            local_to_global: nodes.to_vec(),
+        }
+    }
+
+    /// Map a local id back to the original graph.
+    #[inline]
+    pub fn to_global(&self, local: NodeId) -> NodeId {
+        self.local_to_global[local.index()]
+    }
+
+    /// Map an original id to its local id, if the node is in the subgraph.
+    pub fn to_local(&self, global: NodeId) -> Option<NodeId> {
+        self.local_to_global
+            .binary_search(&global)
+            .ok()
+            .map(NodeId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::ids::Label;
+    use crate::neighborhood::khop_nodes;
+
+    /// Triangle 0-1-2 plus pendant 3 attached to 2.
+    fn triangle_with_tail() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_node(Label(0));
+        b.add_node(Label(1));
+        b.add_node(Label(2));
+        b.add_node(Label(3));
+        for (a, c) in [(0u32, 1u32), (1, 2), (0, 2), (2, 3)] {
+            b.add_edge(NodeId(a), NodeId(c));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn extract_preserves_labels_and_edges() {
+        let g = triangle_with_tail();
+        let nodes = vec![NodeId(0), NodeId(1), NodeId(2)];
+        let sub = InducedSubgraph::extract(&g, &nodes);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.graph.num_edges(), 3); // the triangle
+        for local in sub.graph.node_ids() {
+            assert_eq!(sub.graph.label(local), g.label(sub.to_global(local)));
+        }
+    }
+
+    #[test]
+    fn edges_to_outside_are_dropped() {
+        let g = triangle_with_tail();
+        let nodes = vec![NodeId(2), NodeId(3)];
+        let sub = InducedSubgraph::extract(&g, &nodes);
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert_eq!(sub.to_global(NodeId(0)), NodeId(2));
+        assert_eq!(sub.to_global(NodeId(1)), NodeId(3));
+        assert_eq!(sub.to_local(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(sub.to_local(NodeId(0)), None);
+    }
+
+    #[test]
+    fn khop_subgraph_roundtrip() {
+        let g = triangle_with_tail();
+        let nodes = khop_nodes(&g, NodeId(0), 1); // {0,1,2}
+        let sub = InducedSubgraph::extract(&g, &nodes);
+        assert_eq!(sub.graph.num_nodes(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn directed_subgraph_keeps_orientation() {
+        let mut b = GraphBuilder::directed();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(2), NodeId(1));
+        let g = b.build();
+        let sub = InducedSubgraph::extract(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(sub.graph.is_directed());
+        assert!(sub.graph.has_directed_edge(NodeId(0), NodeId(1)));
+        assert!(!sub.graph.has_directed_edge(NodeId(1), NodeId(0)));
+        assert!(sub.graph.has_directed_edge(NodeId(2), NodeId(1)));
+    }
+
+    #[test]
+    fn empty_node_set() {
+        let g = triangle_with_tail();
+        let sub = InducedSubgraph::extract(&g, &[]);
+        assert_eq!(sub.graph.num_nodes(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn singleton_node_set() {
+        let g = triangle_with_tail();
+        let sub = InducedSubgraph::extract(&g, &[NodeId(1)]);
+        assert_eq!(sub.graph.num_nodes(), 1);
+        assert_eq!(sub.graph.num_edges(), 0);
+        assert_eq!(sub.graph.label(NodeId(0)), Label(1));
+    }
+}

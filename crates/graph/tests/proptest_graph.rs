@@ -1,0 +1,170 @@
+//! Property-based tests for the graph substrate.
+
+use ego_graph::bfs::BfsScratch;
+use ego_graph::profile::{NodeProfile, ProfileIndex};
+use ego_graph::subgraph::InducedSubgraph;
+use ego_graph::{io, neighborhood, Graph, GraphBuilder, Label, NodeId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (
+        2usize..40,
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..120),
+        1u16..5,
+        any::<bool>(),
+    )
+        .prop_map(|(n, raw_edges, labels, directed)| {
+            let mut b = if directed {
+                GraphBuilder::directed()
+            } else {
+                GraphBuilder::undirected()
+            };
+            for i in 0..n {
+                b.add_node(Label((i % labels as usize) as u16));
+            }
+            for (x, y) in raw_edges {
+                let a = NodeId(x % n as u32);
+                let c = NodeId(y % n as u32);
+                if a != c {
+                    b.add_edge(a, c);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_is_symmetric_in_undirected_view(g in arb_graph()) {
+        for a in g.node_ids() {
+            for &b in g.neighbors(a) {
+                prop_assert!(g.neighbors(b).contains(&a));
+                prop_assert!(g.has_undirected_edge(a, b));
+                prop_assert!(g.has_undirected_edge(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_and_dedup(g in arb_graph()) {
+        for a in g.node_ids() {
+            let ns = g.neighbors(a);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!ns.contains(&a), "self loop survived");
+        }
+    }
+
+    #[test]
+    fn degree_sum_counts_undirected_view(g in arb_graph()) {
+        let sum: usize = g.node_ids().map(|n| g.degree(n)).sum();
+        // The undirected view has each (deduped) edge twice.
+        prop_assert_eq!(sum % 2, 0);
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_everything(g in arb_graph()) {
+        let text = io::to_string(&g);
+        let g2 = io::from_str(&text).unwrap();
+        prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        prop_assert_eq!(g2.is_directed(), g.is_directed());
+        for n in g.node_ids() {
+            prop_assert_eq!(g2.label(n), g.label(n));
+            prop_assert_eq!(g2.neighbors(n), g.neighbors(n));
+            if g.is_directed() {
+                prop_assert_eq!(g2.out_neighbors(n), g.out_neighbors(n));
+                prop_assert_eq!(g2.in_neighbors(n), g.in_neighbors(n));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_over_edges(g in arb_graph()) {
+        if g.num_nodes() == 0 {
+            return Ok(());
+        }
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let mut dist = vec![0u32; g.num_nodes()];
+        scratch.full_bfs_distances(&g, NodeId(0), &mut dist);
+        for (a, b) in g.edges() {
+            let (da, db) = (dist[a.index()], dist[b.index()]);
+            if da != u32::MAX && db != u32::MAX {
+                prop_assert!(da.abs_diff(db) <= 1, "edge distance gap > 1");
+            } else {
+                prop_assert_eq!(da, db, "one endpoint reachable, other not");
+            }
+        }
+    }
+
+    #[test]
+    fn khop_monotone_and_consistent(g in arb_graph()) {
+        if g.num_nodes() == 0 {
+            return Ok(());
+        }
+        let n = NodeId(0);
+        let mut prev: Vec<NodeId> = vec![];
+        for k in 0..4u32 {
+            let cur = neighborhood::khop_nodes(&g, n, k);
+            prop_assert!(cur.windows(2).all(|w| w[0] < w[1]), "not sorted");
+            prop_assert!(prev.iter().all(|x| cur.binary_search(x).is_ok()), "shrunk");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn intersection_union_laws(g in arb_graph()) {
+        if g.num_nodes() < 2 {
+            return Ok(());
+        }
+        let mut scratch = BfsScratch::new(g.num_nodes());
+        let a = NodeId(0);
+        let b = NodeId(1);
+        let inter = neighborhood::khop_intersection(&g, &mut scratch, a, b, 2);
+        let uni = neighborhood::khop_union(&g, &mut scratch, a, b, 2);
+        let ka = neighborhood::khop_nodes(&g, a, 2);
+        let kb = neighborhood::khop_nodes(&g, b, 2);
+        // |A| + |B| = |A ∪ B| + |A ∩ B|
+        prop_assert_eq!(ka.len() + kb.len(), uni.len() + inter.len());
+        for x in &inter {
+            prop_assert!(ka.binary_search(x).is_ok() && kb.binary_search(x).is_ok());
+        }
+    }
+
+    #[test]
+    fn profile_index_agrees_with_direct_profiles(g in arb_graph()) {
+        let idx = ProfileIndex::build(&g);
+        for n in g.node_ids() {
+            let p = NodeProfile::of(&g, n);
+            prop_assert_eq!(idx.entries(n), p.entries());
+            prop_assert!(idx.contains(n, &p), "profile not self-contained");
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_match_membership(g in arb_graph()) {
+        // Take every other node.
+        let nodes: Vec<NodeId> = g.node_ids().filter(|n| n.0 % 2 == 0).collect();
+        let sub = InducedSubgraph::extract(&g, &nodes);
+        // Every subgraph edge exists in the parent.
+        for (a, b) in sub.graph.edges() {
+            let (ga, gb) = (sub.to_global(a), sub.to_global(b));
+            if g.is_directed() {
+                prop_assert!(g.has_directed_edge(ga, gb));
+            } else {
+                prop_assert!(g.has_undirected_edge(ga, gb));
+            }
+        }
+        // Every parent edge between members appears in the subgraph.
+        for (ga, gb) in g.edges() {
+            if let (Some(a), Some(b)) = (sub.to_local(ga), sub.to_local(gb)) {
+                if g.is_directed() {
+                    prop_assert!(sub.graph.has_directed_edge(a, b));
+                } else {
+                    prop_assert!(sub.graph.has_undirected_edge(a, b));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Precision@K evaluation.
+
+use ego_datagen::dblp::DblpData;
+use ego_graph::NodeId;
+
+/// Precision at K: the fraction of `predictions` (up to the first `k`)
+/// that are true positives. If fewer than `k` predictions exist, the
+/// denominator is still `k` — an under-supplied predictor is penalized,
+/// matching the paper's definition ("correct predictions divided by K").
+pub fn precision_at_k(
+    predictions: &[(NodeId, NodeId)],
+    data: &DblpData,
+    k: usize,
+) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = predictions
+        .iter()
+        .take(k)
+        .filter(|&&(a, b)| data.is_positive(a, b))
+        .count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ego_datagen::dblp::{generate, DblpConfig};
+    use ego_datagen::rng;
+
+    fn data() -> DblpData {
+        generate(
+            &DblpConfig {
+                num_authors: 150,
+                papers_per_year: 60,
+                ..Default::default()
+            },
+            &mut rng(3),
+        )
+    }
+
+    #[test]
+    fn perfect_and_zero_predictors() {
+        let d = data();
+        let perfect: Vec<_> = d.test_new_edges.iter().copied().take(10).collect();
+        assert_eq!(precision_at_k(&perfect, &d, 10), 1.0);
+        // Pairs guaranteed negative: reuse training edges (they're not new).
+        let negatives: Vec<_> = d.train.edges().take(10).collect();
+        assert_eq!(precision_at_k(&negatives, &d, 10), 0.0);
+    }
+
+    #[test]
+    fn partial_credit() {
+        let d = data();
+        let mut preds: Vec<_> = d.test_new_edges.iter().copied().take(5).collect();
+        preds.extend(d.train.edges().take(5));
+        assert!((precision_at_k(&preds, &d, 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_supplied_predictor_penalized() {
+        let d = data();
+        let preds: Vec<_> = d.test_new_edges.iter().copied().take(5).collect();
+        assert!((precision_at_k(&preds, &d, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&preds, &d, 0), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Ranking pairs by score.
+
+use ego_census::PairCounts;
+use ego_graph::NodeId;
+
+/// Rank pairs by descending count, ties broken by pair id for
+/// determinism. Returns at most `k` pairs.
+pub fn top_pairs_by_count(counts: &PairCounts, k: usize) -> Vec<(NodeId, NodeId)> {
+    counts
+        .top_k(k)
+        .into_iter()
+        .map(|(a, b, _)| (a, b))
+        .collect()
+}
+
+/// Rank pairs by a float score (e.g. Jaccard), descending, ties by pair.
+pub fn top_pairs_by_score(scores: &[(NodeId, NodeId, f64)], k: usize) -> Vec<(NodeId, NodeId)> {
+    let mut v: Vec<&(NodeId, NodeId, f64)> = scores.iter().collect();
+    v.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
+    });
+    v.into_iter().take(k).map(|&(a, b, _)| (a, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_ranking() {
+        let mut c = PairCounts::default();
+        c.add(NodeId(0), NodeId(1), 5);
+        c.add(NodeId(0), NodeId(2), 9);
+        c.add(NodeId(1), NodeId(2), 1);
+        let top = top_pairs_by_count(&c, 2);
+        assert_eq!(top, vec![(NodeId(0), NodeId(2)), (NodeId(0), NodeId(1))]);
+    }
+
+    #[test]
+    fn score_ranking_with_ties() {
+        let scores = vec![
+            (NodeId(3), NodeId(4), 0.5),
+            (NodeId(0), NodeId(1), 0.5),
+            (NodeId(2), NodeId(5), 0.9),
+        ];
+        let top = top_pairs_by_score(&scores, 3);
+        assert_eq!(top[0], (NodeId(2), NodeId(5)));
+        // Ties broken by pair id.
+        assert_eq!(top[1], (NodeId(0), NodeId(1)));
+        assert_eq!(top[2], (NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn k_larger_than_set() {
+        let mut c = PairCounts::default();
+        c.add(NodeId(0), NodeId(1), 1);
+        assert_eq!(top_pairs_by_count(&c, 10).len(), 1);
+        assert!(top_pairs_by_score(&[], 10).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Maximum bipartite matching (Kuhn's augmenting-path algorithm).
+//!
+//! Used by the GQL-style baseline's *semi-perfect matching* refinement:
+//! a candidate `n` for pattern node `v` survives only if `v`'s pattern
+//! neighbors can be matched one-to-one with distinct candidate neighbors
+//! of `n`. The left side (pattern neighbors) has at most a handful of
+//! vertices, so Kuhn's O(V·E) is effectively free.
+
+/// Compute the size of a maximum matching in a bipartite graph given as
+/// `adj[l]` = right-vertex indices adjacent to left vertex `l`.
+/// `right_size` is the number of right vertices.
+pub fn max_bipartite_matching(adj: &[Vec<usize>], right_size: usize) -> usize {
+    let mut match_right: Vec<Option<usize>> = vec![None; right_size];
+    let mut matched = 0;
+    let mut visited = vec![false; right_size];
+    for l in 0..adj.len() {
+        visited.iter_mut().for_each(|v| *v = false);
+        if try_kuhn(l, adj, &mut match_right, &mut visited) {
+            matched += 1;
+        }
+    }
+    matched
+}
+
+fn try_kuhn(
+    l: usize,
+    adj: &[Vec<usize>],
+    match_right: &mut [Option<usize>],
+    visited: &mut [bool],
+) -> bool {
+    for &r in &adj[l] {
+        if visited[r] {
+            continue;
+        }
+        visited[r] = true;
+        if match_right[r].is_none()
+            || try_kuhn(match_right[r].unwrap(), adj, match_right, visited)
+        {
+            match_right[r] = Some(l);
+            return true;
+        }
+    }
+    false
+}
+
+/// Does a matching saturating every left vertex exist?
+pub fn has_perfect_left_matching(adj: &[Vec<usize>], right_size: usize) -> bool {
+    max_bipartite_matching(adj, right_size) == adj.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_square() {
+        // 2 left, 2 right, crossing edges.
+        let adj = vec![vec![0, 1], vec![0, 1]];
+        assert_eq!(max_bipartite_matching(&adj, 2), 2);
+        assert!(has_perfect_left_matching(&adj, 2));
+    }
+
+    #[test]
+    fn contention_for_single_right() {
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(max_bipartite_matching(&adj, 1), 1);
+        assert!(!has_perfect_left_matching(&adj, 1));
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // l0 -> {r0}, l1 -> {r0, r1}: greedy could match l1-r0 first; the
+        // augmenting path must reroute.
+        let adj = vec![vec![0, 1], vec![0]];
+        assert_eq!(max_bipartite_matching(&adj, 2), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(max_bipartite_matching(&[], 0), 0);
+        assert!(has_perfect_left_matching(&[], 0));
+        let adj = vec![vec![]];
+        assert_eq!(max_bipartite_matching(&adj, 3), 0);
+        assert!(!has_perfect_left_matching(&adj, 3));
+    }
+
+    #[test]
+    fn larger_random_structure() {
+        // Chain structure forcing a cascade of augmentations:
+        // l_i -> {r_i, r_{i+1}} for i in 0..4, l_4 -> {r_0}.
+        let adj = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![0],
+        ];
+        assert_eq!(max_bipartite_matching(&adj, 5), 5);
+    }
+}

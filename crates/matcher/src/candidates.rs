@@ -1,0 +1,329 @@
+//! Candidate enumeration and candidate-neighbor sets (Sections III-A/B/C).
+
+use crate::stats::MatchStats;
+use ego_graph::profile::{NodeProfile, ProfileIndex};
+use ego_graph::{neighborhood, FastHashSet, Graph, NodeId};
+use ego_pattern::{PNode, Pattern};
+
+/// The candidate space shared by both matchers: per pattern node `v`, the
+/// candidate list `C(v)`; for the CN matcher additionally the candidate
+/// neighbor sets `CN(n, v, v')`.
+pub struct CandidateSpace {
+    /// Pattern neighbor lists: `pneigh[v.index()]` = sorted pattern
+    /// neighbors of `v` through positive edges.
+    pub pneigh: Vec<Vec<PNode>>,
+    /// `cands[v.index()]` = sorted candidate node list `C(v)`.
+    pub cands: Vec<Vec<NodeId>>,
+    /// `alive[v.index()][ci]` = candidate at position `ci` still viable.
+    pub alive: Vec<Vec<bool>>,
+    /// Membership of alive candidates, for O(1) `n ∈ C(v)` checks.
+    pub in_c: Vec<FastHashSet<u32>>,
+    /// `cn[v.index()][j][ci]` = CN(cands\[v\]\[ci\], v, pneigh\[v\]\[j\]),
+    /// sorted. Populated only by [`CandidateSpace::init_candidate_neighbors`].
+    pub cn: Vec<Vec<Vec<Vec<NodeId>>>>,
+}
+
+impl CandidateSpace {
+    /// Step 1 (Section III-A): enumerate candidates per pattern node using
+    /// label constraints, degree, and profile containment.
+    pub fn enumerate(g: &Graph, p: &Pattern, profiles: &ProfileIndex, stats: &mut MatchStats) -> Self {
+        let np = p.num_nodes();
+        let pneigh: Vec<Vec<PNode>> = p.nodes().map(|v| p.neighbors(v)).collect();
+
+        // Pattern node profiles over *label-constrained* neighbors only:
+        // an unconstrained pattern neighbor can match any label, so it
+        // contributes to the degree requirement but not to any label bucket.
+        let pattern_profiles: Vec<NodeProfile> = p
+            .nodes()
+            .map(|v| {
+                NodeProfile::from_neighbor_labels(
+                    pneigh[v.index()].iter().filter_map(|&w| p.label(w)),
+                )
+            })
+            .collect();
+
+        let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); np];
+        for v in p.nodes() {
+            let vi = v.index();
+            let need_label = p.label(v);
+            let need_degree = pneigh[vi].len();
+            let needle = &pattern_profiles[vi];
+            let list = &mut cands[vi];
+            for n in g.node_ids() {
+                if let Some(l) = need_label {
+                    if g.label(n) != l {
+                        continue;
+                    }
+                }
+                if g.degree(n) < need_degree {
+                    continue;
+                }
+                if !profiles.contains(n, needle) {
+                    continue;
+                }
+                list.push(n);
+            }
+            stats.initial_candidates += list.len();
+        }
+
+        let alive: Vec<Vec<bool>> = cands.iter().map(|c| vec![true; c.len()]).collect();
+        let in_c: Vec<FastHashSet<u32>> = cands
+            .iter()
+            .map(|c| c.iter().map(|n| n.0).collect())
+            .collect();
+
+        CandidateSpace {
+            pneigh,
+            cands,
+            alive,
+            in_c,
+            cn: vec![Vec::new(); np],
+        }
+    }
+
+    /// The adjacency list of `n` relevant for the pattern pair `(v, v')`,
+    /// honoring edge direction: if the pattern requires `v -> v'`, images
+    /// of `v'` must be out-neighbors of `n`; `v' -> v` requires
+    /// in-neighbors; both require both; an undirected pattern edge accepts
+    /// any adjacency.
+    fn relation_neighbors(g: &Graph, p: &Pattern, n: NodeId, v: PNode, vp: PNode) -> Vec<NodeId> {
+        if !g.is_directed() {
+            return g.neighbors(n).to_vec();
+        }
+        let (ab, ba) = p.directed_requirements(v, vp);
+        match (ab, ba) {
+            (true, true) => neighborhood::intersect_sorted(g.out_neighbors(n), g.in_neighbors(n)),
+            (true, false) => g.out_neighbors(n).to_vec(),
+            (false, true) => g.in_neighbors(n).to_vec(),
+            (false, false) => g.neighbors(n).to_vec(),
+        }
+    }
+
+    /// Step 2 (Section III-B): initialize `CN(n, v, v') = C(v') ∩ N(n)`
+    /// for every candidate and pattern-neighbor pair.
+    pub fn init_candidate_neighbors(&mut self, g: &Graph, p: &Pattern) {
+        for v in p.nodes() {
+            let vi = v.index();
+            let mut per_neighbor = Vec::with_capacity(self.pneigh[vi].len());
+            for &vp in &self.pneigh[vi] {
+                let cvp = &self.cands[vp.index()];
+                let lists: Vec<Vec<NodeId>> = self.cands[vi]
+                    .iter()
+                    .map(|&n| {
+                        let adj = Self::relation_neighbors(g, p, n, v, vp);
+                        neighborhood::intersect_sorted(&adj, cvp)
+                    })
+                    .collect();
+                per_neighbor.push(lists);
+            }
+            self.cn[vi] = per_neighbor;
+        }
+    }
+
+    /// Step 3 (Section III-C): simultaneously prune candidates whose CN
+    /// sets are empty and CN entries that left the candidate sets, until a
+    /// fixpoint. Returns the number of passes.
+    pub fn prune(&mut self, p: &Pattern, stats: &mut MatchStats) -> usize {
+        let mut passes = 0;
+        loop {
+            passes += 1;
+            let mut changed = false;
+
+            // Kill candidates with an empty CN set for some pattern neighbor.
+            for v in p.nodes() {
+                let vi = v.index();
+                for ci in 0..self.cands[vi].len() {
+                    if !self.alive[vi][ci] {
+                        continue;
+                    }
+                    let dead = self.cn[vi].iter().any(|lists| lists[ci].is_empty());
+                    if dead {
+                        self.alive[vi][ci] = false;
+                        self.in_c[vi].remove(&self.cands[vi][ci].0);
+                        changed = true;
+                    }
+                }
+            }
+
+            // Drop CN entries that are no longer candidates for v'.
+            for v in p.nodes() {
+                let vi = v.index();
+                for (j, &vp) in self.pneigh[vi].iter().enumerate() {
+                    let in_cvp = &self.in_c[vp.index()];
+                    for ci in 0..self.cands[vi].len() {
+                        if !self.alive[vi][ci] {
+                            continue;
+                        }
+                        let list = &mut self.cn[vi][j][ci];
+                        let before = list.len();
+                        list.retain(|n| in_cvp.contains(&n.0));
+                        if list.len() != before {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            if !changed {
+                break;
+            }
+        }
+        stats.prune_iterations = passes;
+        stats.pruned_candidates = self
+            .alive
+            .iter()
+            .map(|a| a.iter().filter(|&&x| x).count())
+            .sum();
+        passes
+    }
+
+    /// Alive candidates of `v`, in sorted order.
+    pub fn alive_candidates(&self, v: PNode) -> impl Iterator<Item = NodeId> + '_ {
+        let vi = v.index();
+        self.cands[vi]
+            .iter()
+            .zip(&self.alive[vi])
+            .filter(|&(_, &a)| a)
+            .map(|(&n, _)| n)
+    }
+
+    /// Position of `n` within `C(v)` (None if absent).
+    pub fn position(&self, v: PNode, n: NodeId) -> Option<usize> {
+        self.cands[v.index()].binary_search(&n).ok()
+    }
+
+    /// Index of `vp` within `v`'s pattern-neighbor list.
+    pub fn neighbor_index(&self, v: PNode, vp: PNode) -> Option<usize> {
+        self.pneigh[v.index()].iter().position(|&w| w == vp)
+    }
+
+    /// The pruned `CN(n, v, v')` list. Panics if `n ∉ C(v)` or `v'` is not
+    /// a pattern neighbor of `v`.
+    pub fn cn_list(&self, v: PNode, n: NodeId, vp: PNode) -> &[NodeId] {
+        let ci = self.position(v, n).expect("n is a candidate of v");
+        let j = self.neighbor_index(v, vp).expect("v' is a pattern neighbor");
+        &self.cn[v.index()][j][ci]
+    }
+
+    /// Is `n` an alive candidate for `v`?
+    pub fn is_alive(&self, v: PNode, n: NodeId) -> bool {
+        self.in_c[v.index()].contains(&n.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ego_graph::{GraphBuilder, Label};
+
+    /// Triangle 0(L0)-1(L1)-2(L2) plus pendant 3(L1) on node 0.
+    fn labeled_graph() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_node(Label(0));
+        b.add_node(Label(1));
+        b.add_node(Label(2));
+        b.add_node(Label(1));
+        for (x, y) in [(0u32, 1u32), (1, 2), (0, 2), (0, 3)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        b.build()
+    }
+
+    fn space(g: &Graph, p: &Pattern) -> (CandidateSpace, MatchStats) {
+        let profiles = ProfileIndex::build(g);
+        let mut stats = MatchStats::default();
+        let mut cs = CandidateSpace::enumerate(g, p, &profiles, &mut stats);
+        cs.init_candidate_neighbors(g, p);
+        cs.prune(p, &mut stats);
+        (cs, stats)
+    }
+
+    #[test]
+    fn label_constraint_filters_candidates() {
+        let g = labeled_graph();
+        let p = Pattern::parse("PATTERN p { ?A-?B; [?A.LABEL=1]; [?B.LABEL=2]; }").unwrap();
+        let (cs, _) = space(&g, &p);
+        let a = p.node_by_name("A").unwrap();
+        let b = p.node_by_name("B").unwrap();
+        // ?A must be label 1 AND adjacent to a label-2 node: only node 1.
+        assert_eq!(cs.alive_candidates(a).collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(cs.alive_candidates(b).collect::<Vec<_>>(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn profile_filter_counts_multiplicity() {
+        // Pattern: hub with two label-1 neighbors. Node 0 has exactly two
+        // label-1 neighbors (1 and 3); node 2 has only one.
+        let g = labeled_graph();
+        let p = Pattern::parse(
+            "PATTERN p { ?H-?X; ?H-?Y; [?X.LABEL=1]; [?Y.LABEL=1]; }",
+        )
+        .unwrap();
+        let (cs, _) = space(&g, &p);
+        let h = p.node_by_name("H").unwrap();
+        assert_eq!(cs.alive_candidates(h).collect::<Vec<_>>(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn cn_sets_contain_only_viable_neighbors() {
+        let g = labeled_graph();
+        let p = Pattern::parse("PATTERN p { ?A-?B; [?B.LABEL=2]; }").unwrap();
+        let (cs, _) = space(&g, &p);
+        let a = p.node_by_name("A").unwrap();
+        let b = p.node_by_name("B").unwrap();
+        // CN(0, A, B) = neighbors of 0 that are candidates for B (= {2}).
+        assert_eq!(cs.cn_list(a, NodeId(0), b), &[NodeId(2)]);
+        // Node 3 (pendant, only neighbor is 0 with label 0) dies for A.
+        assert!(!cs.is_alive(a, NodeId(3)));
+    }
+
+    #[test]
+    fn pruning_cascades() {
+        // Path graph 0-1-2 all label 0; pattern = triangle (unlabeled):
+        // initially every node with degree>=2 is a candidate (node 1), but
+        // pruning must empty everything (no triangle exists).
+        let mut bld = GraphBuilder::undirected();
+        bld.add_nodes(3, Label(0));
+        bld.add_edge(NodeId(0), NodeId(1));
+        bld.add_edge(NodeId(1), NodeId(2));
+        let g = bld.build();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let (cs, stats) = space(&g, &p);
+        for v in p.nodes() {
+            assert_eq!(cs.alive_candidates(v).count(), 0, "node {v:?}");
+        }
+        assert!(stats.prune_iterations >= 1);
+        assert_eq!(stats.pruned_candidates, 0);
+    }
+
+    #[test]
+    fn directed_relation_neighbors() {
+        // 0 -> 1, 2 -> 1. Pattern ?A->?B.
+        let mut bld = GraphBuilder::directed();
+        bld.add_nodes(3, Label(0));
+        bld.add_edge(NodeId(0), NodeId(1));
+        bld.add_edge(NodeId(2), NodeId(1));
+        let g = bld.build();
+        let p = Pattern::parse("PATTERN d { ?A->?B; }").unwrap();
+        let (cs, _) = space(&g, &p);
+        let a = p.node_by_name("A").unwrap();
+        let b = p.node_by_name("B").unwrap();
+        let a_cands: Vec<_> = cs.alive_candidates(a).collect();
+        assert_eq!(a_cands, vec![NodeId(0), NodeId(2)]);
+        assert_eq!(cs.alive_candidates(b).collect::<Vec<_>>(), vec![NodeId(1)]);
+        // CN of A-candidates towards B only contains out-neighbors.
+        assert_eq!(cs.cn_list(a, NodeId(0), b), &[NodeId(1)]);
+    }
+
+    #[test]
+    fn neighbor_and_position_lookups() {
+        let g = labeled_graph();
+        let p = Pattern::parse("PATTERN p { ?A-?B; }").unwrap();
+        let (cs, _) = space(&g, &p);
+        let a = p.node_by_name("A").unwrap();
+        let b = p.node_by_name("B").unwrap();
+        assert_eq!(cs.neighbor_index(a, b), Some(0));
+        assert!(cs.position(a, NodeId(0)).is_some());
+        assert_eq!(cs.position(a, NodeId(99)), None);
+    }
+}

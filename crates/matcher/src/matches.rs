@@ -1,0 +1,179 @@
+//! Match representation and automorphism-deduplication.
+
+use ego_graph::{FastHashSet, NodeId};
+use ego_pattern::{automorphism_group, PNode, Pattern};
+
+/// One distinct match: a representative embedding
+/// (`nodes[v.index()]` = image of pattern node `v`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// Images indexed by pattern node.
+    pub nodes: Vec<NodeId>,
+}
+
+impl PatternMatch {
+    /// Image of pattern node `v` (the paper's `μ(v, M)`).
+    #[inline]
+    pub fn image(&self, v: PNode) -> NodeId {
+        self.nodes[v.index()]
+    }
+
+    /// The match's node set, sorted and deduplicated. (Distinct pattern
+    /// nodes always map to distinct graph nodes, so this equals `nodes`
+    /// sorted.)
+    pub fn node_set(&self) -> Vec<NodeId> {
+        let mut s = self.nodes.clone();
+        s.sort_unstable();
+        s
+    }
+}
+
+/// All distinct matches of a pattern in a graph.
+#[derive(Clone, Debug, Default)]
+pub struct MatchList {
+    matches: Vec<PatternMatch>,
+}
+
+impl MatchList {
+    /// Deduplicate raw embeddings by the automorphism group of `p`,
+    /// keeping one canonical representative per orbit.
+    pub fn from_embeddings(p: &Pattern, embeddings: Vec<Vec<NodeId>>) -> Self {
+        let auts = automorphism_group(p);
+        if auts.len() <= 1 {
+            return MatchList {
+                matches: embeddings
+                    .into_iter()
+                    .map(|nodes| PatternMatch { nodes })
+                    .collect(),
+            };
+        }
+        let mut seen: FastHashSet<Vec<NodeId>> = FastHashSet::default();
+        let mut matches = Vec::with_capacity(embeddings.len() / auts.len());
+        let mut permuted = vec![NodeId(0); p.num_nodes()];
+        for emb in embeddings {
+            // Canonical form: the lexicographically smallest permutation of
+            // the embedding under the automorphism group.
+            let mut canon: Option<Vec<NodeId>> = None;
+            for aut in &auts {
+                // aut maps v -> aut[v]; the permuted embedding assigns to v
+                // the image of aut[v].
+                for (vi, &img_v) in aut.iter().enumerate() {
+                    permuted[vi] = emb[img_v.index()];
+                }
+                match &canon {
+                    None => canon = Some(permuted.clone()),
+                    Some(c) if permuted < *c => canon = Some(permuted.clone()),
+                    _ => {}
+                }
+            }
+            let canon = canon.expect("group is nonempty");
+            if seen.insert(canon.clone()) {
+                matches.push(PatternMatch { nodes: canon });
+            }
+        }
+        MatchList { matches }
+    }
+
+    /// Construct directly from already-distinct matches.
+    pub fn from_matches(matches: Vec<PatternMatch>) -> Self {
+        MatchList { matches }
+    }
+
+    /// Number of distinct matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True if no matches.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// The matches.
+    pub fn matches(&self) -> &[PatternMatch] {
+        &self.matches
+    }
+
+    /// Iterate matches.
+    pub fn iter(&self) -> impl Iterator<Item = &PatternMatch> {
+        self.matches.iter()
+    }
+}
+
+impl std::ops::Index<usize> for MatchList {
+    type Output = PatternMatch;
+    fn index(&self, i: usize) -> &PatternMatch {
+        &self.matches[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri_pattern() -> Pattern {
+        Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap()
+    }
+
+    #[test]
+    fn dedup_triangle_embeddings() {
+        let p = tri_pattern();
+        // All 6 permutations of {1,2,3} as embeddings of one triangle.
+        let ids = [1u32, 2, 3];
+        let mut embs = Vec::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                if b == a {
+                    continue;
+                }
+                let c = 3 - a - b;
+                embs.push(vec![NodeId(ids[a]), NodeId(ids[b]), NodeId(ids[c])]);
+            }
+        }
+        let list = MatchList::from_embeddings(&p, embs);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].node_set(), vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn distinct_triangles_stay_distinct() {
+        let p = tri_pattern();
+        let embs = vec![
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(4), NodeId(5), NodeId(6)],
+            vec![NodeId(3), NodeId(2), NodeId(1)],
+        ];
+        let list = MatchList::from_embeddings(&p, embs);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn rigid_pattern_skips_dedup() {
+        let p = Pattern::parse("PATTERN d { ?A->?B; ?B->?C; }").unwrap();
+        let embs = vec![
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            vec![NodeId(3), NodeId(2), NodeId(1)],
+        ];
+        // A directed path is rigid: both embeddings are distinct matches.
+        let list = MatchList::from_embeddings(&p, embs);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn image_accessor() {
+        let m = PatternMatch {
+            nodes: vec![NodeId(9), NodeId(4)],
+        };
+        assert_eq!(m.image(PNode(0)), NodeId(9));
+        assert_eq!(m.image(PNode(1)), NodeId(4));
+        assert_eq!(m.node_set(), vec![NodeId(4), NodeId(9)]);
+    }
+
+    #[test]
+    fn empty_list() {
+        let p = tri_pattern();
+        let list = MatchList::from_embeddings(&p, vec![]);
+        assert!(list.is_empty());
+        assert_eq!(list.iter().count(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Pattern automorphisms.
+//!
+//! The paper counts *matches* — subgraphs of `G` isomorphic to `P` — not
+//! embeddings (variable assignments). A match on node set `S` corresponds
+//! to `|Aut(P)|` embeddings, where `Aut(P)` is the pattern's automorphism
+//! group. The matcher enumerates embeddings; the census layer deduplicates
+//! by canonicalizing each embedding under `Aut(P)`.
+//!
+//! An automorphism here must preserve *everything that affects match
+//! validity*: positive edges (with direction), negated edges (with
+//! direction), label constraints, and predicates (mapped syntactically).
+//! Patterns are tiny, so a pruned backtracking search over permutations
+//! is more than fast enough.
+
+use crate::model::{PNode, Pattern, PatternEdge};
+use crate::predicate::{NodePredicate, PredRhs};
+
+/// Compute the automorphism group of `p` as a list of permutations
+/// (`perm[v.index()]` = image of `v`). The identity is always included.
+pub fn automorphism_group(p: &Pattern) -> Vec<Vec<PNode>> {
+    let n = p.num_nodes();
+    let mut result = Vec::new();
+    let mut perm: Vec<Option<PNode>> = vec![None; n];
+    let mut used = vec![false; n];
+    search(p, 0, &mut perm, &mut used, &mut result);
+    debug_assert!(result.iter().any(|perm| perm
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| v.index() == i)));
+    result
+}
+
+fn search(
+    p: &Pattern,
+    depth: usize,
+    perm: &mut Vec<Option<PNode>>,
+    used: &mut Vec<bool>,
+    result: &mut Vec<Vec<PNode>>,
+) {
+    let n = p.num_nodes();
+    if depth == n {
+        let full: Vec<PNode> = perm.iter().map(|v| v.unwrap()).collect();
+        if preserves_all(p, &full) {
+            result.push(full);
+        }
+        return;
+    }
+    let v = PNode::from_index(depth);
+    for cand_idx in 0..n {
+        if used[cand_idx] {
+            continue;
+        }
+        let w = PNode::from_index(cand_idx);
+        if !compatible(p, v, w, perm) {
+            continue;
+        }
+        perm[depth] = Some(w);
+        used[cand_idx] = true;
+        search(p, depth + 1, perm, used, result);
+        perm[depth] = None;
+        used[cand_idx] = false;
+    }
+}
+
+/// Local pruning: `w` can be the image of `v` only if label constraints
+/// match, degrees match, and edges to already-assigned nodes are preserved.
+fn compatible(p: &Pattern, v: PNode, w: PNode, perm: &[Option<PNode>]) -> bool {
+    if p.label(v) != p.label(w) {
+        return false;
+    }
+    if p.degree(v) != p.degree(w) {
+        return false;
+    }
+    for e in p.positive_edges() {
+        let (other, is_src) = if e.a == v {
+            (e.b, true)
+        } else if e.b == v {
+            (e.a, false)
+        } else {
+            continue;
+        };
+        if let Some(Some(img_other)) = perm.get(other.index()).copied() {
+            let (src, dst) = if is_src {
+                (w, img_other)
+            } else {
+                (img_other, w)
+            };
+            let found = p.positive_edges().iter().any(|f| {
+                if e.directed {
+                    f.directed && f.a == src && f.b == dst
+                } else {
+                    !f.directed
+                        && ((f.a == src && f.b == dst) || (f.a == dst && f.b == src))
+                }
+            });
+            if !found {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Full check on a complete permutation: positive edges bijectively map to
+/// positive edges, negated edges to negated edges, and every predicate maps
+/// to a predicate already present.
+fn preserves_all(p: &Pattern, perm: &[PNode]) -> bool {
+    let map = |v: PNode| perm[v.index()];
+    let edge_in = |list: &[PatternEdge], e: &PatternEdge| -> bool {
+        list.iter().any(|f| {
+            if e.directed {
+                f.directed && f.a == e.a && f.b == e.b
+            } else {
+                !f.directed && ((f.a == e.a && f.b == e.b) || (f.a == e.b && f.b == e.a))
+            }
+        })
+    };
+    for e in p.positive_edges() {
+        let mapped = PatternEdge {
+            a: map(e.a),
+            b: map(e.b),
+            directed: e.directed,
+        };
+        if !edge_in(p.positive_edges(), &mapped) {
+            return false;
+        }
+    }
+    for e in p.negative_edges() {
+        let mapped = PatternEdge {
+            a: map(e.a),
+            b: map(e.b),
+            directed: e.directed,
+        };
+        if !edge_in(p.negative_edges(), &mapped) {
+            return false;
+        }
+    }
+    for pred in p.node_predicates() {
+        let mapped = NodePredicate {
+            node: map(pred.node),
+            attr: pred.attr.clone(),
+            op: pred.op,
+            rhs: match &pred.rhs {
+                PredRhs::Const(v) => PredRhs::Const(v.clone()),
+                PredRhs::NodeAttr(o, a) => PredRhs::NodeAttr(map(*o), a.clone()),
+            },
+        };
+        if !p.node_predicates().contains(&mapped) {
+            return false;
+        }
+    }
+    for pred in p.edge_predicates() {
+        let mut mapped = pred.clone();
+        mapped.a = map(pred.a);
+        mapped.b = map(pred.b);
+        let mut swapped = mapped.clone();
+        std::mem::swap(&mut swapped.a, &mut swapped.b);
+        if !p.edge_predicates().contains(&mapped) && !p.edge_predicates().contains(&swapped) {
+            return false;
+        }
+    }
+    // Subpatterns must map onto themselves, otherwise two embeddings of the
+    // same subgraph could disagree about which nodes anchor the census.
+    for sp in p.subpatterns() {
+        let mut mapped: Vec<PNode> = sp.nodes.iter().map(|&v| map(v)).collect();
+        mapped.sort_unstable();
+        if mapped != sp.nodes {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Pattern;
+
+    #[test]
+    fn triangle_has_six_automorphisms() {
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        assert_eq!(automorphism_group(&p).len(), 6);
+    }
+
+    #[test]
+    fn path3_has_two() {
+        let p = Pattern::parse("PATTERN p { ?A-?B; ?B-?C; }").unwrap();
+        assert_eq!(automorphism_group(&p).len(), 2);
+    }
+
+    #[test]
+    fn square_has_eight() {
+        let p = Pattern::parse("PATTERN s { ?A-?B; ?B-?C; ?C-?D; ?D-?A; }").unwrap();
+        assert_eq!(automorphism_group(&p).len(), 8);
+    }
+
+    #[test]
+    fn clique4_has_24() {
+        let p = Pattern::parse(
+            "PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }",
+        )
+        .unwrap();
+        assert_eq!(automorphism_group(&p).len(), 24);
+    }
+
+    #[test]
+    fn labels_break_symmetry() {
+        let p = Pattern::parse(
+            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; [?A.LABEL=1]; [?B.LABEL=2]; [?C.LABEL=2]; }",
+        )
+        .unwrap();
+        // Only A fixed; B and C swap.
+        assert_eq!(automorphism_group(&p).len(), 2);
+    }
+
+    #[test]
+    fn directed_cycle_has_rotations_only() {
+        let p = Pattern::parse("PATTERN c { ?A->?B; ?B->?C; ?C->?A; }").unwrap();
+        assert_eq!(automorphism_group(&p).len(), 3);
+    }
+
+    #[test]
+    fn directed_path_is_rigid() {
+        let p = Pattern::parse("PATTERN d { ?A->?B; ?B->?C; }").unwrap();
+        assert_eq!(automorphism_group(&p).len(), 1);
+    }
+
+    #[test]
+    fn negated_edges_respected() {
+        // A-B, B-C with A!-C: swapping A and C is a symmetry; A<->B is not.
+        let p = Pattern::parse("PATTERN p { ?A-?B; ?B-?C; ?A!-?C; }").unwrap();
+        assert_eq!(automorphism_group(&p).len(), 2);
+    }
+
+    #[test]
+    fn subpattern_pins_nodes() {
+        // Triangle with subpattern {A}: only automorphisms fixing A survive.
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN s {?A;} }").unwrap();
+        assert_eq!(automorphism_group(&p).len(), 2);
+    }
+
+    #[test]
+    fn join_predicates_respected() {
+        // A-B with [?A.LABEL=?B.LABEL] is symmetric...
+        let p = Pattern::parse("PATTERN e { ?A-?B; [?A.LABEL=?B.LABEL]; }").unwrap();
+        // ...but the mapped predicate is [?B.LABEL=?A.LABEL], which is not
+        // syntactically present, so only the identity survives. This is the
+        // documented conservative behaviour: over-counting never happens,
+        // and symmetric predicate pairs can be written explicitly.
+        assert_eq!(automorphism_group(&p).len(), 1);
+
+        let sym = Pattern::parse(
+            "PATTERN e { ?A-?B; [?A.LABEL=?B.LABEL]; [?B.LABEL=?A.LABEL]; }",
+        )
+        .unwrap();
+        assert_eq!(automorphism_group(&sym).len(), 2);
+    }
+
+    #[test]
+    fn identity_always_present() {
+        let p = Pattern::parse("PATTERN p { ?A; }").unwrap();
+        let g = automorphism_group(&p);
+        assert_eq!(g, vec![vec![PNode(0)]]);
+    }
+}

@@ -1,0 +1,202 @@
+//! The query patterns of the paper's evaluation (Figure 3 and Table I).
+//!
+//! Figure 3 is reproduced from its textual description: `clq3-unlb`
+//! (unlabeled triangle), `clq3` (labeled triangle), `clq4` (labeled
+//! 4-clique), and `sqr` (labeled square), plus `path3` and `star3` for
+//! wider pattern coverage. Labeled variants pin each node to a label from
+//! the 4-label alphabet used in the synthetic experiments.
+
+use crate::model::Pattern;
+use ego_graph::Label;
+
+/// Unlabeled triangle (`clq3-unlb`).
+pub fn clq3_unlabeled() -> Pattern {
+    Pattern::parse("PATTERN clq3_unlb { ?A-?B; ?B-?C; ?A-?C; }").expect("builtin parses")
+}
+
+/// Labeled triangle (`clq3`): labels 0, 1, 2.
+pub fn clq3() -> Pattern {
+    let mut b = Pattern::builder("clq3");
+    let a = b.node("A");
+    let c = b.node("B");
+    let d = b.node("C");
+    b.edge(a, c).edge(c, d).edge(a, d);
+    b.label(a, Label(0)).label(c, Label(1)).label(d, Label(2));
+    b.build()
+}
+
+/// Labeled 4-clique (`clq4`): labels 0, 1, 2, 3.
+pub fn clq4() -> Pattern {
+    let mut b = Pattern::builder("clq4");
+    let n: Vec<_> = ["A", "B", "C", "D"].iter().map(|v| b.node(v)).collect();
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            b.edge(n[i], n[j]);
+        }
+        b.label(n[i], Label(i as u16));
+    }
+    b.build()
+}
+
+/// Unlabeled 4-clique.
+pub fn clq4_unlabeled() -> Pattern {
+    Pattern::parse("PATTERN clq4_unlb { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }")
+        .expect("builtin parses")
+}
+
+/// Labeled square (`sqr`): a 4-cycle with labels 0, 1, 0, 1.
+pub fn sqr() -> Pattern {
+    let mut b = Pattern::builder("sqr");
+    let a = b.node("A");
+    let c = b.node("B");
+    let d = b.node("C");
+    let e = b.node("D");
+    b.edge(a, c).edge(c, d).edge(d, e).edge(e, a);
+    b.label(a, Label(0)).label(c, Label(1));
+    b.label(d, Label(0)).label(e, Label(1));
+    b.build()
+}
+
+/// Unlabeled square (4-cycle).
+pub fn sqr_unlabeled() -> Pattern {
+    Pattern::parse("PATTERN sqr_unlb { ?A-?B; ?B-?C; ?C-?D; ?D-?A; }").expect("builtin parses")
+}
+
+/// Labeled path of 3 nodes: labels 0-1-2.
+pub fn path3() -> Pattern {
+    let mut b = Pattern::builder("path3");
+    let a = b.node("A");
+    let c = b.node("B");
+    let d = b.node("C");
+    b.edge(a, c).edge(c, d);
+    b.label(a, Label(0)).label(c, Label(1)).label(d, Label(2));
+    b.build()
+}
+
+/// Labeled 3-star: center label 0 with three leaves labeled 1, 2, 3.
+pub fn star3() -> Pattern {
+    let mut b = Pattern::builder("star3");
+    let hub = b.node("H");
+    b.label(hub, Label(0));
+    for (i, v) in ["A", "B", "C"].iter().enumerate() {
+        let leaf = b.node(v);
+        b.edge(hub, leaf);
+        b.label(leaf, Label(i as u16 + 1));
+    }
+    b.build()
+}
+
+/// Table I row 1: a single node.
+pub fn single_node() -> Pattern {
+    Pattern::parse("PATTERN single_node { ?A; }").expect("builtin parses")
+}
+
+/// Table I row 2: a single undirected edge.
+pub fn single_edge() -> Pattern {
+    Pattern::parse("PATTERN single_edge { ?A-?B; }").expect("builtin parses")
+}
+
+/// Table I row 4: the coordinator brokerage triad — `A -> B -> C` with no
+/// `A -> C` edge, all three nodes sharing a label, censused on the middle
+/// node via the `coordinator` subpattern.
+pub fn coordinator_triad() -> Pattern {
+    Pattern::parse(
+        "PATTERN triad {
+            ?A->?B; ?B->?C; ?A!->?C;
+            [?A.LABEL=?B.LABEL];
+            [?B.LABEL=?C.LABEL];
+            SUBPATTERN coordinator {?B;}
+        }",
+    )
+    .expect("builtin parses")
+}
+
+/// Structural-balance pattern: a triangle with an odd number of negative
+/// signs is unstable. This variant matches triangles whose three edges all
+/// carry `sign = -1`.
+pub fn all_negative_triangle() -> Pattern {
+    Pattern::parse(
+        "PATTERN unstable3 {
+            ?A-?B; ?B-?C; ?A-?C;
+            [EDGE(?A,?B).sign=-1];
+            [EDGE(?B,?C).sign=-1];
+            [EDGE(?A,?C).sign=-1];
+        }",
+    )
+    .expect("builtin parses")
+}
+
+/// Figure 1(a): two couples that are friends with each other. `spouse`
+/// edges within couples, `friend` edges across, modeled with edge
+/// attributes `rel`.
+pub fn couples_square() -> Pattern {
+    Pattern::parse(
+        "PATTERN couples {
+            ?A-?B; ?C-?D; ?A-?C; ?B-?D;
+            [EDGE(?A,?B).rel='spouse'];
+            [EDGE(?C,?D).rel='spouse'];
+            [EDGE(?A,?C).rel='friend'];
+            [EDGE(?B,?D).rel='friend'];
+        }",
+    )
+    .expect("builtin parses")
+}
+
+/// All Figure 3 patterns by their paper names.
+pub fn figure3() -> Vec<Pattern> {
+    vec![clq3_unlabeled(), clq3(), clq4(), sqr(), path3(), star3()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_builtins_construct() {
+        for p in figure3() {
+            assert!(p.num_nodes() >= 3);
+            assert!(p.is_connected());
+        }
+        assert_eq!(single_node().num_nodes(), 1);
+        assert_eq!(single_edge().num_nodes(), 2);
+    }
+
+    #[test]
+    fn labeled_variants_are_labeled() {
+        assert!(!clq3_unlabeled().is_labeled());
+        assert!(clq3().is_labeled());
+        assert!(clq4().is_labeled());
+        assert!(sqr().is_labeled());
+        assert!(path3().is_labeled());
+        assert!(star3().is_labeled());
+    }
+
+    #[test]
+    fn coordinator_triad_shape() {
+        let p = coordinator_triad();
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.positive_edges().len(), 2);
+        assert_eq!(p.negative_edges().len(), 1);
+        assert!(p.subpattern("coordinator").is_some());
+    }
+
+    #[test]
+    fn clique_edge_counts() {
+        assert_eq!(clq4().positive_edges().len(), 6);
+        assert_eq!(clq4_unlabeled().positive_edges().len(), 6);
+        assert_eq!(sqr().positive_edges().len(), 4);
+    }
+
+    #[test]
+    fn signed_triangle_predicates() {
+        assert_eq!(all_negative_triangle().edge_predicates().len(), 3);
+    }
+
+    #[test]
+    fn couples_square_shape() {
+        let p = couples_square();
+        assert_eq!(p.num_nodes(), 4);
+        assert_eq!(p.positive_edges().len(), 4);
+        assert_eq!(p.edge_predicates().len(), 4);
+    }
+}

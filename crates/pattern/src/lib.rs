@@ -1,0 +1,57 @@
+//! # ego-pattern
+//!
+//! Pattern graphs for ego-centric pattern census (Section II of the paper).
+//!
+//! A pattern is a small graph over *variables* (`?A`, `?B`, ...) with:
+//!
+//! * undirected (`?A-?B`) or directed (`?A->?B`) edges,
+//! * *negated* edges (`?A!-?B`, `?A!->?B`) asserting an edge must **not**
+//!   exist between the images of the endpoints,
+//! * predicates over node labels and attributes
+//!   (`[?A.LABEL=?B.LABEL]`, `[?A.LABEL=2]`, `[?A.age>=30]`),
+//! * edge-attribute predicates (`[EDGE(?A,?B).sign=-1]`),
+//! * named subpatterns (`SUBPATTERN coordinator {?B;}`) identifying the
+//!   subset of pattern nodes whose images must fall inside the search
+//!   neighborhood for COUNTSP queries.
+//!
+//! The crate also provides the pattern analyses the evaluation algorithms
+//! need: all-pairs pattern distances and pivot selection ([`analysis`]),
+//! connected-prefix search orders ([`order`]), and the automorphism group
+//! used to count *distinct matches* rather than embeddings
+//! ([`automorphism`]).
+//!
+//! ```
+//! use ego_pattern::Pattern;
+//!
+//! let p = Pattern::parse(
+//!     "PATTERN triad {
+//!         ?A->?B; ?B->?C; ?A!->?C;
+//!         [?A.LABEL=?B.LABEL];
+//!         [?B.LABEL=?C.LABEL];
+//!         SUBPATTERN coordinator {?B;}
+//!     }",
+//! )
+//! .unwrap();
+//! assert_eq!(p.name(), "triad");
+//! assert_eq!(p.num_nodes(), 3);
+//! assert_eq!(p.positive_edges().len(), 2);
+//! assert_eq!(p.negative_edges().len(), 1);
+//! assert!(p.subpattern("coordinator").is_some());
+//! ```
+
+pub mod analysis;
+pub mod automorphism;
+pub mod builtin;
+pub mod model;
+pub mod order;
+pub mod parser;
+pub mod predicate;
+pub mod printer;
+
+pub use analysis::PatternAnalysis;
+pub use automorphism::automorphism_group;
+pub use model::{PNode, Pattern, PatternEdge, Subpattern};
+pub use order::SearchOrder;
+pub use parser::ParseError;
+pub use printer::to_dsl;
+pub use predicate::{CmpOp, EdgePredicate, NodePredicate, PredRhs};

@@ -1,0 +1,483 @@
+//! The pattern graph data model.
+
+use crate::predicate::{EdgePredicate, NodePredicate};
+use ego_graph::Label;
+use std::fmt;
+
+/// Identifier of a node within a pattern. Patterns are tiny (the paper's
+/// largest is a 4-clique), so a `u8` is ample.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PNode(pub u8);
+
+impl PNode {
+    /// Index into per-pattern-node arrays.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from an index.
+    #[inline(always)]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i < 256);
+        PNode(i as u8)
+    }
+}
+
+impl fmt::Debug for PNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An edge of the pattern graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PatternEdge {
+    /// Source endpoint (for directed edges) or either endpoint.
+    pub a: PNode,
+    /// Target endpoint.
+    pub b: PNode,
+    /// If true, the match must contain the directed edge `μ(a) -> μ(b)`;
+    /// if false, any edge between the images suffices.
+    pub directed: bool,
+}
+
+/// A named subset of pattern nodes; the COUNTSP aggregate counts a match
+/// only when the images of *these* nodes fall inside the neighborhood.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subpattern {
+    /// The subpattern's name as written in the DSL.
+    pub name: String,
+    /// Member pattern nodes, sorted.
+    pub nodes: Vec<PNode>,
+}
+
+/// A pattern graph: variables, structural edges (positive and negated),
+/// predicates, and subpatterns.
+///
+/// Invariants (enforced by the builder/parser):
+/// * node labels from `[?X.LABEL = const]` predicates are folded into
+///   `labels[x]`, the fast path used during candidate enumeration;
+/// * `positive_edges` and `negative_edges` contain no duplicates and no
+///   self-loops;
+/// * every [`PNode`] referenced anywhere is `< num_nodes`.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    name: String,
+    /// Variable names, indexed by [`PNode`].
+    var_names: Vec<String>,
+    /// Optional label constraint per node (from `?X.LABEL = const`).
+    labels: Vec<Option<Label>>,
+    positive_edges: Vec<PatternEdge>,
+    negative_edges: Vec<PatternEdge>,
+    node_predicates: Vec<NodePredicate>,
+    edge_predicates: Vec<EdgePredicate>,
+    subpatterns: Vec<Subpattern>,
+}
+
+impl Pattern {
+    /// Parse a pattern from the DSL. See [`crate::parser`].
+    pub fn parse(text: &str) -> Result<Pattern, crate::parser::ParseError> {
+        crate::parser::parse_pattern(text)
+    }
+
+    /// Start building a pattern programmatically.
+    pub fn builder(name: &str) -> PatternBuilder {
+        PatternBuilder {
+            pattern: Pattern {
+                name: name.to_string(),
+                var_names: Vec::new(),
+                labels: Vec::new(),
+                positive_edges: Vec::new(),
+                negative_edges: Vec::new(),
+                node_predicates: Vec::new(),
+                edge_predicates: Vec::new(),
+                subpatterns: Vec::new(),
+            },
+        }
+    }
+
+    /// The pattern's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of pattern nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Iterator over all pattern node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = PNode> + Clone {
+        (0..self.var_names.len() as u8).map(PNode)
+    }
+
+    /// The variable name of `v` (without the `?` sigil).
+    pub fn var_name(&self, v: PNode) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Find a node by variable name.
+    pub fn node_by_name(&self, name: &str) -> Option<PNode> {
+        self.var_names
+            .iter()
+            .position(|n| n == name)
+            .map(PNode::from_index)
+    }
+
+    /// The label constraint of `v`, if any.
+    pub fn label(&self, v: PNode) -> Option<Label> {
+        self.labels[v.index()]
+    }
+
+    /// True if at least one node carries a label constraint.
+    pub fn is_labeled(&self) -> bool {
+        self.labels.iter().any(Option::is_some)
+    }
+
+    /// Structural (positive) edges.
+    pub fn positive_edges(&self) -> &[PatternEdge] {
+        &self.positive_edges
+    }
+
+    /// Negated edges (must **not** exist in a match).
+    pub fn negative_edges(&self) -> &[PatternEdge] {
+        &self.negative_edges
+    }
+
+    /// True if any edge is directed (positive or negated).
+    pub fn has_directed_edges(&self) -> bool {
+        self.positive_edges
+            .iter()
+            .chain(&self.negative_edges)
+            .any(|e| e.directed)
+    }
+
+    /// Node predicates not folded into label constraints.
+    pub fn node_predicates(&self) -> &[NodePredicate] {
+        &self.node_predicates
+    }
+
+    /// Edge-attribute predicates.
+    pub fn edge_predicates(&self) -> &[EdgePredicate] {
+        &self.edge_predicates
+    }
+
+    /// All subpatterns.
+    pub fn subpatterns(&self) -> &[Subpattern] {
+        &self.subpatterns
+    }
+
+    /// Look up a subpattern by name.
+    pub fn subpattern(&self, name: &str) -> Option<&Subpattern> {
+        self.subpatterns.iter().find(|sp| sp.name == name)
+    }
+
+    /// Neighbors of `v` through positive edges (undirected view of the
+    /// pattern), deduplicated and sorted.
+    pub fn neighbors(&self, v: PNode) -> Vec<PNode> {
+        let mut out: Vec<PNode> = self
+            .positive_edges
+            .iter()
+            .filter_map(|e| {
+                if e.a == v {
+                    Some(e.b)
+                } else if e.b == v {
+                    Some(e.a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Degree of `v` through positive edges.
+    pub fn degree(&self, v: PNode) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// True if the positive-edge structure is connected (or has ≤ 1 node).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![PNode(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for w in self.neighbors(v) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Does the pattern graph contain a positive edge between `a` and `b`
+    /// (in either direction)?
+    pub fn has_positive_edge(&self, a: PNode, b: PNode) -> bool {
+        self.positive_edges
+            .iter()
+            .any(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+
+    /// Required directed-edge relation between images of `a` and `b`,
+    /// across positive edges: returns (a_to_b, b_to_a) requirements.
+    pub fn directed_requirements(&self, a: PNode, b: PNode) -> (bool, bool) {
+        let mut ab = false;
+        let mut ba = false;
+        for e in &self.positive_edges {
+            if e.directed {
+                if e.a == a && e.b == b {
+                    ab = true;
+                }
+                if e.a == b && e.b == a {
+                    ba = true;
+                }
+            }
+        }
+        (ab, ba)
+    }
+}
+
+/// Incremental pattern construction (used by the parser, builtins, and
+/// tests). Methods panic on structural errors — programmatic construction
+/// bugs should fail loudly; the parser performs its own validation first.
+pub struct PatternBuilder {
+    pattern: Pattern,
+}
+
+impl PatternBuilder {
+    /// Add a node with variable name `var`; returns its id.
+    ///
+    /// # Panics
+    /// If `var` already exists.
+    pub fn node(&mut self, var: &str) -> PNode {
+        assert!(
+            self.pattern.node_by_name(var).is_none(),
+            "duplicate pattern variable ?{var}"
+        );
+        let id = PNode::from_index(self.pattern.var_names.len());
+        self.pattern.var_names.push(var.to_string());
+        self.pattern.labels.push(None);
+        id
+    }
+
+    /// Get-or-create a node by variable name.
+    pub fn node_or_existing(&mut self, var: &str) -> PNode {
+        self.pattern
+            .node_by_name(var)
+            .unwrap_or_else(|| self.node(var))
+    }
+
+    /// Constrain `v`'s label.
+    pub fn label(&mut self, v: PNode, label: Label) -> &mut Self {
+        self.pattern.labels[v.index()] = Some(label);
+        self
+    }
+
+    /// Add an undirected positive edge.
+    pub fn edge(&mut self, a: PNode, b: PNode) -> &mut Self {
+        self.push_edge(a, b, false, false)
+    }
+
+    /// Add a directed positive edge `a -> b`.
+    pub fn directed_edge(&mut self, a: PNode, b: PNode) -> &mut Self {
+        self.push_edge(a, b, true, false)
+    }
+
+    /// Add an undirected negated edge.
+    pub fn negated_edge(&mut self, a: PNode, b: PNode) -> &mut Self {
+        self.push_edge(a, b, false, true)
+    }
+
+    /// Add a directed negated edge `a -> b` must not exist.
+    pub fn negated_directed_edge(&mut self, a: PNode, b: PNode) -> &mut Self {
+        self.push_edge(a, b, true, true)
+    }
+
+    fn push_edge(&mut self, a: PNode, b: PNode, directed: bool, negated: bool) -> &mut Self {
+        assert!(a != b, "pattern self-loop ?{0}-?{0}", self.pattern.var_name(a));
+        assert!(
+            a.index() < self.pattern.num_nodes() && b.index() < self.pattern.num_nodes(),
+            "edge references unknown pattern node"
+        );
+        let (a, b) = if !directed && b < a { (b, a) } else { (a, b) };
+        let edge = PatternEdge { a, b, directed };
+        let list = if negated {
+            &mut self.pattern.negative_edges
+        } else {
+            &mut self.pattern.positive_edges
+        };
+        if !list.contains(&edge) {
+            list.push(edge);
+        }
+        self
+    }
+
+    /// Attach a node predicate.
+    pub fn node_predicate(&mut self, p: NodePredicate) -> &mut Self {
+        self.pattern.node_predicates.push(p);
+        self
+    }
+
+    /// Attach an edge predicate.
+    pub fn edge_predicate(&mut self, p: EdgePredicate) -> &mut Self {
+        self.pattern.edge_predicates.push(p);
+        self
+    }
+
+    /// Declare a subpattern over `nodes`.
+    ///
+    /// # Panics
+    /// If the name repeats or `nodes` is empty.
+    pub fn subpattern(&mut self, name: &str, mut nodes: Vec<PNode>) -> &mut Self {
+        assert!(!nodes.is_empty(), "empty subpattern {name}");
+        assert!(
+            self.pattern.subpattern(name).is_none(),
+            "duplicate subpattern {name}"
+        );
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.pattern.subpatterns.push(Subpattern {
+            name: name.to_string(),
+            nodes,
+        });
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// If the pattern has no nodes.
+    pub fn build(self) -> Pattern {
+        assert!(self.pattern.num_nodes() > 0, "pattern with no nodes");
+        self.pattern
+    }
+
+    /// Non-panicking variant of [`Self::build`], for the parser.
+    pub fn build_checked(self) -> Result<Pattern, String> {
+        if self.pattern.num_nodes() == 0 {
+            return Err("pattern declares no nodes".to_string());
+        }
+        Ok(self.pattern)
+    }
+
+    /// Read-only view of the pattern under construction.
+    pub fn peek_pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Pattern {
+        let mut b = Pattern::builder("tri");
+        let a = b.node("A");
+        let c = b.node("B");
+        let d = b.node("C");
+        b.edge(a, c).edge(c, d).edge(a, d);
+        b.build()
+    }
+
+    #[test]
+    fn basic_structure() {
+        let p = triangle();
+        assert_eq!(p.name(), "tri");
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.positive_edges().len(), 3);
+        assert!(p.is_connected());
+        assert!(!p.is_labeled());
+        assert!(!p.has_directed_edges());
+        assert_eq!(p.neighbors(PNode(0)), vec![PNode(1), PNode(2)]);
+        assert_eq!(p.degree(PNode(0)), 2);
+        assert!(p.has_positive_edge(PNode(0), PNode(2)));
+        assert!(p.has_positive_edge(PNode(2), PNode(0)));
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let p = triangle();
+        assert_eq!(p.node_by_name("B"), Some(PNode(1)));
+        assert_eq!(p.node_by_name("Z"), None);
+        assert_eq!(p.var_name(PNode(2)), "C");
+    }
+
+    #[test]
+    fn duplicate_undirected_edges_collapse() {
+        let mut b = Pattern::builder("p");
+        let a = b.node("A");
+        let c = b.node("B");
+        b.edge(a, c).edge(c, a);
+        let p = b.build();
+        assert_eq!(p.positive_edges().len(), 1);
+    }
+
+    #[test]
+    fn directed_edges_and_requirements() {
+        let mut b = Pattern::builder("p");
+        let a = b.node("A");
+        let c = b.node("B");
+        b.directed_edge(a, c);
+        let p = b.build();
+        assert!(p.has_directed_edges());
+        assert_eq!(p.directed_requirements(a, c), (true, false));
+        assert_eq!(p.directed_requirements(c, a), (false, true));
+    }
+
+    #[test]
+    fn disconnected_pattern_detected() {
+        let mut b = Pattern::builder("p");
+        b.node("A");
+        b.node("B");
+        let p = b.build();
+        assert!(!p.is_connected());
+        // single node is connected
+        let mut b = Pattern::builder("q");
+        b.node("A");
+        assert!(b.build().is_connected());
+    }
+
+    #[test]
+    fn labels_and_subpatterns() {
+        let mut b = Pattern::builder("p");
+        let a = b.node("A");
+        let c = b.node("B");
+        b.edge(a, c);
+        b.label(a, Label(2));
+        b.subpattern("mid", vec![c, c]);
+        let p = b.build();
+        assert_eq!(p.label(a), Some(Label(2)));
+        assert_eq!(p.label(c), None);
+        assert!(p.is_labeled());
+        let sp = p.subpattern("mid").unwrap();
+        assert_eq!(sp.nodes, vec![c]); // deduped
+        assert!(p.subpattern("other").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut b = Pattern::builder("p");
+        let a = b.node("A");
+        b.edge(a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate pattern variable")]
+    fn duplicate_variable_panics() {
+        let mut b = Pattern::builder("p");
+        b.node("A");
+        b.node("A");
+    }
+}

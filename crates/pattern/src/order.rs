@@ -1,0 +1,196 @@
+//! Search orders for the match-extraction phase.
+//!
+//! Algorithm 1 requires "an order of the pattern nodes such that each
+//! prefix of the order forms a connected component". [`SearchOrder`]
+//! computes such an order, starting from the most constrained node
+//! (label-constrained first, then highest pattern degree) and greedily
+//! extending with the node most connected to the prefix — maximizing how
+//! many candidate-neighbor sets get intersected at each step.
+
+use crate::model::{PNode, Pattern};
+
+/// A connected-prefix ordering of pattern nodes, with per-position
+/// back-edges to earlier nodes.
+#[derive(Clone, Debug)]
+pub struct SearchOrder {
+    /// The visit order: `order[0]` is matched first.
+    pub order: Vec<PNode>,
+    /// `backward[i]` = the pattern neighbors of `order[i]` that appear at
+    /// positions `< i` in `order` (as positions, not node ids).
+    pub backward: Vec<Vec<usize>>,
+    /// `position[v.index()]` = index of `v` in `order`.
+    pub position: Vec<usize>,
+}
+
+impl SearchOrder {
+    /// Build a search order for `p`.
+    ///
+    /// If the positive-edge structure is disconnected, each subsequent
+    /// component starts a new "island" (matching then degenerates to a
+    /// cross product, which is the only correct semantics).
+    pub fn new(p: &Pattern) -> Self {
+        let n = p.num_nodes();
+        let mut order: Vec<PNode> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+
+        // Seed scoring: prefer label-constrained, then high pattern degree.
+        let seed_score =
+            |v: PNode| (p.label(v).is_some() as usize, p.degree(v), std::cmp::Reverse(v));
+
+        while order.len() < n {
+            // Start (or restart, for disconnected patterns) from the best
+            // unplaced seed.
+            let seed = p
+                .nodes()
+                .filter(|v| !placed[v.index()])
+                .max_by_key(|&v| seed_score(v))
+                .expect("unplaced node exists");
+            placed[seed.index()] = true;
+            order.push(seed);
+
+            loop {
+                // Greedy: next node = unplaced node with the most placed
+                // neighbors; ties by seed score.
+                let next = p
+                    .nodes()
+                    .filter(|v| !placed[v.index()])
+                    .map(|v| {
+                        let conn = p
+                            .neighbors(v)
+                            .iter()
+                            .filter(|w| placed[w.index()])
+                            .count();
+                        (conn, v)
+                    })
+                    .filter(|&(conn, _)| conn > 0)
+                    .max_by_key(|&(conn, v)| (conn, seed_score(v)));
+                match next {
+                    Some((_, v)) => {
+                        placed[v.index()] = true;
+                        order.push(v);
+                    }
+                    None => break, // component exhausted
+                }
+            }
+        }
+
+        let mut position = vec![0usize; n];
+        for (i, &v) in order.iter().enumerate() {
+            position[v.index()] = i;
+        }
+        let backward = order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut back: Vec<usize> = p
+                    .neighbors(v)
+                    .iter()
+                    .map(|w| position[w.index()])
+                    .filter(|&j| j < i)
+                    .collect();
+                back.sort_unstable();
+                back
+            })
+            .collect();
+
+        SearchOrder {
+            order,
+            backward,
+            position,
+        }
+    }
+
+    /// Number of pattern nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True for the (impossible in practice) empty order.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Pattern;
+
+    fn connected_prefixes(p: &Pattern, order: &[PNode]) -> bool {
+        // Every node after the first in its component-run must connect to an
+        // earlier node, unless it starts a new component.
+        for (i, &v) in order.iter().enumerate().skip(1) {
+            let has_back = p
+                .neighbors(v)
+                .iter()
+                .any(|w| order[..i].contains(w));
+            if !has_back {
+                // Allowed only if v is genuinely disconnected from ALL
+                // earlier nodes in the pattern.
+                let reachable_earlier = order[..i].iter().any(|&u| {
+                    crate::analysis::PatternAnalysis::new(p).distance(u, v)
+                        != crate::analysis::UNREACHABLE
+                });
+                if reachable_earlier {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn triangle_order_all_prefixes_connected() {
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let o = SearchOrder::new(&p);
+        assert_eq!(o.len(), 3);
+        assert!(connected_prefixes(&p, &o.order));
+        // Third node must have two back-edges in a triangle.
+        assert_eq!(o.backward[2].len(), 2);
+        assert_eq!(o.backward[0].len(), 0);
+    }
+
+    #[test]
+    fn square_order() {
+        let p = Pattern::parse("PATTERN s { ?A-?B; ?B-?C; ?C-?D; ?D-?A; }").unwrap();
+        let o = SearchOrder::new(&p);
+        assert!(connected_prefixes(&p, &o.order));
+        // Last node closes the square: 2 back-edges.
+        assert_eq!(o.backward[3].len(), 2);
+    }
+
+    #[test]
+    fn labeled_seed_preferred() {
+        let p = Pattern::parse("PATTERN p { ?A-?B; ?B-?C; [?C.LABEL=1]; }").unwrap();
+        let o = SearchOrder::new(&p);
+        assert_eq!(o.order[0], p.node_by_name("C").unwrap());
+    }
+
+    #[test]
+    fn positions_invert_order() {
+        let p = Pattern::parse("PATTERN s { ?A-?B; ?B-?C; ?C-?D; ?D-?A; }").unwrap();
+        let o = SearchOrder::new(&p);
+        for (i, &v) in o.order.iter().enumerate() {
+            assert_eq!(o.position[v.index()], i);
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_gets_full_order() {
+        let p = Pattern::parse("PATTERN p { ?A-?B; ?C; }").unwrap();
+        let o = SearchOrder::new(&p);
+        assert_eq!(o.len(), 3);
+        // The isolated node has no backward edges wherever it lands.
+        let c = p.node_by_name("C").unwrap();
+        let pos = o.position[c.index()];
+        assert!(o.backward[pos].is_empty());
+    }
+
+    #[test]
+    fn single_node() {
+        let p = Pattern::parse("PATTERN p { ?A; }").unwrap();
+        let o = SearchOrder::new(&p);
+        assert_eq!(o.order, vec![PNode(0)]);
+        assert!(!o.is_empty());
+    }
+}

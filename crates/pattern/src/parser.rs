@@ -1,0 +1,864 @@
+//! Parser for the pattern specification DSL (Table I of the paper).
+//!
+//! Grammar (keywords are case-insensitive):
+//!
+//! ```text
+//! pattern    := 'PATTERN' name '{' item* '}'
+//! item       := node-decl | edge-decl | predicate | subpattern
+//! node-decl  := var ';'                      e.g.  ?A;
+//! edge-decl  := var edge-op var ';'          e.g.  ?A-?B;  ?A->?B;  ?A!->?C;
+//! edge-op    := '-' | '->' | '<-' | '!-' | '!->' | '!<-'
+//! predicate  := '[' lhs cmp rhs ']' ';'?
+//! lhs        := var '.' attr
+//!             | 'EDGE' '(' var ',' var ')' '.' attr
+//! rhs        := literal | var '.' attr
+//! cmp        := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! subpattern := 'SUBPATTERN' name '{' (var ';')* '}'
+//! literal    := int | float | 'single-quoted string' | true | false
+//! ```
+//!
+//! `?X.LABEL = <int>` equality predicates are folded into node label
+//! constraints (the fast path of candidate enumeration); all other
+//! predicates are retained for the final filtering step.
+
+use crate::model::{PNode, Pattern, PatternBuilder};
+use crate::predicate::{is_label_attr, CmpOp, EdgePredicate, NodePredicate, PredRhs};
+use ego_graph::{AttrValue, Label};
+use std::fmt;
+
+/// A parse failure, with 1-based line/column of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Var(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Dot,
+    Cmp(CmpOp),
+    /// `-`, `->`, `<-`, `!-`, `!->`, `!<-`
+    Edge {
+        directed: bool,
+        negated: bool,
+        reversed: bool,
+    },
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Var(s) => write!(f, "`?{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Float(x) => write!(f, "`{x}`"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Cmp(op) => write!(f, "`{op}`"),
+            Tok::Edge {
+                directed,
+                negated,
+                reversed,
+            } => {
+                let neg = if *negated { "!" } else { "" };
+                let arrow = match (directed, reversed) {
+                    (false, _) => "-",
+                    (true, false) => "->",
+                    (true, true) => "<-",
+                };
+                write!(f, "`{neg}{arrow}`")
+            }
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+type Spanned = (Tok, usize, usize);
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // `#` starts a line comment.
+                Some(b'#') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number(&mut self, negative: bool) -> Result<Tok, ParseError> {
+        let mut s = String::new();
+        if negative {
+            s.push('-');
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c as char);
+                self.bump();
+            } else if c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                s.push('.');
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            s.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| self.err(format!("bad float `{s}`: {e}")))
+        } else {
+            s.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.err(format!("bad integer `{s}`: {e}")))
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Spanned, ParseError> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let tok = match self.peek() {
+            None => Tok::Eof,
+            Some(b'{') => {
+                self.bump();
+                Tok::LBrace
+            }
+            Some(b'}') => {
+                self.bump();
+                Tok::RBrace
+            }
+            Some(b'[') => {
+                self.bump();
+                Tok::LBracket
+            }
+            Some(b']') => {
+                self.bump();
+                Tok::RBracket
+            }
+            Some(b'(') => {
+                self.bump();
+                Tok::LParen
+            }
+            Some(b')') => {
+                self.bump();
+                Tok::RParen
+            }
+            Some(b';') => {
+                self.bump();
+                Tok::Semi
+            }
+            Some(b',') => {
+                self.bump();
+                Tok::Comma
+            }
+            Some(b'.') => {
+                self.bump();
+                Tok::Dot
+            }
+            Some(b'?') => {
+                self.bump();
+                let name = self.ident();
+                if name.is_empty() {
+                    return Err(self.err("expected variable name after `?`"));
+                }
+                Tok::Var(name)
+            }
+            Some(b'\'') | Some(b'"') => {
+                let quote = self.bump().unwrap();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return Err(self.err("unterminated string literal")),
+                        Some(c) if c == quote => break,
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                Tok::Str(s)
+            }
+            Some(b'=') => {
+                self.bump();
+                Tok::Cmp(CmpOp::Eq)
+            }
+            Some(b'<') => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Tok::Cmp(CmpOp::Le)
+                    }
+                    Some(b'-') => {
+                        self.bump();
+                        Tok::Edge {
+                            directed: true,
+                            negated: false,
+                            reversed: true,
+                        }
+                    }
+                    _ => Tok::Cmp(CmpOp::Lt),
+                }
+            }
+            Some(b'>') => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Cmp(CmpOp::Ge)
+                } else {
+                    Tok::Cmp(CmpOp::Gt)
+                }
+            }
+            Some(b'!') => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Tok::Cmp(CmpOp::Ne)
+                    }
+                    Some(b'-') => {
+                        self.bump();
+                        if self.peek() == Some(b'>') {
+                            self.bump();
+                            Tok::Edge {
+                                directed: true,
+                                negated: true,
+                                reversed: false,
+                            }
+                        } else {
+                            Tok::Edge {
+                                directed: false,
+                                negated: true,
+                                reversed: false,
+                            }
+                        }
+                    }
+                    Some(b'<') => {
+                        self.bump();
+                        if self.peek() == Some(b'-') {
+                            self.bump();
+                            Tok::Edge {
+                                directed: true,
+                                negated: true,
+                                reversed: true,
+                            }
+                        } else {
+                            return Err(self.err("expected `!<-`"));
+                        }
+                    }
+                    _ => return Err(self.err("expected `!=`, `!-`, `!->`, or `!<-`")),
+                }
+            }
+            Some(b'-') => {
+                self.bump();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.bump();
+                        Tok::Edge {
+                            directed: true,
+                            negated: false,
+                            reversed: false,
+                        }
+                    }
+                    Some(c) if c.is_ascii_digit() => self.number(true)?,
+                    _ => Tok::Edge {
+                        directed: false,
+                        negated: false,
+                        reversed: false,
+                    },
+                }
+            }
+            Some(c) if c.is_ascii_digit() => self.number(false)?,
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => Tok::Ident(self.ident()),
+            Some(c) => return Err(self.err(format!("unexpected character `{}`", c as char))),
+        };
+        Ok((tok, line, col))
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_tok()?;
+            let done = t.0 == Tok::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        let (_, line, col) = self.toks[self.pos];
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err_here(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn var(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Var(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err_here(format!("expected variable, found {other}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<AttrValue, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(AttrValue::Int(i))
+            }
+            Tok::Float(x) => {
+                self.bump();
+                Ok(AttrValue::Float(x))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(AttrValue::Str(s))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.bump();
+                Ok(AttrValue::Bool(true))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.bump();
+                Ok(AttrValue::Bool(false))
+            }
+            other => Err(self.err_here(format!("expected literal, found {other}"))),
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, ParseError> {
+        self.expect_keyword("PATTERN")?;
+        let name = self.ident()?;
+        let mut b = Pattern::builder(&name);
+        self.expect(&Tok::LBrace)?;
+        // Two-phase subpattern collection: members may be declared before use.
+        let mut subpatterns: Vec<(String, Vec<String>, usize, usize)> = Vec::new();
+        loop {
+            match self.peek().clone() {
+                Tok::RBrace => {
+                    self.bump();
+                    break;
+                }
+                Tok::Var(_) => self.edge_or_node_decl(&mut b)?,
+                Tok::LBracket => self.predicate(&mut b)?,
+                Tok::Ident(s) if s.eq_ignore_ascii_case("SUBPATTERN") => {
+                    let (_, line, col) = self.toks[self.pos];
+                    self.bump();
+                    let sp_name = self.ident()?;
+                    self.expect(&Tok::LBrace)?;
+                    let mut members = Vec::new();
+                    while let Tok::Var(_) = self.peek() {
+                        members.push(self.var()?);
+                        if *self.peek() == Tok::Semi {
+                            self.bump();
+                        }
+                    }
+                    self.expect(&Tok::RBrace)?;
+                    if *self.peek() == Tok::Semi {
+                        self.bump();
+                    }
+                    subpatterns.push((sp_name, members, line, col));
+                }
+                Tok::Eof => return Err(self.err_here("unexpected end of input, expected `}`")),
+                other => {
+                    return Err(self.err_here(format!(
+                        "expected node/edge declaration, predicate, or SUBPATTERN, found {other}"
+                    )))
+                }
+            }
+        }
+        match self.peek() {
+            Tok::Eof => {}
+            other => {
+                return Err(self.err_here(format!("trailing input after pattern: {other}")));
+            }
+        }
+        let mut pattern_nodes: Vec<(String, Vec<PNode>)> = Vec::new();
+        for (sp_name, members, line, col) in subpatterns {
+            let mut ids = Vec::new();
+            for m in &members {
+                match builder_lookup(&b, m) {
+                    Some(id) => ids.push(id),
+                    None => {
+                        return Err(ParseError {
+                            line,
+                            col,
+                            message: format!("subpattern `{sp_name}` references unknown variable ?{m}"),
+                        })
+                    }
+                }
+            }
+            if ids.is_empty() {
+                return Err(ParseError {
+                    line,
+                    col,
+                    message: format!("subpattern `{sp_name}` has no members"),
+                });
+            }
+            pattern_nodes.push((sp_name, ids));
+        }
+        for (sp_name, ids) in pattern_nodes {
+            b.subpattern(&sp_name, ids);
+        }
+        b.build_checked().map_err(|m| ParseError {
+            line: 1,
+            col: 1,
+            message: m,
+        })
+    }
+
+    fn edge_or_node_decl(&mut self, b: &mut PatternBuilder) -> Result<(), ParseError> {
+        let lhs = self.var()?;
+        let a = b.node_or_existing(&lhs);
+        match self.peek().clone() {
+            Tok::Semi => {
+                self.bump();
+                Ok(())
+            }
+            Tok::Edge {
+                directed,
+                negated,
+                reversed,
+            } => {
+                self.bump();
+                let rhs = self.var()?;
+                let c = b.node_or_existing(&rhs);
+                if a == c {
+                    return Err(self.err_here(format!("self-loop on ?{lhs}")));
+                }
+                let (src, dst) = if reversed { (c, a) } else { (a, c) };
+                match (directed, negated) {
+                    (false, false) => b.edge(src, dst),
+                    (true, false) => b.directed_edge(src, dst),
+                    (false, true) => b.negated_edge(src, dst),
+                    (true, true) => b.negated_directed_edge(src, dst),
+                };
+                self.expect(&Tok::Semi)
+            }
+            other => Err(self.err_here(format!("expected `;` or an edge operator, found {other}"))),
+        }
+    }
+
+    fn predicate(&mut self, b: &mut PatternBuilder) -> Result<(), ParseError> {
+        self.expect(&Tok::LBracket)?;
+        match self.peek().clone() {
+            // EDGE(?A,?B).attr OP literal
+            Tok::Ident(s) if s.eq_ignore_ascii_case("EDGE") => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let va = self.var()?;
+                self.expect(&Tok::Comma)?;
+                let vb = self.var()?;
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Dot)?;
+                let attr = self.ident()?;
+                let op = self.cmp_op()?;
+                let rhs = self.literal()?;
+                self.expect(&Tok::RBracket)?;
+                if *self.peek() == Tok::Semi {
+                    self.bump();
+                }
+                let a = b.node_or_existing(&va);
+                let bb = b.node_or_existing(&vb);
+                b.edge_predicate(EdgePredicate {
+                    a,
+                    b: bb,
+                    attr,
+                    op,
+                    rhs,
+                });
+                Ok(())
+            }
+            // ?A.attr OP (literal | ?B.attr)
+            Tok::Var(_) => {
+                let v = self.var()?;
+                self.expect(&Tok::Dot)?;
+                let attr = self.ident()?;
+                let op = self.cmp_op()?;
+                let node = b.node_or_existing(&v);
+                let rhs = match self.peek().clone() {
+                    Tok::Var(_) => {
+                        let v2 = self.var()?;
+                        self.expect(&Tok::Dot)?;
+                        let attr2 = self.ident()?;
+                        let other = b.node_or_existing(&v2);
+                        PredRhs::NodeAttr(other, attr2)
+                    }
+                    _ => PredRhs::Const(self.literal()?),
+                };
+                self.expect(&Tok::RBracket)?;
+                if *self.peek() == Tok::Semi {
+                    self.bump();
+                }
+                // Fast path: fold `?X.LABEL = <int>` into a label constraint.
+                if let (true, CmpOp::Eq, PredRhs::Const(AttrValue::Int(l))) =
+                    (is_label_attr(&attr), op, &rhs)
+                {
+                    if *l >= 0 && *l <= u16::MAX as i64 {
+                        b.label(node, Label(*l as u16));
+                        return Ok(());
+                    }
+                }
+                b.node_predicate(NodePredicate {
+                    node,
+                    attr,
+                    op,
+                    rhs,
+                });
+                Ok(())
+            }
+            other => Err(self.err_here(format!(
+                "expected `?var.attr` or `EDGE(?a,?b).attr` in predicate, found {other}"
+            ))),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        match self.peek().clone() {
+            Tok::Cmp(op) => {
+                self.bump();
+                Ok(op)
+            }
+            other => Err(self.err_here(format!("expected comparison operator, found {other}"))),
+        }
+    }
+}
+
+fn builder_lookup(b: &PatternBuilder, var: &str) -> Option<PNode> {
+    b.peek_pattern().node_by_name(var)
+}
+
+/// Parse a single `PATTERN name { ... }` declaration.
+pub fn parse_pattern(text: &str) -> Result<Pattern, ParseError> {
+    let toks = Lexer::new(text).tokenize()?;
+    let mut p = Parser { toks, pos: 0 };
+    p.pattern()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_single_node() {
+        let p = parse_pattern("PATTERN single_node {?A;}").unwrap();
+        assert_eq!(p.name(), "single_node");
+        assert_eq!(p.num_nodes(), 1);
+        assert!(p.positive_edges().is_empty());
+    }
+
+    #[test]
+    fn table1_single_edge() {
+        let p = parse_pattern("PATTERN single_edge {?A-?B;}").unwrap();
+        assert_eq!(p.num_nodes(), 2);
+        assert_eq!(p.positive_edges().len(), 1);
+        assert!(!p.positive_edges()[0].directed);
+    }
+
+    #[test]
+    fn table1_square() {
+        let p = parse_pattern(
+            "PATTERN square {
+                ?A-?B;  ?B-?C;
+                ?C-?D;  ?D-?A;
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.num_nodes(), 4);
+        assert_eq!(p.positive_edges().len(), 4);
+        assert!(p.is_connected());
+    }
+
+    #[test]
+    fn table1_triad_with_subpattern() {
+        let p = parse_pattern(
+            "PATTERN triad {
+                ?A->?B; ?B->?C; ?A!->?C;
+                [?A.LABEL=?B.LABEL];
+                [?B.LABEL=?C.LABEL];
+                SUBPATTERN coordinator {?B;}
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.num_nodes(), 3);
+        assert_eq!(p.positive_edges().len(), 2);
+        assert!(p.positive_edges().iter().all(|e| e.directed));
+        assert_eq!(p.negative_edges().len(), 1);
+        assert!(p.negative_edges()[0].directed);
+        assert_eq!(p.node_predicates().len(), 2);
+        let sp = p.subpattern("coordinator").unwrap();
+        assert_eq!(sp.nodes.len(), 1);
+        assert_eq!(p.var_name(sp.nodes[0]), "B");
+    }
+
+    #[test]
+    fn label_constant_folded_into_constraint() {
+        let p = parse_pattern("PATTERN p { ?A-?B; [?A.LABEL=2]; }").unwrap();
+        let a = p.node_by_name("A").unwrap();
+        assert_eq!(p.label(a), Some(Label(2)));
+        assert!(p.node_predicates().is_empty());
+        assert!(p.is_labeled());
+    }
+
+    #[test]
+    fn label_inequality_not_folded() {
+        let p = parse_pattern("PATTERN p { ?A-?B; [?A.LABEL!=2]; }").unwrap();
+        let a = p.node_by_name("A").unwrap();
+        assert_eq!(p.label(a), None);
+        assert_eq!(p.node_predicates().len(), 1);
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        let p = parse_pattern(
+            "PATTERN p { ?A-?B; [?A.age>=30]; [?A.name='bob']; [?B.score<1.5]; [?A.ok=true]; }",
+        )
+        .unwrap();
+        assert_eq!(p.node_predicates().len(), 4);
+        assert_eq!(p.node_predicates()[0].op, CmpOp::Ge);
+        assert_eq!(
+            p.node_predicates()[1].rhs,
+            PredRhs::Const(AttrValue::Str("bob".into()))
+        );
+        assert_eq!(
+            p.node_predicates()[2].rhs,
+            PredRhs::Const(AttrValue::Float(1.5))
+        );
+        assert_eq!(
+            p.node_predicates()[3].rhs,
+            PredRhs::Const(AttrValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn negative_literal() {
+        let p = parse_pattern("PATTERN p { ?A-?B; [EDGE(?A,?B).sign=-1]; }").unwrap();
+        assert_eq!(p.edge_predicates().len(), 1);
+        assert_eq!(p.edge_predicates()[0].rhs, AttrValue::Int(-1));
+    }
+
+    #[test]
+    fn reversed_arrow() {
+        let p = parse_pattern("PATTERN p { ?A<-?B; }").unwrap();
+        let e = p.positive_edges()[0];
+        assert!(e.directed);
+        assert_eq!(p.var_name(e.a), "B");
+        assert_eq!(p.var_name(e.b), "A");
+    }
+
+    #[test]
+    fn negated_undirected_edge() {
+        let p = parse_pattern("PATTERN p { ?A-?B; ?B-?C; ?A!-?C; }").unwrap();
+        assert_eq!(p.negative_edges().len(), 1);
+        assert!(!p.negative_edges()[0].directed);
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let p = parse_pattern("# heading\nPATTERN p { ?A-?B; # inline\n }").unwrap();
+        assert_eq!(p.num_nodes(), 2);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let p = parse_pattern("pattern p { ?A-?B; subpattern s {?A;} }").unwrap();
+        assert!(p.subpattern("s").is_some());
+    }
+
+    #[test]
+    fn error_unknown_subpattern_member() {
+        let err = parse_pattern("PATTERN p { ?A; SUBPATTERN s {?Z;} }").unwrap_err();
+        assert!(err.message.contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn error_self_loop() {
+        let err = parse_pattern("PATTERN p { ?A-?A; }").unwrap_err();
+        assert!(err.message.contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn error_missing_semicolon() {
+        assert!(parse_pattern("PATTERN p { ?A-?B }").is_err());
+    }
+
+    #[test]
+    fn error_truncated() {
+        assert!(parse_pattern("PATTERN p { ?A-?B;").is_err());
+        assert!(parse_pattern("PATTERN p").is_err());
+        assert!(parse_pattern("").is_err());
+    }
+
+    #[test]
+    fn error_trailing_garbage() {
+        assert!(parse_pattern("PATTERN p { ?A; } extra").is_err());
+    }
+
+    #[test]
+    fn error_positions_reported() {
+        let err = parse_pattern("PATTERN p {\n  ?A @ ?B;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn string_with_double_quotes() {
+        let p = parse_pattern("PATTERN p { ?A; [?A.name=\"alice\"]; }").unwrap();
+        assert_eq!(
+            p.node_predicates()[0].rhs,
+            PredRhs::Const(AttrValue::Str("alice".into()))
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Predicates over pattern node and edge attributes.
+//!
+//! Following the paper's footnote 1, `?X.LABEL = const` predicates are
+//! folded into node label constraints and pushed into candidate
+//! enumeration; everything else (join predicates like
+//! `?A.LABEL = ?B.LABEL`, general attribute comparisons, negation) is
+//! evaluated as a final filtering step over candidate embeddings.
+
+use crate::model::PNode;
+use ego_graph::{AttrValue, Graph, NodeId};
+use std::fmt;
+
+/// Comparison operators supported in predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Right-hand side of a node predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredRhs {
+    /// A literal value.
+    Const(AttrValue),
+    /// Another pattern node's attribute (a join predicate).
+    NodeAttr(PNode, String),
+}
+
+/// A predicate `?X.attr OP rhs`. The pseudo-attribute `LABEL` refers to
+/// the node's label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodePredicate {
+    /// The constrained pattern node.
+    pub node: PNode,
+    /// Attribute name (`LABEL` for the label).
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: PredRhs,
+}
+
+/// A predicate `EDGE(?A,?B).attr OP const` over an edge attribute between
+/// the images of two pattern nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgePredicate {
+    /// First endpoint.
+    pub a: PNode,
+    /// Second endpoint.
+    pub b: PNode,
+    /// Edge attribute name.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Literal right-hand side.
+    pub rhs: AttrValue,
+}
+
+/// Is `attr` the label pseudo-attribute?
+pub fn is_label_attr(attr: &str) -> bool {
+    attr.eq_ignore_ascii_case("LABEL")
+}
+
+/// Fetch the value of `attr` on database node `n` — the label (as an Int)
+/// for `LABEL`, otherwise the stored attribute.
+pub fn node_attr_value(g: &Graph, n: NodeId, attr: &str) -> Option<AttrValue> {
+    if is_label_attr(attr) {
+        Some(AttrValue::Int(g.label(n).0 as i64))
+    } else {
+        g.node_attr(n, attr).cloned()
+    }
+}
+
+impl NodePredicate {
+    /// Evaluate against an embedding `assignment[v.index()]` = image of `v`.
+    /// A missing attribute fails the predicate (SQL-like NULL semantics:
+    /// comparisons with NULL are not true).
+    pub fn eval(&self, g: &Graph, assignment: &[NodeId]) -> bool {
+        let lhs = match node_attr_value(g, assignment[self.node.index()], &self.attr) {
+            Some(v) => v,
+            None => return false,
+        };
+        let rhs = match &self.rhs {
+            PredRhs::Const(v) => v.clone(),
+            PredRhs::NodeAttr(other, attr) => {
+                match node_attr_value(g, assignment[other.index()], attr) {
+                    Some(v) => v,
+                    None => return false,
+                }
+            }
+        };
+        match lhs.partial_cmp_loose(&rhs) {
+            Some(ord) => self.op.eval(ord),
+            None => false,
+        }
+    }
+}
+
+impl EdgePredicate {
+    /// Evaluate against an embedding.
+    pub fn eval(&self, g: &Graph, assignment: &[NodeId]) -> bool {
+        let na = assignment[self.a.index()];
+        let nb = assignment[self.b.index()];
+        let lhs = match g.edge_attr(na, nb, &self.attr) {
+            Some(v) => v.clone(),
+            None => return false,
+        };
+        match lhs.partial_cmp_loose(&self.rhs) {
+            Some(ord) => self.op.eval(ord),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ego_graph::{GraphBuilder, Label};
+
+    fn two_nodes() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        let a = b.add_node(Label(1));
+        let c = b.add_node(Label(1));
+        b.add_edge(a, c);
+        b.set_node_attr(a, "age", 30i64);
+        b.set_node_attr(c, "age", 40i64);
+        b.set_edge_attr(a, c, "sign", -1i64);
+        b.build()
+    }
+
+    #[test]
+    fn cmp_op_semantics() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Gt.eval(Greater));
+        assert!(CmpOp::Ge.eval(Equal));
+        assert!(!CmpOp::Ge.eval(Less));
+    }
+
+    #[test]
+    fn label_pseudo_attribute() {
+        let g = two_nodes();
+        let pred = NodePredicate {
+            node: PNode(0),
+            attr: "LABEL".into(),
+            op: CmpOp::Eq,
+            rhs: PredRhs::Const(AttrValue::Int(1)),
+        };
+        assert!(pred.eval(&g, &[NodeId(0), NodeId(1)]));
+        let pred_ne = NodePredicate {
+            node: PNode(0),
+            attr: "label".into(),
+            op: CmpOp::Eq,
+            rhs: PredRhs::Const(AttrValue::Int(2)),
+        };
+        assert!(!pred_ne.eval(&g, &[NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn join_predicate_on_labels() {
+        let g = two_nodes();
+        let pred = NodePredicate {
+            node: PNode(0),
+            attr: "LABEL".into(),
+            op: CmpOp::Eq,
+            rhs: PredRhs::NodeAttr(PNode(1), "LABEL".into()),
+        };
+        assert!(pred.eval(&g, &[NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn attribute_comparison() {
+        let g = two_nodes();
+        let pred = NodePredicate {
+            node: PNode(0),
+            attr: "age".into(),
+            op: CmpOp::Lt,
+            rhs: PredRhs::NodeAttr(PNode(1), "age".into()),
+        };
+        assert!(pred.eval(&g, &[NodeId(0), NodeId(1)]));
+        assert!(!pred.eval(&g, &[NodeId(1), NodeId(0)]));
+    }
+
+    #[test]
+    fn missing_attribute_fails() {
+        let g = two_nodes();
+        let pred = NodePredicate {
+            node: PNode(0),
+            attr: "height".into(),
+            op: CmpOp::Eq,
+            rhs: PredRhs::Const(AttrValue::Int(1)),
+        };
+        assert!(!pred.eval(&g, &[NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn incomparable_types_fail() {
+        let g = two_nodes();
+        let pred = NodePredicate {
+            node: PNode(0),
+            attr: "age".into(),
+            op: CmpOp::Eq,
+            rhs: PredRhs::Const(AttrValue::Str("thirty".into())),
+        };
+        assert!(!pred.eval(&g, &[NodeId(0), NodeId(1)]));
+    }
+
+    #[test]
+    fn edge_predicate_eval() {
+        let g = two_nodes();
+        let pred = EdgePredicate {
+            a: PNode(0),
+            b: PNode(1),
+            attr: "sign".into(),
+            op: CmpOp::Eq,
+            rhs: AttrValue::Int(-1),
+        };
+        assert!(pred.eval(&g, &[NodeId(0), NodeId(1)]));
+        // Reversed endpoints still find the undirected edge attribute.
+        assert!(pred.eval(&g, &[NodeId(1), NodeId(0)]));
+        let missing = EdgePredicate {
+            a: PNode(0),
+            b: PNode(1),
+            attr: "weight".into(),
+            op: CmpOp::Eq,
+            rhs: AttrValue::Int(0),
+        };
+        assert!(!missing.eval(&g, &[NodeId(0), NodeId(1)]));
+    }
+}

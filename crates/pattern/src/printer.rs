@@ -1,0 +1,177 @@
+//! Pattern → DSL rendering, the inverse of [`crate::parser`].
+//!
+//! Useful for catalogs that persist patterns, error messages, and the
+//! round-trip tests that pin the parser and model to each other.
+
+use crate::model::{PNode, Pattern};
+use crate::predicate::PredRhs;
+use ego_graph::AttrValue;
+use std::fmt::Write as _;
+
+/// Render `p` as a `PATTERN name { ... }` declaration that parses back to
+/// an equivalent pattern.
+pub fn to_dsl(p: &Pattern) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "PATTERN {} {{", p.name());
+    let var = |v: PNode| format!("?{}", p.var_name(v));
+
+    // Declare every node up front, in id order: the parser assigns ids by
+    // first mention, so this pins the round-tripped pattern's node ids to
+    // the original's (and covers isolated nodes).
+    for v in p.nodes() {
+        let _ = write!(out, " {};", var(v));
+    }
+    for e in p.positive_edges() {
+        let op = if e.directed { "->" } else { "-" };
+        let _ = write!(out, " {}{op}{};", var(e.a), var(e.b));
+    }
+    for e in p.negative_edges() {
+        let op = if e.directed { "!->" } else { "!-" };
+        let _ = write!(out, " {}{op}{};", var(e.a), var(e.b));
+    }
+    for v in p.nodes() {
+        if let Some(l) = p.label(v) {
+            let _ = write!(out, " [{}.LABEL={}];", var(v), l.0);
+        }
+    }
+    for pred in p.node_predicates() {
+        let rhs = match &pred.rhs {
+            PredRhs::Const(c) => literal(c),
+            PredRhs::NodeAttr(o, attr) => format!("{}.{}", var(*o), attr),
+        };
+        let _ = write!(out, " [{}.{}{}{}];", var(pred.node), pred.attr, pred.op, rhs);
+    }
+    for pred in p.edge_predicates() {
+        let _ = write!(
+            out,
+            " [EDGE({},{}).{}{}{}];",
+            var(pred.a),
+            var(pred.b),
+            pred.attr,
+            pred.op,
+            literal(&pred.rhs)
+        );
+    }
+    for sp in p.subpatterns() {
+        let _ = write!(out, " SUBPATTERN {} {{", sp.name);
+        for &v in &sp.nodes {
+            let _ = write!(out, " {};", var(v));
+        }
+        let _ = write!(out, " }}");
+    }
+    out.push_str(" }");
+    out
+}
+
+impl std::fmt::Display for Pattern {
+    /// Renders the DSL form (see [`to_dsl`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&to_dsl(self))
+    }
+}
+
+fn literal(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Int(i) => i.to_string(),
+        AttrValue::Float(f) => {
+            let s = f.to_string();
+            if s.contains('.') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        AttrValue::Str(s) => format!("'{s}'"),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    fn roundtrip(p: &Pattern) -> Pattern {
+        let dsl = to_dsl(p);
+        Pattern::parse(&dsl).unwrap_or_else(|e| panic!("reparse `{dsl}`: {e}"))
+    }
+
+    fn assert_equivalent(a: &Pattern, b: &Pattern) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        // Variable names may be re-ordered only if declaration order
+        // changed; our printer preserves node declaration order.
+        for v in a.nodes() {
+            assert_eq!(a.var_name(v), b.var_name(v));
+            assert_eq!(a.label(v), b.label(v));
+        }
+        let norm = |p: &Pattern| {
+            let mut pos: Vec<_> = p
+                .positive_edges()
+                .iter()
+                .map(|e| (e.a, e.b, e.directed))
+                .collect();
+            pos.sort();
+            let mut neg: Vec<_> = p
+                .negative_edges()
+                .iter()
+                .map(|e| (e.a, e.b, e.directed))
+                .collect();
+            neg.sort();
+            (pos, neg)
+        };
+        assert_eq!(norm(a), norm(b));
+        assert_eq!(a.node_predicates(), b.node_predicates());
+        assert_eq!(a.edge_predicates(), b.edge_predicates());
+        assert_eq!(a.subpatterns(), b.subpatterns());
+    }
+
+    #[test]
+    fn builtins_roundtrip() {
+        for p in builtin::figure3() {
+            assert_equivalent(&p, &roundtrip(&p));
+        }
+        for p in [
+            builtin::single_node(),
+            builtin::single_edge(),
+            builtin::coordinator_triad(),
+            builtin::all_negative_triangle(),
+            builtin::couples_square(),
+        ] {
+            assert_equivalent(&p, &roundtrip(&p));
+        }
+    }
+
+    #[test]
+    fn mixed_pattern_roundtrips() {
+        let p = Pattern::parse(
+            "PATTERN mix {
+                ?A->?B; ?B-?C; ?A!-?D; ?D;
+                [?A.LABEL=3];
+                [?B.age>=30];
+                [?C.name!='bob'];
+                [?A.LABEL=?C.LABEL];
+                [EDGE(?B,?C).w<0.5];
+                SUBPATTERN core {?A; ?B;}
+            }",
+        )
+        .unwrap();
+        assert_equivalent(&p, &roundtrip(&p));
+    }
+
+    #[test]
+    fn isolated_node_declared() {
+        let p = Pattern::parse("PATTERN iso { ?A-?B; ?C; }").unwrap();
+        let dsl = to_dsl(&p);
+        assert!(dsl.contains("?C;"), "{dsl}");
+        assert_equivalent(&p, &roundtrip(&p));
+    }
+
+    #[test]
+    fn literal_rendering() {
+        assert_eq!(literal(&AttrValue::Int(-3)), "-3");
+        assert_eq!(literal(&AttrValue::Float(2.0)), "2.0");
+        assert_eq!(literal(&AttrValue::Str("x y".into())), "'x y'");
+        assert_eq!(literal(&AttrValue::Bool(true)), "true");
+    }
+}

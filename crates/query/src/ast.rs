@@ -1,0 +1,173 @@
+//! Abstract syntax tree for census SQL.
+
+use crate::value::Value;
+
+/// A reference to a column, optionally qualified by a table alias:
+/// `ID`, `n1.ID`, `age`, `n2.dept`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Table alias (`n1` in `n1.ID`), if qualified.
+    pub table: Option<String>,
+    /// Column name; `ID` is the node id, anything else an attribute.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Is this the node-id pseudo column?
+    pub fn is_id(&self) -> bool {
+        self.column.eq_ignore_ascii_case("ID")
+    }
+}
+
+/// The census neighborhood inside an aggregate call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NeighborhoodAst {
+    /// `SUBGRAPH(<col>, k)`
+    Subgraph {
+        /// The focal node column (must be an ID column).
+        node: ColumnRef,
+        /// Radius.
+        k: u32,
+    },
+    /// `SUBGRAPH-INTERSECTION(<col>, <col>, k)`
+    Intersection {
+        /// First node.
+        n1: ColumnRef,
+        /// Second node.
+        n2: ColumnRef,
+        /// Radius.
+        k: u32,
+    },
+    /// `SUBGRAPH-UNION(<col>, <col>, k)`
+    Union {
+        /// First node.
+        n1: ColumnRef,
+        /// Second node.
+        n2: ColumnRef,
+        /// Radius.
+        k: u32,
+    },
+}
+
+/// `COUNTP(p, S)` or `COUNTSP(sp, p, S)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggCall {
+    /// Subpattern name for COUNTSP; `None` for COUNTP.
+    pub subpattern: Option<String>,
+    /// Pattern name (resolved against the catalog).
+    pub pattern: String,
+    /// The search neighborhood.
+    pub neighborhood: NeighborhoodAst,
+}
+
+/// One SELECT-list item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    /// A plain column.
+    Column(ColumnRef),
+    /// A census aggregate.
+    Agg(AggCall),
+}
+
+/// Binary operators in WHERE expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A WHERE expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference.
+    Column(ColumnRef),
+    /// `RND()`: uniform random float in `[0, 1)`, fresh per row — the
+    /// paper's focal-selectivity predicate (`WHERE RND() < R`).
+    Rnd,
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `NOT expr`.
+    Not(Box<Expr>),
+}
+
+/// A table in the FROM list: always the `nodes` relation, possibly aliased.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// The alias (defaults to the table name `nodes`).
+    pub alias: String,
+}
+
+/// Sort direction in ORDER BY.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// One ORDER BY key: a 1-based projection ordinal (`ORDER BY 2 DESC`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrderKey {
+    /// 1-based index into the SELECT list.
+    pub ordinal: usize,
+    /// Direction.
+    pub dir: SortDir,
+}
+
+/// A parsed SELECT statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT-list items.
+    pub projections: Vec<Projection>,
+    /// FROM tables (1 = single-node census, 2 = pairwise).
+    pub tables: Vec<TableRef>,
+    /// Optional WHERE clause.
+    pub where_clause: Option<Expr>,
+    /// ORDER BY keys (projection ordinals).
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_ref_id_detection() {
+        let c = ColumnRef {
+            table: None,
+            column: "id".into(),
+        };
+        assert!(c.is_id());
+        let c2 = ColumnRef {
+            table: Some("n1".into()),
+            column: "age".into(),
+        };
+        assert!(!c2.is_id());
+    }
+}

@@ -1,0 +1,121 @@
+//! The pattern catalog: named patterns referenced by queries.
+
+use crate::error::QueryError;
+use ego_pattern::Pattern;
+use std::collections::HashMap;
+
+/// A registry of named patterns. `COUNTP(tri, ...)` looks up `tri` here.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    patterns: HashMap<String, Pattern>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A catalog preloaded with the paper's built-in patterns
+    /// ([`ego_pattern::builtin`]): the Figure 3 set plus `single_node`,
+    /// `single_edge`, and the coordinator triad.
+    pub fn with_builtins() -> Self {
+        let mut c = Self::new();
+        for p in ego_pattern::builtin::figure3() {
+            c.insert(p);
+        }
+        c.insert(ego_pattern::builtin::single_node());
+        c.insert(ego_pattern::builtin::single_edge());
+        c.insert(ego_pattern::builtin::coordinator_triad());
+        c
+    }
+
+    /// Parse a `PATTERN name { ... }` declaration and register it under
+    /// its own name. Returns a reference to the stored pattern.
+    pub fn define(&mut self, text: &str) -> Result<&Pattern, QueryError> {
+        let p = Pattern::parse(text)?;
+        let name = p.name().to_string();
+        self.patterns.insert(name.clone(), p);
+        Ok(&self.patterns[&name])
+    }
+
+    /// Register an already-built pattern under its name (replacing any
+    /// previous definition).
+    pub fn insert(&mut self, pattern: Pattern) {
+        self.patterns.insert(pattern.name().to_string(), pattern);
+    }
+
+    /// Look up a pattern.
+    pub fn get(&self, name: &str) -> Option<&Pattern> {
+        self.patterns.get(name)
+    }
+
+    /// Look up or error.
+    pub fn require(&self, name: &str) -> Result<&Pattern, QueryError> {
+        self.get(name)
+            .ok_or_else(|| QueryError::UnknownPattern(name.to_string()))
+    }
+
+    /// Registered pattern names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.patterns.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.define("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c.get("tri").is_some());
+        assert!(c.require("tri").is_ok());
+        assert!(matches!(
+            c.require("nope"),
+            Err(QueryError::UnknownPattern(_))
+        ));
+    }
+
+    #[test]
+    fn bad_pattern_definition() {
+        let mut c = Catalog::new();
+        assert!(matches!(
+            c.define("PATTERN broken { ?A-?A; }"),
+            Err(QueryError::PatternError(_))
+        ));
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut c = Catalog::new();
+        c.define("PATTERN p { ?A; }").unwrap();
+        c.define("PATTERN p { ?A-?B; }").unwrap();
+        assert_eq!(c.get("p").unwrap().num_nodes(), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn builtins_preloaded() {
+        let c = Catalog::with_builtins();
+        for name in ["clq3_unlb", "clq3", "clq4", "sqr", "path3", "star3",
+                     "single_node", "single_edge", "triad"] {
+            assert!(c.get(name).is_some(), "missing builtin {name}");
+        }
+    }
+}

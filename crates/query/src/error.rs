@@ -1,0 +1,70 @@
+//! Query errors.
+
+use std::fmt;
+
+/// Any failure while parsing, planning, or executing a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// Lexical or syntactic error, with 1-based position.
+    Syntax {
+        /// Line.
+        line: usize,
+        /// Column.
+        col: usize,
+        /// Description.
+        message: String,
+    },
+    /// The query references a pattern not defined in the catalog.
+    UnknownPattern(String),
+    /// A pattern definition failed to parse.
+    PatternError(String),
+    /// Semantic error (bad column, alias, aggregate shape...).
+    Semantic(String),
+    /// The census engine rejected the plan.
+    Census(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Syntax { line, col, message } => {
+                write!(f, "syntax error at {line}:{col}: {message}")
+            }
+            QueryError::UnknownPattern(name) => write!(f, "unknown pattern `{name}`"),
+            QueryError::PatternError(msg) => write!(f, "pattern error: {msg}"),
+            QueryError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            QueryError::Census(msg) => write!(f, "execution error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ego_pattern::ParseError> for QueryError {
+    fn from(e: ego_pattern::ParseError) -> Self {
+        QueryError::PatternError(e.to_string())
+    }
+}
+
+impl From<ego_census::CensusError> for QueryError {
+    fn from(e: ego_census::CensusError) -> Self {
+        QueryError::Census(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = QueryError::Syntax {
+            line: 2,
+            col: 5,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("2:5"));
+        assert!(QueryError::UnknownPattern("p".into()).to_string().contains('p'));
+        assert!(QueryError::Semantic("x".into()).to_string().contains('x'));
+    }
+}

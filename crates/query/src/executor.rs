@@ -1,0 +1,731 @@
+//! Query planning and execution.
+
+use crate::ast::{AggCall, ColumnRef, NeighborhoodAst, Projection, SelectStmt, SortDir};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::expr::{eval_predicate, RowContext};
+use crate::parser::parse_query;
+use crate::table::Table;
+use crate::value::Value;
+use ego_census::{
+    run_census_with, run_pair_census_with, Algorithm, CensusSpec, CountVector, FocalNodes,
+    PairCensusSpec, PairCounts, PairSelector, PtConfig,
+};
+use ego_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Executes census SQL against one graph.
+///
+/// The engine owns a [`Catalog`] of named patterns, an [`Algorithm`]
+/// choice (default [`Algorithm::Auto`]), pattern-driven tuning, and the
+/// RNG seed that makes `RND()` deterministic across runs.
+pub struct QueryEngine<'g> {
+    graph: &'g Graph,
+    catalog: Catalog,
+    algorithm: Algorithm,
+    pt_config: PtConfig,
+    seed: u64,
+}
+
+impl<'g> QueryEngine<'g> {
+    /// Engine with an empty catalog and default settings.
+    pub fn new(graph: &'g Graph) -> Self {
+        QueryEngine {
+            graph,
+            catalog: Catalog::new(),
+            algorithm: Algorithm::Auto,
+            pt_config: PtConfig::default(),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Engine preloaded with the paper's built-in patterns.
+    pub fn with_builtins(graph: &'g Graph) -> Self {
+        let mut e = Self::new(graph);
+        e.catalog = Catalog::with_builtins();
+        e
+    }
+
+    /// Mutable access to the pattern catalog.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The pattern catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Force a specific census algorithm (default: `Auto`).
+    pub fn set_algorithm(&mut self, a: Algorithm) {
+        self.algorithm = a;
+    }
+
+    /// Tune the pattern-driven algorithms.
+    pub fn set_pt_config(&mut self, c: PtConfig) {
+        self.pt_config = c;
+    }
+
+    /// Seed for `RND()` (deterministic per execution).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// Parse and execute a statement. `EXPLAIN SELECT ...` returns the
+    /// plan description instead of results.
+    pub fn execute(&self, sql: &str) -> Result<Table, QueryError> {
+        let trimmed = sql.trim_start();
+        if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
+            return self.explain(&trimmed[7..]);
+        }
+        let stmt = parse_query(sql)?;
+        match stmt.tables.len() {
+            1 => self.execute_single(&stmt),
+            2 => self.execute_pair(&stmt),
+            n => Err(QueryError::Semantic(format!("{n} tables unsupported"))),
+        }
+    }
+
+    /// Describe how a SELECT would run: one row per aggregate with the
+    /// pattern's shape, the neighborhood, profile-filtered candidate
+    /// estimates (the matcher's step-1 result, a cheap upper bound on
+    /// match work), and the algorithm setting.
+    pub fn explain(&self, sql: &str) -> Result<Table, QueryError> {
+        let stmt = parse_query(sql)?;
+        if stmt.tables.len() > 2 {
+            return Err(QueryError::Semantic("too many tables".into()));
+        }
+        let mut table = Table::new(vec![
+            "aggregate".into(),
+            "pattern".into(),
+            "nodes/edges".into(),
+            "neighborhood".into(),
+            "candidates".into(),
+            "algorithm".into(),
+        ]);
+        let profiles = ego_graph::profile::ProfileIndex::build(self.graph);
+        for proj in &stmt.projections {
+            let Projection::Agg(agg) = proj else { continue };
+            let pattern = self.catalog.require(&agg.pattern)?;
+            let (nb, k) = match &agg.neighborhood {
+                NeighborhoodAst::Subgraph { k, .. } => ("SUBGRAPH", *k),
+                NeighborhoodAst::Intersection { k, .. } => ("SUBGRAPH-INTERSECTION", *k),
+                NeighborhoodAst::Union { k, .. } => ("SUBGRAPH-UNION", *k),
+            };
+            // Profile-filtered candidate counts per pattern node: the
+            // matcher's first pruning step, cheap and indicative of
+            // pattern selectivity.
+            let mut mstats = ego_matcher::MatchStats::default();
+            let cs = ego_matcher::candidates::CandidateSpace::enumerate(
+                self.graph, pattern, &profiles, &mut mstats,
+            );
+            let cand_desc: Vec<String> = pattern
+                .nodes()
+                .map(|v| format!("?{}:{}", pattern.var_name(v), cs.cands[v.index()].len()))
+                .collect();
+            table.push_row(vec![
+                Value::Str(projection_name(proj)),
+                Value::Str(ego_pattern::to_dsl(pattern)),
+                Value::Str(format!(
+                    "{}/{}",
+                    pattern.num_nodes(),
+                    pattern.positive_edges().len()
+                )),
+                Value::Str(format!("{nb}(k={k})")),
+                Value::Str(cand_desc.join(" ")),
+                Value::Str(format!("{:?}", self.algorithm)),
+            ]);
+        }
+        Ok(table)
+    }
+
+    // --- single-table queries ---
+
+    fn execute_single(&self, stmt: &SelectStmt) -> Result<Table, QueryError> {
+        let alias = stmt.tables[0].alias.as_str();
+        let g = self.graph;
+
+        // WHERE -> focal node set.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut focal: Vec<NodeId> = Vec::new();
+        for n in g.node_ids() {
+            let keep = match &stmt.where_clause {
+                None => true,
+                Some(expr) => {
+                    let ctx = RowContext {
+                        graph: g,
+                        bindings: vec![(alias, n)],
+                    };
+                    eval_predicate(expr, &ctx, &mut rng)?
+                }
+            };
+            if keep {
+                focal.push(n);
+            }
+        }
+
+        // Run each aggregate once over the whole focal set.
+        let mut agg_results: Vec<CountVector> = Vec::new();
+        for proj in &stmt.projections {
+            if let Projection::Agg(agg) = proj {
+                agg_results.push(self.run_single_agg(agg, alias, &focal)?);
+            }
+        }
+
+        // Project rows.
+        let columns = stmt.projections.iter().map(projection_name).collect();
+        let mut table = Table::new(columns);
+        for &n in &focal {
+            let mut row = Vec::with_capacity(stmt.projections.len());
+            let mut agg_i = 0;
+            for proj in &stmt.projections {
+                match proj {
+                    Projection::Column(c) => {
+                        let ctx = RowContext {
+                            graph: g,
+                            bindings: vec![(alias, n)],
+                        };
+                        row.push(ctx.column_value(c)?);
+                    }
+                    Projection::Agg(_) => {
+                        row.push(Value::Int(agg_results[agg_i].get(n) as i64));
+                        agg_i += 1;
+                    }
+                }
+            }
+            table.push_row(row);
+        }
+        apply_order_limit(&mut table, stmt);
+        Ok(table)
+    }
+
+    fn run_single_agg(
+        &self,
+        agg: &AggCall,
+        alias: &str,
+        focal: &[NodeId],
+    ) -> Result<CountVector, QueryError> {
+        let (node, k) = match &agg.neighborhood {
+            NeighborhoodAst::Subgraph { node, k } => (node, *k),
+            _ => {
+                return Err(QueryError::Semantic(
+                    "SUBGRAPH-INTERSECTION/UNION require two `nodes` tables".into(),
+                ))
+            }
+        };
+        check_id_column(node, &[alias])?;
+        let pattern = self.catalog.require(&agg.pattern)?;
+        let mut spec =
+            CensusSpec::single(pattern, k).with_focal(FocalNodes::Set(focal.to_vec()));
+        if let Some(sp) = &agg.subpattern {
+            spec = spec.with_subpattern(sp);
+        }
+        Ok(run_census_with(self.graph, &spec, self.algorithm, &self.pt_config)?)
+    }
+
+    // --- pairwise queries ---
+
+    fn execute_pair(&self, stmt: &SelectStmt) -> Result<Table, QueryError> {
+        let a1 = stmt.tables[0].alias.as_str();
+        let a2 = stmt.tables[1].alias.as_str();
+        if a1.eq_ignore_ascii_case(a2) {
+            return Err(QueryError::Semantic(format!(
+                "duplicate table alias `{a1}`"
+            )));
+        }
+        let g = self.graph;
+
+        // Enumerate ordered pairs of distinct nodes passing WHERE.
+        // (Self-pairs are excluded: a pairwise neighborhood of a node with
+        // itself is just SUBGRAPH and should be queried as such.)
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ordered: Vec<(NodeId, NodeId)> = Vec::new();
+        for x in g.node_ids() {
+            for y in g.node_ids() {
+                if x == y {
+                    continue;
+                }
+                let keep = match &stmt.where_clause {
+                    None => true,
+                    Some(expr) => {
+                        let ctx = RowContext {
+                            graph: g,
+                            bindings: vec![(a1, x), (a2, y)],
+                        };
+                        eval_predicate(expr, &ctx, &mut rng)?
+                    }
+                };
+                if keep {
+                    ordered.push((x, y));
+                }
+            }
+        }
+
+        let selector = PairSelector::Pairs(ordered.clone());
+        let mut agg_results: Vec<PairCounts> = Vec::new();
+        for proj in &stmt.projections {
+            if let Projection::Agg(agg) = proj {
+                agg_results.push(self.run_pair_agg(agg, a1, a2, &selector)?);
+            }
+        }
+
+        let columns = stmt.projections.iter().map(projection_name).collect();
+        let mut table = Table::new(columns);
+        for &(x, y) in &ordered {
+            let mut row = Vec::with_capacity(stmt.projections.len());
+            let mut agg_i = 0;
+            for proj in &stmt.projections {
+                match proj {
+                    Projection::Column(c) => {
+                        let ctx = RowContext {
+                            graph: g,
+                            bindings: vec![(a1, x), (a2, y)],
+                        };
+                        row.push(ctx.column_value(c)?);
+                    }
+                    Projection::Agg(_) => {
+                        row.push(Value::Int(agg_results[agg_i].get(x, y) as i64));
+                        agg_i += 1;
+                    }
+                }
+            }
+            table.push_row(row);
+        }
+        apply_order_limit(&mut table, stmt);
+        Ok(table)
+    }
+
+    fn run_pair_agg(
+        &self,
+        agg: &AggCall,
+        a1: &str,
+        a2: &str,
+        selector: &PairSelector,
+    ) -> Result<PairCounts, QueryError> {
+        let pattern = self.catalog.require(&agg.pattern)?;
+        let mut spec = match &agg.neighborhood {
+            NeighborhoodAst::Intersection { n1, n2, k } => {
+                check_pair_columns(n1, n2, a1, a2)?;
+                PairCensusSpec::intersection(pattern, *k, selector.clone())
+            }
+            NeighborhoodAst::Union { n1, n2, k } => {
+                check_pair_columns(n1, n2, a1, a2)?;
+                PairCensusSpec::union(pattern, *k, selector.clone())
+            }
+            NeighborhoodAst::Subgraph { .. } => {
+                return Err(QueryError::Semantic(
+                    "SUBGRAPH(ID, k) is ambiguous in a two-table query; \
+                     use SUBGRAPH-INTERSECTION or SUBGRAPH-UNION"
+                        .into(),
+                ))
+            }
+        };
+        if let Some(sp) = &agg.subpattern {
+            spec = spec.with_subpattern(sp);
+        }
+        Ok(run_pair_census_with(
+            self.graph,
+            &spec,
+            self.algorithm,
+            &self.pt_config,
+        )?)
+    }
+}
+
+/// Apply ORDER BY (stable, multi-key) and LIMIT to a result table.
+fn apply_order_limit(table: &mut Table, stmt: &SelectStmt) {
+    // Sort by keys right-to-left with a stable sort = multi-key ordering.
+    for key in stmt.order_by.iter().rev() {
+        let col = key.ordinal - 1;
+        match key.dir {
+            SortDir::Desc => table.sort_desc_by(col),
+            SortDir::Asc => table.sort_asc_by(col),
+        }
+    }
+    if let Some(n) = stmt.limit {
+        table.truncate(n);
+    }
+}
+
+fn check_id_column(col: &ColumnRef, aliases: &[&str]) -> Result<(), QueryError> {
+    if !col.is_id() {
+        return Err(QueryError::Semantic(format!(
+            "neighborhood argument must be an ID column, found `{}`",
+            col.column
+        )));
+    }
+    if let Some(t) = &col.table {
+        if !aliases.iter().any(|a| a.eq_ignore_ascii_case(t)) {
+            return Err(QueryError::Semantic(format!("unknown table alias `{t}`")));
+        }
+    }
+    Ok(())
+}
+
+fn check_pair_columns(
+    n1: &ColumnRef,
+    n2: &ColumnRef,
+    a1: &str,
+    a2: &str,
+) -> Result<(), QueryError> {
+    check_id_column(n1, &[a1, a2])?;
+    check_id_column(n2, &[a1, a2])?;
+    let t1 = n1.table.as_deref().unwrap_or(a1);
+    let t2 = n2.table.as_deref().unwrap_or(a2);
+    if t1.eq_ignore_ascii_case(t2) {
+        return Err(QueryError::Semantic(
+            "pairwise neighborhood must reference both table aliases".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn projection_name(p: &Projection) -> String {
+    match p {
+        Projection::Column(c) => match &c.table {
+            Some(t) => format!("{t}.{}", c.column),
+            None => c.column.clone(),
+        },
+        Projection::Agg(a) => {
+            let nb = match &a.neighborhood {
+                NeighborhoodAst::Subgraph { node, k } => {
+                    format!("SUBGRAPH({}, {k})", col_name(node))
+                }
+                NeighborhoodAst::Intersection { n1, n2, k } => format!(
+                    "SUBGRAPH-INTERSECTION({}, {}, {k})",
+                    col_name(n1),
+                    col_name(n2)
+                ),
+                NeighborhoodAst::Union { n1, n2, k } => {
+                    format!("SUBGRAPH-UNION({}, {}, {k})", col_name(n1), col_name(n2))
+                }
+            };
+            match &a.subpattern {
+                Some(sp) => format!("COUNTSP({sp}, {}, {nb})", a.pattern),
+                None => format!("COUNTP({}, {nb})", a.pattern),
+            }
+        }
+    }
+}
+
+fn col_name(c: &ColumnRef) -> String {
+    match &c.table {
+        Some(t) => format!("{t}.{}", c.column),
+        None => c.column.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ego_graph::{GraphBuilder, Label};
+
+    /// Two triangles sharing node 2, chain 4-5-6.
+    fn fixture() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(7, Label(0));
+        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        for i in 0..7u32 {
+            // age attribute = 10 * id, for WHERE tests.
+            // (builder consumed later; set here)
+            b.set_node_attr(NodeId(i), "age", (10 * i) as i64);
+        }
+        b.build()
+    }
+
+    fn engine(g: &Graph) -> QueryEngine<'_> {
+        let mut e = QueryEngine::new(g);
+        e.catalog_mut()
+            .define("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }")
+            .unwrap();
+        e.catalog_mut().define("PATTERN node1 { ?A; }").unwrap();
+        e
+    }
+
+    #[test]
+    fn simple_census_query() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes")
+            .unwrap();
+        assert_eq!(t.num_rows(), 7);
+        assert_eq!(t.rows()[2][1], Value::Int(2));
+        assert_eq!(t.rows()[6][1], Value::Int(0));
+        assert_eq!(t.columns()[1], "COUNTP(tri, SUBGRAPH(ID, 1))");
+    }
+
+    #[test]
+    fn where_filters_rows() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE age >= 40")
+            .unwrap();
+        assert_eq!(t.num_rows(), 3); // nodes 4, 5, 6
+        assert_eq!(t.rows()[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn attribute_projection() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e.execute("SELECT ID, age FROM nodes WHERE ID < 2").unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.rows()[1][1], Value::Int(10));
+    }
+
+    #[test]
+    fn multiple_aggregates() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute(
+                "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)), COUNTP(node1, SUBGRAPH(ID, 1)) \
+                 FROM nodes WHERE ID = 2",
+            )
+            .unwrap();
+        assert_eq!(t.rows()[0][1], Value::Int(2));
+        // 1-hop ball of node 2 = {0,1,2,3,4}: 5 single-node matches.
+        assert_eq!(t.rows()[0][2], Value::Int(5));
+    }
+
+    #[test]
+    fn pairwise_intersection_query() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute(
+                "SELECT n1.ID, n2.ID, \
+                 COUNTP(node1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) \
+                 FROM nodes AS n1, nodes AS n2 WHERE n1.ID < n2.ID AND n2.ID < 3",
+            )
+            .unwrap();
+        // pairs: (0,1), (0,2), (1,2)
+        assert_eq!(t.num_rows(), 3);
+        // N1(0)={0,1,2}, N1(1)={0,1,2}: intersection 3 nodes.
+        assert_eq!(t.rows()[0][2], Value::Int(3));
+    }
+
+    #[test]
+    fn rnd_selectivity_is_seeded() {
+        let g = fixture();
+        let mut e = engine(&g);
+        e.set_seed(7);
+        let t1 = e
+            .execute("SELECT ID FROM nodes WHERE RND() < 0.5")
+            .unwrap();
+        let t2 = e
+            .execute("SELECT ID FROM nodes WHERE RND() < 0.5")
+            .unwrap();
+        assert_eq!(t1, t2);
+        assert!(t1.num_rows() < 7); // almost surely with this seed
+    }
+
+    #[test]
+    fn countsp_query() {
+        let mut b = GraphBuilder::directed();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        let g = b.build();
+        let mut e = QueryEngine::new(&g);
+        e.catalog_mut()
+            .define(
+                "PATTERN triad { ?A->?B; ?B->?C; ?A!->?C; SUBPATTERN mid {?B;} }",
+            )
+            .unwrap();
+        let t = e
+            .execute("SELECT ID, COUNTSP(mid, triad, SUBGRAPH(ID, 0)) FROM nodes")
+            .unwrap();
+        assert_eq!(t.rows()[1][1], Value::Int(1));
+        assert_eq!(t.rows()[0][1], Value::Int(0));
+    }
+
+    #[test]
+    fn semantic_errors() {
+        let g = fixture();
+        let e = engine(&g);
+        assert!(matches!(
+            e.execute("SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes"),
+            Err(QueryError::UnknownPattern(_))
+        ));
+        assert!(e
+            .execute("SELECT ID, COUNTP(tri, SUBGRAPH(age, 1)) FROM nodes")
+            .is_err());
+        assert!(e
+            .execute(
+                "SELECT n1.ID, COUNTP(tri, SUBGRAPH-INTERSECTION(n1.ID, n1.ID, 1)) \
+                 FROM nodes AS n1, nodes AS n2"
+            )
+            .is_err());
+        assert!(e
+            .execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes AS a, nodes AS a")
+            .is_err());
+    }
+
+    #[test]
+    fn algorithms_agree_through_sql() {
+        let g = fixture();
+        let mut e = engine(&g);
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes";
+        let mut results = Vec::new();
+        for algo in [
+            Algorithm::NdBaseline,
+            Algorithm::NdPivot,
+            Algorithm::NdDiff,
+            Algorithm::PtBaseline,
+            Algorithm::PtOpt,
+            Algorithm::Auto,
+        ] {
+            e.set_algorithm(algo);
+            results.push(e.execute(sql).unwrap());
+        }
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute(
+                "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes                  ORDER BY 2 DESC LIMIT 3",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 3);
+        // Node 2 (2 triangles) first; ties on 1 broken stably by prior
+        // (id) order.
+        assert_eq!(t.rows()[0][0], Value::Int(2));
+        assert_eq!(t.rows()[0][1], Value::Int(2));
+        let counts: Vec<i64> = t.rows().iter().map(|r| r[1].as_int().unwrap()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn order_by_multi_key_asc() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute(
+                "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes                  ORDER BY 2 ASC, 1 DESC",
+            )
+            .unwrap();
+        // Counts ascending; within equal counts, ids descending.
+        let rows: Vec<(i64, i64)> = t
+            .rows()
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        for w in rows.windows(2) {
+            assert!(
+                w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 > w[1].0),
+                "bad order: {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_by_errors() {
+        let g = fixture();
+        let e = engine(&g);
+        assert!(e.execute("SELECT ID FROM nodes ORDER BY 0").is_err());
+        assert!(e.execute("SELECT ID FROM nodes ORDER BY 5").is_err());
+        assert!(e.execute("SELECT ID FROM nodes LIMIT x").is_err());
+        // LIMIT 0 is legal and empty.
+        let t = e.execute("SELECT ID FROM nodes LIMIT 0").unwrap();
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn pairwise_countsp_query() {
+        let g = fixture();
+        let mut e = QueryEngine::new(&g);
+        e.catalog_mut()
+            .define("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }")
+            .unwrap();
+        let t = e
+            .execute(
+                "SELECT n1.ID, n2.ID, \
+                 COUNTSP(one, t, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) \
+                 FROM nodes AS n1, nodes AS n2 WHERE n1.ID = 0 AND n2.ID = 1",
+            )
+            .unwrap();
+        // Common 1-hop neighborhood of 0 and 1 is {0,1,2}. Anchored
+        // matches with ?A there: all three of triangle {0,1,2} plus
+        // triangle {2,3,4} anchored at A=2 (its B/C images may lie
+        // outside the neighborhood — that is the point of COUNTSP).
+        assert_eq!(t.rows()[0][2], Value::Int(4));
+    }
+
+    #[test]
+    fn pairwise_union_query() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute(
+                "SELECT n1.ID, n2.ID, \
+                 COUNTP(node1, SUBGRAPH-UNION(n1.ID, n2.ID, 1)) \
+                 FROM nodes AS n1, nodes AS n2 WHERE n1.ID = 0 AND n2.ID = 6",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 1);
+        // N1(0) = {0,1,2}, N1(6) = {5,6}: union has 5 nodes.
+        assert_eq!(t.rows()[0][2], Value::Int(5));
+    }
+
+    #[test]
+    fn pairwise_order_by_count() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute(
+                "SELECT n1.ID, n2.ID, \
+                 COUNTP(node1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) \
+                 FROM nodes AS n1, nodes AS n2 WHERE n1.ID < n2.ID AND n2.ID < 4 \
+                 ORDER BY 3 DESC LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let c0 = t.rows()[0][2].as_int().unwrap();
+        let c1 = t.rows()[1][2].as_int().unwrap();
+        assert!(c0 >= c1);
+    }
+
+    #[test]
+    fn explain_describes_plan() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute("EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
+            .unwrap();
+        assert_eq!(t.num_rows(), 1);
+        let row = &t.rows()[0];
+        assert!(row[0].to_string().contains("COUNTP(tri"));
+        assert!(row[1].to_string().contains("PATTERN tri"));
+        assert_eq!(row[2], Value::Str("3/3".into()));
+        assert!(row[3].to_string().contains("k=2"));
+        assert!(row[4].to_string().contains("?A:"));
+        // EXPLAIN of a bad query errors like the query would.
+        assert!(e
+            .execute("EXPLAIN SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes")
+            .is_err());
+    }
+
+    #[test]
+    fn csv_export_of_query() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 3")
+            .unwrap();
+        let csv = t.to_csv();
+        assert!(csv.starts_with("ID,"));
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

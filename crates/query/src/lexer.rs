@@ -1,0 +1,352 @@
+//! SQL lexer.
+
+use crate::error::QueryError;
+use std::fmt;
+
+/// A token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line.
+    pub line: usize,
+    /// Column.
+    pub col: usize,
+}
+
+/// SQL tokens. Keywords are lexed as `Ident` and matched
+/// case-insensitively by the parser.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `-` (used in `SUBGRAPH-INTERSECTION` and negative literals)
+    Minus,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(i) => write!(f, "`{i}`"),
+            Tok::Float(x) => write!(f, "`{x}`"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Eq => f.write_str("`=`"),
+            Tok::Ne => f.write_str("`!=`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Gt => f.write_str("`>`"),
+            Tok::Ge => f.write_str("`>=`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Eof => f.write_str("end of query"),
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>, QueryError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! bump {
+        () => {{
+            let c = bytes[pos];
+            pos += 1;
+            if c == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        // `--` SQL comment to end of line.
+        if c == b'-' && bytes.get(pos + 1) == Some(&b'-') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                bump!();
+            }
+            continue;
+        }
+        let (tline, tcol) = (line, col);
+        let tok = match c {
+            b'(' => {
+                bump!();
+                Tok::LParen
+            }
+            b')' => {
+                bump!();
+                Tok::RParen
+            }
+            b',' => {
+                bump!();
+                Tok::Comma
+            }
+            b'.' => {
+                bump!();
+                Tok::Dot
+            }
+            b'*' => {
+                bump!();
+                Tok::Star
+            }
+            b'=' => {
+                bump!();
+                Tok::Eq
+            }
+            b'-' => {
+                bump!();
+                Tok::Minus
+            }
+            b'!' => {
+                bump!();
+                if bytes.get(pos) == Some(&b'=') {
+                    bump!();
+                    Tok::Ne
+                } else {
+                    return Err(QueryError::Syntax {
+                        line: tline,
+                        col: tcol,
+                        message: "expected `!=`".into(),
+                    });
+                }
+            }
+            b'<' => {
+                bump!();
+                match bytes.get(pos) {
+                    Some(&b'=') => {
+                        bump!();
+                        Tok::Le
+                    }
+                    Some(&b'>') => {
+                        bump!();
+                        Tok::Ne
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            b'>' => {
+                bump!();
+                if bytes.get(pos) == Some(&b'=') {
+                    bump!();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = bump!();
+                let mut s = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        return Err(QueryError::Syntax {
+                            line: tline,
+                            col: tcol,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let ch = bump!();
+                    if ch == quote {
+                        break;
+                    }
+                    s.push(ch as char);
+                }
+                Tok::Str(s)
+            }
+            b'0'..=b'9' => {
+                let mut s = String::new();
+                let mut is_float = false;
+                while pos < bytes.len() {
+                    let ch = bytes[pos];
+                    if ch.is_ascii_digit() {
+                        s.push(bump!() as char);
+                    } else if ch == b'.'
+                        && bytes.get(pos + 1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        is_float = true;
+                        s.push(bump!() as char);
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    Tok::Float(s.parse().map_err(|e| QueryError::Syntax {
+                        line: tline,
+                        col: tcol,
+                        message: format!("bad float `{s}`: {e}"),
+                    })?)
+                } else {
+                    Tok::Int(s.parse().map_err(|e| QueryError::Syntax {
+                        line: tline,
+                        col: tcol,
+                        message: format!("bad integer `{s}`: {e}"),
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    s.push(bump!() as char);
+                }
+                Tok::Ident(s)
+            }
+            other => {
+                return Err(QueryError::Syntax {
+                    line: tline,
+                    col: tcol,
+                    message: format!("unexpected character `{}`", other as char),
+                });
+            }
+        };
+        out.push(Spanned {
+            tok,
+            line: tline,
+            col: tcol,
+        });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let t = toks("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes");
+        assert_eq!(t[0], Tok::Ident("SELECT".into()));
+        assert!(t.contains(&Tok::LParen));
+        assert!(t.contains(&Tok::Int(2)));
+        assert_eq!(*t.last().unwrap(), Tok::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("= != <> < <= > >= - *"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_function_names_lex_as_parts() {
+        let t = toks("SUBGRAPH-INTERSECTION");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("SUBGRAPH".into()),
+                Tok::Minus,
+                Tok::Ident("INTERSECTION".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            toks("3 4.5 'abc' \"d\""),
+            vec![
+                Tok::Int(3),
+                Tok::Float(4.5),
+                Tok::Str("abc".into()),
+                Tok::Str("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("SELECT -- the projection\n ID");
+        assert_eq!(
+            t,
+            vec![Tok::Ident("SELECT".into()), Tok::Ident("ID".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = tokenize("SELECT\n  @").unwrap_err();
+        match e {
+            QueryError::Syntax { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("!x").is_err());
+    }
+}

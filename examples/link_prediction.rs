@@ -1,0 +1,59 @@
+//! Link prediction over a DBLP-like co-authorship network — the paper's
+//! real-world experiment (Section V-B, Figure 4(h)), on the synthetic
+//! stand-in dataset.
+//!
+//! Nine census measures (common nodes/edges/triangles at radii 1–3) plus
+//! Jaccard and a random predictor are ranked by precision@K.
+//!
+//! ```sh
+//! cargo run --release --example link_prediction
+//! ```
+
+use egocensus::datagen::dblp::{self, DblpConfig};
+use egocensus::datagen::rng;
+use egocensus::linkpred::{run_experiment, ExperimentConfig};
+
+fn main() {
+    // Large, sparse communities: most future collaborators share 2-hop
+    // structure (community co-membership) but few direct co-authors yet —
+    // the regime where the paper found common-nodes@2 the strongest signal.
+    let cfg = DblpConfig {
+        num_authors: 1500,
+        num_communities: 15,
+        papers_per_year: 220,
+        horizon_years: 10,
+        split_year: 5,
+        cross_community_prob: 0.05,
+    };
+    let data = dblp::generate(&cfg, &mut rng(2001));
+    println!(
+        "synthetic DBLP: {} authors, {} train collaborations, {} new test collaborations",
+        data.train.num_nodes(),
+        data.train.num_edges(),
+        data.test_new_edges.len()
+    );
+
+    let results = run_experiment(
+        &data,
+        &ExperimentConfig {
+            ks: vec![50, 600],
+            seed: 7,
+        },
+    );
+
+    println!("\n{:<14} {:>8} {:>8}", "predictor", "P@50", "P@600");
+    for m in &results.measures {
+        print!("{:<14}", m.name);
+        for &(_, p) in &m.precision {
+            print!(" {p:>8.3}");
+        }
+        println!();
+    }
+
+    let nodes2 = results.measure("nodes@2").unwrap().precision[0].1;
+    let jaccard = results.measure("jaccard").unwrap().precision[0].1;
+    println!(
+        "\ncommon nodes within 2 hops vs Jaccard at K=50: {nodes2:.3} vs {jaccard:.3} \
+         (the paper reports roughly 2x)"
+    );
+}

@@ -1,0 +1,310 @@
+//! `egocensus` — command-line front end for ego-centric pattern census.
+//!
+//! ```text
+//! egocensus generate --model ba --nodes 10000 --param 5 --labels 4 --seed 1 -o g.txt
+//! egocensus stats g.txt
+//! egocensus match g.txt --pattern 'PATTERN t { ?A-?B; ?B-?C; ?A-?C; }' [--matcher gql]
+//! egocensus query g.txt --define 'PATTERN t { ... }' \
+//!     'SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes ORDER BY 2 DESC LIMIT 10' [--csv]
+//! egocensus topk g.txt --pattern 'PATTERN t { ... }' --k 2 --top 10
+//! ```
+
+use egocensus::census::{global_matches, topk, Algorithm, CensusSpec};
+use egocensus::datagen;
+use egocensus::graph::{io, stats, Graph};
+use egocensus::matcher::{find_matches, MatcherKind};
+use egocensus::pattern::Pattern;
+use egocensus::query::QueryEngine;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "match" => cmd_match(rest),
+        "query" => cmd_query(rest),
+        "topk" => cmd_topk(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand `{other}`"))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "egocensus — ego-centric graph pattern census
+
+USAGE:
+  egocensus generate --model <ba|er|ws> --nodes <N> [--param <M>] [--labels <L>]
+                     [--seed <S>] -o <file>
+  egocensus stats <graph-file>
+  egocensus match <graph-file> --pattern <DSL> [--matcher <cn|gql>]
+  egocensus query <graph-file> [--define <DSL>]... [--algorithm <name>] [--csv] <SQL>
+  egocensus topk <graph-file> --pattern <DSL> --k <radius> [--top <n>] [--subpattern <name>]
+
+Algorithms: auto (default), nd-bas, nd-pivot, nd-diff, pt-bas, pt-rnd, pt-opt."
+    );
+}
+
+/// Minimal flag parser: returns (flag values, positionals).
+struct Flags {
+    values: Vec<(String, String)>,
+    bools: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String], bool_flags: &[&str]) -> Result<Flags, String> {
+    let mut values = Vec::new();
+    let mut bools = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if bool_flags.contains(&name) {
+                bools.push(name.to_string());
+                i += 1;
+            } else {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                values.push((name.to_string(), v.clone()));
+                i += 2;
+            }
+        } else if a == "-o" {
+            let v = args.get(i + 1).ok_or("-o needs a value")?;
+            values.push(("out".to_string(), v.clone()));
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Flags {
+        values,
+        bools,
+        positional,
+    })
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.values
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value `{v}` for --{name}")),
+        }
+    }
+}
+
+/// Load a graph, auto-detecting the format: the v1 text format (first
+/// non-comment line is a `graph ...` header) or a plain SNAP-style edge
+/// list (`src dst` pairs; loaded as undirected).
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let is_v1 = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'))
+        .is_some_and(|l| l.starts_with("graph "));
+    if is_v1 {
+        io::read_graph(text.as_bytes()).map_err(|e| e.to_string())
+    } else {
+        io::read_edge_list(text.as_bytes(), false).map_err(|e| e.to_string())
+    }
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "auto" => Algorithm::Auto,
+        "nd-bas" => Algorithm::NdBaseline,
+        "nd-pivot" => Algorithm::NdPivot,
+        "nd-diff" => Algorithm::NdDiff,
+        "pt-bas" => Algorithm::PtBaseline,
+        "pt-rnd" => Algorithm::PtRandom,
+        "pt-opt" => Algorithm::PtOpt,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &[])?;
+    let model = f.get("model").unwrap_or("ba");
+    let nodes: usize = f.parse("nodes", 10_000)?;
+    let seed: u64 = f.parse("seed", 42)?;
+    let labels: u16 = f.parse("labels", 0)?;
+    let out = f.get("out").ok_or("missing -o <file>")?;
+
+    let mut rng = datagen::rng(seed);
+    let g = match model {
+        "ba" => {
+            let m: usize = f.parse("param", 5)?;
+            datagen::barabasi_albert(nodes, m, &mut rng)
+        }
+        "er" => {
+            let m: usize = f.parse("param", nodes * 5)?;
+            datagen::erdos_renyi_gnm(nodes, m, &mut rng)
+        }
+        "ws" => {
+            let k: usize = f.parse("param", 4)?;
+            datagen::watts_strogatz(nodes, k, 0.1, &mut rng)
+        }
+        other => return Err(format!("unknown model `{other}` (ba, er, ws)")),
+    };
+    let g = if labels > 0 {
+        datagen::assign_random_labels(&g, labels, &mut rng)
+    } else {
+        g
+    };
+    let mut file =
+        std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    io::write_graph(&g, &mut file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} nodes / {} edges ({} labels) to {out}",
+        g.num_nodes(),
+        g.num_edges(),
+        g.num_labels()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &[])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let g = load_graph(path)?;
+    println!("nodes:       {}", g.num_nodes());
+    println!("edges:       {}", g.num_edges());
+    println!("directed:    {}", g.is_directed());
+    println!("labels:      {}", g.num_labels());
+    println!("max degree:  {}", g.max_degree());
+    println!("components:  {}", stats::connected_components(&g));
+    println!("triangles:   {}", stats::total_triangles(&g));
+    println!("avg clustering: {:.4}", stats::average_clustering(&g));
+    println!("assortativity:  {:.4}", stats::degree_assortativity(&g));
+    println!("diameter >=: {}", stats::diameter_lower_bound(&g, 4));
+    Ok(())
+}
+
+fn cmd_match(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &[])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let pattern_text = f.get("pattern").ok_or("missing --pattern <DSL>")?;
+    let g = load_graph(path)?;
+    let p = Pattern::parse(pattern_text).map_err(|e| e.to_string())?;
+    let kind = match f.get("matcher").unwrap_or("cn") {
+        "cn" => MatcherKind::CandidateNeighbors,
+        "gql" => MatcherKind::GqlStyle,
+        other => return Err(format!("unknown matcher `{other}` (cn, gql)")),
+    };
+    let start = std::time::Instant::now();
+    let matches = find_matches(&g, &p, kind);
+    println!(
+        "{} distinct matches of `{}` in {:.3}s",
+        matches.len(),
+        p.name(),
+        start.elapsed().as_secs_f64()
+    );
+    for m in matches.iter().take(10) {
+        let nodes: Vec<String> = m.nodes.iter().map(|n| n.to_string()).collect();
+        println!("  ({})", nodes.join(", "));
+    }
+    if matches.len() > 10 {
+        println!("  ... and {} more", matches.len() - 10);
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &["csv"])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let sql = f
+        .positional
+        .get(1)
+        .ok_or("missing SQL query (quote it as one argument)")?;
+    let g = load_graph(path)?;
+    let mut engine = QueryEngine::with_builtins(&g);
+    for def in f.get_all("define") {
+        engine.catalog_mut().define(def).map_err(|e| e.to_string())?;
+    }
+    if let Some(a) = f.get("algorithm") {
+        engine.set_algorithm(parse_algorithm(a)?);
+    }
+    if let Some(seed) = f.get("seed") {
+        engine.set_seed(seed.parse().map_err(|_| "bad --seed")?);
+    }
+    let table = engine.execute(sql).map_err(|e| e.to_string())?;
+    if f.has("csv") {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{table}");
+        println!("({} rows)", table.num_rows());
+    }
+    Ok(())
+}
+
+fn cmd_topk(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &[])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let pattern_text = f.get("pattern").ok_or("missing --pattern <DSL>")?;
+    let g = load_graph(path)?;
+    let p = Pattern::parse(pattern_text).map_err(|e| e.to_string())?;
+    let k: u32 = f.parse("k", 2)?;
+    let top_n: usize = f.parse("top", 10)?;
+    let mut spec = CensusSpec::single(&p, k);
+    if let Some(sp) = f.get("subpattern") {
+        spec = spec.with_subpattern(sp);
+    }
+    let matches = global_matches(&g, &p);
+    let res = topk::top_k_census(&g, &spec, &matches, top_n).map_err(|e| e.to_string())?;
+    println!(
+        "top {} of {} focal nodes (exactly evaluated: {}):",
+        res.top.len(),
+        g.num_nodes(),
+        res.evaluated
+    );
+    for (node, count) in &res.top {
+        println!("  node {node}: {count}");
+    }
+    Ok(())
+}

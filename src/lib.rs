@@ -1,0 +1,57 @@
+//! # egocensus
+//!
+//! Facade crate for the ego-centric graph pattern census library, an
+//! open-source reproduction of Moustafa, Deshpande & Getoor,
+//! *"Ego-centric Graph Pattern Census"* (ICDE 2012).
+//!
+//! An ego-centric pattern census query counts the matches of a small
+//! structural pattern inside every focal node's `k`-hop neighborhood (or
+//! inside the intersection/union of two nodes' neighborhoods). This crate
+//! re-exports the full stack:
+//!
+//! * [`graph`] — property graph substrate (CSR, profiles, BFS, neighborhoods).
+//! * [`pattern`] — pattern model, DSL parser, pattern analysis.
+//! * [`matcher`] — subgraph isomorphism (CN algorithm + GQL-style baseline).
+//! * [`census`] — census evaluation algorithms (ND-BAS/PVOT/DIFF, PT-BAS/RND/OPT).
+//! * [`query`] — the SQL-based declarative language.
+//! * [`datagen`] — synthetic graph generators.
+//! * [`linkpred`] — the DBLP-style link prediction experiment harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use egocensus::prelude::*;
+//!
+//! // A small social network: two triangles sharing node 2.
+//! let mut b = GraphBuilder::undirected();
+//! b.add_nodes(5, Label(0));
+//! for (a, c) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)] {
+//!     b.add_edge(NodeId(a), NodeId(c));
+//! }
+//! let g = b.build();
+//!
+//! // Count triangles in every node's 1-hop neighborhood.
+//! let pattern = Pattern::parse("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+//! let spec = CensusSpec::single(&pattern, 1);
+//! let counts = run_census(&g, &spec, Algorithm::NdPivot).unwrap();
+//! assert_eq!(counts.get(NodeId(2)), 2); // node 2 sees both triangles
+//! assert_eq!(counts.get(NodeId(0)), 1);
+//! ```
+
+pub use ego_census as census;
+pub use ego_datagen as datagen;
+pub use ego_graph as graph;
+pub use ego_linkpred as linkpred;
+pub use ego_matcher as matcher;
+pub use ego_pattern as pattern;
+pub use ego_query as query;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use ego_census::pairwise::{run_pair_census, PairCensusSpec, PairSelector};
+    pub use ego_census::{run_census, run_census_with, Algorithm, CensusSpec, CountVector, PtConfig};
+    pub use ego_graph::{Graph, GraphBuilder, Label, NodeId};
+    pub use ego_matcher::{find_matches, MatcherKind};
+    pub use ego_pattern::Pattern;
+    pub use ego_query::{Catalog, QueryEngine};
+}

@@ -1,0 +1,131 @@
+//! Property-based equivalence of the CN matcher and the GQL-style
+//! baseline: both must enumerate exactly the same embeddings on arbitrary
+//! graphs (undirected and directed) and patterns.
+
+use egocensus::graph::{Graph, GraphBuilder, Label, NodeId};
+use egocensus::matcher::{find_embeddings, MatcherKind};
+use egocensus::pattern::Pattern;
+use proptest::prelude::*;
+
+fn arb_graph(directed: bool) -> impl Strategy<Value = Graph> {
+    (4usize..20, any::<u64>(), 1u16..4).prop_map(move |(n, seed, labels)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = if directed {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        };
+        for _ in 0..n {
+            b.add_node(Label((next() % labels as u64) as u16));
+        }
+        for i in 0..n as u32 {
+            for j in 0..n as u32 {
+                if i != j && next() % 5 == 0 {
+                    b.add_edge(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+fn undirected_patterns() -> Vec<Pattern> {
+    vec![
+        Pattern::parse("PATTERN e { ?A-?B; }").unwrap(),
+        Pattern::parse("PATTERN p3 { ?A-?B; ?B-?C; }").unwrap(),
+        Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap(),
+        Pattern::parse("PATTERN s { ?A-?B; ?B-?C; ?C-?D; ?D-?A; }").unwrap(),
+        Pattern::parse("PATTERN wedge { ?A-?B; ?B-?C; ?A!-?C; }").unwrap(),
+        Pattern::parse("PATTERN lbl { ?A-?B; [?A.LABEL=0]; [?B.LABEL=1]; }").unwrap(),
+        Pattern::parse("PATTERN star { ?H-?A; ?H-?B; ?H-?C; }").unwrap(),
+    ]
+}
+
+fn directed_patterns() -> Vec<Pattern> {
+    vec![
+        Pattern::parse("PATTERN de { ?A->?B; }").unwrap(),
+        Pattern::parse("PATTERN dp { ?A->?B; ?B->?C; }").unwrap(),
+        Pattern::parse("PATTERN cyc { ?A->?B; ?B->?C; ?C->?A; }").unwrap(),
+        Pattern::parse("PATTERN open { ?A->?B; ?B->?C; ?A!->?C; }").unwrap(),
+        Pattern::parse("PATTERN mutual { ?A->?B; ?B->?A; }").unwrap(),
+        Pattern::parse("PATTERN mix { ?A->?B; ?B-?C; }").unwrap(),
+    ]
+}
+
+fn canon(mut embs: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+    embs.sort();
+    embs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn undirected_equivalence(g in arb_graph(false), pi in 0usize..7) {
+        let pats = undirected_patterns();
+        let p = &pats[pi];
+        let cn = canon(find_embeddings(&g, p, MatcherKind::CandidateNeighbors));
+        let gql = canon(find_embeddings(&g, p, MatcherKind::GqlStyle));
+        let spath = canon(find_embeddings(&g, p, MatcherKind::SPathStyle));
+        prop_assert_eq!(&cn, &gql, "pattern={}", p.name());
+        prop_assert_eq!(&cn, &spath, "pattern={} (spath)", p.name());
+    }
+
+    #[test]
+    fn directed_equivalence(g in arb_graph(true), pi in 0usize..6) {
+        let pats = directed_patterns();
+        let p = &pats[pi];
+        let cn = canon(find_embeddings(&g, p, MatcherKind::CandidateNeighbors));
+        let gql = canon(find_embeddings(&g, p, MatcherKind::GqlStyle));
+        let spath = canon(find_embeddings(&g, p, MatcherKind::SPathStyle));
+        prop_assert_eq!(&cn, &gql, "pattern={}", p.name());
+        prop_assert_eq!(&cn, &spath, "pattern={} (spath)", p.name());
+    }
+
+    #[test]
+    fn embeddings_are_valid(g in arb_graph(false), pi in 0usize..7) {
+        // Every reported embedding is injective and realizes every
+        // positive edge; negated edges are absent.
+        let pats = undirected_patterns();
+        let p = &pats[pi];
+        for emb in find_embeddings(&g, p, MatcherKind::CandidateNeighbors) {
+            // Injective.
+            let mut sorted = emb.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), emb.len(), "non-injective embedding");
+            for e in p.positive_edges() {
+                prop_assert!(
+                    g.has_undirected_edge(emb[e.a.index()], emb[e.b.index()]),
+                    "missing positive edge"
+                );
+            }
+            for e in p.negative_edges() {
+                prop_assert!(
+                    !g.has_undirected_edge(emb[e.a.index()], emb[e.b.index()]),
+                    "negated edge present"
+                );
+            }
+            for v in p.nodes() {
+                if let Some(l) = p.label(v) {
+                    prop_assert_eq!(g.label(emb[v.index()]), l, "label violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_count_is_multiple_of_automorphisms(g in arb_graph(false), pi in 0usize..5) {
+        let pats = undirected_patterns();
+        let p = &pats[pi];
+        let auts = egocensus::pattern::automorphism_group(p).len();
+        let embs = find_embeddings(&g, p, MatcherKind::CandidateNeighbors).len();
+        prop_assert_eq!(embs % auts, 0, "embeddings {} not divisible by |Aut| {}", embs, auts);
+    }
+}
