@@ -10,17 +10,18 @@ fn bench(c: &mut Criterion) {
     let g = eval_graph(10_000, Some(4), 4242);
     let mut group = c.benchmark_group("fig4b_patterns");
     group.sample_size(10);
-    for pattern in [builtin::path3(), builtin::clq3(), builtin::clq4(), builtin::sqr()] {
-        group.bench_with_input(
-            BenchmarkId::new("CN", pattern.name()),
-            &pattern,
-            |b, p| b.iter(|| find_matches(&g, p, MatcherKind::CandidateNeighbors)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("GQL", pattern.name()),
-            &pattern,
-            |b, p| b.iter(|| find_matches(&g, p, MatcherKind::GqlStyle)),
-        );
+    for pattern in [
+        builtin::path3(),
+        builtin::clq3(),
+        builtin::clq4(),
+        builtin::sqr(),
+    ] {
+        group.bench_with_input(BenchmarkId::new("CN", pattern.name()), &pattern, |b, p| {
+            b.iter(|| find_matches(&g, p, MatcherKind::CandidateNeighbors))
+        });
+        group.bench_with_input(BenchmarkId::new("GQL", pattern.name()), &pattern, |b, p| {
+            b.iter(|| find_matches(&g, p, MatcherKind::GqlStyle))
+        });
     }
     group.finish();
 }

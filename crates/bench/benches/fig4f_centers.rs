@@ -15,19 +15,19 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4f_centers");
     group.sample_size(10);
     for centers in [0usize, 12, 24] {
-        for (name, strategy) in [("DEG", CenterStrategy::Degree), ("RND", CenterStrategy::Random)]
-        {
+        for (name, strategy) in [
+            ("DEG", CenterStrategy::Degree),
+            ("RND", CenterStrategy::Random),
+        ] {
             let cfg = PtConfig {
                 num_centers: centers,
                 center_strategy: strategy,
                 clustering_centers: Some(12),
                 ..PtConfig::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, centers),
-                &cfg,
-                |b, cfg| b.iter(|| pt_opt::run(&g, &spec, &matches, cfg).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, centers), &cfg, |b, cfg| {
+                b.iter(|| pt_opt::run(&g, &spec, &matches, cfg).unwrap())
+            });
         }
     }
     group.finish();

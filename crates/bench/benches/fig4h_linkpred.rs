@@ -31,11 +31,9 @@ fn bench(c: &mut Criterion) {
             |b, spec| b.iter(|| run_pair_census(g, spec, Algorithm::NdPivot).unwrap()),
         );
         if kind == MeasureKind::Triangle {
-            group.bench_with_input(
-                BenchmarkId::new("PT-OPT", kind.name()),
-                &spec,
-                |b, spec| b.iter(|| run_pair_census(g, spec, Algorithm::PtOpt).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new("PT-OPT", kind.name()), &spec, |b, spec| {
+                b.iter(|| run_pair_census(g, spec, Algorithm::PtOpt).unwrap())
+            });
         }
     }
     group.finish();

@@ -18,11 +18,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| find_embeddings(&g, &pattern, MatcherKind::CandidateNeighbors))
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| b.iter(|| enumerate_parallel(&g, &pattern, t)),
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| enumerate_parallel(&g, &pattern, t))
+        });
     }
     group.finish();
 
@@ -34,13 +32,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| nd_pivot::run(&g, &spec, &matches).unwrap())
     });
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| parallel::run_nd_pivot_parallel(&g, &spec, &matches, t).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| parallel::run_nd_pivot_parallel(&g, &spec, &matches, t).unwrap())
+        });
     }
     group.finish();
 }

@@ -5,15 +5,16 @@
 //! reinsertions.
 //!
 //! ```sh
-//! cargo run --release -p ego-bench --bin ablation [-- --scale paper]
+//! cargo run --release -p ego-bench --bin ablation [-- --scale paper] [--threads T]
 //! ```
 
-use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
-use ego_census::{global_matches, pt_opt, CensusSpec, Clustering, PtConfig, PtOrdering};
+use ego_bench::{eval_graph, fmt_secs, header, row, threads_from_args, timed, Scale};
+use ego_census::{parallel, CensusSpec, Clustering, PtConfig, PtOrdering};
 use ego_pattern::builtin;
 
 fn main() {
     let scale = Scale::from_args();
+    let threads = threads_from_args();
     let n = match scale {
         Scale::Quick => 50_000,
         Scale::Paper => 500_000,
@@ -21,10 +22,10 @@ fn main() {
     let pattern = builtin::clq3();
     let k = 2;
     let g = eval_graph(n, Some(4), 777);
-    let matches = global_matches(&g, &pattern);
+    let matches = parallel::exec_matches(&g, &pattern, threads);
     let spec = CensusSpec::single(&pattern, k);
     println!(
-        "# PT-OPT ablation ({n} nodes, labeled clq3, k = 2, {} matches)\n",
+        "# PT-OPT ablation ({n} nodes, labeled clq3, k = 2, {} matches, threads = {threads})\n",
         matches.len()
     );
 
@@ -75,8 +76,9 @@ fn main() {
     header(&["variant", "time", "edges traversed", "reinsertions"]);
     let mut reference = None;
     for (name, cfg) in &variants {
-        let ((res, stats), t) =
-            timed(|| pt_opt::run_instrumented(&g, &spec, &matches, cfg).unwrap());
+        let ((res, stats), t) = timed(|| {
+            parallel::run_pt_opt_parallel_instrumented(&g, &spec, &matches, cfg, threads).unwrap()
+        });
         match &reference {
             None => reference = Some(res),
             Some(r) => assert_eq!(&res, r, "{name} disagrees"),

@@ -20,8 +20,15 @@ fn main() {
     };
     println!("# Figure 4(a): CN vs GQL, varying graph size (4 labels, |E| = 5|V|)\n");
     header(&[
-        "nodes", "pattern", "CN time", "GQL time", "SPATH time", "GQL/CN", "matches",
-        "CN ext-scans", "GQL ext-scans",
+        "nodes",
+        "pattern",
+        "CN time",
+        "GQL time",
+        "SPATH time",
+        "GQL/CN",
+        "matches",
+        "CN ext-scans",
+        "GQL ext-scans",
     ]);
     for &n in &sizes {
         let g = eval_graph(n, Some(4), 4242);
@@ -30,7 +37,12 @@ fn main() {
         for pattern in [builtin::clq3(), builtin::clq4()] {
             let mut cn_stats = MatchStats::default();
             let (cn_matches, cn_t) = timed(|| {
-                find_matches_with_stats(&g, &pattern, MatcherKind::CandidateNeighbors, &mut cn_stats)
+                find_matches_with_stats(
+                    &g,
+                    &pattern,
+                    MatcherKind::CandidateNeighbors,
+                    &mut cn_stats,
+                )
             });
             let mut gql_stats = MatchStats::default();
             let (gql_matches, gql_t) = timed(|| {

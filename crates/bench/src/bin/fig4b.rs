@@ -24,7 +24,14 @@ fn main() {
     let profiles = ego_graph::profile::ProfileIndex::build(&g);
     let (sigs, sig_t) = timed(|| SignatureIndex::build(&g, SIGNATURE_RADIUS));
     println!("SPATH signature index built once: {}\n", fmt_secs(sig_t));
-    header(&["pattern", "CN time", "GQL time", "SPATH time", "GQL/CN", "matches"]);
+    header(&[
+        "pattern",
+        "CN time",
+        "GQL time",
+        "SPATH time",
+        "GQL/CN",
+        "matches",
+    ]);
     for pattern in [
         builtin::path3(),
         builtin::star3(),
@@ -41,7 +48,12 @@ fn main() {
             );
             MatchList::from_embeddings(&pattern, embs)
         });
-        assert_eq!(cn.len(), gql.len(), "matchers disagree on {}", pattern.name());
+        assert_eq!(
+            cn.len(),
+            gql.len(),
+            "matchers disagree on {}",
+            pattern.name()
+        );
         assert_eq!(cn.len(), sp.len(), "spath disagrees on {}", pattern.name());
         row(&[
             pattern.name().to_string(),

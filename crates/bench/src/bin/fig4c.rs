@@ -6,15 +6,19 @@
 //! 20K nodes — 218x ND-PVOT).
 //!
 //! ```sh
-//! cargo run --release -p ego-bench --bin fig4c [-- --scale paper]
+//! cargo run --release -p ego-bench --bin fig4c [-- --scale paper] [--threads T]
 //! ```
+//!
+//! `--threads T` (default 1) routes every algorithm through the unified
+//! parallel layer; counts are identical for every thread count.
 
-use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
-use ego_census::{global_matches, nd_bas, nd_diff, nd_pivot, pt_bas, pt_opt, CensusSpec, PtConfig, PtOrdering};
+use ego_bench::{eval_graph, fmt_secs, header, row, threads_from_args, timed, Scale};
+use ego_census::{global_matches, parallel, CensusSpec, PtConfig, PtOrdering};
 use ego_pattern::builtin;
 
 fn main() {
     let scale = Scale::from_args();
+    let threads = threads_from_args();
     let (sizes, bas_size): (Vec<usize>, usize) = match scale {
         Scale::Quick => (vec![4_000, 8_000, 12_000, 16_000, 20_000], 4_000),
         Scale::Paper => (vec![20_000, 40_000, 60_000, 80_000, 100_000], 20_000),
@@ -22,23 +26,34 @@ fn main() {
     let pattern = builtin::clq3_unlabeled();
     let k = 2;
 
-    println!("# Figure 4(c): pattern census vs graph size (unlabeled clq3, k = 2)\n");
-    header(&["nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT"]);
+    println!(
+        "# Figure 4(c): pattern census vs graph size (unlabeled clq3, k = 2, threads = {threads})\n"
+    );
+    header(&[
+        "nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT",
+    ]);
     for &n in &sizes {
         let g = eval_graph(n, None, 777);
         let spec = CensusSpec::single(&pattern, k);
-        let (matches, _) = timed(|| global_matches(&g, &pattern));
+        let (matches, _) = timed(|| parallel::exec_matches(&g, &pattern, threads));
 
-        let (r_pvot, t_pvot) = timed(|| nd_pivot::run(&g, &spec, &matches).unwrap());
-        let (r_diff, t_diff) = timed(|| nd_diff::run(&g, &spec, &matches).unwrap());
-        let (r_ptb, t_ptb) = timed(|| pt_bas::run(&g, &spec, &matches).unwrap());
+        let (r_pvot, t_pvot) =
+            timed(|| parallel::run_nd_pivot_parallel(&g, &spec, &matches, threads).unwrap());
+        let (r_diff, t_diff) =
+            timed(|| parallel::run_nd_diff_parallel(&g, &spec, &matches, threads).unwrap());
+        let (r_ptb, t_ptb) =
+            timed(|| parallel::run_pt_bas_parallel(&g, &spec, &matches, threads).unwrap());
         let rnd_cfg = PtConfig {
             ordering: PtOrdering::Random,
             ..PtConfig::default()
         };
-        let (r_ptr, t_ptr) = timed(|| pt_opt::run(&g, &spec, &matches, &rnd_cfg).unwrap());
-        let (r_pto, t_pto) =
-            timed(|| pt_opt::run(&g, &spec, &matches, &PtConfig::default()).unwrap());
+        let (r_ptr, t_ptr) = timed(|| {
+            parallel::run_pt_opt_parallel(&g, &spec, &matches, &rnd_cfg, threads).unwrap()
+        });
+        let (r_pto, t_pto) = timed(|| {
+            parallel::run_pt_opt_parallel(&g, &spec, &matches, &PtConfig::default(), threads)
+                .unwrap()
+        });
 
         for other in [&r_diff, &r_ptb, &r_ptr, &r_pto] {
             assert_eq!(other, &r_pvot, "algorithms disagree at n={n}");
@@ -57,11 +72,12 @@ fn main() {
     // ND-BAS, smallest size only (the paper reports it out-of-plot).
     let g = eval_graph(bas_size, None, 777);
     let spec = CensusSpec::single(&pattern, k);
-    let (r_bas, t_bas) = timed(|| nd_bas::run(&g, &spec).unwrap());
+    let (r_bas, t_bas) = timed(|| parallel::run_nd_bas_parallel(&g, &spec, threads).unwrap());
     let matches = global_matches(&g, &pattern);
-    let r_pvot = nd_pivot::run(&g, &spec, &matches).unwrap();
+    let r_pvot = parallel::run_nd_pivot_parallel(&g, &spec, &matches, threads).unwrap();
     assert_eq!(r_bas, r_pvot, "ND-BAS disagrees");
-    let (_, t_pvot) = timed(|| nd_pivot::run(&g, &spec, &matches).unwrap());
+    let (_, t_pvot) =
+        timed(|| parallel::run_nd_pivot_parallel(&g, &spec, &matches, threads).unwrap());
     println!(
         "\nND-BAS at {bas_size} nodes: {} ({}x ND-PVOT's {})",
         fmt_secs(t_bas),

@@ -11,15 +11,20 @@
 //! the paper's optimizations target). See EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p ego-bench --bin fig4d [-- --scale paper]
+//! cargo run --release -p ego-bench --bin fig4d [-- --scale paper] [--threads T]
 //! ```
+//!
+//! `--threads T` (default 1) routes every algorithm through the unified
+//! parallel layer; counts stay identical, and per-thread traversal stats
+//! merge additively.
 
-use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
-use ego_census::{global_matches, nd_diff, nd_pivot, pt_bas, pt_opt, CensusSpec, PtConfig, PtOrdering};
+use ego_bench::{eval_graph, fmt_secs, header, row, threads_from_args, timed, Scale};
+use ego_census::{parallel, CensusSpec, PtConfig, PtOrdering};
 use ego_pattern::builtin;
 
 fn main() {
     let scale = Scale::from_args();
+    let threads = threads_from_args();
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![20_000, 40_000, 60_000, 80_000, 100_000],
         Scale::Paper => vec![200_000, 400_000, 600_000, 800_000, 1_000_000],
@@ -27,28 +32,45 @@ fn main() {
     let pattern = builtin::clq3();
     let k = 2;
 
-    println!("# Figure 4(d): pattern census vs graph size (labeled clq3, 4 labels, k = 2)\n");
+    println!(
+        "# Figure 4(d): pattern census vs graph size (labeled clq3, 4 labels, k = 2, threads = {threads})\n"
+    );
     println!("each cell: wall time / edge traversals (M = millions)\n");
-    header(&["nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT"]);
+    header(&[
+        "nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT",
+    ]);
     for &n in &sizes {
         let g = eval_graph(n, Some(4), 777);
         let spec = CensusSpec::single(&pattern, k);
-        let matches = global_matches(&g, &pattern);
+        let matches = parallel::exec_matches(&g, &pattern, threads);
 
-        let ((r_pvot, s_pvot), t_pvot) =
-            timed(|| nd_pivot::run_instrumented(&g, &spec, &matches).unwrap());
-        let ((r_diff, s_diff), t_diff) =
-            timed(|| nd_diff::run_instrumented(&g, &spec, &matches).unwrap());
-        let ((r_ptb, s_ptb), t_ptb) =
-            timed(|| pt_bas::run_instrumented(&g, &spec, &matches).unwrap());
+        let ((r_pvot, s_pvot), t_pvot) = timed(|| {
+            parallel::run_nd_pivot_parallel_instrumented(&g, &spec, &matches, threads).unwrap()
+        });
+        let ((r_diff, s_diff), t_diff) = timed(|| {
+            parallel::run_nd_diff_parallel_instrumented(&g, &spec, &matches, threads).unwrap()
+        });
+        let ((r_ptb, s_ptb), t_ptb) = timed(|| {
+            parallel::run_pt_bas_parallel_instrumented(&g, &spec, &matches, threads).unwrap()
+        });
         let rnd_cfg = PtConfig {
             ordering: PtOrdering::Random,
             ..PtConfig::default()
         };
-        let ((r_ptr, s_ptr), t_ptr) =
-            timed(|| pt_opt::run_instrumented(&g, &spec, &matches, &rnd_cfg).unwrap());
-        let ((r_pto, s_pto), t_pto) =
-            timed(|| pt_opt::run_instrumented(&g, &spec, &matches, &PtConfig::default()).unwrap());
+        let ((r_ptr, s_ptr), t_ptr) = timed(|| {
+            parallel::run_pt_opt_parallel_instrumented(&g, &spec, &matches, &rnd_cfg, threads)
+                .unwrap()
+        });
+        let ((r_pto, s_pto), t_pto) = timed(|| {
+            parallel::run_pt_opt_parallel_instrumented(
+                &g,
+                &spec,
+                &matches,
+                &PtConfig::default(),
+                threads,
+            )
+            .unwrap()
+        });
 
         for other in [&r_diff, &r_ptb, &r_ptr, &r_pto] {
             assert_eq!(other, &r_pvot, "algorithms disagree at n={n}");

@@ -63,7 +63,14 @@ fn main() {
     // runtime note. ND-BAS is run on radius 1 only (it is orders of
     // magnitude slower, exactly as reported).
     println!("\n## Pairwise census runtimes (candidate pairs per measure)\n");
-    header(&["measure", "pairs", "ND-PVOT", "PT-BAS", "PT-OPT", "PT-OPT/PT-BAS"]);
+    header(&[
+        "measure",
+        "pairs",
+        "ND-PVOT",
+        "PT-BAS",
+        "PT-OPT",
+        "PT-OPT/PT-BAS",
+    ]);
     let g = &data.train;
     for kind in [MeasureKind::Node, MeasureKind::Edge, MeasureKind::Triangle] {
         for r in 1..=3u32 {
@@ -73,12 +80,10 @@ fn main() {
             let selector = PairSelector::Pairs(pairs.clone());
             let spec = PairCensusSpec::intersection(&pattern, r, selector);
 
-            let (res_nd, t_nd) =
-                timed(|| run_pair_census(g, &spec, Algorithm::NdPivot).unwrap());
+            let (res_nd, t_nd) = timed(|| run_pair_census(g, &spec, Algorithm::NdPivot).unwrap());
             let (res_ptb, t_ptb) =
                 timed(|| run_pair_census(g, &spec, Algorithm::PtBaseline).unwrap());
-            let (res_pto, t_pto) =
-                timed(|| run_pair_census(g, &spec, Algorithm::PtOpt).unwrap());
+            let (res_pto, t_pto) = timed(|| run_pair_census(g, &spec, Algorithm::PtOpt).unwrap());
             // Spot-check agreement on a few pairs.
             for &(a, b) in pairs.iter().take(50) {
                 assert_eq!(res_nd.get(a, b), res_ptb.get(a, b), "{} r={r}", kind.name());

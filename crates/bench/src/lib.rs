@@ -49,6 +49,20 @@ impl Scale {
     }
 }
 
+/// Parse `--threads N` from argv (default 1, so timings stay comparable
+/// with older runs unless parallelism is asked for; `0` = all hardware
+/// threads).
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--threads" {
+            let t: usize = w[1].parse().unwrap_or(1);
+            return ego_census::ExecConfig::with_threads(t).resolve();
+        }
+    }
+    1
+}
+
 /// Time a closure, returning (result, seconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -75,7 +89,10 @@ pub fn row(cells: &[String]) {
 /// Print a markdown-style header + separator.
 pub fn header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Format seconds with adaptive precision.
@@ -116,5 +133,10 @@ mod tests {
     #[test]
     fn scale_default_quick() {
         assert_eq!(Scale::from_args(), Scale::Quick);
+    }
+
+    #[test]
+    fn threads_default_one() {
+        assert_eq!(threads_from_args(), 1);
     }
 }

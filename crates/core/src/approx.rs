@@ -246,13 +246,8 @@ mod tests {
         let spec = CensusSpec::single(&p, 1);
         // Uniform p = 1.0 over ALL matches = exact counting.
         let exact = nd_pivot::run(&g, &spec, &m).unwrap();
-        let ht = approx_census_horvitz(
-            &g,
-            &spec,
-            m.iter().map(|mm| (mm, 1.0)),
-            g.num_nodes(),
-        )
-        .unwrap();
+        let ht =
+            approx_census_horvitz(&g, &spec, m.iter().map(|mm| (mm, 1.0)), g.num_nodes()).unwrap();
         for n in g.node_ids() {
             assert!((ht.get(n) - exact.get(n) as f64).abs() < 1e-9);
         }

@@ -189,12 +189,7 @@ mod tests {
     #[test]
     fn empty_and_take() {
         let g = graph();
-        let idx = CenterIndex::build(
-            &g,
-            4,
-            CenterStrategy::Degree,
-            &mut StdRng::seed_from_u64(0),
-        );
+        let idx = CenterIndex::build(&g, 4, CenterStrategy::Degree, &mut StdRng::seed_from_u64(0));
         let sub = idx.take(2);
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.centers(), &idx.centers()[..2]);
@@ -209,12 +204,7 @@ mod tests {
         b.add_nodes(3, Label(0));
         b.add_edge(NodeId(0), NodeId(1));
         let g = b.build();
-        let idx = CenterIndex::build(
-            &g,
-            1,
-            CenterStrategy::Degree,
-            &mut StdRng::seed_from_u64(0),
-        );
+        let idx = CenterIndex::build(&g, 1, CenterStrategy::Degree, &mut StdRng::seed_from_u64(0));
         assert_eq!(idx.distance(0, NodeId(2)), u32::MAX);
         assert_eq!(idx.bound(NodeId(0), NodeId(2)), u32::MAX);
     }

@@ -79,8 +79,8 @@ mod tests {
         let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
         let m = global_matches(&g, &p);
         // 30 edges of matches vs 2 focal nodes: node-driven.
-        let spec = CensusSpec::single(&p, 2)
-            .with_focal(FocalNodes::Set(vec![NodeId(0), NodeId(1)]));
+        let spec =
+            CensusSpec::single(&p, 2).with_focal(FocalNodes::Set(vec![NodeId(0), NodeId(1)]));
         assert_eq!(choose(&g, &spec, &m), Algorithm::NdPivot);
     }
 

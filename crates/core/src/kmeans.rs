@@ -11,13 +11,7 @@ use rand::Rng;
 /// Cluster `points` (row-major, `dim` columns) into `k` groups with at
 /// most `iters` Lloyd iterations. Returns per-point cluster assignments
 /// in `0..k_effective` where `k_effective = k.min(num_points)`.
-pub fn kmeans<R: Rng>(
-    points: &[f32],
-    dim: usize,
-    k: usize,
-    iters: usize,
-    rng: &mut R,
-) -> Vec<u32> {
+pub fn kmeans<R: Rng>(points: &[f32], dim: usize, k: usize, iters: usize, rng: &mut R) -> Vec<u32> {
     assert!(dim > 0, "dimension must be positive");
     assert_eq!(points.len() % dim, 0, "points not divisible by dim");
     let n = points.len() / dim;
@@ -84,8 +78,8 @@ pub fn kmeans<R: Rng>(
                 let (worst, _) = (0..n)
                     .map(|i| {
                         let row = &points[i * dim..(i + 1) * dim];
-                        let cen = &centroids
-                            [assign[i] as usize * dim..(assign[i] as usize + 1) * dim];
+                        let cen =
+                            &centroids[assign[i] as usize * dim..(assign[i] as usize + 1) * dim];
                         (i, sq_dist(row, cen))
                     })
                     .max_by(|a, b| a.1.total_cmp(&b.1))

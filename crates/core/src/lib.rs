@@ -58,7 +58,12 @@ pub mod topk;
 pub mod tstats;
 
 pub use centers::{CenterIndex, CenterStrategy};
-pub use pairwise::{run_pair_census, run_pair_census_with, PairCensusSpec, PairCounts, PairKind, PairSelector};
+pub use pairwise::{
+    run_pair_census, run_pair_census_with, PairCensusSpec, PairCounts, PairKind, PairSelector,
+};
+pub use parallel::{
+    exec_matches, run_census_exec, run_census_exec_instrumented, run_pair_census_exec, ExecConfig,
+};
 pub use result::{CensusError, CountVector};
 pub use spec::{CensusSpec, Clustering, FocalNodes, PtConfig, PtOrdering};
 pub use tstats::TraversalStats;

@@ -63,7 +63,16 @@ mod tests {
     fn fixture() -> Graph {
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -107,8 +116,7 @@ mod tests {
     fn focal_subset() {
         let g = fixture();
         let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
-        let spec = CensusSpec::single(&p, 1)
-            .with_focal(FocalNodes::Set(vec![NodeId(5)]));
+        let spec = CensusSpec::single(&p, 1).with_focal(FocalNodes::Set(vec![NodeId(5)]));
         let counts = run(&g, &spec).unwrap();
         // S(5,1) = {4,5,6}: edges 4-5 and 5-6.
         assert_eq!(counts.get(NodeId(5)), 2);
@@ -119,8 +127,7 @@ mod tests {
     #[test]
     fn subpattern_rejected() {
         let g = fixture();
-        let p =
-            Pattern::parse("PATTERN t { ?A-?B; ?B-?C; SUBPATTERN m {?B;} }").unwrap();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; SUBPATTERN m {?B;} }").unwrap();
         let spec = CensusSpec::single(&p, 1).with_subpattern("m");
         assert!(matches!(run(&g, &spec), Err(CensusError::Unsupported(_))));
     }

@@ -171,7 +171,16 @@ mod tests {
     fn fixture() -> Graph {
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -220,8 +229,8 @@ mod tests {
         b.add_edge(NodeId(4), NodeId(5));
         let g = b.build();
         let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
-        let spec = CensusSpec::single(&p, 1)
-            .with_focal(FocalNodes::Set(vec![NodeId(1), NodeId(4)]));
+        let spec =
+            CensusSpec::single(&p, 1).with_focal(FocalNodes::Set(vec![NodeId(1), NodeId(4)]));
         let m = global_matches(&g, &p);
         let counts = run(&g, &spec, &m).unwrap();
         assert_eq!(counts.get(NodeId(1)), 2);

@@ -161,7 +161,16 @@ mod tests {
         // Two triangles sharing node 2 plus chain 4-5-6.
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -201,8 +210,7 @@ mod tests {
         // Count triangles anchored at each node: COUNTSP with a single-node
         // subpattern and k = 0 counts the triangles the node participates in.
         let g = fixture();
-        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }")
-            .unwrap();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }").unwrap();
         let spec = CensusSpec::single(&p, 0).with_subpattern("me");
         let counts = run_spec(&g, &spec);
         // The subpattern pins ?A, so the automorphism group only swaps
@@ -224,10 +232,8 @@ mod tests {
         b.add_edge(NodeId(1), NodeId(2));
         b.add_edge(NodeId(2), NodeId(3));
         let g = b.build();
-        let p = Pattern::parse(
-            "PATTERN triad { ?A->?B; ?B->?C; ?A!->?C; SUBPATTERN mid {?B;} }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN triad { ?A->?B; ?B->?C; ?A!->?C; SUBPATTERN mid {?B;} }")
+            .unwrap();
         let spec = CensusSpec::single(&p, 0).with_subpattern("mid");
         let counts = run_spec(&g, &spec);
         // Middle of 0->1->2 is 1; middle of 1->2->3 is 2.
@@ -241,8 +247,8 @@ mod tests {
     fn focal_subset_only() {
         let g = fixture();
         let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
-        let spec = CensusSpec::single(&p, 1)
-            .with_focal(FocalNodes::Set(vec![NodeId(5), NodeId(0)]));
+        let spec =
+            CensusSpec::single(&p, 1).with_focal(FocalNodes::Set(vec![NodeId(5), NodeId(0)]));
         let counts = run_spec(&g, &spec);
         assert_eq!(counts.get(NodeId(5)), 2);
         assert_eq!(counts.get(NodeId(0)), 3); // edges 0-1, 0-2, 1-2

@@ -162,6 +162,13 @@ impl<'a> PairCensusSpec<'a> {
         &self.selector
     }
 
+    /// Replace the pair selection (used by the parallel layer to restrict
+    /// a clone of the spec to one shard of pairs).
+    pub fn with_selector(mut self, selector: PairSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
     /// `COUNTSP` over pairwise neighborhoods: only the named subpattern's
     /// images must fall inside the intersection/union.
     pub fn with_subpattern(mut self, name: &str) -> Self {
@@ -230,6 +237,14 @@ impl PairCounts {
         })
     }
 
+    /// Add every count of `other` into `self`. Pair shards are disjoint,
+    /// so the parallel merge is a plain additive union of the maps.
+    pub fn merge_add(&mut self, other: &PairCounts) {
+        for (&key, &c) in &other.map {
+            *self.map.entry(key).or_insert(0) += c;
+        }
+    }
+
     /// The `k` highest-count pairs (ties by pair order).
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, NodeId, u64)> {
         let mut v: Vec<_> = self.iter().collect();
@@ -259,11 +274,15 @@ pub fn run_pair_census_with(
     match algorithm {
         NdBaseline => nd_bas_pairwise(g, spec),
         NdPivot | NdDiff => nd_pivot_pairwise(g, spec),
-        PtBaseline => pt_pairwise(g, spec, &PtConfig {
-            num_centers: 0,
-            clustering: crate::spec::Clustering::None,
-            ..config.clone()
-        }),
+        PtBaseline => pt_pairwise(
+            g,
+            spec,
+            &PtConfig {
+                num_centers: 0,
+                clustering: crate::spec::Clustering::None,
+                ..config.clone()
+            },
+        ),
         PtOpt | Auto => pt_pairwise(g, spec, config),
         PtRandom => pt_pairwise(
             g,
@@ -293,7 +312,9 @@ fn nd_bas_pairwise(g: &Graph, spec: &PairCensusSpec<'_>) -> Result<PairCounts, C
     let mut scratch = BfsScratch::new(g.num_nodes());
     for (a, b) in spec.selector().pairs(g) {
         let nodes = match spec.kind() {
-            PairKind::Intersection => neighborhood::khop_intersection(g, &mut scratch, a, b, spec.k()),
+            PairKind::Intersection => {
+                neighborhood::khop_intersection(g, &mut scratch, a, b, spec.k())
+            }
             PairKind::Union => neighborhood::khop_union(g, &mut scratch, a, b, spec.k()),
         };
         if nodes.len() < p.num_nodes() {
@@ -336,8 +357,10 @@ fn nd_pivot_pairwise(g: &Graph, spec: &PairCensusSpec<'_>) -> Result<PairCounts,
     for &n in &participants {
         buf.clear();
         scratch.bounded_bfs(g, n, k, &mut buf);
-        let mut list: Vec<(NodeId, u16)> =
-            buf.iter().map(|&m| (m, scratch.distance(m) as u16)).collect();
+        let mut list: Vec<(NodeId, u16)> = buf
+            .iter()
+            .map(|&m| (m, scratch.distance(m) as u16))
+            .collect();
         list.sort_unstable();
         khop.insert(n.0, list);
     }
@@ -503,9 +526,7 @@ fn pt_pairwise(
             let m = &matches[mi as usize];
             for &a in &anchors {
                 let img = m.image(a);
-                if let std::collections::hash_map::Entry::Vacant(vac) =
-                    ball_cache.entry(img.0)
-                {
+                if let std::collections::hash_map::Entry::Vacant(vac) = ball_cache.entry(img.0) {
                     buf.clear();
                     scratch.bounded_bfs(g, img, k, &mut buf);
                     let mut ball: Vec<NodeId> = buf
@@ -684,7 +705,16 @@ mod tests {
     fn fixture() -> Graph {
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -792,10 +822,7 @@ mod tests {
     #[test]
     fn pairwise_countsp_agrees_with_brute_force() {
         let g = fixture();
-        let p = Pattern::parse(
-            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }").unwrap();
         let anchors = vec![p.node_by_name("A").unwrap()];
         for kind in [PairKind::Intersection, PairKind::Union] {
             let spec = match kind {
@@ -812,24 +839,19 @@ mod tests {
                         if b <= a {
                             continue;
                         }
-                        let want =
-                            brute_force_pair_anchored(&g, &p, 1, kind, a, b, &anchors);
-                        assert_eq!(
-                            counts.get(a, b),
-                            want,
-                            "{kind:?} {algo:?} pair=({a},{b})"
-                        );
+                        let want = brute_force_pair_anchored(&g, &p, 1, kind, a, b, &anchors);
+                        assert_eq!(counts.get(a, b), want, "{kind:?} {algo:?} pair=({a},{b})");
                     }
                 }
             }
         }
         // ND-BAS rejects COUNTSP.
-        let spec = PairCensusSpec::intersection(&p, 1, PairSelector::AllPairs)
-            .with_subpattern("one");
+        let spec =
+            PairCensusSpec::intersection(&p, 1, PairSelector::AllPairs).with_subpattern("one");
         assert!(run_pair_census(&g, &spec, Algorithm::NdBaseline).is_err());
         // Unknown subpattern rejected.
-        let bad = PairCensusSpec::intersection(&p, 1, PairSelector::AllPairs)
-            .with_subpattern("nope");
+        let bad =
+            PairCensusSpec::intersection(&p, 1, PairSelector::AllPairs).with_subpattern("nope");
         assert!(run_pair_census(&g, &bad, Algorithm::NdPivot).is_err());
     }
 

@@ -28,18 +28,33 @@ pub fn run_instrumented(
     spec: &CensusSpec<'_>,
     matches: &MatchList,
 ) -> Result<(CountVector, TraversalStats), CensusError> {
+    run_range_instrumented(g, spec, matches, 0..matches.len())
+}
+
+/// [`run_instrumented`] restricted to a contiguous match-index range — the
+/// building block of the parallel layer. Every match contributes
+/// independently (pure `counts.increment`), so running disjoint ranges and
+/// summing the per-range counts reproduces the full run exactly.
+pub(crate) fn run_range_instrumented(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    matches: &MatchList,
+    range: std::ops::Range<usize>,
+) -> Result<(CountVector, TraversalStats), CensusError> {
     let k = spec.k();
     let anchors = spec.anchor_nodes()?;
     let mask = spec.focal().mask(g);
     let mut counts = CountVector::new(g.num_nodes(), mask.clone());
     let mut scratch = BfsScratch::new(g.num_nodes());
+    let num_matches = range.len();
 
     // Per-anchor k-hop membership, rebuilt per match (the baseline's
     // repeated work). Sorted vectors; containment via binary search.
     let mut khops: Vec<Vec<NodeId>> = Vec::new();
     let mut buf = Vec::new();
 
-    for m in matches.iter() {
+    for mi in range {
+        let m = &matches[mi];
         // Distinct anchor images (anchors of one match are distinct nodes,
         // but COUNTSP anchors may be a subset).
         let anchor_imgs: Vec<NodeId> = anchors.iter().map(|&a| m.image(a)).collect();
@@ -72,10 +87,7 @@ pub fn run_instrumented(
     }
     let tstats = TraversalStats {
         edges_traversed: scratch.edges_scanned(),
-        nodes_expanded: matches
-            .iter()
-            .map(|_| anchors.len() as u64)
-            .sum::<u64>(),
+        nodes_expanded: (num_matches * anchors.len()) as u64,
         reinsertions: 0,
         index_edges: 0,
     };
@@ -93,7 +105,16 @@ mod tests {
     fn fixture() -> Graph {
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -123,10 +144,7 @@ mod tests {
     #[test]
     fn subpattern_agrees_with_nd_pivot() {
         let g = fixture();
-        let p = Pattern::parse(
-            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }").unwrap();
         for k in 0..3 {
             let spec = CensusSpec::single(&p, k).with_subpattern("one");
             let m = global_matches(&g, &p);
@@ -142,8 +160,7 @@ mod tests {
     fn focal_mask_respected() {
         let g = fixture();
         let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
-        let spec = CensusSpec::single(&p, 2)
-            .with_focal(FocalNodes::Set(vec![NodeId(6)]));
+        let spec = CensusSpec::single(&p, 2).with_focal(FocalNodes::Set(vec![NodeId(6)]));
         let m = global_matches(&g, &p);
         let counts = run(&g, &spec, &m).unwrap();
         assert_eq!(counts.get(NodeId(6)), 0);
@@ -154,10 +171,7 @@ mod tests {
     #[test]
     fn no_matches_yields_zeroes() {
         let g = fixture();
-        let p = Pattern::parse(
-            "PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }").unwrap();
         let spec = CensusSpec::single(&p, 3);
         let m = global_matches(&g, &p);
         assert!(m.is_empty());

@@ -47,11 +47,50 @@ pub fn run_instrumented(
     config: &PtConfig,
 ) -> Result<(CountVector, TraversalStats), CensusError> {
     let mut tstats = TraversalStats::default();
-    let anchors = spec.anchor_nodes()?;
     let mask = spec.focal().mask(g);
     let mut counts = CountVector::new(g.num_nodes(), mask.clone());
-    if matches.is_empty() {
+    let Some(plan) = plan(g, spec, matches, config, &mut tstats)? else {
         return Ok((counts, tstats));
+    };
+    execute_groups(
+        g,
+        spec.k(),
+        &plan,
+        matches,
+        &plan.groups,
+        config,
+        &mask,
+        &mut counts,
+        &mut tstats,
+    );
+    Ok((counts, tstats))
+}
+
+/// The shared, group-independent PT-OPT state: anchors, pattern analysis,
+/// the center index for PMD initialization, and the match clustering.
+/// Built once (seeded from `config.seed`); group subsets can then be
+/// processed in any order — or on any thread — because each group's
+/// contribution to the counts is purely additive.
+pub(crate) struct PtPlan {
+    pub(crate) anchors: Vec<ego_pattern::PNode>,
+    pub(crate) analysis: PatternAnalysis,
+    pub(crate) centers: CenterIndex,
+    pub(crate) groups: Vec<Vec<u32>>,
+}
+
+/// Build the [`PtPlan`]: centers + clustering, consuming RNG state exactly
+/// as the sequential path always has. Returns `Ok(None)` when there are no
+/// matches (nothing to traverse). `tstats` accrues the index build cost.
+pub(crate) fn plan(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    matches: &MatchList,
+    config: &PtConfig,
+    tstats: &mut TraversalStats,
+) -> Result<Option<PtPlan>, CensusError> {
+    let anchors = spec.anchor_nodes()?;
+    if matches.is_empty() {
+        return Ok(None);
     }
     let k = spec.k();
     assert!(k < u16::MAX as u32, "k too large for PMD storage");
@@ -81,25 +120,51 @@ pub fn run_instrumented(
         config.kmeans_iters,
         &mut rng,
     );
+    Ok(Some(PtPlan {
+        anchors,
+        analysis,
+        centers: pmd_centers,
+        groups,
+    }))
+}
 
+/// Process a subset of the plan's match groups, accumulating into `counts`
+/// and `tstats`. Each group's counting contribution is additive and
+/// independent of every other group, so partitioning `plan.groups` across
+/// workers and summing the per-worker counts reproduces the sequential
+/// result exactly. The RNG only drives pop order under
+/// [`PtOrdering::Random`], which cannot change the counts (the relaxation
+/// converges to the same fixed point in any order).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_groups(
+    g: &Graph,
+    k: u32,
+    plan: &PtPlan,
+    matches: &MatchList,
+    groups: &[Vec<u32>],
+    config: &PtConfig,
+    mask: &[bool],
+    counts: &mut CountVector,
+    tstats: &mut TraversalStats,
+) {
+    let mut rng = StdRng::seed_from_u64(config.seed);
     let mut queue = TraversalQueue::new(config.ordering, &mut rng);
-    for group in &groups {
+    for group in groups {
         process_cluster(
             g,
             k,
-            &anchors,
-            &analysis,
+            &plan.anchors,
+            &plan.analysis,
             matches,
             group,
-            &pmd_centers,
+            &plan.centers,
             &mut queue,
-            &mask,
-            &mut counts,
-            &mut tstats,
+            mask,
+            counts,
+            tstats,
             config.use_distance_shortcuts,
         );
     }
-    Ok((counts, tstats))
 }
 
 /// Queue abstraction: bucket best-first (PT-OPT) or random pop (PT-RND).
@@ -371,7 +436,16 @@ mod tests {
     fn fixture() -> Graph {
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -433,10 +507,7 @@ mod tests {
     #[test]
     fn subpattern_agrees_with_nd_pivot() {
         let g = fixture();
-        let p = Pattern::parse(
-            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }").unwrap();
         let m = global_matches(&g, &p);
         for k in 0..3 {
             let spec = CensusSpec::single(&p, k).with_subpattern("one");
@@ -453,8 +524,8 @@ mod tests {
         let g = fixture();
         let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
         let m = global_matches(&g, &p);
-        let spec = CensusSpec::single(&p, 2)
-            .with_focal(FocalNodes::Set(vec![NodeId(0), NodeId(6)]));
+        let spec =
+            CensusSpec::single(&p, 2).with_focal(FocalNodes::Set(vec![NodeId(0), NodeId(6)]));
         let counts = run(&g, &spec, &m, &PtConfig::default()).unwrap();
         assert_eq!(counts.get(NodeId(0)), 2);
         assert_eq!(counts.get(NodeId(6)), 0);
@@ -464,10 +535,7 @@ mod tests {
     #[test]
     fn empty_matches_short_circuits() {
         let g = fixture();
-        let p = Pattern::parse(
-            "PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }").unwrap();
         let m = global_matches(&g, &p);
         let spec = CensusSpec::single(&p, 2);
         let counts = run(&g, &spec, &m, &PtConfig::default()).unwrap();

@@ -51,6 +51,16 @@ impl CountVector {
         self.counts[n.index()] = value;
     }
 
+    /// Add every count of `other` into `self` (element-wise). The merge
+    /// step of the parallel runners: shards with disjoint focal sets and
+    /// additive per-match/per-group partitions both merge by addition.
+    pub fn merge_add(&mut self, other: &CountVector) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
     /// Iterate `(node, count)` over focal nodes only.
     pub fn iter_focal(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
         self.counts

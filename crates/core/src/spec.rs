@@ -43,11 +43,14 @@ impl FocalNodes {
         }
     }
 
-    /// Number of focal nodes.
+    /// Number of distinct focal nodes. An explicit set may contain
+    /// duplicates (e.g. a SQL WHERE materialization); they must not be
+    /// double-counted, or this disagrees with `mask`/`nodes` and skews
+    /// both the Auto chooser's cost model and per-node instrumentation.
     pub fn count(&self, g: &Graph) -> usize {
         match self {
             FocalNodes::All => g.num_nodes(),
-            FocalNodes::Set(nodes) => nodes.len(),
+            FocalNodes::Set(_) => self.nodes(g).len(),
         }
     }
 }
@@ -229,6 +232,16 @@ mod tests {
     }
 
     #[test]
+    fn count_deduplicates_explicit_sets() {
+        let g = tiny_graph();
+        // A duplicated set must agree with mask/nodes: 2 distinct nodes.
+        let set = FocalNodes::Set(vec![NodeId(2), NodeId(0), NodeId(2)]);
+        assert_eq!(set.count(&g), set.nodes(&g).len());
+        assert_eq!(set.count(&g), 2);
+        assert_eq!(FocalNodes::Set(vec![]).count(&g), 0);
+    }
+
+    #[test]
     fn anchors_default_to_all_nodes() {
         let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; }").unwrap();
         let spec = CensusSpec::single(&p, 2);
@@ -260,9 +273,11 @@ mod tests {
     fn out_of_range_focal_rejected() {
         let p = Pattern::parse("PATTERN t { ?A-?B; }").unwrap();
         let g = tiny_graph();
-        let spec =
-            CensusSpec::single(&p, 1).with_focal(FocalNodes::Set(vec![NodeId(7)]));
-        assert_eq!(spec.validate(&g), Err(CensusError::FocalOutOfRange(NodeId(7))));
+        let spec = CensusSpec::single(&p, 1).with_focal(FocalNodes::Set(vec![NodeId(7)]));
+        assert_eq!(
+            spec.validate(&g),
+            Err(CensusError::FocalOutOfRange(NodeId(7)))
+        );
     }
 
     #[test]

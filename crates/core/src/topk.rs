@@ -45,8 +45,7 @@ pub fn top_k_census(
     let p = spec.pattern();
     let k = spec.k();
     let anchors = spec.anchor_nodes()?;
-    let analysis =
-        ego_pattern::analysis::PatternAnalysis::with_pivot_candidates(p, Some(&anchors));
+    let analysis = ego_pattern::analysis::PatternAnalysis::with_pivot_candidates(p, Some(&anchors));
     let pivot = analysis.pivot();
     let pmi = PivotIndex::build(matches, pivot);
 
@@ -218,7 +217,16 @@ mod tests {
         // Two triangles sharing node 2 plus chain 4-5-6.
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -274,8 +282,8 @@ mod tests {
         let g = fixture();
         let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
         let m = global_matches(&g, &p);
-        let spec = CensusSpec::single(&p, 1)
-            .with_focal(FocalNodes::Set(vec![NodeId(5), NodeId(6)]));
+        let spec =
+            CensusSpec::single(&p, 1).with_focal(FocalNodes::Set(vec![NodeId(5), NodeId(6)]));
         let res = top_k_census(&g, &spec, &m, 1).unwrap();
         assert_eq!(res.top.len(), 1);
         assert_eq!(res.top[0].0, NodeId(5));
@@ -295,10 +303,7 @@ mod tests {
     #[test]
     fn subpattern_top_k() {
         let g = fixture();
-        let p = Pattern::parse(
-            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }").unwrap();
         let m = global_matches(&g, &p);
         let spec = CensusSpec::single(&p, 0).with_subpattern("me");
         let res = top_k_census(&g, &spec, &m, 1).unwrap();

@@ -98,10 +98,7 @@ mod tests {
         let max_deg = g.max_degree();
         let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
         // Hubs should far exceed the average degree.
-        assert!(
-            (max_deg as f64) > 4.0 * avg,
-            "max {max_deg} vs avg {avg}"
-        );
+        assert!((max_deg as f64) > 4.0 * avg, "max {max_deg} vs avg {avg}");
     }
 
     #[test]

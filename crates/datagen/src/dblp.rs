@@ -141,7 +141,10 @@ pub fn generate<R: Rng>(cfg: &DblpConfig, rng: &mut R) -> DblpData {
             }
             for i in 0..coauthors.len() {
                 for j in (i + 1)..coauthors.len() {
-                    let (x, y) = (coauthors[i].min(coauthors[j]), coauthors[i].max(coauthors[j]));
+                    let (x, y) = (
+                        coauthors[i].min(coauthors[j]),
+                        coauthors[i].max(coauthors[j]),
+                    );
                     if is_train {
                         train_edges.insert((x, y));
                     } else {
@@ -275,8 +278,8 @@ mod tests {
                 }
             }
         }
-        let base_rate = d.test_new_edges.len() as f64
-            / ((g.num_nodes() * (g.num_nodes() - 1)) / 2) as f64;
+        let base_rate =
+            d.test_new_edges.len() as f64 / ((g.num_nodes() * (g.num_nodes() - 1)) / 2) as f64;
         let signal_rate = with_common_pos as f64 / with_common.max(1) as f64;
         assert!(
             signal_rate > 5.0 * base_rate,

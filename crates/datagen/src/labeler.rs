@@ -21,7 +21,11 @@ pub fn assign_random_signs<R: Rng>(g: &Graph, p_positive: f64, rng: &mut R) -> G
     assert!((0.0..=1.0).contains(&p_positive));
     rebuild(g, |b| {
         for (a, c) in g.edges() {
-            let sign = if rng.gen_bool(p_positive) { 1i64 } else { -1i64 };
+            let sign = if rng.gen_bool(p_positive) {
+                1i64
+            } else {
+                -1i64
+            };
             b.set_edge_attr(a, c, "sign", sign);
         }
     })

@@ -61,9 +61,7 @@ mod tests {
     fn rewiring_reduces_clustering() {
         let ordered = watts_strogatz(500, 3, 0.0, &mut rng(1));
         let chaotic = watts_strogatz(500, 3, 1.0, &mut rng(1));
-        assert!(
-            stats::average_clustering(&ordered) > stats::average_clustering(&chaotic)
-        );
+        assert!(stats::average_clustering(&ordered) > stats::average_clustering(&chaotic));
     }
 
     #[test]

@@ -212,7 +212,10 @@ mod tests {
         s.set(NodeId(5), "age", AttrValue::Int(40));
 
         assert_eq!(s.get(NodeId(3), "age"), Some(&AttrValue::Int(30)));
-        assert_eq!(s.get(NodeId(3), "name"), Some(&AttrValue::Str("carol".into())));
+        assert_eq!(
+            s.get(NodeId(3), "name"),
+            Some(&AttrValue::Str("carol".into()))
+        );
         assert_eq!(s.get(NodeId(4), "age"), None);
         assert_eq!(s.get(NodeId(3), "height"), None);
         assert_eq!(s.num_columns(), 2);
@@ -259,8 +262,14 @@ mod tests {
     fn edge_attrs_undirected_normalization() {
         let mut s = EdgeAttrStore::new(false);
         s.set(NodeId(5), NodeId(2), "sign", AttrValue::Int(-1));
-        assert_eq!(s.get(NodeId(2), NodeId(5), "sign"), Some(&AttrValue::Int(-1)));
-        assert_eq!(s.get(NodeId(5), NodeId(2), "sign"), Some(&AttrValue::Int(-1)));
+        assert_eq!(
+            s.get(NodeId(2), NodeId(5), "sign"),
+            Some(&AttrValue::Int(-1))
+        );
+        assert_eq!(
+            s.get(NodeId(5), NodeId(2), "sign"),
+            Some(&AttrValue::Int(-1))
+        );
     }
 
     #[test]

@@ -98,12 +98,7 @@ impl GraphBuilder {
     /// Freeze into an immutable [`Graph`].
     pub fn build(self) -> Graph {
         let n = self.labels.len();
-        let num_labels = self
-            .labels
-            .iter()
-            .map(|l| l.0)
-            .max()
-            .map_or(1, |m| m + 1);
+        let num_labels = self.labels.iter().map(|l| l.0).max().map_or(1, |m| m + 1);
 
         // Deduplicate and drop self-loops. For directed graphs (a,b) and
         // (b,a) are distinct; for undirected they are normalized.
@@ -155,7 +150,9 @@ impl GraphBuilder {
             in_targets,
             num_edges,
             node_attrs: self.node_attrs,
-            edge_attrs: self.edge_attrs.unwrap_or_else(|| EdgeAttrStore::new(self.directed)),
+            edge_attrs: self
+                .edge_attrs
+                .unwrap_or_else(|| EdgeAttrStore::new(self.directed)),
         }
     }
 }

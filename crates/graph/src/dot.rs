@@ -6,7 +6,12 @@ use std::fmt::Write as _;
 
 /// Color palette cycled by label.
 const COLORS: &[&str] = &[
-    "lightblue", "lightsalmon", "palegreen", "plum", "khaki", "lightgray",
+    "lightblue",
+    "lightsalmon",
+    "palegreen",
+    "plum",
+    "khaki",
+    "lightgray",
 ];
 
 /// Render `g` as DOT. Node labels show `id:label`; an optional

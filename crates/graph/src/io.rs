@@ -61,7 +61,11 @@ pub fn write_graph<W: Write>(g: &Graph, w: &mut W) -> std::io::Result<()> {
     writeln!(
         buf,
         "graph {} nodes={}",
-        if g.is_directed() { "directed" } else { "undirected" },
+        if g.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        },
         g.num_nodes()
     )
     .unwrap();
@@ -320,9 +324,15 @@ mod tests {
             assert_eq!(g2.label(n), g.label(n));
             assert_eq!(g2.neighbors(n), g.neighbors(n));
         }
-        assert_eq!(g2.node_attr(NodeId(0), "name"), Some(&AttrValue::Str("alice".into())));
+        assert_eq!(
+            g2.node_attr(NodeId(0), "name"),
+            Some(&AttrValue::Str("alice".into()))
+        );
         assert_eq!(g2.node_attr(NodeId(0), "age"), Some(&AttrValue::Int(33)));
-        assert_eq!(g2.edge_attr(NodeId(0), NodeId(1), "w"), Some(&AttrValue::Float(0.5)));
+        assert_eq!(
+            g2.edge_attr(NodeId(0), NodeId(1), "w"),
+            Some(&AttrValue::Float(0.5))
+        );
     }
 
     #[test]

@@ -133,8 +133,14 @@ mod tests {
     #[test]
     fn khop_sorted() {
         let g = path5();
-        assert_eq!(khop_nodes(&g, NodeId(2), 1), vec![NodeId(1), NodeId(2), NodeId(3)]);
-        assert_eq!(khop_nodes(&g, NodeId(0), 2), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            khop_nodes(&g, NodeId(2), 1),
+            vec![NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(
+            khop_nodes(&g, NodeId(0), 2),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
     }
 
     #[test]
@@ -149,7 +155,10 @@ mod tests {
         let g = path5();
         let mut s = BfsScratch::new(g.num_nodes());
         // N_1(1) = {0,1,2}, N_1(3) = {2,3,4}
-        assert_eq!(khop_intersection(&g, &mut s, NodeId(1), NodeId(3), 1), vec![NodeId(2)]);
+        assert_eq!(
+            khop_intersection(&g, &mut s, NodeId(1), NodeId(3), 1),
+            vec![NodeId(2)]
+        );
         assert_eq!(
             khop_union(&g, &mut s, NodeId(1), NodeId(3), 1),
             vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]

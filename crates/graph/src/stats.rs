@@ -237,7 +237,10 @@ mod tests {
             }
         }
         assert_eq!(degree_assortativity(&b.build()), 0.0);
-        assert_eq!(degree_assortativity(&GraphBuilder::undirected().build()), 0.0);
+        assert_eq!(
+            degree_assortativity(&GraphBuilder::undirected().build()),
+            0.0
+        );
     }
 
     #[test]
@@ -259,7 +262,10 @@ mod tests {
             }
         }
         assert_eq!(diameter_lower_bound(&b.build(), 1), 1);
-        assert_eq!(diameter_lower_bound(&GraphBuilder::undirected().build(), 1), 0);
+        assert_eq!(
+            diameter_lower_bound(&GraphBuilder::undirected().build(), 1),
+            0
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl InducedSubgraph {
     /// copied (census algorithms evaluate attribute predicates against the
     /// *original* graph through the id mapping).
     pub fn extract(g: &Graph, nodes: &[NodeId]) -> Self {
-        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "nodes must be sorted+dedup");
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "nodes must be sorted+dedup"
+        );
         let mut b = if g.is_directed() {
             GraphBuilder::directed()
         } else {

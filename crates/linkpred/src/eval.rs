@@ -7,11 +7,7 @@ use ego_graph::NodeId;
 /// that are true positives. If fewer than `k` predictions exist, the
 /// denominator is still `k` — an under-supplied predictor is penalized,
 /// matching the paper's definition ("correct predictions divided by K").
-pub fn precision_at_k(
-    predictions: &[(NodeId, NodeId)],
-    data: &DblpData,
-    k: usize,
-) -> f64 {
+pub fn precision_at_k(predictions: &[(NodeId, NodeId)], data: &DblpData, k: usize) -> f64 {
     if k == 0 {
         return 0.0;
     }

@@ -119,11 +119,18 @@ mod tests {
     use ego_datagen::rng;
 
     fn small_data() -> DblpData {
+        // Communities must stay sparse enough that a 2-hop neighborhood
+        // does not swallow the whole community: when radius-2 counts
+        // saturate, every within-community pair ties and the ranking
+        // degenerates to id order, destroying the radius-2 signal the
+        // DESIGN.md Fig 4(h) claim ("common nodes @2 hops beats Jaccard")
+        // relies on. ~25 authors/community at ~3 papers/community/year
+        // keeps 2-hop balls strictly inside communities.
         generate(
             &DblpConfig {
-                num_authors: 160,
-                num_communities: 10,
-                papers_per_year: 70,
+                num_authors: 400,
+                num_communities: 16,
+                papers_per_year: 50,
                 ..Default::default()
             },
             &mut rng(11),
@@ -133,7 +140,13 @@ mod tests {
     #[test]
     fn produces_all_predictors() {
         let data = small_data();
-        let res = run_experiment(&data, &ExperimentConfig { ks: vec![25], seed: 1 });
+        let res = run_experiment(
+            &data,
+            &ExperimentConfig {
+                ks: vec![25],
+                seed: 1,
+            },
+        );
         assert_eq!(res.measures.len(), 11); // 9 census + jaccard + random
         for m in &res.measures {
             assert_eq!(m.precision.len(), 1);
@@ -149,7 +162,13 @@ mod tests {
         // The qualitative Figure 4(h) claim on community-structured data:
         // common-neighborhood measures carry real signal, random ≈ 0.
         let data = small_data();
-        let res = run_experiment(&data, &ExperimentConfig { ks: vec![30], seed: 5 });
+        let res = run_experiment(
+            &data,
+            &ExperimentConfig {
+                ks: vec![30],
+                seed: 5,
+            },
+        );
         let random = res.measure("random").unwrap().precision[0].1;
         let nodes2 = res.measure("nodes@2").unwrap().precision[0].1;
         assert!(
@@ -163,7 +182,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let data = small_data();
-        let cfg = ExperimentConfig { ks: vec![20], seed: 9 };
+        let cfg = ExperimentConfig {
+            ks: vec![20],
+            seed: 9,
+        };
         let a = run_experiment(&data, &cfg);
         let b = run_experiment(&data, &cfg);
         for (x, y) in a.measures.iter().zip(&b.measures) {

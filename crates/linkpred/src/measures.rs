@@ -120,7 +120,16 @@ mod tests {
     fn fixture() -> Graph {
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         b.build()
@@ -180,8 +189,20 @@ mod tests {
     #[test]
     fn larger_radius_dominates() {
         let g = fixture();
-        let m1 = census_measure(&g, CensusMeasure { kind: MeasureKind::Node, r: 1 });
-        let m2 = census_measure(&g, CensusMeasure { kind: MeasureKind::Node, r: 2 });
+        let m1 = census_measure(
+            &g,
+            CensusMeasure {
+                kind: MeasureKind::Node,
+                r: 1,
+            },
+        );
+        let m2 = census_measure(
+            &g,
+            CensusMeasure {
+                kind: MeasureKind::Node,
+                r: 2,
+            },
+        );
         for (a, b, c) in m1.iter() {
             assert!(m2.get(a, b) >= c, "pair ({a},{b})");
         }

@@ -33,8 +33,7 @@ fn try_kuhn(
             continue;
         }
         visited[r] = true;
-        if match_right[r].is_none()
-            || try_kuhn(match_right[r].unwrap(), adj, match_right, visited)
+        if match_right[r].is_none() || try_kuhn(match_right[r].unwrap(), adj, match_right, visited)
         {
             match_right[r] = Some(l);
             return true;
@@ -88,13 +87,7 @@ mod tests {
     fn larger_random_structure() {
         // Chain structure forcing a cascade of augmentations:
         // l_i -> {r_i, r_{i+1}} for i in 0..4, l_4 -> {r_0}.
-        let adj = vec![
-            vec![0, 1],
-            vec![1, 2],
-            vec![2, 3],
-            vec![3, 4],
-            vec![0],
-        ];
+        let adj = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0]];
         assert_eq!(max_bipartite_matching(&adj, 5), 5);
     }
 }

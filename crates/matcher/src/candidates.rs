@@ -26,7 +26,12 @@ pub struct CandidateSpace {
 impl CandidateSpace {
     /// Step 1 (Section III-A): enumerate candidates per pattern node using
     /// label constraints, degree, and profile containment.
-    pub fn enumerate(g: &Graph, p: &Pattern, profiles: &ProfileIndex, stats: &mut MatchStats) -> Self {
+    pub fn enumerate(
+        g: &Graph,
+        p: &Pattern,
+        profiles: &ProfileIndex,
+        stats: &mut MatchStats,
+    ) -> Self {
         let np = p.num_nodes();
         let pneigh: Vec<Vec<PNode>> = p.nodes().map(|v| p.neighbors(v)).collect();
 
@@ -201,7 +206,9 @@ impl CandidateSpace {
     /// a pattern neighbor of `v`.
     pub fn cn_list(&self, v: PNode, n: NodeId, vp: PNode) -> &[NodeId] {
         let ci = self.position(v, n).expect("n is a candidate of v");
-        let j = self.neighbor_index(v, vp).expect("v' is a pattern neighbor");
+        let j = self
+            .neighbor_index(v, vp)
+            .expect("v' is a pattern neighbor");
         &self.cn[v.index()][j][ci]
     }
 
@@ -255,10 +262,7 @@ mod tests {
         // Pattern: hub with two label-1 neighbors. Node 0 has exactly two
         // label-1 neighbors (1 and 3); node 2 has only one.
         let g = labeled_graph();
-        let p = Pattern::parse(
-            "PATTERN p { ?H-?X; ?H-?Y; [?X.LABEL=1]; [?Y.LABEL=1]; }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN p { ?H-?X; ?H-?Y; [?X.LABEL=1]; [?Y.LABEL=1]; }").unwrap();
         let (cs, _) = space(&g, &p);
         let h = p.node_by_name("H").unwrap();
         assert_eq!(cs.alive_candidates(h).collect::<Vec<_>>(), vec![NodeId(0)]);

@@ -286,12 +286,8 @@ mod tests {
         let g = two_triangles();
         let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
         let mut stats = MatchStats::default();
-        let embs = crate::find_embeddings_with_stats(
-            &g,
-            &p,
-            MatcherKind::CandidateNeighbors,
-            &mut stats,
-        );
+        let embs =
+            crate::find_embeddings_with_stats(&g, &p, MatcherKind::CandidateNeighbors, &mut stats);
         assert_eq!(stats.raw_embeddings, embs.len());
         assert_eq!(stats.filtered_embeddings, embs.len());
         assert!(stats.initial_candidates > 0);

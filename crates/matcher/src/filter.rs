@@ -86,8 +86,8 @@ mod tests {
         b.set_edge_attr(x, y, "sign", 1i64);
         let g = b.build();
 
-        let p = Pattern::parse("PATTERN p { ?A-?B; [?A.age<?B.age]; [EDGE(?A,?B).sign=1]; }")
-            .unwrap();
+        let p =
+            Pattern::parse("PATTERN p { ?A-?B; [?A.age<?B.age]; [EDGE(?A,?B).sign=1]; }").unwrap();
         assert!(passes_filters(&g, &p, &[NodeId(0), NodeId(1)]));
         assert!(!passes_filters(&g, &p, &[NodeId(1), NodeId(0)]));
     }

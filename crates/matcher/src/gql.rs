@@ -110,7 +110,10 @@ pub(crate) fn search_over(
     let mut out = Vec::new();
     let mut assignment = vec![NodeId(0); np];
     // Pre-collect alive candidate lists per pattern node.
-    let alive_lists: Vec<Vec<NodeId>> = p.nodes().map(|v| cs.alive_candidates(v).collect()).collect();
+    let alive_lists: Vec<Vec<NodeId>> = p
+        .nodes()
+        .map(|v| cs.alive_candidates(v).collect())
+        .collect();
 
     #[allow(clippy::too_many_arguments)]
     fn dfs(
@@ -255,8 +258,7 @@ mod tests {
         b.add_edge(NodeId(0), NodeId(2));
         b.add_edge(NodeId(0), NodeId(3));
         let g = b.build();
-        let p = Pattern::parse("PATTERN p { ?H-?X; ?H-?Y; [?X.LABEL=1]; [?Y.LABEL=1]; }")
-            .unwrap();
+        let p = Pattern::parse("PATTERN p { ?H-?X; ?H-?Y; [?X.LABEL=1]; [?Y.LABEL=1]; }").unwrap();
         let embs = crate::find_embeddings(&g, &p, MatcherKind::GqlStyle);
         assert!(embs.is_empty());
     }

@@ -17,16 +17,25 @@ use ego_pattern::{Pattern, SearchOrder};
 
 /// Enumerate all embeddings of `p` in `g` with the CN algorithm,
 /// parallelizing extraction over `threads` workers.
-pub fn enumerate_parallel(
+pub fn enumerate_parallel(g: &Graph, p: &Pattern, threads: usize) -> Vec<Vec<NodeId>> {
+    let mut stats = MatchStats::default();
+    enumerate_parallel_with_stats(g, p, threads, &mut stats)
+}
+
+/// [`enumerate_parallel`] with instrumentation. The candidate/pruning
+/// phase tallies into `stats` directly; extraction-phase counters (scans,
+/// partials, embeddings) accumulate per worker and merge by addition, so
+/// the totals match a sequential run over the same candidate space.
+pub fn enumerate_parallel_with_stats(
     g: &Graph,
     p: &Pattern,
     threads: usize,
+    stats: &mut MatchStats,
 ) -> Vec<Vec<NodeId>> {
     let profiles = ProfileIndex::build(g);
-    let mut stats = MatchStats::default();
-    let mut cs = CandidateSpace::enumerate(g, p, &profiles, &mut stats);
+    let mut cs = CandidateSpace::enumerate(g, p, &profiles, stats);
     cs.init_candidate_neighbors(g, p);
-    cs.prune(p, &mut stats);
+    cs.prune(p, stats);
 
     let order = SearchOrder::new(p);
     let roots: Vec<NodeId> = cs.alive_candidates(order.order[0]).collect();
@@ -34,14 +43,14 @@ pub fn enumerate_parallel(
     if threads <= 1 || roots.len() < 2 {
         let mut out = Vec::new();
         for &root in &roots {
-            extract_subtree(g, p, &cs, &order, root, &mut out);
+            extract_subtree(g, p, &cs, &order, root, &mut out, stats);
         }
         out.sort_unstable();
         return out;
     }
 
     let chunk = roots.len().div_ceil(threads);
-    let mut out: Vec<Vec<NodeId>> = std::thread::scope(|scope| {
+    let results: Vec<(Vec<Vec<NodeId>>, MatchStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = roots
             .chunks(chunk)
             .map(|shard| {
@@ -49,18 +58,28 @@ pub fn enumerate_parallel(
                 let order = &order;
                 scope.spawn(move || {
                     let mut local = Vec::new();
+                    let mut local_stats = MatchStats::default();
                     for &root in shard {
-                        extract_subtree(g, p, cs, order, root, &mut local);
+                        extract_subtree(g, p, cs, order, root, &mut local, &mut local_stats);
                     }
-                    local
+                    (local, local_stats)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("matcher worker panicked"))
+            .map(|h| h.join().expect("matcher worker panicked"))
             .collect()
     });
+
+    let mut out = Vec::new();
+    for (local, local_stats) in results {
+        out.extend(local);
+        stats.extension_candidates_scanned += local_stats.extension_candidates_scanned;
+        stats.partial_matches += local_stats.partial_matches;
+        stats.raw_embeddings += local_stats.raw_embeddings;
+        stats.filtered_embeddings += local_stats.filtered_embeddings;
+    }
     out.sort_unstable();
     out
 }
@@ -73,19 +92,23 @@ fn extract_subtree(
     order: &SearchOrder,
     root: NodeId,
     out: &mut Vec<Vec<NodeId>>,
+    stats: &mut MatchStats,
 ) {
     let np = p.num_nodes();
     let mut assignment = vec![NodeId(0); np];
     assignment[order.order[0].index()] = root;
     if np == 1 {
+        stats.raw_embeddings += 1;
         if passes_filters(g, p, &assignment) {
+            stats.filtered_embeddings += 1;
             out.push(assignment);
         }
         return;
     }
-    dfs(g, p, cs, order, 1, &mut assignment, out);
+    dfs(g, p, cs, order, 1, &mut assignment, out, stats);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     g: &Graph,
     p: &Pattern,
@@ -94,12 +117,15 @@ fn dfs(
     depth: usize,
     assignment: &mut Vec<NodeId>,
     out: &mut Vec<Vec<NodeId>>,
+    stats: &mut MatchStats,
 ) {
     let np = p.num_nodes();
     let v = order.order[depth];
     let back = &order.backward[depth];
     let options: Vec<NodeId> = if back.is_empty() {
-        cs.alive_candidates(v).collect()
+        let all: Vec<NodeId> = cs.alive_candidates(v).collect();
+        stats.extension_candidates_scanned += all.len();
+        all
     } else {
         let mut lists: Vec<&[NodeId]> = back
             .iter()
@@ -110,10 +136,12 @@ fn dfs(
             .collect();
         lists.sort_by_key(|l| l.len());
         let mut cur = lists[0].to_vec();
+        stats.extension_candidates_scanned += lists[0].len();
         for l in &lists[1..] {
             if cur.is_empty() {
                 break;
             }
+            stats.extension_candidates_scanned += l.len().min(cur.len());
             cur = neighborhood::intersect_sorted(&cur, l);
         }
         cur
@@ -124,11 +152,14 @@ fn dfs(
         }
         assignment[v.index()] = n;
         if depth + 1 == np {
+            stats.raw_embeddings += 1;
             if passes_filters(g, p, assignment) {
+                stats.filtered_embeddings += 1;
                 out.push(assignment.clone());
             }
         } else {
-            dfs(g, p, cs, order, depth + 1, assignment, out);
+            stats.partial_matches += 1;
+            dfs(g, p, cs, order, depth + 1, assignment, out, stats);
         }
     }
 }
@@ -168,6 +199,30 @@ mod tests {
                 let par = enumerate_parallel(&g, &p, threads);
                 assert_eq!(par, seq, "{text} threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn stats_are_reported_and_thread_invariant() {
+        let g = circulant(60);
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let mut base = MatchStats::default();
+        let seq = enumerate_parallel_with_stats(&g, &p, 1, &mut base);
+        assert!(base.initial_candidates > 0);
+        assert!(base.extension_candidates_scanned > 0);
+        assert_eq!(base.filtered_embeddings, seq.len());
+        for threads in [2, 4, 8] {
+            let mut s = MatchStats::default();
+            let out = enumerate_parallel_with_stats(&g, &p, threads, &mut s);
+            assert_eq!(out, seq);
+            // Work partitioning must not change the total work done.
+            assert_eq!(s.raw_embeddings, base.raw_embeddings, "threads={threads}");
+            assert_eq!(s.filtered_embeddings, base.filtered_embeddings);
+            assert_eq!(s.partial_matches, base.partial_matches);
+            assert_eq!(
+                s.extension_candidates_scanned, base.extension_candidates_scanned,
+                "threads={threads}"
+            );
         }
     }
 

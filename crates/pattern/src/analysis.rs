@@ -59,12 +59,7 @@ impl PatternAnalysis {
                 }
             }
         }
-        let ecc = |x: PNode| -> u32 {
-            (0..n)
-                .map(|j| dist[x.index() * n + j])
-                .max()
-                .unwrap_or(0)
-        };
+        let ecc = |x: PNode| -> u32 { (0..n).map(|j| dist[x.index() * n + j]).max().unwrap_or(0) };
         let candidates: Vec<PNode> = match pivot_candidates {
             Some(c) if !c.is_empty() => c.to_vec(),
             _ => p.nodes().collect(),

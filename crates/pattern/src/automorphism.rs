@@ -23,10 +23,9 @@ pub fn automorphism_group(p: &Pattern) -> Vec<Vec<PNode>> {
     let mut perm: Vec<Option<PNode>> = vec![None; n];
     let mut used = vec![false; n];
     search(p, 0, &mut perm, &mut used, &mut result);
-    debug_assert!(result.iter().any(|perm| perm
+    debug_assert!(result
         .iter()
-        .enumerate()
-        .all(|(i, &v)| v.index() == i)));
+        .any(|perm| perm.iter().enumerate().all(|(i, &v)| v.index() == i)));
     result
 }
 
@@ -89,8 +88,7 @@ fn compatible(p: &Pattern, v: PNode, w: PNode, perm: &[Option<PNode>]) -> bool {
                 if e.directed {
                     f.directed && f.a == src && f.b == dst
                 } else {
-                    !f.directed
-                        && ((f.a == src && f.b == dst) || (f.a == dst && f.b == src))
+                    !f.directed && ((f.a == src && f.b == dst) || (f.a == dst && f.b == src))
                 }
             });
             if !found {
@@ -196,10 +194,7 @@ mod tests {
 
     #[test]
     fn clique4_has_24() {
-        let p = Pattern::parse(
-            "PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }",
-        )
-        .unwrap();
+        let p = Pattern::parse("PATTERN k4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }").unwrap();
         assert_eq!(automorphism_group(&p).len(), 24);
     }
 
@@ -249,10 +244,8 @@ mod tests {
         // and symmetric predicate pairs can be written explicitly.
         assert_eq!(automorphism_group(&p).len(), 1);
 
-        let sym = Pattern::parse(
-            "PATTERN e { ?A-?B; [?A.LABEL=?B.LABEL]; [?B.LABEL=?A.LABEL]; }",
-        )
-        .unwrap();
+        let sym = Pattern::parse("PATTERN e { ?A-?B; [?A.LABEL=?B.LABEL]; [?B.LABEL=?A.LABEL]; }")
+            .unwrap();
         assert_eq!(automorphism_group(&sym).len(), 2);
     }
 

@@ -53,5 +53,5 @@ pub use automorphism::automorphism_group;
 pub use model::{PNode, Pattern, PatternEdge, Subpattern};
 pub use order::SearchOrder;
 pub use parser::ParseError;
-pub use printer::to_dsl;
 pub use predicate::{CmpOp, EdgePredicate, NodePredicate, PredRhs};
+pub use printer::to_dsl;

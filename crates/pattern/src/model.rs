@@ -305,7 +305,11 @@ impl PatternBuilder {
     }
 
     fn push_edge(&mut self, a: PNode, b: PNode, directed: bool, negated: bool) -> &mut Self {
-        assert!(a != b, "pattern self-loop ?{0}-?{0}", self.pattern.var_name(a));
+        assert!(
+            a != b,
+            "pattern self-loop ?{0}-?{0}",
+            self.pattern.var_name(a)
+        );
         assert!(
             a.index() < self.pattern.num_nodes() && b.index() < self.pattern.num_nodes(),
             "edge references unknown pattern node"

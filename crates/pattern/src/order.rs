@@ -34,8 +34,13 @@ impl SearchOrder {
         let mut placed = vec![false; n];
 
         // Seed scoring: prefer label-constrained, then high pattern degree.
-        let seed_score =
-            |v: PNode| (p.label(v).is_some() as usize, p.degree(v), std::cmp::Reverse(v));
+        let seed_score = |v: PNode| {
+            (
+                p.label(v).is_some() as usize,
+                p.degree(v),
+                std::cmp::Reverse(v),
+            )
+        };
 
         while order.len() < n {
             // Start (or restart, for disconnected patterns) from the best
@@ -55,11 +60,7 @@ impl SearchOrder {
                     .nodes()
                     .filter(|v| !placed[v.index()])
                     .map(|v| {
-                        let conn = p
-                            .neighbors(v)
-                            .iter()
-                            .filter(|w| placed[w.index()])
-                            .count();
+                        let conn = p.neighbors(v).iter().filter(|w| placed[w.index()]).count();
                         (conn, v)
                     })
                     .filter(|&(conn, _)| conn > 0)
@@ -120,10 +121,7 @@ mod tests {
         // Every node after the first in its component-run must connect to an
         // earlier node, unless it starts a new component.
         for (i, &v) in order.iter().enumerate().skip(1) {
-            let has_back = p
-                .neighbors(v)
-                .iter()
-                .any(|w| order[..i].contains(w));
+            let has_back = p.neighbors(v).iter().any(|w| order[..i].contains(w));
             if !has_back {
                 // Allowed only if v is genuinely disconnected from ALL
                 // earlier nodes in the pattern.

@@ -39,7 +39,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -536,7 +540,9 @@ impl Parser {
                         return Err(ParseError {
                             line,
                             col,
-                            message: format!("subpattern `{sp_name}` references unknown variable ?{m}"),
+                            message: format!(
+                                "subpattern `{sp_name}` references unknown variable ?{m}"
+                            ),
                         })
                     }
                 }

@@ -39,7 +39,14 @@ pub fn to_dsl(p: &Pattern) -> String {
             PredRhs::Const(c) => literal(c),
             PredRhs::NodeAttr(o, attr) => format!("{}.{}", var(*o), attr),
         };
-        let _ = write!(out, " [{}.{}{}{}];", var(pred.node), pred.attr, pred.op, rhs);
+        let _ = write!(
+            out,
+            " [{}.{}{}{}];",
+            var(pred.node),
+            pred.attr,
+            pred.op,
+            rhs
+        );
     }
     for pred in p.edge_predicates() {
         let _ = write!(

@@ -113,8 +113,17 @@ mod tests {
     #[test]
     fn builtins_preloaded() {
         let c = Catalog::with_builtins();
-        for name in ["clq3_unlb", "clq3", "clq4", "sqr", "path3", "star3",
-                     "single_node", "single_edge", "triad"] {
+        for name in [
+            "clq3_unlb",
+            "clq3",
+            "clq4",
+            "sqr",
+            "path3",
+            "star3",
+            "single_node",
+            "single_edge",
+            "triad",
+        ] {
             assert!(c.get(name).is_some(), "missing builtin {name}");
         }
     }

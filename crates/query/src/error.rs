@@ -64,7 +64,9 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("2:5"));
-        assert!(QueryError::UnknownPattern("p".into()).to_string().contains('p'));
+        assert!(QueryError::UnknownPattern("p".into())
+            .to_string()
+            .contains('p'));
         assert!(QueryError::Semantic("x".into()).to_string().contains('x'));
     }
 }

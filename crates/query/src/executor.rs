@@ -8,8 +8,8 @@ use crate::parser::parse_query;
 use crate::table::Table;
 use crate::value::Value;
 use ego_census::{
-    run_census_with, run_pair_census_with, Algorithm, CensusSpec, CountVector, FocalNodes,
-    PairCensusSpec, PairCounts, PairSelector, PtConfig,
+    run_census_exec, run_pair_census_exec, Algorithm, CensusSpec, CountVector, ExecConfig,
+    FocalNodes, PairCensusSpec, PairCounts, PairSelector, PtConfig,
 };
 use ego_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
@@ -18,13 +18,15 @@ use rand::SeedableRng;
 /// Executes census SQL against one graph.
 ///
 /// The engine owns a [`Catalog`] of named patterns, an [`Algorithm`]
-/// choice (default [`Algorithm::Auto`]), pattern-driven tuning, and the
+/// choice (default [`Algorithm::Auto`]), pattern-driven tuning, an
+/// [`ExecConfig`] (default: all available hardware threads), and the
 /// RNG seed that makes `RND()` deterministic across runs.
 pub struct QueryEngine<'g> {
     graph: &'g Graph,
     catalog: Catalog,
     algorithm: Algorithm,
     pt_config: PtConfig,
+    exec: ExecConfig,
     seed: u64,
 }
 
@@ -36,6 +38,7 @@ impl<'g> QueryEngine<'g> {
             catalog: Catalog::new(),
             algorithm: Algorithm::Auto,
             pt_config: PtConfig::default(),
+            exec: ExecConfig::auto(),
             seed: 0xC0FFEE,
         }
     }
@@ -65,6 +68,17 @@ impl<'g> QueryEngine<'g> {
     /// Tune the pattern-driven algorithms.
     pub fn set_pt_config(&mut self, c: PtConfig) {
         self.pt_config = c;
+    }
+
+    /// Set the worker thread count (`0` = all available hardware threads,
+    /// the default). Results are identical for every thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.exec = ExecConfig::with_threads(threads);
+    }
+
+    /// The current execution configuration.
+    pub fn exec_config(&self) -> &ExecConfig {
+        &self.exec
     }
 
     /// Seed for `RND()` (deterministic per execution).
@@ -118,7 +132,10 @@ impl<'g> QueryEngine<'g> {
             // pattern selectivity.
             let mut mstats = ego_matcher::MatchStats::default();
             let cs = ego_matcher::candidates::CandidateSpace::enumerate(
-                self.graph, pattern, &profiles, &mut mstats,
+                self.graph,
+                pattern,
+                &profiles,
+                &mut mstats,
             );
             let cand_desc: Vec<String> = pattern
                 .nodes()
@@ -216,12 +233,17 @@ impl<'g> QueryEngine<'g> {
         };
         check_id_column(node, &[alias])?;
         let pattern = self.catalog.require(&agg.pattern)?;
-        let mut spec =
-            CensusSpec::single(pattern, k).with_focal(FocalNodes::Set(focal.to_vec()));
+        let mut spec = CensusSpec::single(pattern, k).with_focal(FocalNodes::Set(focal.to_vec()));
         if let Some(sp) = &agg.subpattern {
             spec = spec.with_subpattern(sp);
         }
-        Ok(run_census_with(self.graph, &spec, self.algorithm, &self.pt_config)?)
+        Ok(run_census_exec(
+            self.graph,
+            &spec,
+            self.algorithm,
+            &self.pt_config,
+            &self.exec,
+        )?)
     }
 
     // --- pairwise queries ---
@@ -324,11 +346,12 @@ impl<'g> QueryEngine<'g> {
         if let Some(sp) = &agg.subpattern {
             spec = spec.with_subpattern(sp);
         }
-        Ok(run_pair_census_with(
+        Ok(run_pair_census_exec(
             self.graph,
             &spec,
             self.algorithm,
             &self.pt_config,
+            &self.exec,
         )?)
     }
 }
@@ -425,7 +448,16 @@ mod tests {
     fn fixture() -> Graph {
         let mut b = GraphBuilder::undirected();
         b.add_nodes(7, Label(0));
-        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
             b.add_edge(NodeId(x), NodeId(y));
         }
         for i in 0..7u32 {
@@ -515,12 +547,8 @@ mod tests {
         let g = fixture();
         let mut e = engine(&g);
         e.set_seed(7);
-        let t1 = e
-            .execute("SELECT ID FROM nodes WHERE RND() < 0.5")
-            .unwrap();
-        let t2 = e
-            .execute("SELECT ID FROM nodes WHERE RND() < 0.5")
-            .unwrap();
+        let t1 = e.execute("SELECT ID FROM nodes WHERE RND() < 0.5").unwrap();
+        let t2 = e.execute("SELECT ID FROM nodes WHERE RND() < 0.5").unwrap();
         assert_eq!(t1, t2);
         assert!(t1.num_rows() < 7); // almost surely with this seed
     }
@@ -534,9 +562,7 @@ mod tests {
         let g = b.build();
         let mut e = QueryEngine::new(&g);
         e.catalog_mut()
-            .define(
-                "PATTERN triad { ?A->?B; ?B->?C; ?A!->?C; SUBPATTERN mid {?B;} }",
-            )
+            .define("PATTERN triad { ?A->?B; ?B->?C; ?A!->?C; SUBPATTERN mid {?B;} }")
             .unwrap();
         let t = e
             .execute("SELECT ID, COUNTSP(mid, triad, SUBGRAPH(ID, 0)) FROM nodes")
@@ -586,6 +612,24 @@ mod tests {
         }
         for r in &results[1..] {
             assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let g = fixture();
+        let mut e = engine(&g);
+        let single = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes";
+        let pair = "SELECT n1.ID, n2.ID, \
+                    COUNTP(node1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) \
+                    FROM nodes AS n1, nodes AS n2 WHERE n1.ID < n2.ID";
+        e.set_threads(1);
+        let base_single = e.execute(single).unwrap();
+        let base_pair = e.execute(pair).unwrap();
+        for threads in [2, 4, 0] {
+            e.set_threads(threads);
+            assert_eq!(e.execute(single).unwrap(), base_single, "threads={threads}");
+            assert_eq!(e.execute(pair).unwrap(), base_pair, "threads={threads}");
         }
     }
 

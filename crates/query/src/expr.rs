@@ -223,9 +223,7 @@ mod tests {
     #[test]
     fn pair_bindings() {
         let g = graph();
-        let e = where_of(
-            "SELECT n1.ID FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID",
-        );
+        let e = where_of("SELECT n1.ID FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID");
         let ctx = RowContext {
             graph: &g,
             bindings: vec![("n1", NodeId(1)), ("n2", NodeId(0))],

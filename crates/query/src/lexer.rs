@@ -205,9 +205,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Spanned>, QueryError> {
                     let ch = bytes[pos];
                     if ch.is_ascii_digit() {
                         s.push(bump!() as char);
-                    } else if ch == b'.'
-                        && bytes.get(pos + 1).is_some_and(|d| d.is_ascii_digit())
-                    {
+                    } else if ch == b'.' && bytes.get(pos + 1).is_some_and(|d| d.is_ascii_digit()) {
                         is_float = true;
                         s.push(bump!() as char);
                     } else {
@@ -328,7 +326,11 @@ mod tests {
         let t = toks("SELECT -- the projection\n ID");
         assert_eq!(
             t,
-            vec![Tok::Ident("SELECT".into()), Tok::Ident("ID".into()), Tok::Eof]
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("ID".into()),
+                Tok::Eof
+            ]
         );
     }
 

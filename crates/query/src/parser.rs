@@ -162,7 +162,9 @@ impl Parser {
                     Some(i as usize)
                 }
                 other => {
-                    return Err(self.err(format!("LIMIT takes a nonnegative integer, found {other}")))
+                    return Err(
+                        self.err(format!("LIMIT takes a nonnegative integer, found {other}"))
+                    )
                 }
             }
         } else {
@@ -470,10 +472,8 @@ mod tests {
 
     #[test]
     fn table1_row4_countsp() {
-        let q = parse_query(
-            "SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 0)) FROM nodes",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 0)) FROM nodes")
+            .unwrap();
         match &q.projections[1] {
             Projection::Agg(a) => {
                 assert_eq!(a.subpattern.as_deref(), Some("coordinator"));
@@ -485,12 +485,14 @@ mod tests {
 
     #[test]
     fn where_rnd_predicate() {
-        let q = parse_query(
-            "SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes WHERE RND() < 0.2",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes WHERE RND() < 0.2")
+            .unwrap();
         match q.where_clause.unwrap() {
-            Expr::Binary { op: BinOp::Lt, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Lt,
+                lhs,
+                rhs,
+            } => {
                 assert_eq!(*lhs, Expr::Rnd);
                 assert_eq!(*rhs, Expr::Literal(Value::Float(0.2)));
             }

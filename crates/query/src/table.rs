@@ -87,7 +87,14 @@ impl Table {
     /// are quoted.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.columns.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(

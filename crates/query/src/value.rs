@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn comparisons() {
         assert_eq!(Value::Int(1).compare(&Value::Float(2.0)), Some(Less));
-        assert_eq!(Value::Str("b".into()).compare(&Value::Str("a".into())), Some(Greater));
+        assert_eq!(
+            Value::Str("b".into()).compare(&Value::Str("a".into())),
+            Some(Greater)
+        );
         assert_eq!(Value::Null.compare(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).compare(&Value::Str("1".into())), None);
         assert_eq!(Value::Bool(true).compare(&Value::Bool(true)), Some(Equal));

@@ -53,7 +53,11 @@ fn main() {
         b.add_edge(NodeId(src), NodeId(dst));
     }
     let g = b.build();
-    println!("transaction network: {} actors, {} transfers", g.num_nodes(), g.num_edges());
+    println!(
+        "transaction network: {} actors, {} transfers",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // Brokerage roles as COUNTSP patterns. The paper's prototype optimizes
     // LABEL = const; label-join predicates run as final filters.

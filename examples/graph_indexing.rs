@@ -37,7 +37,10 @@ fn build_signatures(g: &Graph) -> Signatures {
         // Edges incident to the node.
         edges: run("PATTERN e { ?A-?B; SUBPATTERN me {?A;} }", "me"),
         // Triangles through the node.
-        triangles: run("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }", "me"),
+        triangles: run(
+            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }",
+            "me",
+        ),
         // 2-paths centered on the node.
         two_paths: run("PATTERN p { ?B-?A; ?A-?C; SUBPATTERN me {?A;} }", "me"),
     }
@@ -68,7 +71,10 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let sigs = build_signatures(&g);
-    println!("signature index built in {:.2}s", t0.elapsed().as_secs_f64());
+    println!(
+        "signature index built in {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     // A demanding query: a 4-clique with a pendant (5 nodes).
     let query = Pattern::parse(
@@ -92,7 +98,10 @@ fn main() {
             })
             .count();
     }
-    println!("\nsignature-surviving candidates per query node (of {}):", g.num_nodes());
+    println!(
+        "\nsignature-surviving candidates per query node (of {}):",
+        g.num_nodes()
+    );
     for v in query.nodes() {
         let (e, t, p) = required_signature(&query, v);
         println!(

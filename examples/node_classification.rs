@@ -91,7 +91,10 @@ fn main() {
     }
     let avg_smoker = sum_smoker / n_smoker.max(1) as f64;
     let avg_clean = sum_clean / n_clean.max(1) as f64;
-    println!("\nrisk feature over the youngest generation ({} children):", per_gen);
+    println!(
+        "\nrisk feature over the youngest generation ({} children):",
+        per_gen
+    );
     println!("  avg score, children who smoke:      {avg_smoker:.2} (n={n_smoker})");
     println!("  avg score, children who don't:      {avg_clean:.2} (n={n_clean})");
     println!(

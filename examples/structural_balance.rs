@@ -18,7 +18,11 @@ fn main() {
     let mut r = rng(2024);
     let g = watts_strogatz(400, 4, 0.1, &mut r);
     let g = assign_random_signs(&g, 0.8, &mut r);
-    println!("signed network: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+    println!(
+        "signed network: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // The two unstable triangle types: exactly one negative edge, or all
     // three negative. One pattern per type suffices: pattern variables can
@@ -47,14 +51,27 @@ fn main() {
 
     // Census each pattern in 2-hop neighborhoods and combine.
     let k = 2;
-    let mut unstable =
-        run_census(&g, &CensusSpec::single(&all_negative, k), Algorithm::NdPivot).unwrap();
-    let c = run_census(&g, &CensusSpec::single(&one_negative, k), Algorithm::NdPivot).unwrap();
+    let mut unstable = run_census(
+        &g,
+        &CensusSpec::single(&all_negative, k),
+        Algorithm::NdPivot,
+    )
+    .unwrap();
+    let c = run_census(
+        &g,
+        &CensusSpec::single(&one_negative, k),
+        Algorithm::NdPivot,
+    )
+    .unwrap();
     for n in g.node_ids() {
         unstable.add(n, c.get(n));
     }
-    let total = run_census(&g, &CensusSpec::single(&all_triangles, k), Algorithm::NdPivot)
-        .unwrap();
+    let total = run_census(
+        &g,
+        &CensusSpec::single(&all_triangles, k),
+        Algorithm::NdPivot,
+    )
+    .unwrap();
 
     // Report the most unstable neighborhoods.
     let mut scored: Vec<(f64, u64, u64, u32)> = g

@@ -47,7 +47,11 @@ fn main() {
         }
     }
     let g = b.build();
-    println!("society: {} people, {} relationships", g.num_nodes(), g.num_edges());
+    println!(
+        "society: {} people, {} relationships",
+        g.num_nodes(),
+        g.num_edges()
+    );
 
     // The Figure 1(a) pattern: two spouse edges bridged by two friendship
     // edges. Census it in the union of each couple's 2-hop neighborhoods.

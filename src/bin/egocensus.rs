@@ -9,7 +9,7 @@
 //! egocensus topk g.txt --pattern 'PATTERN t { ... }' --k 2 --top 10
 //! ```
 
-use egocensus::census::{global_matches, topk, Algorithm, CensusSpec};
+use egocensus::census::{exec_matches, topk, Algorithm, CensusSpec, ExecConfig};
 use egocensus::datagen;
 use egocensus::graph::{io, stats, Graph};
 use egocensus::matcher::{find_matches, MatcherKind};
@@ -59,11 +59,15 @@ USAGE:
   egocensus generate --model <ba|er|ws> --nodes <N> [--param <M>] [--labels <L>]
                      [--seed <S>] -o <file>
   egocensus stats <graph-file>
-  egocensus match <graph-file> --pattern <DSL> [--matcher <cn|gql>]
-  egocensus query <graph-file> [--define <DSL>]... [--algorithm <name>] [--csv] <SQL>
-  egocensus topk <graph-file> --pattern <DSL> --k <radius> [--top <n>] [--subpattern <name>]
+  egocensus match <graph-file> --pattern <DSL> [--matcher <cn|gql>] [--threads <T>]
+  egocensus query <graph-file> [--define <DSL>]... [--algorithm <name>]
+                  [--threads <T>] [--csv] <SQL>
+  egocensus topk <graph-file> --pattern <DSL> --k <radius> [--top <n>]
+                 [--subpattern <name>] [--threads <T>]
 
-Algorithms: auto (default), nd-bas, nd-pivot, nd-diff, pt-bas, pt-rnd, pt-opt."
+Algorithms: auto (default), nd-bas, nd-pivot, nd-diff, pt-bas, pt-rnd, pt-opt.
+Threads: 0 = all hardware threads (the default); results are identical
+for every thread count."
     );
 }
 
@@ -197,8 +201,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     } else {
         g
     };
-    let mut file =
-        std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     io::write_graph(&g, &mut file).map_err(|e| e.to_string())?;
     println!(
         "wrote {} nodes / {} edges ({} labels) to {out}",
@@ -237,8 +240,15 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         "gql" => MatcherKind::GqlStyle,
         other => return Err(format!("unknown matcher `{other}` (cn, gql)")),
     };
+    let threads = ExecConfig::with_threads(f.parse("threads", 0usize)?).resolve();
     let start = std::time::Instant::now();
-    let matches = find_matches(&g, &p, kind);
+    // Only the CN matcher has a parallel extraction phase; GQL runs
+    // sequentially regardless of --threads.
+    let matches = if kind == MatcherKind::CandidateNeighbors {
+        exec_matches(&g, &p, threads)
+    } else {
+        find_matches(&g, &p, kind)
+    };
     println!(
         "{} distinct matches of `{}` in {:.3}s",
         matches.len(),
@@ -265,7 +275,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let mut engine = QueryEngine::with_builtins(&g);
     for def in f.get_all("define") {
-        engine.catalog_mut().define(def).map_err(|e| e.to_string())?;
+        engine
+            .catalog_mut()
+            .define(def)
+            .map_err(|e| e.to_string())?;
     }
     if let Some(a) = f.get("algorithm") {
         engine.set_algorithm(parse_algorithm(a)?);
@@ -273,6 +286,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     if let Some(seed) = f.get("seed") {
         engine.set_seed(seed.parse().map_err(|_| "bad --seed")?);
     }
+    engine.set_threads(f.parse("threads", 0usize)?);
     let table = engine.execute(sql).map_err(|e| e.to_string())?;
     if f.has("csv") {
         print!("{}", table.to_csv());
@@ -295,7 +309,8 @@ fn cmd_topk(args: &[String]) -> Result<(), String> {
     if let Some(sp) = f.get("subpattern") {
         spec = spec.with_subpattern(sp);
     }
-    let matches = global_matches(&g, &p);
+    let threads = ExecConfig::with_threads(f.parse("threads", 0usize)?).resolve();
+    let matches = exec_matches(&g, &p, threads);
     let res = topk::top_k_census(&g, &spec, &matches, top_n).map_err(|e| e.to_string())?;
     println!(
         "top {} of {} focal nodes (exactly evaluated: {}):",

@@ -49,7 +49,9 @@ pub use ego_query as query;
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use ego_census::pairwise::{run_pair_census, PairCensusSpec, PairSelector};
-    pub use ego_census::{run_census, run_census_with, Algorithm, CensusSpec, CountVector, PtConfig};
+    pub use ego_census::{
+        run_census, run_census_with, Algorithm, CensusSpec, CountVector, PtConfig,
+    };
     pub use ego_graph::{Graph, GraphBuilder, Label, NodeId};
     pub use ego_matcher::{find_matches, MatcherKind};
     pub use ego_pattern::Pattern;

@@ -37,8 +37,8 @@ fn tempfile(name: &str) -> String {
 fn generate_stats_query_roundtrip() {
     let path = tempfile("g1.txt");
     let (ok, out, err) = run(&[
-        "generate", "--model", "ba", "--nodes", "500", "--param", "3", "--labels", "4",
-        "--seed", "7", "-o", &path,
+        "generate", "--model", "ba", "--nodes", "500", "--param", "3", "--labels", "4", "--seed",
+        "7", "-o", &path,
     ]);
     assert!(ok, "generate failed: {err}");
     assert!(out.contains("500 nodes"), "{out}");
@@ -68,8 +68,7 @@ fn generate_stats_query_roundtrip() {
 fn match_subcommand_counts_triangles() {
     let path = tempfile("g2.txt");
     run(&[
-        "generate", "--model", "ws", "--nodes", "200", "--param", "3", "--seed", "5",
-        "-o", &path,
+        "generate", "--model", "ws", "--nodes", "200", "--param", "3", "--seed", "5", "-o", &path,
     ]);
     let (ok, out, err) = run(&[
         "match",
@@ -103,8 +102,7 @@ fn match_subcommand_counts_triangles() {
 fn topk_subcommand() {
     let path = tempfile("g3.txt");
     run(&[
-        "generate", "--model", "ba", "--nodes", "300", "--param", "4", "--seed", "3",
-        "-o", &path,
+        "generate", "--model", "ba", "--nodes", "300", "--param", "4", "--seed", "3", "-o", &path,
     ]);
     let (ok, out, err) = run(&[
         "topk",

@@ -62,7 +62,9 @@ fn builtin_catalog_queries_run() {
     let engine = QueryEngine::with_builtins(&g);
     for pattern in ["clq3_unlb", "clq3", "sqr", "path3", "star3", "single_edge"] {
         let sql = format!("SELECT ID, COUNTP({pattern}, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 20");
-        let t = engine.execute(&sql).unwrap_or_else(|e| panic!("{pattern}: {e}"));
+        let t = engine
+            .execute(&sql)
+            .unwrap_or_else(|e| panic!("{pattern}: {e}"));
         assert_eq!(t.num_rows(), 20, "{pattern}");
     }
 }
@@ -75,8 +77,7 @@ fn parallel_census_agrees_end_to_end() {
     let spec = CensusSpec::single(&p, 2);
     let matches = egocensus::census::global_matches(&g, &p);
     let seq = egocensus::census::nd_pivot::run(&g, &spec, &matches).unwrap();
-    let par =
-        egocensus::census::parallel::run_nd_pivot_parallel(&g, &spec, &matches, 4).unwrap();
+    let par = egocensus::census::parallel::run_nd_pivot_parallel(&g, &spec, &matches, 4).unwrap();
     for n in g.node_ids() {
         assert_eq!(seq.get(n), par.get(n));
     }

@@ -26,10 +26,7 @@ fn degree_is_a_census() {
 #[test]
 fn local_triangles_is_a_countsp_census() {
     let g = barabasi_albert(300, 4, &mut rng(6));
-    let tri = Pattern::parse(
-        "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }",
-    )
-    .unwrap();
+    let tri = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }").unwrap();
     let spec = CensusSpec::single(&tri, 0).with_subpattern("me");
     let counts = run_census(&g, &spec, Algorithm::NdPivot).unwrap();
     for n in g.node_ids() {
@@ -44,10 +41,7 @@ fn local_triangles_is_a_countsp_census() {
 #[test]
 fn clustering_coefficient_from_census() {
     let g = barabasi_albert(200, 4, &mut rng(7));
-    let tri = Pattern::parse(
-        "PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }",
-    )
-    .unwrap();
+    let tri = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN me {?A;} }").unwrap();
     let spec = CensusSpec::single(&tri, 0).with_subpattern("me");
     let tri_counts = run_census(&g, &spec, Algorithm::PtOpt).unwrap();
     for n in g.node_ids() {

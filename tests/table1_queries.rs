@@ -7,7 +7,16 @@ use egocensus::query::{QueryEngine, Value};
 fn undirected_fixture() -> egocensus::graph::Graph {
     let mut b = GraphBuilder::undirected();
     b.add_nodes(7, Label(0));
-    for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)] {
+    for (x, y) in [
+        (0u32, 1),
+        (1, 2),
+        (0, 2),
+        (2, 3),
+        (3, 4),
+        (2, 4),
+        (4, 5),
+        (5, 6),
+    ] {
         b.add_edge(NodeId(x), NodeId(y));
     }
     b.build()
@@ -35,7 +44,9 @@ fn row2_single_edge_intersection() {
     // FROM nodes AS n1, nodes AS n2
     let g = undirected_fixture();
     let mut e = QueryEngine::new(&g);
-    e.catalog_mut().define("PATTERN single_edge {?A-?B;}").unwrap();
+    e.catalog_mut()
+        .define("PATTERN single_edge {?A-?B;}")
+        .unwrap();
     let t = e
         .execute(
             "SELECT n1.ID, n2.ID, \

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness API this workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is deliberately simple: one
+//! warm-up iteration, then `sample_size` timed iterations, reporting the
+//! mean wall-clock time per iteration. No statistical analysis, HTML
+//! reports, or baseline comparison — just honest numbers on stderr-free
+//! stdout so `cargo bench` works offline.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier combining a function name with a parameter, printed as
+/// `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) runs and times
+/// the routine.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`: one warm-up call, then `samples` measured calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: samples.max(1),
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "{name:<40} time: {:>12}  (mean of {} samples)",
+        fmt_duration(b.mean),
+        b.samples
+    );
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{id}", self.name), self.samples, f);
+        self
+    }
+
+    /// Benchmark a closure that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group (prints nothing; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a standalone closure with the default sample size.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), 20, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a + black_box(b))
+    }
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("plain", |b| b.iter(|| sum_to(1000)));
+        group.bench_with_input(BenchmarkId::new("input", 42), &42u64, |b, &n| {
+            b.iter(|| sum_to(n))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| sum_to(10)));
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
