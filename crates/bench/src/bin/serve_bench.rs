@@ -1,0 +1,131 @@
+//! Server throughput: requests/second against `ego-server` over
+//! loopback, cold (every request a distinct statement, all cache
+//! misses) vs cached (one statement repeated, all cache hits), at
+//! 1 / 4 / 8 concurrent client threads.
+//!
+//! ```sh
+//! cargo run --release -p ego-bench --bin serve_bench [-- --scale paper]
+//! ```
+//!
+//! The cold side measures the full stack — parse, canonicalize, census,
+//! encode — per request; the cached side measures the network front end
+//! itself (parse + canonical key + cache lookup + write), which is the
+//! ceiling memoization buys on repeated pattern-census workloads.
+
+use ego_bench::{eval_graph, header, row, timed, Scale};
+use ego_query::Catalog;
+use ego_server::{Client, Response, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Per-client requests in a measured round.
+const REQUESTS_PER_CLIENT: usize = 40;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (nodes, k) = match scale {
+        Scale::Quick => (2_000, 1),
+        Scale::Paper => (10_000, 1),
+    };
+    let graph = Arc::new(eval_graph(nodes, None, 4242));
+
+    let config = ServerConfig {
+        pool_threads: 8,
+        exec_threads: 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        graph,
+        Arc::new(Catalog::with_builtins()),
+        config,
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let shared = server.shared().clone();
+    let thread = std::thread::spawn(move || server.run().expect("run"));
+
+    println!(
+        "# serve_bench: req/s over loopback (BA n = {nodes}, clq3_unlb, k = {k}, \
+         pool = 8, exec-threads = 1)\n"
+    );
+    header(&["clients", "cold req/s", "cached req/s", "speedup"]);
+
+    // Cold statements must be globally distinct across rounds or a later
+    // round would hit entries a previous round inserted.
+    let mut next_distinct = 0usize;
+
+    for clients in [1usize, 4, 8] {
+        let total = clients * REQUESTS_PER_CLIENT;
+
+        // Cold: every request a distinct statement (unique LIMIT bound),
+        // so each one runs the full census.
+        let first = next_distinct;
+        next_distinct += total;
+        let (_, cold_secs) = timed(|| {
+            run_clients(addr, clients, |client_id, i| {
+                let n = first + client_id * REQUESTS_PER_CLIENT + i;
+                format!(
+                    "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, {k})) FROM nodes \
+                     ORDER BY 2 DESC LIMIT {}",
+                    n + 1
+                )
+            })
+        });
+
+        // Cached: one statement, warmed once, repeated by everyone.
+        let warm_sql =
+            format!("SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, {k})) FROM nodes ORDER BY 2 DESC");
+        {
+            let mut c = Client::connect(addr).expect("connect");
+            expect_table(c.query(&warm_sql).expect("warm"));
+        }
+        let (_, cached_secs) = timed(|| run_clients(addr, clients, |_, _| warm_sql.clone()));
+
+        let cold_rps = total as f64 / cold_secs;
+        let cached_rps = total as f64 / cached_secs;
+        row(&[
+            clients.to_string(),
+            format!("{cold_rps:.0}"),
+            format!("{cached_rps:.0}"),
+            format!("{:.0}x", cached_rps / cold_rps),
+        ]);
+    }
+
+    let cache = shared.cache_stats();
+    println!(
+        "\ncache: {} hits / {} misses / {} insertions, {} entries, {} KiB",
+        cache.hits,
+        cache.misses,
+        cache.insertions,
+        cache.entries,
+        cache.bytes / 1024
+    );
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+/// `clients` threads, each opening one connection and issuing
+/// `REQUESTS_PER_CLIENT` queries produced by `sql(client_id, i)`.
+fn run_clients(addr: SocketAddr, clients: usize, sql: impl Fn(usize, usize) -> String + Sync) {
+    std::thread::scope(|scope| {
+        for client_id in 0..clients {
+            let sql = &sql;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    expect_table(client.query(&sql(client_id, i)).expect("query"));
+                }
+            });
+        }
+    });
+}
+
+fn expect_table(resp: Response) {
+    match resp {
+        Response::Table(_) => {}
+        Response::Error { message } => panic!("server error: {message}"),
+    }
+}

@@ -198,6 +198,15 @@ impl EdgeAttrStore {
     pub fn attribute_names(&self) -> impl Iterator<Item = &str> {
         self.columns.keys().map(String::as_str)
     }
+
+    /// All `((source, target), value)` entries of one attribute column,
+    /// in hash-map (unspecified) order. Keys are normalized as stored.
+    pub fn column(&self, name: &str) -> impl Iterator<Item = ((u32, u32), &AttrValue)> {
+        self.columns
+            .get(name)
+            .into_iter()
+            .flat_map(|col| col.iter().map(|(k, v)| (*k, v)))
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,88 @@ impl Graph {
         nodes.truncate(count);
         nodes
     }
+
+    /// A structural fingerprint of the graph: an Fx hash over direction,
+    /// labels, the CSR adjacency arrays, and the node-attribute columns.
+    ///
+    /// Two graphs with different topology, labels, or attribute values
+    /// fingerprint differently (modulo hash collisions); the same graph
+    /// always fingerprints identically. Used to key caches of census
+    /// results so a cache entry can never outlive the graph it was
+    /// computed on. Costs one pass over the edge arrays — compute once
+    /// per loaded graph, not per query.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::hash::FxHasher;
+        use std::hash::Hasher;
+
+        let mut h = FxHasher::default();
+        h.write_u8(self.directed as u8);
+        h.write_u16(self.num_labels);
+        h.write_usize(self.labels.len());
+        for l in &self.labels {
+            h.write_u16(l.0);
+        }
+        h.write_usize(self.num_edges);
+        for off in &self.und_offsets {
+            h.write_u32(*off);
+        }
+        for t in &self.und_targets {
+            h.write_u32(t.0);
+        }
+        for t in &self.out_targets {
+            h.write_u32(t.0);
+        }
+        // Attribute columns, hashed order-independently (column iteration
+        // order is hash-map order): XOR of per-entry hashes.
+        let mut attr_acc: u64 = 0;
+        let mut names: Vec<&str> = self.node_attrs.attribute_names().collect();
+        names.sort_unstable();
+        for name in names {
+            for (node, value) in self.node_attrs.column(name) {
+                let mut eh = FxHasher::default();
+                eh.write(name.as_bytes());
+                eh.write_u32(node.0);
+                hash_attr_value(&mut eh, value);
+                attr_acc ^= eh.finish();
+            }
+        }
+        let mut enames: Vec<&str> = self.edge_attrs.attribute_names().collect();
+        enames.sort_unstable();
+        for name in enames {
+            for ((a, b), value) in self.edge_attrs.column(name) {
+                let mut eh = FxHasher::default();
+                eh.write(name.as_bytes());
+                eh.write_u32(a);
+                eh.write_u32(b);
+                hash_attr_value(&mut eh, value);
+                attr_acc ^= eh.finish();
+            }
+        }
+        h.write_u64(attr_acc);
+        h.finish()
+    }
+}
+
+fn hash_attr_value(h: &mut crate::hash::FxHasher, v: &AttrValue) {
+    use std::hash::Hasher;
+    match v {
+        AttrValue::Int(i) => {
+            h.write_u8(0);
+            h.write_u64(*i as u64);
+        }
+        AttrValue::Float(f) => {
+            h.write_u8(1);
+            h.write_u64(f.to_bits());
+        }
+        AttrValue::Str(s) => {
+            h.write_u8(2);
+            h.write(s.as_bytes());
+        }
+        AttrValue::Bool(b) => {
+            h.write_u8(3);
+            h.write_u8(*b as u8);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -301,5 +383,43 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.node_ids().count(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        use crate::attrs::AttrValue;
+
+        let g1 = path3_undirected();
+        let g2 = path3_undirected();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+
+        // Extra edge changes the fingerprint.
+        let mut b = GraphBuilder::undirected();
+        b.add_node(Label(0));
+        b.add_node(Label(1));
+        b.add_node(Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.add_edge(NodeId(0), NodeId(2));
+        assert_ne!(b.build().fingerprint(), g1.fingerprint());
+
+        // Different label changes the fingerprint.
+        let mut b = GraphBuilder::undirected();
+        b.add_node(Label(0));
+        b.add_node(Label(0));
+        b.add_node(Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        assert_ne!(b.build().fingerprint(), g1.fingerprint());
+
+        // An attribute value changes the fingerprint.
+        let mut b = GraphBuilder::undirected();
+        b.add_node(Label(0));
+        b.add_node(Label(1));
+        b.add_node(Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        b.set_node_attr(NodeId(0), "age", AttrValue::Int(30));
+        assert_ne!(b.build().fingerprint(), g1.fingerprint());
     }
 }

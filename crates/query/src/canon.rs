@@ -1,0 +1,248 @@
+//! Canonical query keys for result caching.
+//!
+//! A census query's result is fully determined by (a) the statement's
+//! semantic content — projections, neighborhood specs, focal selection
+//! (WHERE), ordering, limit — and (b) the *definitions* of every pattern
+//! it references, not their names. [`canonical_query_key`] renders both
+//! into one string so a memoization layer (the `ego-server` result
+//! cache) can recognize repeated queries regardless of keyword case,
+//! whitespace, or how a referenced pattern was textually written:
+//! patterns are resolved through the catalog and re-rendered with
+//! [`ego_pattern::to_dsl`], the DSL's canonical printer.
+//!
+//! The key deliberately excludes the algorithm choice and thread count —
+//! every algorithm family and thread count produces identical results
+//! (test-enforced) — but callers must mix in anything else that can
+//! change results, notably the graph fingerprint
+//! ([`ego_graph::Graph::fingerprint`]) and the `RND()` seed.
+
+use crate::ast::{BinOp, ColumnRef, Expr, NeighborhoodAst, Projection, SelectStmt, SortDir};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::parser::parse_query;
+use crate::value::Value;
+use std::fmt::Write;
+
+/// Render `sql` into a canonical cache key, resolving every referenced
+/// pattern through `catalog` to its canonical DSL.
+///
+/// Errors if the statement does not parse or references an unknown
+/// pattern — the same errors executing it would raise, so a failed key
+/// never hides a query that would have failed anyway.
+pub fn canonical_query_key(sql: &str, catalog: &Catalog) -> Result<String, QueryError> {
+    let stmt = parse_query(sql)?;
+    let mut key = canonical_statement(&stmt);
+    // Append referenced pattern definitions, sorted and deduplicated, so
+    // `tri` in the key means one specific pattern, not whatever the
+    // session happens to call `tri`.
+    let mut names: Vec<&str> = stmt
+        .projections
+        .iter()
+        .filter_map(|p| match p {
+            Projection::Agg(a) => Some(a.pattern.as_str()),
+            Projection::Column(_) => None,
+        })
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    for name in names {
+        let pattern = catalog.require(name)?;
+        write!(key, "|pattern {name}={}", ego_pattern::to_dsl(pattern)).unwrap();
+    }
+    Ok(key)
+}
+
+/// Canonical rendering of a parsed statement: uppercase keywords, single
+/// spaces, lowercase aliases, fully parenthesized WHERE expression.
+fn canonical_statement(stmt: &SelectStmt) -> String {
+    let mut s = String::from("SELECT ");
+    for (i, proj) in stmt.projections.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match proj {
+            Projection::Column(c) => s.push_str(&col(c)),
+            Projection::Agg(a) => {
+                let nb = match &a.neighborhood {
+                    NeighborhoodAst::Subgraph { node, k } => {
+                        format!("SUBGRAPH({}, {k})", col(node))
+                    }
+                    NeighborhoodAst::Intersection { n1, n2, k } => {
+                        format!("SUBGRAPH-INTERSECTION({}, {}, {k})", col(n1), col(n2))
+                    }
+                    NeighborhoodAst::Union { n1, n2, k } => {
+                        format!("SUBGRAPH-UNION({}, {}, {k})", col(n1), col(n2))
+                    }
+                };
+                match &a.subpattern {
+                    Some(sp) => write!(s, "COUNTSP({sp}, {}, {nb})", a.pattern).unwrap(),
+                    None => write!(s, "COUNTP({}, {nb})", a.pattern).unwrap(),
+                }
+            }
+        }
+    }
+    s.push_str(" FROM ");
+    for (i, t) in stmt.tables.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write!(s, "nodes AS {}", t.alias.to_ascii_lowercase()).unwrap();
+    }
+    if let Some(w) = &stmt.where_clause {
+        write!(s, " WHERE {}", expr(w)).unwrap();
+    }
+    for (i, k) in stmt.order_by.iter().enumerate() {
+        s.push_str(if i == 0 { " ORDER BY " } else { ", " });
+        let dir = match k.dir {
+            SortDir::Asc => "ASC",
+            SortDir::Desc => "DESC",
+        };
+        write!(s, "{} {dir}", k.ordinal).unwrap();
+    }
+    if let Some(n) = stmt.limit {
+        write!(s, " LIMIT {n}").unwrap();
+    }
+    s
+}
+
+fn col(c: &ColumnRef) -> String {
+    // The id pseudo-column is case-insensitive; attribute names are not.
+    let column = if c.is_id() {
+        "ID".to_string()
+    } else {
+        c.column.clone()
+    };
+    match &c.table {
+        Some(t) => format!("{}.{column}", t.to_ascii_lowercase()),
+        None => column,
+    }
+}
+
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Literal(v) => literal(v),
+        Expr::Column(c) => col(c),
+        Expr::Rnd => "RND()".into(),
+        Expr::Binary { op, lhs, rhs } => {
+            let op = match op {
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Eq => "=",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+            };
+            format!("({} {op} {})", expr(lhs), expr(rhs))
+        }
+        Expr::Not(inner) => format!("(NOT {})", expr(inner)),
+    }
+}
+
+fn literal(v: &Value) -> String {
+    match v {
+        // Strings are quoted and escaped so `'a'` can never collide with
+        // a number or keyword rendering.
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        c.define("PATTERN one { ?A; }").unwrap();
+        c
+    }
+
+    #[test]
+    fn whitespace_and_case_insensitive() {
+        let c = catalog();
+        let a = canonical_query_key(
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE age >= 40",
+            &c,
+        )
+        .unwrap();
+        let b = canonical_query_key(
+            "select   id,  countp(tri, subgraph(id, 1))\n from nodes  where age >= 40",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pattern_definition_is_part_of_the_key() {
+        let mut c1 = Catalog::new();
+        c1.define("PATTERN p { ?A-?B; }").unwrap();
+        let mut c2 = Catalog::new();
+        c2.define("PATTERN p { ?A-?B; ?B-?C; }").unwrap();
+        let sql = "SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes";
+        assert_ne!(
+            canonical_query_key(sql, &c1).unwrap(),
+            canonical_query_key(sql, &c2).unwrap()
+        );
+        // Same definition under a different textual DSL spelling → same key.
+        let mut c3 = Catalog::new();
+        c3.define("PATTERN p {   ?A - ?B ; }").unwrap();
+        assert_eq!(
+            canonical_query_key(sql, &c1).unwrap(),
+            canonical_query_key(sql, &c3).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_keys() {
+        let c = catalog();
+        let keys: Vec<String> = [
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes",
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes",
+            "SELECT ID, COUNTP(one, SUBGRAPH(ID, 1)) FROM nodes",
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 3",
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes ORDER BY 2 DESC",
+            "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes LIMIT 2",
+            "SELECT n1.ID, n2.ID, COUNTP(one, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) \
+             FROM nodes AS n1, nodes AS n2",
+            "SELECT n1.ID, n2.ID, COUNTP(one, SUBGRAPH-UNION(n1.ID, n2.ID, 1)) \
+             FROM nodes AS n1, nodes AS n2",
+        ]
+        .iter()
+        .map(|sql| canonical_query_key(sql, &c).unwrap())
+        .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn where_expression_canonicalizes() {
+        let c = catalog();
+        let a = canonical_query_key(
+            "SELECT ID FROM nodes WHERE NOT (age < 10 OR age > 90) AND RND() < 0.5",
+            &c,
+        )
+        .unwrap();
+        assert!(a.contains("WHERE"), "{a}");
+        assert!(a.contains("RND()"), "{a}");
+        // String literals stay quoted.
+        let b = canonical_query_key("SELECT ID FROM nodes WHERE dept = 'eng'", &c).unwrap();
+        assert!(b.contains("'eng'"), "{b}");
+    }
+
+    #[test]
+    fn unknown_pattern_errors() {
+        let c = catalog();
+        assert!(matches!(
+            canonical_query_key("SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes", &c),
+            Err(QueryError::UnknownPattern(_))
+        ));
+        assert!(canonical_query_key("SELECT FROM", &c).is_err());
+    }
+}

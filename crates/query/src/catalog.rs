@@ -1,13 +1,21 @@
 //! The pattern catalog: named patterns referenced by queries.
+//!
+//! Catalogs can be *layered*: a session catalog holds its own definitions
+//! and falls through to a shared, immutable base catalog (the server's
+//! built-ins) for anything it has not defined locally. Lookups check the
+//! local layer first, then the base chain.
 
 use crate::error::QueryError;
 use ego_pattern::Pattern;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A registry of named patterns. `COUNTP(tri, ...)` looks up `tri` here.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
     patterns: HashMap<String, Pattern>,
+    /// Shared read-only base layer consulted when a name is not local.
+    base: Option<Arc<Catalog>>,
 }
 
 impl Catalog {
@@ -30,9 +38,40 @@ impl Catalog {
         c
     }
 
+    /// An empty catalog layered over a shared base: lookups fall through
+    /// to `base`, local definitions shadow nothing (defining a name that
+    /// exists in any layer is an error; see [`Catalog::define`]).
+    ///
+    /// This is how server sessions share one built-in catalog without
+    /// copying it per connection.
+    pub fn layered(base: Arc<Catalog>) -> Self {
+        Catalog {
+            patterns: HashMap::new(),
+            base: Some(base),
+        }
+    }
+
     /// Parse a `PATTERN name { ... }` declaration and register it under
     /// its own name. Returns a reference to the stored pattern.
+    ///
+    /// Defining a name that already exists — locally or in a base layer —
+    /// is an error ([`QueryError::AlreadyDefined`]), so a session cannot
+    /// silently shadow a shared built-in. Use
+    /// [`Catalog::define_or_replace`] for explicit redefine semantics.
     pub fn define(&mut self, text: &str) -> Result<&Pattern, QueryError> {
+        let p = Pattern::parse(text)?;
+        let name = p.name().to_string();
+        if self.get(&name).is_some() {
+            return Err(QueryError::AlreadyDefined(name));
+        }
+        self.patterns.insert(name.clone(), p);
+        Ok(&self.patterns[&name])
+    }
+
+    /// Parse a `PATTERN name { ... }` declaration and register it,
+    /// replacing any previous local definition (and shadowing any base
+    /// definition) of the same name.
+    pub fn define_or_replace(&mut self, text: &str) -> Result<&Pattern, QueryError> {
         let p = Pattern::parse(text)?;
         let name = p.name().to_string();
         self.patterns.insert(name.clone(), p);
@@ -40,14 +79,17 @@ impl Catalog {
     }
 
     /// Register an already-built pattern under its name (replacing any
-    /// previous definition).
+    /// previous local definition).
     pub fn insert(&mut self, pattern: Pattern) {
         self.patterns.insert(pattern.name().to_string(), pattern);
     }
 
-    /// Look up a pattern.
+    /// Look up a pattern: local layer first, then the base chain.
     pub fn get(&self, name: &str) -> Option<&Pattern> {
-        self.patterns.get(name)
+        match self.patterns.get(name) {
+            Some(p) => Some(p),
+            None => self.base.as_ref().and_then(|b| b.get(name)),
+        }
     }
 
     /// Look up or error.
@@ -56,21 +98,25 @@ impl Catalog {
             .ok_or_else(|| QueryError::UnknownPattern(name.to_string()))
     }
 
-    /// Registered pattern names, sorted.
+    /// Registered pattern names across all layers, sorted and deduplicated.
     pub fn names(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.patterns.keys().map(String::as_str).collect();
+        if let Some(b) = &self.base {
+            v.extend(b.names());
+        }
         v.sort_unstable();
+        v.dedup();
         v
     }
 
-    /// Number of patterns.
+    /// Number of distinct pattern names across all layers.
     pub fn len(&self) -> usize {
-        self.patterns.len()
+        self.names().len()
     }
 
-    /// True if empty.
+    /// True if no layer defines any pattern.
     pub fn is_empty(&self) -> bool {
-        self.patterns.is_empty()
+        self.len() == 0
     }
 }
 
@@ -102,12 +148,53 @@ mod tests {
     }
 
     #[test]
-    fn redefinition_replaces() {
+    fn duplicate_define_is_an_error() {
         let mut c = Catalog::new();
         c.define("PATTERN p { ?A; }").unwrap();
-        c.define("PATTERN p { ?A-?B; }").unwrap();
+        let err = c.define("PATTERN p { ?A-?B; }").unwrap_err();
+        assert!(matches!(err, QueryError::AlreadyDefined(ref n) if n == "p"));
+        assert!(err.to_string().contains("already defined"), "{err}");
+        // The original definition is untouched.
+        assert_eq!(c.get("p").unwrap().num_nodes(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn define_or_replace_redefines() {
+        let mut c = Catalog::new();
+        c.define("PATTERN p { ?A; }").unwrap();
+        c.define_or_replace("PATTERN p { ?A-?B; }").unwrap();
         assert_eq!(c.get("p").unwrap().num_nodes(), 2);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn layered_lookup_and_duplicate_detection() {
+        let base = Arc::new(Catalog::with_builtins());
+        let mut session = Catalog::layered(base.clone());
+        // Base patterns resolve through the layer.
+        assert!(session.get("clq3").is_some());
+        assert_eq!(session.len(), base.len());
+        // Local definitions are visible locally but never leak to base.
+        session.define("PATTERN mine { ?A-?B; }").unwrap();
+        assert!(session.get("mine").is_some());
+        assert!(base.get("mine").is_none());
+        assert_eq!(session.len(), base.len() + 1);
+        // Redefining a base pattern is rejected...
+        assert!(matches!(
+            session.define("PATTERN clq3 { ?A-?B; }"),
+            Err(QueryError::AlreadyDefined(_))
+        ));
+        // ...unless explicitly requested, in which case it shadows.
+        session
+            .define_or_replace("PATTERN clq3 { ?A-?B; }")
+            .unwrap();
+        assert_eq!(session.get("clq3").unwrap().num_nodes(), 2);
+        assert_ne!(
+            base.get("clq3").unwrap().num_nodes(),
+            2,
+            "base must be unchanged"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum QueryError {
     },
     /// The query references a pattern not defined in the catalog.
     UnknownPattern(String),
+    /// A `define` tried to reuse a name that is already bound (locally or
+    /// in a base catalog layer).
+    AlreadyDefined(String),
     /// A pattern definition failed to parse.
     PatternError(String),
     /// Semantic error (bad column, alias, aggregate shape...).
@@ -31,6 +34,9 @@ impl fmt::Display for QueryError {
                 write!(f, "syntax error at {line}:{col}: {message}")
             }
             QueryError::UnknownPattern(name) => write!(f, "unknown pattern `{name}`"),
+            QueryError::AlreadyDefined(name) => {
+                write!(f, "pattern `{name}` already defined")
+            }
             QueryError::PatternError(msg) => write!(f, "pattern error: {msg}"),
             QueryError::Semantic(msg) => write!(f, "semantic error: {msg}"),
             QueryError::Census(msg) => write!(f, "execution error: {msg}"),

@@ -14,6 +14,25 @@ use ego_census::{
 use ego_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Where an engine's graph lives: borrowed from the caller (the
+/// original in-process API) or shared behind an [`Arc`] (server
+/// sessions on many threads over one loaded graph).
+enum GraphSource<'g> {
+    Borrowed(&'g Graph),
+    Shared(Arc<Graph>),
+}
+
+impl GraphSource<'_> {
+    #[inline]
+    fn get(&self) -> &Graph {
+        match self {
+            GraphSource::Borrowed(g) => g,
+            GraphSource::Shared(g) => g,
+        }
+    }
+}
 
 /// Executes census SQL against one graph.
 ///
@@ -21,8 +40,14 @@ use rand::SeedableRng;
 /// choice (default [`Algorithm::Auto`]), pattern-driven tuning, an
 /// [`ExecConfig`] (default: all available hardware threads), and the
 /// RNG seed that makes `RND()` deterministic across runs.
+///
+/// Engines either borrow their graph ([`QueryEngine::new`]) or share an
+/// [`Arc`]-owned one ([`QueryEngine::shared`]); the latter has a
+/// `'static` lifetime, so per-connection sessions on different threads
+/// can each hold an engine over one loaded graph without re-parsing it
+/// or resorting to `unsafe`.
 pub struct QueryEngine<'g> {
-    graph: &'g Graph,
+    graph: GraphSource<'g>,
     catalog: Catalog,
     algorithm: Algorithm,
     pt_config: PtConfig,
@@ -33,6 +58,24 @@ pub struct QueryEngine<'g> {
 impl<'g> QueryEngine<'g> {
     /// Engine with an empty catalog and default settings.
     pub fn new(graph: &'g Graph) -> Self {
+        Self::from_source(GraphSource::Borrowed(graph))
+    }
+
+    /// Engine preloaded with the paper's built-in patterns.
+    pub fn with_builtins(graph: &'g Graph) -> Self {
+        let mut e = Self::new(graph);
+        e.catalog = Catalog::with_builtins();
+        e
+    }
+
+    /// Engine over a shared, `Arc`-owned graph. The resulting engine is
+    /// `'static`: it can move into a connection-handler thread while
+    /// sibling sessions share the same graph.
+    pub fn shared(graph: Arc<Graph>) -> QueryEngine<'static> {
+        QueryEngine::from_source(GraphSource::Shared(graph))
+    }
+
+    fn from_source(graph: GraphSource<'g>) -> Self {
         QueryEngine {
             graph,
             catalog: Catalog::new(),
@@ -43,11 +86,15 @@ impl<'g> QueryEngine<'g> {
         }
     }
 
-    /// Engine preloaded with the paper's built-in patterns.
-    pub fn with_builtins(graph: &'g Graph) -> Self {
-        let mut e = Self::new(graph);
-        e.catalog = Catalog::with_builtins();
-        e
+    /// The graph this engine executes against.
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
+    }
+
+    /// Replace the engine's catalog (e.g. with a session catalog layered
+    /// over a shared base; see [`Catalog::layered`]).
+    pub fn set_catalog(&mut self, catalog: Catalog) {
+        self.catalog = catalog;
     }
 
     /// Mutable access to the pattern catalog.
@@ -118,7 +165,7 @@ impl<'g> QueryEngine<'g> {
             "candidates".into(),
             "algorithm".into(),
         ]);
-        let profiles = ego_graph::profile::ProfileIndex::build(self.graph);
+        let profiles = ego_graph::profile::ProfileIndex::build(self.graph());
         for proj in &stmt.projections {
             let Projection::Agg(agg) = proj else { continue };
             let pattern = self.catalog.require(&agg.pattern)?;
@@ -132,7 +179,7 @@ impl<'g> QueryEngine<'g> {
             // pattern selectivity.
             let mut mstats = ego_matcher::MatchStats::default();
             let cs = ego_matcher::candidates::CandidateSpace::enumerate(
-                self.graph,
+                self.graph(),
                 pattern,
                 &profiles,
                 &mut mstats,
@@ -161,7 +208,7 @@ impl<'g> QueryEngine<'g> {
 
     fn execute_single(&self, stmt: &SelectStmt) -> Result<Table, QueryError> {
         let alias = stmt.tables[0].alias.as_str();
-        let g = self.graph;
+        let g = self.graph();
 
         // WHERE -> focal node set.
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -238,7 +285,7 @@ impl<'g> QueryEngine<'g> {
             spec = spec.with_subpattern(sp);
         }
         Ok(run_census_exec(
-            self.graph,
+            self.graph(),
             &spec,
             self.algorithm,
             &self.pt_config,
@@ -256,7 +303,7 @@ impl<'g> QueryEngine<'g> {
                 "duplicate table alias `{a1}`"
             )));
         }
-        let g = self.graph;
+        let g = self.graph();
 
         // Enumerate ordered pairs of distinct nodes passing WHERE.
         // (Self-pairs are excluded: a pairwise neighborhood of a node with
@@ -347,7 +394,7 @@ impl<'g> QueryEngine<'g> {
             spec = spec.with_subpattern(sp);
         }
         Ok(run_pair_census_exec(
-            self.graph,
+            self.graph(),
             &spec,
             self.algorithm,
             &self.pt_config,

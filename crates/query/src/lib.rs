@@ -39,6 +39,7 @@
 //! ```
 
 pub mod ast;
+pub mod canon;
 pub mod catalog;
 pub mod error;
 pub mod executor;
@@ -48,6 +49,7 @@ pub mod parser;
 pub mod table;
 pub mod value;
 
+pub use canon::canonical_query_key;
 pub use catalog::Catalog;
 pub use error::QueryError;
 pub use executor::QueryEngine;

@@ -1,0 +1,256 @@
+//! The pattern-keyed result cache.
+//!
+//! Census queries are expensive (a full neighborhood traversal per focal
+//! node) and production query streams repeat heavily, so the server
+//! memoizes encoded `table` responses keyed by the canonical query key
+//! ([`ego_query::canonical_query_key`] — canonical statement + resolved
+//! pattern DSLs) combined with the graph fingerprint and RND seed. This
+//! is the space-for-query-time tradeoff of Deng, Lu & Tao's range
+//! subgraph counting work, applied at whole-result granularity.
+//!
+//! The cache is a byte-budgeted, concurrency-safe LRU: one mutex guards
+//! the map + recency index (operations are O(log n) and touch only
+//! metadata, so contention is negligible next to census execution), and
+//! hit/miss/eviction/insertion counters are atomics exposed through the
+//! `stats` request.
+
+use ego_graph::FastHashMap;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Approximate fixed bookkeeping cost per entry (map + recency index
+/// nodes), added to the key/value byte lengths when budgeting.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Counter snapshot for the `stats` request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to execute.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate bytes currently resident.
+    pub bytes: u64,
+    /// Byte budget (0 = caching disabled).
+    pub capacity_bytes: u64,
+}
+
+struct Entry {
+    value: String,
+    /// Key into `recency`; updated on every touch.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct LruState {
+    map: FastHashMap<String, Entry>,
+    /// stamp -> key, ordered oldest-first. Stamps are unique (a
+    /// monotonically increasing tick), so this is a recency list with
+    /// O(log n) touch/evict.
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    bytes: usize,
+}
+
+/// A concurrency-safe, byte-budgeted LRU cache of encoded responses.
+pub struct QueryCache {
+    state: Mutex<LruState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl QueryCache {
+    /// Cache with a byte budget. `capacity_bytes == 0` disables caching:
+    /// every lookup misses and nothing is stored.
+    pub fn new(capacity_bytes: usize) -> Self {
+        QueryCache {
+            state: Mutex::new(LruState::default()),
+            capacity: capacity_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a key, refreshing its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut state = self.state.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        match state.map.get_mut(key) {
+            Some(entry) => {
+                let old = entry.stamp;
+                entry.stamp = tick;
+                let value = entry.value.clone();
+                state.recency.remove(&old);
+                state.recency.insert(tick, key.to_string());
+                drop(state);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(state);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a value, evicting least-recently-used entries until it
+    /// fits. Values larger than the whole budget are not cached.
+    pub fn insert(&self, key: String, value: String) {
+        let cost = key.len() + value.len() + ENTRY_OVERHEAD;
+        if cost > self.capacity {
+            return;
+        }
+        let mut state = self.state.lock().unwrap();
+        // Replace any previous entry under this key (e.g. two sessions
+        // raced on the same miss) so byte accounting stays exact.
+        if let Some(old) = state.map.remove(&key) {
+            state.recency.remove(&old.stamp);
+            state.bytes -= key.len() + old.value.len() + ENTRY_OVERHEAD;
+        }
+        let mut evicted = 0u64;
+        while state.bytes + cost > self.capacity {
+            let (&oldest, _) = state
+                .recency
+                .iter()
+                .next()
+                .expect("bytes>0 implies entries");
+            let victim = state.recency.remove(&oldest).unwrap();
+            let entry = state.map.remove(&victim).unwrap();
+            state.bytes -= victim.len() + entry.value.len() + ENTRY_OVERHEAD;
+            evicted += 1;
+        }
+        state.tick += 1;
+        let stamp = state.tick;
+        state.recency.insert(stamp, key.clone());
+        state.map.insert(key, Entry { value, stamp });
+        state.bytes += cost;
+        drop(state);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let state = self.state.lock().unwrap();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: state.map.len() as u64,
+            bytes: state.bytes as u64,
+            capacity_bytes: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_counters() {
+        let c = QueryCache::new(1 << 20);
+        assert_eq!(c.get("a"), None);
+        c.insert("a".into(), "va".into());
+        assert_eq!(c.get("a").as_deref(), Some("va"));
+        assert_eq!(c.get("b"), None);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // Budget for roughly three entries of this size.
+        let cost = 1 + 1 + ENTRY_OVERHEAD;
+        let c = QueryCache::new(3 * cost);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.insert("c".into(), "3".into());
+        // Touch `a` so `b` is now the least recently used.
+        assert!(c.get("a").is_some());
+        c.insert("d".into(), "4".into());
+        assert!(c.get("b").is_none(), "b should have been evicted");
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert!(c.get("d").is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 3);
+    }
+
+    #[test]
+    fn reinsert_same_key_keeps_accounting_exact() {
+        let c = QueryCache::new(1 << 12);
+        c.insert("k".into(), "short".into());
+        let b1 = c.stats().bytes;
+        c.insert("k".into(), "a considerably longer value".into());
+        assert_eq!(c.stats().entries, 1);
+        assert!(c.stats().bytes > b1);
+        c.insert("k".into(), "short".into());
+        assert_eq!(c.stats().bytes, b1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = QueryCache::new(0);
+        c.insert("a".into(), "v".into());
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn oversized_value_is_not_cached() {
+        let c = QueryCache::new(128);
+        c.insert("k".into(), "x".repeat(500));
+        assert_eq!(c.stats().entries, 0);
+        // Smaller values still cache.
+        c.insert("k".into(), "x".into());
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let c = Arc::new(QueryCache::new(1 << 16));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        let key = format!("k{}", i % 10);
+                        if c.get(&key).is_none() {
+                            c.insert(key, format!("v{t}-{i}"));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(s.entries <= 10);
+    }
+}

@@ -1,0 +1,102 @@
+//! A small blocking client for the line-delimited JSON protocol.
+//!
+//! One request in, one response out, in order, over one TCP connection.
+//! Used by the `egocensus client` subcommand, the loopback tests, and
+//! the serve benchmark.
+
+use crate::protocol::{Request, Response, TableData};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Bound how long responses may take (census queries on large graphs
+    /// can be slow; the default is no timeout).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.writer.set_write_timeout(timeout)?;
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one request, wait for its response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        let line = self.send_raw(&req.encode())?;
+        Response::decode(&line)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Send a raw line (for protocol tests), returning the raw response
+    /// line without its trailing newline.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with(['\n', '\r']) {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Ping)
+    }
+
+    /// Define a pattern in this connection's session catalog.
+    pub fn define(&mut self, pattern: &str) -> std::io::Result<Response> {
+        self.request(&Request::Define {
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// Execute a census SQL statement.
+    pub fn query(&mut self, sql: &str) -> std::io::Result<Response> {
+        self.request(&Request::Query {
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Describe the plan for a statement.
+    pub fn explain(&mut self, sql: &str) -> std::io::Result<Response> {
+        self.request(&Request::Explain {
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Fetch the server/cache counter table.
+    pub fn stats(&mut self) -> std::io::Result<TableData> {
+        match self.request(&Request::Stats)? {
+            Response::Table(t) => Ok(t),
+            Response::Error { message } => Err(std::io::Error::other(message)),
+        }
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}

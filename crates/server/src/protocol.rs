@@ -1,0 +1,329 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! Each request is one JSON object on one line; each response is one
+//! JSON object on one line. Malformed input produces an `error` response
+//! and leaves the connection open.
+//!
+//! Requests (`op` selects the kind):
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"define","pattern":"PATTERN t { ?A-?B; ?B-?C; ?A-?C; }"}
+//! {"op":"query","sql":"SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"}
+//! {"op":"explain","sql":"SELECT ..."}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are `table` or `error`:
+//!
+//! ```text
+//! {"ok":true,"type":"table","columns":["ID","..."],"rows":[[0,1],[1,0]]}
+//! {"ok":false,"type":"error","message":"unknown pattern `t`"}
+//! ```
+//!
+//! Every successful operation answers with a table — `ping` a one-cell
+//! `reply` table, `define` a one-cell `defined` table, `stats` a
+//! key/value table — so clients need exactly one success decoder.
+
+use crate::json::Json;
+use ego_query::{Table, Value};
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Define a pattern in the session catalog.
+    Define {
+        /// `PATTERN name { ... }` DSL text.
+        pattern: String,
+    },
+    /// Execute a census SQL statement (cached).
+    Query {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Describe the plan for a statement (never cached).
+    Explain {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Server and cache counters.
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Encode as a single-line JSON string (no trailing newline).
+    pub fn encode(&self) -> String {
+        let obj = match self {
+            Request::Ping => vec![("op".to_string(), Json::Str("ping".into()))],
+            Request::Define { pattern } => vec![
+                ("op".to_string(), Json::Str("define".into())),
+                ("pattern".to_string(), Json::Str(pattern.clone())),
+            ],
+            Request::Query { sql } => vec![
+                ("op".to_string(), Json::Str("query".into())),
+                ("sql".to_string(), Json::Str(sql.clone())),
+            ],
+            Request::Explain { sql } => vec![
+                ("op".to_string(), Json::Str("explain".into())),
+                ("sql".to_string(), Json::Str(sql.clone())),
+            ],
+            Request::Stats => vec![("op".to_string(), Json::Str("stats".into()))],
+            Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".into()))],
+        };
+        Json::Obj(obj).render()
+    }
+
+    /// Decode one request line. Errors are human-readable protocol
+    /// diagnostics destined for an error response.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request must be an object with a string `op` field")?;
+        let field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("op `{op}` requires a string `{name}` field"))
+        };
+        match op {
+            "ping" => Ok(Request::Ping),
+            "define" => Ok(Request::Define {
+                pattern: field("pattern")?,
+            }),
+            "query" => Ok(Request::Query { sql: field("sql")? }),
+            "explain" => Ok(Request::Explain { sql: field("sql")? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op `{other}` (ping, define, query, explain, stats, shutdown)"
+            )),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// A result table.
+    Table(TableData),
+    /// A failure; the connection stays open.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// A result table on the wire: column names plus rows of values.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TableData {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row-major values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl TableData {
+    /// Convert from an engine result table.
+    pub fn from_table(t: &Table) -> TableData {
+        TableData {
+            columns: t.columns().to_vec(),
+            rows: t.rows().to_vec(),
+        }
+    }
+
+    /// Look up the value of a two-column key/value table (the `stats`
+    /// response shape) as an integer.
+    pub fn stat(&self, name: &str) -> Option<i64> {
+        self.rows
+            .iter()
+            .find(|r| matches!(r.first(), Some(Value::Str(s)) if s == name))
+            .and_then(|r| r.get(1))
+            .and_then(Value::as_int)
+    }
+}
+
+impl Response {
+    /// A table response from an engine result.
+    pub fn table(t: &Table) -> Response {
+        Response::Table(TableData::from_table(t))
+    }
+
+    /// An error response.
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::Error {
+            message: message.into(),
+        }
+    }
+
+    /// True for `Error`.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+
+    /// Encode as a single-line JSON string (no trailing newline).
+    /// Deterministic: equal responses encode to identical bytes.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Table(t) => {
+                let columns = Json::Arr(t.columns.iter().cloned().map(Json::Str).collect());
+                let rows = Json::Arr(
+                    t.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(value_to_json).collect()))
+                        .collect(),
+                );
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("table".into())),
+                    ("columns".into(), columns),
+                    ("rows".into(), rows),
+                ])
+                .render()
+            }
+            Response::Error { message } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("type".into(), Json::Str("error".into())),
+                ("message".into(), Json::Str(message.clone())),
+            ])
+            .render(),
+        }
+    }
+
+    /// Decode one response line.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        match v.get("type").and_then(Json::as_str) {
+            Some("error") => Ok(Response::Error {
+                message: v
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error")
+                    .to_string(),
+            }),
+            Some("table") => {
+                let columns = v
+                    .get("columns")
+                    .and_then(Json::as_array)
+                    .ok_or("table response missing `columns`")?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rows = v
+                    .get("rows")
+                    .and_then(Json::as_array)
+                    .ok_or("table response missing `rows`")?
+                    .iter()
+                    .map(|r| {
+                        r.as_array()
+                            .ok_or("non-array row")
+                            .map(|cells| cells.iter().map(json_to_value).collect::<Vec<_>>())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Table(TableData { columns, rows }))
+            }
+            _ => Err("response must have type `table` or `error`".into()),
+        }
+    }
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Int(*i),
+        Value::Float(f) => Json::Float(*f),
+        Value::Str(s) => Json::Str(s.clone()),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Null => Json::Null,
+    }
+}
+
+fn json_to_value(v: &Json) -> Value {
+    match v {
+        Json::Int(i) => Value::Int(*i),
+        Json::Float(f) => Value::Float(*f),
+        Json::Str(s) => Value::Str(s.clone()),
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Null => Value::Null,
+        // Nested structures never appear in table cells; render as text
+        // rather than dropping data.
+        other => Value::Str(other.render()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Ping,
+            Request::Define {
+                pattern: "PATTERN t { ?A-?B; }".into(),
+            },
+            Request::Query {
+                sql: "SELECT ID FROM nodes".into(),
+            },
+            Request::Explain {
+                sql: "SELECT ID FROM nodes".into(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn request_decode_errors() {
+        assert!(Request::decode("garbage").is_err());
+        assert!(Request::decode("{}").is_err());
+        assert!(Request::decode(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"query"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"define","pattern":7}"#).is_err());
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut t = Table::new(vec!["ID".into(), "count".into()]);
+        t.push_row(vec![Value::Int(0), Value::Int(2)]);
+        t.push_row(vec![Value::Int(1), Value::Null]);
+        let resp = Response::table(&t);
+        let line = resp.encode();
+        assert!(line.starts_with(r#"{"ok":true,"type":"table""#), "{line}");
+        assert_eq!(Response::decode(&line).unwrap(), resp);
+
+        let err = Response::error("boom");
+        assert!(err.is_error());
+        assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let mut t = Table::new(vec!["x".into()]);
+        t.push_row(vec![Value::Float(1.0)]);
+        t.push_row(vec![Value::Str("a\"b".into())]);
+        let a = Response::table(&t).encode();
+        let b = Response::table(&t).encode();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_table_lookup() {
+        let td = TableData {
+            columns: vec!["stat".into(), "value".into()],
+            rows: vec![
+                vec![Value::Str("cache_hits".into()), Value::Int(3)],
+                vec![Value::Str("cache_misses".into()), Value::Int(1)],
+            ],
+        };
+        assert_eq!(td.stat("cache_hits"), Some(3));
+        assert_eq!(td.stat("nope"), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! The TCP server: bounded thread-per-connection pool over `std::net`.
+//!
+//! The build environment is offline (no tokio), so concurrency is a
+//! fixed worker pool fed by a bounded channel: the accept loop (non-
+//! blocking, polling the shutdown flag) hands sockets to workers; when
+//! every worker is busy and the channel is full, accepted sockets wait
+//! in the OS backlog — natural backpressure. Each connection is read
+//! with a short poll timeout so workers notice shutdown promptly, and a
+//! request that stays half-received past the request timeout is
+//! answered with an `error` and dropped.
+
+use crate::session::{Session, Shared};
+use ego_graph::Graph;
+use ego_query::Catalog;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connection-handler threads (the concurrency bound).
+    pub pool_threads: usize,
+    /// Worker threads per census execution (`0` = all hardware threads).
+    pub exec_threads: usize,
+    /// Result-cache budget in bytes (`0` disables caching).
+    pub cache_bytes: usize,
+    /// How long a half-received request may dribble in before the
+    /// connection is dropped.
+    pub request_timeout: Duration,
+    /// Write timeout per response.
+    pub write_timeout: Duration,
+    /// Accept/read poll tick; bounds shutdown latency.
+    pub poll_interval: Duration,
+    /// `RND()` seed shared by all sessions.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            pool_threads: 4,
+            exec_threads: 0,
+            cache_bytes: 64 << 20,
+            request_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(20),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Sets the shutdown flag from another thread (or from a `shutdown`
+/// protocol request, which shares the same flag).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Ask the server to stop: the accept loop exits, workers finish
+    /// their current connections and drain.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A census query server bound to a TCP address.
+pub struct Server {
+    listener: TcpListener,
+    shared: Shared,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) over a graph
+    /// loaded once and a base catalog every session shares.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        graph: Arc<Graph>,
+        base_catalog: Arc<Catalog>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Shared::new(
+            graph,
+            base_catalog,
+            config.cache_bytes,
+            config.exec_threads,
+            config.seed,
+        );
+        Ok(Server {
+            listener,
+            shared,
+            config,
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: self.shared.shutdown.clone(),
+        }
+    }
+
+    /// The state shared across sessions (cache and counters), for
+    /// inspection in tests and benchmarks.
+    pub fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    /// Serve until shutdown. Blocks the calling thread; returns after
+    /// the accept loop has stopped and every worker has drained.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = self.config.pool_threads.max(1);
+        // Bounded handoff: at most `pool` connections queued beyond the
+        // ones being served; the rest wait in the OS accept backlog.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..pool)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = self.shared.clone();
+                let config = self.config.clone();
+                std::thread::Builder::new()
+                    .name(format!("ego-server-worker-{i}"))
+                    .spawn(move || loop {
+                        // Take the next socket without holding the lock
+                        // while serving it.
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(s) => s,
+                            Err(_) => return, // accept loop gone: drain out
+                        };
+                        serve_connection(stream, &shared, &config);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let shutdown = self.shared.shutdown.clone();
+        while !shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // A send only fails if all workers panicked; treat
+                    // that as shutdown.
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.config.poll_interval);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(tx); // workers drain queued sockets, then exit
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection: read request lines, answer each with one
+/// response line, until EOF, error, timeout, or server shutdown.
+fn serve_connection(mut stream: TcpStream, shared: &Shared, config: &ServerConfig) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    if stream.set_read_timeout(Some(config.poll_interval)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut session = Session::new(shared);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Set when `buf` holds a partial request; enforces request_timeout.
+    let mut partial_since: Option<Instant> = None;
+
+    loop {
+        // Answer every complete line already buffered (clients may
+        // pipeline several requests per packet).
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = session.handle_line(line);
+            if write_line(&mut stream, &response).is_err() {
+                return;
+            }
+        }
+        partial_since = if buf.is_empty() {
+            None
+        } else {
+            partial_since.or_else(|| Some(Instant::now()))
+        };
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle poll tick. An idle connection may wait forever;
+                // a half-received request may not.
+                if let Some(since) = partial_since {
+                    if since.elapsed() >= config.request_timeout {
+                        let _ = write_line(
+                            &mut stream,
+                            &crate::protocol::Response::error("request timed out").encode(),
+                        );
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}

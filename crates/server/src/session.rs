@@ -1,0 +1,367 @@
+//! Per-connection sessions.
+//!
+//! Each accepted connection gets a [`Session`]: its own
+//! [`ego_query::QueryEngine`] over the server's shared `Arc<Graph>`,
+//! with a pattern catalog *layered* over the shared base catalog —
+//! `define` requests are visible only to that session and can never
+//! shadow a shared built-in (that's a `pattern already defined` error).
+//! All sessions share one result cache and one set of counters.
+
+use crate::cache::{CacheStats, QueryCache};
+use crate::protocol::{Request, Response};
+use ego_graph::Graph;
+use ego_query::{canonical_query_key, Catalog, QueryEngine, Table, Value};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Whole-server counters (beyond the cache's own).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests parsed and dispatched (any op).
+    pub requests: AtomicU64,
+    /// Queries that actually ran on the engine (cache misses + uncached
+    /// ops). A cache hit does not increment this — nor any traversal
+    /// underneath it.
+    pub queries_executed: AtomicU64,
+    /// Session-local patterns defined.
+    pub patterns_defined: AtomicU64,
+}
+
+/// State shared by every session: the loaded graph, the base catalog,
+/// the result cache, counters, and the shutdown flag.
+#[derive(Clone)]
+pub struct Shared {
+    /// The graph, loaded once at startup.
+    pub graph: Arc<Graph>,
+    /// Patterns every session sees (e.g. the paper's built-ins).
+    pub base_catalog: Arc<Catalog>,
+    /// The pattern-keyed result cache.
+    pub cache: Arc<QueryCache>,
+    /// Server counters.
+    pub stats: Arc<ServerStats>,
+    /// Set to stop the accept loop and drain workers.
+    pub shutdown: Arc<AtomicBool>,
+    /// Worker threads per census execution (`0` = all hardware threads).
+    pub exec_threads: usize,
+    /// `RND()` seed for every session (part of the cache key).
+    pub seed: u64,
+    /// Graph fingerprint, computed once (part of the cache key).
+    pub fingerprint: u64,
+}
+
+impl Shared {
+    /// Build shared state, computing the graph fingerprint once.
+    pub fn new(
+        graph: Arc<Graph>,
+        base_catalog: Arc<Catalog>,
+        cache_capacity_bytes: usize,
+        exec_threads: usize,
+        seed: u64,
+    ) -> Shared {
+        let fingerprint = graph.fingerprint();
+        Shared {
+            graph,
+            base_catalog,
+            cache: Arc::new(QueryCache::new(cache_capacity_bytes)),
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            exec_threads,
+            seed,
+            fingerprint,
+        }
+    }
+
+    /// Cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+/// One connection's execution context.
+pub struct Session {
+    shared: Shared,
+    engine: QueryEngine<'static>,
+}
+
+impl Session {
+    /// A fresh session over the shared graph and base catalog.
+    pub fn new(shared: &Shared) -> Session {
+        let mut engine = QueryEngine::shared(shared.graph.clone());
+        engine.set_catalog(Catalog::layered(shared.base_catalog.clone()));
+        engine.set_threads(shared.exec_threads);
+        engine.set_seed(shared.seed);
+        Session {
+            shared: shared.clone(),
+            engine,
+        }
+    }
+
+    /// Handle one request line, returning one encoded response line
+    /// (no trailing newline). Never panics on malformed input.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match Request::decode(line) {
+            Ok(req) => self.handle(&req),
+            Err(message) => Response::error(message).encode(),
+        }
+    }
+
+    /// Handle one decoded request.
+    pub fn handle(&mut self, req: &Request) -> String {
+        match req {
+            Request::Ping => reply_table("pong"),
+            Request::Define { pattern } => self.handle_define(pattern),
+            Request::Query { sql } => self.handle_query(sql),
+            Request::Explain { sql } => self.encode_execution(|e| e.explain(sql)),
+            Request::Stats => self.handle_stats(),
+            Request::Shutdown => {
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                reply_table("shutting down")
+            }
+        }
+    }
+
+    fn handle_define(&mut self, pattern: &str) -> String {
+        match self.engine.catalog_mut().define(pattern) {
+            Ok(p) => {
+                self.shared
+                    .stats
+                    .patterns_defined
+                    .fetch_add(1, Ordering::Relaxed);
+                let mut t = Table::new(vec!["defined".into()]);
+                t.push_row(vec![Value::Str(p.name().to_string())]);
+                Response::table(&t).encode()
+            }
+            Err(e) => Response::error(e.to_string()).encode(),
+        }
+    }
+
+    fn handle_query(&mut self, sql: &str) -> String {
+        // `EXPLAIN SELECT ...` through the query op describes a plan; it
+        // is cheap and algorithm-dependent, so it bypasses the cache.
+        let trimmed = sql.trim_start();
+        if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
+            return self.encode_execution(|e| e.execute(sql));
+        }
+        let key = match canonical_query_key(sql, self.engine.catalog()) {
+            Ok(canonical) => format!(
+                "{canonical}|fp={:016x}|seed={}",
+                self.shared.fingerprint, self.shared.seed
+            ),
+            // The statement won't execute either; report that error.
+            Err(e) => return Response::error(e.to_string()).encode(),
+        };
+        if let Some(cached) = self.shared.cache.get(&key) {
+            return cached;
+        }
+        let encoded = self.encode_execution(|e| e.execute(sql));
+        if !encoded.starts_with(r#"{"ok":false"#) {
+            self.shared.cache.insert(key, encoded.clone());
+        }
+        encoded
+    }
+
+    fn encode_execution(
+        &mut self,
+        run: impl FnOnce(&QueryEngine<'static>) -> Result<Table, ego_query::QueryError>,
+    ) -> String {
+        self.shared
+            .stats
+            .queries_executed
+            .fetch_add(1, Ordering::Relaxed);
+        match run(&self.engine) {
+            Ok(t) => Response::table(&t).encode(),
+            Err(e) => Response::error(e.to_string()).encode(),
+        }
+    }
+
+    fn handle_stats(&self) -> String {
+        let cache = self.shared.cache.stats();
+        let stats = &self.shared.stats;
+        let mut t = Table::new(vec!["stat".into(), "value".into()]);
+        let rows: &[(&str, u64)] = &[
+            ("cache_bytes", cache.bytes),
+            ("cache_capacity_bytes", cache.capacity_bytes),
+            ("cache_entries", cache.entries),
+            ("cache_evictions", cache.evictions),
+            ("cache_hits", cache.hits),
+            ("cache_insertions", cache.insertions),
+            ("cache_misses", cache.misses),
+            ("connections", stats.connections.load(Ordering::Relaxed)),
+            (
+                "patterns_defined",
+                stats.patterns_defined.load(Ordering::Relaxed),
+            ),
+            (
+                "queries_executed",
+                stats.queries_executed.load(Ordering::Relaxed),
+            ),
+            ("requests", stats.requests.load(Ordering::Relaxed)),
+        ];
+        for (name, value) in rows {
+            t.push_row(vec![
+                Value::Str(name.to_string()),
+                Value::Int(*value as i64),
+            ]);
+        }
+        Response::table(&t).encode()
+    }
+}
+
+fn reply_table(text: &str) -> String {
+    let mut t = Table::new(vec!["reply".into()]);
+    t.push_row(vec![Value::Str(text.into())]);
+    Response::table(&t).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Response, TableData};
+    use ego_graph::{GraphBuilder, Label, NodeId};
+
+    /// Two triangles sharing node 2, chain 4-5-6 (the executor fixture).
+    fn fixture() -> Arc<Graph> {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(7, Label(0));
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        Arc::new(b.build())
+    }
+
+    fn shared() -> Shared {
+        Shared::new(
+            fixture(),
+            Arc::new(Catalog::with_builtins()),
+            1 << 20,
+            1,
+            0xC0FFEE,
+        )
+    }
+
+    fn table(encoded: &str) -> TableData {
+        match Response::decode(encoded).unwrap() {
+            Response::Table(t) => t,
+            Response::Error { message } => panic!("unexpected error: {message}"),
+        }
+    }
+
+    #[test]
+    fn ping_and_malformed_lines() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let t = table(&s.handle_line(r#"{"op":"ping"}"#));
+        assert_eq!(t.rows[0][0], Value::Str("pong".into()));
+        let r = Response::decode(&s.handle_line("this is not json")).unwrap();
+        assert!(r.is_error());
+        // The session survives malformed input.
+        assert!(!Response::decode(&s.handle_line(r#"{"op":"ping"}"#))
+            .unwrap()
+            .is_error());
+    }
+
+    #[test]
+    fn query_caching_is_byte_identical_and_skips_execution() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let sql =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let first = s.handle_line(sql);
+        let executed_after_first = sh.stats.queries_executed.load(Ordering::Relaxed);
+        let second = s.handle_line(sql);
+        assert_eq!(first, second, "cache hit must be byte-identical");
+        assert_eq!(
+            sh.stats.queries_executed.load(Ordering::Relaxed),
+            executed_after_first,
+            "cache hit must not execute"
+        );
+        assert_eq!(sh.cache_stats().hits, 1);
+        assert_eq!(sh.cache_stats().misses, 1);
+        // Node 2 sees both triangles.
+        assert_eq!(table(&first).rows[2][1], Value::Int(2));
+    }
+
+    #[test]
+    fn cache_is_shared_across_sessions_and_spellings() {
+        let sh = shared();
+        let mut s1 = Session::new(&sh);
+        let mut s2 = Session::new(&sh);
+        let a = s1.handle_line(
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#,
+        );
+        // Different session, different keyword case and spacing: still a hit.
+        let b = s2.handle_line(
+            r#"{"op":"query","sql":"select  id, countp(clq3_unlb, subgraph(id, 1))  from nodes"}"#,
+        );
+        assert_eq!(a, b);
+        assert_eq!(sh.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn session_defines_are_isolated_and_duplicates_rejected() {
+        let sh = shared();
+        let mut s1 = Session::new(&sh);
+        let mut s2 = Session::new(&sh);
+        let def = r#"{"op":"define","pattern":"PATTERN mine { ?A-?B; }"}"#;
+        let t = table(&s1.handle_line(def));
+        assert_eq!(t.rows[0][0], Value::Str("mine".into()));
+        // Redefining in the same session errors...
+        let r = Response::decode(&s1.handle_line(def)).unwrap();
+        match r {
+            Response::Error { message } => {
+                assert!(message.contains("already defined"), "{message}")
+            }
+            _ => panic!("expected error"),
+        }
+        // ...but another session has its own layer.
+        assert!(!Response::decode(&s2.handle_line(def)).unwrap().is_error());
+        // Shadowing a shared builtin is also rejected.
+        let r = Response::decode(
+            &s1.handle_line(r#"{"op":"define","pattern":"PATTERN clq3 { ?A-?B; }"}"#),
+        )
+        .unwrap();
+        assert!(r.is_error());
+    }
+
+    #[test]
+    fn stats_and_explain_are_uncached() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let t = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(t.stat("cache_hits"), Some(0));
+        assert_eq!(t.stat("cache_capacity_bytes"), Some(1 << 20));
+        let q =
+            r#"{"op":"explain","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let e1 = s.handle_line(q);
+        let _e2 = s.handle_line(q);
+        assert!(!Response::decode(&e1).unwrap().is_error());
+        assert_eq!(sh.cache_stats().hits, 0, "explain must not touch the cache");
+        // Query errors are not cached either.
+        let bad = r#"{"op":"query","sql":"SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        assert!(Response::decode(&s.handle_line(bad)).unwrap().is_error());
+        assert!(Response::decode(&s.handle_line(bad)).unwrap().is_error());
+        assert_eq!(sh.cache_stats().insertions, 0);
+    }
+
+    #[test]
+    fn shutdown_sets_the_flag() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        assert!(!sh.shutdown.load(Ordering::SeqCst));
+        let t = table(&s.handle_line(r#"{"op":"shutdown"}"#));
+        assert_eq!(t.rows[0][0], Value::Str("shutting down".into()));
+        assert!(sh.shutdown.load(Ordering::SeqCst));
+    }
+}

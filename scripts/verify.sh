@@ -14,4 +14,32 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> server smoke test (ephemeral port, one query, clean shutdown)"
+tmpdir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+./target/release/egocensus generate --model ba --nodes 300 --param 3 --seed 7 \
+  -o "$tmpdir/g.txt" >/dev/null
+./target/release/egocensus serve "$tmpdir/g.txt" --addr 127.0.0.1:0 \
+  --threads 2 --cache-mb 8 >"$tmpdir/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^listening on //p' "$tmpdir/serve.log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: server never printed its address"; exit 1; }
+rows=$(./target/release/egocensus client --addr "$addr" --csv \
+  'SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes' | tail -n +2 | wc -l)
+[ "$rows" -eq 300 ] || { echo "FAIL: expected 300 result rows, got $rows"; exit 1; }
+./target/release/egocensus client --addr "$addr" --shutdown >/dev/null
+wait "$serve_pid"
+serve_pid=""
+echo "    served 300 rows and shut down cleanly"
+
 echo "==> verify OK"

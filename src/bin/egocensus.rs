@@ -7,6 +7,9 @@
 //! egocensus query g.txt --define 'PATTERN t { ... }' \
 //!     'SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes ORDER BY 2 DESC LIMIT 10' [--csv]
 //! egocensus topk g.txt --pattern 'PATTERN t { ... }' --k 2 --top 10
+//! egocensus serve g.txt --addr 127.0.0.1:7878 --threads 4 --cache-mb 64
+//! egocensus client --addr 127.0.0.1:7878 \
+//!     'SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes LIMIT 10'
 //! ```
 
 use egocensus::census::{exec_matches, topk, Algorithm, CensusSpec, ExecConfig};
@@ -14,8 +17,10 @@ use egocensus::datagen;
 use egocensus::graph::{io, stats, Graph};
 use egocensus::matcher::{find_matches, MatcherKind};
 use egocensus::pattern::Pattern;
-use egocensus::query::QueryEngine;
+use egocensus::query::{Catalog, QueryEngine, Table};
+use egocensus::server::{Client, Response, Server, ServerConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +45,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "match" => cmd_match(rest),
         "query" => cmd_query(rest),
         "topk" => cmd_topk(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -64,10 +71,19 @@ USAGE:
                   [--threads <T>] [--csv] <SQL>
   egocensus topk <graph-file> --pattern <DSL> --k <radius> [--top <n>]
                  [--subpattern <name>] [--threads <T>]
+  egocensus serve <graph-file> [--addr <host:port>] [--threads <pool>]
+                  [--exec-threads <T>] [--cache-mb <MB>] [--seed <S>]
+                  [--define <DSL>]...
+  egocensus client [--addr <host:port>] [--define <DSL>]... [--stats]
+                   [--shutdown] [--csv] [<SQL>]
 
 Algorithms: auto (default), nd-bas, nd-pivot, nd-diff, pt-bas, pt-rnd, pt-opt.
 Threads: 0 = all hardware threads (the default); results are identical
-for every thread count."
+for every thread count.
+Serve: loads the graph once, accepts concurrent clients over a
+line-delimited JSON protocol, and memoizes repeated census queries in an
+LRU result cache (--cache-mb 0 disables). --threads bounds concurrent
+connections; --exec-threads parallelizes each census internally."
     );
 }
 
@@ -275,9 +291,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     let g = load_graph(path)?;
     let mut engine = QueryEngine::with_builtins(&g);
     for def in f.get_all("define") {
+        // The one-shot CLI keeps replace semantics: a --define may
+        // intentionally override a preloaded builtin.
         engine
             .catalog_mut()
-            .define(def)
+            .define_or_replace(def)
             .map_err(|e| e.to_string())?;
     }
     if let Some(a) = f.get("algorithm") {
@@ -320,6 +338,77 @@ fn cmd_topk(args: &[String]) -> Result<(), String> {
     );
     for (node, count) in &res.top {
         println!("  node {node}: {count}");
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &[])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let addr = f.get("addr").unwrap_or("127.0.0.1:7878");
+    let cache_mb: usize = f.parse("cache-mb", 64)?;
+    let config = ServerConfig {
+        pool_threads: f.parse("threads", 4usize)?,
+        exec_threads: f.parse("exec-threads", 0usize)?,
+        cache_bytes: cache_mb << 20,
+        seed: f.parse("seed", 0xC0FFEEu64)?,
+        ..ServerConfig::default()
+    };
+    let graph = Arc::new(load_graph(path)?);
+    let mut base = Catalog::with_builtins();
+    for def in f.get_all("define") {
+        base.define_or_replace(def).map_err(|e| e.to_string())?;
+    }
+    let server = Server::bind(addr, graph, Arc::new(base), config)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts parse this line to learn the ephemeral port; flush past
+    // any pipe buffering before blocking in the accept loop.
+    println!("listening on {local}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| e.to_string())?;
+    println!("server stopped");
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &["csv", "stats", "shutdown"])?;
+    let addr = f.get("addr").unwrap_or("127.0.0.1:7878");
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let print = |resp: Response| -> Result<(), String> {
+        match resp {
+            Response::Table(t) => {
+                let mut table = Table::new(t.columns);
+                for row in t.rows {
+                    table.push_row(row);
+                }
+                if f.has("csv") {
+                    print!("{}", table.to_csv());
+                } else {
+                    print!("{table}");
+                    println!("({} rows)", table.num_rows());
+                }
+                Ok(())
+            }
+            Response::Error { message } => Err(format!("server error: {message}")),
+        }
+    };
+    for def in f.get_all("define") {
+        match client.define(def).map_err(|e| e.to_string())? {
+            Response::Table(_) => {}
+            Response::Error { message } => return Err(format!("server error: {message}")),
+        }
+    }
+    if let Some(sql) = f.positional.first() {
+        print(client.query(sql).map_err(|e| e.to_string())?)?;
+    }
+    if f.has("stats") {
+        print(Response::Table(client.stats().map_err(|e| e.to_string())?))?;
+    }
+    if f.has("shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        println!("shutdown requested");
     }
     Ok(())
 }

@@ -14,6 +14,7 @@
 //! * [`matcher`] — subgraph isomorphism (CN algorithm + GQL-style baseline).
 //! * [`census`] — census evaluation algorithms (ND-BAS/PVOT/DIFF, PT-BAS/RND/OPT).
 //! * [`query`] — the SQL-based declarative language.
+//! * [`server`] — concurrent TCP front end with a pattern-keyed result cache.
 //! * [`datagen`] — synthetic graph generators.
 //! * [`linkpred`] — the DBLP-style link prediction experiment harness.
 //!
@@ -45,6 +46,7 @@ pub use ego_linkpred as linkpred;
 pub use ego_matcher as matcher;
 pub use ego_pattern as pattern;
 pub use ego_query as query;
+pub use ego_server as server;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {

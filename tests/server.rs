@@ -1,0 +1,255 @@
+//! End-to-end loopback tests for the `ego-server` network front end:
+//! an in-process [`Server`] on an ephemeral port, exercised by real TCP
+//! clients, checked against direct [`QueryEngine`] execution.
+
+use egocensus::datagen::{assign_random_labels, barabasi_albert, rng};
+use egocensus::graph::Graph;
+use egocensus::query::{Catalog, QueryEngine};
+use egocensus::server::{Client, Response, Server, ServerConfig, ShutdownHandle, TableData};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+const SEED: u64 = 0xC0FFEE;
+
+fn test_graph() -> Graph {
+    let mut r = rng(99);
+    let g = barabasi_albert(250, 3, &mut r);
+    assign_random_labels(&g, 3, &mut r)
+}
+
+/// Spawn a server over a fresh copy of the test graph; returns the
+/// address, a shutdown handle, and the serving thread to join.
+fn spawn_server(config: ServerConfig) -> (SocketAddr, ShutdownHandle, JoinHandle<()>) {
+    let graph = Arc::new(test_graph());
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        graph,
+        Arc::new(Catalog::with_builtins()),
+        config,
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, thread)
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        pool_threads: 4,
+        exec_threads: 1,
+        seed: SEED,
+        ..ServerConfig::default()
+    }
+}
+
+/// Run `sql` directly against the same graph the server loaded.
+fn direct(sql: &str) -> TableData {
+    let g = test_graph();
+    let mut engine = QueryEngine::with_builtins(&g);
+    engine.set_threads(1);
+    engine.set_seed(SEED);
+    TableData::from_table(&engine.execute(sql).expect("direct execution"))
+}
+
+fn expect_table(resp: Response) -> TableData {
+    match resp {
+        Response::Table(t) => t,
+        Response::Error { message } => panic!("unexpected error response: {message}"),
+    }
+}
+
+const QUERIES: [&str; 4] = [
+    "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes",
+    "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 2)) FROM nodes ORDER BY 2 DESC LIMIT 10",
+    "SELECT ID, COUNTP(single_edge, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 50",
+    "SELECT n1.ID, n2.ID, COUNTP(clq3_unlb, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) \
+     FROM nodes AS n1, nodes AS n2 WHERE n1.ID = 0 AND n2.ID = 3",
+];
+
+#[test]
+fn concurrent_clients_match_direct_execution() {
+    let (addr, handle, thread) = spawn_server(config());
+
+    // Four clients issue different queries concurrently; each result
+    // must equal the direct single-threaded QueryEngine result.
+    let workers: Vec<_> = QUERIES
+        .iter()
+        .map(|&sql| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let served = expect_table(client.query(sql).expect("query"));
+                (sql, served)
+            })
+        })
+        .collect();
+    for w in workers {
+        let (sql, served) = w.join().expect("client thread");
+        assert_eq!(served, direct(sql), "server disagrees with direct: {sql}");
+    }
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn repeat_query_is_served_from_cache_byte_identically() {
+    let (addr, handle, thread) = spawn_server(config());
+    let mut client = Client::connect(addr).expect("connect");
+
+    let sql = QUERIES[1];
+    let raw = format!(
+        r#"{{"op":"query","sql":"{}"}}"#,
+        sql.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    let cold = client.send_raw(&raw).expect("cold query");
+    let stats_after_cold = client.stats().expect("stats");
+    assert_eq!(stats_after_cold.stat("cache_hits"), Some(0));
+    assert_eq!(stats_after_cold.stat("cache_misses"), Some(1));
+    assert_eq!(stats_after_cold.stat("queries_executed"), Some(1));
+
+    // Same statement again — and once more from a *different* connection
+    // with a different spelling: both must come back byte-identical
+    // without executing any traversal work.
+    let warm = client.send_raw(&raw).expect("warm query");
+    assert_eq!(cold, warm, "cache hit must be byte-identical");
+
+    let respelled = sql.replace("SELECT", "select ").replace("FROM", "from");
+    let mut other = Client::connect(addr).expect("second connect");
+    let warm2 = other.send_raw(&format!(
+        r#"{{"op":"query","sql":"{}"}}"#,
+        respelled.replace('"', "\\\"")
+    ));
+    assert_eq!(cold, warm2.expect("respelled query"));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.stat("cache_hits"), Some(2));
+    assert_eq!(stats.stat("cache_misses"), Some(1));
+    assert_eq!(
+        stats.stat("queries_executed"),
+        Some(1),
+        "cache hits must not re-execute the census"
+    );
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn concurrent_repeats_after_warm_all_hit_the_cache() {
+    let (addr, handle, thread) = spawn_server(config());
+    let sql = QUERIES[0];
+
+    // Warm sequentially so the concurrent round is deterministic.
+    let mut warmup = Client::connect(addr).expect("connect");
+    let expected = expect_table(warmup.query(sql).expect("warm query"));
+
+    let n = 6;
+    let workers: Vec<_> = (0..n)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                expect_table(client.query(sql).expect("query"))
+            })
+        })
+        .collect();
+    for w in workers {
+        assert_eq!(w.join().expect("client thread"), expected);
+    }
+
+    let stats = warmup.stats().expect("stats");
+    assert_eq!(stats.stat("cache_hits"), Some(n as i64));
+    assert_eq!(stats.stat("cache_misses"), Some(1));
+    assert_eq!(stats.stat("queries_executed"), Some(1));
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn malformed_requests_get_errors_without_killing_the_connection() {
+    let (addr, handle, thread) = spawn_server(config());
+    let mut client = Client::connect(addr).expect("connect");
+
+    for bad in [
+        "this is not json",
+        r#"{"op":"frobnicate"}"#,
+        r#"{"sql":"SELECT ID FROM nodes"}"#,
+        r#"{"op":"query"}"#,
+        r#"{"op":"query","sql":"SELECT FROM WHERE"}"#,
+        r#"{"op":"define","pattern":"PATTERN broken {"}"#,
+    ] {
+        match client.request_raw_as_response(bad) {
+            Response::Error { .. } => {}
+            Response::Table(_) => panic!("expected an error for: {bad}"),
+        }
+    }
+
+    // The connection survived all of it.
+    let pong = expect_table(client.ping().expect("ping after errors"));
+    assert_eq!(pong.columns, vec!["reply".to_string()]);
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn session_defines_are_isolated_and_duplicates_rejected() {
+    let (addr, handle, thread) = spawn_server(config());
+
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+
+    let dsl = "PATTERN mine { ?A-?B; ?B-?C; }";
+    expect_table(a.define(dsl).expect("define"));
+
+    // Redefining in the same session is an error...
+    match a.define(dsl).expect("duplicate define") {
+        Response::Error { message } => {
+            assert!(
+                message.contains("already defined"),
+                "unexpected message: {message}"
+            );
+        }
+        Response::Table(_) => panic!("duplicate define must be rejected"),
+    }
+    // ...as is shadowing a shared builtin...
+    match a.define("PATTERN clq3_unlb { ?A-?B; }").expect("shadow") {
+        Response::Error { message } => assert!(message.contains("already defined")),
+        Response::Table(_) => panic!("shadowing a builtin must be rejected"),
+    }
+    // ...but session B never saw A's pattern.
+    match b
+        .query("SELECT ID, COUNTP(mine, SUBGRAPH(ID, 1)) FROM nodes LIMIT 1")
+        .expect("query undefined")
+    {
+        Response::Error { .. } => {}
+        Response::Table(_) => panic!("B must not see A's session patterns"),
+    }
+    expect_table(b.define(dsl).expect("define in b"));
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn shutdown_request_over_the_wire_stops_the_server() {
+    let (addr, _handle, thread) = spawn_server(config());
+    let mut client = Client::connect(addr).expect("connect");
+    expect_table(client.shutdown().expect("shutdown request"));
+    thread
+        .join()
+        .expect("server thread joins after wire shutdown");
+}
+
+trait RawResponse {
+    fn request_raw_as_response(&mut self, line: &str) -> Response;
+}
+
+impl RawResponse for Client {
+    fn request_raw_as_response(&mut self, line: &str) -> Response {
+        let raw = self.send_raw(line).expect("raw round-trip");
+        Response::decode(&raw).expect("decodable response")
+    }
+}
