@@ -6,23 +6,29 @@
 //! 20K nodes — 218x ND-PVOT).
 //!
 //! ```sh
-//! cargo run --release -p ego-bench --bin fig4c [-- --scale paper] [--threads T]
+//! cargo run --release -p ego-bench --bin fig4c [-- --scale paper] [--threads T[,T...]]
 //! ```
 //!
-//! `--threads T` (default 1) routes every algorithm through the unified
+//! `--threads` takes a sweep (`--threads 1,2,4`; default 1): the whole
+//! size sweep runs once per thread count, all through the unified
 //! parallel layer; counts are identical for every thread count.
 
-use ego_bench::{eval_graph, fmt_secs, header, row, threads_from_args, timed, Scale};
+use ego_bench::{eval_graph, fmt_secs, header, row, threads_sweep_from_args, timed, Scale};
 use ego_census::{global_matches, parallel, CensusSpec, PtConfig, PtOrdering};
 use ego_pattern::builtin;
 
 fn main() {
     let scale = Scale::from_args();
-    let threads = threads_from_args();
     let (sizes, bas_size): (Vec<usize>, usize) = match scale {
         Scale::Quick => (vec![4_000, 8_000, 12_000, 16_000, 20_000], 4_000),
         Scale::Paper => (vec![20_000, 40_000, 60_000, 80_000, 100_000], 20_000),
     };
+    for threads in threads_sweep_from_args() {
+        run_sweep(&sizes, bas_size, threads);
+    }
+}
+
+fn run_sweep(sizes: &[usize], bas_size: usize, threads: usize) {
     let pattern = builtin::clq3_unlabeled();
     let k = 2;
 
@@ -32,7 +38,7 @@ fn main() {
     header(&[
         "nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT",
     ]);
-    for &n in &sizes {
+    for &n in sizes {
         let g = eval_graph(n, None, 777);
         let spec = CensusSpec::single(&pattern, k);
         let (matches, _) = timed(|| parallel::exec_matches(&g, &pattern, threads));
@@ -84,4 +90,5 @@ fn main() {
         (t_bas / t_pvot.max(1e-9)) as u64,
         fmt_secs(t_pvot)
     );
+    println!();
 }

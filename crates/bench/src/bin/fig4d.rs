@@ -11,24 +11,30 @@
 //! the paper's optimizations target). See EXPERIMENTS.md.
 //!
 //! ```sh
-//! cargo run --release -p ego-bench --bin fig4d [-- --scale paper] [--threads T]
+//! cargo run --release -p ego-bench --bin fig4d [-- --scale paper] [--threads T[,T...]]
 //! ```
 //!
-//! `--threads T` (default 1) routes every algorithm through the unified
-//! parallel layer; counts stay identical, and per-thread traversal stats
-//! merge additively.
+//! `--threads` takes a sweep (`--threads 1,2,4`; default 1): the whole
+//! size sweep runs once per thread count, all through the unified
+//! parallel layer; counts stay identical, and per-thread traversal
+//! stats merge additively.
 
-use ego_bench::{eval_graph, fmt_secs, header, row, threads_from_args, timed, Scale};
+use ego_bench::{eval_graph, fmt_secs, header, row, threads_sweep_from_args, timed, Scale};
 use ego_census::{parallel, CensusSpec, PtConfig, PtOrdering};
 use ego_pattern::builtin;
 
 fn main() {
     let scale = Scale::from_args();
-    let threads = threads_from_args();
     let sizes: Vec<usize> = match scale {
         Scale::Quick => vec![20_000, 40_000, 60_000, 80_000, 100_000],
         Scale::Paper => vec![200_000, 400_000, 600_000, 800_000, 1_000_000],
     };
+    for threads in threads_sweep_from_args() {
+        run_sweep(&sizes, threads);
+    }
+}
+
+fn run_sweep(sizes: &[usize], threads: usize) {
     let pattern = builtin::clq3();
     let k = 2;
 
@@ -39,7 +45,7 @@ fn main() {
     header(&[
         "nodes", "matches", "ND-PVOT", "ND-DIFF", "PT-BAS", "PT-RND", "PT-OPT",
     ]);
-    for &n in &sizes {
+    for &n in sizes {
         let g = eval_graph(n, Some(4), 777);
         let spec = CensusSpec::single(&pattern, k);
         let matches = parallel::exec_matches(&g, &pattern, threads);
@@ -86,4 +92,5 @@ fn main() {
             cell(t_pto, s_pto.edges_traversed),
         ]);
     }
+    println!();
 }

@@ -63,6 +63,28 @@ pub fn threads_from_args() -> usize {
     1
 }
 
+/// Parse `--threads` as a sweep: a comma-separated list of counts
+/// (`--threads 1,2,4`), each resolved like [`threads_from_args`]
+/// (`0` = all hardware threads). Default `[1]`. fig4c/d run their whole
+/// size sweep once per entry, so one invocation produces the
+/// thread-scaling tables for EXPERIMENTS.md.
+pub fn threads_sweep_from_args() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--threads" {
+            let sweep: Vec<usize> = w[1]
+                .split(',')
+                .filter_map(|s| s.trim().parse::<usize>().ok())
+                .map(|t| ego_census::ExecConfig::with_threads(t).resolve())
+                .collect();
+            if !sweep.is_empty() {
+                return sweep;
+            }
+        }
+    }
+    vec![1]
+}
+
 /// Time a closure, returning (result, seconds).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
@@ -138,5 +160,6 @@ mod tests {
     #[test]
     fn threads_default_one() {
         assert_eq!(threads_from_args(), 1);
+        assert_eq!(threads_sweep_from_args(), vec![1]);
     }
 }

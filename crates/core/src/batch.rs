@@ -1,0 +1,1161 @@
+//! Batched census execution: evaluate many patterns over one shared
+//! neighborhood sweep (an extension beyond the paper).
+//!
+//! Every census algorithm re-walks the same CSR adjacency per pattern:
+//! the node-driven family re-extracts each focal node's k-hop
+//! neighborhood once per pattern, and the pattern-driven family rebuilds
+//! the center index and re-runs the simultaneous traversal per pattern.
+//! A [`run_batch_exec`] call plans N specs together and shares that work:
+//!
+//! * **ND side** — specs resolving to a node-driven algorithm are grouped
+//!   by focal set. Each group runs **one** BFS sweep per focal node at
+//!   `k_max = max(k_i)`; [`BfsScratch::bounded_bfs`] emits nodes in
+//!   nondecreasing distance order, so every spec reads its own radius as
+//!   a prefix of the shared frontier. Pivot-mode specs check match
+//!   containment against the shared distance labels; baseline-mode specs
+//!   count via a membership-restricted [`NeighborhoodMatcher`] (candidate
+//!   space derived once per pattern, not once per neighborhood).
+//! * **PT side** — specs resolving to a pattern-driven algorithm are
+//!   grouped by equal radius (the PMD saturation value `inf = k + 1` is
+//!   per-group) and share **one** center index across all groups. Within
+//!   a group, the matches of all patterns are pooled and clustered
+//!   together, so one simultaneous traversal relaxes the distance bounds
+//!   for anchors of *different* patterns at once; each spec then counts
+//!   from the shared PMD rows under its own focal mask.
+//!
+//! Counts are bit-identical to N sequential [`crate::run_census_exec`]
+//! runs for every algorithm and thread count (property-tested in
+//! `tests/batch_equivalence.rs`). Two documented promotions keep that
+//! guarantee while maximizing sharing: ND-DIFF specs run through the
+//! shared pivot sweep and PT-BAS specs through the shared PT executor —
+//! all algorithms are exact, so the counts cannot differ (the same
+//! rationale that lets the server cache results across algorithms).
+//! Rejections are preserved for parity: ND-BAS still refuses COUNTSP and
+//! attribute/edge predicates, ND-DIFF still refuses COUNTSP.
+
+use crate::centers::CenterIndex;
+use crate::chooser;
+use crate::kmeans::kmeans;
+use crate::nd_pivot::PivotIndex;
+use crate::parallel::{exec_matches, ExecConfig};
+use crate::pt_opt::TraversalQueue;
+use crate::result::{CensusError, CountVector};
+use crate::spec::{CensusSpec, Clustering, PtConfig, PtOrdering};
+use crate::tstats::TraversalStats;
+use crate::Algorithm;
+use ego_graph::bfs::BfsScratch;
+use ego_graph::profile::ProfileIndex;
+use ego_graph::{FastHashMap, FastHashSet, Graph, NodeId};
+use ego_matcher::{MatchList, NeighborhoodMatcher};
+use ego_pattern::analysis::{PatternAnalysis, UNREACHABLE};
+use ego_pattern::PNode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// One shared-work unit of a batch plan. Spec indices refer to the order
+/// of the `specs` slice passed to [`run_batch_exec`] / [`plan_stages`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchStage {
+    /// One BFS sweep per focal node at `k_max`, serving every listed
+    /// spec: `pivot` members via the pattern-match index, `baseline`
+    /// members via membership-restricted matching.
+    NdSweep {
+        /// Specs served by the pivot-index containment check.
+        pivot: Vec<usize>,
+        /// Specs served by per-neighborhood restricted matching.
+        baseline: Vec<usize>,
+        /// The shared sweep radius (max over member radii).
+        k_max: u32,
+    },
+    /// One shared simultaneous traversal (per merged cluster) for all
+    /// listed specs, which share the radius `k`.
+    PtGroup {
+        /// Member spec indices.
+        specs: Vec<usize>,
+        /// The group's common radius.
+        k: u32,
+    },
+}
+
+/// The outcome of a batched run, in the input spec order.
+pub struct BatchResult {
+    /// Per-spec census counts (bit-identical to sequential runs).
+    pub counts: Vec<CountVector>,
+    /// Merged traversal statistics for the whole batch.
+    pub stats: TraversalStats,
+    /// Per-spec global match lists (`None` for ND-BAS, which never
+    /// materializes them). Specs sharing a pattern share the `Arc`;
+    /// callers can cache these for future batches.
+    pub matches: Vec<Option<Arc<MatchList>>>,
+    /// The executed plan.
+    pub stages: Vec<BatchStage>,
+}
+
+/// How a spec is served inside the batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// ND-BAS semantics: restricted matching per neighborhood.
+    Baseline,
+    /// ND-PVOT semantics (also serves ND-DIFF): pivot-index containment.
+    Pivot,
+    /// Pattern-driven simultaneous traversal (serves PT-BAS/PT-RND/PT-OPT).
+    Pt,
+}
+
+/// Sequential convenience wrapper over [`run_batch_exec`].
+pub fn run_batch<'a>(
+    g: &Graph,
+    specs: &[CensusSpec<'a>],
+    algorithm: Algorithm,
+    config: &PtConfig,
+) -> Result<BatchResult, CensusError> {
+    run_batch_exec(g, specs, algorithm, config, &ExecConfig::sequential(), &[])
+}
+
+/// Evaluate `specs` as one batch under `algorithm` (applied per spec;
+/// `Auto` resolves per spec exactly as [`crate::run_census_exec`] does).
+///
+/// `provided` optionally supplies precomputed global match lists per spec
+/// (e.g. from a server-side cache); missing entries are computed once per
+/// distinct pattern and returned in [`BatchResult::matches`].
+pub fn run_batch_exec<'a>(
+    g: &Graph,
+    specs: &[CensusSpec<'a>],
+    algorithm: Algorithm,
+    config: &PtConfig,
+    exec: &ExecConfig,
+    provided: &[Option<Arc<MatchList>>],
+) -> Result<BatchResult, CensusError> {
+    for spec in specs {
+        spec.validate(g)?;
+    }
+    let threads = exec.resolve().max(1);
+    let mut stats = TraversalStats::default();
+
+    // Global match lists, computed once per distinct pattern. ND-BAS
+    // never materializes matches (parity with the sequential dispatch).
+    let mut matches: Vec<Option<Arc<MatchList>>> = vec![None; specs.len()];
+    if algorithm != Algorithm::NdBaseline {
+        for (slot, m) in provided.iter().enumerate().take(specs.len()) {
+            if let Some(m) = m {
+                matches[slot] = Some(m.clone());
+            }
+        }
+        for i in 0..specs.len() {
+            if matches[i].is_some() {
+                continue;
+            }
+            let reuse = (0..specs.len()).find(|&j| {
+                matches[j].is_some() && std::ptr::eq(specs[j].pattern(), specs[i].pattern())
+            });
+            matches[i] = match reuse {
+                Some(j) => matches[j].clone(),
+                None => Some(Arc::new(exec_matches(g, specs[i].pattern(), threads))),
+            };
+        }
+    }
+
+    let modes = resolve_modes(g, specs, algorithm, &matches)?;
+    let stages = group_stages(specs, &modes);
+
+    let mut counts: Vec<CountVector> = specs
+        .iter()
+        .map(|s| CountVector::new(g.num_nodes(), s.focal().mask(g)))
+        .collect();
+
+    // One center index serves every PT group in the batch (it is
+    // k-independent), consuming RNG state the way pt_opt::plan does.
+    let has_pt = stages
+        .iter()
+        .any(|s| matches!(s, BatchStage::PtGroup { .. }));
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (pmd_centers, cluster_centers) = if has_pt {
+        let cluster_center_count = config.clustering_centers.unwrap_or(config.num_centers);
+        let total = config.num_centers.max(cluster_center_count);
+        let full = if total > 0 {
+            CenterIndex::build(g, total, config.center_strategy, &mut rng)
+        } else {
+            CenterIndex::empty()
+        };
+        stats.index_edges += full.build_edges();
+        (
+            full.take(config.num_centers),
+            full.take(cluster_center_count),
+        )
+    } else {
+        (CenterIndex::empty(), CenterIndex::empty())
+    };
+    let ordering = if algorithm == Algorithm::PtRandom {
+        PtOrdering::Random
+    } else {
+        config.ordering
+    };
+
+    for stage in &stages {
+        match stage {
+            BatchStage::NdSweep {
+                pivot,
+                baseline,
+                k_max,
+            } => nd_sweep(
+                g,
+                specs,
+                &matches,
+                pivot,
+                baseline,
+                *k_max,
+                threads,
+                &mut counts,
+                &mut stats,
+            )?,
+            BatchStage::PtGroup { specs: idxs, k } => pt_group_run(
+                g,
+                specs,
+                &matches,
+                idxs,
+                *k,
+                &pmd_centers,
+                &cluster_centers,
+                config,
+                ordering,
+                &mut rng,
+                threads,
+                &mut counts,
+                &mut stats,
+            )?,
+        }
+    }
+
+    Ok(BatchResult {
+        counts,
+        stats,
+        matches,
+        stages,
+    })
+}
+
+/// Plan (but do not execute) a batch: which specs share an ND sweep,
+/// which share a PT traversal group. `matches[i]` is required for specs
+/// only when `algorithm` is `Auto` (the chooser needs cardinalities).
+/// Used by `EXPLAIN` to describe the batch plan.
+pub fn plan_stages<'a>(
+    g: &Graph,
+    specs: &[CensusSpec<'a>],
+    algorithm: Algorithm,
+    matches: &[Option<Arc<MatchList>>],
+) -> Result<Vec<BatchStage>, CensusError> {
+    let modes = resolve_modes(g, specs, algorithm, matches)?;
+    Ok(group_stages(specs, &modes))
+}
+
+fn resolve_modes(
+    g: &Graph,
+    specs: &[CensusSpec<'_>],
+    algorithm: Algorithm,
+    matches: &[Option<Arc<MatchList>>],
+) -> Result<Vec<Mode>, CensusError> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let m = matches.get(i).and_then(|o| o.as_deref());
+            resolve_mode(g, spec, algorithm, m)
+        })
+        .collect()
+}
+
+fn resolve_mode(
+    g: &Graph,
+    spec: &CensusSpec<'_>,
+    algorithm: Algorithm,
+    matches: Option<&MatchList>,
+) -> Result<Mode, CensusError> {
+    match algorithm {
+        Algorithm::NdBaseline => {
+            // Parity with crate::nd_bas::run's rejections.
+            if spec.subpattern_name().is_some() {
+                return Err(CensusError::Unsupported(
+                    "ND-BAS cannot evaluate COUNTSP queries; use ND-PVOT or PT-OPT".into(),
+                ));
+            }
+            let p = spec.pattern();
+            if !p.node_predicates().is_empty() || !p.edge_predicates().is_empty() {
+                return Err(CensusError::Unsupported(
+                    "ND-BAS supports structural/label patterns only; \
+                     use ND-PVOT or PT-OPT for attribute predicates"
+                        .into(),
+                ));
+            }
+            Ok(Mode::Baseline)
+        }
+        Algorithm::NdDiff => {
+            // Parity with crate::nd_diff::run's rejection; supported specs
+            // are served by the shared pivot sweep (exact, so identical).
+            if spec.subpattern_name().is_some() {
+                return Err(CensusError::Unsupported(
+                    "ND-DIFF cannot evaluate COUNTSP queries; use ND-PVOT or PT-OPT".into(),
+                ));
+            }
+            Ok(Mode::Pivot)
+        }
+        Algorithm::NdPivot => Ok(Mode::Pivot),
+        Algorithm::PtBaseline | Algorithm::PtOpt | Algorithm::PtRandom => Ok(Mode::Pt),
+        Algorithm::Auto => {
+            let m = matches.ok_or_else(|| {
+                CensusError::Unsupported(
+                    "batch planning for Auto requires precomputed match lists".into(),
+                )
+            })?;
+            Ok(match chooser::choose(g, spec, m) {
+                Algorithm::PtOpt => Mode::Pt,
+                _ => Mode::Pivot,
+            })
+        }
+    }
+}
+
+/// Group resolved specs into shared-work stages: ND specs by focal set
+/// (a sweep shares BFS frontiers, so the focal sets must coincide), PT
+/// specs by radius (the PMD saturation bound is per-k).
+fn group_stages(specs: &[CensusSpec<'_>], modes: &[Mode]) -> Vec<BatchStage> {
+    let mut stages = Vec::new();
+
+    // (representative spec index, pivot members, baseline members)
+    let mut nd_groups: Vec<(usize, Vec<usize>, Vec<usize>)> = Vec::new();
+    for (i, mode) in modes.iter().enumerate() {
+        if *mode == Mode::Pt {
+            continue;
+        }
+        let slot = nd_groups
+            .iter()
+            .position(|&(rep, _, _)| specs[rep].focal() == specs[i].focal());
+        let slot = match slot {
+            Some(s) => s,
+            None => {
+                nd_groups.push((i, Vec::new(), Vec::new()));
+                nd_groups.len() - 1
+            }
+        };
+        match mode {
+            Mode::Pivot => nd_groups[slot].1.push(i),
+            Mode::Baseline => nd_groups[slot].2.push(i),
+            Mode::Pt => unreachable!(),
+        }
+    }
+    for (_, pivot, baseline) in nd_groups {
+        let k_max = pivot
+            .iter()
+            .chain(&baseline)
+            .map(|&i| specs[i].k())
+            .max()
+            .expect("non-empty ND group");
+        stages.push(BatchStage::NdSweep {
+            pivot,
+            baseline,
+            k_max,
+        });
+    }
+
+    let mut pt_groups: Vec<(u32, Vec<usize>)> = Vec::new();
+    for (i, mode) in modes.iter().enumerate() {
+        if *mode != Mode::Pt {
+            continue;
+        }
+        let k = specs[i].k();
+        match pt_groups.iter_mut().find(|(gk, _)| *gk == k) {
+            Some((_, v)) => v.push(i),
+            None => pt_groups.push((k, vec![i])),
+        }
+    }
+    for (k, idxs) in pt_groups {
+        stages.push(BatchStage::PtGroup { specs: idxs, k });
+    }
+    stages
+}
+
+// ---------------------------------------------------------------------
+// ND side: one BFS sweep per focal node serves every spec in the group.
+// ---------------------------------------------------------------------
+
+/// Read-only per-spec state for pivot-mode members of a sweep.
+struct PivotSweepItem {
+    slot: usize,
+    k: u32,
+    pmi: PivotIndex,
+    max_v: u32,
+    has_unreachable_anchor: bool,
+    distant: Vec<Vec<PNode>>,
+    matches: Arc<MatchList>,
+}
+
+/// Read-only per-spec state for baseline-mode members of a sweep.
+struct BasSweepItem<'g, 'p> {
+    slot: usize,
+    k: u32,
+    matcher: NeighborhoodMatcher<'g, 'p>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn nd_sweep(
+    g: &Graph,
+    specs: &[CensusSpec<'_>],
+    matches: &[Option<Arc<MatchList>>],
+    pivot_idxs: &[usize],
+    baseline_idxs: &[usize],
+    k_max: u32,
+    threads: usize,
+    counts: &mut [CountVector],
+    stats: &mut TraversalStats,
+) -> Result<(), CensusError> {
+    let mut pivot_items = Vec::with_capacity(pivot_idxs.len());
+    for &i in pivot_idxs {
+        let spec = &specs[i];
+        let m = matches[i]
+            .as_ref()
+            .expect("pivot mode requires matches")
+            .clone();
+        let anchors = spec.anchor_nodes()?;
+        let analysis = PatternAnalysis::with_pivot_candidates(spec.pattern(), Some(&anchors));
+        let pivot = analysis.pivot();
+        // Same anchor-distance precomputation as crate::nd_pivot.
+        let mut max_v: u32 = 0;
+        let mut has_unreachable_anchor = false;
+        for &a in &anchors {
+            let d = analysis.distance(pivot, a);
+            if d == UNREACHABLE {
+                has_unreachable_anchor = true;
+            } else {
+                max_v = max_v.max(d);
+            }
+        }
+        let distant: Vec<Vec<PNode>> = (1..=max_v.max(1) as usize + 1)
+            .map(|idx| {
+                anchors
+                    .iter()
+                    .copied()
+                    .filter(|&a| {
+                        let d = analysis.distance(pivot, a);
+                        d == UNREACHABLE || d >= idx as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        let pmi = PivotIndex::build(&m, pivot);
+        pivot_items.push(PivotSweepItem {
+            slot: i,
+            k: spec.k(),
+            pmi,
+            max_v,
+            has_unreachable_anchor,
+            distant,
+            matches: m,
+        });
+    }
+
+    let mut bas_items = Vec::with_capacity(baseline_idxs.len());
+    if !baseline_idxs.is_empty() {
+        let profiles = ProfileIndex::build(g);
+        for &i in baseline_idxs {
+            bas_items.push(BasSweepItem {
+                slot: i,
+                k: specs[i].k(),
+                matcher: NeighborhoodMatcher::with_profiles(g, specs[i].pattern(), &profiles),
+            });
+        }
+    }
+
+    // All members share the focal set (grouping invariant).
+    let rep = pivot_idxs
+        .iter()
+        .chain(baseline_idxs)
+        .next()
+        .copied()
+        .expect("non-empty ND group");
+    let focal = specs[rep].focal().nodes(g);
+    let mask = specs[rep].focal().mask(g);
+
+    // One neighborhood extraction per focal node for the whole group —
+    // this is the batched win the acceptance criteria measure.
+    stats.nodes_expanded += focal.len() as u64;
+
+    let shards: Vec<&[NodeId]> = if threads == 1 || focal.len() < 2 * threads {
+        vec![&focal[..]]
+    } else {
+        focal.chunks(focal.len().div_ceil(threads)).collect()
+    };
+
+    let results: Vec<(Vec<(usize, CountVector)>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let pivot_items = &pivot_items;
+                let bas_items = &bas_items;
+                let mask = &mask;
+                scope.spawn(move || sweep_shard(g, shard, k_max, mask, pivot_items, bas_items))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("census worker panicked"))
+            .collect()
+    });
+
+    for (per_spec, edges) in results {
+        stats.edges_traversed += edges;
+        for (slot, cv) in per_spec {
+            counts[slot].merge_add(&cv);
+        }
+    }
+    Ok(())
+}
+
+/// Process one focal shard: a single bounded BFS at `k_max` per focal
+/// node; every member spec reads its own radius as a prefix of the
+/// distance-ordered frontier.
+fn sweep_shard(
+    g: &Graph,
+    shard: &[NodeId],
+    k_max: u32,
+    mask: &[bool],
+    pivot_items: &[PivotSweepItem],
+    bas_items: &[BasSweepItem<'_, '_>],
+) -> (Vec<(usize, CountVector)>, u64) {
+    let mut out: Vec<(usize, CountVector)> = pivot_items
+        .iter()
+        .map(|it| it.slot)
+        .chain(bas_items.iter().map(|it| it.slot))
+        .map(|slot| (slot, CountVector::new(g.num_nodes(), mask.to_vec())))
+        .collect();
+    let n_pivot = pivot_items.len();
+    let mut scratch = BfsScratch::new(g.num_nodes());
+    let mut visited: Vec<NodeId> = Vec::new();
+    let mut membership: FastHashSet<u32> = FastHashSet::default();
+
+    for &n in shard {
+        visited.clear();
+        scratch.bounded_bfs(g, n, k_max, &mut visited);
+        for (ii, it) in pivot_items.iter().enumerate() {
+            let mut total = 0u64;
+            // At full radius "visited" already implies containment, so the
+            // per-image distance re-check (needed for prefix radii below
+            // k_max) can be skipped.
+            let full_radius = it.k == k_max;
+            for &np in &visited {
+                let d = scratch.distance(np);
+                if d > it.k {
+                    break; // frontier is in nondecreasing distance order
+                }
+                let bucket = it.pmi.get(np);
+                if bucket.is_empty() {
+                    continue;
+                }
+                if !it.has_unreachable_anchor && d + it.max_v <= it.k {
+                    total += bucket.len() as u64;
+                } else {
+                    let idx = ((it.k - d) as usize + 1).min(it.distant.len());
+                    let to_check: &[PNode] = &it.distant[idx - 1];
+                    for &mi in bucket {
+                        let m = &it.matches[mi as usize];
+                        let ok = to_check.iter().all(|&a| {
+                            let img = m.image(a);
+                            // The sweep ran at k_max ≥ it.k, so "visited"
+                            // alone no longer implies containment — the
+                            // per-spec radius must be re-checked.
+                            scratch.visited(img) && (full_radius || scratch.distance(img) <= it.k)
+                        });
+                        if ok {
+                            total += 1;
+                        }
+                    }
+                }
+            }
+            out[ii].1.set(n, total);
+        }
+        for (bi, it) in bas_items.iter().enumerate() {
+            membership.clear();
+            for &np in &visited {
+                if scratch.distance(np) > it.k {
+                    break;
+                }
+                membership.insert(np.0);
+            }
+            out[n_pivot + bi].1.set(n, it.matcher.count_in(&membership));
+        }
+    }
+    (out, scratch.edges_scanned())
+}
+
+// ---------------------------------------------------------------------
+// PT side: pool the matches of same-radius specs into shared traversals.
+// ---------------------------------------------------------------------
+
+/// Read-only per-spec state inside a PT group.
+struct PtSlotState {
+    slot: usize,
+    anchors: Vec<PNode>,
+    analysis: PatternAnalysis,
+    matches: Arc<MatchList>,
+    mask: Vec<bool>,
+}
+
+/// One pooled traversal seed: match `mi` of group member `si`.
+#[derive(Clone, Copy)]
+struct PtItem {
+    si: usize,
+    mi: u32,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pt_group_run(
+    g: &Graph,
+    specs: &[CensusSpec<'_>],
+    matches: &[Option<Arc<MatchList>>],
+    idxs: &[usize],
+    k: u32,
+    pmd_centers: &CenterIndex,
+    cluster_centers: &CenterIndex,
+    config: &PtConfig,
+    ordering: PtOrdering,
+    rng: &mut StdRng,
+    threads: usize,
+    counts: &mut [CountVector],
+    stats: &mut TraversalStats,
+) -> Result<(), CensusError> {
+    assert!(k < u16::MAX as u32, "k too large for PMD storage");
+    let mut slots: Vec<PtSlotState> = Vec::new();
+    let mut items: Vec<PtItem> = Vec::new();
+    for &i in idxs {
+        let spec = &specs[i];
+        let m = matches[i]
+            .as_ref()
+            .expect("PT mode requires matches")
+            .clone();
+        if m.is_empty() {
+            continue;
+        }
+        let anchors = spec.anchor_nodes()?;
+        let analysis = PatternAnalysis::new(spec.pattern());
+        let si = slots.len();
+        items.extend((0..m.len() as u32).map(|mi| PtItem { si, mi }));
+        slots.push(PtSlotState {
+            slot: i,
+            anchors,
+            analysis,
+            matches: m,
+            mask: spec.focal().mask(g),
+        });
+    }
+    if items.is_empty() {
+        return Ok(());
+    }
+
+    let groups = cluster_items(&items, &slots, cluster_centers, config, rng);
+
+    let chunks: Vec<&[Vec<u32>]> = if threads == 1 || groups.len() < 2 {
+        vec![&groups[..]]
+    } else {
+        groups
+            .chunks(groups.len().div_ceil(threads.min(groups.len())))
+            .collect()
+    };
+
+    let results: Vec<(Vec<CountVector>, TraversalStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let slots = &slots;
+                let items = &items;
+                scope.spawn(move || {
+                    let mut qrng = StdRng::seed_from_u64(config.seed);
+                    let mut queue = TraversalQueue::new(ordering, &mut qrng);
+                    let mut local: Vec<CountVector> = slots
+                        .iter()
+                        .map(|st| CountVector::new(g.num_nodes(), st.mask.clone()))
+                        .collect();
+                    let mut ts = TraversalStats::default();
+                    for group in *chunk {
+                        process_pt_cluster(
+                            g,
+                            k,
+                            slots,
+                            items,
+                            group,
+                            pmd_centers,
+                            &mut queue,
+                            config.use_distance_shortcuts,
+                            &mut local,
+                            &mut ts,
+                        );
+                    }
+                    (local, ts)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("census worker panicked"))
+            .collect()
+    });
+
+    for (local, ts) in results {
+        stats.add(&ts);
+        for (st, cv) in slots.iter().zip(&local) {
+            counts[st.slot].merge_add(cv);
+        }
+    }
+    Ok(())
+}
+
+/// Cluster pooled items. The per-pattern K-means of
+/// [`crate::clustering::cluster_matches`] embeds a match as a
+/// `|C| × |V_P|` vector, which is pattern-arity-dependent; pooled items
+/// use the pattern-independent `|C|`-dimensional embedding
+/// `F(item)[c] = min over anchor images of d(c, image)` instead.
+/// Clustering only groups traversals — it can never change the counts —
+/// so the cross-pattern feature space is safe.
+fn cluster_items(
+    items: &[PtItem],
+    slots: &[PtSlotState],
+    centers: &CenterIndex,
+    config: &PtConfig,
+    rng: &mut StdRng,
+) -> Vec<Vec<u32>> {
+    let n = items.len();
+    match config.clustering {
+        Clustering::None => (0..n as u32).map(|i| vec![i]).collect(),
+        Clustering::Random(kc) => {
+            let kc = kc.clamp(1, n);
+            let mut groups: Vec<Vec<u32>> = vec![Vec::new(); kc];
+            for i in 0..n as u32 {
+                groups[rng.gen_range(0..kc)].push(i);
+            }
+            groups.retain(|g| !g.is_empty());
+            groups
+        }
+        Clustering::KMeans(kc) => {
+            kmeans_item_groups(items, slots, centers, kc, config.kmeans_iters, rng)
+        }
+        Clustering::Auto => {
+            let kc = (n / 4).clamp(1, config.max_auto_clusters);
+            kmeans_item_groups(items, slots, centers, kc, config.kmeans_iters, rng)
+        }
+    }
+}
+
+fn kmeans_item_groups(
+    items: &[PtItem],
+    slots: &[PtSlotState],
+    centers: &CenterIndex,
+    kc: usize,
+    iters: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<u32>> {
+    let n = items.len();
+    let kc = kc.clamp(1, n);
+    if centers.is_empty() || kc == 1 {
+        return vec![(0..n as u32).collect()];
+    }
+    let dim = centers.len();
+    let mut points = Vec::with_capacity(n * dim);
+    for item in items {
+        let st = &slots[item.si];
+        let m = &st.matches[item.mi as usize];
+        for ci in 0..dim {
+            let mut best = f32::INFINITY;
+            for &a in &st.anchors {
+                let d = centers.distance(ci, m.image(a));
+                if d != u32::MAX {
+                    best = best.min(d as f32);
+                }
+            }
+            // Unreachable/anchorless → large sentinel, as in cluster_matches.
+            points.push(if best.is_finite() { best } else { 1e6 });
+        }
+    }
+    let assign = kmeans(&points, dim, kc, iters, rng);
+    let k_eff = assign.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k_eff];
+    for (i, &c) in assign.iter().enumerate() {
+        groups[c as usize].push(i as u32);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// The multi-pattern generalization of `pt_opt::process_cluster`: one
+/// relaxation-based simultaneous traversal maintains PMD rows over the
+/// **union** of the cluster's anchor images across all member patterns.
+/// The expansion gate is an OR over that union, so merging patterns only
+/// widens it — per-anchor convergence (and hence exact counting) is
+/// preserved for every member.
+#[allow(clippy::too_many_arguments)]
+fn process_pt_cluster(
+    g: &Graph,
+    k: u32,
+    slots: &[PtSlotState],
+    items: &[PtItem],
+    group: &[u32],
+    centers: &CenterIndex,
+    queue: &mut TraversalQueue<'_>,
+    use_distance_shortcuts: bool,
+    out: &mut [CountVector],
+    tstats: &mut TraversalStats,
+) {
+    let inf = (k + 1) as u16;
+
+    // Unique anchor nodes across the cluster (all member patterns), each
+    // with a dense position.
+    let mut anchor_pos: FastHashMap<u32, u16> = FastHashMap::default();
+    let mut anchor_nodes: Vec<NodeId> = Vec::new();
+    // Per item in the group: its slot and the positions of its anchors.
+    let mut item_positions: Vec<(usize, Vec<u16>)> = Vec::with_capacity(group.len());
+    for &gi in group {
+        let item = items[gi as usize];
+        let st = &slots[item.si];
+        let m = &st.matches[item.mi as usize];
+        let mut positions = Vec::with_capacity(st.anchors.len());
+        for &a in &st.anchors {
+            let img = m.image(a);
+            let pos = *anchor_pos.entry(img.0).or_insert_with(|| {
+                anchor_nodes.push(img);
+                (anchor_nodes.len() - 1) as u16
+            });
+            positions.push(pos);
+        }
+        item_positions.push((item.si, positions));
+    }
+    let na = anchor_nodes.len();
+    let max_score = (inf as usize) * na;
+
+    let anchor_center: Vec<Vec<u32>> = anchor_nodes
+        .iter()
+        .map(|&a| {
+            (0..centers.len())
+                .map(|ci| centers.distance(ci, a))
+                .collect()
+        })
+        .collect();
+
+    let mut pmd: FastHashMap<u32, Vec<u16>> = FastHashMap::default();
+    let mut best_score: FastHashMap<u32, u32> = FastHashMap::default();
+    queue.reset(max_score);
+
+    // --- Initialization ---
+    for (pos, &a) in anchor_nodes.iter().enumerate() {
+        let mut row = vec![inf; na];
+        row[pos] = 0;
+        pmd.insert(a.0, row);
+    }
+    // Pattern-distance shortcuts, per item against its own pattern's
+    // analysis (a shortcut only relates anchors of the same match).
+    if use_distance_shortcuts {
+        for (gi, &item_idx) in group.iter().enumerate() {
+            let item = items[item_idx as usize];
+            let st = &slots[item.si];
+            let m = &st.matches[item.mi as usize];
+            let positions = &item_positions[gi].1;
+            for (ai, &pa) in st.anchors.iter().enumerate() {
+                let img_a = m.image(pa);
+                let row = pmd.get_mut(&img_a.0).expect("anchor row exists");
+                for (bi, &pb) in st.anchors.iter().enumerate() {
+                    if ai == bi {
+                        continue;
+                    }
+                    let d = st.analysis.distance(pb, pa);
+                    if d != UNREACHABLE && (d as u16) < row[positions[bi] as usize] {
+                        row[positions[bi] as usize] = d as u16;
+                    }
+                }
+            }
+        }
+    }
+    // Centers: exact distances (never reinserted).
+    for (ci, &c) in centers.centers().iter().enumerate().take(centers.len()) {
+        let row: Vec<u16> = (0..na)
+            .map(|pos| {
+                let d = anchor_center[pos][ci];
+                if d == u32::MAX {
+                    inf
+                } else {
+                    (d as u16).min(inf)
+                }
+            })
+            .collect();
+        match pmd.get_mut(&c.0) {
+            Some(existing) => {
+                for (e, r) in existing.iter_mut().zip(&row) {
+                    *e = (*e).min(*r);
+                }
+            }
+            None => {
+                pmd.insert(c.0, row);
+            }
+        }
+    }
+
+    let score_of = |row: &[u16]| -> usize { row.iter().map(|&v| v as usize).sum() };
+    let mut seeds: Vec<u32> = pmd.keys().copied().collect();
+    seeds.sort_unstable(); // determinism
+    for nraw in seeds {
+        let s = score_of(&pmd[&nraw]);
+        best_score.insert(nraw, s as u32);
+        queue.push(s, nraw);
+    }
+
+    // --- Traversal ---
+    let mut row_buf: Vec<u16> = Vec::with_capacity(na);
+    while let Some((popped_score, nraw)) = queue.pop() {
+        let row = match pmd.get(&nraw) {
+            Some(r) => r,
+            None => continue,
+        };
+        if matches!(queue.ordering, PtOrdering::BestFirst)
+            && best_score.get(&nraw).map(|&s| s as usize) != Some(popped_score)
+        {
+            continue;
+        }
+        if !row.iter().any(|&v| (v as u32) < k) {
+            continue;
+        }
+        tstats.nodes_expanded += 1;
+        tstats.edges_traversed += g.degree(NodeId(nraw)) as u64;
+        row_buf.clear();
+        row_buf.extend_from_slice(row);
+
+        for &nb in g.neighbors(NodeId(nraw)) {
+            let entry = pmd.entry(nb.0);
+            let mut changed = false;
+            let row_nb = match entry {
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    let r = o.into_mut();
+                    for pos in 0..na {
+                        let cand = row_buf[pos].saturating_add(1).min(inf);
+                        if cand < r[pos] {
+                            r[pos] = cand;
+                            changed = true;
+                        }
+                    }
+                    r
+                }
+                std::collections::hash_map::Entry::Vacant(vac) => {
+                    let mut r = vec![inf; na];
+                    for pos in 0..na {
+                        let mut v = row_buf[pos].saturating_add(1).min(inf);
+                        for (ci, &dac) in anchor_center[pos].iter().enumerate() {
+                            let dcn = centers.distance(ci, nb);
+                            if dac != u32::MAX && dcn != u32::MAX {
+                                let bound = (dac + dcn).min(inf as u32) as u16;
+                                if bound < v {
+                                    v = bound;
+                                }
+                            }
+                        }
+                        r[pos] = v;
+                    }
+                    changed = true;
+                    vac.insert(r)
+                }
+            };
+            if changed {
+                let s = score_of(row_nb);
+                let stale = best_score
+                    .get(&nb.0)
+                    .map(|&old| s < old as usize)
+                    .unwrap_or(true);
+                if stale {
+                    if best_score.insert(nb.0, s as u32).is_some() {
+                        tstats.reinsertions += 1;
+                    }
+                    queue.push(s, nb.0);
+                }
+            }
+        }
+    }
+
+    // --- Counting ---
+    // Each member counts from the shared PMD rows under its own mask.
+    for (nraw, row) in &pmd {
+        let n = NodeId(*nraw);
+        for &(si, ref positions) in &item_positions {
+            if !slots[si].mask[n.index()] {
+                continue;
+            }
+            if positions.iter().all(|&pos| row[pos as usize] as u32 <= k) {
+                out[si].increment(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_census_exec;
+    use ego_graph::{GraphBuilder, Label};
+    use ego_pattern::Pattern;
+
+    fn fixture() -> Graph {
+        // Two triangles sharing node 2 plus chain 4-5-6.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(7, Label(0));
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+        ] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        b.build()
+    }
+
+    fn patterns() -> Vec<Pattern> {
+        [
+            "PATTERN t { ?A-?B; ?B-?C; ?A-?C; }",
+            "PATTERN e { ?A-?B; }",
+            "PATTERN p3 { ?A-?B; ?B-?C; }",
+            "PATTERN n { ?A; }",
+        ]
+        .iter()
+        .map(|s| Pattern::parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn batch_counts_equal_sequential_runs() {
+        let g = fixture();
+        let pats = patterns();
+        let specs: Vec<CensusSpec<'_>> = pats
+            .iter()
+            .zip([2u32, 1, 2, 0])
+            .map(|(p, k)| CensusSpec::single(p, k))
+            .collect();
+        let config = PtConfig::default();
+        for algo in [
+            Algorithm::NdBaseline,
+            Algorithm::NdPivot,
+            Algorithm::NdDiff,
+            Algorithm::PtBaseline,
+            Algorithm::PtOpt,
+            Algorithm::PtRandom,
+            Algorithm::Auto,
+        ] {
+            let batch = run_batch(&g, &specs, algo, &config).unwrap();
+            for (i, spec) in specs.iter().enumerate() {
+                let seq =
+                    run_census_exec(&g, spec, algo, &config, &ExecConfig::sequential()).unwrap();
+                assert_eq!(batch.counts[i], seq, "{algo:?} spec {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_sweep_does_strictly_less_expansion() {
+        let g = fixture();
+        let pats = patterns();
+        let specs: Vec<CensusSpec<'_>> = pats.iter().map(|p| CensusSpec::single(p, 2)).collect();
+        let batch = run_batch(&g, &specs, Algorithm::NdPivot, &PtConfig::default()).unwrap();
+        // One sweep for 4 specs: nodes_expanded = |V|, not 4·|V|.
+        assert_eq!(batch.stats.nodes_expanded, g.num_nodes() as u64);
+        assert_eq!(batch.stages.len(), 1);
+        match &batch.stages[0] {
+            BatchStage::NdSweep { pivot, k_max, .. } => {
+                assert_eq!(pivot.len(), 4);
+                assert_eq!(*k_max, 2);
+            }
+            other => panic!("unexpected stage {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pt_groups_split_by_radius() {
+        let g = fixture();
+        let pats = patterns();
+        let specs = vec![
+            CensusSpec::single(&pats[0], 1),
+            CensusSpec::single(&pats[0], 2),
+            CensusSpec::single(&pats[3], 1),
+        ];
+        let batch = run_batch(&g, &specs, Algorithm::PtOpt, &PtConfig::default()).unwrap();
+        let mut ks: Vec<u32> = batch
+            .stages
+            .iter()
+            .map(|s| match s {
+                BatchStage::PtGroup { k, .. } => *k,
+                other => panic!("unexpected stage {other:?}"),
+            })
+            .collect();
+        ks.sort_unstable();
+        assert_eq!(ks, vec![1, 2]);
+        // Specs 0 and 2 share k=1 ⇒ one group serves both.
+        let k1 = batch
+            .stages
+            .iter()
+            .find_map(|s| match s {
+                BatchStage::PtGroup { specs, k: 1 } => Some(specs.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(k1, vec![0, 2]);
+    }
+
+    #[test]
+    fn shared_pattern_matches_computed_once() {
+        let g = fixture();
+        let pats = patterns();
+        let specs = vec![
+            CensusSpec::single(&pats[0], 1),
+            CensusSpec::single(&pats[0], 2),
+        ];
+        let batch = run_batch(&g, &specs, Algorithm::NdPivot, &PtConfig::default()).unwrap();
+        let a = batch.matches[0].as_ref().unwrap();
+        let b = batch.matches[1].as_ref().unwrap();
+        assert!(Arc::ptr_eq(a, b), "same pattern must share one MatchList");
+    }
+
+    #[test]
+    fn provided_matches_are_reused() {
+        let g = fixture();
+        let pats = patterns();
+        let specs = vec![CensusSpec::single(&pats[0], 1)];
+        let pre = Arc::new(crate::global_matches(&g, &pats[0]));
+        let batch = run_batch_exec(
+            &g,
+            &specs,
+            Algorithm::NdPivot,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+            &[Some(pre.clone())],
+        )
+        .unwrap();
+        assert!(Arc::ptr_eq(batch.matches[0].as_ref().unwrap(), &pre));
+    }
+
+    #[test]
+    fn rejections_preserved() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN s {?A;} }").unwrap();
+        let specs = vec![CensusSpec::single(&p, 1).with_subpattern("s")];
+        for algo in [Algorithm::NdBaseline, Algorithm::NdDiff] {
+            assert!(
+                run_batch(&g, &specs, algo, &PtConfig::default()).is_err(),
+                "{algo:?} must reject COUNTSP"
+            );
+        }
+        // NdPivot accepts it.
+        assert!(run_batch(&g, &specs, Algorithm::NdPivot, &PtConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let g = fixture();
+        let batch = run_batch(&g, &[], Algorithm::Auto, &PtConfig::default()).unwrap();
+        assert!(batch.counts.is_empty());
+        assert!(batch.stages.is_empty());
+    }
+}

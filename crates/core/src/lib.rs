@@ -40,6 +40,7 @@
 //! ```
 
 pub mod approx;
+pub mod batch;
 pub mod bucket_queue;
 pub mod centers;
 pub mod chooser;
@@ -57,6 +58,7 @@ pub mod spec;
 pub mod topk;
 pub mod tstats;
 
+pub use batch::{plan_stages, run_batch, run_batch_exec, BatchResult, BatchStage};
 pub use centers::{CenterIndex, CenterStrategy};
 pub use pairwise::{
     run_pair_census, run_pair_census_with, PairCensusSpec, PairCounts, PairKind, PairSelector,

@@ -168,15 +168,15 @@ pub(crate) fn execute_groups(
 }
 
 /// Queue abstraction: bucket best-first (PT-OPT) or random pop (PT-RND).
-struct TraversalQueue<'r> {
-    ordering: PtOrdering,
+pub(crate) struct TraversalQueue<'r> {
+    pub(crate) ordering: PtOrdering,
     bucket: crate::bucket_queue::BucketQueue,
     random: Vec<u32>,
     rng: &'r mut StdRng,
 }
 
 impl<'r> TraversalQueue<'r> {
-    fn new(ordering: PtOrdering, rng: &'r mut StdRng) -> Self {
+    pub(crate) fn new(ordering: PtOrdering, rng: &'r mut StdRng) -> Self {
         TraversalQueue {
             ordering,
             bucket: crate::bucket_queue::BucketQueue::new(0),
@@ -185,21 +185,21 @@ impl<'r> TraversalQueue<'r> {
         }
     }
 
-    fn reset(&mut self, max_score: usize) {
+    pub(crate) fn reset(&mut self, max_score: usize) {
         match self.ordering {
             PtOrdering::BestFirst => self.bucket = crate::bucket_queue::BucketQueue::new(max_score),
             PtOrdering::Random => self.random.clear(),
         }
     }
 
-    fn push(&mut self, score: usize, item: u32) {
+    pub(crate) fn push(&mut self, score: usize, item: u32) {
         match self.ordering {
             PtOrdering::BestFirst => self.bucket.push(score, item),
             PtOrdering::Random => self.random.push(item),
         }
     }
 
-    fn pop(&mut self) -> Option<(usize, u32)> {
+    pub(crate) fn pop(&mut self) -> Option<(usize, u32)> {
         match self.ordering {
             PtOrdering::BestFirst => self.bucket.pop_min(),
             PtOrdering::Random => {

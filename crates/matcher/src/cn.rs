@@ -13,7 +13,7 @@ use crate::candidates::CandidateSpace;
 use crate::filter::passes_filters;
 use crate::stats::MatchStats;
 use ego_graph::profile::ProfileIndex;
-use ego_graph::{Graph, NodeId};
+use ego_graph::{FastHashSet, Graph, NodeId};
 use ego_pattern::{Pattern, SearchOrder};
 
 /// Enumerate all embeddings of `p` in `g` using the CN algorithm.
@@ -44,6 +44,24 @@ fn extract(
     stats: &mut MatchStats,
 ) -> Vec<Vec<NodeId>> {
     let order = SearchOrder::new(p);
+    extract_with(g, p, cs, &order, None, stats)
+}
+
+/// Forward extraction with an optional membership restriction: when
+/// `membership` is `Some(set)`, only embeddings whose every image lies in
+/// the set are enumerated (candidates outside it are dropped at each
+/// depth, so restricted extraction never walks the excluded space). This
+/// is the batched-census entry point: the candidate space and search
+/// order are built once per (graph, pattern) and reused across all
+/// per-focal neighborhoods.
+pub(crate) fn extract_with(
+    g: &Graph,
+    p: &Pattern,
+    cs: &CandidateSpace,
+    order: &SearchOrder,
+    membership: Option<&FastHashSet<u32>>,
+    stats: &mut MatchStats,
+) -> Vec<Vec<NodeId>> {
     let np = p.num_nodes();
     let mut out = Vec::new();
     // assignment indexed by pattern node id; usize::MAX sentinel via Option
@@ -52,7 +70,7 @@ fn extract(
     let mut stack_iters: Vec<Vec<NodeId>> = Vec::with_capacity(np);
 
     // Depth-first product over per-depth candidate lists.
-    let first = candidates_for_depth(g, p, cs, &order, 0, &assignment, stats);
+    let first = candidates_for_depth(g, p, cs, order, membership, 0, &assignment, stats);
     stack_iters.push(first);
     let mut cursor = vec![0usize; 1];
 
@@ -85,7 +103,8 @@ fn extract(
             *cursor.last_mut().unwrap() += 1;
         } else {
             stats.partial_matches += 1;
-            let next = candidates_for_depth(g, p, cs, &order, depth + 1, &assignment, stats);
+            let next =
+                candidates_for_depth(g, p, cs, order, membership, depth + 1, &assignment, stats);
             stack_iters.push(next);
             cursor.push(0);
         }
@@ -97,11 +116,13 @@ fn extract(
 /// the candidate-neighbor sets of its already-matched pattern neighbors
 /// (or the full alive candidate list when it has none — the first node,
 /// or a new component of a disconnected pattern).
+#[allow(clippy::too_many_arguments)]
 fn candidates_for_depth(
     _g: &Graph,
     _p: &Pattern,
     cs: &CandidateSpace,
     order: &SearchOrder,
+    membership: Option<&FastHashSet<u32>>,
     depth: usize,
     assignment: &[NodeId],
     stats: &mut MatchStats,
@@ -109,8 +130,11 @@ fn candidates_for_depth(
     let v = order.order[depth];
     let back = &order.backward[depth];
     if back.is_empty() {
-        let all: Vec<NodeId> = cs.alive_candidates(v).collect();
+        let mut all: Vec<NodeId> = cs.alive_candidates(v).collect();
         stats.extension_candidates_scanned += all.len();
+        if let Some(members) = membership {
+            all.retain(|n| members.contains(&n.0));
+        }
         return all;
     }
     // Start from the smallest CN list, then intersect with the rest.
@@ -129,6 +153,9 @@ fn candidates_for_depth(
         }
         stats.extension_candidates_scanned += l.len().min(current.len());
         current = ego_graph::neighborhood::intersect_sorted(&current, l);
+    }
+    if let Some(members) = membership {
+        current.retain(|n| members.contains(&n.0));
     }
     current
 }

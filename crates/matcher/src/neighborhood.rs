@@ -1,0 +1,159 @@
+//! Reusable per-neighborhood matching for batched census execution.
+//!
+//! The census algorithms evaluate a pattern inside every focal node's
+//! k-hop neighborhood. Re-running the full matcher per neighborhood
+//! re-derives the candidate space (profile filtering, CN-set
+//! initialization, simultaneous pruning) from scratch each time, even
+//! though all of that depends only on the (graph, pattern) pair. A
+//! [`NeighborhoodMatcher`] does the expensive derivation **once** and
+//! then answers membership-restricted queries cheaply: extraction walks
+//! the pruned candidate space but drops any candidate outside the
+//! neighborhood's node set at every depth.
+//!
+//! Soundness: a match inside the induced subgraph `S(n, k)` is exactly a
+//! global match whose images all lie in `S(n, k)` — induced subgraphs
+//! preserve both positive and negative edge semantics, and the globally
+//! pruned candidate space is complete for global matches, hence for the
+//! restricted ones.
+
+use crate::candidates::CandidateSpace;
+use crate::cn;
+use crate::matches::MatchList;
+use crate::stats::MatchStats;
+use ego_graph::profile::ProfileIndex;
+use ego_graph::{FastHashSet, Graph};
+use ego_pattern::{automorphism_group, Pattern, SearchOrder};
+
+/// Per-(graph, pattern) matching state reusable across many
+/// neighborhoods: the pruned candidate space, the search order, and the
+/// automorphism group (for embedding -> match conversion).
+pub struct NeighborhoodMatcher<'g, 'p> {
+    g: &'g Graph,
+    p: &'p Pattern,
+    cs: CandidateSpace,
+    order: SearchOrder,
+    aut_count: usize,
+}
+
+impl<'g, 'p> NeighborhoodMatcher<'g, 'p> {
+    /// Build the matcher, deriving the candidate space from scratch.
+    pub fn new(g: &'g Graph, p: &'p Pattern) -> Self {
+        let profiles = ProfileIndex::build(g);
+        Self::with_profiles(g, p, &profiles)
+    }
+
+    /// Build the matcher reusing a prebuilt profile index (batches build
+    /// the index once per graph and share it across patterns).
+    pub fn with_profiles(g: &'g Graph, p: &'p Pattern, profiles: &ProfileIndex) -> Self {
+        let mut stats = MatchStats::default();
+        let mut cs = CandidateSpace::enumerate(g, p, profiles, &mut stats);
+        cs.init_candidate_neighbors(g, p);
+        cs.prune(p, &mut stats);
+        NeighborhoodMatcher {
+            g,
+            p,
+            cs,
+            order: SearchOrder::new(p),
+            aut_count: automorphism_group(p).len().max(1),
+        }
+    }
+
+    /// The pattern this matcher was built for.
+    pub fn pattern(&self) -> &'p Pattern {
+        self.p
+    }
+
+    /// Count the distinct matches whose node images all lie in
+    /// `membership` (the neighborhood's node set).
+    ///
+    /// Every embedding's automorphic images stay inside the set, so each
+    /// match contributes exactly `|Aut(p)|` restricted embeddings and the
+    /// division below is exact.
+    pub fn count_in(&self, membership: &FastHashSet<u32>) -> u64 {
+        let mut stats = MatchStats::default();
+        let embeddings = cn::extract_with(
+            self.g,
+            self.p,
+            &self.cs,
+            &self.order,
+            Some(membership),
+            &mut stats,
+        );
+        debug_assert_eq!(embeddings.len() % self.aut_count, 0);
+        (embeddings.len() / self.aut_count) as u64
+    }
+
+    /// The distinct matches whose node images all lie in `membership`,
+    /// deduplicated by the pattern's automorphism group.
+    pub fn matches_in(&self, membership: &FastHashSet<u32>) -> MatchList {
+        let mut stats = MatchStats::default();
+        let embeddings = cn::extract_with(
+            self.g,
+            self.p,
+            &self.cs,
+            &self.order,
+            Some(membership),
+            &mut stats,
+        );
+        MatchList::from_embeddings(self.p, embeddings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatcherKind;
+    use ego_graph::{GraphBuilder, Label, NodeId};
+
+    /// Two triangles sharing node 2, plus a pendant at 4.
+    fn fixture() -> Graph {
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(6, Label(0));
+        for (x, y) in [(0u32, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        b.build()
+    }
+
+    fn members(ids: &[u32]) -> FastHashSet<u32> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn restricted_counts_match_induced_subgraph() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN t { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let m = NeighborhoodMatcher::new(&g, &p);
+        // Full graph: both triangles.
+        assert_eq!(m.count_in(&members(&[0, 1, 2, 3, 4, 5])), 2);
+        // Only the first triangle's nodes.
+        assert_eq!(m.count_in(&members(&[0, 1, 2])), 1);
+        // Split across the two triangles: no complete triangle.
+        assert_eq!(m.count_in(&members(&[0, 1, 3, 4])), 0);
+        assert_eq!(m.count_in(&members(&[])), 0);
+    }
+
+    #[test]
+    fn unrestricted_equals_global_matcher() {
+        let g = fixture();
+        let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
+        let all: FastHashSet<u32> = (0..g.num_nodes() as u32).collect();
+        let m = NeighborhoodMatcher::new(&g, &p);
+        let global = crate::find_matches(&g, &p, MatcherKind::CandidateNeighbors);
+        assert_eq!(m.count_in(&all), global.len() as u64);
+        assert_eq!(m.matches_in(&all).len(), global.len());
+    }
+
+    #[test]
+    fn rigid_directed_pattern() {
+        let mut b = GraphBuilder::directed();
+        b.add_nodes(3, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(2));
+        let g = b.build();
+        let p = Pattern::parse("PATTERN d { ?A->?B; ?B->?C; }").unwrap();
+        let m = NeighborhoodMatcher::new(&g, &p);
+        assert_eq!(m.count_in(&members(&[0, 1, 2])), 1);
+        assert_eq!(m.count_in(&members(&[0, 1])), 0);
+    }
+}

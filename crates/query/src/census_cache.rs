@@ -1,0 +1,312 @@
+//! Cross-statement census cache: match lists and count vectors keyed by
+//! (pattern, neighborhood spec, graph fingerprint).
+//!
+//! The server's [`QueryCache`] caches *encoded result tables* keyed by
+//! the canonical statement text — two different statements over the same
+//! patterns never share anything through it. This cache sits one layer
+//! deeper, inside the query executor, and stores the two reusable
+//! intermediates of batched census execution:
+//!
+//! * **Match lists** — the global matches of a pattern, keyed by
+//!   `(pattern DSL, graph fingerprint)`. Every algorithm except ND-BAS
+//!   starts from this list; a hit feeds [`ego_census::run_batch_exec`]'s
+//!   `provided` slot and skips global matching entirely.
+//! * **Count vectors** — a finished census, keyed by
+//!   `(pattern DSL, k, subpattern, focal-set hash, fingerprint)`. The
+//!   algorithm, seed, and thread count are deliberately **not** part of
+//!   the key: census counts are algorithm- and thread-invariant (a
+//!   property the equivalence suite enforces), and the focal set — the
+//!   only seed-dependent input — is hashed into the key directly.
+//!
+//! Both sides are independent LRU maps with an entry-count budget
+//! (entries are `Arc`-shared with callers, so eviction never copies).
+//!
+//! `QueryCache` lives in `ego-server`; this type lives here because the
+//! executor (which `ego-server` wraps) is what decides when a census can
+//! be skipped or seeded from cache.
+
+use ego_census::CountVector;
+use ego_graph::NodeId;
+use ego_matcher::MatchList;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One LRU side of the cache: string key -> shared value, recency
+/// tracked by a monotone tick (same scheme as the server's byte-LRU,
+/// but budgeted by entry count — values here are shared, not copied).
+struct LruMap<V> {
+    map: HashMap<String, (V, u64)>,
+    recency: BTreeMap<u64, String>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<V: Clone> LruMap<V> {
+    fn new(capacity: usize) -> Self {
+        LruMap {
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn touch(&mut self, key: &str) {
+        let tick = self.tick;
+        self.tick += 1;
+        if let Some((_, t)) = self.map.get_mut(key) {
+            let old = *t;
+            *t = tick;
+            self.recency.remove(&old);
+            self.recency.insert(tick, key.to_string());
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<V> {
+        let v = self.map.get(key).map(|(v, _)| v.clone())?;
+        self.touch(key);
+        Some(v)
+    }
+
+    fn peek(&self, key: &str) -> Option<V> {
+        self.map.get(key).map(|(v, _)| v.clone())
+    }
+
+    fn put(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((_, old_tick)) = self.map.remove(&key) {
+            self.recency.remove(&old_tick);
+        }
+        let tick = self.tick;
+        self.tick += 1;
+        self.map.insert(key.clone(), (value, tick));
+        self.recency.insert(tick, key);
+        while self.map.len() > self.capacity {
+            let (&oldest, _) = self.recency.iter().next().expect("non-empty recency");
+            let victim = self.recency.remove(&oldest).expect("victim exists");
+            self.map.remove(&victim);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Snapshot of cache occupancy and hit/miss counters (for the server's
+/// STATS command and for benches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CensusCacheStats {
+    pub match_entries: usize,
+    pub match_hits: u64,
+    pub match_misses: u64,
+    pub count_entries: usize,
+    pub count_hits: u64,
+    pub count_misses: u64,
+}
+
+/// Shared (thread-safe) cache of census intermediates. See the module
+/// docs for the keying discipline.
+pub struct CensusCache {
+    matches: Mutex<LruMap<std::sync::Arc<MatchList>>>,
+    counts: Mutex<LruMap<std::sync::Arc<CountVector>>>,
+    match_hits: AtomicU64,
+    match_misses: AtomicU64,
+    count_hits: AtomicU64,
+    count_misses: AtomicU64,
+}
+
+impl CensusCache {
+    /// Cache holding up to `capacity` entries on each side (match lists
+    /// and count vectors budgeted independently). `0` disables caching.
+    pub fn new(capacity: usize) -> Self {
+        CensusCache {
+            matches: Mutex::new(LruMap::new(capacity)),
+            counts: Mutex::new(LruMap::new(capacity)),
+            match_hits: AtomicU64::new(0),
+            match_misses: AtomicU64::new(0),
+            count_hits: AtomicU64::new(0),
+            count_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Key for a pattern's global match list.
+    pub fn match_key(dsl: &str, fingerprint: u64) -> String {
+        format!("{dsl}|fp={fingerprint:016x}")
+    }
+
+    /// Key for a finished census. The focal set is FNV-1a-hashed (the
+    /// executor always produces it in ascending node order, so equal
+    /// sets hash equally); algorithm/threads/seed are excluded — counts
+    /// are invariant to all three.
+    pub fn count_key(
+        dsl: &str,
+        k: u32,
+        subpattern: Option<&str>,
+        focal: &[NodeId],
+        fingerprint: u64,
+    ) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for n in focal {
+            h ^= n.0 as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h ^= focal.len() as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+        format!(
+            "{dsl}|k={k}|sp={}|focal={h:016x}|fp={fingerprint:016x}",
+            subpattern.unwrap_or("-")
+        )
+    }
+
+    /// Look up a match list (counts a hit or miss).
+    pub fn get_matches(&self, key: &str) -> Option<std::sync::Arc<MatchList>> {
+        let got = self.matches.lock().unwrap().get(key);
+        match got {
+            Some(v) => {
+                self.match_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.match_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a match list.
+    pub fn put_matches(&self, key: String, value: std::sync::Arc<MatchList>) {
+        self.matches.lock().unwrap().put(key, value);
+    }
+
+    /// Look up a count vector (counts a hit or miss).
+    pub fn get_counts(&self, key: &str) -> Option<std::sync::Arc<CountVector>> {
+        let got = self.counts.lock().unwrap().get(key);
+        match got {
+            Some(v) => {
+                self.count_hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.count_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a count vector.
+    pub fn put_counts(&self, key: String, value: std::sync::Arc<CountVector>) {
+        self.counts.lock().unwrap().put(key, value);
+    }
+
+    /// Non-counting, non-touching lookup — `EXPLAIN` uses these to
+    /// report expected reuse without perturbing the statistics.
+    pub fn peek_matches(&self, key: &str) -> Option<std::sync::Arc<MatchList>> {
+        self.matches.lock().unwrap().peek(key)
+    }
+
+    /// Non-counting, non-touching count-vector lookup.
+    pub fn peek_counts(&self, key: &str) -> bool {
+        self.counts.lock().unwrap().peek(key).is_some()
+    }
+
+    /// Snapshot of occupancy and counters.
+    pub fn stats(&self) -> CensusCacheStats {
+        CensusCacheStats {
+            match_entries: self.matches.lock().unwrap().len(),
+            match_hits: self.match_hits.load(Ordering::Relaxed),
+            match_misses: self.match_misses.load(Ordering::Relaxed),
+            count_entries: self.counts.lock().unwrap().len(),
+            count_hits: self.count_hits.load(Ordering::Relaxed),
+            count_misses: self.count_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn cv(n: usize) -> Arc<CountVector> {
+        Arc::new(CountVector::new(n, vec![true; n]))
+    }
+
+    #[test]
+    fn count_side_hit_miss_and_counters() {
+        let c = CensusCache::new(8);
+        let key = CensusCache::count_key("PATTERN t {}", 2, None, &[NodeId(0)], 7);
+        assert!(c.get_counts(&key).is_none());
+        c.put_counts(key.clone(), cv(3));
+        let hit = c.get_counts(&key).unwrap();
+        assert_eq!(hit.len(), 3);
+        let s = c.stats();
+        assert_eq!((s.count_hits, s.count_misses, s.count_entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_entry() {
+        let c = CensusCache::new(2);
+        c.put_counts("a".into(), cv(1));
+        c.put_counts("b".into(), cv(1));
+        assert!(c.get_counts("a").is_some()); // a is now most recent
+        c.put_counts("c".into(), cv(1)); // evicts b
+        assert!(c.peek_counts("a"));
+        assert!(!c.peek_counts("b"));
+        assert!(c.peek_counts("c"));
+        assert_eq!(c.stats().count_entries, 2);
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_without_growth() {
+        let c = CensusCache::new(2);
+        c.put_counts("k".into(), cv(1));
+        c.put_counts("k".into(), cv(5));
+        assert_eq!(c.stats().count_entries, 1);
+        assert_eq!(c.get_counts("k").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = CensusCache::new(0);
+        c.put_counts("k".into(), cv(1));
+        assert!(c.get_counts("k").is_none());
+        assert_eq!(c.stats().count_entries, 0);
+    }
+
+    #[test]
+    fn peek_does_not_count_or_touch() {
+        let c = CensusCache::new(2);
+        c.put_counts("a".into(), cv(1));
+        c.put_counts("b".into(), cv(1));
+        assert!(c.peek_counts("a")); // does NOT refresh a
+        c.put_counts("c".into(), cv(1)); // so a is evicted
+        assert!(!c.peek_counts("a"));
+        let s = c.stats();
+        assert_eq!((s.count_hits, s.count_misses), (0, 0));
+    }
+
+    #[test]
+    fn focal_hash_distinguishes_sets() {
+        let fp = 1;
+        let a = CensusCache::count_key("p", 1, None, &[NodeId(0), NodeId(1)], fp);
+        let b = CensusCache::count_key("p", 1, None, &[NodeId(0)], fp);
+        let c = CensusCache::count_key("p", 1, None, &[NodeId(0), NodeId(2)], fp);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let again = CensusCache::count_key("p", 1, None, &[NodeId(0), NodeId(1)], fp);
+        assert_eq!(a, again);
+        // Subpattern and fingerprint discriminate too.
+        assert_ne!(
+            CensusCache::count_key("p", 1, Some("s"), &[], fp),
+            CensusCache::count_key("p", 1, None, &[], fp)
+        );
+        assert_ne!(
+            CensusCache::count_key("p", 1, None, &[], 1),
+            CensusCache::count_key("p", 1, None, &[], 2)
+        );
+    }
+}

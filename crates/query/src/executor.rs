@@ -2,16 +2,19 @@
 
 use crate::ast::{AggCall, ColumnRef, NeighborhoodAst, Projection, SelectStmt, SortDir};
 use crate::catalog::Catalog;
+use crate::census_cache::CensusCache;
 use crate::error::QueryError;
 use crate::expr::{eval_predicate, RowContext};
 use crate::parser::parse_query;
 use crate::table::Table;
 use crate::value::Value;
 use ego_census::{
-    run_census_exec, run_pair_census_exec, Algorithm, CensusSpec, CountVector, ExecConfig,
-    FocalNodes, PairCensusSpec, PairCounts, PairSelector, PtConfig,
+    plan_stages, run_batch_exec, run_pair_census_exec, Algorithm, BatchStage, CensusSpec,
+    CountVector, ExecConfig, FocalNodes, PairCensusSpec, PairCounts, PairSelector, PtConfig,
 };
 use ego_graph::{Graph, NodeId};
+use ego_matcher::MatchList;
+use ego_pattern::Pattern;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -53,6 +56,7 @@ pub struct QueryEngine<'g> {
     pt_config: PtConfig,
     exec: ExecConfig,
     seed: u64,
+    census_cache: Option<Arc<CensusCache>>,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -83,6 +87,7 @@ impl<'g> QueryEngine<'g> {
             pt_config: PtConfig::default(),
             exec: ExecConfig::auto(),
             seed: 0xC0FFEE,
+            census_cache: None,
         }
     }
 
@@ -131,6 +136,19 @@ impl<'g> QueryEngine<'g> {
     /// Seed for `RND()` (deterministic per execution).
     pub fn set_seed(&mut self, seed: u64) {
         self.seed = seed;
+    }
+
+    /// Attach a shared [`CensusCache`]: match lists and finished count
+    /// vectors are reused across statements (and across sessions when
+    /// the cache is shared, as the server does). Counts are
+    /// algorithm-invariant, so caching never changes results.
+    pub fn set_census_cache(&mut self, cache: Arc<CensusCache>) {
+        self.census_cache = Some(cache);
+    }
+
+    /// The attached census cache, if any.
+    pub fn census_cache(&self) -> Option<&Arc<CensusCache>> {
+        self.census_cache.as_ref()
     }
 
     /// Parse and execute a statement. `EXPLAIN SELECT ...` returns the
@@ -201,16 +219,203 @@ impl<'g> QueryEngine<'g> {
                 Value::Str(format!("{:?}", self.algorithm)),
             ]);
         }
+        if stmt.tables.len() == 1 {
+            self.explain_batch_plan(&stmt, &mut table)?;
+        }
         Ok(table)
+    }
+
+    /// Append the batch plan to an EXPLAIN table: which aggregates share
+    /// a neighborhood sweep, which share a PT traversal group, and (when
+    /// a census cache is attached) the expected cache reuse.
+    fn explain_batch_plan(&self, stmt: &SelectStmt, table: &mut Table) -> Result<(), QueryError> {
+        let g = self.graph();
+        let mut names: Vec<String> = Vec::new();
+        let mut specs: Vec<CensusSpec<'_>> = Vec::new();
+        for proj in &stmt.projections {
+            let Projection::Agg(agg) = proj else { continue };
+            let NeighborhoodAst::Subgraph { k, .. } = &agg.neighborhood else {
+                return Ok(()); // pair neighborhoods don't batch
+            };
+            let pattern = self.catalog.require(&agg.pattern)?;
+            let mut spec = CensusSpec::single(pattern, *k);
+            if let Some(sp) = &agg.subpattern {
+                spec = spec.with_subpattern(sp);
+            }
+            specs.push(spec);
+            names.push(agg.pattern.clone());
+        }
+        let cache = self.census_cache.as_deref();
+        let fp = if cache.is_some() { g.fingerprint() } else { 0 };
+
+        // Expected cache reuse per aggregate. Match lists are
+        // focal-independent; count reuse depends on the focal set, which
+        // EXPLAIN only knows without a WHERE clause.
+        let mut matches: Vec<Option<Arc<MatchList>>> = vec![None; specs.len()];
+        if let Some(c) = cache {
+            let all_focal: Vec<NodeId> = g.node_ids().collect();
+            for (i, spec) in specs.iter().enumerate() {
+                let dsl = ego_pattern::to_dsl(spec.pattern());
+                matches[i] = c.peek_matches(&CensusCache::match_key(&dsl, fp));
+                let m = if matches[i].is_some() { "hit" } else { "miss" };
+                let counts = if stmt.where_clause.is_some() {
+                    "unknown (WHERE)".to_string()
+                } else {
+                    let key = CensusCache::count_key(
+                        &dsl,
+                        spec.k(),
+                        spec.subpattern_name(),
+                        &all_focal,
+                        fp,
+                    );
+                    if c.peek_counts(&key) { "hit" } else { "miss" }.to_string()
+                };
+                table.push_row(vec![
+                    Value::Str("cache:census".into()),
+                    Value::Str(names[i].clone()),
+                    Value::Str("-".into()),
+                    Value::Str("-".into()),
+                    Value::Str(format!("matches={m} counts={counts}")),
+                    Value::Str("-".into()),
+                ]);
+            }
+        }
+
+        if specs.len() < 2 {
+            return Ok(());
+        }
+        // Stage grouping. Auto resolves per spec from match
+        // cardinalities, which EXPLAIN only has for cached match lists;
+        // otherwise plan as ND-PVOT and label the assumption.
+        let (algo, assumed) =
+            if self.algorithm == Algorithm::Auto && matches.iter().any(|m| m.is_none()) {
+                (Algorithm::NdPivot, true)
+            } else {
+                (self.algorithm, false)
+            };
+        let algo_desc = if assumed {
+            "Auto (planned as NdPivot)".to_string()
+        } else {
+            format!("{algo:?}")
+        };
+        let Ok(stages) = plan_stages(g, &specs, algo, &matches) else {
+            return Ok(()); // rejections surface when the query runs
+        };
+        for stage in stages {
+            let row = match stage {
+                BatchStage::NdSweep {
+                    pivot,
+                    baseline,
+                    k_max,
+                } => {
+                    let members: Vec<&str> = pivot
+                        .iter()
+                        .chain(&baseline)
+                        .map(|&i| names[i].as_str())
+                        .collect();
+                    vec![
+                        Value::Str("batch:nd-sweep".into()),
+                        Value::Str(members.join("+")),
+                        Value::Str("-".into()),
+                        Value::Str(format!("1 BFS sweep/focal @k={k_max}")),
+                        Value::Str(format!("pivot={} baseline={}", pivot.len(), baseline.len())),
+                        Value::Str(algo_desc.clone()),
+                    ]
+                }
+                BatchStage::PtGroup { specs: idxs, k } => {
+                    let members: Vec<&str> = idxs.iter().map(|&i| names[i].as_str()).collect();
+                    vec![
+                        Value::Str("batch:pt-group".into()),
+                        Value::Str(members.join("+")),
+                        Value::Str("-".into()),
+                        Value::Str(format!("shared traversal @k={k}")),
+                        Value::Str(format!("{} patterns pool matches", idxs.len())),
+                        Value::Str(algo_desc.clone()),
+                    ]
+                }
+            };
+            table.push_row(row);
+        }
+        Ok(())
     }
 
     // --- single-table queries ---
 
+    /// Execute every statement in a `;`-separated script, returning one
+    /// result table per statement (in order). All single-table census
+    /// aggregates across the whole script are compiled into **one**
+    /// [`run_batch_exec`] call, so statements over the same patterns,
+    /// radii, or focal sets share neighborhood sweeps, traversal groups,
+    /// and global match lists; EXPLAIN and two-table statements run
+    /// individually. The script aborts on the first error.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<Table>, QueryError> {
+        enum Item {
+            Direct(String),
+            Batched {
+                stmt: SelectStmt,
+                focal: Vec<NodeId>,
+                range: std::ops::Range<usize>,
+            },
+        }
+        let mut items = Vec::new();
+        let mut jobs: Vec<BatchAgg<'_>> = Vec::new();
+        for text in split_statements(sql) {
+            let trimmed = text.trim_start();
+            if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
+                items.push(Item::Direct(text));
+                continue;
+            }
+            let stmt = parse_query(&text)?;
+            if stmt.tables.len() != 1 {
+                items.push(Item::Direct(text));
+                continue;
+            }
+            let alias = stmt.tables[0].alias.clone();
+            let focal = self.compute_focal(&stmt, &alias)?;
+            let start = jobs.len();
+            for proj in &stmt.projections {
+                if let Projection::Agg(agg) = proj {
+                    jobs.push(self.single_agg_job(agg, &alias, focal.clone())?);
+                }
+            }
+            items.push(Item::Batched {
+                stmt,
+                focal,
+                range: start..jobs.len(),
+            });
+        }
+        let results = self.run_batched(&jobs)?;
+        items
+            .into_iter()
+            .map(|item| match item {
+                Item::Direct(text) => self.execute(&text),
+                Item::Batched { stmt, focal, range } => {
+                    self.project_single(&stmt, &focal, &results[range])
+                }
+            })
+            .collect()
+    }
+
     fn execute_single(&self, stmt: &SelectStmt) -> Result<Table, QueryError> {
         let alias = stmt.tables[0].alias.as_str();
-        let g = self.graph();
+        let focal = self.compute_focal(stmt, alias)?;
 
-        // WHERE -> focal node set.
+        // Compile all aggregates into one batch: neighborhoods are
+        // extracted once per focal node for every pattern at once.
+        let mut jobs = Vec::new();
+        for proj in &stmt.projections {
+            if let Projection::Agg(agg) = proj {
+                jobs.push(self.single_agg_job(agg, alias, focal.clone())?);
+            }
+        }
+        let agg_results = self.run_batched(&jobs)?;
+        self.project_single(stmt, &focal, &agg_results)
+    }
+
+    /// Evaluate the WHERE clause into the focal node set (ascending
+    /// node order; `RND()` drawn from a fresh seeded stream).
+    fn compute_focal(&self, stmt: &SelectStmt, alias: &str) -> Result<Vec<NodeId>, QueryError> {
+        let g = self.graph();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut focal: Vec<NodeId> = Vec::new();
         for n in g.node_ids() {
@@ -228,19 +433,124 @@ impl<'g> QueryEngine<'g> {
                 focal.push(n);
             }
         }
+        Ok(focal)
+    }
 
-        // Run each aggregate once over the whole focal set.
-        let mut agg_results: Vec<CountVector> = Vec::new();
-        for proj in &stmt.projections {
-            if let Projection::Agg(agg) = proj {
-                agg_results.push(self.run_single_agg(agg, alias, &focal)?);
+    /// Validate one single-table aggregate and resolve its pattern.
+    fn single_agg_job<'e>(
+        &'e self,
+        agg: &AggCall,
+        alias: &str,
+        focal: Vec<NodeId>,
+    ) -> Result<BatchAgg<'e>, QueryError> {
+        let (node, k) = match &agg.neighborhood {
+            NeighborhoodAst::Subgraph { node, k } => (node, *k),
+            _ => {
+                return Err(QueryError::Semantic(
+                    "SUBGRAPH-INTERSECTION/UNION require two `nodes` tables".into(),
+                ))
+            }
+        };
+        check_id_column(node, &[alias])?;
+        Ok(BatchAgg {
+            pattern: self.catalog.require(&agg.pattern)?,
+            k,
+            subpattern: agg.subpattern.clone(),
+            focal,
+        })
+    }
+
+    /// Evaluate a set of census aggregates as one batch, consulting the
+    /// census cache (when attached) for finished counts and global match
+    /// lists. Returned vectors are in job order.
+    fn run_batched(&self, jobs: &[BatchAgg<'_>]) -> Result<Vec<Arc<CountVector>>, QueryError> {
+        let g = self.graph();
+        let mut results: Vec<Option<Arc<CountVector>>> = vec![None; jobs.len()];
+        let cache = self.census_cache.as_deref();
+        let fp = if cache.is_some() { g.fingerprint() } else { 0 };
+        // ND-BAS / ND-DIFF reject some specs other algorithms accept; a
+        // count-cache hit would mask that rejection, so they bypass it.
+        let count_cacheable = !matches!(self.algorithm, Algorithm::NdBaseline | Algorithm::NdDiff);
+        let mut count_keys: Vec<Option<String>> = vec![None; jobs.len()];
+        if let Some(c) = cache {
+            for (i, job) in jobs.iter().enumerate() {
+                let key = CensusCache::count_key(
+                    &ego_pattern::to_dsl(job.pattern),
+                    job.k,
+                    job.subpattern.as_deref(),
+                    &job.focal,
+                    fp,
+                );
+                if count_cacheable {
+                    results[i] = c.get_counts(&key);
+                }
+                count_keys[i] = Some(key);
             }
         }
 
-        // Project rows.
+        let miss: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
+        if !miss.is_empty() {
+            let mut specs = Vec::with_capacity(miss.len());
+            let mut provided: Vec<Option<Arc<MatchList>>> = Vec::with_capacity(miss.len());
+            let mut match_keys: Vec<String> = Vec::with_capacity(miss.len());
+            for &i in &miss {
+                let job = &jobs[i];
+                let mut spec = CensusSpec::single(job.pattern, job.k)
+                    .with_focal(FocalNodes::Set(job.focal.clone()));
+                if let Some(sp) = &job.subpattern {
+                    spec = spec.with_subpattern(sp);
+                }
+                specs.push(spec);
+                let mkey = CensusCache::match_key(&ego_pattern::to_dsl(job.pattern), fp);
+                // ND-BAS never uses global match lists; don't skew the
+                // hit/miss counters with lookups it would ignore.
+                provided.push(match cache {
+                    Some(c) if self.algorithm != Algorithm::NdBaseline => c.get_matches(&mkey),
+                    _ => None,
+                });
+                match_keys.push(mkey);
+            }
+            let batch = run_batch_exec(
+                g,
+                &specs,
+                self.algorithm,
+                &self.pt_config,
+                &self.exec,
+                &provided,
+            )?;
+            for (j, (&i, cv)) in miss.iter().zip(batch.counts).enumerate() {
+                let cv = Arc::new(cv);
+                if let Some(c) = cache {
+                    if let Some(m) = &batch.matches[j] {
+                        c.put_matches(match_keys[j].clone(), m.clone());
+                    }
+                    if let Some(key) = &count_keys[i] {
+                        c.put_counts(key.clone(), cv.clone());
+                    }
+                }
+                results[i] = Some(cv);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Project a single-table statement's rows from precomputed
+    /// aggregate results (one [`CountVector`] per aggregate, in
+    /// projection order).
+    fn project_single(
+        &self,
+        stmt: &SelectStmt,
+        focal: &[NodeId],
+        agg_results: &[Arc<CountVector>],
+    ) -> Result<Table, QueryError> {
+        let alias = stmt.tables[0].alias.as_str();
+        let g = self.graph();
         let columns = stmt.projections.iter().map(projection_name).collect();
         let mut table = Table::new(columns);
-        for &n in &focal {
+        for &n in focal {
             let mut row = Vec::with_capacity(stmt.projections.len());
             let mut agg_i = 0;
             for proj in &stmt.projections {
@@ -262,35 +572,6 @@ impl<'g> QueryEngine<'g> {
         }
         apply_order_limit(&mut table, stmt);
         Ok(table)
-    }
-
-    fn run_single_agg(
-        &self,
-        agg: &AggCall,
-        alias: &str,
-        focal: &[NodeId],
-    ) -> Result<CountVector, QueryError> {
-        let (node, k) = match &agg.neighborhood {
-            NeighborhoodAst::Subgraph { node, k } => (node, *k),
-            _ => {
-                return Err(QueryError::Semantic(
-                    "SUBGRAPH-INTERSECTION/UNION require two `nodes` tables".into(),
-                ))
-            }
-        };
-        check_id_column(node, &[alias])?;
-        let pattern = self.catalog.require(&agg.pattern)?;
-        let mut spec = CensusSpec::single(pattern, k).with_focal(FocalNodes::Set(focal.to_vec()));
-        if let Some(sp) = &agg.subpattern {
-            spec = spec.with_subpattern(sp);
-        }
-        Ok(run_census_exec(
-            self.graph(),
-            &spec,
-            self.algorithm,
-            &self.pt_config,
-            &self.exec,
-        )?)
     }
 
     // --- pairwise queries ---
@@ -401,6 +682,41 @@ impl<'g> QueryEngine<'g> {
             &self.exec,
         )?)
     }
+}
+
+/// One validated single-table census aggregate, ready for batching.
+struct BatchAgg<'e> {
+    pattern: &'e Pattern,
+    k: u32,
+    subpattern: Option<String>,
+    focal: Vec<NodeId>,
+}
+
+/// Split a script into statements on `;`, respecting single-quoted
+/// strings. Empty statements (trailing `;`, blank lines) are dropped.
+fn split_statements(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quote = false;
+    for ch in sql.chars() {
+        match ch {
+            '\'' => {
+                in_quote = !in_quote;
+                current.push(ch);
+            }
+            ';' if !in_quote => {
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_string());
+                }
+                current.clear();
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_string());
+    }
+    out
 }
 
 /// Apply ORDER BY (stable, multi-key) and LIMIT to a result table.
@@ -806,6 +1122,177 @@ mod tests {
         assert!(e
             .execute("EXPLAIN SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes")
             .is_err());
+    }
+
+    #[test]
+    fn execute_script_matches_individual_statements() {
+        let g = fixture();
+        let e = engine(&g);
+        let script = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes; \
+                      SELECT ID, COUNTP(node1, SUBGRAPH(ID, 2)) FROM nodes WHERE age >= 40; \
+                      EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes;";
+        let tables = e.execute_script(script).unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(
+            tables[0],
+            e.execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes")
+                .unwrap()
+        );
+        assert_eq!(
+            tables[1],
+            e.execute("SELECT ID, COUNTP(node1, SUBGRAPH(ID, 2)) FROM nodes WHERE age >= 40")
+                .unwrap()
+        );
+        assert_eq!(
+            tables[2],
+            e.execute("EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes")
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn execute_script_propagates_errors() {
+        let g = fixture();
+        let e = engine(&g);
+        assert!(e
+            .execute_script(
+                "SELECT ID FROM nodes; SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes"
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn census_cache_reuses_counts_and_matches() {
+        use crate::census_cache::CensusCache;
+        let g = fixture();
+        let mut e = engine(&g);
+        let cache = Arc::new(CensusCache::new(16));
+        e.set_census_cache(cache.clone());
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        let first = e.execute(sql).unwrap();
+        let s1 = cache.stats();
+        assert_eq!(s1.count_hits, 0);
+        assert_eq!(s1.count_entries, 1);
+        assert_eq!(s1.match_entries, 1);
+        // Same statement again: finished counts served from cache.
+        let second = e.execute(sql).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.stats().count_hits, 1);
+        // Different radius, same pattern: count miss but match-list hit.
+        e.execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
+            .unwrap();
+        let s3 = cache.stats();
+        assert_eq!(s3.match_hits, 1);
+        assert_eq!(s3.count_entries, 2);
+        // Cached results are bit-identical to an uncached engine's.
+        let plain = engine(&g);
+        assert_eq!(second, plain.execute(sql).unwrap());
+    }
+
+    #[test]
+    fn census_cache_respects_where_focal_sets() {
+        use crate::census_cache::CensusCache;
+        let g = fixture();
+        let mut e = engine(&g);
+        e.set_census_cache(Arc::new(CensusCache::new(16)));
+        let all = e
+            .execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes")
+            .unwrap();
+        // Different focal set must NOT hit the cached full-graph counts.
+        let filtered = e
+            .execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE age < 30")
+            .unwrap();
+        assert_eq!(filtered.num_rows(), 3);
+        assert_eq!(all.rows()[2][1], filtered.rows()[2][1]);
+    }
+
+    #[test]
+    fn explain_shows_batch_plan_for_multi_agg() {
+        let g = fixture();
+        let e = engine(&g);
+        let t = e
+            .execute(
+                "EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)), \
+                 COUNTP(node1, SUBGRAPH(ID, 1)) FROM nodes",
+            )
+            .unwrap();
+        // 2 aggregate rows + at least one batch-stage row.
+        assert!(t.num_rows() >= 3, "rows: {}", t.num_rows());
+        let stage_rows: Vec<&Vec<Value>> = t
+            .rows()
+            .iter()
+            .filter(|r| r[0].to_string().starts_with("batch:"))
+            .collect();
+        assert!(!stage_rows.is_empty());
+        // Default Auto without cached matches is planned as ND: one
+        // shared sweep at the max radius covering both patterns.
+        assert_eq!(stage_rows[0][0], Value::Str("batch:nd-sweep".into()));
+        assert!(stage_rows[0][1].to_string().contains("tri"));
+        assert!(stage_rows[0][1].to_string().contains("node1"));
+        assert!(stage_rows[0][3].to_string().contains("k=2"));
+    }
+
+    #[test]
+    fn explain_shows_cache_reuse_when_cache_attached() {
+        use crate::census_cache::CensusCache;
+        let g = fixture();
+        let mut e = engine(&g);
+        e.set_census_cache(Arc::new(CensusCache::new(16)));
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        let before = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let cold: Vec<String> = before
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::Str("cache:census".into()))
+            .map(|r| r[4].to_string())
+            .collect();
+        assert_eq!(cold, vec!["matches=miss counts=miss"]);
+        e.execute(sql).unwrap();
+        let after = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let warm: Vec<String> = after
+            .rows()
+            .iter()
+            .filter(|r| r[0] == Value::Str("cache:census".into()))
+            .map(|r| r[4].to_string())
+            .collect();
+        assert_eq!(warm, vec!["matches=hit counts=hit"]);
+    }
+
+    #[test]
+    fn split_statements_respects_quotes() {
+        let parts =
+            split_statements("SELECT ID FROM nodes WHERE name = 'a;b'; SELECT ID FROM nodes;");
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].contains("'a;b'"));
+    }
+
+    #[test]
+    fn multi_agg_batch_matches_sequential_for_all_algorithms() {
+        let g = fixture();
+        let mut e = engine(&g);
+        let multi = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)), COUNTP(node1, SUBGRAPH(ID, 1)) \
+                     FROM nodes";
+        for algo in [
+            Algorithm::NdBaseline,
+            Algorithm::NdPivot,
+            Algorithm::NdDiff,
+            Algorithm::PtBaseline,
+            Algorithm::PtOpt,
+            Algorithm::Auto,
+        ] {
+            e.set_algorithm(algo);
+            let batched = e.execute(multi).unwrap();
+            let a = e
+                .execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
+                .unwrap();
+            let b = e
+                .execute("SELECT ID, COUNTP(node1, SUBGRAPH(ID, 1)) FROM nodes")
+                .unwrap();
+            for (i, row) in batched.rows().iter().enumerate() {
+                assert_eq!(row[1], a.rows()[i][1], "{algo:?}");
+                assert_eq!(row[2], b.rows()[i][1], "{algo:?}");
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod ast;
 pub mod canon;
 pub mod catalog;
+pub mod census_cache;
 pub mod error;
 pub mod executor;
 pub mod expr;
@@ -51,6 +52,7 @@ pub mod value;
 
 pub use canon::canonical_query_key;
 pub use catalog::Catalog;
+pub use census_cache::{CensusCache, CensusCacheStats};
 pub use error::QueryError;
 pub use executor::QueryEngine;
 pub use table::Table;

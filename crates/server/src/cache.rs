@@ -111,15 +111,18 @@ impl QueryCache {
     /// fits. Values larger than the whole budget are not cached.
     pub fn insert(&self, key: String, value: String) {
         let cost = key.len() + value.len() + ENTRY_OVERHEAD;
-        if cost > self.capacity {
-            return;
-        }
         let mut state = self.state.lock().unwrap();
         // Replace any previous entry under this key (e.g. two sessions
-        // raced on the same miss) so byte accounting stays exact.
+        // raced on the same miss) so byte accounting stays exact. This
+        // must happen before the oversized check below: even when the
+        // new value cannot be cached, the stale one must not survive to
+        // be served in its place.
         if let Some(old) = state.map.remove(&key) {
             state.recency.remove(&old.stamp);
             state.bytes -= key.len() + old.value.len() + ENTRY_OVERHEAD;
+        }
+        if cost > self.capacity {
+            return;
         }
         let mut evicted = 0u64;
         while state.bytes + cost > self.capacity {
@@ -227,6 +230,21 @@ mod tests {
         // Smaller values still cache.
         c.insert("k".into(), "x".into());
         assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn oversized_reinsert_evicts_stale_entry() {
+        // Regression: an oversized insert under an existing key used to
+        // early-return before removing the old entry, leaving a stale
+        // value resident (and served on the next get).
+        let c = QueryCache::new(128);
+        c.insert("k".into(), "old".into());
+        assert_eq!(c.get("k").as_deref(), Some("old"));
+        c.insert("k".into(), "x".repeat(500));
+        assert_eq!(c.get("k"), None, "stale value must not be served");
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
     }
 
     #[test]

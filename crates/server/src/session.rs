@@ -10,9 +10,16 @@
 use crate::cache::{CacheStats, QueryCache};
 use crate::protocol::{Request, Response};
 use ego_graph::Graph;
-use ego_query::{canonical_query_key, Catalog, QueryEngine, Table, Value};
+use ego_query::{canonical_query_key, Catalog, CensusCache, QueryEngine, Table, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Entries held per side (match lists / count vectors) of the shared
+/// [`CensusCache`]. Entry-count budgeted, unlike the byte-budgeted
+/// result cache: values are `Arc`-shared intermediates whose byte size
+/// the executor shouldn't have to estimate. Disabled together with the
+/// result cache (`--cache-mb 0`).
+const CENSUS_CACHE_ENTRIES: usize = 256;
 
 /// Whole-server counters (beyond the cache's own).
 #[derive(Debug, Default)]
@@ -39,6 +46,11 @@ pub struct Shared {
     pub base_catalog: Arc<Catalog>,
     /// The pattern-keyed result cache.
     pub cache: Arc<QueryCache>,
+    /// The census intermediate cache (match lists + count vectors),
+    /// shared by every session's engine: different statements over the
+    /// same patterns share traversal work even when the whole-result
+    /// cache misses.
+    pub census: Arc<CensusCache>,
     /// Server counters.
     pub stats: Arc<ServerStats>,
     /// Set to stop the accept loop and drain workers.
@@ -65,6 +77,11 @@ impl Shared {
             graph,
             base_catalog,
             cache: Arc::new(QueryCache::new(cache_capacity_bytes)),
+            census: Arc::new(CensusCache::new(if cache_capacity_bytes == 0 {
+                0
+            } else {
+                CENSUS_CACHE_ENTRIES
+            })),
             stats: Arc::new(ServerStats::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
             exec_threads,
@@ -92,6 +109,7 @@ impl Session {
         engine.set_catalog(Catalog::layered(shared.base_catalog.clone()));
         engine.set_threads(shared.exec_threads);
         engine.set_seed(shared.seed);
+        engine.set_census_cache(shared.census.clone());
         Session {
             shared: shared.clone(),
             engine,
@@ -179,6 +197,7 @@ impl Session {
 
     fn handle_stats(&self) -> String {
         let cache = self.shared.cache.stats();
+        let census = self.shared.census.stats();
         let stats = &self.shared.stats;
         let mut t = Table::new(vec!["stat".into(), "value".into()]);
         let rows: &[(&str, u64)] = &[
@@ -189,6 +208,12 @@ impl Session {
             ("cache_hits", cache.hits),
             ("cache_insertions", cache.insertions),
             ("cache_misses", cache.misses),
+            ("census_count_entries", census.count_entries as u64),
+            ("census_count_hits", census.count_hits),
+            ("census_count_misses", census.count_misses),
+            ("census_match_entries", census.match_entries as u64),
+            ("census_match_hits", census.match_hits),
+            ("census_match_misses", census.match_misses),
             ("connections", stats.connections.load(Ordering::Relaxed)),
             (
                 "patterns_defined",
@@ -353,6 +378,29 @@ mod tests {
         assert!(Response::decode(&s.handle_line(bad)).unwrap().is_error());
         assert!(Response::decode(&s.handle_line(bad)).unwrap().is_error());
         assert_eq!(sh.cache_stats().insertions, 0);
+    }
+
+    #[test]
+    fn distinct_statements_share_census_work() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        // Two different statements (different radii -> result-cache
+        // misses for both) over the same pattern: the second reuses the
+        // first's global match list through the census cache.
+        let q1 =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let q2 =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 2)) FROM nodes"}"#;
+        assert!(!Response::decode(&s.handle_line(q1)).unwrap().is_error());
+        assert!(!Response::decode(&s.handle_line(q2)).unwrap().is_error());
+        assert_eq!(sh.cache_stats().hits, 0, "different statements");
+        let census = sh.census.stats();
+        assert_eq!(census.match_hits, 1, "match list reused across statements");
+        assert_eq!(census.count_entries, 2);
+        // The counters surface through the stats op, sorted by name.
+        let t = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(t.stat("census_match_hits"), Some(1));
+        assert_eq!(t.stat("census_count_entries"), Some(2));
     }
 
     #[test]

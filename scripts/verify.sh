@@ -14,7 +14,7 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
-echo "==> server smoke test (ephemeral port, one query, clean shutdown)"
+echo "==> batch smoke test (multi-COUNTP statement == two single-agg runs)"
 tmpdir=$(mktemp -d)
 serve_pid=""
 cleanup() {
@@ -24,6 +24,22 @@ cleanup() {
 trap cleanup EXIT
 ./target/release/egocensus generate --model ba --nodes 300 --param 3 --seed 7 \
   -o "$tmpdir/g.txt" >/dev/null
+# Headers quote the agg expressions (they contain commas), so compare
+# data rows only.
+./target/release/egocensus query "$tmpdir/g.txt" --csv \
+  'SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)), COUNTP(single_edge, SUBGRAPH(ID, 2)) FROM nodes' \
+  | tail -n +2 >"$tmpdir/batched.csv"
+./target/release/egocensus query "$tmpdir/g.txt" --csv \
+  'SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes' | tail -n +2 >"$tmpdir/agg1.csv"
+./target/release/egocensus query "$tmpdir/g.txt" --csv \
+  'SELECT ID, COUNTP(single_edge, SUBGRAPH(ID, 2)) FROM nodes' | tail -n +2 >"$tmpdir/agg2.csv"
+cut -d, -f1,2 "$tmpdir/batched.csv" | diff - "$tmpdir/agg1.csv" \
+  || { echo "FAIL: batched agg 1 diverges from its single-agg run"; exit 1; }
+cut -d, -f1,3 "$tmpdir/batched.csv" | diff - "$tmpdir/agg2.csv" \
+  || { echo "FAIL: batched agg 2 diverges from its single-agg run"; exit 1; }
+echo "    batched counts match single-agg runs column for column"
+
+echo "==> server smoke test (ephemeral port, one query, clean shutdown)"
 ./target/release/egocensus serve "$tmpdir/g.txt" --addr 127.0.0.1:0 \
   --threads 2 --cache-mb 8 >"$tmpdir/serve.log" &
 serve_pid=$!
