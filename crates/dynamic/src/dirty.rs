@@ -1,0 +1,169 @@
+//! The dirty focal set: which nodes can see a delta.
+//!
+//! A focal node `n`'s census count over `SUBGRAPH(n, k)` can only change
+//! if its `k`-hop neighborhood contains a touched endpoint of the delta
+//! batch. Neighborhoods traverse the undirected view, so "n can see
+//! endpoint e" is symmetric — the reverse bounded-BFS from the endpoints
+//! the ISSUE asks for *is* a forward bounded-BFS from the endpoints.
+//!
+//! Which graph to run it on: a node affected by a *deletion* is within
+//! `k` of the deleted edge's endpoints in the **old** graph; a node
+//! affected by an *insertion* is within `k` of the inserted edge's
+//! endpoints in the **new** graph. Both are subgraphs of the *union*
+//! graph (base edges plus added edges, removals ignored), so one BFS over
+//! the union view covers every case conservatively — a superset of the
+//! truly-affected nodes is always safe, it merely re-censuses a few clean
+//! nodes.
+
+use crate::delta::DeltaGraph;
+use ego_graph::{FastHashMap, NodeId};
+use std::collections::VecDeque;
+
+/// Distances from the touched delta endpoints, bounded at `k_max`,
+/// computed once per delta batch and queried per spec radius.
+#[derive(Clone, Debug)]
+pub struct DirtyIndex {
+    /// Discovered nodes in nondecreasing distance order (BFS order).
+    order: Vec<NodeId>,
+    /// Distance per node; `u32::MAX` means farther than `k_max`.
+    dist: Vec<u32>,
+    k_max: u32,
+}
+
+impl DirtyIndex {
+    /// Multi-source bounded BFS from `delta.touched_endpoints()` at radius
+    /// `k_max` over the union of base and added edges.
+    pub fn build(delta: &DeltaGraph, k_max: u32) -> Self {
+        let base = delta.base();
+        let n = base.num_nodes();
+        // Adjacency the CSR does not know about: the added edges, viewed
+        // undirected (unioned on top of base.neighbors during the scan).
+        let mut extra: FastHashMap<u32, Vec<NodeId>> = FastHashMap::default();
+        for (a, b) in delta.added() {
+            extra.entry(a.0).or_default().push(b);
+            extra.entry(b.0).or_default().push(a);
+        }
+
+        let mut dist = vec![u32::MAX; n];
+        let mut order = Vec::new();
+        let mut queue = VecDeque::new();
+        for s in delta.touched_endpoints() {
+            dist[s.index()] = 0;
+            order.push(s);
+            queue.push_back(s);
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            if du == k_max {
+                continue;
+            }
+            let extras = extra.get(&u.0).map(Vec::as_slice).unwrap_or(&[]);
+            for &v in base.neighbors(u).iter().chain(extras) {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = du + 1;
+                    order.push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        DirtyIndex { order, dist, k_max }
+    }
+
+    /// The radius this index was built for.
+    pub fn k_max(&self) -> u32 {
+        self.k_max
+    }
+
+    /// Is `n` within `k` of a touched endpoint? `k` must be `<= k_max`.
+    #[inline]
+    pub fn is_dirty(&self, n: NodeId, k: u32) -> bool {
+        debug_assert!(k <= self.k_max);
+        self.dist[n.index()] <= k
+    }
+
+    /// All nodes within `k` of a touched endpoint, as a prefix of the
+    /// BFS discovery order (nondecreasing distance). `k` must be
+    /// `<= k_max`.
+    pub fn within(&self, k: u32) -> &[NodeId] {
+        debug_assert!(k <= self.k_max);
+        let p = self.order.partition_point(|n| self.dist[n.index()] <= k);
+        &self.order[..p]
+    }
+}
+
+/// The dirty focal set at radius `k`, sorted by node id: exactly the
+/// nodes whose `k`-hop neighborhood can see a touched delta endpoint.
+pub fn dirty_focal_nodes(delta: &DeltaGraph, k: u32) -> Vec<NodeId> {
+    let mut v = DirtyIndex::build(delta, k).within(k).to_vec();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ego_graph::{GraphBuilder, Label, NodeId};
+    use std::sync::Arc;
+
+    /// A path 0-1-2-...-9.
+    fn path10() -> Arc<ego_graph::Graph> {
+        let mut b = GraphBuilder::undirected();
+        for _ in 0..10 {
+            b.add_node(Label(0));
+        }
+        for i in 0..9u32 {
+            b.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn deletion_dirty_set_is_a_ball_around_the_edge() {
+        let g = path10();
+        let mut d = DeltaGraph::new(g);
+        d.delete_edge(NodeId(4), NodeId(5)).unwrap();
+        // k=1: endpoints plus their base neighbors.
+        assert_eq!(dirty_focal_nodes(&d, 1), [3, 4, 5, 6].map(NodeId).to_vec());
+        // k=2 widens by one hop each way. Note the BFS runs over the
+        // union view, so 4 and 5 still see each other's side.
+        assert_eq!(
+            dirty_focal_nodes(&d, 2),
+            [2, 3, 4, 5, 6, 7].map(NodeId).to_vec()
+        );
+        assert_eq!(dirty_focal_nodes(&d, 0), [4, 5].map(NodeId).to_vec());
+    }
+
+    #[test]
+    fn insertion_dirty_set_uses_the_added_edge() {
+        let g = path10();
+        let mut d = DeltaGraph::new(g);
+        d.insert_edge(NodeId(0), NodeId(9)).unwrap();
+        // k=1 from {0, 9} over the union: 0,1,9,8 — and each endpoint is
+        // now one hop from the other via the new edge (already a source).
+        assert_eq!(dirty_focal_nodes(&d, 1), [0, 1, 8, 9].map(NodeId).to_vec());
+    }
+
+    #[test]
+    fn within_prefixes_are_nested_per_radius() {
+        let g = path10();
+        let mut d = DeltaGraph::new(g);
+        d.delete_edge(NodeId(0), NodeId(1)).unwrap();
+        d.insert_edge(NodeId(7), NodeId(9)).unwrap();
+        let idx = DirtyIndex::build(&d, 3);
+        for k in 0..3u32 {
+            let small: Vec<_> = idx.within(k).to_vec();
+            let big = idx.within(k + 1);
+            assert!(small.iter().all(|n| big.contains(n)), "k={k}");
+            for &n in &small {
+                assert!(idx.is_dirty(n, k));
+            }
+        }
+    }
+
+    #[test]
+    fn clean_delta_has_empty_dirty_set() {
+        let g = path10();
+        let d = DeltaGraph::new(g);
+        assert!(dirty_focal_nodes(&d, 3).is_empty());
+    }
+}

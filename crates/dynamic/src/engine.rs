@@ -1,0 +1,382 @@
+//! Incremental census: re-census the dirty focal set, splice the rest.
+
+use crate::delta::DeltaGraph;
+use crate::dirty::DirtyIndex;
+use ego_census::{
+    run_batch_exec, Algorithm, CensusError, CensusSpec, CountVector, ExecConfig, FocalNodes,
+    PtConfig,
+};
+use ego_graph::{Graph, NodeId};
+
+/// What an incremental update had to do.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Touched delta endpoints seeding the dirty BFS.
+    pub touched_endpoints: usize,
+    /// Focal nodes re-censused (summed over specs).
+    pub dirty_focal: usize,
+    /// Focal nodes whose previous count was spliced through unchanged
+    /// (summed over specs).
+    pub clean_focal: usize,
+}
+
+/// Result of an incremental update: the compacted graph, the refreshed
+/// per-spec counts, and how much work was avoided.
+#[derive(Clone, Debug)]
+pub struct IncrementalUpdate {
+    /// The base graph with the delta batch applied, frozen back to CSR.
+    pub graph: Graph,
+    /// Per-spec counts, bit-identical to a full recompute on `graph`.
+    pub counts: Vec<CountVector>,
+    /// Work accounting.
+    pub stats: UpdateStats,
+}
+
+/// Incrementally maintain a batch of census results under an edge-delta
+/// batch.
+///
+/// `previous[i]` must be the counts of `specs[i]` on `delta.base()` (same
+/// pattern, radius, and focal set). The delta is compacted into a new
+/// graph, the dirty focal set is derived by one bounded BFS at the
+/// largest spec radius, and only dirty focal nodes are re-censused —
+/// through the ordinary [`run_batch_exec`] path, so every algorithm
+/// family and thread count yields counts bit-identical to a full
+/// recompute. Counts for clean focal nodes are spliced from `previous`.
+///
+/// A plain `COUNTP` count for focal node `n` at radius `k` depends only
+/// on `S(n, k)`, the subgraph induced by nodes within `k` of `n`. If no
+/// touched endpoint is within `k` of `n` (in old or new graph — the
+/// dirty BFS union view covers both), `S(n, k)` is unchanged, hence so
+/// is the count. `COUNTSP` counts are *not* that local: the pattern
+/// match is global and only the subpattern image must land in
+/// `S(n, k)`, so a changed match can affect focal nodes up to the
+/// pattern diameter further out. Its dirty radius is therefore widened
+/// to `k + (|V(p)| - 1)` (every changed match contains a touched
+/// endpoint, and — for a connected pattern — its image nodes lie within
+/// `|V(p)| - 1` union-graph hops of it); a disconnected pattern has no
+/// such bound, so every focal node of that spec goes dirty. Global
+/// match lists *are* recomputed on the new graph (they are cheap
+/// relative to per-focal work, and stale ones would be unsound); the
+/// savings are the per-focal neighborhood sweeps, which dominate.
+pub fn update_batch_exec(
+    delta: &DeltaGraph,
+    specs: &[CensusSpec<'_>],
+    previous: &[CountVector],
+    algorithm: Algorithm,
+    config: &PtConfig,
+    exec: &ExecConfig,
+) -> Result<IncrementalUpdate, CensusError> {
+    assert_eq!(
+        specs.len(),
+        previous.len(),
+        "one previous CountVector per spec"
+    );
+    let graph = delta.compact();
+    for (spec, prev) in specs.iter().zip(previous) {
+        spec.validate(&graph)?;
+        assert_eq!(
+            prev.len(),
+            graph.num_nodes(),
+            "previous counts cover a different node set"
+        );
+    }
+
+    let radii: Vec<Option<u32>> = specs.iter().map(dirty_radius).collect();
+    let k_max = radii.iter().flatten().copied().max().unwrap_or(0);
+    let index = DirtyIndex::build(delta, k_max);
+
+    // Per-spec dirty focal sets: focal ∩ within(dirty radius).
+    let mut stats = UpdateStats {
+        touched_endpoints: delta.touched_endpoints().len(),
+        ..UpdateStats::default()
+    };
+    let mut dirty_sets: Vec<Vec<NodeId>> = Vec::with_capacity(specs.len());
+    let mut restricted: Vec<CensusSpec<'_>> = Vec::with_capacity(specs.len());
+    for (spec, radius) in specs.iter().zip(&radii) {
+        let focal = spec.focal().nodes(&graph);
+        let dirty: Vec<NodeId> = focal
+            .iter()
+            .copied()
+            .filter(|&n| match radius {
+                Some(r) => index.is_dirty(n, *r),
+                None => true,
+            })
+            .collect();
+        stats.dirty_focal += dirty.len();
+        stats.clean_focal += focal.len() - dirty.len();
+        let mut r =
+            CensusSpec::single(spec.pattern(), spec.k()).with_focal(FocalNodes::Set(dirty.clone()));
+        if let Some(sp) = spec.subpattern_name() {
+            r = r.with_subpattern(sp);
+        }
+        dirty_sets.push(dirty);
+        restricted.push(r);
+    }
+
+    // Re-census the dirty nodes only. With an all-clean batch there is
+    // nothing to run (and no match lists worth computing).
+    let fresh = if stats.dirty_focal == 0 {
+        None
+    } else {
+        let provided = vec![None; restricted.len()];
+        Some(run_batch_exec(
+            &graph,
+            &restricted,
+            algorithm,
+            config,
+            exec,
+            &provided,
+        )?)
+    };
+
+    // Splice: dirty nodes take the fresh count, clean focal nodes keep
+    // their previous one. The focal mask matches a full recompute's.
+    let mut counts = Vec::with_capacity(specs.len());
+    for (i, spec) in specs.iter().enumerate() {
+        let mask = spec.focal().mask(&graph);
+        let mut dirty_mask = vec![false; graph.num_nodes()];
+        for &n in &dirty_sets[i] {
+            dirty_mask[n.index()] = true;
+        }
+        let mut cv = CountVector::new(graph.num_nodes(), mask);
+        for n in graph.node_ids() {
+            if !cv.is_focal(n) {
+                continue;
+            }
+            let v = if dirty_mask[n.index()] {
+                fresh
+                    .as_ref()
+                    .expect("dirty nodes imply a fresh run")
+                    .counts[i]
+                    .get(n)
+            } else {
+                previous[i].get(n)
+            };
+            cv.set(n, v);
+        }
+        counts.push(cv);
+    }
+
+    Ok(IncrementalUpdate {
+        graph,
+        counts,
+        stats,
+    })
+}
+
+/// How far (in union-graph hops from a touched endpoint) a spec's count
+/// can be perturbed: `k` for plain `COUNTP`, `k + (|V(p)| - 1)` for
+/// `COUNTSP` over a connected pattern, unbounded (`None` — every focal
+/// node is dirty) for `COUNTSP` over a disconnected pattern.
+fn dirty_radius(spec: &CensusSpec<'_>) -> Option<u32> {
+    if spec.subpattern_name().is_none() {
+        return Some(spec.k());
+    }
+    let p = spec.pattern();
+    if !p.is_connected() {
+        return None;
+    }
+    Some(spec.k() + (p.num_nodes() as u32).saturating_sub(1))
+}
+
+/// Single-spec convenience wrapper around [`update_batch_exec`].
+pub fn update_census_exec(
+    delta: &DeltaGraph,
+    spec: &CensusSpec<'_>,
+    previous: &CountVector,
+    algorithm: Algorithm,
+    config: &PtConfig,
+    exec: &ExecConfig,
+) -> Result<IncrementalUpdate, CensusError> {
+    update_batch_exec(
+        delta,
+        std::slice::from_ref(spec),
+        std::slice::from_ref(previous),
+        algorithm,
+        config,
+        exec,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ego_census::run_census_exec;
+    use ego_graph::{GraphBuilder, Label, NodeId};
+    use ego_pattern::Pattern;
+    use std::sync::Arc;
+
+    fn ring(n: u32) -> Arc<Graph> {
+        let mut b = GraphBuilder::undirected();
+        for _ in 0..n {
+            b.add_node(Label(0));
+        }
+        for i in 0..n {
+            b.add_edge(NodeId(i), NodeId((i + 1) % n));
+        }
+        Arc::new(b.build())
+    }
+
+    #[test]
+    fn localized_delta_dirties_a_strict_subset_and_counts_match_full() {
+        let g = ring(64);
+        let mut d = DeltaGraph::new(g.clone());
+        // One chord far from most of the ring.
+        d.insert_edge(NodeId(0), NodeId(2)).unwrap();
+
+        let p = Pattern::parse("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let spec = CensusSpec::single(&p, 1);
+        let prev = run_census_exec(
+            &g,
+            &spec,
+            Algorithm::NdPivot,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+
+        let up = update_census_exec(
+            &d,
+            &spec,
+            &prev,
+            Algorithm::NdPivot,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+
+        assert!(up.stats.dirty_focal > 0);
+        assert!(
+            up.stats.dirty_focal < g.num_nodes(),
+            "localized delta must not dirty every node"
+        );
+        let full = run_census_exec(
+            &up.graph,
+            &spec,
+            Algorithm::NdPivot,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(up.counts[0], full);
+        // The chord creates exactly one triangle 0-1-2.
+        assert_eq!(up.counts[0].get(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn countsp_dirty_radius_extends_beyond_k() {
+        // Regression: COUNTSP matches are global — only the subpattern
+        // image must land in S(n, k) — so the chord 0-2 (creating
+        // triangle 0-1-2) changes node 1's k=0 count even though node 1
+        // is 1 > k hops from both touched endpoints. The dirty radius
+        // must be widened by the pattern diameter bound.
+        let g = ring(16);
+        let mut d = DeltaGraph::new(g.clone());
+        d.insert_edge(NodeId(0), NodeId(2)).unwrap();
+
+        let p =
+            Pattern::parse("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN one {?A;} }").unwrap();
+        let spec = CensusSpec::single(&p, 0).with_subpattern("one");
+        let prev = run_census_exec(
+            &g,
+            &spec,
+            Algorithm::NdPivot,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(prev.get(NodeId(1)), 0);
+        let up = update_census_exec(
+            &d,
+            &spec,
+            &prev,
+            Algorithm::NdPivot,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        let full = run_census_exec(
+            &up.graph,
+            &spec,
+            Algorithm::NdPivot,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(up.counts[0], full);
+        assert!(up.counts[0].get(NodeId(1)) > 0);
+        // Still a strict subset of the ring.
+        assert!(up.stats.dirty_focal < g.num_nodes());
+    }
+
+    #[test]
+    fn clean_delta_is_a_cheap_no_op() {
+        let g = ring(16);
+        let mut d = DeltaGraph::new(g.clone());
+        d.insert_edge(NodeId(0), NodeId(2)).unwrap();
+        d.delete_edge(NodeId(0), NodeId(2)).unwrap();
+
+        let p = Pattern::parse("PATTERN e { ?A-?B; }").unwrap();
+        let spec = CensusSpec::single(&p, 2);
+        let prev = run_census_exec(
+            &g,
+            &spec,
+            Algorithm::PtBaseline,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        let up = update_census_exec(
+            &d,
+            &spec,
+            &prev,
+            Algorithm::PtBaseline,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(up.stats.dirty_focal, 0);
+        assert_eq!(up.stats.clean_focal, 16);
+        assert_eq!(up.counts[0], prev);
+        assert_eq!(up.graph.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn explicit_focal_sets_are_respected() {
+        let g = ring(32);
+        let mut d = DeltaGraph::new(g.clone());
+        d.insert_edge(NodeId(4), NodeId(6)).unwrap();
+
+        let p = Pattern::parse("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+        let focal: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let spec = CensusSpec::single(&p, 1).with_focal(FocalNodes::Set(focal));
+        let prev = run_census_exec(
+            &g,
+            &spec,
+            Algorithm::PtOpt,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        let up = update_census_exec(
+            &d,
+            &spec,
+            &prev,
+            Algorithm::PtOpt,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        let full = run_census_exec(
+            &up.graph,
+            &spec,
+            Algorithm::PtOpt,
+            &PtConfig::default(),
+            &ExecConfig::sequential(),
+        )
+        .unwrap();
+        assert_eq!(up.counts[0], full);
+        // Only focal nodes near the chord were re-censused.
+        assert!(up.stats.dirty_focal <= 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! Incremental census over mutable graphs.
+//!
+//! The paper's census engine ([`ego_census`]) evaluates over an immutable
+//! CSR [`ego_graph::Graph`]. This crate makes the census *maintainable*
+//! under edge insertions and deletions instead of rebuilt from scratch:
+//!
+//! * [`DeltaGraph`] — a mutable overlay over a frozen base graph. Edge
+//!   inserts and deletes accumulate in canonical delta sets (an insert
+//!   cancels a pending delete of the same edge and vice versa), neighbor
+//!   iteration preserves the base graph's sorted-by-id contract, and
+//!   [`DeltaGraph::fingerprint`] is mutation-aware so every existing
+//!   fingerprint-keyed cache entry stays sound. [`DeltaGraph::compact`]
+//!   freezes the overlay back into a plain CSR `Graph`.
+//! * [`DirtyIndex`] / [`dirty_focal_nodes`] — the *dirty focal set*:
+//!   exactly the nodes whose `k`-hop neighborhood can see a touched delta
+//!   endpoint, found by a multi-source bounded BFS from the endpoints at
+//!   radius `k` over the union of the base and added edges (neighborhoods
+//!   are symmetric, so the reverse bounded-BFS is the same BFS).
+//! * [`update_census_exec`] / [`update_batch_exec`] — re-census *only*
+//!   the dirty focal nodes on the compacted graph via the existing
+//!   [`ego_census::run_batch_exec`] path, then splice the refreshed
+//!   counts into the previous [`ego_census::CountVector`]s. Results are
+//!   bit-identical to a full recompute for every algorithm family
+//!   (enforced by `tests/incremental_equivalence.rs`).
+
+pub mod delta;
+pub mod dirty;
+pub mod engine;
+
+pub use delta::{DeltaError, DeltaGraph};
+pub use dirty::{dirty_focal_nodes, DirtyIndex};
+pub use engine::{update_batch_exec, update_census_exec, IncrementalUpdate, UpdateStats};

@@ -199,6 +199,16 @@ impl EdgeAttrStore {
         self.columns.keys().map(String::as_str)
     }
 
+    /// Drop every entry whose `(source, target)` key fails `keep`, then
+    /// drop emptied columns. Used by the builder to discard attributes of
+    /// edges that never made it into the graph (self-loops, orphans).
+    pub(crate) fn retain_edges(&mut self, mut keep: impl FnMut(u32, u32) -> bool) {
+        self.columns.retain(|_, col| {
+            col.retain(|&(a, b), _| keep(a, b));
+            !col.is_empty()
+        });
+    }
+
     /// All `((source, target), value)` entries of one attribute column,
     /// in hash-map (unspecified) order. Keys are normalized as stored.
     pub fn column(&self, name: &str) -> impl Iterator<Item = ((u32, u32), &AttrValue)> {

@@ -128,6 +128,17 @@ impl GraphBuilder {
         und_pairs.sort_unstable();
         und_pairs.dedup();
 
+        // Drop attributes of edges that did not survive (self-loops,
+        // duplicates collapse to one surviving key, never-added edges).
+        // Store keys are normalized exactly like `edges`, so a sorted
+        // membership test suffices.
+        let mut edge_attrs = self
+            .edge_attrs
+            .unwrap_or_else(|| EdgeAttrStore::new(self.directed));
+        if !edge_attrs.is_empty() {
+            edge_attrs.retain_edges(|a, b| edges.binary_search(&(NodeId(a), NodeId(b))).is_ok());
+        }
+
         let (und_offsets, und_targets) = csr_from_symmetric(n, &und_pairs);
 
         let (out_offsets, out_targets, in_offsets, in_targets) = if self.directed {
@@ -138,7 +149,7 @@ impl GraphBuilder {
             (Vec::new(), Vec::new(), Vec::new(), Vec::new())
         };
 
-        Graph {
+        let mut g = Graph {
             directed: self.directed,
             labels: self.labels,
             num_labels,
@@ -150,10 +161,11 @@ impl GraphBuilder {
             in_targets,
             num_edges,
             node_attrs: self.node_attrs,
-            edge_attrs: self
-                .edge_attrs
-                .unwrap_or_else(|| EdgeAttrStore::new(self.directed)),
-        }
+            edge_attrs,
+            fingerprint: 0,
+        };
+        g.fingerprint = g.compute_fingerprint();
+        g
     }
 }
 
@@ -285,6 +297,56 @@ mod tests {
         let g = b.build();
         assert_eq!(g.node_attr(n0, "org"), Some(&AttrValue::Str("acme".into())));
         assert_eq!(g.edge_attr(n1, n0, "since"), Some(&AttrValue::Int(2001)));
+    }
+
+    #[test]
+    fn build_drops_orphaned_edge_attrs() {
+        // Attrs on a self-loop and on a never-added edge must not survive
+        // build; the duplicate-edge attr keys collapse to the surviving
+        // normalized key and stay.
+        let mut b = GraphBuilder::undirected();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        let n2 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.add_edge(n0, n0); // self loop, dropped at build
+        b.set_edge_attr(n0, n0, "w", 1i64); // orphaned by the self-loop drop
+        b.set_edge_attr(n1, n2, "w", 2i64); // edge (1,2) never added
+        b.set_edge_attr(n1, n0, "w", 3i64); // normalized to surviving (0,1)
+        let g = b.build();
+        assert_eq!(g.edge_attr(n0, n0, "w"), None);
+        assert_eq!(g.edge_attr(n1, n2, "w"), None);
+        assert_eq!(g.edge_attr(n0, n1, "w"), Some(&AttrValue::Int(3)));
+
+        // A column that becomes entirely orphaned disappears.
+        let mut b = GraphBuilder::undirected();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        b.set_edge_attr(n0, n0, "ghost", true);
+        let g = b.build();
+        assert!(g.edge_attrs().is_empty());
+        assert_eq!(g.edge_attrs().attribute_names().count(), 0);
+    }
+
+    #[test]
+    fn orphaned_edge_attrs_do_not_perturb_fingerprint() {
+        let clean = {
+            let mut b = GraphBuilder::undirected();
+            let n0 = b.add_node(Label(0));
+            let n1 = b.add_node(Label(0));
+            b.add_edge(n0, n1);
+            b.build()
+        };
+        let with_orphans = {
+            let mut b = GraphBuilder::undirected();
+            let n0 = b.add_node(Label(0));
+            let n1 = b.add_node(Label(0));
+            b.add_edge(n0, n1);
+            b.set_edge_attr(n0, n0, "w", 9i64);
+            b.build()
+        };
+        assert_eq!(clean.fingerprint(), with_orphans.fingerprint());
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct Graph {
 
     pub(crate) node_attrs: AttrStore,
     pub(crate) edge_attrs: EdgeAttrStore,
+
+    /// Structural fingerprint, memoized at build time (see
+    /// [`Graph::fingerprint`]).
+    pub(crate) fingerprint: u64,
 }
 
 impl Graph {
@@ -196,9 +200,17 @@ impl Graph {
     /// fingerprint differently (modulo hash collisions); the same graph
     /// always fingerprints identically. Used to key caches of census
     /// results so a cache entry can never outlive the graph it was
-    /// computed on. Costs one pass over the edge arrays — compute once
-    /// per loaded graph, not per query.
+    /// computed on. Memoized at [`crate::GraphBuilder::build`] time, so
+    /// this is a plain field read — cheap enough to sit on the hot path
+    /// of every cache lookup.
+    #[inline]
     pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Hash the graph contents; called once by the builder to populate
+    /// the memoized [`Graph::fingerprint`].
+    pub(crate) fn compute_fingerprint(&self) -> u64 {
         use crate::hash::FxHasher;
         use std::hash::Hasher;
 

@@ -153,6 +153,29 @@ pub struct SelectStmt {
     pub limit: Option<usize>,
 }
 
+/// Which way a graph mutation statement goes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// `INSERT EDGE (a, b)`.
+    InsertEdge,
+    /// `DELETE EDGE (a, b)`.
+    DeleteEdge,
+}
+
+/// A parsed `INSERT EDGE` / `DELETE EDGE` statement. The query engine
+/// itself is read-only; mutation hosts (the server's `update` op, the
+/// CLI's `mutate` subcommand) parse scripts with
+/// [`crate::parse_mutations`] and apply them through `ego-dynamic`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationStmt {
+    /// Insert or delete.
+    pub kind: MutationKind,
+    /// Source node id (`a -> b` for directed graphs).
+    pub a: u32,
+    /// Target node id.
+    pub b: u32,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

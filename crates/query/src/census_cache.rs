@@ -94,6 +94,11 @@ impl<V: Clone> LruMap<V> {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.recency.clear();
+    }
 }
 
 /// Snapshot of cache occupancy and hit/miss counters (for the server's
@@ -106,6 +111,8 @@ pub struct CensusCacheStats {
     pub count_entries: usize,
     pub count_hits: u64,
     pub count_misses: u64,
+    /// Times [`CensusCache::invalidate`] ran (graph mutations).
+    pub invalidations: u64,
 }
 
 /// Shared (thread-safe) cache of census intermediates. See the module
@@ -117,6 +124,7 @@ pub struct CensusCache {
     match_misses: AtomicU64,
     count_hits: AtomicU64,
     count_misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl CensusCache {
@@ -130,6 +138,7 @@ impl CensusCache {
             match_misses: AtomicU64::new(0),
             count_hits: AtomicU64::new(0),
             count_misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -213,6 +222,17 @@ impl CensusCache {
         self.counts.lock().unwrap().peek(key).is_some()
     }
 
+    /// Drop every cached entry and bump the invalidation counter. Called
+    /// when the graph mutates. Strictly speaking stale entries are
+    /// already unreachable — every key embeds the graph fingerprint — so
+    /// this reclaims their memory and makes the invalidation observable,
+    /// rather than restoring soundness.
+    pub fn invalidate(&self) {
+        self.matches.lock().unwrap().clear();
+        self.counts.lock().unwrap().clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of occupancy and counters.
     pub fn stats(&self) -> CensusCacheStats {
         CensusCacheStats {
@@ -222,6 +242,7 @@ impl CensusCache {
             count_entries: self.counts.lock().unwrap().len(),
             count_hits: self.count_hits.load(Ordering::Relaxed),
             count_misses: self.count_misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -245,6 +266,24 @@ mod tests {
         assert_eq!(hit.len(), 3);
         let s = c.stats();
         assert_eq!((s.count_hits, s.count_misses, s.count_entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalidate_clears_both_sides_and_counts() {
+        let c = CensusCache::new(8);
+        c.put_counts("k1".into(), cv(2));
+        c.put_matches("m1".into(), Arc::new(MatchList::default()));
+        assert_eq!(c.stats().count_entries, 1);
+        assert_eq!(c.stats().match_entries, 1);
+        c.invalidate();
+        let s = c.stats();
+        assert_eq!(s.count_entries, 0);
+        assert_eq!(s.match_entries, 0);
+        assert_eq!(s.invalidations, 1);
+        assert!(!c.peek_counts("k1"));
+        // Re-population after an invalidation works normally.
+        c.put_counts("k1".into(), cv(2));
+        assert!(c.peek_counts("k1"));
     }
 
     #[test]

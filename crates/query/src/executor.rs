@@ -96,6 +96,23 @@ impl<'g> QueryEngine<'g> {
         self.graph.get()
     }
 
+    /// Swap in a new shared graph (after a mutation compacted one), keeping
+    /// catalog, algorithm, seed, and cache wiring. Returns `true` if the
+    /// fingerprint changed; in that case an attached [`CensusCache`] is
+    /// invalidated so entries keyed on the old graph's fingerprint do not
+    /// linger (they could never be *returned* — every key embeds the
+    /// fingerprint — but they would pin memory until evicted).
+    pub fn swap_graph(&mut self, graph: Arc<Graph>) -> bool {
+        let changed = self.graph.get().fingerprint() != graph.fingerprint();
+        self.graph = GraphSource::Shared(graph);
+        if changed {
+            if let Some(cache) = &self.census_cache {
+                cache.invalidate();
+            }
+        }
+        changed
+    }
+
     /// Replace the engine's catalog (e.g. with a session catalog layered
     /// over a shared base; see [`Catalog::layered`]).
     pub fn set_catalog(&mut self, catalog: Catalog) {
@@ -157,6 +174,13 @@ impl<'g> QueryEngine<'g> {
         let trimmed = sql.trim_start();
         if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
             return self.explain(&trimmed[7..]);
+        }
+        if crate::parser::is_mutation_statement(sql) {
+            return Err(QueryError::Semantic(
+                "the query engine is read-only; INSERT EDGE / DELETE EDGE must go through a \
+                 mutation host (the server `update` op or `egocensus mutate`)"
+                    .into(),
+            ));
         }
         let stmt = parse_query(sql)?;
         match stmt.tables.len() {
@@ -362,6 +386,11 @@ impl<'g> QueryEngine<'g> {
         for text in split_statements(sql) {
             let trimmed = text.trim_start();
             if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
+                items.push(Item::Direct(text));
+                continue;
+            }
+            if crate::parser::is_mutation_statement(&text) {
+                // Route through execute() for its read-only error.
                 items.push(Item::Direct(text));
                 continue;
             }
@@ -694,7 +723,7 @@ struct BatchAgg<'e> {
 
 /// Split a script into statements on `;`, respecting single-quoted
 /// strings. Empty statements (trailing `;`, blank lines) are dropped.
-fn split_statements(sql: &str) -> Vec<String> {
+pub(crate) fn split_statements(sql: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut current = String::new();
     let mut in_quote = false;
@@ -1187,6 +1216,50 @@ mod tests {
         // Cached results are bit-identical to an uncached engine's.
         let plain = engine(&g);
         assert_eq!(second, plain.execute(sql).unwrap());
+    }
+
+    #[test]
+    fn swap_graph_invalidates_census_cache_on_fingerprint_change() {
+        use crate::census_cache::CensusCache;
+        let g = Arc::new(fixture());
+        let mut e = QueryEngine::shared(g.clone());
+        e.catalog_mut()
+            .define("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }")
+            .unwrap();
+        let cache = Arc::new(CensusCache::new(16));
+        e.set_census_cache(cache.clone());
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        e.execute(sql).unwrap();
+        assert_eq!(cache.stats().count_entries, 1);
+        // Swapping in the same graph (same fingerprint) is a no-op.
+        assert!(!e.swap_graph(g.clone()));
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().count_entries, 1);
+        // A genuinely different graph invalidates the cache.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(7, Label(0));
+        for (x, y) in [
+            (0u32, 1),
+            (1, 2),
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (2, 4),
+            (4, 5),
+            (5, 6),
+            (4, 6), // closes the 4-5-6 triangle
+        ] {
+            b.add_edge(NodeId(x), NodeId(y));
+        }
+        assert!(e.swap_graph(Arc::new(b.build())));
+        let s = cache.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.count_entries, 0);
+        assert_eq!(s.match_entries, 0);
+        // The engine now queries the new graph.
+        let t = e.execute(sql).unwrap();
+        assert_eq!(t.rows()[5][1], Value::Int(1));
+        assert_eq!(t.rows()[2][1], Value::Int(2));
     }
 
     #[test]

@@ -50,10 +50,12 @@ pub mod parser;
 pub mod table;
 pub mod value;
 
+pub use ast::{MutationKind, MutationStmt};
 pub use canon::canonical_query_key;
 pub use catalog::Catalog;
 pub use census_cache::{CensusCache, CensusCacheStats};
 pub use error::QueryError;
 pub use executor::QueryEngine;
+pub use parser::{is_mutation_statement, parse_mutations};
 pub use table::Table;
 pub use value::Value;

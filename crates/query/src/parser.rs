@@ -31,6 +31,48 @@ pub fn parse_query(sql: &str) -> Result<SelectStmt, QueryError> {
     Ok(stmt)
 }
 
+/// Does this statement start with a mutation verb (`INSERT` / `DELETE`)?
+/// Used to route statements between the read-only query engine and a
+/// mutation host.
+pub fn is_mutation_statement(sql: &str) -> bool {
+    let word: String = sql
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    word.eq_ignore_ascii_case("INSERT") || word.eq_ignore_ascii_case("DELETE")
+}
+
+/// Parse a mutation script: one or more `;`-separated
+/// `INSERT EDGE (a, b)` / `DELETE EDGE (a, b)` statements.
+pub fn parse_mutations(script: &str) -> Result<Vec<MutationStmt>, QueryError> {
+    let stmts = crate::executor::split_statements(script);
+    if stmts.is_empty() {
+        return Err(QueryError::Semantic("empty mutation script".into()));
+    }
+    stmts.iter().map(|s| parse_mutation(s)).collect()
+}
+
+fn parse_mutation(sql: &str) -> Result<MutationStmt, QueryError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let kind = if p.eat_kw("INSERT") {
+        MutationKind::InsertEdge
+    } else if p.eat_kw("DELETE") {
+        MutationKind::DeleteEdge
+    } else {
+        return Err(p.err(format!("expected `INSERT` or `DELETE`, found {}", p.peek())));
+    };
+    p.expect_kw("EDGE")?;
+    p.expect(&Tok::LParen)?;
+    let a = p.node_id()?;
+    p.expect(&Tok::Comma)?;
+    let b = p.node_id()?;
+    p.expect(&Tok::RParen)?;
+    p.expect_eof()?;
+    Ok(MutationStmt { kind, a, b })
+}
+
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
@@ -92,6 +134,16 @@ impl Parser {
         match self.peek() {
             Tok::Eof => Ok(()),
             other => Err(self.err(format!("trailing input: {other}"))),
+        }
+    }
+
+    fn node_id(&mut self) -> Result<u32, QueryError> {
+        match *self.peek() {
+            Tok::Int(i) if (0..=u32::MAX as i64).contains(&i) => {
+                self.bump();
+                Ok(i as u32)
+            }
+            ref other => Err(self.err(format!("expected a node id, found {other}"))),
         }
     }
 
@@ -555,5 +607,43 @@ mod tests {
     fn case_insensitive_keywords() {
         let q = parse_query("select id from nodes where rnd() < 0.5").unwrap();
         assert!(q.where_clause.is_some());
+    }
+
+    #[test]
+    fn mutation_script_parses() {
+        let ms = parse_mutations("INSERT EDGE (4, 6); delete edge (0, 1);").unwrap();
+        assert_eq!(
+            ms,
+            vec![
+                MutationStmt {
+                    kind: MutationKind::InsertEdge,
+                    a: 4,
+                    b: 6
+                },
+                MutationStmt {
+                    kind: MutationKind::DeleteEdge,
+                    a: 0,
+                    b: 1
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn mutation_statement_detection() {
+        assert!(is_mutation_statement("  insert edge (1, 2)"));
+        assert!(is_mutation_statement("DELETE EDGE (1, 2)"));
+        assert!(!is_mutation_statement("SELECT ID FROM nodes"));
+        assert!(!is_mutation_statement(""));
+    }
+
+    #[test]
+    fn mutation_script_rejects_bad_input() {
+        assert!(parse_mutations("").is_err());
+        assert!(parse_mutations("INSERT EDGE (1)").is_err());
+        assert!(parse_mutations("INSERT EDGE (1, 2) extra").is_err());
+        assert!(parse_mutations("UPDATE EDGE (1, 2)").is_err());
+        assert!(parse_mutations("INSERT EDGE (-1, 2)").is_err());
+        assert!(parse_mutations("INSERT NODE (1, 2)").is_err());
     }
 }

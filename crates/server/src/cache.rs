@@ -40,6 +40,8 @@ pub struct CacheStats {
     pub bytes: u64,
     /// Byte budget (0 = caching disabled).
     pub capacity_bytes: u64,
+    /// Times [`QueryCache::invalidate`] ran (graph mutations).
+    pub invalidations: u64,
 }
 
 struct Entry {
@@ -67,6 +69,7 @@ pub struct QueryCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl QueryCache {
@@ -80,6 +83,7 @@ impl QueryCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -148,6 +152,20 @@ impl QueryCache {
         self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Drop every resident entry and bump the invalidation counter.
+    /// Called when the graph mutates. Stale entries were already
+    /// unreachable (every key embeds the graph fingerprint), so this
+    /// reclaims the bytes and makes the invalidation observable in
+    /// `stats`; dropped entries are not counted as evictions.
+    pub fn invalidate(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.map.clear();
+        state.recency.clear();
+        state.bytes = 0;
+        drop(state);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         let state = self.state.lock().unwrap();
@@ -159,6 +177,7 @@ impl QueryCache {
             entries: state.map.len() as u64,
             bytes: state.bytes as u64,
             capacity_bytes: self.capacity as u64,
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }
@@ -245,6 +264,23 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.entries, 0);
         assert_eq!(s.bytes, 0);
+    }
+
+    #[test]
+    fn invalidate_clears_everything_and_counts() {
+        let c = QueryCache::new(1 << 12);
+        c.insert("a".into(), "1".into());
+        c.insert("b".into(), "2".into());
+        c.invalidate();
+        assert_eq!(c.get("a"), None);
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.bytes, 0);
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.evictions, 0, "invalidation is not eviction");
+        // The cache keeps working afterwards.
+        c.insert("a".into(), "fresh".into());
+        assert_eq!(c.get("a").as_deref(), Some("fresh"));
     }
 
     #[test]

@@ -87,6 +87,14 @@ impl Client {
         })
     }
 
+    /// Apply an edge-mutation script (`INSERT EDGE (a, b); DELETE EDGE
+    /// (a, b); ...`) to the server's shared graph.
+    pub fn update(&mut self, mutations: &str) -> std::io::Result<Response> {
+        self.request(&Request::Update {
+            mutations: mutations.to_string(),
+        })
+    }
+
     /// Fetch the server/cache counter table.
     pub fn stats(&mut self) -> std::io::Result<TableData> {
         match self.request(&Request::Stats)? {

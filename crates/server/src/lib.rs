@@ -12,8 +12,8 @@
 //!   layered over a shared base catalog ([`ego_query::Catalog::layered`]),
 //!   so `define`s are per-session and can never shadow shared built-ins.
 //! * The wire protocol is line-delimited JSON ([`protocol`]): `ping` /
-//!   `define` / `query` / `explain` / `stats` / `shutdown` requests,
-//!   `table` / `error` responses.
+//!   `define` / `query` / `explain` / `update` / `stats` / `shutdown`
+//!   requests, `table` / `error` responses.
 //! * Concurrency is a bounded thread-per-connection pool over
 //!   `std::net` ([`server`]) — the build environment is offline, so no
 //!   async runtime — with per-request read/write timeouts and graceful
@@ -25,6 +25,10 @@
 //!   pattern DSLs) + graph fingerprint + seed. Repeat queries are served
 //!   byte-identically with no traversal; hit/miss/eviction counters are
 //!   exposed through `stats`.
+//! * `update` applies an edge-mutation script
+//!   ([`ego_dynamic::DeltaGraph`]) to the shared graph, swapping in a
+//!   freshly compacted CSR and invalidating both caches; sessions pick
+//!   up the new graph lazily via a generation counter.
 //! * Each census execution still parallelizes internally through the
 //!   existing `ExecConfig { threads }` plumbing.
 //!
@@ -80,4 +84,4 @@ pub use cache::{CacheStats, QueryCache};
 pub use client::Client;
 pub use protocol::{Request, Response, TableData};
 pub use server::{Server, ServerConfig, ShutdownHandle};
-pub use session::{ServerStats, Session, Shared};
+pub use session::{ServerStats, Session, Shared, UpdateSummary};

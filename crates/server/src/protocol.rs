@@ -11,6 +11,7 @@
 //! {"op":"define","pattern":"PATTERN t { ?A-?B; ?B-?C; ?A-?C; }"}
 //! {"op":"query","sql":"SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"}
 //! {"op":"explain","sql":"SELECT ..."}
+//! {"op":"update","mutations":"INSERT EDGE (4, 6); DELETE EDGE (0, 1)"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -49,6 +50,12 @@ pub enum Request {
         /// The SQL text.
         sql: String,
     },
+    /// Apply an edge-mutation script (`INSERT EDGE (a, b); DELETE EDGE
+    /// (a, b); ...`) to the shared graph, invalidating the caches.
+    Update {
+        /// The mutation script.
+        mutations: String,
+    },
     /// Server and cache counters.
     Stats,
     /// Ask the server to stop accepting connections and exit.
@@ -73,6 +80,10 @@ impl Request {
                 ("sql".to_string(), Json::Str(sql.clone())),
             ],
             Request::Stats => vec![("op".to_string(), Json::Str("stats".into()))],
+            Request::Update { mutations } => vec![
+                ("op".to_string(), Json::Str("update".into())),
+                ("mutations".to_string(), Json::Str(mutations.clone())),
+            ],
             Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".into()))],
         };
         Json::Obj(obj).render()
@@ -99,10 +110,13 @@ impl Request {
             }),
             "query" => Ok(Request::Query { sql: field("sql")? }),
             "explain" => Ok(Request::Explain { sql: field("sql")? }),
+            "update" => Ok(Request::Update {
+                mutations: field("mutations")?,
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (ping, define, query, explain, stats, shutdown)"
+                "unknown op `{other}` (ping, define, query, explain, update, stats, shutdown)"
             )),
         }
     }
@@ -272,6 +286,9 @@ mod tests {
             },
             Request::Explain {
                 sql: "SELECT ID FROM nodes".into(),
+            },
+            Request::Update {
+                mutations: "INSERT EDGE (4, 6); DELETE EDGE (0, 1)".into(),
             },
             Request::Stats,
             Request::Shutdown,

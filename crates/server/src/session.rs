@@ -9,10 +9,14 @@
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::protocol::{Request, Response};
-use ego_graph::Graph;
-use ego_query::{canonical_query_key, Catalog, CensusCache, QueryEngine, Table, Value};
+use ego_dynamic::DeltaGraph;
+use ego_graph::{Graph, NodeId};
+use ego_query::{
+    canonical_query_key, parse_mutations, Catalog, CensusCache, MutationKind, QueryEngine, Table,
+    Value,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Entries held per side (match lists / count vectors) of the shared
 /// [`CensusCache`]. Entry-count budgeted, unlike the byte-budgeted
@@ -34,14 +38,43 @@ pub struct ServerStats {
     pub queries_executed: AtomicU64,
     /// Session-local patterns defined.
     pub patterns_defined: AtomicU64,
+    /// `update` requests that changed the graph (no-op scripts excluded).
+    pub graph_updates: AtomicU64,
+    /// Net edges inserted across all graph updates.
+    pub edges_inserted: AtomicU64,
+    /// Net edges deleted across all graph updates.
+    pub edges_deleted: AtomicU64,
 }
 
-/// State shared by every session: the loaded graph, the base catalog,
+/// Outcome of one applied mutation script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateSummary {
+    /// Net edges inserted by this script.
+    pub inserted: u64,
+    /// Net edges deleted by this script.
+    pub deleted: u64,
+    /// Edge count of the (possibly unchanged) current graph.
+    pub num_edges: usize,
+    /// Graph generation after the script (unchanged for no-ops).
+    pub generation: u64,
+    /// Fingerprint of the current graph.
+    pub fingerprint: u64,
+}
+
+/// State shared by every session: the current graph, the base catalog,
 /// the result cache, counters, and the shutdown flag.
 #[derive(Clone)]
 pub struct Shared {
-    /// The graph, loaded once at startup.
-    pub graph: Arc<Graph>,
+    /// The current graph. Mutations swap in a freshly compacted CSR;
+    /// sessions re-read it when the generation counter moves.
+    graph: Arc<RwLock<Arc<Graph>>>,
+    /// Bumped on every applied (non-no-op) mutation script. Sessions
+    /// compare it against their own copy to detect a swapped graph
+    /// without taking the `RwLock` on every request.
+    generation: Arc<AtomicU64>,
+    /// Serializes mutation scripts: each script reads the current graph,
+    /// builds its delta, and swaps atomically with respect to others.
+    update_lock: Arc<Mutex<()>>,
     /// Patterns every session sees (e.g. the paper's built-ins).
     pub base_catalog: Arc<Catalog>,
     /// The pattern-keyed result cache.
@@ -59,12 +92,10 @@ pub struct Shared {
     pub exec_threads: usize,
     /// `RND()` seed for every session (part of the cache key).
     pub seed: u64,
-    /// Graph fingerprint, computed once (part of the cache key).
-    pub fingerprint: u64,
 }
 
 impl Shared {
-    /// Build shared state, computing the graph fingerprint once.
+    /// Build shared state around the startup graph.
     pub fn new(
         graph: Arc<Graph>,
         base_catalog: Arc<Catalog>,
@@ -72,9 +103,10 @@ impl Shared {
         exec_threads: usize,
         seed: u64,
     ) -> Shared {
-        let fingerprint = graph.fingerprint();
         Shared {
-            graph,
+            graph: Arc::new(RwLock::new(graph)),
+            generation: Arc::new(AtomicU64::new(0)),
+            update_lock: Arc::new(Mutex::new(())),
             base_catalog,
             cache: Arc::new(QueryCache::new(cache_capacity_bytes)),
             census: Arc::new(CensusCache::new(if cache_capacity_bytes == 0 {
@@ -86,8 +118,82 @@ impl Shared {
             shutdown: Arc::new(AtomicBool::new(false)),
             exec_threads,
             seed,
-            fingerprint,
         }
+    }
+
+    /// The current graph (cheap: clones the inner `Arc`).
+    pub fn current_graph(&self) -> Arc<Graph> {
+        self.graph.read().unwrap().clone()
+    }
+
+    /// The current graph generation (0 at startup, +1 per applied
+    /// mutation script).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// Fingerprint of the current graph.
+    pub fn fingerprint(&self) -> u64 {
+        self.graph.read().unwrap().fingerprint()
+    }
+
+    /// Parse and apply a mutation script (`INSERT EDGE (a, b); DELETE
+    /// EDGE (a, b); ...`) against the current graph, swapping in the
+    /// compacted result and invalidating both caches. Scripts whose net
+    /// delta is empty (edge already present, insert/delete pairs that
+    /// cancel) leave the graph, the generation, and the caches alone.
+    ///
+    /// Errors (parse failures, out-of-range nodes, self loops) reject
+    /// the whole script: mutations are applied atomically or not at all.
+    pub fn apply_mutations(&self, script: &str) -> Result<UpdateSummary, String> {
+        let stmts = parse_mutations(script).map_err(|e| e.to_string())?;
+        let _guard = self.update_lock.lock().unwrap();
+        let base = self.current_graph();
+        let mut delta = DeltaGraph::new(base);
+        for stmt in &stmts {
+            let (a, b) = (NodeId(stmt.a), NodeId(stmt.b));
+            match stmt.kind {
+                MutationKind::InsertEdge => delta.insert_edge(a, b),
+                MutationKind::DeleteEdge => delta.delete_edge(a, b),
+            }
+            .map_err(|e| e.to_string())?;
+        }
+        if delta.is_clean() {
+            let g = delta.base();
+            return Ok(UpdateSummary {
+                inserted: 0,
+                deleted: 0,
+                num_edges: g.num_edges(),
+                generation: self.generation(),
+                fingerprint: g.fingerprint(),
+            });
+        }
+        let inserted = delta.added().count() as u64;
+        let deleted = delta.removed().count() as u64;
+        let new_graph = Arc::new(delta.compact());
+        let num_edges = new_graph.num_edges();
+        let fingerprint = new_graph.fingerprint();
+        *self.graph.write().unwrap() = new_graph;
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        // Stale entries are already unreachable (keys embed the
+        // fingerprint); invalidation reclaims their memory and makes the
+        // mutation observable in `stats`.
+        self.cache.invalidate();
+        self.census.invalidate();
+        self.stats.graph_updates.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .edges_inserted
+            .fetch_add(inserted, Ordering::Relaxed);
+        self.stats
+            .edges_deleted
+            .fetch_add(deleted, Ordering::Relaxed);
+        Ok(UpdateSummary {
+            inserted,
+            deleted,
+            num_edges,
+            generation,
+            fingerprint,
+        })
     }
 
     /// Cache counter snapshot.
@@ -100,12 +206,15 @@ impl Shared {
 pub struct Session {
     shared: Shared,
     engine: QueryEngine<'static>,
+    /// Generation of the graph this session's engine was built over.
+    generation: u64,
 }
 
 impl Session {
     /// A fresh session over the shared graph and base catalog.
     pub fn new(shared: &Shared) -> Session {
-        let mut engine = QueryEngine::shared(shared.graph.clone());
+        let generation = shared.generation();
+        let mut engine = QueryEngine::shared(shared.current_graph());
         engine.set_catalog(Catalog::layered(shared.base_catalog.clone()));
         engine.set_threads(shared.exec_threads);
         engine.set_seed(shared.seed);
@@ -113,7 +222,31 @@ impl Session {
         Session {
             shared: shared.clone(),
             engine,
+            generation,
         }
+    }
+
+    /// Rebuild the engine over the current graph if another session
+    /// applied a mutation since this one last looked. Cheap when nothing
+    /// changed (one atomic load). The session's defined patterns carry
+    /// over; the engine does *not* invalidate the shared census cache
+    /// here — entries repopulated since the update are still valid.
+    fn refresh(&mut self) {
+        let generation = self.shared.generation();
+        if generation == self.generation {
+            return;
+        }
+        let catalog = std::mem::replace(
+            self.engine.catalog_mut(),
+            Catalog::layered(self.shared.base_catalog.clone()),
+        );
+        let mut engine = QueryEngine::shared(self.shared.current_graph());
+        engine.set_catalog(catalog);
+        engine.set_threads(self.shared.exec_threads);
+        engine.set_seed(self.shared.seed);
+        engine.set_census_cache(self.shared.census.clone());
+        self.engine = engine;
+        self.generation = generation;
     }
 
     /// Handle one request line, returning one encoded response line
@@ -128,11 +261,13 @@ impl Session {
 
     /// Handle one decoded request.
     pub fn handle(&mut self, req: &Request) -> String {
+        self.refresh();
         match req {
             Request::Ping => reply_table("pong"),
             Request::Define { pattern } => self.handle_define(pattern),
             Request::Query { sql } => self.handle_query(sql),
             Request::Explain { sql } => self.encode_execution(|e| e.explain(sql)),
+            Request::Update { mutations } => self.handle_update(mutations),
             Request::Stats => self.handle_stats(),
             Request::Shutdown => {
                 self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -166,7 +301,8 @@ impl Session {
         let key = match canonical_query_key(sql, self.engine.catalog()) {
             Ok(canonical) => format!(
                 "{canonical}|fp={:016x}|seed={}",
-                self.shared.fingerprint, self.shared.seed
+                self.engine.graph().fingerprint(),
+                self.shared.seed
             ),
             // The statement won't execute either; report that error.
             Err(e) => return Response::error(e.to_string()).encode(),
@@ -179,6 +315,38 @@ impl Session {
             self.shared.cache.insert(key, encoded.clone());
         }
         encoded
+    }
+
+    fn handle_update(&mut self, mutations: &str) -> String {
+        match self.shared.apply_mutations(mutations) {
+            Ok(s) => {
+                // Serve the new graph immediately on this connection.
+                self.refresh();
+                let mut t = Table::new(vec!["stat".into(), "value".into()]);
+                t.push_row(vec![
+                    Value::Str("edges_inserted".into()),
+                    Value::Int(s.inserted as i64),
+                ]);
+                t.push_row(vec![
+                    Value::Str("edges_deleted".into()),
+                    Value::Int(s.deleted as i64),
+                ]);
+                t.push_row(vec![
+                    Value::Str("num_edges".into()),
+                    Value::Int(s.num_edges as i64),
+                ]);
+                t.push_row(vec![
+                    Value::Str("generation".into()),
+                    Value::Int(s.generation as i64),
+                ]);
+                t.push_row(vec![
+                    Value::Str("fingerprint".into()),
+                    Value::Str(format!("{:016x}", s.fingerprint)),
+                ]);
+                Response::table(&t).encode()
+            }
+            Err(message) => Response::error(message).encode(),
+        }
     }
 
     fn encode_execution(
@@ -207,14 +375,23 @@ impl Session {
             ("cache_evictions", cache.evictions),
             ("cache_hits", cache.hits),
             ("cache_insertions", cache.insertions),
+            ("cache_invalidations", cache.invalidations),
             ("cache_misses", cache.misses),
             ("census_count_entries", census.count_entries as u64),
             ("census_count_hits", census.count_hits),
             ("census_count_misses", census.count_misses),
+            ("census_invalidations", census.invalidations),
             ("census_match_entries", census.match_entries as u64),
             ("census_match_hits", census.match_hits),
             ("census_match_misses", census.match_misses),
             ("connections", stats.connections.load(Ordering::Relaxed)),
+            ("edges_deleted", stats.edges_deleted.load(Ordering::Relaxed)),
+            (
+                "edges_inserted",
+                stats.edges_inserted.load(Ordering::Relaxed),
+            ),
+            ("graph_generation", self.shared.generation()),
+            ("graph_updates", stats.graph_updates.load(Ordering::Relaxed)),
             (
                 "patterns_defined",
                 stats.patterns_defined.load(Ordering::Relaxed),
@@ -401,6 +578,119 @@ mod tests {
         let t = table(&s.handle_line(r#"{"op":"stats"}"#));
         assert_eq!(t.stat("census_match_hits"), Some(1));
         assert_eq!(t.stat("census_count_entries"), Some(2));
+    }
+
+    #[test]
+    fn update_changes_results_and_never_serves_stale_cache() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let q =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let before = table(&s.handle_line(q));
+        // Node 5 sits on the 4-5-6 chain: no triangle yet.
+        assert_eq!(before.rows[5][1], Value::Int(0));
+
+        let upd = table(&s.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#));
+        assert_eq!(upd.stat("edges_inserted"), Some(1));
+        assert_eq!(upd.stat("edges_deleted"), Some(0));
+        assert_eq!(upd.stat("num_edges"), Some(9));
+        assert_eq!(upd.stat("generation"), Some(1));
+
+        // The same query now sees the 4-5-6 triangle; the pre-update
+        // cached answer must not be served.
+        let after = table(&s.handle_line(q));
+        assert_eq!(after.rows[5][1], Value::Int(1));
+        assert_eq!(after.rows[4][1], Value::Int(2));
+        let st = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("graph_updates"), Some(1));
+        assert_eq!(st.stat("cache_invalidations"), Some(1));
+        assert_eq!(st.stat("census_invalidations"), Some(1));
+        assert_eq!(st.stat("graph_generation"), Some(1));
+    }
+
+    #[test]
+    fn update_refreshes_other_sessions_without_reinvalidating() {
+        let sh = shared();
+        let mut s1 = Session::new(&sh);
+        let mut s2 = Session::new(&sh);
+        let q =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        // s2 warms its engine on the startup graph first.
+        assert_eq!(table(&s2.handle_line(q)).rows[5][1], Value::Int(0));
+        assert!(!Response::decode(
+            &s1.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        // s1 repopulates the shared caches post-update...
+        assert_eq!(table(&s1.handle_line(q)).rows[5][1], Value::Int(1));
+        let census_entries = sh.census.stats().count_entries;
+        assert!(census_entries > 0);
+        // ...and s2's lazy refresh picks up the new graph as a cache hit
+        // without clearing what s1 just repopulated.
+        assert_eq!(table(&s2.handle_line(q)).rows[5][1], Value::Int(1));
+        assert_eq!(sh.census.stats().count_entries, census_entries);
+        assert_eq!(sh.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn noop_and_cancelling_updates_leave_everything_alone() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        // Edge (0, 1) already exists; the insert/delete pair cancels.
+        for script in [
+            "INSERT EDGE (0, 1)",
+            "INSERT EDGE (3, 5); DELETE EDGE (3, 5)",
+        ] {
+            let line = format!(r#"{{"op":"update","mutations":"{script}"}}"#);
+            let t = table(&s.handle_line(&line));
+            assert_eq!(t.stat("edges_inserted"), Some(0), "{script}");
+            assert_eq!(t.stat("edges_deleted"), Some(0), "{script}");
+            assert_eq!(t.stat("generation"), Some(0), "{script}");
+        }
+        assert_eq!(sh.generation(), 0);
+        assert_eq!(sh.cache_stats().invalidations, 0);
+        assert_eq!(sh.stats.graph_updates.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn bad_mutation_scripts_are_rejected_atomically() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let fp = sh.fingerprint();
+        for script in [
+            "UPDATE EDGE (0, 1)",             // unknown verb
+            "INSERT EDGE (0, 99)",            // node out of range
+            "INSERT EDGE (3, 3)",             // self loop
+            "INSERT EDGE (3, 5); DELETE (1)", // later statement malformed
+            "",
+        ] {
+            let line = format!(r#"{{"op":"update","mutations":"{script}"}}"#);
+            let r = Response::decode(&s.handle_line(&line)).unwrap();
+            assert!(r.is_error(), "script {script:?} should be rejected");
+        }
+        // Nothing was applied, even for the script whose first statement
+        // was valid.
+        assert_eq!(sh.fingerprint(), fp);
+        assert_eq!(sh.generation(), 0);
+        assert_eq!(sh.stats.graph_updates.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn session_patterns_survive_an_update() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let def = r#"{"op":"define","pattern":"PATTERN mine { ?A-?B; ?B-?C; ?A-?C; }"}"#;
+        assert!(!Response::decode(&s.handle_line(def)).unwrap().is_error());
+        assert!(!Response::decode(
+            &s.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        // The session-local pattern still resolves on the new engine.
+        let q = r#"{"op":"query","sql":"SELECT ID, COUNTP(mine, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let t = table(&s.handle_line(q));
+        assert_eq!(t.rows[5][1], Value::Int(1));
     }
 
     #[test]

@@ -58,4 +58,52 @@ wait "$serve_pid"
 serve_pid=""
 echo "    served 300 rows and shut down cleanly"
 
+echo "==> dynamic smoke test (mutate --verify; server update invalidates caches)"
+# Two triangles sharing node 2, chain 4-5-6: inserting (4, 6) closes a
+# third triangle, so node 5's k=1 triangle count goes 0 -> 1.
+cat >"$tmpdir/dyn.txt" <<'EOF'
+# egocensus graph v1
+graph undirected nodes=7
+edge 0 1
+edge 1 2
+edge 0 2
+edge 2 3
+edge 3 4
+edge 2 4
+edge 4 5
+edge 5 6
+EOF
+./target/release/egocensus mutate "$tmpdir/dyn.txt" \
+  --apply 'INSERT EDGE (4, 6); DELETE EDGE (0, 1)' \
+  --pattern 'PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }' --k 1 --verify \
+  -o "$tmpdir/dyn2.txt" >/dev/null \
+  || { echo "FAIL: egocensus mutate --verify rejected the incremental counts"; exit 1; }
+./target/release/egocensus serve "$tmpdir/dyn.txt" --addr 127.0.0.1:0 \
+  --threads 2 --cache-mb 8 >"$tmpdir/dyn-serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^listening on //p' "$tmpdir/dyn-serve.log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: dynamic server never printed its address"; exit 1; }
+sql='SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes'
+./target/release/egocensus client --addr "$addr" --csv "$sql" >"$tmpdir/before.csv"
+./target/release/egocensus client --addr "$addr" --update 'INSERT EDGE (4, 6)' >/dev/null
+./target/release/egocensus client --addr "$addr" --csv "$sql" >"$tmpdir/after.csv"
+diff -q "$tmpdir/before.csv" "$tmpdir/after.csv" >/dev/null \
+  && { echo "FAIL: update served a stale cached answer"; exit 1; }
+grep -q '^5,1$' "$tmpdir/after.csv" \
+  || { echo "FAIL: node 5 should count one triangle after the insert"; exit 1; }
+stats=$(./target/release/egocensus client --addr "$addr" --csv --stats)
+echo "$stats" | grep -q '^graph_updates,1$' \
+  || { echo "FAIL: stats should report graph_updates = 1"; exit 1; }
+echo "$stats" | grep -q '^cache_invalidations,1$' \
+  || { echo "FAIL: stats should report cache_invalidations = 1"; exit 1; }
+./target/release/egocensus client --addr "$addr" --shutdown >/dev/null
+wait "$serve_pid"
+serve_pid=""
+echo "    mutate --verify passed; update re-censused and invalidated the caches"
+
 echo "==> verify OK"

@@ -7,17 +7,22 @@
 //! egocensus query g.txt --define 'PATTERN t { ... }' \
 //!     'SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes ORDER BY 2 DESC LIMIT 10' [--csv]
 //! egocensus topk g.txt --pattern 'PATTERN t { ... }' --k 2 --top 10
+//! egocensus mutate g.txt --apply 'INSERT EDGE (4, 6); DELETE EDGE (0, 1)' \
+//!     --pattern 'PATTERN t { ... }' --k 2 --verify -o g2.txt
 //! egocensus serve g.txt --addr 127.0.0.1:7878 --threads 4 --cache-mb 64
 //! egocensus client --addr 127.0.0.1:7878 \
 //!     'SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes LIMIT 10'
 //! ```
 
-use egocensus::census::{exec_matches, topk, Algorithm, CensusSpec, ExecConfig};
+use egocensus::census::{
+    exec_matches, run_census_exec, topk, Algorithm, CensusSpec, ExecConfig, PtConfig,
+};
 use egocensus::datagen;
-use egocensus::graph::{io, stats, Graph};
+use egocensus::dynamic::{update_census_exec, DeltaGraph};
+use egocensus::graph::{io, stats, Graph, NodeId};
 use egocensus::matcher::{find_matches, MatcherKind};
 use egocensus::pattern::Pattern;
-use egocensus::query::{Catalog, QueryEngine, Table};
+use egocensus::query::{parse_mutations, Catalog, MutationKind, QueryEngine, Table};
 use egocensus::server::{Client, Response, Server, ServerConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -45,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "match" => cmd_match(rest),
         "query" => cmd_query(rest),
         "topk" => cmd_topk(rest),
+        "mutate" => cmd_mutate(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
@@ -71,19 +77,28 @@ USAGE:
                   [--threads <T>] [--csv] <SQL>
   egocensus topk <graph-file> --pattern <DSL> --k <radius> [--top <n>]
                  [--subpattern <name>] [--threads <T>]
+  egocensus mutate <graph-file> --apply <script> [-o <file>]
+                   [--pattern <DSL> --k <radius>] [--algorithm <name>]
+                   [--threads <T>] [--verify]
   egocensus serve <graph-file> [--addr <host:port>] [--threads <pool>]
                   [--exec-threads <T>] [--cache-mb <MB>] [--seed <S>]
                   [--define <DSL>]...
-  egocensus client [--addr <host:port>] [--define <DSL>]... [--stats]
-                   [--shutdown] [--csv] [<SQL>]
+  egocensus client [--addr <host:port>] [--define <DSL>]... [--update <script>]
+                   [--stats] [--shutdown] [--csv] [<SQL>]
 
 Algorithms: auto (default), nd-bas, nd-pivot, nd-diff, pt-bas, pt-rnd, pt-opt.
 Threads: 0 = all hardware threads (the default); results are identical
 for every thread count.
+Mutate: applies an edge-mutation script (`INSERT EDGE (a, b); DELETE
+EDGE (a, b); ...`) as a delta overlay; with --pattern it re-censuses
+only the dirty focal nodes incrementally (--verify cross-checks against
+a full recompute), and -o writes the compacted mutated graph.
 Serve: loads the graph once, accepts concurrent clients over a
 line-delimited JSON protocol, and memoizes repeated census queries in an
 LRU result cache (--cache-mb 0 disables). --threads bounds concurrent
-connections; --exec-threads parallelizes each census internally."
+connections; --exec-threads parallelizes each census internally. The
+`update` op (client --update) applies a mutation script server-side,
+swapping the shared graph and invalidating the caches."
     );
 }
 
@@ -342,6 +357,93 @@ fn cmd_topk(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_mutate(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &["verify"])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let script = f.get("apply").ok_or("missing --apply '<script>'")?;
+    let stmts = parse_mutations(script).map_err(|e| e.to_string())?;
+    let base = Arc::new(load_graph(path)?);
+    let mut delta = DeltaGraph::new(base.clone());
+    let mut changed = 0usize;
+    for stmt in &stmts {
+        let (a, b) = (NodeId(stmt.a), NodeId(stmt.b));
+        let did = match stmt.kind {
+            MutationKind::InsertEdge => delta.insert_edge(a, b),
+            MutationKind::DeleteEdge => delta.delete_edge(a, b),
+        }
+        .map_err(|e| e.to_string())?;
+        if did {
+            changed += 1;
+        }
+    }
+    println!(
+        "statements:   {} ({} changed the edge set)",
+        stmts.len(),
+        changed
+    );
+    println!("net inserted: {}", delta.added().count());
+    println!("net deleted:  {}", delta.removed().count());
+    println!(
+        "edges:        {} -> {}",
+        base.num_edges(),
+        delta.num_edges()
+    );
+    println!(
+        "fingerprint:  {:016x} -> {:016x}",
+        base.fingerprint(),
+        delta.fingerprint()
+    );
+
+    let result_graph = if let Some(pattern_text) = f.get("pattern") {
+        let algorithm_name = f.get("algorithm").unwrap_or("auto");
+        let algorithm = parse_algorithm(algorithm_name)?;
+        let exec = ExecConfig::with_threads(f.parse("threads", 0usize)?);
+        let config = PtConfig::default();
+        let p = Pattern::parse(pattern_text).map_err(|e| e.to_string())?;
+        let k: u32 = f.parse("k", 2)?;
+        let spec = CensusSpec::single(&p, k);
+        let t0 = std::time::Instant::now();
+        let previous =
+            run_census_exec(&base, &spec, algorithm, &config, &exec).map_err(|e| e.to_string())?;
+        let full_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let update = update_census_exec(&delta, &spec, &previous, algorithm, &config, &exec)
+            .map_err(|e| e.to_string())?;
+        let inc_time = t1.elapsed();
+        println!("census `{}` (k={k}, {algorithm_name}):", p.name());
+        println!(
+            "  dirty focal:  {} of {} ({} reused from the previous run)",
+            update.stats.dirty_focal,
+            base.num_nodes(),
+            update.stats.clean_focal
+        );
+        println!("  full census:  {:.3}s", full_time.as_secs_f64());
+        println!("  incremental:  {:.3}s", inc_time.as_secs_f64());
+        if f.has("verify") {
+            let fresh = run_census_exec(&update.graph, &spec, algorithm, &config, &exec)
+                .map_err(|e| e.to_string())?;
+            if update.counts[0] != fresh {
+                return Err("incremental counts diverge from full recompute".into());
+            }
+            println!("  verify:       incremental == full recompute");
+        }
+        update.graph
+    } else {
+        delta.compact()
+    };
+    if let Some(out) = f.get("out") {
+        let mut file =
+            std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        io::write_graph(&result_graph, &mut file).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} nodes / {} edges to {out}",
+            result_graph.num_nodes(),
+            result_graph.num_edges()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args, &[])?;
     let path = f.positional.first().ok_or("missing graph file")?;
@@ -399,6 +501,9 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             Response::Table(_) => {}
             Response::Error { message } => return Err(format!("server error: {message}")),
         }
+    }
+    for script in f.get_all("update") {
+        print(client.update(script).map_err(|e| e.to_string())?)?;
     }
     if let Some(sql) = f.positional.first() {
         print(client.query(sql).map_err(|e| e.to_string())?)?;

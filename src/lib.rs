@@ -14,6 +14,7 @@
 //! * [`matcher`] — subgraph isomorphism (CN algorithm + GQL-style baseline).
 //! * [`census`] — census evaluation algorithms (ND-BAS/PVOT/DIFF, PT-BAS/RND/OPT).
 //! * [`query`] — the SQL-based declarative language.
+//! * [`dynamic`] — edge-mutation overlays and incremental re-census.
 //! * [`server`] — concurrent TCP front end with a pattern-keyed result cache.
 //! * [`datagen`] — synthetic graph generators.
 //! * [`linkpred`] — the DBLP-style link prediction experiment harness.
@@ -41,6 +42,7 @@
 
 pub use ego_census as census;
 pub use ego_datagen as datagen;
+pub use ego_dynamic as dynamic;
 pub use ego_graph as graph;
 pub use ego_linkpred as linkpred;
 pub use ego_matcher as matcher;
