@@ -6,7 +6,13 @@ use ego_bench::eval_graph;
 use ego_census::bucket_queue::BucketQueue;
 use ego_graph::bfs::BfsScratch;
 use ego_graph::profile::ProfileIndex;
+use ego_graph::setops::{gallop_into, merge_into, NodeBitset};
 use ego_graph::{neighborhood, NodeId};
+
+/// Sorted list of `len` ids spread over `universe` with the given stride.
+fn strided(len: usize, stride: u32) -> Vec<NodeId> {
+    (0..len as u32).map(|i| NodeId(i * stride)).collect()
+}
 
 fn bench(c: &mut Criterion) {
     let g = eval_graph(50_000, Some(4), 99);
@@ -31,6 +37,36 @@ fn bench(c: &mut Criterion) {
         let d: Vec<NodeId> = (0..20_000u32).step_by(3).map(NodeId).collect();
         b.iter(|| neighborhood::intersect_sorted(&a, &d).len())
     });
+
+    // Kernel comparison across size ratios: merge is linear in both list
+    // lengths; gallop is O(s log(l/s)); a prebuilt bitset filters in
+    // O(s). The adaptive dispatcher's GALLOP_RATIO threshold sits where
+    // the merge and gallop curves cross.
+    for ratio in [1usize, 10, 100, 1000] {
+        let short = strided(10_000 / ratio.max(1), 7 * ratio as u32);
+        let long = strided(10_000, 7);
+        let mut out = Vec::with_capacity(short.len());
+
+        c.bench_function(format!("setops_merge_1to{ratio}"), |b| {
+            b.iter(|| {
+                merge_into(&short, &long, &mut out);
+                out.len()
+            })
+        });
+        c.bench_function(format!("setops_gallop_1to{ratio}"), |b| {
+            b.iter(|| {
+                gallop_into(&short, &long, &mut out);
+                out.len()
+            })
+        });
+        c.bench_function(format!("setops_bitset_1to{ratio}"), |b| {
+            let bits = NodeBitset::from_sorted(70_001, &long);
+            b.iter(|| {
+                bits.filter_into(&short, &mut out);
+                out.len()
+            })
+        });
+    }
 
     c.bench_function("bucket_queue_churn", |b| {
         b.iter(|| {

@@ -1,0 +1,129 @@
+//! Set-intersection kernel benchmark: raw kernel throughput across size
+//! ratios, and the end-to-end CN matcher under each forced kernel.
+//!
+//! The first table isolates the kernels on synthetic sorted lists — the
+//! crossover between merge and gallop motivates the adaptive dispatcher's
+//! `GALLOP_RATIO` threshold, and the bitset row shows what build-once
+//! amortization buys at high reuse. The second table runs the full CN
+//! matcher with `EGO_SETOPS`-style forced kernels so the adaptive row can
+//! be judged against the best fixed choice.
+//!
+//! ```sh
+//! cargo run --release -p ego-bench --bin kernel_bench [-- --scale paper]
+//! ```
+
+use ego_bench::{eval_graph, fmt_secs, header, row, timed, Scale};
+use ego_graph::setops::{self, gallop_into, merge_into, Kernel, NodeBitset};
+use ego_graph::NodeId;
+use ego_matcher::{find_matches_with_stats, MatchStats, MatcherKind};
+use ego_pattern::builtin;
+
+fn strided(len: usize, stride: u32) -> Vec<NodeId> {
+    (0..len as u32).map(|i| NodeId(i * stride)).collect()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (long_len, reps, graph_nodes) = match scale {
+        Scale::Quick => (100_000usize, 200u32, 60_000usize),
+        Scale::Paper => (1_000_000usize, 200u32, 200_000usize),
+    };
+
+    println!("# Set-intersection kernels: merge vs gallop vs bitset\n");
+    println!("long list: {long_len} elements; ratio = |long| / |short|; {reps} reps\n");
+    header(&[
+        "ratio",
+        "merge",
+        "gallop",
+        "bitset(prebuilt)",
+        "gallop/merge",
+        "bitset/merge",
+        "out",
+    ]);
+    for ratio in [1usize, 10, 100, 1000] {
+        let long = strided(long_len, 7);
+        let short = strided(long_len / ratio, 7 * ratio as u32);
+        let mut out = Vec::with_capacity(short.len());
+
+        let (n_merge, t_merge) = timed(|| {
+            let mut n = 0;
+            for _ in 0..reps {
+                merge_into(&short, &long, &mut out);
+                n = out.len();
+            }
+            n
+        });
+        let (n_gallop, t_gallop) = timed(|| {
+            let mut n = 0;
+            for _ in 0..reps {
+                gallop_into(&short, &long, &mut out);
+                n = out.len();
+            }
+            n
+        });
+        let bits = NodeBitset::from_sorted(long_len * 7 + 1, &long);
+        let (n_bits, t_bits) = timed(|| {
+            let mut n = 0;
+            for _ in 0..reps {
+                bits.filter_into(&short, &mut out);
+                n = out.len();
+            }
+            n
+        });
+        assert_eq!(n_merge, n_gallop);
+        assert_eq!(n_merge, n_bits);
+        row(&[
+            format!("1:{ratio}"),
+            fmt_secs(t_merge / reps as f64),
+            fmt_secs(t_gallop / reps as f64),
+            fmt_secs(t_bits / reps as f64),
+            format!("{:.2}x", t_merge / t_gallop.max(1e-12)),
+            format!("{:.2}x", t_merge / t_bits.max(1e-12)),
+            n_merge.to_string(),
+        ]);
+    }
+
+    println!("\n# End-to-end CN matcher under forced kernels (BA graph, 4 labels)\n");
+    let g = eval_graph(graph_nodes, Some(4), 4242);
+    header(&[
+        "pattern",
+        "kernel",
+        "time",
+        "matches",
+        "merge",
+        "gallop",
+        "bitset",
+        "saved allocs",
+    ]);
+    for pattern in [builtin::clq3(), builtin::clq4()] {
+        let mut baseline = None;
+        for kernel in [
+            Kernel::Merge,
+            Kernel::Gallop,
+            Kernel::Bitset,
+            Kernel::Adaptive,
+        ] {
+            setops::set_kernel(kernel);
+            let mut stats = MatchStats::default();
+            let (matches, t) = timed(|| {
+                find_matches_with_stats(&g, &pattern, MatcherKind::CandidateNeighbors, &mut stats)
+            });
+            let n = matches.len();
+            match baseline {
+                None => baseline = Some(n),
+                Some(b) => assert_eq!(b, n, "kernel changed the match count"),
+            }
+            row(&[
+                pattern.name().to_string(),
+                kernel.name().to_string(),
+                fmt_secs(t),
+                n.to_string(),
+                stats.setops.merge_calls.to_string(),
+                stats.setops.gallop_calls.to_string(),
+                stats.setops.bitset_calls.to_string(),
+                stats.setops.saved_allocs.to_string(),
+            ]);
+        }
+    }
+    setops::set_kernel(Kernel::Adaptive);
+}

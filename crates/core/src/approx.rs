@@ -128,6 +128,9 @@ fn credit_matches<'m>(
     let mut scratch = BfsScratch::new(g.num_nodes());
     let mut buf = Vec::new();
     let mut balls: Vec<Vec<ego_graph::NodeId>> = Vec::new();
+    let mut covered: Vec<ego_graph::NodeId> = Vec::new();
+    let mut tmp: Vec<ego_graph::NodeId> = Vec::new();
+    let mut sstats = ego_graph::setops::SetOpStats::default();
     for m in sample {
         balls.clear();
         for &a in &anchors {
@@ -138,14 +141,16 @@ fn credit_matches<'m>(
             balls.push(ball);
         }
         balls.sort_by_key(Vec::len);
-        let mut covered = balls[0].clone();
+        covered.clear();
+        covered.extend_from_slice(&balls[0]);
         for b in &balls[1..] {
             if covered.is_empty() {
                 break;
             }
-            covered = ego_graph::neighborhood::intersect_sorted(&covered, b);
+            ego_graph::setops::intersect_into(&covered, b, &mut tmp, &mut sstats);
+            std::mem::swap(&mut covered, &mut tmp);
         }
-        for n in covered {
+        for &n in &covered {
             if mask[n.index()] {
                 credit(n.index());
             }

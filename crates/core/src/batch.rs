@@ -46,7 +46,7 @@ use crate::Algorithm;
 use ego_graph::bfs::BfsScratch;
 use ego_graph::profile::ProfileIndex;
 use ego_graph::{FastHashMap, FastHashSet, Graph, NodeId};
-use ego_matcher::{MatchList, NeighborhoodMatcher};
+use ego_matcher::{ExtractScratch, MatchList, NeighborhoodMatcher};
 use ego_pattern::analysis::{PatternAnalysis, UNREACHABLE};
 use ego_pattern::PNode;
 use rand::rngs::StdRng;
@@ -460,7 +460,12 @@ fn nd_sweep(
             bas_items.push(BasSweepItem {
                 slot: i,
                 k: specs[i].k(),
-                matcher: NeighborhoodMatcher::with_profiles(g, specs[i].pattern(), &profiles),
+                matcher: NeighborhoodMatcher::with_profiles_threads(
+                    g,
+                    specs[i].pattern(),
+                    &profiles,
+                    threads,
+                ),
             });
         }
     }
@@ -531,6 +536,7 @@ fn sweep_shard(
     let mut scratch = BfsScratch::new(g.num_nodes());
     let mut visited: Vec<NodeId> = Vec::new();
     let mut membership: FastHashSet<u32> = FastHashSet::default();
+    let mut extract_scratch = ExtractScratch::default();
 
     for &n in shard {
         visited.clear();
@@ -580,7 +586,11 @@ fn sweep_shard(
                 }
                 membership.insert(np.0);
             }
-            out[n_pivot + bi].1.set(n, it.matcher.count_in(&membership));
+            out[n_pivot + bi].1.set(
+                n,
+                it.matcher
+                    .count_in_scratch(&membership, &mut extract_scratch),
+            );
         }
     }
     (out, scratch.edges_scanned())

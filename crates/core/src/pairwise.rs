@@ -553,11 +553,14 @@ fn pt_pairwise(
                     // balls are distinct; start from the smallest.
                     balls.sort_by_key(|b| b.len());
                     let mut full: Vec<NodeId> = balls[0].to_vec();
+                    let mut tmp: Vec<NodeId> = Vec::new();
+                    let mut sstats = ego_graph::setops::SetOpStats::default();
                     for b in &balls[1..] {
                         if full.is_empty() {
                             break;
                         }
-                        full = neighborhood::intersect_sorted(&full, b);
+                        ego_graph::setops::intersect_into(&full, b, &mut tmp, &mut sstats);
+                        std::mem::swap(&mut full, &mut tmp);
                     }
                     for i in 0..full.len() {
                         for j in (i + 1)..full.len() {

@@ -48,6 +48,7 @@ pub mod ids;
 pub mod io;
 pub mod neighborhood;
 pub mod profile;
+pub mod setops;
 pub mod stats;
 pub mod subgraph;
 
@@ -58,4 +59,5 @@ pub use hash::{FastHashMap, FastHashSet};
 pub use ids::{Label, NodeId};
 pub use neighborhood::{khop_nodes, khop_nodes_with_dist, NeighborhoodKind};
 pub use profile::NodeProfile;
+pub use setops::{NodeBitset, SetOpStats};
 pub use subgraph::InducedSubgraph;

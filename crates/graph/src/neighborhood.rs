@@ -72,30 +72,13 @@ pub fn khop_union(
 }
 
 /// Intersection of two sorted, deduplicated node slices.
+///
+/// Allocating convenience wrapper over [`crate::setops::intersect_into`];
+/// hot loops should call the kernel layer directly with a reused buffer.
 pub fn intersect_sorted(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
-    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    // Galloping pays off when the lists are very unbalanced; otherwise a
-    // linear merge is fastest. 32x is the usual crossover heuristic.
-    if long.len() / 32 > short.len() {
-        return short
-            .iter()
-            .copied()
-            .filter(|x| long.binary_search(x).is_ok())
-            .collect();
-    }
-    let mut out = Vec::with_capacity(short.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut stats = crate::setops::SetOpStats::default();
+    crate::setops::intersect_into(a, b, &mut out, &mut stats);
     out
 }
 

@@ -1,0 +1,122 @@
+//! Property-based equivalence tests for the set-intersection kernels:
+//! every kernel must produce element-identical output to the scalar
+//! two-pointer merge on arbitrary sorted, deduplicated inputs.
+
+use ego_graph::setops::{
+    self, gallop_count, gallop_into, merge_count, merge_into, NodeBitset, SetOpStats,
+};
+use ego_graph::NodeId;
+use proptest::prelude::*;
+
+/// A sorted, deduplicated node list with ids drawn from a universe small
+/// enough that overlaps are common.
+fn arb_sorted(max_len: usize, universe: u32) -> impl Strategy<Value = Vec<NodeId>> {
+    prop::collection::vec(0u32..universe, 0..max_len).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v.into_iter().map(NodeId).collect()
+    })
+}
+
+/// Reference implementation: the plain two-pointer merge.
+fn reference(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    merge_into(a, b, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn gallop_matches_merge(
+        a in arb_sorted(64, 512),
+        b in arb_sorted(64, 512),
+    ) {
+        let expect = reference(&a, &b);
+        let mut out = Vec::new();
+        gallop_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &expect);
+        out.clear();
+        gallop_into(&b, &a, &mut out);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(gallop_count(&a, &b), expect.len());
+        prop_assert_eq!(merge_count(&a, &b), expect.len());
+    }
+
+    #[test]
+    fn gallop_matches_merge_on_skewed_sizes(
+        a in arb_sorted(8, 4096),
+        b in arb_sorted(512, 4096),
+    ) {
+        let expect = reference(&a, &b);
+        let mut out = Vec::new();
+        gallop_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &expect);
+    }
+
+    #[test]
+    fn bitset_matches_merge(
+        a in arb_sorted(64, 512),
+        b in arb_sorted(64, 512),
+    ) {
+        let expect = reference(&a, &b);
+        let bits = NodeBitset::from_sorted(512, &b);
+        let mut out = Vec::new();
+        bits.filter_into(&a, &mut out);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(bits.count_in(&a), expect.len());
+
+        // retain_sorted filters in place and reports removals.
+        let mut v = a.clone();
+        let removed = bits.retain_sorted(&mut v);
+        prop_assert_eq!(&v, &expect);
+        prop_assert_eq!(removed, a.len() - expect.len());
+    }
+
+    #[test]
+    fn bitset_membership_agrees_with_list(
+        b in arb_sorted(64, 512),
+        probe in 0u32..600,
+    ) {
+        // Probes beyond the universe must report absent, not panic.
+        let bits = NodeBitset::from_sorted(512, &b);
+        prop_assert_eq!(bits.contains(NodeId(probe)), b.contains(&NodeId(probe)));
+    }
+
+    #[test]
+    fn adaptive_dispatch_matches_merge(
+        a in arb_sorted(128, 1024),
+        b in arb_sorted(128, 1024),
+    ) {
+        // The default kernel is adaptive unless EGO_SETOPS overrides it;
+        // whatever is configured must agree with the reference merge.
+        let expect = reference(&a, &b);
+        let mut out = Vec::new();
+        let mut stats = SetOpStats::default();
+        setops::intersect_into(&a, &b, &mut out, &mut stats);
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(setops::intersect_count(&a, &b, &mut stats), expect.len());
+        prop_assert_eq!(stats.total_calls(), 2);
+    }
+
+    #[test]
+    fn intersection_laws(
+        a in arb_sorted(64, 256),
+        b in arb_sorted(64, 256),
+    ) {
+        // Commutativity, idempotence, and annihilation by the empty set —
+        // checked through the dispatcher so any kernel violating them is
+        // caught regardless of EGO_SETOPS.
+        let mut stats = SetOpStats::default();
+        let (mut ab, mut ba, mut aa, mut ae) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        setops::intersect_into(&a, &b, &mut ab, &mut stats);
+        setops::intersect_into(&b, &a, &mut ba, &mut stats);
+        setops::intersect_into(&a, &a, &mut aa, &mut stats);
+        setops::intersect_into(&a, &[], &mut ae, &mut stats);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(&aa, &a);
+        prop_assert!(ae.is_empty());
+        prop_assert!(ab.windows(2).all(|w| w[0] < w[1]), "output stays sorted+dedup");
+    }
+}

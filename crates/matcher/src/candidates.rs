@@ -1,9 +1,30 @@
 //! Candidate enumeration and candidate-neighbor sets (Sections III-A/B/C).
+//!
+//! Both phases run on the `ego_graph::setops` kernel layer: CN-set
+//! initialization intersects each candidate's adjacency with the neighbor
+//! candidate set through a build-once/intersect-many [`NodeBitset`] (or
+//! the merge/gallop kernels when the set is too small to amortize a
+//! build), and the prune fixpoint filters CN lists through per-node alive
+//! bitsets instead of hash lookups. Both phases also parallelize over
+//! deterministic shards — contiguous node ranges for enumeration,
+//! contiguous candidate ranges for CN initialization — so the assembled
+//! results are bit-identical to the sequential order at any thread count.
 
 use crate::stats::MatchStats;
 use ego_graph::profile::{NodeProfile, ProfileIndex};
-use ego_graph::{neighborhood, FastHashSet, Graph, NodeId};
+use ego_graph::setops::{self, NodeBitset, SetOpStats};
+use ego_graph::{Graph, NodeId};
 use ego_pattern::{PNode, Pattern};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Below this many graph nodes the parallel enumeration shards are not
+/// worth their thread spawns.
+const PAR_MIN_NODES: usize = 4096;
+
+/// Minimum candidates per CN-initialization task (smaller tasks drown in
+/// claim overhead).
+const CN_TASK_MIN: usize = 256;
 
 /// The candidate space shared by both matchers: per pattern node `v`, the
 /// candidate list `C(v)`; for the CN matcher additionally the candidate
@@ -16,8 +37,9 @@ pub struct CandidateSpace {
     pub cands: Vec<Vec<NodeId>>,
     /// `alive[v.index()][ci]` = candidate at position `ci` still viable.
     pub alive: Vec<Vec<bool>>,
-    /// Membership of alive candidates, for O(1) `n ∈ C(v)` checks.
-    pub in_c: Vec<FastHashSet<u32>>,
+    /// Bitset membership of alive candidates, for O(1) `n ∈ C(v)` checks
+    /// and kernel-level CN filtering during the prune fixpoint.
+    pub alive_bits: Vec<NodeBitset>,
     /// `cn[v.index()][j][ci]` = CN(cands\[v\]\[ci\], v, pneigh\[v\]\[j\]),
     /// sorted. Populated only by [`CandidateSpace::init_candidate_neighbors`].
     pub cn: Vec<Vec<Vec<Vec<NodeId>>>>,
@@ -31,6 +53,20 @@ impl CandidateSpace {
         p: &Pattern,
         profiles: &ProfileIndex,
         stats: &mut MatchStats,
+    ) -> Self {
+        Self::enumerate_threads(g, p, profiles, stats, 1)
+    }
+
+    /// [`CandidateSpace::enumerate`] sharded over `threads` workers: each
+    /// worker filters a contiguous node-id range for every pattern node,
+    /// and the per-range lists concatenate in range order — candidate
+    /// lists are bit-identical to the sequential scan.
+    pub fn enumerate_threads(
+        g: &Graph,
+        p: &Pattern,
+        profiles: &ProfileIndex,
+        stats: &mut MatchStats,
+        threads: usize,
     ) -> Self {
         let np = p.num_nodes();
         let pneigh: Vec<Vec<PNode>> = p.nodes().map(|v| p.neighbors(v)).collect();
@@ -47,41 +83,55 @@ impl CandidateSpace {
             })
             .collect();
 
-        let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); np];
-        for v in p.nodes() {
-            let vi = v.index();
-            let need_label = p.label(v);
-            let need_degree = pneigh[vi].len();
-            let needle = &pattern_profiles[vi];
-            let list = &mut cands[vi];
-            for n in g.node_ids() {
-                if let Some(l) = need_label {
-                    if g.label(n) != l {
-                        continue;
-                    }
+        let n = g.num_nodes();
+        let threads = threads.max(1).min(n.max(1));
+        let cands: Vec<Vec<NodeId>> = if threads <= 1 || n < PAR_MIN_NODES {
+            enumerate_range(g, p, &pneigh, &pattern_profiles, profiles, 0..n as u32)
+        } else {
+            let chunk = n.div_ceil(threads) as u32;
+            let ranges: Vec<std::ops::Range<u32>> = (0..n as u32)
+                .step_by(chunk as usize)
+                .map(|start| start..(start + chunk).min(n as u32))
+                .collect();
+            let partials: Vec<Vec<Vec<NodeId>>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .into_iter()
+                    .map(|range| {
+                        let pneigh = &pneigh;
+                        let pattern_profiles = &pattern_profiles;
+                        scope.spawn(move || {
+                            enumerate_range(g, p, pneigh, pattern_profiles, profiles, range)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("candidate enumeration worker panicked"))
+                    .collect()
+            });
+            let mut merged: Vec<Vec<NodeId>> = vec![Vec::new(); np];
+            for partial in partials {
+                for (vi, list) in partial.into_iter().enumerate() {
+                    merged[vi].extend(list);
                 }
-                if g.degree(n) < need_degree {
-                    continue;
-                }
-                if !profiles.contains(n, needle) {
-                    continue;
-                }
-                list.push(n);
             }
+            merged
+        };
+        for list in &cands {
             stats.initial_candidates += list.len();
         }
 
         let alive: Vec<Vec<bool>> = cands.iter().map(|c| vec![true; c.len()]).collect();
-        let in_c: Vec<FastHashSet<u32>> = cands
+        let alive_bits: Vec<NodeBitset> = cands
             .iter()
-            .map(|c| c.iter().map(|n| n.0).collect())
+            .map(|c| NodeBitset::from_sorted(g.num_nodes(), c))
             .collect();
 
         CandidateSpace {
             pneigh,
             cands,
             alive,
-            in_c,
+            alive_bits,
             cn: vec![Vec::new(); np],
         }
     }
@@ -90,44 +140,183 @@ impl CandidateSpace {
     /// honoring edge direction: if the pattern requires `v -> v'`, images
     /// of `v'` must be out-neighbors of `n`; `v' -> v` requires
     /// in-neighbors; both require both; an undirected pattern edge accepts
-    /// any adjacency.
-    fn relation_neighbors(g: &Graph, p: &Pattern, n: NodeId, v: PNode, vp: PNode) -> Vec<NodeId> {
+    /// any adjacency. Borrows straight from the CSR except for the
+    /// both-directions case, which intersects into `scratch`.
+    fn relation_adjacency<'a>(
+        g: &'a Graph,
+        p: &Pattern,
+        n: NodeId,
+        v: PNode,
+        vp: PNode,
+        scratch: &'a mut Vec<NodeId>,
+        stats: &mut SetOpStats,
+    ) -> &'a [NodeId] {
         if !g.is_directed() {
-            return g.neighbors(n).to_vec();
+            return g.neighbors(n);
         }
         let (ab, ba) = p.directed_requirements(v, vp);
         match (ab, ba) {
-            (true, true) => neighborhood::intersect_sorted(g.out_neighbors(n), g.in_neighbors(n)),
-            (true, false) => g.out_neighbors(n).to_vec(),
-            (false, true) => g.in_neighbors(n).to_vec(),
-            (false, false) => g.neighbors(n).to_vec(),
+            (true, true) => {
+                setops::intersect_into(g.out_neighbors(n), g.in_neighbors(n), scratch, stats);
+                scratch
+            }
+            (true, false) => g.out_neighbors(n),
+            (false, true) => g.in_neighbors(n),
+            (false, false) => g.neighbors(n),
         }
     }
 
     /// Step 2 (Section III-B): initialize `CN(n, v, v') = C(v') ∩ N(n)`
     /// for every candidate and pattern-neighbor pair.
     pub fn init_candidate_neighbors(&mut self, g: &Graph, p: &Pattern) {
-        for v in p.nodes() {
-            let vi = v.index();
-            let mut per_neighbor = Vec::with_capacity(self.pneigh[vi].len());
+        let mut stats = MatchStats::default();
+        self.init_candidate_neighbors_threads(g, p, &mut stats, 1);
+    }
+
+    /// [`CandidateSpace::init_candidate_neighbors`] on the kernel layer,
+    /// sharded over `threads` workers. Candidate sets that get
+    /// intersected many times are materialized once as [`NodeBitset`]s
+    /// (shared read-only across workers); each worker claims contiguous
+    /// candidate ranges of `(v, v')` pairs and fills pre-ordered slots,
+    /// so the CN lists are bit-identical at any thread count.
+    pub fn init_candidate_neighbors_threads(
+        &mut self,
+        g: &Graph,
+        p: &Pattern,
+        stats: &mut MatchStats,
+        threads: usize,
+    ) {
+        // Build-once bitsets per pattern node whose candidate set is
+        // reused enough: reuse count = how many intersections will hit
+        // C(v'), summed over pattern nodes that neighbor v'.
+        let np = p.num_nodes();
+        let mut reuse = vec![0usize; np];
+        for vi in 0..np {
             for &vp in &self.pneigh[vi] {
-                let cvp = &self.cands[vp.index()];
-                let lists: Vec<Vec<NodeId>> = self.cands[vi]
-                    .iter()
-                    .map(|&n| {
-                        let adj = Self::relation_neighbors(g, p, n, v, vp);
-                        neighborhood::intersect_sorted(&adj, cvp)
-                    })
-                    .collect();
-                per_neighbor.push(lists);
+                reuse[vp.index()] += self.cands[vi].len();
             }
-            self.cn[vi] = per_neighbor;
         }
+        let vp_bits: Vec<Option<NodeBitset>> = (0..np)
+            .map(|vpi| {
+                if reuse[vpi] > 0 && setops::bitset_pays_off(reuse[vpi], self.cands[vpi].len()) {
+                    Some(NodeBitset::from_sorted(g.num_nodes(), &self.cands[vpi]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Flatten the work into tasks: (v, pattern-neighbor index,
+        // contiguous candidate range).
+        struct Task {
+            vi: usize,
+            j: usize,
+            range: std::ops::Range<usize>,
+        }
+        let threads = threads.max(1);
+        let total: usize = (0..np)
+            .map(|vi| self.cands[vi].len() * self.pneigh[vi].len())
+            .sum();
+        let task_size = (total.div_ceil(threads * 4)).max(CN_TASK_MIN);
+        let mut tasks = Vec::new();
+        for vi in 0..np {
+            for j in 0..self.pneigh[vi].len() {
+                let len = self.cands[vi].len();
+                let mut start = 0;
+                loop {
+                    let end = (start + task_size).min(len);
+                    tasks.push(Task {
+                        vi,
+                        j,
+                        range: start..end,
+                    });
+                    if end == len {
+                        break;
+                    }
+                    start = end;
+                }
+            }
+        }
+
+        let run_task = |t: &Task, sstats: &mut SetOpStats| -> Vec<Vec<NodeId>> {
+            let v = PNode(t.vi as u8);
+            let vp = self.pneigh[t.vi][t.j];
+            let cvp = &self.cands[vp.index()];
+            let bits = vp_bits[vp.index()].as_ref();
+            let mut adj_scratch = Vec::new();
+            self.cands[t.vi][t.range.clone()]
+                .iter()
+                .map(|&n| {
+                    let adj = Self::relation_adjacency(g, p, n, v, vp, &mut adj_scratch, sstats);
+                    let mut out = Vec::new();
+                    if let Some(bits) = bits {
+                        sstats.bitset_calls += 1;
+                        bits.filter_into(adj, &mut out);
+                    } else {
+                        setops::intersect_into(adj, cvp, &mut out, sstats);
+                    }
+                    out
+                })
+                .collect()
+        };
+
+        let workers = threads.min(tasks.len().max(1));
+        let mut cn: Vec<Vec<Vec<Vec<NodeId>>>> = (0..np)
+            .map(|vi| {
+                (0..self.pneigh[vi].len())
+                    .map(|_| vec![Vec::new(); self.cands[vi].len()])
+                    .collect()
+            })
+            .collect();
+        if workers <= 1 {
+            let mut sstats = SetOpStats::default();
+            for t in &tasks {
+                let lists = run_task(t, &mut sstats);
+                for (offset, list) in lists.into_iter().enumerate() {
+                    cn[t.vi][t.j][t.range.start + offset] = list;
+                }
+            }
+            stats.setops.add(&sstats);
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<OnceLock<(Vec<Vec<NodeId>>, SetOpStats)>> =
+                tasks.iter().map(|_| OnceLock::new()).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let next = &next;
+                    let slots = &slots;
+                    let tasks = &tasks;
+                    let run_task = &run_task;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let mut sstats = SetOpStats::default();
+                        let lists = run_task(&tasks[i], &mut sstats);
+                        slots[i]
+                            .set((lists, sstats))
+                            .expect("CN task slot written twice");
+                    });
+                }
+            });
+            for (t, slot) in tasks.iter().zip(slots) {
+                let (lists, sstats) = slot.into_inner().expect("CN task never ran");
+                stats.setops.add(&sstats);
+                for (offset, list) in lists.into_iter().enumerate() {
+                    cn[t.vi][t.j][t.range.start + offset] = list;
+                }
+            }
+        }
+        self.cn = cn;
     }
 
     /// Step 3 (Section III-C): simultaneously prune candidates whose CN
     /// sets are empty and CN entries that left the candidate sets, until a
     /// fixpoint. Returns the number of passes.
+    ///
+    /// CN filtering runs through the per-node alive bitsets — a
+    /// 2-instruction membership test per entry, in place, no allocation.
     pub fn prune(&mut self, p: &Pattern, stats: &mut MatchStats) -> usize {
         let mut passes = 0;
         loop {
@@ -144,7 +333,7 @@ impl CandidateSpace {
                     let dead = self.cn[vi].iter().any(|lists| lists[ci].is_empty());
                     if dead {
                         self.alive[vi][ci] = false;
-                        self.in_c[vi].remove(&self.cands[vi][ci].0);
+                        self.alive_bits[vi].remove(self.cands[vi][ci]);
                         changed = true;
                     }
                 }
@@ -154,15 +343,15 @@ impl CandidateSpace {
             for v in p.nodes() {
                 let vi = v.index();
                 for (j, &vp) in self.pneigh[vi].iter().enumerate() {
-                    let in_cvp = &self.in_c[vp.index()];
+                    let bits = &self.alive_bits[vp.index()];
                     for ci in 0..self.cands[vi].len() {
                         if !self.alive[vi][ci] {
                             continue;
                         }
                         let list = &mut self.cn[vi][j][ci];
-                        let before = list.len();
-                        list.retain(|n| in_cvp.contains(&n.0));
-                        if list.len() != before {
+                        stats.setops.bitset_calls += 1;
+                        stats.setops.saved_allocs += 1; // in-place, no realloc
+                        if bits.retain_sorted(list) > 0 {
                             changed = true;
                         }
                     }
@@ -214,8 +403,45 @@ impl CandidateSpace {
 
     /// Is `n` an alive candidate for `v`?
     pub fn is_alive(&self, v: PNode, n: NodeId) -> bool {
-        self.in_c[v.index()].contains(&n.0)
+        self.alive_bits[v.index()].contains(n)
     }
+}
+
+/// Filter the node-id range `[range.start, range.end)` against every
+/// pattern node's label/degree/profile constraints, returning per-pattern-
+/// node candidate lists for that range (sorted, since ids scan in order).
+fn enumerate_range(
+    g: &Graph,
+    p: &Pattern,
+    pneigh: &[Vec<PNode>],
+    pattern_profiles: &[NodeProfile],
+    profiles: &ProfileIndex,
+    range: std::ops::Range<u32>,
+) -> Vec<Vec<NodeId>> {
+    let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); p.num_nodes()];
+    for v in p.nodes() {
+        let vi = v.index();
+        let need_label = p.label(v);
+        let need_degree = pneigh[vi].len();
+        let needle = &pattern_profiles[vi];
+        let list = &mut cands[vi];
+        for id in range.clone() {
+            let n = NodeId(id);
+            if let Some(l) = need_label {
+                if g.label(n) != l {
+                    continue;
+                }
+            }
+            if g.degree(n) < need_degree {
+                continue;
+            }
+            if !profiles.contains(n, needle) {
+                continue;
+            }
+            list.push(n);
+        }
+    }
+    cands
 }
 
 #[cfg(test)]

@@ -13,8 +13,33 @@ use crate::candidates::CandidateSpace;
 use crate::filter::passes_filters;
 use crate::stats::MatchStats;
 use ego_graph::profile::ProfileIndex;
-use ego_graph::{FastHashSet, Graph, NodeId};
+use ego_graph::{setops, FastHashSet, Graph, NodeId};
 use ego_pattern::{Pattern, SearchOrder};
+
+/// Reusable buffers for the forward-extraction phase: a pool of per-depth
+/// candidate lists (returned on backtrack, taken on descent) and a
+/// ping-pong buffer for chained intersections. One extraction allocates
+/// at most `pattern depth + 1` vectors over its whole lifetime; batched
+/// census runs share one scratch across all focal neighborhoods.
+#[derive(Default)]
+pub struct ExtractScratch {
+    pool: Vec<Vec<NodeId>>,
+    pub(crate) tmp: Vec<NodeId>,
+}
+
+impl ExtractScratch {
+    /// Take a cleared buffer from the pool (or allocate one).
+    pub(crate) fn take(&mut self) -> Vec<NodeId> {
+        let mut v = self.pool.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub(crate) fn give(&mut self, v: Vec<NodeId>) {
+        self.pool.push(v);
+    }
+}
 
 /// Enumerate all embeddings of `p` in `g` using the CN algorithm.
 pub fn enumerate(g: &Graph, p: &Pattern, stats: &mut MatchStats) -> Vec<Vec<NodeId>> {
@@ -30,10 +55,26 @@ pub fn enumerate_with_profiles(
     profiles: &ProfileIndex,
     stats: &mut MatchStats,
 ) -> Vec<Vec<NodeId>> {
-    let mut cs = CandidateSpace::enumerate(g, p, profiles, stats);
-    cs.init_candidate_neighbors(g, p);
+    enumerate_with_profiles_threads(g, p, profiles, stats, 1)
+}
+
+/// [`enumerate_with_profiles`] with the candidate-enumeration and CN-set
+/// initialization phases sharded over `threads` workers (extraction runs
+/// on the calling thread; [`crate::parallel`] shards that phase).
+/// Results are bit-identical at any thread count.
+pub fn enumerate_with_profiles_threads(
+    g: &Graph,
+    p: &Pattern,
+    profiles: &ProfileIndex,
+    stats: &mut MatchStats,
+    threads: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut cs = CandidateSpace::enumerate_threads(g, p, profiles, stats, threads);
+    cs.init_candidate_neighbors_threads(g, p, stats, threads);
     cs.prune(p, stats);
-    extract(g, p, &cs, stats)
+    let out = extract(g, p, &cs, stats);
+    setops::record_global(&stats.setops);
+    out
 }
 
 /// Step 4: forward extraction over the pruned candidate space.
@@ -44,7 +85,8 @@ fn extract(
     stats: &mut MatchStats,
 ) -> Vec<Vec<NodeId>> {
     let order = SearchOrder::new(p);
-    extract_with(g, p, cs, &order, None, stats)
+    let mut scratch = ExtractScratch::default();
+    extract_with(g, p, cs, &order, None, stats, &mut scratch)
 }
 
 /// Forward extraction with an optional membership restriction: when
@@ -54,6 +96,7 @@ fn extract(
 /// is the batched-census entry point: the candidate space and search
 /// order are built once per (graph, pattern) and reused across all
 /// per-focal neighborhoods.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn extract_with(
     g: &Graph,
     p: &Pattern,
@@ -61,6 +104,7 @@ pub(crate) fn extract_with(
     order: &SearchOrder,
     membership: Option<&FastHashSet<u32>>,
     stats: &mut MatchStats,
+    scratch: &mut ExtractScratch,
 ) -> Vec<Vec<NodeId>> {
     let np = p.num_nodes();
     let mut out = Vec::new();
@@ -70,7 +114,7 @@ pub(crate) fn extract_with(
     let mut stack_iters: Vec<Vec<NodeId>> = Vec::with_capacity(np);
 
     // Depth-first product over per-depth candidate lists.
-    let first = candidates_for_depth(g, p, cs, order, membership, 0, &assignment, stats);
+    let first = candidates_for_depth(g, p, cs, order, membership, 0, &assignment, stats, scratch);
     stack_iters.push(first);
     let mut cursor = vec![0usize; 1];
 
@@ -78,7 +122,9 @@ pub(crate) fn extract_with(
         let depth = cursor.len() - 1;
         let options = &stack_iters[depth];
         if depth_pos >= options.len() {
-            stack_iters.pop();
+            if let Some(done) = stack_iters.pop() {
+                scratch.give(done);
+            }
             cursor.pop();
             if let Some(c) = cursor.last_mut() {
                 *c += 1;
@@ -103,11 +149,23 @@ pub(crate) fn extract_with(
             *cursor.last_mut().unwrap() += 1;
         } else {
             stats.partial_matches += 1;
-            let next =
-                candidates_for_depth(g, p, cs, order, membership, depth + 1, &assignment, stats);
+            let next = candidates_for_depth(
+                g,
+                p,
+                cs,
+                order,
+                membership,
+                depth + 1,
+                &assignment,
+                stats,
+                scratch,
+            );
             stack_iters.push(next);
             cursor.push(0);
         }
+    }
+    while let Some(done) = stack_iters.pop() {
+        scratch.give(done);
     }
     out
 }
@@ -126,18 +184,21 @@ fn candidates_for_depth(
     depth: usize,
     assignment: &[NodeId],
     stats: &mut MatchStats,
+    scratch: &mut ExtractScratch,
 ) -> Vec<NodeId> {
     let v = order.order[depth];
     let back = &order.backward[depth];
     if back.is_empty() {
-        let mut all: Vec<NodeId> = cs.alive_candidates(v).collect();
+        let mut all = scratch.take();
+        all.extend(cs.alive_candidates(v));
         stats.extension_candidates_scanned += all.len();
         if let Some(members) = membership {
             all.retain(|n| members.contains(&n.0));
         }
         return all;
     }
-    // Start from the smallest CN list, then intersect with the rest.
+    // Start from the smallest CN list, then intersect with the rest
+    // through the kernel layer, ping-ponging between two pooled buffers.
     let mut lists: Vec<&[NodeId]> = Vec::with_capacity(back.len());
     for &j in back {
         let vj = order.order[j];
@@ -145,14 +206,23 @@ fn candidates_for_depth(
         lists.push(cs.cn_list(vj, nj, v));
     }
     lists.sort_by_key(|l| l.len());
-    let mut current: Vec<NodeId> = lists[0].to_vec();
+    let mut current = scratch.take();
     stats.extension_candidates_scanned += lists[0].len();
-    for l in &lists[1..] {
+    if let [first, second, ..] = lists[..] {
+        // Fuse the first two lists into one kernel call, skipping the
+        // copy of lists[0] into `current`.
+        stats.extension_candidates_scanned += second.len().min(first.len());
+        setops::intersect_into(first, second, &mut current, &mut stats.setops);
+    } else {
+        current.extend_from_slice(lists[0]);
+    }
+    for l in lists.iter().skip(2) {
         if current.is_empty() {
             break;
         }
         stats.extension_candidates_scanned += l.len().min(current.len());
-        current = ego_graph::neighborhood::intersect_sorted(&current, l);
+        setops::intersect_into(&current, l, &mut scratch.tmp, &mut stats.setops);
+        std::mem::swap(&mut current, &mut scratch.tmp);
     }
     if let Some(members) = membership {
         current.retain(|n| members.contains(&n.0));

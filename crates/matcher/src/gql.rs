@@ -80,7 +80,7 @@ fn refine(g: &Graph, p: &Pattern, cs: &mut CandidateSpace, stats: &mut MatchStat
                     .collect();
                 if !has_perfect_left_matching(&adj, gneigh.len()) {
                     cs.alive[vi][ci] = false;
-                    cs.in_c[vi].remove(&n.0);
+                    cs.alive_bits[vi].remove(n);
                     changed = true;
                 }
             }

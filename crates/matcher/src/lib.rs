@@ -50,6 +50,7 @@ pub mod parallel;
 pub mod spath;
 pub mod stats;
 
+pub use cn::ExtractScratch;
 pub use matches::{MatchList, PatternMatch};
 pub use neighborhood::NeighborhoodMatcher;
 pub use stats::MatchStats;

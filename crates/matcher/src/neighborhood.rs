@@ -17,7 +17,7 @@
 //! restricted ones.
 
 use crate::candidates::CandidateSpace;
-use crate::cn;
+use crate::cn::{self, ExtractScratch};
 use crate::matches::MatchList;
 use crate::stats::MatchStats;
 use ego_graph::profile::ProfileIndex;
@@ -45,10 +45,24 @@ impl<'g, 'p> NeighborhoodMatcher<'g, 'p> {
     /// Build the matcher reusing a prebuilt profile index (batches build
     /// the index once per graph and share it across patterns).
     pub fn with_profiles(g: &'g Graph, p: &'p Pattern, profiles: &ProfileIndex) -> Self {
+        Self::with_profiles_threads(g, p, profiles, 1)
+    }
+
+    /// [`NeighborhoodMatcher::with_profiles`] with the candidate
+    /// enumeration and CN-set initialization phases sharded over
+    /// `threads` workers. The derived candidate space is bit-identical
+    /// at any thread count.
+    pub fn with_profiles_threads(
+        g: &'g Graph,
+        p: &'p Pattern,
+        profiles: &ProfileIndex,
+        threads: usize,
+    ) -> Self {
         let mut stats = MatchStats::default();
-        let mut cs = CandidateSpace::enumerate(g, p, profiles, &mut stats);
-        cs.init_candidate_neighbors(g, p);
+        let mut cs = CandidateSpace::enumerate_threads(g, p, profiles, &mut stats, threads);
+        cs.init_candidate_neighbors_threads(g, p, &mut stats, threads);
         cs.prune(p, &mut stats);
+        ego_graph::setops::record_global(&stats.setops);
         NeighborhoodMatcher {
             g,
             p,
@@ -70,6 +84,19 @@ impl<'g, 'p> NeighborhoodMatcher<'g, 'p> {
     /// match contributes exactly `|Aut(p)|` restricted embeddings and the
     /// division below is exact.
     pub fn count_in(&self, membership: &FastHashSet<u32>) -> u64 {
+        let mut scratch = ExtractScratch::default();
+        self.count_in_scratch(membership, &mut scratch)
+    }
+
+    /// [`NeighborhoodMatcher::count_in`] with caller-owned scratch
+    /// buffers: census loops evaluating thousands of neighborhoods reuse
+    /// one [`ExtractScratch`] so per-depth candidate lists stop churning
+    /// the allocator.
+    pub fn count_in_scratch(
+        &self,
+        membership: &FastHashSet<u32>,
+        scratch: &mut ExtractScratch,
+    ) -> u64 {
         let mut stats = MatchStats::default();
         let embeddings = cn::extract_with(
             self.g,
@@ -78,7 +105,9 @@ impl<'g, 'p> NeighborhoodMatcher<'g, 'p> {
             &self.order,
             Some(membership),
             &mut stats,
+            scratch,
         );
+        ego_graph::setops::record_global(&stats.setops);
         debug_assert_eq!(embeddings.len() % self.aut_count, 0);
         (embeddings.len() / self.aut_count) as u64
     }
@@ -86,6 +115,16 @@ impl<'g, 'p> NeighborhoodMatcher<'g, 'p> {
     /// The distinct matches whose node images all lie in `membership`,
     /// deduplicated by the pattern's automorphism group.
     pub fn matches_in(&self, membership: &FastHashSet<u32>) -> MatchList {
+        let mut scratch = ExtractScratch::default();
+        self.matches_in_scratch(membership, &mut scratch)
+    }
+
+    /// [`NeighborhoodMatcher::matches_in`] with caller-owned scratch.
+    pub fn matches_in_scratch(
+        &self,
+        membership: &FastHashSet<u32>,
+        scratch: &mut ExtractScratch,
+    ) -> MatchList {
         let mut stats = MatchStats::default();
         let embeddings = cn::extract_with(
             self.g,
@@ -94,7 +133,9 @@ impl<'g, 'p> NeighborhoodMatcher<'g, 'p> {
             &self.order,
             Some(membership),
             &mut stats,
+            scratch,
         );
+        ego_graph::setops::record_global(&stats.setops);
         MatchList::from_embeddings(self.p, embeddings)
     }
 }

@@ -3,16 +3,20 @@
 //! The CN algorithm's extraction phase is a depth-first product over
 //! per-depth candidate lists; different subtrees are independent, so the
 //! first-level candidates can be sharded across threads. Candidate
-//! enumeration and pruning run once (shared read-only), each worker
-//! extracts its shard, and results are concatenated. Output order is
+//! enumeration and CN-set initialization also shard across the same
+//! thread count ([`CandidateSpace::enumerate_threads`] /
+//! [`CandidateSpace::init_candidate_neighbors_threads`]); pruning runs
+//! once (shared read-only), each worker extracts its shard with its own
+//! [`ExtractScratch`], and results are concatenated. Output order is
 //! normalized by sorting, so results are identical to the sequential
 //! matcher.
 
 use crate::candidates::CandidateSpace;
+use crate::cn::ExtractScratch;
 use crate::filter::passes_filters;
 use crate::stats::MatchStats;
 use ego_graph::profile::ProfileIndex;
-use ego_graph::{neighborhood, Graph, NodeId};
+use ego_graph::{setops, Graph, NodeId};
 use ego_pattern::{Pattern, SearchOrder};
 
 /// Enumerate all embeddings of `p` in `g` with the CN algorithm,
@@ -33,8 +37,8 @@ pub fn enumerate_parallel_with_stats(
     stats: &mut MatchStats,
 ) -> Vec<Vec<NodeId>> {
     let profiles = ProfileIndex::build(g);
-    let mut cs = CandidateSpace::enumerate(g, p, &profiles, stats);
-    cs.init_candidate_neighbors(g, p);
+    let mut cs = CandidateSpace::enumerate_threads(g, p, &profiles, stats, threads);
+    cs.init_candidate_neighbors_threads(g, p, stats, threads);
     cs.prune(p, stats);
 
     let order = SearchOrder::new(p);
@@ -42,10 +46,12 @@ pub fn enumerate_parallel_with_stats(
     let threads = threads.max(1).min(roots.len().max(1));
     if threads <= 1 || roots.len() < 2 {
         let mut out = Vec::new();
+        let mut scratch = ExtractScratch::default();
         for &root in &roots {
-            extract_subtree(g, p, &cs, &order, root, &mut out, stats);
+            extract_subtree(g, p, &cs, &order, root, &mut out, stats, &mut scratch);
         }
         out.sort_unstable();
+        setops::record_global(&stats.setops);
         return out;
     }
 
@@ -59,8 +65,18 @@ pub fn enumerate_parallel_with_stats(
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     let mut local_stats = MatchStats::default();
+                    let mut scratch = ExtractScratch::default();
                     for &root in shard {
-                        extract_subtree(g, p, cs, order, root, &mut local, &mut local_stats);
+                        extract_subtree(
+                            g,
+                            p,
+                            cs,
+                            order,
+                            root,
+                            &mut local,
+                            &mut local_stats,
+                            &mut scratch,
+                        );
                     }
                     (local, local_stats)
                 })
@@ -79,12 +95,15 @@ pub fn enumerate_parallel_with_stats(
         stats.partial_matches += local_stats.partial_matches;
         stats.raw_embeddings += local_stats.raw_embeddings;
         stats.filtered_embeddings += local_stats.filtered_embeddings;
+        stats.setops.add(&local_stats.setops);
     }
     out.sort_unstable();
+    setops::record_global(&stats.setops);
     out
 }
 
 /// Extract all embeddings whose first-order node maps to `root`.
+#[allow(clippy::too_many_arguments)]
 fn extract_subtree(
     g: &Graph,
     p: &Pattern,
@@ -93,6 +112,7 @@ fn extract_subtree(
     root: NodeId,
     out: &mut Vec<Vec<NodeId>>,
     stats: &mut MatchStats,
+    scratch: &mut ExtractScratch,
 ) {
     let np = p.num_nodes();
     let mut assignment = vec![NodeId(0); np];
@@ -105,7 +125,7 @@ fn extract_subtree(
         }
         return;
     }
-    dfs(g, p, cs, order, 1, &mut assignment, out, stats);
+    dfs(g, p, cs, order, 1, &mut assignment, out, stats, scratch);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -118,14 +138,15 @@ fn dfs(
     assignment: &mut Vec<NodeId>,
     out: &mut Vec<Vec<NodeId>>,
     stats: &mut MatchStats,
+    scratch: &mut ExtractScratch,
 ) {
     let np = p.num_nodes();
     let v = order.order[depth];
     let back = &order.backward[depth];
-    let options: Vec<NodeId> = if back.is_empty() {
-        let all: Vec<NodeId> = cs.alive_candidates(v).collect();
-        stats.extension_candidates_scanned += all.len();
-        all
+    let mut options = scratch.take();
+    if back.is_empty() {
+        options.extend(cs.alive_candidates(v));
+        stats.extension_candidates_scanned += options.len();
     } else {
         let mut lists: Vec<&[NodeId]> = back
             .iter()
@@ -135,18 +156,23 @@ fn dfs(
             })
             .collect();
         lists.sort_by_key(|l| l.len());
-        let mut cur = lists[0].to_vec();
         stats.extension_candidates_scanned += lists[0].len();
-        for l in &lists[1..] {
-            if cur.is_empty() {
+        if let [first, second, ..] = lists[..] {
+            stats.extension_candidates_scanned += second.len().min(first.len());
+            setops::intersect_into(first, second, &mut options, &mut stats.setops);
+        } else {
+            options.extend_from_slice(lists[0]);
+        }
+        for l in lists.iter().skip(2) {
+            if options.is_empty() {
                 break;
             }
-            stats.extension_candidates_scanned += l.len().min(cur.len());
-            cur = neighborhood::intersect_sorted(&cur, l);
+            stats.extension_candidates_scanned += l.len().min(options.len());
+            setops::intersect_into(&options, l, &mut scratch.tmp, &mut stats.setops);
+            std::mem::swap(&mut options, &mut scratch.tmp);
         }
-        cur
-    };
-    for n in options {
+    }
+    for &n in &options {
         if (0..depth).any(|d| assignment[order.order[d].index()] == n) {
             continue;
         }
@@ -159,9 +185,10 @@ fn dfs(
             }
         } else {
             stats.partial_matches += 1;
-            dfs(g, p, cs, order, depth + 1, assignment, out, stats);
+            dfs(g, p, cs, order, depth + 1, assignment, out, stats, scratch);
         }
     }
+    scratch.give(options);
 }
 
 #[cfg(test)]

@@ -168,7 +168,7 @@ pub fn enumerate_with_index(
             });
             if !ok {
                 cs.alive[vi][ci] = false;
-                cs.in_c[vi].remove(&n.0);
+                cs.alive_bits[vi].remove(n);
             }
         }
     }

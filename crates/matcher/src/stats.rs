@@ -5,6 +5,8 @@
 //! the use of candidate neighbor sets"): the benches report extension
 //! candidates scanned per algorithm.
 
+use ego_graph::setops::SetOpStats;
+
 /// Counters accumulated during one matcher run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MatchStats {
@@ -23,6 +25,10 @@ pub struct MatchStats {
     pub raw_embeddings: usize,
     /// Embeddings surviving negation/predicate filters.
     pub filtered_embeddings: usize,
+    /// Set-intersection kernel dispatch counters (merge vs gallop vs
+    /// bitset, plus scratch-buffer reuse), accumulated across the
+    /// candidate, prune, and extraction phases.
+    pub setops: SetOpStats,
 }
 
 impl MatchStats {

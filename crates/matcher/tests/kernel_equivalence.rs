@@ -1,0 +1,149 @@
+//! Matcher-level kernel equivalence: the CN matcher's match lists must be
+//! bit-identical whichever set-intersection kernel is forced and however
+//! many threads shard the candidate/extraction phases. This is the
+//! acceptance test for the kernel rewiring — any divergence between
+//! merge, gallop, bitset, and adaptive dispatch shows up as a differing
+//! embedding list here.
+
+use ego_graph::setops::{self, Kernel};
+use ego_graph::{Graph, GraphBuilder, Label, NodeId};
+use ego_matcher::parallel::enumerate_parallel;
+use ego_matcher::{MatchStats, MatcherKind};
+use ego_pattern::Pattern;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The kernel override is process-global; tests that force kernels must
+/// not interleave.
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+fn circulant(n: u32, offsets: &[u32], labels: u16) -> Graph {
+    let mut b = GraphBuilder::undirected();
+    for i in 0..n {
+        b.add_node(Label((i % labels as u32) as u16));
+    }
+    for i in 0..n {
+        for &d in offsets {
+            b.add_edge(NodeId(i), NodeId((i + d) % n));
+        }
+    }
+    b.build()
+}
+
+fn patterns() -> Vec<Pattern> {
+    [
+        "PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }",
+        "PATTERN wedge { ?A-?B; ?B-?C; ?A!-?C; }",
+        "PATTERN ltri { ?A-?B; ?B-?C; ?A-?C; [?A.LABEL=0]; }",
+        "PATTERN clq4 { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }",
+    ]
+    .iter()
+    .map(|t| Pattern::parse(t).unwrap())
+    .collect()
+}
+
+#[test]
+fn forced_kernels_and_thread_counts_are_bit_identical() {
+    let _guard = KERNEL_LOCK.lock().unwrap();
+    let g = circulant(120, &[1, 2, 4, 9], 3);
+    for p in &patterns() {
+        // Reference: merge kernel, sequential.
+        setops::set_kernel(Kernel::Merge);
+        let mut reference = ego_matcher::find_embeddings(&g, p, MatcherKind::CandidateNeighbors);
+        reference.sort_unstable();
+
+        for kernel in [
+            Kernel::Merge,
+            Kernel::Gallop,
+            Kernel::Bitset,
+            Kernel::Adaptive,
+        ] {
+            setops::set_kernel(kernel);
+            for threads in [1, 2, 4, 8] {
+                let got = enumerate_parallel(&g, p, threads);
+                assert_eq!(
+                    got,
+                    reference,
+                    "pattern={} kernel={} threads={threads}",
+                    p.name(),
+                    kernel.name()
+                );
+            }
+        }
+    }
+    setops::set_kernel(Kernel::Adaptive);
+}
+
+#[test]
+fn scan_accounting_is_kernel_and_thread_invariant() {
+    let _guard = KERNEL_LOCK.lock().unwrap();
+    let g = circulant(90, &[1, 3, 5], 2);
+    let p = Pattern::parse("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+
+    setops::set_kernel(Kernel::Merge);
+    let mut base = MatchStats::default();
+    ego_matcher::parallel::enumerate_parallel_with_stats(&g, &p, 1, &mut base);
+
+    for kernel in [Kernel::Gallop, Kernel::Bitset, Kernel::Adaptive] {
+        setops::set_kernel(kernel);
+        for threads in [1, 4] {
+            let mut s = MatchStats::default();
+            ego_matcher::parallel::enumerate_parallel_with_stats(&g, &p, threads, &mut s);
+            // The kernel choice changes HOW an intersection runs, never
+            // how much match work exists.
+            assert_eq!(s.initial_candidates, base.initial_candidates);
+            assert_eq!(s.pruned_candidates, base.pruned_candidates);
+            assert_eq!(s.raw_embeddings, base.raw_embeddings);
+            assert_eq!(
+                s.extension_candidates_scanned,
+                base.extension_candidates_scanned,
+                "kernel={} threads={threads}",
+                kernel.name()
+            );
+            assert!(s.setops.total_calls() > 0, "kernel counters must tally");
+        }
+    }
+    setops::set_kernel(Kernel::Adaptive);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized graphs: CN match lists stay identical across kernels
+    /// and thread counts (the adaptive dispatcher crosses its gallop and
+    /// bitset thresholds at different points on different graphs, so this
+    /// exercises mixed dispatch paths).
+    #[test]
+    fn random_graphs_bit_identical(
+        n in 8u32..60,
+        raw_edges in prop::collection::vec((any::<u32>(), any::<u32>()), 5..150),
+        labels in 1u16..4,
+    ) {
+        let _guard = KERNEL_LOCK.lock().unwrap();
+        let mut b = GraphBuilder::undirected();
+        for i in 0..n {
+            b.add_node(Label((i % labels as u32) as u16));
+        }
+        for (x, y) in raw_edges {
+            let a = NodeId(x % n);
+            let c = NodeId(y % n);
+            if a != c {
+                b.add_edge(a, c);
+            }
+        }
+        let g = b.build();
+        let p = Pattern::parse("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }").unwrap();
+
+        setops::set_kernel(Kernel::Merge);
+        let mut reference = ego_matcher::find_embeddings(&g, &p, MatcherKind::CandidateNeighbors);
+        reference.sort_unstable();
+        for kernel in [Kernel::Gallop, Kernel::Bitset, Kernel::Adaptive] {
+            setops::set_kernel(kernel);
+            for threads in [1, 3] {
+                let got = enumerate_parallel(&g, &p, threads);
+                prop_assert_eq!(&got, &reference, "kernel={} threads={}", kernel.name(), threads);
+            }
+        }
+        setops::set_kernel(Kernel::Adaptive);
+    }
+}

@@ -243,6 +243,28 @@ impl<'g> QueryEngine<'g> {
                 Value::Str(format!("{:?}", self.algorithm)),
             ]);
         }
+        // Set-intersection kernel plan: which kernel the matcher's hot
+        // loops will dispatch to (EGO_SETOPS override or adaptive) and the
+        // adaptive thresholds. Volatile dispatch *counters* live in the
+        // server `stats` op and `egocensus match --stats`, keeping EXPLAIN
+        // deterministic for identical inputs.
+        table.push_row(vec![
+            Value::Str("setops".into()),
+            Value::Str(format!(
+                "kernel={}",
+                ego_graph::setops::configured_kernel().name()
+            )),
+            Value::Str(format!("gallop_ratio:{}", ego_graph::setops::GALLOP_RATIO)),
+            Value::Str(format!(
+                "bitset_min_reuse:{}",
+                ego_graph::setops::BITSET_MIN_REUSE
+            )),
+            Value::Str(format!(
+                "bitset_min_set:{}",
+                ego_graph::setops::BITSET_MIN_SET
+            )),
+            Value::Str(format!("{:?}", self.algorithm)),
+        ]);
         if stmt.tables.len() == 1 {
             self.explain_batch_plan(&stmt, &mut table)?;
         }
@@ -1140,13 +1162,18 @@ mod tests {
         let t = e
             .execute("EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
             .unwrap();
-        assert_eq!(t.num_rows(), 1);
+        // One row per aggregate plus the setops kernel-plan row.
+        assert_eq!(t.num_rows(), 2);
         let row = &t.rows()[0];
         assert!(row[0].to_string().contains("COUNTP(tri"));
         assert!(row[1].to_string().contains("PATTERN tri"));
         assert_eq!(row[2], Value::Str("3/3".into()));
         assert!(row[3].to_string().contains("k=2"));
         assert!(row[4].to_string().contains("?A:"));
+        let setops_row = &t.rows()[1];
+        assert_eq!(setops_row[0], Value::Str("setops".into()));
+        assert!(setops_row[1].to_string().contains("kernel="));
+        assert!(setops_row[2].to_string().contains("gallop_ratio:"));
         // EXPLAIN of a bad query errors like the query would.
         assert!(e
             .execute("EXPLAIN SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes")

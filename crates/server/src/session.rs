@@ -366,6 +366,7 @@ impl Session {
     fn handle_stats(&self) -> String {
         let cache = self.shared.cache.stats();
         let census = self.shared.census.stats();
+        let setops = ego_graph::setops::global_snapshot();
         let stats = &self.shared.stats;
         let mut t = Table::new(vec!["stat".into(), "value".into()]);
         let rows: &[(&str, u64)] = &[
@@ -401,6 +402,10 @@ impl Session {
                 stats.queries_executed.load(Ordering::Relaxed),
             ),
             ("requests", stats.requests.load(Ordering::Relaxed)),
+            ("setops_bitset_calls", setops.bitset_calls),
+            ("setops_gallop_calls", setops.gallop_calls),
+            ("setops_merge_calls", setops.merge_calls),
+            ("setops_saved_allocs", setops.saved_allocs),
         ];
         for (name, value) in rows {
             t.push_row(vec![

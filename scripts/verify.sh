@@ -39,6 +39,23 @@ cut -d, -f1,3 "$tmpdir/batched.csv" | diff - "$tmpdir/agg2.csv" \
   || { echo "FAIL: batched agg 2 diverges from its single-agg run"; exit 1; }
 echo "    batched counts match single-agg runs column for column"
 
+echo "==> setops kernel equivalence (EGO_SETOPS overrides, byte-identical CSVs)"
+# A fig4-style census must produce byte-for-byte identical CSVs whichever
+# set-intersection kernel the matcher is forced onto, at any thread count.
+kernel_sql='SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)), COUNTP(clq4u, SUBGRAPH(ID, 2)) FROM nodes ORDER BY 1'
+kernel_def='PATTERN clq4u { ?A-?B; ?A-?C; ?A-?D; ?B-?C; ?B-?D; ?C-?D; }'
+EGO_SETOPS=merge ./target/release/egocensus query "$tmpdir/g.txt" --threads 1 --csv \
+  --define "$kernel_def" "$kernel_sql" >"$tmpdir/kernel_ref.csv"
+for kernel in merge gallop bitset adaptive; do
+  for t in 1 4; do
+    EGO_SETOPS=$kernel ./target/release/egocensus query "$tmpdir/g.txt" --threads "$t" --csv \
+      --define "$kernel_def" "$kernel_sql" >"$tmpdir/kernel_got.csv"
+    cmp -s "$tmpdir/kernel_ref.csv" "$tmpdir/kernel_got.csv" \
+      || { echo "FAIL: EGO_SETOPS=$kernel --threads $t diverges from the merge kernel"; exit 1; }
+  done
+done
+echo "    merge/gallop/bitset/adaptive kernels agree byte-for-byte (threads 1 and 4)"
+
 echo "==> server smoke test (ephemeral port, one query, clean shutdown)"
 ./target/release/egocensus serve "$tmpdir/g.txt" --addr 127.0.0.1:0 \
   --threads 2 --cache-mb 8 >"$tmpdir/serve.log" &

@@ -73,6 +73,7 @@ USAGE:
                      [--seed <S>] -o <file>
   egocensus stats <graph-file>
   egocensus match <graph-file> --pattern <DSL> [--matcher <cn|gql>] [--threads <T>]
+                  [--stats]
   egocensus query <graph-file> [--define <DSL>]... [--algorithm <name>]
                   [--threads <T>] [--csv] <SQL>
   egocensus topk <graph-file> --pattern <DSL> --k <radius> [--top <n>]
@@ -261,7 +262,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_match(args: &[String]) -> Result<(), String> {
-    let f = parse_flags(args, &[])?;
+    let f = parse_flags(args, &["stats"])?;
     let path = f.positional.first().ok_or("missing graph file")?;
     let pattern_text = f.get("pattern").ok_or("missing --pattern <DSL>")?;
     let g = load_graph(path)?;
@@ -272,10 +273,24 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown matcher `{other}` (cn, gql)")),
     };
     let threads = ExecConfig::with_threads(f.parse("threads", 0usize)?).resolve();
+    let want_stats = f.has("stats");
     let start = std::time::Instant::now();
-    // Only the CN matcher has a parallel extraction phase; GQL runs
-    // sequentially regardless of --threads.
-    let matches = if kind == MatcherKind::CandidateNeighbors {
+    // Only the CN matcher has parallel candidate/extraction phases; GQL
+    // runs sequentially regardless of --threads.
+    let mut mstats = egocensus::matcher::MatchStats::default();
+    let matches = if want_stats {
+        if kind == MatcherKind::CandidateNeighbors {
+            let embs = egocensus::matcher::parallel::enumerate_parallel_with_stats(
+                &g,
+                &p,
+                threads,
+                &mut mstats,
+            );
+            egocensus::matcher::MatchList::from_embeddings(&p, embs)
+        } else {
+            egocensus::matcher::find_matches_with_stats(&g, &p, kind, &mut mstats)
+        }
+    } else if kind == MatcherKind::CandidateNeighbors {
         exec_matches(&g, &p, threads)
     } else {
         find_matches(&g, &p, kind)
@@ -286,6 +301,24 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         p.name(),
         start.elapsed().as_secs_f64()
     );
+    if want_stats {
+        println!("  initial candidates:  {}", mstats.initial_candidates);
+        println!("  after pruning:       {}", mstats.pruned_candidates);
+        println!("  prune iterations:    {}", mstats.prune_iterations);
+        println!(
+            "  extension scans:     {}",
+            mstats.extension_candidates_scanned
+        );
+        println!("  raw embeddings:      {}", mstats.raw_embeddings);
+        println!(
+            "  setops kernel:       {} (merge {}, gallop {}, bitset {}, saved allocs {})",
+            egocensus::graph::setops::configured_kernel().name(),
+            mstats.setops.merge_calls,
+            mstats.setops.gallop_calls,
+            mstats.setops.bitset_calls,
+            mstats.setops.saved_allocs
+        );
+    }
     for m in matches.iter().take(10) {
         let nodes: Vec<String> = m.nodes.iter().map(|n| n.to_string()).collect();
         println!("  ({})", nodes.join(", "));
