@@ -1,0 +1,114 @@
+//! Out-of-core storage benchmark: load-time and census wall-clock for
+//! the text format (heap-backed `Vec` store) vs the binary `.egb` format
+//! (read-only mmap store), including a cold-cache mmap pass.
+//!
+//! ```sh
+//! cargo run --release -p ego-bench --bin store_bench [-- --scale paper] [--threads T]
+//! ```
+//!
+//! The mmap open is O(1) — pages fault in lazily during the census — so
+//! the interesting numbers are (a) time-to-first-result from a cold
+//! process and (b) steady-state census throughput once the page cache is
+//! warm. True cold-cache measurement needs `/proc/sys/vm/drop_caches`;
+//! when that is not writable (containers, non-root) the "cold" pass is
+//! the first touch of a freshly written file, which still pays the page
+//! faults but may hit the write-back cache. The harness reports which of
+//! the two it measured.
+
+use ego_bench::{eval_graph, fmt_secs, header, row, threads_from_args, timed, Scale};
+use ego_census::{run_census_exec, Algorithm, CensusSpec, ExecConfig, PtConfig};
+use ego_graph::{io, Graph};
+use ego_pattern::builtin;
+
+/// Ask the kernel to drop the clean page cache. Root-only; returns
+/// whether it worked so the report can label the cold pass honestly.
+fn drop_page_cache() -> bool {
+    use std::io::Write;
+    // sync first so the .egb pages are clean and actually droppable.
+    std::process::Command::new("sync").status().ok();
+    match std::fs::OpenOptions::new()
+        .write(true)
+        .open("/proc/sys/vm/drop_caches")
+    {
+        Ok(mut f) => f.write_all(b"3\n").is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn census_time(g: &Graph, spec: &CensusSpec, threads: usize) -> f64 {
+    let exec = ExecConfig::with_threads(threads);
+    let (res, secs) =
+        timed(|| run_census_exec(g, spec, Algorithm::Auto, &PtConfig::default(), &exec));
+    res.unwrap();
+    secs
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let threads = threads_from_args();
+    let n = match scale {
+        Scale::Quick => 50_000,
+        Scale::Paper => 500_000,
+    };
+    let pattern = builtin::clq3();
+    let spec = CensusSpec::single(&pattern, 1);
+
+    let g = eval_graph(n, Some(4), 777);
+    let dir = std::env::temp_dir().join(format!("ego-store-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let txt = dir.join("g.txt");
+    let egb = dir.join("g.egb");
+    io::save_path(&g, &txt).unwrap();
+    io::save_path(&g, &egb).unwrap();
+    let txt_bytes = std::fs::metadata(&txt).unwrap().len();
+    let egb_bytes = std::fs::metadata(&egb).unwrap().len();
+    drop(g);
+
+    println!(
+        "# store backends ({n} nodes, labeled clq3, k = 1, threads = {threads})\n#\n\
+         # text file: {:.1} MiB, binary file: {:.1} MiB",
+        txt_bytes as f64 / (1 << 20) as f64,
+        egb_bytes as f64 / (1 << 20) as f64,
+    );
+    let dropped = drop_page_cache();
+    println!(
+        "# cold pass: {}\n",
+        if dropped {
+            "page cache dropped via /proc/sys/vm/drop_caches"
+        } else {
+            "drop_caches not writable; first touch of the fresh file (may hit write-back cache)"
+        }
+    );
+
+    header(&["backend", "load", "census (cold)", "census (warm)"]);
+
+    // Text: parse cost dominates load; the census always runs warm
+    // because parsing materializes every byte on the heap.
+    let (g_mem, load_txt) = timed(|| io::load_path(&txt).unwrap());
+    let census_txt = census_time(&g_mem, &spec, threads);
+    row(&[
+        format!("text ({})", g_mem.storage_kind()),
+        fmt_secs(load_txt),
+        "-".to_string(),
+        fmt_secs(census_txt),
+    ]);
+    drop(g_mem);
+
+    // Mmap: O(1) open; the cold census pays the page faults, the warm
+    // one re-runs over resident pages.
+    if dropped {
+        drop_page_cache();
+    }
+    let (g_map, load_egb) = timed(|| io::load_path(&egb).unwrap());
+    let census_cold = census_time(&g_map, &spec, threads);
+    let census_warm = census_time(&g_map, &spec, threads);
+    row(&[
+        format!("binary ({})", g_map.storage_kind()),
+        fmt_secs(load_egb),
+        fmt_secs(census_cold),
+        fmt_secs(census_warm),
+    ]);
+    drop(g_map);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,6 +3,7 @@
 use crate::attrs::{AttrStore, AttrValue, EdgeAttrStore};
 use crate::graph::Graph;
 use crate::ids::{Label, NodeId};
+use crate::store::{StoreBackend, VecStore};
 
 /// Builds a [`Graph`] incrementally, then freezes it into CSR form.
 ///
@@ -149,21 +150,24 @@ impl GraphBuilder {
             (Vec::new(), Vec::new(), Vec::new(), Vec::new())
         };
 
-        let mut g = Graph {
-            directed: self.directed,
+        let store = StoreBackend::Mem(VecStore {
             labels: self.labels,
-            num_labels,
             und_offsets,
             und_targets,
             out_offsets,
             out_targets,
             in_offsets,
             in_targets,
+        });
+        let mut g = Graph::from_parts(
+            self.directed,
+            num_labels,
             num_edges,
-            node_attrs: self.node_attrs,
+            store,
+            self.node_attrs,
             edge_attrs,
-            fingerprint: 0,
-        };
+            0,
+        );
         g.fingerprint = g.compute_fingerprint();
         g
     }

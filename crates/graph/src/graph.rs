@@ -2,10 +2,12 @@
 
 use crate::attrs::{AttrStore, AttrValue, EdgeAttrStore};
 use crate::ids::{Label, NodeId};
+use crate::store::StoreBackend;
 
 /// An immutable labeled, attributed graph in compressed-sparse-row form.
 ///
-/// Construction goes through [`crate::GraphBuilder`]. Neighbor lists are
+/// Construction goes through [`crate::GraphBuilder`] (heap-backed) or
+/// [`crate::store::open_binary`] (mmap-backed). Neighbor lists are
 /// sorted by node id, which gives:
 ///
 /// * O(log d) edge-membership tests via binary search,
@@ -19,21 +21,19 @@ use crate::ids::{Label, NodeId};
 /// defines `S(n, k)` as the subgraph incident on nodes *reachable* from
 /// `n`, and its neighborhood semantics ignore edge orientation. For
 /// undirected graphs all three views are the same arrays.
+///
+/// The label and adjacency arrays live behind the
+/// [`GraphStore`](crate::store::GraphStore) trait: either heap-owned
+/// `Vec`s ([`crate::store::VecStore`]) or a read-only memory map of the
+/// binary file format ([`crate::store::MmapStore`]). Algorithms are
+/// agnostic — every accessor below returns plain slices either way.
 #[derive(Clone, Debug)]
 pub struct Graph {
     pub(crate) directed: bool,
-    pub(crate) labels: Vec<Label>,
     pub(crate) num_labels: u16,
 
-    /// Undirected view: offsets into `und_targets`, length `n + 1`.
-    pub(crate) und_offsets: Vec<u32>,
-    pub(crate) und_targets: Vec<NodeId>,
-
-    /// Directed views; empty for undirected graphs (use the undirected view).
-    pub(crate) out_offsets: Vec<u32>,
-    pub(crate) out_targets: Vec<NodeId>,
-    pub(crate) in_offsets: Vec<u32>,
-    pub(crate) in_targets: Vec<NodeId>,
+    /// Labels + CSR adjacency arrays, behind a storage backend.
+    pub(crate) store: StoreBackend,
 
     /// Count of distinct edges (undirected edges counted once).
     pub(crate) num_edges: usize,
@@ -47,10 +47,44 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// Assemble a graph from already-validated parts (builder / binary
+    /// loader only).
+    pub(crate) fn from_parts(
+        directed: bool,
+        num_labels: u16,
+        num_edges: usize,
+        store: StoreBackend,
+        node_attrs: AttrStore,
+        edge_attrs: EdgeAttrStore,
+        fingerprint: u64,
+    ) -> Graph {
+        Graph {
+            directed,
+            num_labels,
+            store,
+            num_edges,
+            node_attrs,
+            edge_attrs,
+            fingerprint,
+        }
+    }
+
+    /// The storage backend holding labels and adjacency.
+    #[inline(always)]
+    pub(crate) fn store(&self) -> &StoreBackend {
+        &self.store
+    }
+
+    /// Which storage backend this graph sits on: `"mem"` (heap `Vec`s)
+    /// or `"mmap"` (read-only binary file view).
+    #[inline]
+    pub fn storage_kind(&self) -> &'static str {
+        self.store.kind()
+    }
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.labels.len()
+        self.store.labels().len()
     }
 
     /// Number of distinct edges (an undirected edge counts once; a directed
@@ -75,32 +109,34 @@ impl Graph {
     /// The label of `n`.
     #[inline(always)]
     pub fn label(&self, n: NodeId) -> Label {
-        self.labels[n.index()]
+        self.store.labels()[n.index()]
     }
 
     /// All node labels, indexed by node id.
     #[inline]
     pub fn labels(&self) -> &[Label] {
-        &self.labels
+        self.store.labels()
     }
 
     /// Iterator over all node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + Clone {
-        (0..self.labels.len() as u32).map(NodeId)
+        (0..self.num_nodes() as u32).map(NodeId)
     }
 
     /// Neighbors of `n` in the undirected view, sorted by id.
     #[inline(always)]
     pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
-        let lo = self.und_offsets[n.index()] as usize;
-        let hi = self.und_offsets[n.index() + 1] as usize;
-        &self.und_targets[lo..hi]
+        let offsets = self.store.und_offsets();
+        let lo = offsets[n.index()] as usize;
+        let hi = offsets[n.index() + 1] as usize;
+        &self.store.und_targets()[lo..hi]
     }
 
     /// Degree of `n` in the undirected view.
     #[inline(always)]
     pub fn degree(&self, n: NodeId) -> usize {
-        (self.und_offsets[n.index() + 1] - self.und_offsets[n.index()]) as usize
+        let offsets = self.store.und_offsets();
+        (offsets[n.index() + 1] - offsets[n.index()]) as usize
     }
 
     /// Out-neighbors of `n` (same as [`Self::neighbors`] for undirected graphs).
@@ -109,9 +145,10 @@ impl Graph {
         if !self.directed {
             return self.neighbors(n);
         }
-        let lo = self.out_offsets[n.index()] as usize;
-        let hi = self.out_offsets[n.index() + 1] as usize;
-        &self.out_targets[lo..hi]
+        let offsets = self.store.out_offsets();
+        let lo = offsets[n.index()] as usize;
+        let hi = offsets[n.index() + 1] as usize;
+        &self.store.out_targets()[lo..hi]
     }
 
     /// In-neighbors of `n` (same as [`Self::neighbors`] for undirected graphs).
@@ -120,9 +157,10 @@ impl Graph {
         if !self.directed {
             return self.neighbors(n);
         }
-        let lo = self.in_offsets[n.index()] as usize;
-        let hi = self.in_offsets[n.index() + 1] as usize;
-        &self.in_targets[lo..hi]
+        let offsets = self.store.in_offsets();
+        let lo = offsets[n.index()] as usize;
+        let hi = offsets[n.index() + 1] as usize;
+        &self.store.in_targets()[lo..hi]
     }
 
     /// True if `a` and `b` are adjacent in the undirected view.
@@ -208,6 +246,15 @@ impl Graph {
         self.fingerprint
     }
 
+    /// Recompute the content hash and compare it with the memoized
+    /// fingerprint. Always true for built graphs; for a binary file
+    /// (whose header carries the fingerprint and is otherwise trusted)
+    /// this is the full-integrity check — it reads every section, so
+    /// it costs O(n + m) page-ins on an mmap-backed graph.
+    pub fn verify_fingerprint(&self) -> bool {
+        self.compute_fingerprint() == self.fingerprint
+    }
+
     /// Hash the graph contents; called once by the builder to populate
     /// the memoized [`Graph::fingerprint`].
     pub(crate) fn compute_fingerprint(&self) -> u64 {
@@ -217,18 +264,18 @@ impl Graph {
         let mut h = FxHasher::default();
         h.write_u8(self.directed as u8);
         h.write_u16(self.num_labels);
-        h.write_usize(self.labels.len());
-        for l in &self.labels {
+        h.write_usize(self.num_nodes());
+        for l in self.store.labels() {
             h.write_u16(l.0);
         }
         h.write_usize(self.num_edges);
-        for off in &self.und_offsets {
+        for off in self.store.und_offsets() {
             h.write_u32(*off);
         }
-        for t in &self.und_targets {
+        for t in self.store.und_targets() {
             h.write_u32(t.0);
         }
-        for t in &self.out_targets {
+        for t in self.store.out_targets() {
             h.write_u32(t.0);
         }
         // Attribute columns, hashed order-independently (column iteration

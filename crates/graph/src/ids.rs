@@ -9,7 +9,11 @@ use std::fmt;
 /// Identifier of a node in a [`crate::Graph`].
 ///
 /// Ids are dense: a graph with `n` nodes uses ids `0..n`.
+///
+/// `repr(transparent)` guarantees the layout matches `u32` exactly, so
+/// the mmap store can reinterpret on-disk `u32` sections as `&[NodeId]`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -52,6 +56,7 @@ impl From<u32> for NodeId {
 /// (Section III: "the unlabeled case is equivalent to both the database
 /// and pattern graphs having the same label for all nodes").
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Label(pub u16);
 
 impl Label {

@@ -12,7 +12,16 @@
 //!
 //! `node` lines may be omitted for nodes with label 0 and no attributes.
 //! Attribute values are typed by syntax: `123` is an Int, `1.5` a Float,
-//! `true`/`false` Bool, anything else a Str (no spaces).
+//! `true`/`false` Bool, anything else a Str. String values that would
+//! be ambiguous — empty, containing whitespace, `=`, `"`, control
+//! characters, or text that re-parses as another type (`"123"`,
+//! `"true"`) — are written double-quoted with `%XX` percent-escapes for
+//! the unsafe bytes, and a quoted token always reads back as a Str.
+//!
+//! [`load_path`] / [`save_path`] dispatch on the file extension:
+//! `.egb` selects the binary mmap format ([`crate::store`]), anything
+//! else the text formats here (v1 if the first non-comment line is a
+//! `graph` header, SNAP-style edge list otherwise).
 
 use crate::attrs::AttrValue;
 use crate::builder::GraphBuilder;
@@ -20,14 +29,17 @@ use crate::graph::Graph;
 use crate::ids::{Label, NodeId};
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
 
 /// Errors from graph deserialization.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Structural problem with the file, with a line number.
+    /// Structural problem with a text file, with a line number.
     Parse { line: usize, message: String },
+    /// Structural problem with a binary file.
+    Format(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -35,6 +47,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Format(message) => write!(f, "invalid binary graph: {message}"),
         }
     }
 }
@@ -55,7 +68,24 @@ fn parse_err(line: usize, message: impl Into<String>) -> IoError {
 }
 
 /// Serialize `g` to `w` in the v1 text format.
+///
+/// Fails with [`std::io::ErrorKind::InvalidData`] on an attribute *key*
+/// that cannot appear on a `key=value` line (empty, whitespace, `=`, or
+/// control characters); ambiguous `Str` *values* are quoted and escaped
+/// instead (see [`format_str_value`]).
 pub fn write_graph<W: Write>(g: &Graph, w: &mut W) -> std::io::Result<()> {
+    for name in g
+        .node_attrs()
+        .attribute_names()
+        .chain(g.edge_attrs().attribute_names())
+    {
+        if !valid_attr_key(name) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("attribute key `{name}` cannot be written to the text format"),
+            ));
+        }
+    }
     let mut buf = String::new();
     writeln!(buf, "# egocensus graph v1").unwrap();
     writeln!(
@@ -127,25 +157,112 @@ fn format_value(v: &AttrValue) -> String {
                 format!("{s}.0")
             }
         }
-        AttrValue::Str(s) => s.clone(),
+        AttrValue::Str(s) => format_str_value(s),
         AttrValue::Bool(b) => b.to_string(),
     }
 }
 
-fn parse_value(s: &str) -> AttrValue {
-    if s == "true" {
-        return AttrValue::Bool(true);
+/// Serialize a `Str` value so it reads back as the same `Str`.
+///
+/// A plain token is written verbatim. A value that would be ambiguous —
+/// empty, containing whitespace (which would split the line), `=`, `"`,
+/// or control characters, or text that [`parse_value`] would type as
+/// Int/Float/Bool (`"123"`, `"1.5"`, `"true"`) — is wrapped in double
+/// quotes with the unsafe bytes percent-escaped; the reader decodes a
+/// quoted token unconditionally as a `Str`.
+fn format_str_value(s: &str) -> String {
+    let needs_quoting = s.is_empty()
+        || s.chars()
+            .any(|c| c.is_whitespace() || c.is_control() || c == '=' || c == '"')
+        || !matches!(parse_value(s), Ok(AttrValue::Str(_)));
+    if !needs_quoting {
+        return s.to_string();
     }
-    if s == "false" {
-        return AttrValue::Bool(false);
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        if c.is_whitespace() || c.is_control() || c == '=' || c == '"' || c == '%' {
+            let mut utf8 = [0u8; 4];
+            for byte in c.encode_utf8(&mut utf8).bytes() {
+                out.push_str(&format!("%{byte:02X}"));
+            }
+        } else {
+            out.push(c);
+        }
     }
-    if let Ok(i) = s.parse::<i64>() {
-        return AttrValue::Int(i);
+    out.push('"');
+    out
+}
+
+/// True if `key` can appear verbatim on a `key=value` line.
+fn valid_attr_key(key: &str) -> bool {
+    !key.is_empty()
+        && !key
+            .chars()
+            .any(|c| c.is_whitespace() || c.is_control() || c == '=')
+}
+
+fn hex_digit(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
     }
-    if let Ok(f) = s.parse::<f64>() {
-        return AttrValue::Float(f);
+}
+
+/// Decode the interior of a quoted string token.
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let (hi, lo) = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                (Some(&a), Some(&b)) => (hex_digit(a), hex_digit(b)),
+                _ => (None, None),
+            };
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi << 4 | lo);
+                    i += 3;
+                }
+                _ => return Err(format!("bad percent escape in `{s}`")),
+            }
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
     }
-    AttrValue::Str(s.to_string())
+    String::from_utf8(out).map_err(|_| format!("percent escapes in `{s}` are not UTF-8"))
+}
+
+/// Type an attribute value token. `raw` is the token as it appears on
+/// the line; a `"..."`-quoted token percent-decodes to a `Str`, anything
+/// else is typed by syntax.
+fn parse_value(raw: &str) -> Result<AttrValue, String> {
+    if raw.len() >= 2 && raw.starts_with('"') && raw.ends_with('"') {
+        return percent_decode(&raw[1..raw.len() - 1]).map(AttrValue::Str);
+    }
+    // The writer fully quotes any value containing `"` (and quoted
+    // tokens cannot contain whitespace — escapes cover it), so a stray
+    // quote here is always a mangled/truncated quoted string.
+    if raw.contains('"') {
+        return Err(format!("unterminated quoted string `{raw}`"));
+    }
+    if raw == "true" {
+        return Ok(AttrValue::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(AttrValue::Bool(false));
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(AttrValue::Int(i));
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Ok(AttrValue::Float(f));
+    }
+    Ok(AttrValue::Str(raw.to_string()))
 }
 
 /// Deserialize a graph from `r` in the v1 text format.
@@ -162,6 +279,12 @@ pub fn read_graph<R: Read>(r: R) -> Result<Graph, IoError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("graph") => {
+                if builder.is_some() {
+                    return Err(parse_err(
+                        lineno,
+                        "duplicate graph header (would discard previously parsed nodes/edges)",
+                    ));
+                }
                 let dir = parts
                     .next()
                     .ok_or_else(|| parse_err(lineno, "missing directedness"))?;
@@ -205,7 +328,8 @@ pub fn read_graph<R: Read>(r: R) -> Result<Graph, IoError> {
                     let (k, v) = kv
                         .split_once('=')
                         .ok_or_else(|| parse_err(lineno, format!("bad attr `{kv}`")))?;
-                    b.set_node_attr(NodeId(id), k, parse_value(v));
+                    let value = parse_value(v).map_err(|m| parse_err(lineno, m))?;
+                    b.set_node_attr(NodeId(id), k, value);
                 }
             }
             Some("edge") => {
@@ -228,7 +352,8 @@ pub fn read_graph<R: Read>(r: R) -> Result<Graph, IoError> {
                     let (k, v) = kv
                         .split_once('=')
                         .ok_or_else(|| parse_err(lineno, format!("bad attr `{kv}`")))?;
-                    b.set_edge_attr(NodeId(a), NodeId(c), k, parse_value(v));
+                    let value = parse_value(v).map_err(|m| parse_err(lineno, m))?;
+                    b.set_edge_attr(NodeId(a), NodeId(c), k, value);
                 }
             }
             Some(other) => {
@@ -283,11 +408,49 @@ pub fn read_edge_list<R: Read>(r: R, directed: bool) -> Result<Graph, IoError> {
     Ok(builder.build())
 }
 
+/// Load a graph from `path`, picking the storage backend by extension:
+///
+/// * `.egb` — the binary format, opened through the read-only mmap
+///   backend ([`crate::store::open_binary`]); O(1) in graph size.
+/// * anything else — text, heap-backed: the v1 format if the first
+///   non-comment line is a `graph` header, otherwise a SNAP-style
+///   edge list (loaded as undirected).
+pub fn load_path(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let path = path.as_ref();
+    if path.extension().and_then(|e| e.to_str()) == Some(crate::store::BINARY_EXTENSION) {
+        return crate::store::open_binary(path);
+    }
+    let text = std::fs::read_to_string(path)?;
+    let is_v1 = text
+        .lines()
+        .map(str::trim)
+        .find(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('%'))
+        .is_some_and(|l| l.starts_with("graph "));
+    if is_v1 {
+        read_graph(text.as_bytes())
+    } else {
+        read_edge_list(text.as_bytes(), false)
+    }
+}
+
+/// Write a graph to `path`, picking the format by extension: `.egb`
+/// writes the binary mmap format, anything else the v1 text format.
+pub fn save_path(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let path = path.as_ref();
+    if path.extension().and_then(|e| e.to_str()) == Some(crate::store::BINARY_EXTENSION) {
+        return crate::store::save_binary(g, path).map_err(IoError::Io);
+    }
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write_graph(g, &mut w)?;
+    Ok(w.flush()?)
+}
+
 /// Serialize to an in-memory string.
 pub fn to_string(g: &Graph) -> String {
     let mut out = Vec::new();
-    write_graph(g, &mut out).expect("writing to Vec cannot fail");
-    String::from_utf8(out).expect("format is ASCII")
+    write_graph(g, &mut out).expect("in-memory write with serializable attribute keys");
+    String::from_utf8(out).expect("format is UTF-8")
 }
 
 /// Deserialize from a string.
@@ -403,9 +566,119 @@ mod tests {
 
     #[test]
     fn value_parsing_types() {
-        assert_eq!(parse_value("42"), AttrValue::Int(42));
-        assert_eq!(parse_value("4.5"), AttrValue::Float(4.5));
-        assert_eq!(parse_value("true"), AttrValue::Bool(true));
-        assert_eq!(parse_value("hello"), AttrValue::Str("hello".into()));
+        assert_eq!(parse_value("42").unwrap(), AttrValue::Int(42));
+        assert_eq!(parse_value("4.5").unwrap(), AttrValue::Float(4.5));
+        assert_eq!(parse_value("true").unwrap(), AttrValue::Bool(true));
+        assert_eq!(
+            parse_value("hello").unwrap(),
+            AttrValue::Str("hello".into())
+        );
+    }
+
+    #[test]
+    fn ambiguous_str_values_roundtrip_as_str() {
+        // Regression: these used to be written verbatim and re-read as
+        // Int/Float/Bool, or to corrupt the line entirely.
+        let tricky = [
+            "123",
+            "1.5",
+            "-7",
+            "true",
+            "false",
+            "inf",
+            "NaN",
+            "has space",
+            "tab\there",
+            "a=b",
+            "\"quoted\"",
+            "",
+            " ",
+            "50%",
+            "%41",
+            "mixed =\" %\nline",
+            "naïve café",
+        ];
+        let mut b = GraphBuilder::undirected();
+        let n0 = b.add_node(Label(0));
+        let n1 = b.add_node(Label(0));
+        b.add_edge(n0, n1);
+        for (i, s) in tricky.iter().enumerate() {
+            b.set_node_attr(n0, &format!("a{i}"), AttrValue::Str(s.to_string()));
+            b.set_edge_attr(n0, n1, &format!("e{i}"), AttrValue::Str(s.to_string()));
+        }
+        let g = b.build();
+        let g2 = from_str(&to_string(&g)).unwrap();
+        for (i, s) in tricky.iter().enumerate() {
+            assert_eq!(
+                g2.node_attr(n0, &format!("a{i}")),
+                Some(&AttrValue::Str(s.to_string())),
+                "node attr {s:?}"
+            );
+            assert_eq!(
+                g2.edge_attr(n0, n1, &format!("e{i}")),
+                Some(&AttrValue::Str(s.to_string())),
+                "edge attr {s:?}"
+            );
+        }
+        assert_eq!(g2.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn unquoted_plain_strings_stay_human_readable() {
+        let mut b = GraphBuilder::undirected();
+        let n = b.add_node(Label(0));
+        b.set_node_attr(n, "name", "alice");
+        let g = b.build();
+        let text = to_string(&g);
+        assert!(text.contains("name=alice"), "{text}");
+    }
+
+    #[test]
+    fn duplicate_graph_header_is_an_error() {
+        let text = "graph undirected nodes=2\nedge 0 1\ngraph undirected nodes=9\n";
+        let err = from_str(text).unwrap_err();
+        match err {
+            IoError::Parse { line, ref message } => {
+                assert_eq!(line, 3, "error should carry the offending line");
+                assert!(message.contains("duplicate graph header"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_percent_escape_is_an_error() {
+        let text = "graph undirected nodes=1\nnode 0 0 k=\"%zz\"\n";
+        let err = from_str(text).unwrap_err();
+        assert!(err.to_string().contains("percent escape"), "{err}");
+    }
+
+    #[test]
+    fn unwritable_attr_key_rejected_on_write() {
+        let mut b = GraphBuilder::undirected();
+        let n = b.add_node(Label(0));
+        b.set_node_attr(n, "bad key", 1i64);
+        let g = b.build();
+        let err = write_graph(&g, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_and_save_path_dispatch_on_extension() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let txt = dir.join(format!("egocensus_io_{pid}.txt"));
+        let egb = dir.join(format!("egocensus_io_{pid}.egb"));
+        let g = sample();
+        save_path(&g, &txt).unwrap();
+        save_path(&g, &egb).unwrap();
+        let from_txt = load_path(&txt).unwrap();
+        let from_egb = load_path(&egb).unwrap();
+        std::fs::remove_file(&txt).ok();
+        std::fs::remove_file(&egb).ok();
+        assert_eq!(from_txt.storage_kind(), "mem");
+        assert_eq!(from_egb.storage_kind(), "mmap");
+        assert_eq!(from_txt.fingerprint(), g.fingerprint());
+        assert_eq!(from_egb.fingerprint(), g.fingerprint());
     }
 }

@@ -17,7 +17,10 @@
 //!   bounded-depth traversal, `k`-hop neighborhood extraction, pairwise
 //!   neighborhood intersection/union ([`neighborhood`]).
 //! * Induced subgraph extraction with id remapping ([`subgraph`]).
-//! * A plain-text edge-list serialization format ([`io`]).
+//! * A plain-text edge-list serialization format ([`io`]), plus a
+//!   page-aligned binary CSR format served through a read-only memory
+//!   map ([`store`]) so graphs beyond RAM open in O(1) and processes
+//!   share physical pages.
 //! * Basic network statistics ([`stats`]).
 //!
 //! ## Example
@@ -50,6 +53,7 @@ pub mod neighborhood;
 pub mod profile;
 pub mod setops;
 pub mod stats;
+pub mod store;
 pub mod subgraph;
 
 pub use attrs::{AttrStore, AttrValue};
@@ -60,4 +64,5 @@ pub use ids::{Label, NodeId};
 pub use neighborhood::{khop_nodes, khop_nodes_with_dist, NeighborhoodKind};
 pub use profile::NodeProfile;
 pub use setops::{NodeBitset, SetOpStats};
+pub use store::{GraphStore, MmapStore, VecStore};
 pub use subgraph::InducedSubgraph;

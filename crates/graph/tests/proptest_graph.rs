@@ -3,8 +3,9 @@
 use ego_graph::bfs::BfsScratch;
 use ego_graph::profile::{NodeProfile, ProfileIndex};
 use ego_graph::subgraph::InducedSubgraph;
-use ego_graph::{io, neighborhood, Graph, GraphBuilder, Label, NodeId};
+use ego_graph::{io, neighborhood, store, AttrValue, Graph, GraphBuilder, Label, NodeId};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (
@@ -31,6 +32,157 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
             }
             b.build()
         })
+}
+
+/// Random lowercase identifier, `len` chars drawn from `1..=max_len`.
+fn arb_ident(max_len: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(b'a'..b'z' + 1, 1..max_len + 1)
+        .prop_map(|bytes| String::from_utf8(bytes).unwrap())
+}
+
+/// Strings that collide with other token syntaxes or contain characters
+/// the text format must escape — the values the quoting satellite exists
+/// for — mixed with plain identifiers.
+fn arb_str_value() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just("123".to_string()),
+        Just("-7".to_string()),
+        Just("1.5".to_string()),
+        Just("true".to_string()),
+        Just("false".to_string()),
+        Just("has space".to_string()),
+        Just("a=b".to_string()),
+        Just("\"quoted\"".to_string()),
+        Just("50%".to_string()),
+        Just("%41".to_string()),
+        Just("tab\there".to_string()),
+        Just("naïve café".to_string()),
+        arb_ident(8),
+    ]
+}
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        any::<i64>().prop_map(AttrValue::Int),
+        // Finite floats only: NaN breaks the PartialEq comparison below,
+        // and the text format has no NaN token anyway.
+        any::<i32>().prop_map(|i| AttrValue::Float(i as f64 / 8.0)),
+        any::<bool>().prop_map(AttrValue::Bool),
+        arb_str_value().prop_map(AttrValue::Str),
+    ]
+}
+
+type AttrSpec = Vec<(u32, String, AttrValue)>;
+
+/// A graph plus node and edge attributes drawn from every `AttrValue`
+/// variant. Attribute positions are raw indices resolved against the
+/// built graph (node attrs: `% n`; edge attrs: index into `edges()`).
+fn arb_attr_graph() -> impl Strategy<Value = Graph> {
+    let key = || {
+        prop_oneof![
+            Just("name".to_string()),
+            Just("weight".to_string()),
+            Just("x".to_string()),
+            arb_ident(6),
+        ]
+    };
+    (
+        2usize..24,
+        prop::collection::vec((any::<u32>(), any::<u32>()), 1..60),
+        1u16..4,
+        any::<bool>(),
+        prop::collection::vec((any::<u32>(), key(), arb_attr_value()), 0..12),
+        prop::collection::vec((any::<u32>(), key(), arb_attr_value()), 0..12),
+    )
+        .prop_map(
+            |(n, raw_edges, labels, directed, node_attrs, edge_attrs): (
+                usize,
+                Vec<(u32, u32)>,
+                u16,
+                bool,
+                AttrSpec,
+                AttrSpec,
+            )| {
+                let mut b = if directed {
+                    GraphBuilder::directed()
+                } else {
+                    GraphBuilder::undirected()
+                };
+                for i in 0..n {
+                    b.add_node(Label((i % labels as usize) as u16));
+                }
+                let mut edges = Vec::new();
+                for (x, y) in raw_edges {
+                    let a = NodeId(x % n as u32);
+                    let c = NodeId(y % n as u32);
+                    if a != c {
+                        b.add_edge(a, c);
+                        edges.push((a, c));
+                    }
+                }
+                for (i, key, v) in node_attrs {
+                    b.set_node_attr(NodeId(i % n as u32), &key, v);
+                }
+                if !edges.is_empty() {
+                    for (i, key, v) in edge_attrs {
+                        let (a, c) = edges[i as usize % edges.len()];
+                        b.set_edge_attr(a, c, &key, v);
+                    }
+                }
+                b.build()
+            },
+        )
+}
+
+/// Structural + attribute equality, used by both roundtrip tests.
+fn assert_graphs_identical(g: &Graph, g2: &Graph) -> Result<(), TestCaseError> {
+    prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+    prop_assert_eq!(g2.num_edges(), g.num_edges());
+    prop_assert_eq!(g2.is_directed(), g.is_directed());
+    prop_assert_eq!(g2.num_labels(), g.num_labels());
+    prop_assert_eq!(g2.fingerprint(), g.fingerprint());
+    for n in g.node_ids() {
+        prop_assert_eq!(g2.label(n), g.label(n));
+        prop_assert_eq!(g2.neighbors(n), g.neighbors(n));
+        if g.is_directed() {
+            prop_assert_eq!(g2.out_neighbors(n), g.out_neighbors(n));
+            prop_assert_eq!(g2.in_neighbors(n), g.in_neighbors(n));
+        }
+    }
+    let cols = |g: &Graph| {
+        let mut names: Vec<String> = g.node_attrs().attribute_names().map(String::from).collect();
+        names.sort();
+        names
+    };
+    prop_assert_eq!(cols(g2), cols(g));
+    for name in g.node_attrs().attribute_names() {
+        for (node, value) in g.node_attrs().column(name) {
+            prop_assert_eq!(g2.node_attrs().get(node, name), Some(value));
+        }
+    }
+    let ecols = |g: &Graph| {
+        let mut names: Vec<String> = g.edge_attrs().attribute_names().map(String::from).collect();
+        names.sort();
+        names
+    };
+    prop_assert_eq!(ecols(g2), ecols(g));
+    for name in g.edge_attrs().attribute_names() {
+        for ((a, b), value) in g.edge_attrs().column(name) {
+            prop_assert_eq!(g2.edge_attrs().get(NodeId(a), NodeId(b), name), Some(value));
+        }
+    }
+    Ok(())
+}
+
+/// Unique scratch path per invocation (proptest runs cases in-process).
+fn scratch_egb() -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "ego-proptest-{}-{}.egb",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 proptest! {
@@ -78,6 +230,24 @@ proptest! {
                 prop_assert_eq!(g2.in_neighbors(n), g.in_neighbors(n));
             }
         }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_attrs_of_every_variant(g in arb_attr_graph()) {
+        let text = io::to_string(&g);
+        let g2 = io::from_str(&text).unwrap();
+        assert_graphs_identical(&g, &g2)?;
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_attrs_of_every_variant(g in arb_attr_graph()) {
+        let path = scratch_egb();
+        store::save_binary(&g, &path).unwrap();
+        let g2 = store::open_binary(&path).unwrap();
+        let res = assert_graphs_identical(&g, &g2);
+        drop(g2); // unmap before unlinking
+        std::fs::remove_file(&path).ok();
+        res?;
     }
 
     #[test]
@@ -166,5 +336,36 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+/// Malformed text inputs must produce a parse error, never a panic or a
+/// silently wrong graph. (The binary-format counterpart corpus lives in
+/// `store.rs` unit tests: truncated header, bad magic, mis-sized
+/// sections.)
+#[test]
+fn malformed_text_corpus_all_error() {
+    let corpus: &[&str] = &[
+        "",                                                     // no header
+        "node 0 1\n",                                           // node before header
+        "edge 0 1\n",                                           // edge before header
+        "graph sideways nodes=2\n",                             // bad directedness
+        "graph undirected nodes=abc\n",                         // bad node count
+        "graph undirected\n",                                   // missing nodes=
+        "graph undirected nodes=2\ngraph undirected nodes=2\n", // duplicate header
+        "graph undirected nodes=2\nnode 5 0\n",                 // node id out of range
+        "graph undirected nodes=2\nnode 0 0\nedge 0 9\n",       // edge endpoint out of range
+        "graph undirected nodes=2\nnode zero 0\n",              // bad node id
+        "graph undirected nodes=2\nnode 0 red\n",               // bad label
+        "graph undirected nodes=2\nwhatsit 0 1\n",              // unknown record
+        "graph undirected nodes=2\nnode 0 0 name=\"%zz\"\n",    // bad percent escape
+        "graph undirected nodes=2\nnode 0 0 name=\"open\n",     // unterminated quote
+    ];
+    for (i, input) in corpus.iter().enumerate() {
+        let res = io::from_str(input);
+        assert!(
+            matches!(res, Err(io::IoError::Parse { .. })),
+            "corpus[{i}] {input:?}: expected parse error, got {res:?}"
+        );
     }
 }

@@ -12,6 +12,7 @@ use ego_census::{
     plan_stages, run_batch_exec, run_pair_census_exec, Algorithm, BatchStage, CensusSpec,
     CountVector, ExecConfig, FocalNodes, PairCensusSpec, PairCounts, PairSelector, PtConfig,
 };
+use ego_graph::io::IoError;
 use ego_graph::{Graph, NodeId};
 use ego_matcher::MatchList;
 use ego_pattern::Pattern;
@@ -22,6 +23,12 @@ use std::sync::Arc;
 /// Where an engine's graph lives: borrowed from the caller (the
 /// original in-process API) or shared behind an [`Arc`] (server
 /// sessions on many threads over one loaded graph).
+///
+/// The *storage* backend underneath is orthogonal and chosen by file
+/// extension when loading through [`QueryEngine::open`]: a `.egb` file
+/// arrives on the read-only mmap store (O(1) open, pages shared across
+/// processes), anything else on the heap-backed `Vec` store. Either
+/// way the engine sees one `Graph` type.
 enum GraphSource<'g> {
     Borrowed(&'g Graph),
     Shared(Arc<Graph>),
@@ -77,6 +84,24 @@ impl<'g> QueryEngine<'g> {
     /// sibling sessions share the same graph.
     pub fn shared(graph: Arc<Graph>) -> QueryEngine<'static> {
         QueryEngine::from_source(GraphSource::Shared(graph))
+    }
+
+    /// Engine over a graph file, picking the storage backend by
+    /// extension (`.egb` → read-only mmap store, anything else → text
+    /// formats on the heap store; see `ego_graph::io::load_path`).
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<QueryEngine<'static>, IoError> {
+        Ok(QueryEngine::shared(Arc::new(ego_graph::io::load_path(
+            path,
+        )?)))
+    }
+
+    /// [`QueryEngine::open`] preloaded with the paper's built-in patterns.
+    pub fn open_with_builtins(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<QueryEngine<'static>, IoError> {
+        let mut e = Self::open(path)?;
+        e.catalog = Catalog::with_builtins();
+        Ok(e)
     }
 
     fn from_source(graph: GraphSource<'g>) -> Self {

@@ -392,6 +392,10 @@ impl Session {
                 stats.edges_inserted.load(Ordering::Relaxed),
             ),
             ("graph_generation", self.shared.generation()),
+            (
+                "graph_mmap_backed",
+                (self.shared.current_graph().storage_kind() == "mmap") as u64,
+            ),
             ("graph_updates", stats.graph_updates.load(Ordering::Relaxed)),
             (
                 "patterns_defined",

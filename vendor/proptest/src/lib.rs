@@ -120,6 +120,38 @@ where
     }
 }
 
+/// Uniform choice between boxed strategies over one value type (the
+/// backing for [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; each generation picks one arm uniformly.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Pick one of several strategies per generated value, mirroring
+/// proptest's `prop_oneof!` (uniform weights only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($arm) as _),+])
+    };
+}
+
 /// A strategy that always yields a clone of one value.
 #[derive(Clone, Debug)]
 pub struct Just<T: Clone>(pub T);
@@ -248,8 +280,8 @@ pub mod prelude {
     /// Module-style access (`prop::collection::vec`).
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
-        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult, Union,
     };
 }
 
