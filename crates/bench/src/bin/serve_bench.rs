@@ -16,13 +16,21 @@
 //! * **cached** — one statement repeated; the result cache serves it
 //!   and only the network front end runs.
 //!
+//! A second section sweeps the sharded tier: the same workloads through
+//! a scatter/gather [`Router`] over 1 / 2 / 4 in-process workers
+//! (`--workers 1,2,4` to override the sweep list). On a 1-CPU host the
+//! workers time-slice one core, so the sweep measures router overhead
+//! (scatter, merge, one extra hop), not parallel speedup.
+//!
 //! ```sh
 //! cargo run --release -p ego-bench --bin serve_bench [-- --scale paper]
+//!     [--workers 1,2,4]
 //! ```
 
 use ego_bench::{eval_graph, header, row, timed, Scale};
 use ego_query::Catalog;
-use ego_server::{Client, Response, Server, ServerConfig};
+use ego_server::{Client, Response, Server, ServerConfig, ShutdownHandle};
+use ego_shard::{Router, RouterConfig, RouterShutdownHandle};
 use std::net::SocketAddr;
 use std::sync::Arc;
 
@@ -169,6 +177,134 @@ fn main() {
 
     handle.shutdown();
     thread.join().expect("server thread");
+
+    // --- sharded tier sweep ---
+    println!(
+        "\n# sharded tier: req/s through the router at 4 clients \
+         (same graph; workers are in-process servers)"
+    );
+    println!("# caveat: on a 1-CPU host workers time-slice one core, so this");
+    println!("# measures router overhead (scatter/merge/extra hop), not speedup\n");
+    header(&["workers", "scatter req/s", "proxied cached req/s"]);
+    let mut next_scatter = 0usize;
+    for workers in workers_sweep_from_args() {
+        let fleet = spawn_router_fleet(&graph_for_router(nodes), workers);
+        let clients = 4usize;
+        let total = clients * REQUESTS_PER_CLIENT;
+
+        // Scattered: unique WHERE bound per request (single-table, no
+        // ORDER BY/LIMIT → the router fans it out, one shard per worker).
+        let first = next_scatter;
+        next_scatter += total;
+        let (_, scatter_secs) = timed(|| {
+            run_clients(fleet.addr, clients, |client_id, i| {
+                let j = (first + client_id * REQUESTS_PER_CLIENT + i) % (nodes / 2);
+                format!(
+                    "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, {k})) FROM nodes \
+                     WHERE ID >= {j}"
+                )
+            })
+        });
+
+        // Proxied + cached: ORDER BY forces whole-statement proxying;
+        // after the warm round-robin lap every worker serves it from its
+        // result cache, so this is the router's per-hop floor.
+        let warm_sql =
+            format!("SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, {k})) FROM nodes ORDER BY 2 DESC");
+        {
+            let mut c = Client::connect(fleet.addr).expect("connect");
+            for _ in 0..workers {
+                expect_table(c.query(&warm_sql).expect("warm"));
+            }
+        }
+        let (_, cached_secs) = timed(|| run_clients(fleet.addr, clients, |_, _| warm_sql.clone()));
+
+        row(&[
+            workers.to_string(),
+            format!("{:.0}", total as f64 / scatter_secs),
+            format!("{:.0}", total as f64 / cached_secs),
+        ]);
+        fleet.stop();
+    }
+}
+
+fn workers_sweep_from_args() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--workers" {
+            let sweep: Vec<usize> = w[1]
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect();
+            if !sweep.is_empty() {
+                return sweep;
+            }
+        }
+    }
+    vec![1, 2, 4]
+}
+
+/// One graph Arc shared by every worker in a fleet — the in-process
+/// analogue of N processes mapping the same `.egb` file.
+fn graph_for_router(nodes: usize) -> Arc<ego_graph::Graph> {
+    Arc::new(eval_graph(nodes, None, 4242))
+}
+
+struct RouterFleet {
+    addr: SocketAddr,
+    worker_handles: Vec<ShutdownHandle>,
+    router_handle: RouterShutdownHandle,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RouterFleet {
+    fn stop(self) {
+        self.router_handle.shutdown();
+        for h in &self.worker_handles {
+            h.shutdown();
+        }
+        for t in self.threads {
+            t.join().expect("fleet thread");
+        }
+    }
+}
+
+fn spawn_router_fleet(graph: &Arc<ego_graph::Graph>, workers: usize) -> RouterFleet {
+    let mut worker_addrs = Vec::new();
+    let mut worker_handles = Vec::new();
+    let mut threads = Vec::new();
+    for _ in 0..workers {
+        let server = Server::bind(
+            ("127.0.0.1", 0),
+            graph.clone(),
+            Arc::new(Catalog::with_builtins()),
+            ServerConfig {
+                pool_threads: 8,
+                exec_threads: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind worker");
+        worker_addrs.push(server.local_addr().expect("worker addr"));
+        worker_handles.push(server.shutdown_handle());
+        threads.push(std::thread::spawn(move || {
+            server.run().expect("worker run")
+        }));
+    }
+    let router = Router::bind(("127.0.0.1", 0), &worker_addrs, RouterConfig::default())
+        .expect("bind router");
+    let addr = router.local_addr().expect("router addr");
+    let router_handle = router.shutdown_handle();
+    threads.push(std::thread::spawn(move || {
+        router.run().expect("router run")
+    }));
+    RouterFleet {
+        addr,
+        worker_handles,
+        router_handle,
+        threads,
+    }
 }
 
 /// `clients` threads, each opening one connection and issuing

@@ -64,6 +64,7 @@ pub struct QueryEngine<'g> {
     exec: ExecConfig,
     seed: u64,
     census_cache: Option<Arc<CensusCache>>,
+    focal_shard: Option<crate::shard::ShardSpec>,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -113,6 +114,7 @@ impl<'g> QueryEngine<'g> {
             exec: ExecConfig::auto(),
             seed: 0xC0FFEE,
             census_cache: None,
+            focal_shard: None,
         }
     }
 
@@ -191,6 +193,26 @@ impl<'g> QueryEngine<'g> {
     /// The attached census cache, if any.
     pub fn census_cache(&self) -> Option<&Arc<CensusCache>> {
         self.census_cache.as_ref()
+    }
+
+    /// Restrict single-table census statements to one focal shard: the
+    /// WHERE clause (and its `RND()` stream) still evaluates over every
+    /// node exactly as an unsharded engine would, then only focal nodes
+    /// inside the shard's contiguous node-ID range are kept. A fleet of
+    /// engines covering all shards of a partition therefore produces,
+    /// by concatenation in shard order, exactly the unsharded result —
+    /// the invariant the sharded server tier is built on.
+    ///
+    /// `None` (the default) and the whole-range shard `0/1` are
+    /// equivalent. Pairwise (two-table) statements ignore the shard:
+    /// the router routes those to a single worker unsharded.
+    pub fn set_focal_shard(&mut self, shard: Option<crate::shard::ShardSpec>) {
+        self.focal_shard = shard.filter(|s| !s.is_whole());
+    }
+
+    /// The focal shard this engine is restricted to, if any.
+    pub fn focal_shard(&self) -> Option<crate::shard::ShardSpec> {
+        self.focal_shard
     }
 
     /// Parse and execute a statement. `EXPLAIN SELECT ...` returns the
@@ -508,6 +530,12 @@ impl<'g> QueryEngine<'g> {
             if keep {
                 focal.push(n);
             }
+        }
+        // Shard restriction comes *after* the full WHERE pass so the
+        // RND() stream stays aligned with unsharded execution.
+        if let Some(shard) = self.focal_shard {
+            let range = shard.range(g.num_nodes());
+            focal.retain(|n| range.contains(&(n.0 as usize)));
         }
         Ok(focal)
     }

@@ -47,6 +47,7 @@ pub mod executor;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod shard;
 pub mod table;
 pub mod value;
 
@@ -57,5 +58,10 @@ pub use census_cache::{CensusCache, CensusCacheStats};
 pub use error::QueryError;
 pub use executor::QueryEngine;
 pub use parser::{is_mutation_statement, parse_mutations};
+pub use shard::ShardSpec;
 pub use table::Table;
 pub use value::Value;
+
+// The census algorithm enum, re-exported so front ends (server, shard
+// router) can configure engines without depending on ego-census.
+pub use ego_census::Algorithm;

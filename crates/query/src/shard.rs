@@ -1,0 +1,153 @@
+//! Focal-node sharding: contiguous partitions of the node-ID space.
+//!
+//! The census is embarrassingly parallel over focal nodes, so a fleet
+//! of worker processes over one shared graph (the mmap `.egb` store
+//! keeps a single physical copy in the page cache) can split any
+//! statement by focal range and merge results by concatenation. A
+//! [`ShardSpec`] names one member of such a partition: shard `i` of `n`
+//! covers the `i`-th of `n` contiguous, balanced node-ID ranges.
+//!
+//! The partition is over the *node-ID space*, not over the post-WHERE
+//! focal list: every worker evaluates the WHERE clause (and its `RND()`
+//! stream) over all nodes exactly as a single process would, then keeps
+//! only the focal nodes inside its range. That makes sharded execution
+//! bit-identical to single-process execution by construction — same
+//! RNG draws, same per-node counts, and shard-order concatenation
+//! reproduces the ascending-ID row order.
+
+use std::fmt;
+use std::ops::Range;
+
+/// One member of a contiguous focal partition: shard `index` of `count`.
+///
+/// Invariant: `index < count` and `count >= 1` (enforced by
+/// [`ShardSpec::new`] / [`ShardSpec::parse`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    index: u32,
+    count: u32,
+}
+
+impl ShardSpec {
+    /// Shard `index` of `count`. Errors unless `index < count`.
+    pub fn new(index: u32, count: u32) -> Result<ShardSpec, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards"
+            ));
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parse the `i/n` CLI/wire syntax (e.g. `0/4`).
+    pub fn parse(text: &str) -> Result<ShardSpec, String> {
+        let (i, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard spec `{text}` (expected `index/count`)"))?;
+        let index: u32 = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index `{i}`"))?;
+        let count: u32 = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count `{n}`"))?;
+        ShardSpec::new(index, count)
+    }
+
+    /// This shard's index within the partition.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Number of shards in the partition.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True for the trivial whole-range shard `0/1`, which is
+    /// equivalent to no sharding at all.
+    pub fn is_whole(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The contiguous node-ID range this shard covers in a graph of
+    /// `num_nodes` nodes. Ranges are balanced (sizes differ by at most
+    /// one) and tile the space: the union over all `count` shards is
+    /// exactly `0..num_nodes`, with no overlap. Shards beyond the node
+    /// count come out empty.
+    pub fn range(&self, num_nodes: usize) -> Range<usize> {
+        let n = num_nodes as u64;
+        let lo = n * self.index as u64 / self.count as u64;
+        let hi = n * (self.index as u64 + 1) / self.count as u64;
+        (lo as usize)..(hi as usize)
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_and_validation() {
+        let s = ShardSpec::parse("2/4").unwrap();
+        assert_eq!((s.index(), s.count()), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert_eq!(ShardSpec::parse(&s.to_string()).unwrap(), s);
+        assert!(ShardSpec::parse("4/4").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("x/2").is_err());
+        assert!(ShardSpec::parse("3").is_err());
+        assert!(ShardSpec::new(0, 1).unwrap().is_whole());
+        assert!(!ShardSpec::new(0, 2).unwrap().is_whole());
+    }
+
+    #[test]
+    fn ranges_tile_the_node_space_exactly() {
+        for num_nodes in [0usize, 1, 2, 7, 100, 101, 1000] {
+            for count in [1u32, 2, 3, 4, 7, 16] {
+                let mut next = 0usize;
+                for index in 0..count {
+                    let r = ShardSpec::new(index, count).unwrap().range(num_nodes);
+                    assert_eq!(r.start, next, "n={num_nodes} c={count} i={index}");
+                    assert!(r.end >= r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, num_nodes, "partition must cover all nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_balanced() {
+        for num_nodes in [5usize, 97, 1000] {
+            for count in [2u32, 3, 8] {
+                let sizes: Vec<usize> = (0..count)
+                    .map(|i| ShardSpec::new(i, count).unwrap().range(num_nodes).len())
+                    .collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes_leaves_empty_tails() {
+        // 2 nodes across 4 shards: two shards get a node, two are empty.
+        let sizes: Vec<usize> = (0..4)
+            .map(|i| ShardSpec::new(i, 4).unwrap().range(2).len())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 2);
+        assert_eq!(sizes.iter().filter(|&&s| s == 0).count(), 2);
+    }
+}

@@ -1,52 +1,225 @@
 //! A small blocking client for the line-delimited JSON protocol.
 //!
 //! One request in, one response out, in order, over one TCP connection.
-//! Used by the `egocensus client` subcommand, the loopback tests, and
-//! the serve benchmark.
+//! Used by the `egocensus client` subcommand, the loopback tests, the
+//! serve benchmark, and the shard router's per-worker connections.
+//!
+//! Transient failures (a worker restarting, a connection reset) are
+//! absorbed by bounded retry with exponential backoff: connects retry
+//! unconditionally, and *idempotent* requests (`ping`, `query`,
+//! `explain`, `stats`) are re-sent over a fresh connection when the old
+//! one breaks. Non-idempotent requests (`define`, `update`, `shutdown`)
+//! are never silently re-sent — the caller must decide whether the
+//! side effect happened. Timeouts are not retried either: a slow server
+//! is not a dead one, and re-sending over the same stream would desync
+//! the request/response pairing.
 
 use crate::protocol::{Request, Response, TableData};
+use ego_query::ShardSpec;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Bounded retry with exponential backoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries (1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before retry number `retry` (1-based): backoff × 2^(retry-1).
+    fn delay(&self, retry: u32) -> Duration {
+        self.backoff * 2u32.saturating_pow(retry.saturating_sub(1))
+    }
+}
+
+/// True for errors that mean the connection is gone (retryable over a
+/// fresh one), as opposed to a protocol error or a timeout.
+fn is_connection_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected
+    )
+}
+
+impl Request {
+    /// True when re-sending the request after a connection failure
+    /// cannot change server state (`ping`/`query`/`explain`/`stats`).
+    pub fn is_idempotent(&self) -> bool {
+        matches!(
+            self,
+            Request::Ping | Request::Query { .. } | Request::Explain { .. } | Request::Stats
+        )
+    }
+}
 
 /// A blocking protocol client.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// Peer address, for reconnect-on-retry.
+    addr: SocketAddr,
+    retry: RetryPolicy,
+    timeout: Option<Duration>,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server (no connect retry; see
+    /// [`Client::connect_with_retry`]). Established clients still
+    /// retry idempotent requests per the default [`RetryPolicy`].
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connect with bounded retry + backoff, so a worker that is still
+    /// binding its socket (or restarting) does not surface as a hard
+    /// error to router callers.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> std::io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut last = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(policy.delay(attempt));
+            }
+            match TcpStream::connect(addrs.as_slice()) {
+                Ok(stream) => {
+                    let mut c = Self::from_stream(stream)?;
+                    c.retry = policy;
+                    return Ok(c);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| std::io::Error::other("no address to connect to")))
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         stream.set_nodelay(true).ok();
+        let addr = stream.peer_addr()?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             writer: stream,
             reader,
+            addr,
+            retry: RetryPolicy::default(),
+            timeout: None,
         })
     }
 
+    /// Replace the retry policy (applies to reconnects and idempotent
+    /// request retries; `RetryPolicy::none()` restores fail-fast).
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The server address this client talks to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
     /// Bound how long responses may take (census queries on large graphs
-    /// can be slow; the default is no timeout).
+    /// can be slow; the default is no timeout). Timeouts are reported as
+    /// errors and never auto-retried.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.timeout = timeout;
         self.writer.set_write_timeout(timeout)?;
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
-    /// Send one request, wait for its response.
+    /// Drop the broken connection and dial the same peer again.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_write_timeout(self.timeout)?;
+        stream.set_read_timeout(self.timeout)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
+
+    /// Send one request, wait for its response. Connection failures are
+    /// retried over a fresh connection (bounded by the retry policy) for
+    /// idempotent requests; non-idempotent requests fail fast.
     pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
-        let line = self.send_raw(&req.encode())?;
-        Response::decode(&line)
+        let line = req.encode();
+        let retryable = req.is_idempotent();
+        let mut attempt = 0u32;
+        loop {
+            match self.send_raw(&line) {
+                Ok(raw) => {
+                    return Response::decode(&raw).map_err(|e| {
+                        std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}"))
+                    })
+                }
+                Err(e) if retryable && is_connection_error(&e) => {
+                    attempt += 1;
+                    if attempt >= self.retry.attempts.max(1) {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.retry.delay(attempt));
+                    // A failed reconnect leaves the old (broken) stream
+                    // in place; the next send fails fast and loops.
+                    let _ = self.reconnect();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Send a request without waiting for its response. Pair with
+    /// [`Client::recv_response`]; responses arrive in request order.
+    /// The scatter/gather router uses this to pipeline one shard per
+    /// worker before collecting any result.
+    pub fn send_request(&mut self, req: &Request) -> std::io::Result<()> {
+        self.send_line(&req.encode())
+    }
+
+    /// Read the next pending response (one must be outstanding from
+    /// [`Client::send_request`]).
+    pub fn recv_response(&mut self) -> std::io::Result<Response> {
+        let raw = self.recv_line()?;
+        Response::decode(&raw)
             .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}")))
     }
 
-    /// Send a raw line (for protocol tests), returning the raw response
-    /// line without its trailing newline.
-    pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
+    /// Write one raw line (no response read).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        self.writer.flush()
+    }
+
+    /// Read one raw response line, without its trailing newline.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -59,6 +232,13 @@ impl Client {
             response.pop();
         }
         Ok(response)
+    }
+
+    /// Send a raw line (for protocol tests), returning the raw response
+    /// line without its trailing newline.
+    pub fn send_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.send_line(line)?;
+        self.recv_line()
     }
 
     /// Liveness check.
@@ -77,6 +257,15 @@ impl Client {
     pub fn query(&mut self, sql: &str) -> std::io::Result<Response> {
         self.request(&Request::Query {
             sql: sql.to_string(),
+            shard: None,
+        })
+    }
+
+    /// Execute a census SQL statement restricted to one focal shard.
+    pub fn query_sharded(&mut self, sql: &str, shard: ShardSpec) -> std::io::Result<Response> {
+        self.request(&Request::Query {
+            sql: sql.to_string(),
+            shard: Some(shard),
         })
     }
 
@@ -106,5 +295,140 @@ impl Client {
     /// Ask the server to shut down.
     pub fn shutdown(&mut self) -> std::io::Result<Response> {
         self.request(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn idempotency_classification() {
+        for (req, idempotent) in [
+            (Request::Ping, true),
+            (
+                Request::Query {
+                    sql: "SELECT 1".into(),
+                    shard: None,
+                },
+                true,
+            ),
+            (
+                Request::Explain {
+                    sql: "SELECT 1".into(),
+                },
+                true,
+            ),
+            (Request::Stats, true),
+            (
+                Request::Define {
+                    pattern: "PATTERN p { ?A; }".into(),
+                },
+                false,
+            ),
+            (
+                Request::Update {
+                    mutations: "INSERT EDGE (0, 1)".into(),
+                },
+                false,
+            ),
+            (Request::Shutdown, false),
+        ] {
+            assert_eq!(req.is_idempotent(), idempotent, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let p = RetryPolicy {
+            attempts: 4,
+            backoff: Duration::from_millis(10),
+        };
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+    }
+
+    /// Answer one connection: one response per request line, `n` lines,
+    /// then close (abruptly, mid-session, from the client's view).
+    fn serve_lines(listener: &TcpListener, n: usize) {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for _ in 0..n {
+            let mut line = String::new();
+            if reader.read_line(&mut line).expect("read") == 0 {
+                return;
+            }
+            let reply = Response::Table(TableData {
+                columns: vec!["reply".into()],
+                rows: vec![vec![ego_query::Value::Str("pong".into())]],
+            })
+            .encode();
+            stream.write_all(reply.as_bytes()).expect("write");
+            stream.write_all(b"\n").expect("write");
+        }
+    }
+
+    #[test]
+    fn idempotent_request_survives_a_dropped_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            serve_lines(&listener, 1); // answer one ping, then hang up
+            serve_lines(&listener, 1); // the re-sent ping lands here
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        client.set_retry(RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        });
+        assert!(!client.ping().expect("first ping").is_error());
+        // The server hung up; this ping hits the dead connection, and
+        // the retry path must transparently reconnect and re-send.
+        assert!(!client.ping().expect("retried ping").is_error());
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn non_idempotent_request_fails_fast_on_a_dropped_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || serve_lines(&listener, 1));
+
+        let mut client = Client::connect(addr).expect("connect");
+        assert!(!client.ping().expect("first ping").is_error());
+        server.join().expect("server thread");
+        // An update after the hang-up must surface the error — silently
+        // re-sending a mutation could apply it twice.
+        let err = client
+            .update("INSERT EDGE (0, 1)")
+            .expect_err("update must not be retried");
+        assert!(is_connection_error(&err), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn connect_with_retry_reaches_a_late_binding_server() {
+        // Reserve an address, release it, and rebind it only after a
+        // delay — the first connect attempts fail, a later one lands.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        drop(listener);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let listener = TcpListener::bind(addr).expect("rebind");
+            serve_lines(&listener, 1);
+        });
+        let mut client = Client::connect_with_retry(
+            addr,
+            RetryPolicy {
+                attempts: 10,
+                backoff: Duration::from_millis(10),
+            },
+        )
+        .expect("connect with retry");
+        assert!(!client.ping().expect("ping").is_error());
+        server.join().expect("server thread");
     }
 }

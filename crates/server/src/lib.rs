@@ -81,7 +81,7 @@ pub mod server;
 pub mod session;
 
 pub use cache::{CacheStats, QueryCache};
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use protocol::{Request, Response, TableData};
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use session::{ServerStats, Session, Shared, UpdateSummary};

@@ -10,6 +10,7 @@
 //! {"op":"ping"}
 //! {"op":"define","pattern":"PATTERN t { ?A-?B; ?B-?C; ?A-?C; }"}
 //! {"op":"query","sql":"SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"}
+//! {"op":"query","sql":"SELECT ...","shard":"0/4"}
 //! {"op":"explain","sql":"SELECT ..."}
 //! {"op":"update","mutations":"INSERT EDGE (4, 6); DELETE EDGE (0, 1)"}
 //! {"op":"stats"}
@@ -28,7 +29,7 @@
 //! key/value table — so clients need exactly one success decoder.
 
 use crate::json::Json;
-use ego_query::{Table, Value};
+use ego_query::{ShardSpec, Table, Value};
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +45,12 @@ pub enum Request {
     Query {
         /// The SQL text.
         sql: String,
+        /// Optional focal shard (`"i/n"` on the wire): restrict
+        /// single-table census statements to the `i`-th of `n`
+        /// contiguous node-ID ranges. The scatter/gather router sends
+        /// one shard per worker; absent, the server's own `--shard-of`
+        /// default (usually the whole range) applies.
+        shard: Option<ShardSpec>,
     },
     /// Describe the plan for a statement (never cached).
     Explain {
@@ -71,10 +78,16 @@ impl Request {
                 ("op".to_string(), Json::Str("define".into())),
                 ("pattern".to_string(), Json::Str(pattern.clone())),
             ],
-            Request::Query { sql } => vec![
-                ("op".to_string(), Json::Str("query".into())),
-                ("sql".to_string(), Json::Str(sql.clone())),
-            ],
+            Request::Query { sql, shard } => {
+                let mut fields = vec![
+                    ("op".to_string(), Json::Str("query".into())),
+                    ("sql".to_string(), Json::Str(sql.clone())),
+                ];
+                if let Some(s) = shard {
+                    fields.push(("shard".to_string(), Json::Str(s.to_string())));
+                }
+                fields
+            }
             Request::Explain { sql } => vec![
                 ("op".to_string(), Json::Str("explain".into())),
                 ("sql".to_string(), Json::Str(sql.clone())),
@@ -108,7 +121,19 @@ impl Request {
             "define" => Ok(Request::Define {
                 pattern: field("pattern")?,
             }),
-            "query" => Ok(Request::Query { sql: field("sql")? }),
+            "query" => {
+                let shard = match v.get("shard") {
+                    None => None,
+                    Some(j) => {
+                        let text = j.as_str().ok_or("`shard` must be an `i/n` string")?;
+                        Some(ShardSpec::parse(text)?)
+                    }
+                };
+                Ok(Request::Query {
+                    sql: field("sql")?,
+                    shard,
+                })
+            }
             "explain" => Ok(Request::Explain { sql: field("sql")? }),
             "update" => Ok(Request::Update {
                 mutations: field("mutations")?,
@@ -283,6 +308,11 @@ mod tests {
             },
             Request::Query {
                 sql: "SELECT ID FROM nodes".into(),
+                shard: None,
+            },
+            Request::Query {
+                sql: "SELECT ID FROM nodes".into(),
+                shard: Some(ShardSpec::new(2, 4).unwrap()),
             },
             Request::Explain {
                 sql: "SELECT ID FROM nodes".into(),
@@ -304,6 +334,9 @@ mod tests {
         assert!(Request::decode(r#"{"op":"frobnicate"}"#).is_err());
         assert!(Request::decode(r#"{"op":"query"}"#).is_err());
         assert!(Request::decode(r#"{"op":"define","pattern":7}"#).is_err());
+        // Malformed shard specs are protocol errors, not silently whole-range.
+        assert!(Request::decode(r#"{"op":"query","sql":"SELECT 1","shard":"4/4"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"query","sql":"SELECT 1","shard":7}"#).is_err());
     }
 
     #[test]

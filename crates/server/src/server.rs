@@ -11,7 +11,7 @@
 
 use crate::session::{Session, Shared};
 use ego_graph::Graph;
-use ego_query::Catalog;
+use ego_query::{Algorithm, Catalog, ShardSpec};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +37,13 @@ pub struct ServerConfig {
     pub poll_interval: Duration,
     /// `RND()` seed shared by all sessions.
     pub seed: u64,
+    /// Default focal shard for every query that does not carry its own
+    /// (`--shard-of M/N`): this server answers only for the `M`-th of
+    /// `N` contiguous node-ID ranges. `None` = whole range.
+    pub shard: Option<ShardSpec>,
+    /// Census algorithm for every session (results are bit-identical
+    /// across algorithms wherever a spec is supported).
+    pub algorithm: Algorithm,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +56,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(20),
             seed: 0xC0FFEE,
+            shard: None,
+            algorithm: Algorithm::Auto,
         }
     }
 }
@@ -85,13 +94,7 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let shared = Shared::new(
-            graph,
-            base_catalog,
-            config.cache_bytes,
-            config.exec_threads,
-            config.seed,
-        );
+        let shared = Shared::new(graph, base_catalog, &config);
         Ok(Server {
             listener,
             shared,

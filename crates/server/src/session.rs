@@ -9,14 +9,16 @@
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::protocol::{Request, Response};
+use crate::server::ServerConfig;
 use ego_dynamic::DeltaGraph;
 use ego_graph::{Graph, NodeId};
 use ego_query::{
-    canonical_query_key, parse_mutations, Catalog, CensusCache, MutationKind, QueryEngine, Table,
-    Value,
+    canonical_query_key, parse_mutations, Algorithm, Catalog, CensusCache, MutationKind,
+    QueryEngine, ShardSpec, Table, Value,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 /// Entries held per side (match lists / count vectors) of the shared
 /// [`CensusCache`]. Entry-count budgeted, unlike the byte-budgeted
@@ -24,6 +26,59 @@ use std::sync::{Arc, Mutex, RwLock};
 /// the executor shouldn't have to estimate. Disabled together with the
 /// result cache (`--cache-mb 0`).
 const CENSUS_CACHE_ENTRIES: usize = 256;
+
+/// Protocol op names, in the order of [`ServerStats::latency`]. The
+/// request-duration breakdown is keyed by these.
+pub const OP_NAMES: [&str; 7] = [
+    "define", "explain", "ping", "query", "shutdown", "stats", "update",
+];
+
+fn op_index(req: &Request) -> usize {
+    match req {
+        Request::Define { .. } => 0,
+        Request::Explain { .. } => 1,
+        Request::Ping => 2,
+        Request::Query { .. } => 3,
+        Request::Shutdown => 4,
+        Request::Stats => 5,
+        Request::Update { .. } => 6,
+    }
+}
+
+/// Request-duration accounting for one protocol op, so router-vs-direct
+/// overhead (and per-op cost in general) is measurable from `stats`.
+#[derive(Debug)]
+pub struct OpLatency {
+    /// Requests measured.
+    pub count: AtomicU64,
+    /// Summed duration in microseconds (mean = total / count).
+    pub total_us: AtomicU64,
+    /// Fastest request in microseconds (`u64::MAX` until the first
+    /// request is recorded).
+    pub min_us: AtomicU64,
+    /// Slowest request in microseconds.
+    pub max_us: AtomicU64,
+}
+
+impl Default for OpLatency {
+    fn default() -> Self {
+        OpLatency {
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            min_us: AtomicU64::new(u64::MAX),
+            max_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl OpLatency {
+    fn record(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.min_us.fetch_min(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+}
 
 /// Whole-server counters (beyond the cache's own).
 #[derive(Debug, Default)]
@@ -44,6 +99,18 @@ pub struct ServerStats {
     pub edges_inserted: AtomicU64,
     /// Net edges deleted across all graph updates.
     pub edges_deleted: AtomicU64,
+    /// Per-op request durations, indexed like [`OP_NAMES`].
+    pub latency: [OpLatency; 7],
+}
+
+impl ServerStats {
+    /// The duration accounting for a named op (see [`OP_NAMES`]).
+    pub fn op_latency(&self, op: &str) -> Option<&OpLatency> {
+        OP_NAMES
+            .iter()
+            .position(|&n| n == op)
+            .map(|i| &self.latency[i])
+    }
 }
 
 /// Outcome of one applied mutation script.
@@ -92,32 +159,33 @@ pub struct Shared {
     pub exec_threads: usize,
     /// `RND()` seed for every session (part of the cache key).
     pub seed: u64,
+    /// Default focal shard (`--shard-of`): applied to queries that do
+    /// not carry their own shard. `None` = whole range.
+    pub shard: Option<ShardSpec>,
+    /// Census algorithm every session executes with.
+    pub algorithm: Algorithm,
 }
 
 impl Shared {
     /// Build shared state around the startup graph.
-    pub fn new(
-        graph: Arc<Graph>,
-        base_catalog: Arc<Catalog>,
-        cache_capacity_bytes: usize,
-        exec_threads: usize,
-        seed: u64,
-    ) -> Shared {
+    pub fn new(graph: Arc<Graph>, base_catalog: Arc<Catalog>, config: &ServerConfig) -> Shared {
         Shared {
             graph: Arc::new(RwLock::new(graph)),
             generation: Arc::new(AtomicU64::new(0)),
             update_lock: Arc::new(Mutex::new(())),
             base_catalog,
-            cache: Arc::new(QueryCache::new(cache_capacity_bytes)),
-            census: Arc::new(CensusCache::new(if cache_capacity_bytes == 0 {
+            cache: Arc::new(QueryCache::new(config.cache_bytes)),
+            census: Arc::new(CensusCache::new(if config.cache_bytes == 0 {
                 0
             } else {
                 CENSUS_CACHE_ENTRIES
             })),
             stats: Arc::new(ServerStats::default()),
             shutdown: Arc::new(AtomicBool::new(false)),
-            exec_threads,
-            seed,
+            exec_threads: config.exec_threads,
+            seed: config.seed,
+            shard: config.shard.filter(|s| !s.is_whole()),
+            algorithm: config.algorithm,
         }
     }
 
@@ -218,6 +286,8 @@ impl Session {
         engine.set_catalog(Catalog::layered(shared.base_catalog.clone()));
         engine.set_threads(shared.exec_threads);
         engine.set_seed(shared.seed);
+        engine.set_algorithm(shared.algorithm);
+        engine.set_focal_shard(shared.shard);
         engine.set_census_cache(shared.census.clone());
         Session {
             shared: shared.clone(),
@@ -244,6 +314,8 @@ impl Session {
         engine.set_catalog(catalog);
         engine.set_threads(self.shared.exec_threads);
         engine.set_seed(self.shared.seed);
+        engine.set_algorithm(self.shared.algorithm);
+        engine.set_focal_shard(self.shared.shard);
         engine.set_census_cache(self.shared.census.clone());
         self.engine = engine;
         self.generation = generation;
@@ -254,7 +326,13 @@ impl Session {
     pub fn handle_line(&mut self, line: &str) -> String {
         self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
         match Request::decode(line) {
-            Ok(req) => self.handle(&req),
+            Ok(req) => {
+                let start = Instant::now();
+                let response = self.handle(&req);
+                let us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                self.shared.stats.latency[op_index(&req)].record(us);
+                response
+            }
             Err(message) => Response::error(message).encode(),
         }
     }
@@ -265,7 +343,7 @@ impl Session {
         match req {
             Request::Ping => reply_table("pong"),
             Request::Define { pattern } => self.handle_define(pattern),
-            Request::Query { sql } => self.handle_query(sql),
+            Request::Query { sql, shard } => self.handle_query(sql, *shard),
             Request::Explain { sql } => self.encode_execution(|e| e.explain(sql)),
             Request::Update { mutations } => self.handle_update(mutations),
             Request::Stats => self.handle_stats(),
@@ -291,16 +369,26 @@ impl Session {
         }
     }
 
-    fn handle_query(&mut self, sql: &str) -> String {
+    fn handle_query(&mut self, sql: &str, shard: Option<ShardSpec>) -> String {
+        // A per-request shard overrides the server's `--shard-of`
+        // default; `0/1` normalizes to the whole range, so a router
+        // proxying an unsharded statement shares cache entries with
+        // direct clients.
+        let effective = shard.filter(|s| !s.is_whole()).or(self.shared.shard);
+        self.engine.set_focal_shard(effective);
         // `EXPLAIN SELECT ...` through the query op describes a plan; it
         // is cheap and algorithm-dependent, so it bypasses the cache.
         let trimmed = sql.trim_start();
         if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
             return self.encode_execution(|e| e.execute(sql));
         }
+        let shard_suffix = match self.engine.focal_shard() {
+            Some(s) => format!("|shard={s}"),
+            None => String::new(),
+        };
         let key = match canonical_query_key(sql, self.engine.catalog()) {
             Ok(canonical) => format!(
-                "{canonical}|fp={:016x}|seed={}",
+                "{canonical}|fp={:016x}|seed={}{shard_suffix}",
                 self.engine.graph().fingerprint(),
                 self.shared.seed
             ),
@@ -369,7 +457,7 @@ impl Session {
         let setops = ego_graph::setops::global_snapshot();
         let stats = &self.shared.stats;
         let mut t = Table::new(vec!["stat".into(), "value".into()]);
-        let rows: &[(&str, u64)] = &[
+        let mut rows: Vec<(String, u64)> = vec![
             ("cache_bytes", cache.bytes),
             ("cache_capacity_bytes", cache.capacity_bytes),
             ("cache_entries", cache.entries),
@@ -410,12 +498,34 @@ impl Session {
             ("setops_gallop_calls", setops.gallop_calls),
             ("setops_merge_calls", setops.merge_calls),
             ("setops_saved_allocs", setops.saved_allocs),
-        ];
+        ]
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect();
+        // Per-op request-duration breakdown: only ops that have run, so
+        // the table stays compact. The current `stats` request records
+        // itself only after this response is built.
+        for (name, lat) in OP_NAMES.iter().zip(&stats.latency) {
+            let count = lat.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let total = lat.total_us.load(Ordering::Relaxed);
+            rows.push((format!("latency_{name}_count"), count));
+            rows.push((
+                format!("latency_{name}_max_us"),
+                lat.max_us.load(Ordering::Relaxed),
+            ));
+            rows.push((format!("latency_{name}_mean_us"), total / count));
+            rows.push((
+                format!("latency_{name}_min_us"),
+                lat.min_us.load(Ordering::Relaxed),
+            ));
+            rows.push((format!("latency_{name}_total_us"), total));
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, value) in rows {
-            t.push_row(vec![
-                Value::Str(name.to_string()),
-                Value::Int(*value as i64),
-            ]);
+            t.push_row(vec![Value::Str(name), Value::Int(value as i64)]);
         }
         Response::table(&t).encode()
     }
@@ -456,9 +566,12 @@ mod tests {
         Shared::new(
             fixture(),
             Arc::new(Catalog::with_builtins()),
-            1 << 20,
-            1,
-            0xC0FFEE,
+            &ServerConfig {
+                cache_bytes: 1 << 20,
+                exec_threads: 1,
+                seed: 0xC0FFEE,
+                ..ServerConfig::default()
+            },
         )
     }
 
@@ -502,6 +615,32 @@ mod tests {
         assert_eq!(sh.cache_stats().misses, 1);
         // Node 2 sees both triangles.
         assert_eq!(table(&first).rows[2][1], Value::Int(2));
+    }
+
+    #[test]
+    fn stats_report_per_op_latency_only_for_ops_that_ran() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let _ = s.handle_line(r#"{"op":"ping"}"#);
+        let _ = s.handle_line(r#"{"op":"ping"}"#);
+        let _ = s.handle_line(
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#,
+        );
+        let t = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(t.stat("latency_ping_count"), Some(2));
+        assert_eq!(t.stat("latency_query_count"), Some(1));
+        let min = t.stat("latency_query_min_us").expect("min row");
+        let mean = t.stat("latency_query_mean_us").expect("mean row");
+        let max = t.stat("latency_query_max_us").expect("max row");
+        let total = t.stat("latency_query_total_us").expect("total row");
+        assert!(min <= mean && mean <= max && max <= total.max(max));
+        // Ops that never ran stay out of the table (the stats request
+        // itself records only after its own response is built).
+        assert_eq!(t.stat("latency_update_count"), None);
+        assert_eq!(t.stat("latency_stats_count"), None);
+        // The next stats call sees the previous one recorded.
+        let t2 = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(t2.stat("latency_stats_count"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! # ego-shard
+//!
+//! The sharded census tier: a scatter/gather [`Router`] in front of a
+//! fleet of `ego-server` workers that all mmap the **same** `.egb`
+//! graph file (`MAP_SHARED`/`PROT_READ`, so the CSR exists once in
+//! physical memory no matter how many workers attach).
+//!
+//! The router speaks the identical line-delimited JSON protocol as a
+//! single server. Single-table census statements are scattered — the
+//! focal node-ID space is split into one contiguous [`ShardSpec`] range
+//! per live worker, each worker restricts its focal list *after* the
+//! full `WHERE`/`RND()` pass (keeping random sampling bit-aligned with
+//! unsharded execution), and the per-shard tables concatenate in shard
+//! order. Everything else (pairwise, `ORDER BY`/`LIMIT`, `explain`) is
+//! proxied whole to one worker. The correctness bar is byte-identical
+//! responses versus a single direct server, including after `update`
+//! mutations and after a worker is killed mid-query and its shard
+//! re-scattered to a survivor.
+//!
+//! ```no_run
+//! use ego_shard::{Router, RouterConfig, WorkerFleet};
+//! use std::process::Command;
+//!
+//! // Spawn two workers over the same .egb file, then route over them.
+//! let fleet = WorkerFleet::spawn(2, |j| {
+//!     let mut c = Command::new(std::env::current_exe().unwrap());
+//!     c.args(["serve", "--addr", "127.0.0.1:0", "--graph", "g.egb"]);
+//!     let _ = j;
+//!     c
+//! })
+//! .unwrap();
+//! let router = Router::bind(("127.0.0.1", 0), &fleet.addrs(), RouterConfig::default()).unwrap();
+//! router.run().unwrap();
+//! ```
+
+pub mod merge;
+pub mod router;
+pub mod worker;
+
+pub use ego_query::ShardSpec;
+pub use merge::{merge_stats, merge_tables};
+pub use router::{Router, RouterConfig, RouterSession, RouterShared, RouterShutdownHandle};
+pub use worker::{WorkerFleet, WorkerInfo};

@@ -1,0 +1,696 @@
+//! The scatter/gather router: a protocol-compatible front end over a
+//! fleet of `ego-server` workers that share one mmap'd graph.
+//!
+//! The router speaks the same line-delimited JSON protocol as a single
+//! server, so clients cannot tell the difference — the correctness bar
+//! is *byte-identical* responses. Per request kind:
+//!
+//! * `query` (single-table, no `ORDER BY`/`LIMIT`): **scattered**. The
+//!   focal node-ID space is partitioned into one contiguous shard per
+//!   live worker; each worker runs the statement with a `shard: "j/n"`
+//!   annotation (the full `WHERE`/`RND()` pass runs unsharded, then the
+//!   focal list is restricted, so random sampling stays aligned), and
+//!   the per-shard tables concatenate in shard order.
+//! * `query` (pairwise, `ORDER BY`, `LIMIT`, `EXPLAIN`-prefixed, or
+//!   unparsable), `explain`: **proxied** whole to one worker,
+//!   round-robin — per-shard sort/truncate would not compose.
+//! * `define`: broadcast to every worker over this session's
+//!   connections (worker catalogs are per-connection, mirroring a
+//!   direct server session) and recorded for replay on reconnect.
+//! * `update`: broadcast under the coherence write lock (queries hold
+//!   the read side), then the workers' reported generation/fingerprint
+//!   are compared — a divergent worker would silently corrupt merges.
+//! * `stats`: scattered, aggregated by [`crate::merge::merge_stats`],
+//!   with `router_*` counters appended.
+//! * `ping`: answered locally; `shutdown`: broadcast, then the router
+//!   itself stops.
+//!
+//! **Failure model**: a worker that times out or drops its connection
+//! is marked down *permanently* (it may have missed an `update`; a
+//! rejoin protocol is out of scope). The shard count `n` is fixed at
+//! scatter time, so a dead worker's shard `j/n` is re-sent verbatim to
+//! a survivor — every worker maps the whole graph, so any of them can
+//! answer any shard, and the merged bytes are unchanged.
+
+use crate::merge::{merge_stats, merge_tables};
+use ego_query::parser::parse_query;
+use ego_query::{is_mutation_statement, ShardSpec, Value};
+use ego_server::{Client, Request, Response, RetryPolicy, TableData};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Router`].
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Client-connection handler threads (the concurrency bound).
+    pub pool_threads: usize,
+    /// Per-request bound on each worker connection; a worker that
+    /// exceeds it is treated as failed and its shard re-scattered.
+    pub worker_timeout: Duration,
+    /// Connect retry/backoff for worker connections (a worker may still
+    /// be binding its socket when the router first dials it).
+    pub connect_retry: RetryPolicy,
+    /// How long a half-received client request may dribble in.
+    pub request_timeout: Duration,
+    /// Write timeout per client response.
+    pub write_timeout: Duration,
+    /// Accept/read poll tick; bounds shutdown latency.
+    pub poll_interval: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            pool_threads: 4,
+            worker_timeout: Duration::from_secs(120),
+            connect_retry: RetryPolicy::default(),
+            request_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Router-level counters, exposed as `router_*` rows in `stats`.
+#[derive(Default)]
+pub struct RouterStats {
+    /// Client connections accepted.
+    pub connections: AtomicU64,
+    /// Request lines received from clients.
+    pub requests: AtomicU64,
+    /// Queries fanned out across the worker fleet.
+    pub scattered_queries: AtomicU64,
+    /// Requests forwarded whole to a single worker.
+    pub proxied_requests: AtomicU64,
+    /// Workers marked down (timeout or connection failure).
+    pub worker_failures: AtomicU64,
+    /// Shards re-sent to a survivor after their worker failed.
+    pub rescattered_shards: AtomicU64,
+}
+
+struct WorkerSlot {
+    addr: SocketAddr,
+    up: AtomicBool,
+}
+
+/// State shared by every router session: the worker roster, the
+/// update/query coherence lock, counters, and the shutdown flag.
+pub struct RouterShared {
+    workers: Vec<WorkerSlot>,
+    /// Queries (scatter or proxy) hold the read side; `update` holds
+    /// the write side so a mutation is never interleaved with a
+    /// scattered query that would merge rows from two generations.
+    coherence: RwLock<()>,
+    /// Router-level counters.
+    pub stats: RouterStats,
+    /// Set by a `shutdown` request or a [`RouterShutdownHandle`].
+    pub shutdown: Arc<AtomicBool>,
+    config: RouterConfig,
+    next_proxy: AtomicUsize,
+}
+
+impl RouterShared {
+    /// Indices of workers currently believed alive.
+    pub fn up_indices(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&i| self.workers[i].up.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Number of workers currently believed alive.
+    pub fn workers_up(&self) -> usize {
+        self.up_indices().len()
+    }
+
+    /// Total fleet size (up or down).
+    pub fn workers_total(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Mark a worker down permanently (idempotent; counts the first
+    /// transition only).
+    fn mark_down(&self, index: usize) {
+        if self.workers[index].up.swap(false, Ordering::SeqCst) {
+            self.stats.worker_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Sets the router shutdown flag from another thread.
+#[derive(Clone)]
+pub struct RouterShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl RouterShutdownHandle {
+    /// Ask the router to stop accepting and drain its sessions.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One client connection's view of the fleet: a lazily-opened
+/// connection per worker plus the session's `define` history, replayed
+/// whenever a worker connection is (re)opened so session catalogs stay
+/// in sync across the fleet.
+pub struct RouterSession {
+    shared: Arc<RouterShared>,
+    conns: Vec<Option<Client>>,
+    defines: Vec<String>,
+}
+
+impl RouterSession {
+    /// A fresh session against the shared fleet state.
+    pub fn new(shared: Arc<RouterShared>) -> RouterSession {
+        let n = shared.workers.len();
+        RouterSession {
+            shared,
+            conns: (0..n).map(|_| None).collect(),
+            defines: Vec::new(),
+        }
+    }
+
+    /// The session's connection to worker `i`, dialing and replaying
+    /// this session's defines if needed. Worker clients run with
+    /// `RetryPolicy::none()`: a silent client-level reconnect would
+    /// drop the per-connection session catalog, so reconnects must go
+    /// through here.
+    fn conn(&mut self, i: usize) -> std::io::Result<&mut Client> {
+        if self.conns[i].is_none() {
+            let mut c = Client::connect_with_retry(
+                self.shared.workers[i].addr,
+                self.shared.config.connect_retry,
+            )?;
+            c.set_retry(RetryPolicy::none());
+            c.set_timeout(Some(self.shared.config.worker_timeout))?;
+            for pattern in &self.defines {
+                match c.request(&Request::Define {
+                    pattern: pattern.clone(),
+                })? {
+                    Response::Table(_) => {}
+                    // These defines already succeeded fleet-wide once.
+                    Response::Error { message } => {
+                        return Err(std::io::Error::other(format!(
+                            "define replay rejected: {message}"
+                        )))
+                    }
+                }
+            }
+            self.conns[i] = Some(c);
+        }
+        Ok(self.conns[i].as_mut().expect("connection just ensured"))
+    }
+
+    /// Drop worker `i`'s connection and mark it down fleet-wide.
+    fn fail_worker(&mut self, i: usize) {
+        self.conns[i] = None;
+        self.shared.mark_down(i);
+    }
+
+    /// Handle one request line, returning one encoded response line.
+    pub fn handle_line(&mut self, line: &str) -> String {
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match Request::decode(line) {
+            Ok(req) => self.handle(&req),
+            Err(message) => Response::error(message).encode(),
+        }
+    }
+
+    /// Handle one decoded request.
+    pub fn handle(&mut self, req: &Request) -> String {
+        match req {
+            Request::Ping => reply_table("pong"),
+            Request::Define { pattern } => self.handle_define(pattern),
+            Request::Query { sql, shard } => self.handle_query(sql, *shard),
+            Request::Explain { .. } | Request::Stats => {
+                let shared = self.shared.clone();
+                let _read = shared.coherence.read().expect("coherence poisoned");
+                if matches!(req, Request::Stats) {
+                    self.handle_stats()
+                } else {
+                    self.proxy(req)
+                }
+            }
+            Request::Update { mutations } => self.handle_update(mutations),
+            Request::Shutdown => {
+                for w in self.shared.up_indices() {
+                    let _ = self.conn(w).map(|c| c.send_request(&Request::Shutdown));
+                }
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                reply_table("shutting down")
+            }
+        }
+    }
+
+    /// True when a statement can be scattered: exactly the single-table
+    /// census form whose rows come out in ascending focal-node order.
+    /// `ORDER BY`/`LIMIT` re-shape the row set per shard, pairwise
+    /// statements iterate node *pairs*, and `EXPLAIN` output describes
+    /// one plan — all of those go whole to one worker instead.
+    fn is_scatterable(sql: &str) -> bool {
+        let trimmed = sql.trim_start();
+        if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
+            return false;
+        }
+        if is_mutation_statement(sql) {
+            return false;
+        }
+        match parse_query(sql) {
+            // An unparsable statement is proxied so the worker's error
+            // message reaches the client byte-identically.
+            Err(_) => false,
+            Ok(stmt) => stmt.tables.len() == 1 && stmt.order_by.is_empty() && stmt.limit.is_none(),
+        }
+    }
+
+    fn handle_query(&mut self, sql: &str, shard: Option<ShardSpec>) -> String {
+        let shared = self.shared.clone();
+        let _read = shared.coherence.read().expect("coherence poisoned");
+        // A client that asks for a specific shard (e.g. a router layered
+        // over routers) gets exactly that shard from one worker.
+        if shard.is_some() {
+            return self.proxy(&Request::Query {
+                sql: sql.to_string(),
+                shard,
+            });
+        }
+        let ups = self.shared.up_indices();
+        if ups.len() > 1 && Self::is_scatterable(sql) {
+            self.scatter_query(sql, &ups)
+        } else {
+            self.proxy(&Request::Query {
+                sql: sql.to_string(),
+                shard: None,
+            })
+        }
+    }
+
+    /// Fan one statement out as one shard per live worker and merge the
+    /// responses in shard order. The shard count is fixed at scatter
+    /// time: when a worker dies mid-query its shard `j/n` is re-sent
+    /// verbatim to a survivor, leaving the merged bytes unchanged.
+    fn scatter_query(&mut self, sql: &str, ups: &[usize]) -> String {
+        self.shared
+            .stats
+            .scattered_queries
+            .fetch_add(1, Ordering::Relaxed);
+        let n = ups.len() as u32;
+        let shard_req = |j: u32| Request::Query {
+            sql: sql.to_string(),
+            shard: Some(ShardSpec::new(j, n).expect("shard index < count")),
+        };
+
+        // Scatter: pipeline one send per worker before reading anything.
+        let mut sent = vec![false; ups.len()];
+        for (j, &w) in ups.iter().enumerate() {
+            match self
+                .conn(w)
+                .and_then(|c| c.send_request(&shard_req(j as u32)))
+            {
+                Ok(()) => sent[j] = true,
+                Err(_) => self.fail_worker(w),
+            }
+        }
+
+        // Gather in shard order. Failures leave a hole; retries must
+        // wait until every pipelined connection is drained, otherwise a
+        // retry on a survivor would read that survivor's own pending
+        // shard response as its reply.
+        let mut parts: Vec<Option<Response>> = Vec::with_capacity(ups.len());
+        for (j, &w) in ups.iter().enumerate() {
+            if !sent[j] {
+                parts.push(None);
+                continue;
+            }
+            match self.conns[w]
+                .as_mut()
+                .expect("sent shards have live connections")
+                .recv_response()
+            {
+                Ok(resp) => parts.push(Some(resp)),
+                Err(_) => {
+                    self.fail_worker(w);
+                    parts.push(None);
+                }
+            }
+        }
+
+        // Re-scatter the holes to survivors.
+        for (j, part) in parts.iter_mut().enumerate() {
+            if part.is_none() {
+                self.shared
+                    .stats
+                    .rescattered_shards
+                    .fetch_add(1, Ordering::Relaxed);
+                *part = self.retry_shard(&shard_req(j as u32));
+            }
+        }
+        let Some(parts) = parts.into_iter().collect::<Option<Vec<_>>>() else {
+            return Response::error("no workers available").encode();
+        };
+
+        // A statement the engine rejects (bad pattern, unsupported
+        // algorithm/spec combination) fails identically on every
+        // worker; shard 0's error is the direct engine's bytes.
+        if let Some(Response::Error { message }) = parts.iter().find(|r| r.is_error()) {
+            return Response::error(message.clone()).encode();
+        }
+        let tables: Vec<TableData> = parts
+            .into_iter()
+            .map(|r| match r {
+                Response::Table(t) => t,
+                Response::Error { .. } => unreachable!("errors returned above"),
+            })
+            .collect();
+        match merge_tables(&tables) {
+            Ok(merged) => Response::Table(merged).encode(),
+            Err(message) => Response::error(message).encode(),
+        }
+    }
+
+    /// Run one shard request to completion on any surviving worker.
+    fn retry_shard(&mut self, req: &Request) -> Option<Response> {
+        for w in self.shared.up_indices() {
+            match self.conn(w).and_then(|c| c.request(req)) {
+                Ok(resp) => return Some(resp),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+        None
+    }
+
+    /// Forward one request whole to a single worker, round-robin over
+    /// the live fleet, failing over to the next worker on error.
+    fn proxy(&mut self, req: &Request) -> String {
+        self.shared
+            .stats
+            .proxied_requests
+            .fetch_add(1, Ordering::Relaxed);
+        let start = self.shared.next_proxy.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let ups = self.shared.up_indices();
+            if ups.is_empty() {
+                return Response::error("no workers available").encode();
+            }
+            let w = ups[start % ups.len()];
+            match self.conn(w).and_then(|c| c.request(req)) {
+                // Deterministic encoding: re-encoding the decoded
+                // response reproduces the worker's bytes.
+                Ok(resp) => return resp.encode(),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+    }
+
+    /// Broadcast a `define` to every live worker so each of this
+    /// session's per-worker catalogs learns the pattern, then record it
+    /// for replay on reconnect.
+    fn handle_define(&mut self, pattern: &str) -> String {
+        let ups = self.shared.up_indices();
+        let mut succeeded: Option<Response> = None;
+        for w in ups {
+            let req = Request::Define {
+                pattern: pattern.to_string(),
+            };
+            match self.conn(w).and_then(|c| c.request(&req)) {
+                // A rejected pattern fails identically everywhere;
+                // report it without recording the define.
+                Ok(Response::Error { message }) => return Response::error(message).encode(),
+                Ok(resp) => succeeded = Some(resp),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+        match succeeded {
+            Some(resp) => {
+                self.defines.push(pattern.to_string());
+                resp.encode()
+            }
+            None => Response::error("no workers available").encode(),
+        }
+    }
+
+    /// Broadcast an `update` under the coherence write lock, then check
+    /// that every worker reports the same generation and fingerprint.
+    /// A worker that fails mid-broadcast is marked down permanently —
+    /// it missed the mutation and can no longer answer shards.
+    fn handle_update(&mut self, mutations: &str) -> String {
+        let shared = self.shared.clone();
+        let _write = shared.coherence.write().expect("coherence poisoned");
+        let req = Request::Update {
+            mutations: mutations.to_string(),
+        };
+        let mut encoded: Vec<String> = Vec::new();
+        for w in self.shared.up_indices() {
+            match self.conn(w).and_then(|c| c.request(&req)) {
+                Ok(resp) => encoded.push(resp.encode()),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+        let Some(first) = encoded.first() else {
+            return Response::error("no workers available").encode();
+        };
+        // Every worker applied the same script to the same graph state,
+        // so the summaries (generation, fingerprint included) must be
+        // byte-identical; anything else means the fleet diverged.
+        if let Some(odd) = encoded.iter().find(|e| *e != first) {
+            return Response::error(format!("workers diverged after update: {first} vs {odd}"))
+                .encode();
+        }
+        first.clone()
+    }
+
+    /// Aggregate `stats` across the live fleet and append `router_*`
+    /// counters.
+    fn handle_stats(&mut self) -> String {
+        let mut tables: Vec<TableData> = Vec::new();
+        for w in self.shared.up_indices() {
+            match self.conn(w).and_then(|c| c.request(&Request::Stats)) {
+                Ok(Response::Table(t)) => tables.push(t),
+                Ok(Response::Error { message }) => return Response::error(message).encode(),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+        if tables.is_empty() {
+            return Response::error("no workers available").encode();
+        }
+        let stats = &self.shared.stats;
+        let mut rows = merge_stats(&tables);
+        rows.extend([
+            (
+                "router_connections".to_string(),
+                stats.connections.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_proxied_requests".to_string(),
+                stats.proxied_requests.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_requests".to_string(),
+                stats.requests.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_rescattered_shards".to_string(),
+                stats.rescattered_shards.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_scattered_queries".to_string(),
+                stats.scattered_queries.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_worker_failures".to_string(),
+                stats.worker_failures.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_workers_total".to_string(),
+                self.shared.workers_total() as i64,
+            ),
+            (
+                "router_workers_up".to_string(),
+                self.shared.workers_up() as i64,
+            ),
+        ]);
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let table = TableData {
+            columns: vec!["stat".into(), "value".into()],
+            rows: rows
+                .into_iter()
+                .map(|(k, v)| vec![Value::Str(k), Value::Int(v)])
+                .collect(),
+        };
+        Response::Table(table).encode()
+    }
+}
+
+fn reply_table(text: &str) -> String {
+    Response::Table(TableData {
+        columns: vec!["reply".into()],
+        rows: vec![vec![Value::Str(text.into())]],
+    })
+    .encode()
+}
+
+/// The router front end bound to a TCP address.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<RouterShared>,
+}
+
+impl Router {
+    /// Bind to `addr` (port 0 for ephemeral) in front of the given
+    /// worker addresses.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        worker_addrs: &[SocketAddr],
+        config: RouterConfig,
+    ) -> std::io::Result<Router> {
+        if worker_addrs.is_empty() {
+            return Err(std::io::Error::other("router needs at least one worker"));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(RouterShared {
+            workers: worker_addrs
+                .iter()
+                .map(|&addr| WorkerSlot {
+                    addr,
+                    up: AtomicBool::new(true),
+                })
+                .collect(),
+            coherence: RwLock::new(()),
+            stats: RouterStats::default(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            config,
+            next_proxy: AtomicUsize::new(0),
+        });
+        Ok(Router { listener, shared })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the router from another thread.
+    pub fn shutdown_handle(&self) -> RouterShutdownHandle {
+        RouterShutdownHandle {
+            flag: self.shared.shutdown.clone(),
+        }
+    }
+
+    /// The shared fleet state, for inspection in tests.
+    pub fn shared(&self) -> &Arc<RouterShared> {
+        &self.shared
+    }
+
+    /// Serve until shutdown: the same bounded-pool accept loop as
+    /// `ego-server`, with a [`RouterSession`] per connection.
+    pub fn run(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let pool = self.shared.config.pool_threads.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(pool);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..pool)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = self.shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ego-router-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock().unwrap().recv() {
+                            Ok(s) => s,
+                            Err(_) => return,
+                        };
+                        serve_connection(stream, &shared);
+                    })
+                    .expect("spawn router worker thread")
+            })
+            .collect();
+
+        let shutdown = self.shared.shutdown.clone();
+        while !shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(self.shared.config.poll_interval);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Serve one client connection: the same line loop as `ego-server`'s,
+/// with requests handled by a [`RouterSession`].
+fn serve_connection(mut stream: TcpStream, shared: &Arc<RouterShared>) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    let config = shared.config.clone();
+    if stream.set_read_timeout(Some(config.poll_interval)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut session = RouterSession::new(shared.clone());
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut partial_since: Option<Instant> = None;
+
+    loop {
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = session.handle_line(line);
+            if write_line(&mut stream, &response).is_err() {
+                return;
+            }
+        }
+        partial_since = if buf.is_empty() {
+            None
+        } else {
+            partial_since.or_else(|| Some(Instant::now()))
+        };
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if let Some(since) = partial_since {
+                    if since.elapsed() >= config.request_timeout {
+                        let _ =
+                            write_line(&mut stream, &Response::error("request timed out").encode());
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}

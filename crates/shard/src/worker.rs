@@ -1,0 +1,127 @@
+//! Spawning and supervising a fleet of worker subprocesses.
+//!
+//! Each worker is a full `egocensus serve` process pointed at the same
+//! `.egb` file; the mmap store opens it `MAP_SHARED`/`PROT_READ`, so N
+//! workers share one physical copy of the CSR. The fleet reads each
+//! child's stdout for the `listening on ADDR` readiness line (the same
+//! line `scripts/verify.sh` parses) to learn the ephemeral port, and
+//! kills every child on drop so an aborted router never leaks workers.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+/// One spawned worker.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerInfo {
+    /// Position in the fleet (also its default shard index).
+    pub index: usize,
+    /// The address the worker bound.
+    pub addr: SocketAddr,
+    /// OS process id, so scripts/tests can kill a specific worker.
+    pub pid: u32,
+}
+
+/// A fleet of worker subprocesses, killed on drop.
+pub struct WorkerFleet {
+    children: Vec<Option<Child>>,
+    infos: Vec<WorkerInfo>,
+}
+
+impl WorkerFleet {
+    /// Spawn `count` workers. `make_command` builds the command for
+    /// worker `j` (typically `current_exe()` + `serve --addr
+    /// 127.0.0.1:0 ...`); the fleet pipes its stdout and waits for the
+    /// `listening on ADDR` line before spawning the next worker.
+    pub fn spawn(
+        count: usize,
+        mut make_command: impl FnMut(usize) -> Command,
+    ) -> std::io::Result<WorkerFleet> {
+        let mut fleet = WorkerFleet {
+            children: Vec::with_capacity(count),
+            infos: Vec::with_capacity(count),
+        };
+        for index in 0..count {
+            let mut cmd = make_command(index);
+            cmd.stdout(Stdio::piped());
+            let mut child = cmd.spawn()?;
+            let stdout = child.stdout.take().expect("stdout was piped at spawn time");
+            let pid = child.id();
+            match read_listen_addr(stdout) {
+                Ok(addr) => {
+                    fleet.infos.push(WorkerInfo { index, addr, pid });
+                    fleet.children.push(Some(child));
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::other(format!(
+                        "worker {index} failed to start: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(fleet)
+    }
+
+    /// The spawned workers, in fleet order.
+    pub fn infos(&self) -> &[WorkerInfo] {
+        &self.infos
+    }
+
+    /// The worker addresses, in fleet order (what [`crate::Router::bind`]
+    /// takes).
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.infos.iter().map(|w| w.addr).collect()
+    }
+
+    /// Kill one worker (for failure-injection tests); idempotent.
+    pub fn kill(&mut self, index: usize) -> std::io::Result<()> {
+        if let Some(child) = self.children.get_mut(index).and_then(Option::take) {
+            let mut child = child;
+            child.kill()?;
+            child.wait()?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().filter_map(Option::take) {
+            let mut child = child;
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Read a child's stdout until the `listening on ADDR` readiness line;
+/// keep draining the pipe afterwards so a chatty worker never blocks
+/// on a full pipe buffer.
+fn read_listen_addr(stdout: impl std::io::Read + Send + 'static) -> Result<SocketAddr, String> {
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("worker exited before announcing its address".into()),
+            Ok(_) => {
+                if let Some(rest) = line.trim().strip_prefix("listening on ") {
+                    let addr: SocketAddr = rest
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad listen address `{rest}`: {e}"))?;
+                    std::thread::spawn(move || {
+                        let mut sink = String::new();
+                        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                            sink.clear();
+                        }
+                    });
+                    return Ok(addr);
+                }
+            }
+            Err(e) => return Err(format!("reading worker stdout: {e}")),
+        }
+    }
+}

@@ -137,4 +137,38 @@ wait "$serve_pid"
 serve_pid=""
 echo "    mutate --verify passed; update re-censused and invalidated the caches"
 
+echo "==> sharded tier smoke test (router + 2 workers on the .egb store, failover)"
+shard_sql='SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)), COUNTP(single_edge, SUBGRAPH(ID, 2)) FROM nodes'
+./target/release/egocensus query "$tmpdir/g.egb" --csv "$shard_sql" >"$tmpdir/shard_direct.csv"
+./target/release/egocensus serve "$tmpdir/g.egb" --addr 127.0.0.1:0 \
+  --workers 2 --threads 2 --cache-mb 8 >"$tmpdir/shard-serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^listening on //p' "$tmpdir/shard-serve.log")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "FAIL: router never printed its address"; exit 1; }
+./target/release/egocensus client --addr "$addr" --csv "$shard_sql" >"$tmpdir/shard_routed.csv"
+cmp -s "$tmpdir/shard_direct.csv" "$tmpdir/shard_routed.csv" \
+  || { echo "FAIL: routed scatter/gather diverges from the direct engine"; exit 1; }
+# Kill one worker mid-run; the router must re-scatter its shard to the
+# survivor and still answer byte-identically.
+worker_pid=$(sed -n 's/^worker 0 listening on .* (pid \([0-9]*\))$/\1/p' "$tmpdir/shard-serve.log")
+[ -n "$worker_pid" ] || { echo "FAIL: router never printed worker 0's pid"; exit 1; }
+kill -9 "$worker_pid"
+./target/release/egocensus client --addr "$addr" --csv "$shard_sql" >"$tmpdir/shard_failover.csv"
+cmp -s "$tmpdir/shard_direct.csv" "$tmpdir/shard_failover.csv" \
+  || { echo "FAIL: post-failover query diverges from the direct engine"; exit 1; }
+shard_stats=$(./target/release/egocensus client --addr "$addr" --csv --stats)
+echo "$shard_stats" | grep -q '^router_worker_failures,[1-9]' \
+  || { echo "FAIL: stats should report at least one worker failure"; exit 1; }
+echo "$shard_stats" | grep -q '^router_workers_up,1$' \
+  || { echo "FAIL: stats should report one surviving worker"; exit 1; }
+./target/release/egocensus client --addr "$addr" --shutdown >/dev/null
+wait "$serve_pid" || true
+serve_pid=""
+echo "    router matched the direct engine byte-for-byte, before and after losing a worker"
+
 echo "==> verify OK"

@@ -24,6 +24,7 @@ use egocensus::matcher::{find_matches, MatcherKind};
 use egocensus::pattern::Pattern;
 use egocensus::query::{parse_mutations, Catalog, MutationKind, QueryEngine, Table};
 use egocensus::server::{Client, Response, Server, ServerConfig};
+use egocensus::shard::{Router, RouterConfig, ShardSpec, WorkerFleet};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -85,7 +86,8 @@ USAGE:
                    [--threads <T>] [--verify]
   egocensus serve <graph-file> [--addr <host:port>] [--threads <pool>]
                   [--exec-threads <T>] [--cache-mb <MB>] [--seed <S>]
-                  [--define <DSL>]...
+                  [--algorithm <name>] [--shard-of <M/N>] [--define <DSL>]...
+                  [--workers <N> | --attach <host:port,...>]
   egocensus client [--addr <host:port>] [--define <DSL>]... [--update <script>]
                    [--stats] [--shutdown] [--csv] [<SQL>]
 
@@ -105,7 +107,12 @@ line-delimited JSON protocol, and memoizes repeated census queries in an
 LRU result cache (--cache-mb 0 disables). --threads bounds concurrent
 connections; --exec-threads parallelizes each census internally. The
 `update` op (client --update) applies a mutation script server-side,
-swapping the shared graph and invalidating the caches."
+swapping the shared graph and invalidating the caches.
+Sharding: --workers N spawns N worker subprocesses over the same graph
+file (mmap'd .egb files share one physical copy) behind a scatter/gather
+router; --attach fronts already-running workers instead. Responses are
+byte-identical to a single server. --shard-of M/N makes a standalone
+server answer only the M-th of N contiguous focal node-ID ranges."
     );
 }
 
@@ -504,22 +511,37 @@ fn cmd_mutate(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args, &[])?;
-    let path = f.positional.first().ok_or("missing graph file")?;
-    let addr = f.get("addr").unwrap_or("127.0.0.1:7878");
+    let path = f.positional.first().ok_or("missing graph file")?.clone();
+    let addr = f.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let workers: usize = f.parse("workers", 0usize)?;
+    if workers > 0 || f.get("attach").is_some() {
+        if f.get("shard-of").is_some() {
+            return Err("--shard-of configures a worker; it cannot combine with \
+                        --workers/--attach (the router assigns shards per query)"
+                .into());
+        }
+        return cmd_serve_router(&f, &path, &addr, workers);
+    }
     let cache_mb: usize = f.parse("cache-mb", 64)?;
+    let shard = match f.get("shard-of") {
+        None => None,
+        Some(text) => Some(ShardSpec::parse(text)?),
+    };
     let config = ServerConfig {
         pool_threads: f.parse("threads", 4usize)?,
         exec_threads: f.parse("exec-threads", 0usize)?,
         cache_bytes: cache_mb << 20,
         seed: f.parse("seed", 0xC0FFEEu64)?,
+        shard,
+        algorithm: parse_algorithm(f.get("algorithm").unwrap_or("auto"))?,
         ..ServerConfig::default()
     };
-    let graph = Arc::new(load_graph(path)?);
+    let graph = Arc::new(load_graph(&path)?);
     let mut base = Catalog::with_builtins();
     for def in f.get_all("define") {
         base.define_or_replace(def).map_err(|e| e.to_string())?;
     }
-    let server = Server::bind(addr, graph, Arc::new(base), config)
+    let server = Server::bind(&addr, graph, Arc::new(base), config)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;
     // Scripts parse this line to learn the ephemeral port; flush past
@@ -528,6 +550,61 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     server.run().map_err(|e| e.to_string())?;
+    println!("server stopped");
+    Ok(())
+}
+
+/// `serve --workers N` / `serve --attach a,b`: a scatter/gather router
+/// in front of a worker fleet. With `--workers` the fleet is spawned
+/// here — one `egocensus serve` subprocess per worker, all mapping the
+/// same graph file, each bound to an ephemeral port — and torn down
+/// when the router stops. With `--attach` the router fronts workers
+/// someone else started (e.g. on other machines sharing the file).
+fn cmd_serve_router(f: &Flags, path: &str, addr: &str, workers: usize) -> Result<(), String> {
+    let (fleet, worker_addrs) = match f.get("attach") {
+        Some(list) => {
+            let addrs = list
+                .split(',')
+                .map(|a| {
+                    a.trim()
+                        .parse::<std::net::SocketAddr>()
+                        .map_err(|e| format!("bad --attach address `{a}`: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            (None, addrs)
+        }
+        None => {
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot locate the egocensus binary: {e}"))?;
+            let fleet = WorkerFleet::spawn(workers, |_j| {
+                let mut c = std::process::Command::new(&exe);
+                c.arg("serve").arg(path).args(["--addr", "127.0.0.1:0"]);
+                for flag in ["threads", "exec-threads", "cache-mb", "seed", "algorithm"] {
+                    if let Some(v) = f.get(flag) {
+                        c.arg(format!("--{flag}")).arg(v);
+                    }
+                }
+                for def in f.get_all("define") {
+                    c.arg("--define").arg(def);
+                }
+                c
+            })
+            .map_err(|e| e.to_string())?;
+            for w in fleet.infos() {
+                println!("worker {} listening on {} (pid {})", w.index, w.addr, w.pid);
+            }
+            let addrs = fleet.addrs();
+            (Some(fleet), addrs)
+        }
+    };
+    let router = Router::bind(addr, &worker_addrs, RouterConfig::default())
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = router.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {local}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    router.run().map_err(|e| e.to_string())?;
+    drop(fleet); // kill spawned workers before reporting the stop
     println!("server stopped");
     Ok(())
 }

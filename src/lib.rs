@@ -16,6 +16,8 @@
 //! * [`query`] — the SQL-based declarative language.
 //! * [`dynamic`] — edge-mutation overlays and incremental re-census.
 //! * [`server`] — concurrent TCP front end with a pattern-keyed result cache.
+//! * [`shard`] — scatter/gather router over a fleet of server workers
+//!   sharing one mmap'd graph.
 //! * [`datagen`] — synthetic graph generators.
 //! * [`linkpred`] — the DBLP-style link prediction experiment harness.
 //!
@@ -49,6 +51,7 @@ pub use ego_matcher as matcher;
 pub use ego_pattern as pattern;
 pub use ego_query as query;
 pub use ego_server as server;
+pub use ego_shard as shard;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
