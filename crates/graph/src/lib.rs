@@ -63,6 +63,6 @@ pub use hash::{FastHashMap, FastHashSet};
 pub use ids::{Label, NodeId};
 pub use neighborhood::{khop_nodes, khop_nodes_with_dist, NeighborhoodKind};
 pub use profile::NodeProfile;
-pub use setops::{NodeBitset, SetOpStats};
+pub use setops::{NodeBitset, SetOpStats, SetOpsTuning};
 pub use store::{GraphStore, MmapStore, VecStore};
 pub use subgraph::InducedSubgraph;

@@ -29,18 +29,68 @@
 //! `adaptive`); all kernels produce byte-identical sorted output.
 
 use crate::ids::NodeId;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
-/// Long/short size ratio beyond which galloping beats the linear merge.
+/// Default long/short size ratio beyond which galloping beats the linear
+/// merge (the measured crossover on uniform graphs).
 pub const GALLOP_RATIO: usize = 16;
 
-/// Minimum reuse count (intersections sharing one right-hand set) for a
-/// [`NodeBitset`] build to amortize in the adaptive policy.
+/// Default minimum reuse count (intersections sharing one right-hand
+/// set) for a [`NodeBitset`] build to amortize in the adaptive policy.
 pub const BITSET_MIN_REUSE: usize = 64;
 
-/// Minimum right-hand set size for a bitset build to beat per-call
-/// galloping in the adaptive policy.
+/// Default minimum right-hand set size for a bitset build to beat
+/// per-call galloping in the adaptive policy.
 pub const BITSET_MIN_SET: usize = 1024;
+
+/// The adaptive dispatcher's thresholds. Defaults are the measured
+/// constants above; `ANALYZE` re-seeds them per graph shape through
+/// [`set_tuning`] (high degree skew lowers the gallop ratio, density
+/// lowers the bitset bars). Tuning never changes results — all kernels
+/// are element-identical — only which kernel serves a call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SetOpsTuning {
+    /// Long/short size ratio that engages galloping.
+    pub gallop_ratio: usize,
+    /// Minimum reuse count for a bitset build to amortize.
+    pub bitset_min_reuse: usize,
+    /// Minimum set size for a bitset build to amortize.
+    pub bitset_min_set: usize,
+}
+
+impl Default for SetOpsTuning {
+    fn default() -> Self {
+        SetOpsTuning {
+            gallop_ratio: GALLOP_RATIO,
+            bitset_min_reuse: BITSET_MIN_REUSE,
+            bitset_min_set: BITSET_MIN_SET,
+        }
+    }
+}
+
+// Process-wide tunable thresholds, read relaxed on the hot path (plain
+// loads on x86; the dispatcher ratio test already branches).
+static T_GALLOP_RATIO: AtomicUsize = AtomicUsize::new(GALLOP_RATIO);
+static T_BITSET_MIN_REUSE: AtomicUsize = AtomicUsize::new(BITSET_MIN_REUSE);
+static T_BITSET_MIN_SET: AtomicUsize = AtomicUsize::new(BITSET_MIN_SET);
+
+/// Replace the process-wide adaptive thresholds (graph-shape seeding
+/// from `ANALYZE`; [`SetOpsTuning::default`] restores the constants).
+/// A zero `gallop_ratio` is clamped to 1 so the ratio test stays sane.
+pub fn set_tuning(t: SetOpsTuning) {
+    T_GALLOP_RATIO.store(t.gallop_ratio.max(1), Ordering::Relaxed);
+    T_BITSET_MIN_REUSE.store(t.bitset_min_reuse, Ordering::Relaxed);
+    T_BITSET_MIN_SET.store(t.bitset_min_set, Ordering::Relaxed);
+}
+
+/// The currently active adaptive thresholds.
+pub fn current_tuning() -> SetOpsTuning {
+    SetOpsTuning {
+        gallop_ratio: T_GALLOP_RATIO.load(Ordering::Relaxed),
+        bitset_min_reuse: T_BITSET_MIN_REUSE.load(Ordering::Relaxed),
+        bitset_min_set: T_BITSET_MIN_SET.load(Ordering::Relaxed),
+    }
+}
 
 /// Counters for kernel dispatch decisions and scratch-buffer reuse.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -297,7 +347,7 @@ pub fn intersect_into(a: &[NodeId], b: &[NodeId], out: &mut Vec<NodeId>, stats: 
             bits.filter_into(short, out);
         }
         Kernel::Adaptive => {
-            if s == 0 || l >= GALLOP_RATIO * s {
+            if s == 0 || l >= T_GALLOP_RATIO.load(Ordering::Relaxed) * s {
                 stats.gallop_calls += 1;
                 gallop_into(a, b, out);
             } else {
@@ -332,7 +382,7 @@ pub fn intersect_count(a: &[NodeId], b: &[NodeId], stats: &mut SetOpStats) -> us
             bits.count_in(short)
         }
         Kernel::Adaptive => {
-            if s == 0 || l >= GALLOP_RATIO * s {
+            if s == 0 || l >= T_GALLOP_RATIO.load(Ordering::Relaxed) * s {
                 stats.gallop_calls += 1;
                 gallop_count(a, b)
             } else {
@@ -350,7 +400,10 @@ pub fn bitset_pays_off(reuse: usize, set_len: usize) -> bool {
     match configured_kernel() {
         Kernel::Bitset => true,
         Kernel::Merge | Kernel::Gallop => false,
-        Kernel::Adaptive => reuse >= BITSET_MIN_REUSE && set_len >= BITSET_MIN_SET,
+        Kernel::Adaptive => {
+            reuse >= T_BITSET_MIN_REUSE.load(Ordering::Relaxed)
+                && set_len >= T_BITSET_MIN_SET.load(Ordering::Relaxed)
+        }
     }
 }
 
@@ -582,6 +635,37 @@ mod tests {
         assert!(after.gallop_calls >= before.gallop_calls + 3);
         assert!(after.bitset_calls >= before.bitset_calls + 4);
         assert!(after.saved_allocs >= before.saved_allocs + 5);
+    }
+
+    #[test]
+    fn tuning_moves_the_adaptive_crossovers() {
+        let _guard = KERNEL_LOCK.lock().unwrap();
+        set_kernel(Kernel::Adaptive);
+        assert_eq!(current_tuning(), SetOpsTuning::default());
+        // 4-vs-16 is merge territory at ratio 16 but gallop at ratio 2.
+        let a = ids(&[1, 2, 3, 4]);
+        let b: Vec<NodeId> = (0..16u32).map(NodeId).collect();
+        let mut stats = SetOpStats::default();
+        let mut out = Vec::new();
+        intersect_into(&a, &b, &mut out, &mut stats);
+        assert_eq!((stats.merge_calls, stats.gallop_calls), (1, 0));
+        set_tuning(SetOpsTuning {
+            gallop_ratio: 2,
+            bitset_min_reuse: 1,
+            bitset_min_set: 1,
+        });
+        intersect_into(&a, &b, &mut out, &mut stats);
+        assert_eq!((stats.merge_calls, stats.gallop_calls), (1, 1));
+        assert!(bitset_pays_off(1, 1));
+        set_tuning(SetOpsTuning::default());
+        assert!(!bitset_pays_off(1, 1));
+        // Zero gallop ratio is clamped, not a divide-by-zero-ish trap.
+        set_tuning(SetOpsTuning {
+            gallop_ratio: 0,
+            ..SetOpsTuning::default()
+        });
+        assert_eq!(current_tuning().gallop_ratio, 1);
+        set_tuning(SetOpsTuning::default());
     }
 
     #[test]

@@ -1,16 +1,28 @@
-//! Query planning and execution.
+//! Query execution: the interpreter at the end of the
+//! `parse → plan → optimize → execute` pipeline.
+//!
+//! [`QueryEngine::execute`] parses a statement, builds its logical plan
+//! ([`crate::plan::build_plan`]), runs the optimizer pass pipeline over
+//! it ([`crate::optimizer`]), and interprets the resulting physical
+//! plan: the census node's [`crate::plan::AlgoChoice`] decides the
+//! algorithm, its
+//! stages decide the batch grouping, and `EXPLAIN` renders the same
+//! optimized tree instead of guessing.
 
 use crate::ast::{AggCall, ColumnRef, NeighborhoodAst, Projection, SelectStmt, SortDir};
 use crate::catalog::Catalog;
 use crate::census_cache::CensusCache;
 use crate::error::QueryError;
 use crate::expr::{eval_predicate, RowContext};
+use crate::optimizer::{optimize_with, PassContext, OPTIMIZERS};
 use crate::parser::parse_query;
+use crate::plan::{build_plan, CountHint, MatchHint, Plan, PlanNode, StatsBasis};
+use crate::stats::{GraphStats, PlannerCounters, StatsSlot, CONSIDERED};
 use crate::table::Table;
 use crate::value::Value;
 use ego_census::{
-    plan_stages, run_batch_exec, run_pair_census_exec, Algorithm, BatchStage, CensusSpec,
-    CountVector, ExecConfig, FocalNodes, PairCensusSpec, PairCounts, PairSelector, PtConfig,
+    run_batch_exec, run_pair_census_exec, Algorithm, BatchStage, CensusSpec, CountVector,
+    ExecConfig, FocalNodes, PairCensusSpec, PairCounts, PairSelector, PtConfig,
 };
 use ego_graph::io::IoError;
 use ego_graph::{Graph, NodeId};
@@ -18,7 +30,8 @@ use ego_matcher::MatchList;
 use ego_pattern::Pattern;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Where an engine's graph lives: borrowed from the caller (the
 /// original in-process API) or shared behind an [`Arc`] (server
@@ -65,6 +78,20 @@ pub struct QueryEngine<'g> {
     seed: u64,
     census_cache: Option<Arc<CensusCache>>,
     focal_shard: Option<crate::shard::ShardSpec>,
+    /// Latest `ANALYZE` snapshot. A shared slot: server sessions point
+    /// their engines at one slot so an `analyze` on any connection feeds
+    /// every session's planner immediately.
+    graph_stats: StatsSlot,
+    /// Where `ANALYZE` persists its snapshot (the graph file's `.stats`
+    /// sidecar when the engine was opened from a path).
+    stats_path: Option<PathBuf>,
+    /// Memoized structural heuristic for the current fingerprint, so
+    /// planning without a snapshot costs one degree-histogram pass per
+    /// graph, not per statement.
+    heuristic_stats: Mutex<Option<Arc<GraphStats>>>,
+    /// Planner bookkeeping (plans built, passes fired, ...), surfaced by
+    /// the server `stats` op when attached.
+    planner: Option<Arc<PlannerCounters>>,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -91,9 +118,19 @@ impl<'g> QueryEngine<'g> {
     /// extension (`.egb` → read-only mmap store, anything else → text
     /// formats on the heap store; see `ego_graph::io::load_path`).
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<QueryEngine<'static>, IoError> {
-        Ok(QueryEngine::shared(Arc::new(ego_graph::io::load_path(
-            path,
-        )?)))
+        let path = path.as_ref();
+        let mut e = QueryEngine::shared(Arc::new(ego_graph::io::load_path(path)?));
+        // Adopt the graph's stats sidecar: a previous ANALYZE feeds the
+        // planner immediately (staleness is detected per statement by
+        // fingerprint). A missing or malformed sidecar must not block
+        // opening the graph — the planner falls back to its structural
+        // heuristic until the next ANALYZE rewrites the file.
+        let sidecar = GraphStats::sidecar_path(path);
+        if let Ok(Some(stats)) = GraphStats::load(&sidecar) {
+            *e.graph_stats.write().unwrap() = Some(Arc::new(stats));
+        }
+        e.stats_path = Some(sidecar);
+        Ok(e)
     }
 
     /// [`QueryEngine::open`] preloaded with the paper's built-in patterns.
@@ -115,6 +152,10 @@ impl<'g> QueryEngine<'g> {
             seed: 0xC0FFEE,
             census_cache: None,
             focal_shard: None,
+            graph_stats: StatsSlot::default(),
+            stats_path: None,
+            heuristic_stats: Mutex::new(None),
+            planner: None,
         }
     }
 
@@ -215,12 +256,132 @@ impl<'g> QueryEngine<'g> {
         self.focal_shard
     }
 
+    /// Attach planner counters (plans built, passes fired, cost-model
+    /// vs heuristic choices); the server shares one set across sessions
+    /// and surfaces them through the `stats` op.
+    pub fn set_planner_counters(&mut self, counters: Arc<PlannerCounters>) {
+        self.planner = Some(counters);
+    }
+
+    /// The attached planner counters, if any.
+    pub fn planner_counters(&self) -> Option<&Arc<PlannerCounters>> {
+        self.planner.as_ref()
+    }
+
+    /// Share an `ANALYZE`-snapshot slot with other engines (server
+    /// sessions over one graph share one slot).
+    pub fn set_stats_slot(&mut self, slot: StatsSlot) {
+        self.graph_stats = slot;
+    }
+
+    /// The engine's snapshot slot, for sharing with sibling engines.
+    pub fn stats_slot(&self) -> StatsSlot {
+        Arc::clone(&self.graph_stats)
+    }
+
+    /// Where `ANALYZE` persists its snapshot (`None` disables
+    /// persistence; [`QueryEngine::open`] defaults to the graph file's
+    /// `.stats` sidecar).
+    pub fn set_stats_path(&mut self, path: Option<PathBuf>) {
+        self.stats_path = path;
+    }
+
+    /// The snapshot persistence path, if set.
+    pub fn stats_path(&self) -> Option<&Path> {
+        self.stats_path.as_deref()
+    }
+
+    /// The current `ANALYZE` snapshot, if one was taken or loaded (it
+    /// may be stale; the planner checks the fingerprint per statement).
+    pub fn graph_stats(&self) -> Option<Arc<GraphStats>> {
+        self.graph_stats.read().unwrap().clone()
+    }
+
+    /// `ANALYZE`: profile the live graph ([`GraphStats::analyze`]),
+    /// install the snapshot for the planner (and every engine sharing
+    /// this slot), pre-seed the adaptive set-intersection thresholds
+    /// from the graph's shape, persist the sidecar when a stats path is
+    /// set, and return the snapshot as a key/value table.
+    pub fn analyze(&self) -> Result<Table, QueryError> {
+        let stats = Arc::new(GraphStats::analyze(self.graph()));
+        ego_graph::setops::set_tuning(stats.setops_tuning());
+        if let Some(path) = &self.stats_path {
+            stats.save(path)?;
+        }
+        *self.graph_stats.write().unwrap() = Some(Arc::clone(&stats));
+        Ok(stats.to_table())
+    }
+
+    /// The statistics the planner should use right now, plus where they
+    /// came from: a fresh snapshot when its fingerprint matches the live
+    /// graph, otherwise the memoized structural heuristic (reported as
+    /// `Stale` when a mismatched snapshot exists, `Heuristic` when none
+    /// does).
+    fn planning_stats(&self) -> (Arc<GraphStats>, StatsBasis) {
+        let fp = self.graph().fingerprint();
+        let snapshot = self.graph_stats.read().unwrap().clone();
+        match snapshot {
+            Some(s) if !s.is_stale(fp) => (s, StatsBasis::Analyzed),
+            Some(_) => (self.heuristic_stats(fp), StatsBasis::Stale),
+            None => (self.heuristic_stats(fp), StatsBasis::Heuristic),
+        }
+    }
+
+    /// Memoized [`GraphStats::heuristic`] for the current fingerprint.
+    fn heuristic_stats(&self, fingerprint: u64) -> Arc<GraphStats> {
+        let mut slot = self.heuristic_stats.lock().unwrap();
+        if let Some(s) = slot.as_ref() {
+            if s.fingerprint == fingerprint {
+                return Arc::clone(s);
+            }
+        }
+        let s = Arc::new(GraphStats::heuristic(self.graph()));
+        *slot = Some(Arc::clone(&s));
+        s
+    }
+
+    /// Build and optimize the plan for a single-table statement.
+    /// `focal` is the evaluated focal set when known (execution always
+    /// knows it; EXPLAIN only without a WHERE clause) — it feeds the
+    /// count-cache probes and the cost model's focal cardinality.
+    fn plan_single(
+        &self,
+        stmt: &SelectStmt,
+        focal: Option<&[NodeId]>,
+        passes: &[(&str, crate::optimizer::Pass)],
+    ) -> Result<Plan, QueryError> {
+        let (stats, basis) = self.planning_stats();
+        let mut ctx = PassContext {
+            graph: self.graph(),
+            catalog: &self.catalog,
+            stats: &stats,
+            stats_basis: basis,
+            fingerprint: self.graph().fingerprint(),
+            cache: self.census_cache.as_deref(),
+            focal,
+            shard: self.focal_shard,
+            forced: self.algorithm,
+            counters: self.planner.as_deref(),
+            fired: 0,
+        };
+        optimize_with(build_plan(stmt), &mut ctx, passes)
+    }
+
     /// Parse and execute a statement. `EXPLAIN SELECT ...` returns the
-    /// plan description instead of results.
+    /// optimized plan tree instead of results; `ANALYZE` profiles the
+    /// graph and returns the statistics snapshot.
     pub fn execute(&self, sql: &str) -> Result<Table, QueryError> {
         let trimmed = sql.trim_start();
         if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
             return self.explain(&trimmed[7..]);
+        }
+        if crate::parser::is_analyze_statement(sql) {
+            if !sql.trim().eq_ignore_ascii_case("ANALYZE") {
+                return Err(QueryError::Semantic(
+                    "ANALYZE takes no arguments; it profiles the whole graph".into(),
+                ));
+            }
+            return self.analyze();
         }
         if crate::parser::is_mutation_statement(sql) {
             return Err(QueryError::Semantic(
@@ -237,24 +398,260 @@ impl<'g> QueryEngine<'g> {
         }
     }
 
-    /// Describe how a SELECT would run: one row per aggregate with the
-    /// pattern's shape, the neighborhood, profile-filtered candidate
-    /// estimates (the matcher's step-1 result, a cheap upper bound on
-    /// match work), and the algorithm setting.
+    /// Describe how a SELECT would run: the optimized plan tree, one row
+    /// per operator (indented by depth), with the algorithm decision,
+    /// every considered alternative's estimated cost, per-aggregate
+    /// match estimates (`estimated:` from the cost model, `cached:` when
+    /// the census cache holds the exact list), expected cache reuse,
+    /// batch-stage grouping, and the set-intersection kernel plan.
     pub fn explain(&self, sql: &str) -> Result<Table, QueryError> {
         let stmt = parse_query(sql)?;
         if stmt.tables.len() > 2 {
             return Err(QueryError::Semantic("too many tables".into()));
         }
-        let mut table = Table::new(vec![
-            "aggregate".into(),
-            "pattern".into(),
-            "nodes/edges".into(),
-            "neighborhood".into(),
-            "candidates".into(),
-            "algorithm".into(),
-        ]);
-        let profiles = ego_graph::profile::ProfileIndex::build(self.graph());
+        // The focal set is known without a WHERE clause (every node,
+        // shard applied); with one, count-cache probes stay `Unknown` —
+        // EXPLAIN must not evaluate predicates or consume RND() streams.
+        let focal: Option<Vec<NodeId>> = if stmt.tables.len() == 1 && stmt.where_clause.is_none() {
+            Some(self.compute_focal(&stmt, stmt.tables[0].alias.as_str())?)
+        } else {
+            None
+        };
+        let plan = self.plan_single(&stmt, focal.as_deref(), OPTIMIZERS)?;
+        self.render_plan(&plan)
+    }
+
+    /// Render an optimized plan as the EXPLAIN table.
+    fn render_plan(&self, plan: &Plan) -> Result<Table, QueryError> {
+        let mut table = Table::new(vec!["node".into(), "detail".into(), "est_cost".into()]);
+        let (stats, _) = self.planning_stats();
+        self.render_node(&plan.root, &plan.stmt, &stats, 0, &mut table)?;
+        Ok(table)
+    }
+
+    fn render_node(
+        &self,
+        node: &PlanNode,
+        stmt: &SelectStmt,
+        stats: &GraphStats,
+        depth: usize,
+        table: &mut Table,
+    ) -> Result<(), QueryError> {
+        let dash = || Value::Str("-".into());
+        let label = |name: &str, depth: usize| {
+            Value::Str(format!("{:indent$}{name}", "", indent = 2 * depth))
+        };
+        match node {
+            PlanNode::Scan { alias } => {
+                table.push_row(vec![
+                    label("scan", depth),
+                    Value::Str(format!("nodes AS {alias}")),
+                    Value::Int(self.graph().num_nodes() as i64),
+                ]);
+            }
+            PlanNode::Filter { input } => {
+                table.push_row(vec![
+                    label("filter", depth),
+                    Value::Str("WHERE".into()),
+                    dash(),
+                ]);
+                self.render_node(input, stmt, stats, depth + 1, table)?;
+            }
+            PlanNode::Shard { spec, input } => {
+                table.push_row(vec![
+                    label("shard", depth),
+                    Value::Str(format!("focal shard {spec} (after WHERE)")),
+                    dash(),
+                ]);
+                self.render_node(input, stmt, stats, depth + 1, table)?;
+            }
+            PlanNode::Project { input } => {
+                let cols: Vec<String> = stmt.projections.iter().map(projection_name).collect();
+                table.push_row(vec![
+                    label("project", depth),
+                    Value::Str(cols.join(", ")),
+                    dash(),
+                ]);
+                self.render_node(input, stmt, stats, depth + 1, table)?;
+            }
+            PlanNode::Order { keys, input } => {
+                let desc: Vec<String> = keys
+                    .iter()
+                    .map(|k| {
+                        let dir = match k.dir {
+                            SortDir::Asc => "ASC",
+                            SortDir::Desc => "DESC",
+                        };
+                        format!("{} {dir}", k.ordinal)
+                    })
+                    .collect();
+                table.push_row(vec![
+                    label("order", depth),
+                    Value::Str(desc.join(", ")),
+                    dash(),
+                ]);
+                self.render_node(input, stmt, stats, depth + 1, table)?;
+            }
+            PlanNode::Limit { n, input } => {
+                table.push_row(vec![
+                    label("limit", depth),
+                    Value::Str(format!("n={n}")),
+                    dash(),
+                ]);
+                self.render_node(input, stmt, stats, depth + 1, table)?;
+            }
+            PlanNode::PairCensus { aggs, input } => {
+                table.push_row(vec![
+                    label("pair-census", depth),
+                    Value::Str(format!(
+                        "{aggs} aggregate(s) per node pair, algo={:?} (engine setting; \
+                         pairwise census is not cost-planned)",
+                        self.algorithm
+                    )),
+                    dash(),
+                ]);
+                self.render_pair_aggs(stmt, depth + 1, table)?;
+                self.render_setops(depth + 1, table);
+                self.render_node(input, stmt, stats, depth + 1, table)?;
+            }
+            PlanNode::Census(c) => {
+                let (algo_desc, cost) = match &c.choice {
+                    Some(ch) => {
+                        let how = if ch.forced {
+                            "forced"
+                        } else {
+                            match ch.stats {
+                                StatsBasis::Analyzed => "cost-model",
+                                StatsBasis::Stale | StatsBasis::Heuristic => "heuristic",
+                            }
+                        };
+                        (
+                            format!(
+                                "algo={:?} ({how}, stats={})",
+                                ch.algorithm,
+                                ch.stats.label()
+                            ),
+                            Value::Float(ch.cost()),
+                        )
+                    }
+                    None => (format!("algo={:?} (unplanned)", self.algorithm), dash()),
+                };
+                table.push_row(vec![label("census", depth), Value::Str(algo_desc), cost]);
+                // The road not taken: every algorithm that can serve the
+                // statement, with its estimated cost, cheapest first.
+                if let Some(ch) = &c.choice {
+                    for (a, cost) in &ch.considered {
+                        let marker = if *a == ch.algorithm { " (chosen)" } else { "" };
+                        table.push_row(vec![
+                            label("choice", depth + 1),
+                            Value::Str(format!("{a:?}{marker}")),
+                            Value::Float(*cost),
+                        ]);
+                    }
+                }
+                let profiles = ego_graph::profile::ProfileIndex::build(self.graph());
+                for job in &c.jobs {
+                    let pattern = self.catalog.require(&job.pattern)?;
+                    // Match-list size: exact when the census cache holds
+                    // the list, otherwise the cost model's estimate.
+                    let matches = match job.cached_matches {
+                        MatchHint::Hit(len) => format!("cached:{len}"),
+                        MatchHint::Miss | MatchHint::Unknown => {
+                            format!("estimated:{:.1}", stats.est_matches(pattern))
+                        }
+                    };
+                    // Profile-filtered candidate counts per pattern node:
+                    // the matcher's first pruning step, cheap and
+                    // indicative of pattern selectivity.
+                    let mut mstats = ego_matcher::MatchStats::default();
+                    let cs = ego_matcher::candidates::CandidateSpace::enumerate(
+                        self.graph(),
+                        pattern,
+                        &profiles,
+                        &mut mstats,
+                    );
+                    let cand_desc: Vec<String> = pattern
+                        .nodes()
+                        .map(|v| format!("?{}:{}", pattern.var_name(v), cs.cands[v.index()].len()))
+                        .collect();
+                    table.push_row(vec![
+                        label("agg", depth + 1),
+                        Value::Str(format!(
+                            "{} {} {}/{} k={} matches={matches} cands {}",
+                            projection_name(&stmt.projections[job.projection]),
+                            ego_pattern::to_dsl(pattern),
+                            pattern.num_nodes(),
+                            pattern.positive_edges().len(),
+                            job.k,
+                            cand_desc.join(" "),
+                        )),
+                        dash(),
+                    ]);
+                }
+                // Expected cache reuse (rows only when a cache is
+                // attached — hints stay `Unknown` without one).
+                for job in &c.jobs {
+                    let m = match job.cached_matches {
+                        MatchHint::Unknown => continue,
+                        MatchHint::Miss => "miss".to_string(),
+                        MatchHint::Hit(_) => "hit".to_string(),
+                    };
+                    let counts = match job.cached_counts {
+                        CountHint::Unknown => "unknown (WHERE)",
+                        CountHint::Miss => "miss",
+                        CountHint::Hit => "hit",
+                    };
+                    table.push_row(vec![
+                        label("cache", depth + 1),
+                        Value::Str(format!("{}: matches={m} counts={counts}", job.pattern)),
+                        dash(),
+                    ]);
+                }
+                // Shared-work grouping under the chosen algorithm (the
+                // batch-grouping pass ran the real stage planner).
+                for stage in &c.stages {
+                    let name = |i: &usize| c.jobs[*i].pattern.as_str();
+                    let detail = match stage {
+                        BatchStage::NdSweep {
+                            pivot,
+                            baseline,
+                            k_max,
+                        } => {
+                            let members: Vec<&str> =
+                                pivot.iter().chain(baseline).map(name).collect();
+                            format!(
+                                "nd-sweep {} 1 BFS sweep/focal @k={k_max} pivot={} baseline={}",
+                                members.join("+"),
+                                pivot.len(),
+                                baseline.len()
+                            )
+                        }
+                        BatchStage::PtGroup { specs: idxs, k } => {
+                            let members: Vec<&str> = idxs.iter().map(name).collect();
+                            format!(
+                                "pt-group {} shared traversal @k={k} ({} patterns pool matches)",
+                                members.join("+"),
+                                idxs.len()
+                            )
+                        }
+                    };
+                    table.push_row(vec![label("stage", depth + 1), Value::Str(detail), dash()]);
+                }
+                self.render_setops(depth + 1, table);
+                self.render_node(&c.input, stmt, stats, depth + 1, table)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pairwise aggregates resolve patterns here so EXPLAIN of an
+    /// unknown pattern errors exactly like execution would.
+    fn render_pair_aggs(
+        &self,
+        stmt: &SelectStmt,
+        depth: usize,
+        table: &mut Table,
+    ) -> Result<(), QueryError> {
         for proj in &stmt.projections {
             let Projection::Agg(agg) = proj else { continue };
             let pattern = self.catalog.require(&agg.pattern)?;
@@ -263,173 +660,40 @@ impl<'g> QueryEngine<'g> {
                 NeighborhoodAst::Intersection { k, .. } => ("SUBGRAPH-INTERSECTION", *k),
                 NeighborhoodAst::Union { k, .. } => ("SUBGRAPH-UNION", *k),
             };
-            // Profile-filtered candidate counts per pattern node: the
-            // matcher's first pruning step, cheap and indicative of
-            // pattern selectivity.
-            let mut mstats = ego_matcher::MatchStats::default();
-            let cs = ego_matcher::candidates::CandidateSpace::enumerate(
-                self.graph(),
-                pattern,
-                &profiles,
-                &mut mstats,
-            );
-            let cand_desc: Vec<String> = pattern
-                .nodes()
-                .map(|v| format!("?{}:{}", pattern.var_name(v), cs.cands[v.index()].len()))
-                .collect();
             table.push_row(vec![
-                Value::Str(projection_name(proj)),
-                Value::Str(ego_pattern::to_dsl(pattern)),
+                Value::Str(format!("{:indent$}agg", "", indent = 2 * depth)),
                 Value::Str(format!(
-                    "{}/{}",
+                    "{} {} {}/{} {nb}(k={k})",
+                    projection_name(proj),
+                    ego_pattern::to_dsl(pattern),
                     pattern.num_nodes(),
-                    pattern.positive_edges().len()
+                    pattern.positive_edges().len(),
                 )),
-                Value::Str(format!("{nb}(k={k})")),
-                Value::Str(cand_desc.join(" ")),
-                Value::Str(format!("{:?}", self.algorithm)),
+                Value::Str("-".into()),
             ]);
         }
-        // Set-intersection kernel plan: which kernel the matcher's hot
-        // loops will dispatch to (EGO_SETOPS override or adaptive) and the
-        // adaptive thresholds. Volatile dispatch *counters* live in the
-        // server `stats` op and `egocensus match --stats`, keeping EXPLAIN
-        // deterministic for identical inputs.
-        table.push_row(vec![
-            Value::Str("setops".into()),
-            Value::Str(format!(
-                "kernel={}",
-                ego_graph::setops::configured_kernel().name()
-            )),
-            Value::Str(format!("gallop_ratio:{}", ego_graph::setops::GALLOP_RATIO)),
-            Value::Str(format!(
-                "bitset_min_reuse:{}",
-                ego_graph::setops::BITSET_MIN_REUSE
-            )),
-            Value::Str(format!(
-                "bitset_min_set:{}",
-                ego_graph::setops::BITSET_MIN_SET
-            )),
-            Value::Str(format!("{:?}", self.algorithm)),
-        ]);
-        if stmt.tables.len() == 1 {
-            self.explain_batch_plan(&stmt, &mut table)?;
-        }
-        Ok(table)
+        Ok(())
     }
 
-    /// Append the batch plan to an EXPLAIN table: which aggregates share
-    /// a neighborhood sweep, which share a PT traversal group, and (when
-    /// a census cache is attached) the expected cache reuse.
-    fn explain_batch_plan(&self, stmt: &SelectStmt, table: &mut Table) -> Result<(), QueryError> {
-        let g = self.graph();
-        let mut names: Vec<String> = Vec::new();
-        let mut specs: Vec<CensusSpec<'_>> = Vec::new();
-        for proj in &stmt.projections {
-            let Projection::Agg(agg) = proj else { continue };
-            let NeighborhoodAst::Subgraph { k, .. } = &agg.neighborhood else {
-                return Ok(()); // pair neighborhoods don't batch
-            };
-            let pattern = self.catalog.require(&agg.pattern)?;
-            let mut spec = CensusSpec::single(pattern, *k);
-            if let Some(sp) = &agg.subpattern {
-                spec = spec.with_subpattern(sp);
-            }
-            specs.push(spec);
-            names.push(agg.pattern.clone());
-        }
-        let cache = self.census_cache.as_deref();
-        let fp = if cache.is_some() { g.fingerprint() } else { 0 };
-
-        // Expected cache reuse per aggregate. Match lists are
-        // focal-independent; count reuse depends on the focal set, which
-        // EXPLAIN only knows without a WHERE clause.
-        let mut matches: Vec<Option<Arc<MatchList>>> = vec![None; specs.len()];
-        if let Some(c) = cache {
-            let all_focal: Vec<NodeId> = g.node_ids().collect();
-            for (i, spec) in specs.iter().enumerate() {
-                let dsl = ego_pattern::to_dsl(spec.pattern());
-                matches[i] = c.peek_matches(&CensusCache::match_key(&dsl, fp));
-                let m = if matches[i].is_some() { "hit" } else { "miss" };
-                let counts = if stmt.where_clause.is_some() {
-                    "unknown (WHERE)".to_string()
-                } else {
-                    let key = CensusCache::count_key(
-                        &dsl,
-                        spec.k(),
-                        spec.subpattern_name(),
-                        &all_focal,
-                        fp,
-                    );
-                    if c.peek_counts(&key) { "hit" } else { "miss" }.to_string()
-                };
-                table.push_row(vec![
-                    Value::Str("cache:census".into()),
-                    Value::Str(names[i].clone()),
-                    Value::Str("-".into()),
-                    Value::Str("-".into()),
-                    Value::Str(format!("matches={m} counts={counts}")),
-                    Value::Str("-".into()),
-                ]);
-            }
-        }
-
-        if specs.len() < 2 {
-            return Ok(());
-        }
-        // Stage grouping. Auto resolves per spec from match
-        // cardinalities, which EXPLAIN only has for cached match lists;
-        // otherwise plan as ND-PVOT and label the assumption.
-        let (algo, assumed) =
-            if self.algorithm == Algorithm::Auto && matches.iter().any(|m| m.is_none()) {
-                (Algorithm::NdPivot, true)
-            } else {
-                (self.algorithm, false)
-            };
-        let algo_desc = if assumed {
-            "Auto (planned as NdPivot)".to_string()
-        } else {
-            format!("{algo:?}")
-        };
-        let Ok(stages) = plan_stages(g, &specs, algo, &matches) else {
-            return Ok(()); // rejections surface when the query runs
-        };
-        for stage in stages {
-            let row = match stage {
-                BatchStage::NdSweep {
-                    pivot,
-                    baseline,
-                    k_max,
-                } => {
-                    let members: Vec<&str> = pivot
-                        .iter()
-                        .chain(&baseline)
-                        .map(|&i| names[i].as_str())
-                        .collect();
-                    vec![
-                        Value::Str("batch:nd-sweep".into()),
-                        Value::Str(members.join("+")),
-                        Value::Str("-".into()),
-                        Value::Str(format!("1 BFS sweep/focal @k={k_max}")),
-                        Value::Str(format!("pivot={} baseline={}", pivot.len(), baseline.len())),
-                        Value::Str(algo_desc.clone()),
-                    ]
-                }
-                BatchStage::PtGroup { specs: idxs, k } => {
-                    let members: Vec<&str> = idxs.iter().map(|&i| names[i].as_str()).collect();
-                    vec![
-                        Value::Str("batch:pt-group".into()),
-                        Value::Str(members.join("+")),
-                        Value::Str("-".into()),
-                        Value::Str(format!("shared traversal @k={k}")),
-                        Value::Str(format!("{} patterns pool matches", idxs.len())),
-                        Value::Str(algo_desc.clone()),
-                    ]
-                }
-            };
-            table.push_row(row);
-        }
-        Ok(())
+    /// Set-intersection kernel plan: which kernel the matcher's hot
+    /// loops will dispatch to (EGO_SETOPS override or adaptive) and the
+    /// live adaptive thresholds (defaults, or ANALYZE-derived). Volatile
+    /// dispatch *counters* live in the server `stats` op and `egocensus
+    /// match --stats`, keeping EXPLAIN deterministic for identical
+    /// inputs.
+    fn render_setops(&self, depth: usize, table: &mut Table) {
+        let t = ego_graph::setops::current_tuning();
+        table.push_row(vec![
+            Value::Str(format!("{:indent$}setops", "", indent = 2 * depth)),
+            Value::Str(format!(
+                "kernel={} gallop_ratio:{} bitset_min_reuse:{} bitset_min_set:{}",
+                ego_graph::setops::configured_kernel().name(),
+                t.gallop_ratio,
+                t.bitset_min_reuse,
+                t.bitset_min_set
+            )),
+            Value::Str("-".into()),
+        ]);
     }
 
     // --- single-table queries ---
@@ -445,7 +709,7 @@ impl<'g> QueryEngine<'g> {
         enum Item {
             Direct(String),
             Batched {
-                stmt: SelectStmt,
+                plan: Box<Plan>,
                 focal: Vec<NodeId>,
                 range: std::ops::Range<usize>,
             },
@@ -458,8 +722,11 @@ impl<'g> QueryEngine<'g> {
                 items.push(Item::Direct(text));
                 continue;
             }
-            if crate::parser::is_mutation_statement(&text) {
-                // Route through execute() for its read-only error.
+            if crate::parser::is_analyze_statement(&text)
+                || crate::parser::is_mutation_statement(&text)
+            {
+                // Route through execute() (ANALYZE semantics / the
+                // read-only mutation error).
                 items.push(Item::Direct(text));
                 continue;
             }
@@ -470,25 +737,43 @@ impl<'g> QueryEngine<'g> {
             }
             let alias = stmt.tables[0].alias.clone();
             let focal = self.compute_focal(&stmt, &alias)?;
+            validate_single_aggs(&stmt, &alias)?;
+            let plan = self.plan_single(&stmt, Some(&focal), OPTIMIZERS)?;
             let start = jobs.len();
-            for proj in &stmt.projections {
-                if let Projection::Agg(agg) = proj {
-                    jobs.push(self.single_agg_job(agg, &alias, focal.clone())?);
+            if let Some(c) = plan.census() {
+                for job in &c.jobs {
+                    jobs.push(BatchAgg {
+                        pattern: self.catalog.require(&job.pattern)?,
+                        k: job.k,
+                        subpattern: job.subpattern.clone(),
+                        focal: focal.clone(),
+                    });
                 }
             }
             items.push(Item::Batched {
-                stmt,
+                plan: Box::new(plan),
                 focal,
                 range: start..jobs.len(),
             });
         }
-        let results = self.run_batched(&jobs)?;
+        // One algorithm decision spanning the whole script preserves
+        // cross-statement sharing: statements over the same patterns and
+        // radii still land in one sweep or traversal group.
+        let choices: Vec<&crate::plan::AlgoChoice> = items
+            .iter()
+            .filter_map(|item| match item {
+                Item::Batched { plan, .. } => plan.choice(),
+                Item::Direct(_) => None,
+            })
+            .collect();
+        let algorithm = union_algorithm(&choices, self.algorithm);
+        let results = self.run_batched(&jobs, algorithm)?;
         items
             .into_iter()
             .map(|item| match item {
                 Item::Direct(text) => self.execute(&text),
-                Item::Batched { stmt, focal, range } => {
-                    self.project_single(&stmt, &focal, &results[range])
+                Item::Batched { plan, focal, range } => {
+                    self.project_single(&plan.stmt, &focal, &results[range])
                 }
             })
             .collect()
@@ -497,17 +782,33 @@ impl<'g> QueryEngine<'g> {
     fn execute_single(&self, stmt: &SelectStmt) -> Result<Table, QueryError> {
         let alias = stmt.tables[0].alias.as_str();
         let focal = self.compute_focal(stmt, alias)?;
+        validate_single_aggs(stmt, alias)?;
+        let plan = self.plan_single(stmt, Some(&focal), OPTIMIZERS)?;
+        self.run_plan(&plan, &focal)
+    }
 
-        // Compile all aggregates into one batch: neighborhoods are
-        // extracted once per focal node for every pattern at once.
-        let mut jobs = Vec::new();
-        for proj in &stmt.projections {
-            if let Projection::Agg(agg) = proj {
-                jobs.push(self.single_agg_job(agg, alias, focal.clone())?);
+    /// Interpret an optimized single-table plan: the census node's jobs
+    /// run as one batch under the plan's algorithm choice, then rows are
+    /// projected (ORDER BY / LIMIT live in the statement).
+    fn run_plan(&self, plan: &Plan, focal: &[NodeId]) -> Result<Table, QueryError> {
+        let (algorithm, jobs) = match plan.census() {
+            Some(c) => {
+                let algorithm = c.choice.as_ref().map_or(self.algorithm, |ch| ch.algorithm);
+                let mut jobs = Vec::with_capacity(c.jobs.len());
+                for job in &c.jobs {
+                    jobs.push(BatchAgg {
+                        pattern: self.catalog.require(&job.pattern)?,
+                        k: job.k,
+                        subpattern: job.subpattern.clone(),
+                        focal: focal.to_vec(),
+                    });
+                }
+                (algorithm, jobs)
             }
-        }
-        let agg_results = self.run_batched(&jobs)?;
-        self.project_single(stmt, &focal, &agg_results)
+            None => (self.algorithm, Vec::new()),
+        };
+        let agg_results = self.run_batched(&jobs, algorithm)?;
+        self.project_single(&plan.stmt, focal, &agg_results)
     }
 
     /// Evaluate the WHERE clause into the focal node set (ascending
@@ -540,41 +841,22 @@ impl<'g> QueryEngine<'g> {
         Ok(focal)
     }
 
-    /// Validate one single-table aggregate and resolve its pattern.
-    fn single_agg_job<'e>(
-        &'e self,
-        agg: &AggCall,
-        alias: &str,
-        focal: Vec<NodeId>,
-    ) -> Result<BatchAgg<'e>, QueryError> {
-        let (node, k) = match &agg.neighborhood {
-            NeighborhoodAst::Subgraph { node, k } => (node, *k),
-            _ => {
-                return Err(QueryError::Semantic(
-                    "SUBGRAPH-INTERSECTION/UNION require two `nodes` tables".into(),
-                ))
-            }
-        };
-        check_id_column(node, &[alias])?;
-        Ok(BatchAgg {
-            pattern: self.catalog.require(&agg.pattern)?,
-            k,
-            subpattern: agg.subpattern.clone(),
-            focal,
-        })
-    }
-
-    /// Evaluate a set of census aggregates as one batch, consulting the
-    /// census cache (when attached) for finished counts and global match
-    /// lists. Returned vectors are in job order.
-    fn run_batched(&self, jobs: &[BatchAgg<'_>]) -> Result<Vec<Arc<CountVector>>, QueryError> {
+    /// Evaluate a set of census aggregates as one batch under the
+    /// planned `algorithm`, consulting the census cache (when attached)
+    /// for finished counts and global match lists. Returned vectors are
+    /// in job order.
+    fn run_batched(
+        &self,
+        jobs: &[BatchAgg<'_>],
+        algorithm: Algorithm,
+    ) -> Result<Vec<Arc<CountVector>>, QueryError> {
         let g = self.graph();
         let mut results: Vec<Option<Arc<CountVector>>> = vec![None; jobs.len()];
         let cache = self.census_cache.as_deref();
         let fp = if cache.is_some() { g.fingerprint() } else { 0 };
         // ND-BAS / ND-DIFF reject some specs other algorithms accept; a
         // count-cache hit would mask that rejection, so they bypass it.
-        let count_cacheable = !matches!(self.algorithm, Algorithm::NdBaseline | Algorithm::NdDiff);
+        let count_cacheable = !matches!(algorithm, Algorithm::NdBaseline | Algorithm::NdDiff);
         let mut count_keys: Vec<Option<String>> = vec![None; jobs.len()];
         if let Some(c) = cache {
             for (i, job) in jobs.iter().enumerate() {
@@ -609,19 +891,13 @@ impl<'g> QueryEngine<'g> {
                 // ND-BAS never uses global match lists; don't skew the
                 // hit/miss counters with lookups it would ignore.
                 provided.push(match cache {
-                    Some(c) if self.algorithm != Algorithm::NdBaseline => c.get_matches(&mkey),
+                    Some(c) if algorithm != Algorithm::NdBaseline => c.get_matches(&mkey),
                     _ => None,
                 });
                 match_keys.push(mkey);
             }
-            let batch = run_batch_exec(
-                g,
-                &specs,
-                self.algorithm,
-                &self.pt_config,
-                &self.exec,
-                &provided,
-            )?;
+            let batch =
+                run_batch_exec(g, &specs, algorithm, &self.pt_config, &self.exec, &provided)?;
             for (j, (&i, cv)) in miss.iter().zip(batch.counts).enumerate() {
                 let cv = Arc::new(cv);
                 if let Some(c) = cache {
@@ -794,6 +1070,53 @@ struct BatchAgg<'e> {
     k: u32,
     subpattern: Option<String>,
     focal: Vec<NodeId>,
+}
+
+/// Validate every aggregate of a single-table statement: the
+/// neighborhood must be `SUBGRAPH(ID, k)` over this table's alias. (The
+/// logical planner skips malformed aggregates rather than erroring, so
+/// the executor still owns these messages.)
+fn validate_single_aggs(stmt: &SelectStmt, alias: &str) -> Result<(), QueryError> {
+    for proj in &stmt.projections {
+        let Projection::Agg(agg) = proj else { continue };
+        let NeighborhoodAst::Subgraph { node, .. } = &agg.neighborhood else {
+            return Err(QueryError::Semantic(
+                "SUBGRAPH-INTERSECTION/UNION require two `nodes` tables".into(),
+            ));
+        };
+        check_id_column(node, &[alias])?;
+    }
+    Ok(())
+}
+
+/// One algorithm to serve every statement in a script: with the engine
+/// forced, that; otherwise the [`CONSIDERED`] algorithm every
+/// statement's choice ranked (i.e. it can serve all of them) with the
+/// lowest summed cost. Ties break in `CONSIDERED` order, matching the
+/// per-statement ranking.
+fn union_algorithm(choices: &[&crate::plan::AlgoChoice], engine: Algorithm) -> Algorithm {
+    if engine != Algorithm::Auto || choices.is_empty() {
+        return engine;
+    }
+    let mut best: Option<(Algorithm, f64)> = None;
+    for a in CONSIDERED {
+        let mut total = 0.0;
+        let mut ok = true;
+        for choice in choices {
+            match choice.considered.iter().find(|(c, _)| *c == a) {
+                Some((_, cost)) => total += cost,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok && best.is_none_or(|(_, c)| total < c) {
+            best = Some((a, total));
+        }
+    }
+    // ND-PVOT serves everything, so some algorithm always qualifies.
+    best.map_or(Algorithm::NdPivot, |(a, _)| a)
 }
 
 /// Split a script into statements on `;`, respecting single-quoted
@@ -1208,6 +1531,15 @@ mod tests {
         assert!(c0 >= c1);
     }
 
+    /// EXPLAIN rows by (trimmed) node name.
+    fn explain_rows(t: &Table, name: &str) -> Vec<Vec<Value>> {
+        t.rows()
+            .iter()
+            .filter(|r| r[0].to_string().trim_start() == name)
+            .cloned()
+            .collect()
+    }
+
     #[test]
     fn explain_describes_plan() {
         let g = fixture();
@@ -1215,22 +1547,133 @@ mod tests {
         let t = e
             .execute("EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
             .unwrap();
-        // One row per aggregate plus the setops kernel-plan row.
-        assert_eq!(t.num_rows(), 2);
-        let row = &t.rows()[0];
-        assert!(row[0].to_string().contains("COUNTP(tri"));
-        assert!(row[1].to_string().contains("PATTERN tri"));
-        assert_eq!(row[2], Value::Str("3/3".into()));
-        assert!(row[3].to_string().contains("k=2"));
-        assert!(row[4].to_string().contains("?A:"));
-        let setops_row = &t.rows()[1];
-        assert_eq!(setops_row[0], Value::Str("setops".into()));
-        assert!(setops_row[1].to_string().contains("kernel="));
-        assert!(setops_row[2].to_string().contains("gallop_ratio:"));
+        assert_eq!(t.columns(), ["node", "detail", "est_cost"]);
+        // Tree shape: project at the root, scan at the leaf.
+        assert_eq!(t.rows()[0][0], Value::Str("project".into()));
+        let scan = explain_rows(&t, "scan");
+        assert_eq!(scan.len(), 1);
+        assert_eq!(scan[0][2], Value::Int(7));
+        // The census row carries the decision, its basis, and a numeric
+        // cost estimate.
+        let census = explain_rows(&t, "census");
+        assert_eq!(census.len(), 1);
+        let detail = census[0][1].to_string();
+        assert!(detail.contains("algo="), "{detail}");
+        assert!(detail.contains("stats=heuristic"), "{detail}");
+        assert!(matches!(census[0][2], Value::Float(c) if c.is_finite()));
+        // The road not taken: at least two considered alternatives, each
+        // with a numeric cost, exactly one marked chosen.
+        let choices = explain_rows(&t, "choice");
+        assert!(choices.len() >= 2, "choices: {choices:?}");
+        assert!(choices.iter().all(|r| matches!(r[2], Value::Float(_))));
+        let chosen: Vec<_> = choices
+            .iter()
+            .filter(|r| r[1].to_string().contains("(chosen)"))
+            .collect();
+        assert_eq!(chosen.len(), 1);
+        // Costs come out cheapest-first, and the cheapest is the choice.
+        let costs: Vec<f64> = choices
+            .iter()
+            .map(|r| match r[2] {
+                Value::Float(c) => c,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
+        assert!(choices[0][1].to_string().contains("(chosen)"));
+        // Aggregate detail: pattern shape, radius, match estimate
+        // (labelled), candidate counts.
+        let aggs = explain_rows(&t, "agg");
+        assert_eq!(aggs.len(), 1);
+        let agg = aggs[0][1].to_string();
+        assert!(agg.contains("COUNTP(tri"), "{agg}");
+        assert!(agg.contains("PATTERN tri"), "{agg}");
+        assert!(agg.contains("3/3"), "{agg}");
+        assert!(agg.contains("k=2"), "{agg}");
+        assert!(agg.contains("matches=estimated:"), "{agg}");
+        assert!(agg.contains("?A:"), "{agg}");
+        // Kernel plan row.
+        let setops = explain_rows(&t, "setops");
+        assert_eq!(setops.len(), 1);
+        assert!(setops[0][1].to_string().contains("kernel="));
+        assert!(setops[0][1].to_string().contains("gallop_ratio:"));
         // EXPLAIN of a bad query errors like the query would.
         assert!(e
             .execute("EXPLAIN SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes")
             .is_err());
+    }
+
+    #[test]
+    fn explain_renders_filter_shard_order_limit_nodes() {
+        let g = fixture();
+        let mut e = engine(&g);
+        e.set_focal_shard(Some(crate::shard::ShardSpec::new(1, 2).unwrap()));
+        let t = e
+            .execute(
+                "EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes \
+                 WHERE age >= 0 ORDER BY 2 DESC LIMIT 3",
+            )
+            .unwrap();
+        let names: Vec<String> = t
+            .rows()
+            .iter()
+            .map(|r| r[0].to_string().trim_start().to_string())
+            .collect();
+        for expected in [
+            "limit", "order", "project", "census", "shard", "filter", "scan",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "missing {expected}: {names:?}"
+            );
+        }
+        // Shard lands between census and filter: WHERE runs over every
+        // node, the shard restriction afterwards.
+        let shard_pos = names.iter().position(|n| n == "shard").unwrap();
+        let filter_pos = names.iter().position(|n| n == "filter").unwrap();
+        let census_pos = names.iter().position(|n| n == "census").unwrap();
+        assert!(census_pos < shard_pos && shard_pos < filter_pos);
+        // With a WHERE clause the focal set is unknown to EXPLAIN, so
+        // count-cache probes must stay unknown (no cache attached here:
+        // no cache rows at all).
+        assert!(explain_rows(&t, "cache").is_empty());
+    }
+
+    #[test]
+    fn explain_costs_separate_dense_from_sparse() {
+        use ego_graph::{GraphBuilder, Label};
+        // Dense clique: huge match list, every ball is the whole graph →
+        // the ND side wins. Sparse path: few matches, selective balls →
+        // the PT side wins.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(8, Label(0));
+        for x in 0..8u32 {
+            for y in (x + 1)..8 {
+                b.add_edge(NodeId(x), NodeId(y));
+            }
+        }
+        let dense = b.build();
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(30, Label(0));
+        for x in 0..29u32 {
+            b.add_edge(NodeId(x), NodeId(x + 1));
+        }
+        let sparse = b.build();
+        let algo_of = |g: &Graph| {
+            let e = engine(g);
+            e.execute("ANALYZE").unwrap();
+            let t = e
+                .execute("EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
+                .unwrap();
+            let census = explain_rows(&t, "census");
+            let detail = census[0][1].to_string();
+            assert!(detail.contains("stats=analyzed"), "{detail}");
+            detail
+        };
+        let dense_algo = algo_of(&dense);
+        let sparse_algo = algo_of(&sparse);
+        assert!(dense_algo.contains("algo=Nd"), "{dense_algo}");
+        assert!(sparse_algo.contains("algo=Pt"), "{sparse_algo}");
     }
 
     #[test]
@@ -1370,19 +1813,17 @@ mod tests {
             )
             .unwrap();
         // 2 aggregate rows + at least one batch-stage row.
-        assert!(t.num_rows() >= 3, "rows: {}", t.num_rows());
-        let stage_rows: Vec<&Vec<Value>> = t
-            .rows()
-            .iter()
-            .filter(|r| r[0].to_string().starts_with("batch:"))
-            .collect();
-        assert!(!stage_rows.is_empty());
-        // Default Auto without cached matches is planned as ND: one
-        // shared sweep at the max radius covering both patterns.
-        assert_eq!(stage_rows[0][0], Value::Str("batch:nd-sweep".into()));
-        assert!(stage_rows[0][1].to_string().contains("tri"));
-        assert!(stage_rows[0][1].to_string().contains("node1"));
-        assert!(stage_rows[0][3].to_string().contains("k=2"));
+        let aggs = explain_rows(&t, "agg");
+        assert_eq!(aggs.len(), 2);
+        let stages = explain_rows(&t, "stage");
+        assert!(!stages.is_empty(), "rows: {:?}", t.rows());
+        // Auto on this fixture plans as ND: one shared sweep at the max
+        // radius covering both patterns.
+        let detail = stages[0][1].to_string();
+        assert!(detail.contains("nd-sweep"), "{detail}");
+        assert!(detail.contains("tri"), "{detail}");
+        assert!(detail.contains("node1"), "{detail}");
+        assert!(detail.contains("@k=2"), "{detail}");
     }
 
     #[test]
@@ -1393,22 +1834,151 @@ mod tests {
         e.set_census_cache(Arc::new(CensusCache::new(16)));
         let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
         let before = e.execute(&format!("EXPLAIN {sql}")).unwrap();
-        let cold: Vec<String> = before
-            .rows()
+        let cold: Vec<String> = explain_rows(&before, "cache")
             .iter()
-            .filter(|r| r[0] == Value::Str("cache:census".into()))
-            .map(|r| r[4].to_string())
+            .map(|r| r[1].to_string())
             .collect();
-        assert_eq!(cold, vec!["matches=miss counts=miss"]);
+        assert_eq!(cold, vec!["tri: matches=miss counts=miss"]);
         e.execute(sql).unwrap();
         let after = e.execute(&format!("EXPLAIN {sql}")).unwrap();
-        let warm: Vec<String> = after
+        let warm: Vec<String> = explain_rows(&after, "cache")
+            .iter()
+            .map(|r| r[1].to_string())
+            .collect();
+        assert_eq!(warm, vec!["tri: matches=hit counts=hit"]);
+        // A warm cached match list also upgrades the aggregate row's
+        // match term from an estimate to the exact cached length.
+        let aggs = explain_rows(&after, "agg");
+        assert!(
+            aggs[0][1].to_string().contains("matches=cached:"),
+            "{:?}",
+            aggs[0][1]
+        );
+    }
+
+    #[test]
+    fn analyze_statement_and_stale_detection() {
+        let g = fixture();
+        let mut e = engine(&g);
+        let explain_sql = "EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        fn basis(e: &QueryEngine<'_>, sql: &str) -> String {
+            let t = e.execute(sql).unwrap();
+            explain_rows(&t, "census")[0][1].to_string()
+        }
+        assert!(basis(&e, explain_sql).contains("stats=heuristic"));
+        // ANALYZE is a statement (case-insensitive), returns the profile.
+        let t = e.execute("analyze").unwrap();
+        assert_eq!(t.columns(), ["statistic", "value"]);
+        assert!(t
             .rows()
             .iter()
-            .filter(|r| r[0] == Value::Str("cache:census".into()))
-            .map(|r| r[4].to_string())
-            .collect();
-        assert_eq!(warm, vec!["matches=hit counts=hit"]);
+            .any(|r| r[0] == Value::Str("fingerprint".into())));
+        assert!(e.graph_stats().is_some());
+        // ...and takes no arguments.
+        assert!(matches!(
+            e.execute("ANALYZE nodes"),
+            Err(QueryError::Semantic(_))
+        ));
+        assert!(basis(&e, explain_sql).contains("stats=analyzed"));
+        // A different graph invalidates the snapshot: the planner reports
+        // stale and falls back to the heuristic basis.
+        let mut b = GraphBuilder::undirected();
+        b.add_nodes(4, Label(0));
+        b.add_edge(NodeId(0), NodeId(1));
+        e.swap_graph(Arc::new(b.build()));
+        assert!(basis(&e, explain_sql).contains("stats=stale"));
+    }
+
+    #[test]
+    fn analyze_persists_sidecar_adopted_by_open() {
+        let dir = std::env::temp_dir().join(format!("ego-query-sidecar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fixture.eg");
+        ego_graph::io::save_path(&fixture(), &path).unwrap();
+        {
+            let e = QueryEngine::open(&path).unwrap();
+            assert!(e.graph_stats().is_none());
+            e.execute("ANALYZE").unwrap();
+        }
+        // A fresh engine on the same file adopts the sidecar: the planner
+        // starts out analyzed without re-running ANALYZE.
+        let mut e = QueryEngine::open(&path).unwrap();
+        let adopted = e.graph_stats().expect("sidecar adopted on open");
+        assert_eq!(adopted.fingerprint, e.graph().fingerprint());
+        e.catalog_mut()
+            .define("PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }")
+            .unwrap();
+        let t = e
+            .execute("EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes")
+            .unwrap();
+        assert!(explain_rows(&t, "census")[0][1]
+            .to_string()
+            .contains("stats=analyzed"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn planner_counters_tally_plans_and_basis() {
+        use std::collections::HashMap;
+        let g = fixture();
+        let mut e = engine(&g);
+        let counters = Arc::new(PlannerCounters::default());
+        e.set_planner_counters(Arc::clone(&counters));
+        e.execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes")
+            .unwrap();
+        let snap: HashMap<_, _> = counters.snapshot().into_iter().collect();
+        assert_eq!(snap["planner_plans_built"], 1);
+        assert_eq!(snap["planner_heuristic_fallbacks"], 1);
+        assert_eq!(snap["planner_cost_model_hits"], 0);
+        assert!(snap["planner_passes_fired"] >= 1);
+        e.execute("ANALYZE").unwrap();
+        e.execute("SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes")
+            .unwrap();
+        let snap: HashMap<_, _> = counters.snapshot().into_iter().collect();
+        assert_eq!(snap["planner_plans_built"], 2);
+        assert_eq!(snap["planner_cost_model_hits"], 1);
+    }
+
+    /// Plan and run `sql` under an explicit pass list (the engine's
+    /// normal single-statement path, minus the pass pipeline knob).
+    fn run_with_passes(
+        e: &QueryEngine<'_>,
+        sql: &str,
+        passes: &[(&str, crate::optimizer::Pass)],
+    ) -> Table {
+        let stmt = parse_query(sql).unwrap();
+        let alias = stmt.tables[0].alias.clone();
+        let focal = e.compute_focal(&stmt, &alias).unwrap();
+        validate_single_aggs(&stmt, &alias).unwrap();
+        let plan = e.plan_single(&stmt, Some(&focal), passes).unwrap();
+        e.run_plan(&plan, &focal).unwrap()
+    }
+
+    #[test]
+    fn each_optimizer_pass_is_a_semantic_noop() {
+        use crate::census_cache::CensusCache;
+        let g = fixture();
+        let mut e = engine(&g);
+        e.set_census_cache(Arc::new(CensusCache::new(16)));
+        e.set_focal_shard(Some(crate::shard::ShardSpec::new(0, 2).unwrap()));
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)), COUNTP(node1, SUBGRAPH(ID, 1)) \
+                   FROM nodes WHERE age >= 10";
+        let baseline = run_with_passes(&e, sql, OPTIMIZERS);
+        // Warm the cache so cache-substitution has real hits to inject.
+        e.execute(sql).unwrap();
+        for (i, dropped) in OPTIMIZERS.iter().enumerate() {
+            let subset: Vec<_> = OPTIMIZERS
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, p)| *p)
+                .collect();
+            let t = run_with_passes(&e, sql, &subset);
+            assert_eq!(t, baseline, "dropping pass {} changed results", dropped.0);
+        }
+        // The bare logical plan (no passes at all) still computes the
+        // same table: passes annotate, the executor computes.
+        assert_eq!(run_with_passes(&e, sql, &[]), baseline);
     }
 
     #[test]

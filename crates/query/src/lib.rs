@@ -46,8 +46,11 @@ pub mod error;
 pub mod executor;
 pub mod expr;
 pub mod lexer;
+pub mod optimizer;
 pub mod parser;
+pub mod plan;
 pub mod shard;
+pub mod stats;
 pub mod table;
 pub mod value;
 
@@ -57,8 +60,10 @@ pub use catalog::Catalog;
 pub use census_cache::{CensusCache, CensusCacheStats};
 pub use error::QueryError;
 pub use executor::QueryEngine;
-pub use parser::{is_mutation_statement, parse_mutations};
+pub use parser::{is_analyze_statement, is_mutation_statement, parse_mutations};
+pub use plan::{build_plan, plan_statement, Plan, PlanNode, StatsBasis};
 pub use shard::ShardSpec;
+pub use stats::{GraphStats, PlannerCounters, StatsSlot};
 pub use table::Table;
 pub use value::Value;
 

@@ -1,0 +1,312 @@
+//! The optimizer: an ordered list of rewrite passes folded over the
+//! logical plan (toydb-style `OPTIMIZERS.iter().try_fold`).
+//!
+//! Pass order is load-bearing:
+//!
+//! 1. **shard-pushdown** — materialize the engine's focal-shard
+//!    restriction as a plan node *below* the census (and above the
+//!    filter: sharding applies after the full WHERE pass so the `RND()`
+//!    stream stays aligned across shards).
+//! 2. **cache-substitution** — probe the census cache (peek only, no
+//!    LRU promotion, no hit/miss accounting) so later passes know which
+//!    match lists exist — and exactly how long they are — and which
+//!    count vectors will short-circuit execution entirely.
+//! 3. **algorithm-selection** — rank every algorithm that can serve the
+//!    statement by estimated cost ([`crate::stats`]) and resolve `Auto`
+//!    to a concrete choice; cached match-list lengths from pass 2
+//!    replace the estimator's `m` term.
+//! 4. **batch-grouping** — group the statement's aggregates into shared
+//!    sweeps/traversals ([`ego_census::plan_stages`]) under the chosen
+//!    algorithm; needs pass 3's concrete algorithm to resolve modes.
+//!
+//! Every pass is a semantic no-op on result tables: passes annotate and
+//! restructure, the executor computes.
+
+use crate::catalog::Catalog;
+use crate::census_cache::CensusCache;
+use crate::error::QueryError;
+use crate::plan::{AlgoChoice, CountHint, MatchHint, Plan, PlanNode, StatsBasis};
+use crate::shard::ShardSpec;
+use crate::stats::{rank_algorithms, CostJob, GraphStats, PlannerCounters};
+use ego_census::{plan_stages, Algorithm, CensusSpec};
+use ego_graph::{Graph, NodeId};
+use std::sync::atomic::Ordering;
+
+/// Everything a pass may consult. Built by the engine per statement.
+pub struct PassContext<'a> {
+    /// The live graph.
+    pub graph: &'a Graph,
+    /// Pattern catalog (session layer over base).
+    pub catalog: &'a Catalog,
+    /// Statistics backing the cost model (an `ANALYZE` snapshot when
+    /// fresh, otherwise the engine's memoized structural heuristic).
+    pub stats: &'a GraphStats,
+    /// Where `stats` came from, for EXPLAIN and the counters.
+    pub stats_basis: StatsBasis,
+    /// Live-graph fingerprint (cache keys).
+    pub fingerprint: u64,
+    /// Census cache to probe, if attached.
+    pub cache: Option<&'a CensusCache>,
+    /// The statement's focal set, when already computed (execution);
+    /// `None` when the focal set depends on an unevaluated WHERE clause
+    /// (EXPLAIN), in which case count-cache probes stay `Unknown`.
+    pub focal: Option<&'a [NodeId]>,
+    /// Engine focal-shard restriction to push into the plan.
+    pub shard: Option<ShardSpec>,
+    /// The engine's configured algorithm; `Auto` frees the planner.
+    pub forced: Algorithm,
+    /// Planner counters to tally into, if attached.
+    pub counters: Option<&'a PlannerCounters>,
+    /// Passes that modified or annotated the plan during this optimize
+    /// run (flushed into `counters.passes_fired`).
+    pub fired: u64,
+}
+
+/// One rewrite pass: owns the tree, returns the rewritten tree.
+pub type Pass = fn(PlanNode, &mut PassContext<'_>) -> Result<PlanNode, QueryError>;
+
+/// The pass pipeline, in execution order.
+pub const OPTIMIZERS: &[(&str, Pass)] = &[
+    ("shard-pushdown", shard_pushdown),
+    ("cache-substitution", cache_substitution),
+    ("algorithm-selection", algorithm_selection),
+    ("batch-grouping", batch_grouping),
+];
+
+/// Run the full pass pipeline over a logical plan.
+pub fn optimize(plan: Plan, ctx: &mut PassContext<'_>) -> Result<Plan, QueryError> {
+    optimize_with(plan, ctx, OPTIMIZERS)
+}
+
+/// Run a subset of passes (tests prove each pass is a semantic no-op by
+/// diffing result tables with and without it).
+pub fn optimize_with(
+    plan: Plan,
+    ctx: &mut PassContext<'_>,
+    passes: &[(&str, Pass)],
+) -> Result<Plan, QueryError> {
+    let Plan { stmt, root } = plan;
+    let root = passes
+        .iter()
+        .try_fold(root, |node, (_name, pass)| pass(node, ctx))?;
+    if let Some(c) = ctx.counters {
+        c.plans_built.fetch_add(1, Ordering::Relaxed);
+        if ctx.fired != 0 {
+            c.passes_fired.fetch_add(ctx.fired, Ordering::Relaxed);
+        }
+    }
+    Ok(Plan { stmt, root })
+}
+
+/// Pass 1: materialize the engine's focal-shard restriction as a plan
+/// node directly above the filter (sharding happens after the full
+/// WHERE pass). Pairwise census is never sharded — the router only
+/// scatters single-table statements — so pair trees are left alone.
+fn shard_pushdown(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<PlanNode, QueryError> {
+    let Some(spec) = ctx.shard else {
+        return Ok(node);
+    };
+    if spec.is_whole() {
+        return Ok(node);
+    }
+    fn insert(node: PlanNode, spec: ShardSpec) -> (PlanNode, bool) {
+        match node {
+            PlanNode::Census(mut c) => {
+                c.input = Box::new(PlanNode::Shard {
+                    spec,
+                    input: c.input,
+                });
+                (PlanNode::Census(c), true)
+            }
+            PlanNode::PairCensus { .. } => (node, false),
+            PlanNode::Project { input } => {
+                let (inner, fired) = insert(*input, spec);
+                match inner {
+                    // No census below: the shard applies to the scanned
+                    // focal list itself.
+                    n @ (PlanNode::Scan { .. } | PlanNode::Filter { .. }) => (
+                        PlanNode::Project {
+                            input: Box::new(PlanNode::Shard {
+                                spec,
+                                input: Box::new(n),
+                            }),
+                        },
+                        true,
+                    ),
+                    n => (PlanNode::Project { input: Box::new(n) }, fired),
+                }
+            }
+            PlanNode::Order { keys, input } => {
+                let (inner, fired) = insert(*input, spec);
+                (
+                    PlanNode::Order {
+                        keys,
+                        input: Box::new(inner),
+                    },
+                    fired,
+                )
+            }
+            PlanNode::Limit { n, input } => {
+                let (inner, fired) = insert(*input, spec);
+                (
+                    PlanNode::Limit {
+                        n,
+                        input: Box::new(inner),
+                    },
+                    fired,
+                )
+            }
+            other => (other, false),
+        }
+    }
+    let (node, fired) = insert(node, spec);
+    if fired {
+        ctx.fired += 1;
+    }
+    Ok(node)
+}
+
+/// Pass 2: probe the census cache for every job's match list and (when
+/// the focal set is known) count vector. Peek-only: the executor's real
+/// lookups still drive the cache's hit/miss counters and LRU order.
+fn cache_substitution(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<PlanNode, QueryError> {
+    let Some(cache) = ctx.cache else {
+        return Ok(node);
+    };
+    let fp = ctx.fingerprint;
+    let catalog = ctx.catalog;
+    let focal = ctx.focal;
+    let mut fired = false;
+    let node = node.map_census(&mut |mut c| {
+        for job in &mut c.jobs {
+            let pattern = catalog.require(&job.pattern)?;
+            let dsl = ego_pattern::to_dsl(pattern);
+            job.cached_matches = match cache.peek_matches(&CensusCache::match_key(&dsl, fp)) {
+                Some(m) => MatchHint::Hit(m.len()),
+                None => MatchHint::Miss,
+            };
+            job.cached_counts = match focal {
+                Some(f) => {
+                    let key = CensusCache::count_key(&dsl, job.k, job.subpattern.as_deref(), f, fp);
+                    if cache.peek_counts(&key) {
+                        CountHint::Hit
+                    } else {
+                        CountHint::Miss
+                    }
+                }
+                None => CountHint::Unknown,
+            };
+            fired = true;
+        }
+        Ok(c)
+    })?;
+    if fired {
+        ctx.fired += 1;
+    }
+    Ok(node)
+}
+
+/// Pass 3: cost-based algorithm selection. Ranks every algorithm that
+/// can serve all of the statement's jobs and resolves `Auto` to the
+/// cheapest; a concrete engine algorithm is honored (`forced`) but the
+/// alternatives are still ranked so EXPLAIN can show the road not
+/// taken.
+fn algorithm_selection(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<PlanNode, QueryError> {
+    let stats = ctx.stats;
+    let basis = ctx.stats_basis;
+    let catalog = ctx.catalog;
+    let focal_count = ctx.focal.map_or(ctx.graph.num_nodes(), <[NodeId]>::len);
+    let forced = ctx.forced;
+    let mut fired = false;
+    let mut auto_choices = 0u64;
+    let node = node.map_census(&mut |mut c| {
+        let mut cost_jobs = Vec::with_capacity(c.jobs.len());
+        for job in &c.jobs {
+            let pattern = catalog.require(&job.pattern)?;
+            let mut cj = CostJob::new(stats, pattern, job.k, job.subpattern.is_some());
+            if let MatchHint::Hit(len) = job.cached_matches {
+                cj.cached_matches = Some(len);
+            }
+            cost_jobs.push(cj);
+        }
+        let considered = rank_algorithms(stats, &cost_jobs, focal_count);
+        let (algorithm, is_forced) = if forced == Algorithm::Auto {
+            auto_choices += 1;
+            (considered[0].0, false)
+        } else {
+            (forced, true)
+        };
+        c.choice = Some(AlgoChoice {
+            algorithm,
+            forced: is_forced,
+            stats: basis,
+            considered,
+        });
+        fired = true;
+        Ok(c)
+    })?;
+    if fired {
+        ctx.fired += 1;
+    }
+    if auto_choices != 0 {
+        if let Some(counters) = ctx.counters {
+            let slot = if basis == StatsBasis::Analyzed {
+                &counters.cost_model_hits
+            } else {
+                &counters.heuristic_fallbacks
+            };
+            slot.fetch_add(auto_choices, Ordering::Relaxed);
+        }
+    }
+    Ok(node)
+}
+
+/// Pass 4: group the statement's aggregates into shared batch stages
+/// under the chosen algorithm (the same `plan_stages` the batch
+/// executor uses, so the annotation is exactly what will run). Needs a
+/// concrete algorithm: with pass 3 skipped and the engine on `Auto`,
+/// grouping stays undecided and the pass does nothing.
+fn batch_grouping(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<PlanNode, QueryError> {
+    let graph = ctx.graph;
+    let catalog = ctx.catalog;
+    let forced = ctx.forced;
+    let mut fired = false;
+    let node = node.map_census(&mut |mut c| {
+        let algorithm = match (&c.choice, forced) {
+            (Some(choice), _) => choice.algorithm,
+            (None, Algorithm::Auto) => return Ok(c),
+            (None, concrete) => concrete,
+        };
+        if c.jobs.len() < 2 {
+            return Ok(c); // nothing to share
+        }
+        let patterns: Vec<_> = c
+            .jobs
+            .iter()
+            .map(|j| catalog.require(&j.pattern))
+            .collect::<Result<_, _>>()?;
+        let specs: Vec<CensusSpec<'_>> = c
+            .jobs
+            .iter()
+            .zip(&patterns)
+            .map(|(job, p)| {
+                let mut spec = CensusSpec::single(p, job.k);
+                if let Some(sp) = &job.subpattern {
+                    spec = spec.with_subpattern(sp);
+                }
+                spec
+            })
+            .collect();
+        let none_matches = vec![None; specs.len()];
+        // A forced algorithm that cannot serve these jobs (e.g. ND-BAS
+        // with COUNTSP) fails mode resolution here exactly as execution
+        // would; surface the same error at plan time.
+        c.stages = plan_stages(graph, &specs, algorithm, &none_matches)?;
+        fired = true;
+        Ok(c)
+    })?;
+    if fired {
+        ctx.fired += 1;
+    }
+    Ok(node)
+}

@@ -43,6 +43,18 @@ pub fn is_mutation_statement(sql: &str) -> bool {
     word.eq_ignore_ascii_case("INSERT") || word.eq_ignore_ascii_case("DELETE")
 }
 
+/// Does this statement start with the `ANALYZE` verb? `ANALYZE` takes no
+/// arguments (the executor rejects trailing tokens with a clear error);
+/// it profiles the engine's graph into planner statistics.
+pub fn is_analyze_statement(sql: &str) -> bool {
+    let word: String = sql
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    word.eq_ignore_ascii_case("ANALYZE")
+}
+
 /// Parse a mutation script: one or more `;`-separated
 /// `INSERT EDGE (a, b)` / `DELETE EDGE (a, b)` statements.
 pub fn parse_mutations(script: &str) -> Result<Vec<MutationStmt>, QueryError> {

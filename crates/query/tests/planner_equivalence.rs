@@ -1,0 +1,158 @@
+//! Planner equivalence: executing through the cost-based planner
+//! (`Algorithm::Auto`) must be bit-identical to forcing any concrete
+//! census algorithm, on every execution path the planner steers —
+//! single-aggregate `COUNTP`, `COUNTSP`, multi-aggregate batches, and
+//! sharded focal ranges — across thread counts 1–4, and whether the
+//! cost model runs on heuristic or `ANALYZE`-profiled statistics. The
+//! planner may pick any algorithm and any batch grouping; none of those
+//! choices is allowed to change a single result byte.
+
+use ego_graph::{Graph, GraphBuilder, Label, NodeId};
+use ego_query::{Algorithm, QueryEngine, ShardSpec, Table};
+use proptest::prelude::*;
+
+/// Every concrete algorithm the planner chooses between.
+const FORCED: [Algorithm; 6] = [
+    Algorithm::NdBaseline,
+    Algorithm::NdPivot,
+    Algorithm::NdDiff,
+    Algorithm::PtBaseline,
+    Algorithm::PtRandom,
+    Algorithm::PtOpt,
+];
+
+/// The statement shapes under test: plain COUNTP, COUNTSP with a
+/// subpattern, and a multi-aggregate batch the batch-grouping pass
+/// splits into per-algorithm stages.
+const STATEMENTS: [&str; 3] = [
+    "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes",
+    "SELECT ID, COUNTSP(pair, tria, SUBGRAPH(ID, 1)) FROM nodes",
+    "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)), COUNTP(wedge, SUBGRAPH(ID, 2)), \
+     COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes",
+];
+
+fn random_graph(n: u32, raw_edges: &[(u32, u32)], labels: u16) -> Graph {
+    let mut b = GraphBuilder::undirected();
+    for i in 0..n {
+        b.add_node(Label((i % labels as u32) as u16));
+    }
+    for &(x, y) in raw_edges {
+        let a = NodeId(x % n);
+        let c = NodeId(y % n);
+        if a != c {
+            b.add_edge(a, c);
+        }
+    }
+    b.build()
+}
+
+fn engine(g: &Graph) -> QueryEngine<'_> {
+    let mut e = QueryEngine::with_builtins(g);
+    for def in [
+        "PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }",
+        "PATTERN wedge { ?A-?B; ?B-?C; ?A!-?C; }",
+        "PATTERN tria { ?A-?B; ?B-?C; ?A-?C; SUBPATTERN pair {?A; ?B;} }",
+    ] {
+        e.catalog_mut().define(def).unwrap();
+    }
+    e.set_seed(0xBEEF);
+    e
+}
+
+/// The forced algorithms a statement shape supports: ND-BAS and
+/// ND-DIFF cannot evaluate COUNTSP, so only the planner-eligible rest
+/// are compared there.
+fn supported(sql: &str) -> impl Iterator<Item = Algorithm> + '_ {
+    FORCED.into_iter().filter(move |a| {
+        !sql.contains("COUNTSP") || !matches!(a, Algorithm::NdBaseline | Algorithm::NdDiff)
+    })
+}
+
+/// Run `sql` with the planner (Auto) and with every forced algorithm at
+/// `threads`, asserting the result tables are identical. `label` names
+/// the configuration in failure messages.
+fn assert_equivalent(
+    e: &mut QueryEngine<'_>,
+    sql: &str,
+    threads: usize,
+    label: &str,
+) -> Result<Table, TestCaseError> {
+    e.set_threads(threads);
+    e.set_algorithm(Algorithm::Auto);
+    let planned = e.execute(sql);
+    prop_assert!(planned.is_ok(), "{label}: planned run failed: {planned:?}");
+    let planned = planned.unwrap();
+    for forced in supported(sql) {
+        e.set_algorithm(forced);
+        let got = e.execute(sql);
+        prop_assert!(got.is_ok(), "{label} algo={forced:?}: {got:?}");
+        prop_assert_eq!(
+            &got.unwrap(),
+            &planned,
+            "{} algo={:?} threads={} diverged from planned execution",
+            label,
+            forced,
+            threads
+        );
+    }
+    e.set_algorithm(Algorithm::Auto);
+    Ok(planned)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized graphs: the planner's choices (algorithm, batch
+    /// grouping, stats basis) never change results relative to any
+    /// forced algorithm, sequential or parallel, whole-range or
+    /// sharded.
+    #[test]
+    fn planned_execution_matches_every_forced_algorithm(
+        n in 8u32..40,
+        raw_edges in prop::collection::vec((any::<u32>(), any::<u32>()), 5..120),
+        labels in 1u16..4,
+    ) {
+        let g = random_graph(n, &raw_edges, labels);
+        let mut e = engine(&g);
+
+        // Heuristic-stats planning first, across statement shapes and
+        // thread counts.
+        let mut heuristic: Vec<Table> = Vec::new();
+        for sql in STATEMENTS {
+            for threads in 1..=4usize {
+                let t = assert_equivalent(&mut e, sql, threads, "heuristic")?;
+                if threads == 1 {
+                    heuristic.push(t);
+                }
+            }
+        }
+
+        // ANALYZE flips the planner onto profiled statistics (and may
+        // flip its algorithm choice); results must not move.
+        e.analyze().unwrap();
+        for (i, sql) in STATEMENTS.iter().enumerate() {
+            let t = assert_equivalent(&mut e, sql, 2, "analyzed")?;
+            prop_assert_eq!(
+                &t,
+                &heuristic[i],
+                "analyzed planning changed results for {}",
+                sql
+            );
+        }
+
+        // Sharded planning: each shard's slice is algorithm-invariant,
+        // and the shards reassemble to the whole-range answer.
+        let whole = &heuristic[0];
+        let mut reassembled = 0usize;
+        for index in 0..2u32 {
+            e.set_focal_shard(Some(ShardSpec::new(index, 2).unwrap()));
+            let t = assert_equivalent(&mut e, STATEMENTS[0], 2, "sharded")?;
+            for row in t.rows() {
+                prop_assert!(whole.rows().contains(row), "shard row missing from whole");
+            }
+            reassembled += t.num_rows();
+        }
+        e.set_focal_shard(None);
+        prop_assert_eq!(reassembled, whole.num_rows());
+    }
+}

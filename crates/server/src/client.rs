@@ -7,7 +7,7 @@
 //! Transient failures (a worker restarting, a connection reset) are
 //! absorbed by bounded retry with exponential backoff: connects retry
 //! unconditionally, and *idempotent* requests (`ping`, `query`,
-//! `explain`, `stats`) are re-sent over a fresh connection when the old
+//! `explain`, `analyze`, `stats`) are re-sent over a fresh connection when the old
 //! one breaks. Non-idempotent requests (`define`, `update`, `shutdown`)
 //! are never silently re-sent — the caller must decide whether the
 //! side effect happened. Timeouts are not retried either: a slow server
@@ -69,11 +69,18 @@ fn is_connection_error(e: &std::io::Error) -> bool {
 
 impl Request {
     /// True when re-sending the request after a connection failure
-    /// cannot change server state (`ping`/`query`/`explain`/`stats`).
+    /// cannot change the outcome (`ping`/`query`/`explain`/`analyze`/
+    /// `stats`). `analyze` does write the stats snapshot, but profiling
+    /// is deterministic for a given graph — running it twice writes the
+    /// same bytes — so re-sending it is safe.
     pub fn is_idempotent(&self) -> bool {
         matches!(
             self,
-            Request::Ping | Request::Query { .. } | Request::Explain { .. } | Request::Stats
+            Request::Ping
+                | Request::Query { .. }
+                | Request::Explain { .. }
+                | Request::Analyze
+                | Request::Stats
         )
     }
 }
@@ -276,6 +283,12 @@ impl Client {
         })
     }
 
+    /// Profile the server's graph for the cost-based planner; returns
+    /// the statistics snapshot as a key/value table.
+    pub fn analyze(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Analyze)
+    }
+
     /// Apply an edge-mutation script (`INSERT EDGE (a, b); DELETE EDGE
     /// (a, b); ...`) to the server's shared graph.
     pub fn update(&mut self, mutations: &str) -> std::io::Result<Response> {
@@ -320,6 +333,7 @@ mod tests {
                 },
                 true,
             ),
+            (Request::Analyze, true),
             (Request::Stats, true),
             (
                 Request::Define {

@@ -12,6 +12,7 @@
 //! {"op":"query","sql":"SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"}
 //! {"op":"query","sql":"SELECT ...","shard":"0/4"}
 //! {"op":"explain","sql":"SELECT ..."}
+//! {"op":"analyze"}
 //! {"op":"update","mutations":"INSERT EDGE (4, 6); DELETE EDGE (0, 1)"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
@@ -57,6 +58,10 @@ pub enum Request {
         /// The SQL text.
         sql: String,
     },
+    /// Profile the shared graph and persist the statistics snapshot so
+    /// the cost-based planner runs on measured numbers; answers with
+    /// the profile as a key/value table.
+    Analyze,
     /// Apply an edge-mutation script (`INSERT EDGE (a, b); DELETE EDGE
     /// (a, b); ...`) to the shared graph, invalidating the caches.
     Update {
@@ -92,6 +97,7 @@ impl Request {
                 ("op".to_string(), Json::Str("explain".into())),
                 ("sql".to_string(), Json::Str(sql.clone())),
             ],
+            Request::Analyze => vec![("op".to_string(), Json::Str("analyze".into()))],
             Request::Stats => vec![("op".to_string(), Json::Str("stats".into()))],
             Request::Update { mutations } => vec![
                 ("op".to_string(), Json::Str("update".into())),
@@ -135,13 +141,15 @@ impl Request {
                 })
             }
             "explain" => Ok(Request::Explain { sql: field("sql")? }),
+            "analyze" => Ok(Request::Analyze),
             "update" => Ok(Request::Update {
                 mutations: field("mutations")?,
             }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (ping, define, query, explain, update, stats, shutdown)"
+                "unknown op `{other}` (ping, define, query, explain, analyze, update, stats, \
+                 shutdown)"
             )),
         }
     }
@@ -317,6 +325,7 @@ mod tests {
             Request::Explain {
                 sql: "SELECT ID FROM nodes".into(),
             },
+            Request::Analyze,
             Request::Update {
                 mutations: "INSERT EDGE (4, 6); DELETE EDGE (0, 1)".into(),
             },

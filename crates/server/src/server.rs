@@ -44,6 +44,10 @@ pub struct ServerConfig {
     /// Census algorithm for every session (results are bit-identical
     /// across algorithms wherever a spec is supported).
     pub algorithm: Algorithm,
+    /// Where the `analyze` op persists its statistics snapshot (the
+    /// graph's `.stats` sidecar when serving from a file). `None` keeps
+    /// snapshots in memory only.
+    pub stats_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +62,7 @@ impl Default for ServerConfig {
             seed: 0xC0FFEE,
             shard: None,
             algorithm: Algorithm::Auto,
+            stats_path: None,
         }
     }
 }

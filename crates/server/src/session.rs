@@ -14,8 +14,9 @@ use ego_dynamic::DeltaGraph;
 use ego_graph::{Graph, NodeId};
 use ego_query::{
     canonical_query_key, parse_mutations, Algorithm, Catalog, CensusCache, MutationKind,
-    QueryEngine, ShardSpec, Table, Value,
+    PlannerCounters, QueryEngine, ShardSpec, StatsSlot, Table, Value,
 };
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -29,19 +30,20 @@ const CENSUS_CACHE_ENTRIES: usize = 256;
 
 /// Protocol op names, in the order of [`ServerStats::latency`]. The
 /// request-duration breakdown is keyed by these.
-pub const OP_NAMES: [&str; 7] = [
-    "define", "explain", "ping", "query", "shutdown", "stats", "update",
+pub const OP_NAMES: [&str; 8] = [
+    "analyze", "define", "explain", "ping", "query", "shutdown", "stats", "update",
 ];
 
 fn op_index(req: &Request) -> usize {
     match req {
-        Request::Define { .. } => 0,
-        Request::Explain { .. } => 1,
-        Request::Ping => 2,
-        Request::Query { .. } => 3,
-        Request::Shutdown => 4,
-        Request::Stats => 5,
-        Request::Update { .. } => 6,
+        Request::Analyze => 0,
+        Request::Define { .. } => 1,
+        Request::Explain { .. } => 2,
+        Request::Ping => 3,
+        Request::Query { .. } => 4,
+        Request::Shutdown => 5,
+        Request::Stats => 6,
+        Request::Update { .. } => 7,
     }
 }
 
@@ -100,7 +102,7 @@ pub struct ServerStats {
     /// Net edges deleted across all graph updates.
     pub edges_deleted: AtomicU64,
     /// Per-op request durations, indexed like [`OP_NAMES`].
-    pub latency: [OpLatency; 7],
+    pub latency: [OpLatency; 8],
 }
 
 impl ServerStats {
@@ -153,6 +155,14 @@ pub struct Shared {
     pub census: Arc<CensusCache>,
     /// Server counters.
     pub stats: Arc<ServerStats>,
+    /// Planner counters, shared by every session's engine and surfaced
+    /// as `planner_*` rows in `stats`.
+    pub planner: Arc<PlannerCounters>,
+    /// The graph-statistics slot every session's planner reads:
+    /// `analyze` on any connection feeds all of them.
+    pub graph_stats: StatsSlot,
+    /// Where `analyze` persists its snapshot (`None` = memory only).
+    pub stats_path: Option<PathBuf>,
     /// Set to stop the accept loop and drain workers.
     pub shutdown: Arc<AtomicBool>,
     /// Worker threads per census execution (`0` = all hardware threads).
@@ -169,6 +179,15 @@ pub struct Shared {
 impl Shared {
     /// Build shared state around the startup graph.
     pub fn new(graph: Arc<Graph>, base_catalog: Arc<Catalog>, config: &ServerConfig) -> Shared {
+        // Adopt a persisted statistics sidecar so the planner starts on
+        // measured numbers; a missing or malformed file just means the
+        // heuristic basis until the first `analyze`.
+        let graph_stats = StatsSlot::default();
+        if let Some(path) = &config.stats_path {
+            if let Ok(Some(stats)) = ego_query::GraphStats::load(path) {
+                *graph_stats.write().unwrap() = Some(Arc::new(stats));
+            }
+        }
         Shared {
             graph: Arc::new(RwLock::new(graph)),
             generation: Arc::new(AtomicU64::new(0)),
@@ -181,6 +200,9 @@ impl Shared {
                 CENSUS_CACHE_ENTRIES
             })),
             stats: Arc::new(ServerStats::default()),
+            planner: Arc::new(PlannerCounters::default()),
+            graph_stats,
+            stats_path: config.stats_path.clone(),
             shutdown: Arc::new(AtomicBool::new(false)),
             exec_threads: config.exec_threads,
             seed: config.seed,
@@ -289,6 +311,9 @@ impl Session {
         engine.set_algorithm(shared.algorithm);
         engine.set_focal_shard(shared.shard);
         engine.set_census_cache(shared.census.clone());
+        engine.set_planner_counters(shared.planner.clone());
+        engine.set_stats_slot(shared.graph_stats.clone());
+        engine.set_stats_path(shared.stats_path.clone());
         Session {
             shared: shared.clone(),
             engine,
@@ -317,6 +342,9 @@ impl Session {
         engine.set_algorithm(self.shared.algorithm);
         engine.set_focal_shard(self.shared.shard);
         engine.set_census_cache(self.shared.census.clone());
+        engine.set_planner_counters(self.shared.planner.clone());
+        engine.set_stats_slot(self.shared.graph_stats.clone());
+        engine.set_stats_path(self.shared.stats_path.clone());
         self.engine = engine;
         self.generation = generation;
     }
@@ -345,6 +373,7 @@ impl Session {
             Request::Define { pattern } => self.handle_define(pattern),
             Request::Query { sql, shard } => self.handle_query(sql, *shard),
             Request::Explain { sql } => self.encode_execution(|e| e.explain(sql)),
+            Request::Analyze => self.encode_execution(|e| e.analyze()),
             Request::Update { mutations } => self.handle_update(mutations),
             Request::Stats => self.handle_stats(),
             Request::Shutdown => {
@@ -502,6 +531,11 @@ impl Session {
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
         .collect();
+        // Planner counters (the shard router's default suffix rule sums
+        // these across workers).
+        for (name, value) in self.shared.planner.snapshot() {
+            rows.push((name.to_string(), value));
+        }
         // Per-op request-duration breakdown: only ops that have run, so
         // the table stays compact. The current `stats` request records
         // itself only after this response is built.
@@ -839,6 +873,80 @@ mod tests {
         let q = r#"{"op":"query","sql":"SELECT ID, COUNTP(mine, SUBGRAPH(ID, 1)) FROM nodes"}"#;
         let t = table(&s.handle_line(q));
         assert_eq!(t.rows[5][1], Value::Int(1));
+    }
+
+    #[test]
+    fn analyze_feeds_every_sessions_planner() {
+        let sh = shared();
+        let mut s1 = Session::new(&sh);
+        let mut s2 = Session::new(&sh);
+        let explain =
+            r#"{"op":"explain","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let census_detail = |encoded: &str| {
+            table(encoded)
+                .rows
+                .iter()
+                .find(|r| matches!(&r[0], Value::Str(s) if s.trim_start() == "census"))
+                .map(|r| r[1].to_string())
+                .expect("census row")
+        };
+        assert!(census_detail(&s1.handle_line(explain)).contains("stats=heuristic"));
+        // Analyze on one connection...
+        let t = table(&s1.handle_line(r#"{"op":"analyze"}"#));
+        assert_eq!(t.columns, vec!["statistic", "value"]);
+        assert!(t
+            .rows
+            .iter()
+            .any(|r| r[0] == Value::Str("num_nodes".into())));
+        // ...upgrades the planner basis on every other connection.
+        assert!(census_detail(&s2.handle_line(explain)).contains("stats=analyzed"));
+        // Planner counters surface through stats (2 explains + 1 query
+        // below = 3 plans; the analyzed explain counts as a cost-model
+        // hit, the heuristic one as a fallback).
+        let q =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        assert!(!Response::decode(&s2.handle_line(q)).unwrap().is_error());
+        let st = table(&s1.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("planner_plans_built"), Some(3));
+        assert_eq!(st.stat("planner_heuristic_fallbacks"), Some(1));
+        assert_eq!(st.stat("planner_cost_model_hits"), Some(2));
+        assert_eq!(st.stat("latency_analyze_count"), Some(1));
+    }
+
+    #[test]
+    fn analyze_snapshot_goes_stale_after_update() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        assert!(!Response::decode(&s.handle_line(r#"{"op":"analyze"}"#))
+            .unwrap()
+            .is_error());
+        assert!(!Response::decode(
+            &s.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        let explain =
+            r#"{"op":"explain","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let t = table(&s.handle_line(explain));
+        let detail = t
+            .rows
+            .iter()
+            .find(|r| matches!(&r[0], Value::Str(s) if s.trim_start() == "census"))
+            .map(|r| r[1].to_string())
+            .expect("census row");
+        assert!(detail.contains("stats=stale"), "{detail}");
+        // Re-analyzing the mutated graph restores the cost-model basis.
+        assert!(!Response::decode(&s.handle_line(r#"{"op":"analyze"}"#))
+            .unwrap()
+            .is_error());
+        let t = table(&s.handle_line(explain));
+        let detail = t
+            .rows
+            .iter()
+            .find(|r| matches!(&r[0], Value::Str(s) if s.trim_start() == "census"))
+            .map(|r| r[1].to_string())
+            .expect("census row");
+        assert!(detail.contains("stats=analyzed"), "{detail}");
     }
 
     #[test]

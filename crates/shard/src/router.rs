@@ -20,6 +20,9 @@
 //! * `update`: broadcast under the coherence write lock (queries hold
 //!   the read side), then the workers' reported generation/fingerprint
 //!   are compared — a divergent worker would silently corrupt merges.
+//! * `analyze` (as an op or as `ANALYZE` through the query op):
+//!   broadcast under the write lock so every worker's planner adopts
+//!   the same statistics snapshot; profiles must agree byte-for-byte.
 //! * `stats`: scattered, aggregated by [`crate::merge::merge_stats`],
 //!   with `router_*` counters appended.
 //! * `ping`: answered locally; `shutdown`: broadcast, then the router
@@ -33,8 +36,7 @@
 //! answer any shard, and the merged bytes are unchanged.
 
 use crate::merge::{merge_stats, merge_tables};
-use ego_query::parser::parse_query;
-use ego_query::{is_mutation_statement, ShardSpec, Value};
+use ego_query::{is_analyze_statement, plan_statement, ShardSpec, Value};
 use ego_server::{Client, Request, Response, RetryPolicy, TableData};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -234,6 +236,7 @@ impl RouterSession {
                     self.proxy(req)
                 }
             }
+            Request::Analyze => self.handle_analyze(),
             Request::Update { mutations } => self.handle_update(mutations),
             Request::Shutdown => {
                 for w in self.shared.up_indices() {
@@ -245,28 +248,25 @@ impl RouterSession {
         }
     }
 
-    /// True when a statement can be scattered: exactly the single-table
-    /// census form whose rows come out in ascending focal-node order.
-    /// `ORDER BY`/`LIMIT` re-shape the row set per shard, pairwise
-    /// statements iterate node *pairs*, and `EXPLAIN` output describes
-    /// one plan — all of those go whole to one worker instead.
+    /// True when a statement can be scattered: the router asks the same
+    /// logical planner the workers execute through
+    /// ([`ego_query::plan_statement`]) whether the plan tree merges by
+    /// concatenation. `ORDER BY`/`LIMIT` re-shape the row set per shard,
+    /// pairwise statements iterate node *pairs*, and mutations,
+    /// `ANALYZE`, `EXPLAIN`, and unparsable statements have no SELECT
+    /// plan — all of those go whole to one worker (or broadcast)
+    /// instead, and an unparsable statement is proxied so the worker's
+    /// error message reaches the client byte-identically.
     fn is_scatterable(sql: &str) -> bool {
-        let trimmed = sql.trim_start();
-        if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
-            return false;
-        }
-        if is_mutation_statement(sql) {
-            return false;
-        }
-        match parse_query(sql) {
-            // An unparsable statement is proxied so the worker's error
-            // message reaches the client byte-identically.
-            Err(_) => false,
-            Ok(stmt) => stmt.tables.len() == 1 && stmt.order_by.is_empty() && stmt.limit.is_none(),
-        }
+        plan_statement(sql).is_ok_and(|p| p.is_scatterable())
     }
 
     fn handle_query(&mut self, sql: &str, shard: Option<ShardSpec>) -> String {
+        // `ANALYZE` through the query op behaves like the `analyze` op:
+        // every worker must adopt the snapshot, not just one.
+        if is_analyze_statement(sql) && sql.trim().eq_ignore_ascii_case("ANALYZE") {
+            return self.handle_analyze();
+        }
         let shared = self.shared.clone();
         let _read = shared.coherence.read().expect("coherence poisoned");
         // A client that asks for a specific shard (e.g. a router layered
@@ -430,6 +430,31 @@ impl RouterSession {
             }
             None => Response::error("no workers available").encode(),
         }
+    }
+
+    /// Broadcast `analyze` to every live worker under the coherence
+    /// write lock (so no mutation lands mid-broadcast and every worker
+    /// profiles the same graph), then check the profiles agree —
+    /// profiling is deterministic, so divergent tables mean a worker
+    /// serves a different graph.
+    fn handle_analyze(&mut self) -> String {
+        let shared = self.shared.clone();
+        let _write = shared.coherence.write().expect("coherence poisoned");
+        let mut encoded: Vec<String> = Vec::new();
+        for w in self.shared.up_indices() {
+            match self.conn(w).and_then(|c| c.request(&Request::Analyze)) {
+                Ok(resp) => encoded.push(resp.encode()),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+        let Some(first) = encoded.first() else {
+            return Response::error("no workers available").encode();
+        };
+        if let Some(odd) = encoded.iter().find(|e| *e != first) {
+            return Response::error(format!("workers diverged after analyze: {first} vs {odd}"))
+                .encode();
+        }
+        first.clone()
     }
 
     /// Broadcast an `update` under the coherence write lock, then check

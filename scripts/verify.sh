@@ -41,7 +41,10 @@ echo "    batched counts match single-agg runs column for column"
 
 echo "==> out-of-core store smoke test (convert to .egb; text vs mmap CSVs byte-identical)"
 ./target/release/egocensus convert "$tmpdir/g.txt" -o "$tmpdir/g.egb" >/dev/null
-./target/release/egocensus stats "$tmpdir/g.egb" | grep -q '^storage:     mmap$' \
+# Buffer the output before grep -q: piping directly races EPIPE when
+# grep exits at the first match while stats is still printing.
+./target/release/egocensus stats "$tmpdir/g.egb" >"$tmpdir/stats_out.txt"
+grep -q '^storage:     mmap$' "$tmpdir/stats_out.txt" \
   || { echo "FAIL: .egb graph should report mmap storage"; exit 1; }
 store_sql='SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)), COUNTP(single_edge, SUBGRAPH(ID, 2)) FROM nodes ORDER BY 1'
 ./target/release/egocensus query "$tmpdir/g.txt" --csv "$store_sql" >"$tmpdir/census_txt.csv"
@@ -170,5 +173,50 @@ echo "$shard_stats" | grep -q '^router_workers_up,1$' \
 wait "$serve_pid" || true
 serve_pid=""
 echo "    router matched the direct engine byte-for-byte, before and after losing a worker"
+
+echo "==> planner smoke test (ANALYZE sidecar; EXPLAIN costs; dense-vs-sparse choice)"
+./target/release/egocensus analyze "$tmpdir/g.txt" >/dev/null
+[ -f "$tmpdir/g.txt.stats" ] \
+  || { echo "FAIL: analyze did not write the .stats sidecar"; exit 1; }
+./target/release/egocensus query "$tmpdir/g.txt" \
+  'EXPLAIN SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes' >"$tmpdir/explain.txt"
+grep -q 'stats=analyzed' "$tmpdir/explain.txt" \
+  || { echo "FAIL: EXPLAIN should plan on the ANALYZE sidecar (stats=analyzed)"; exit 1; }
+choices=$(grep -c 'choice' "$tmpdir/explain.txt" || true)
+[ "$choices" -ge 2 ] \
+  || { echo "FAIL: EXPLAIN should rank at least two algorithm alternatives"; exit 1; }
+grep -q '(chosen)' "$tmpdir/explain.txt" \
+  || { echo "FAIL: EXPLAIN should mark the chosen alternative"; exit 1; }
+# A dense clique and a sparse path must flip the planner between the
+# node-driven and pattern-driven families.
+{
+  echo "# egocensus graph v1"
+  echo "graph undirected nodes=8"
+  for i in $(seq 0 7); do
+    for j in $(seq $((i + 1)) 7); do echo "edge $i $j"; done
+  done
+} >"$tmpdir/dense.txt"
+{
+  echo "# egocensus graph v1"
+  echo "graph undirected nodes=30"
+  for i in $(seq 0 28); do echo "edge $i $((i + 1))"; done
+} >"$tmpdir/sparse.txt"
+./target/release/egocensus analyze "$tmpdir/dense.txt" >/dev/null
+./target/release/egocensus analyze "$tmpdir/sparse.txt" >/dev/null
+tri_def='PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }'
+tri_sql='EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes'
+dense_algo=$(./target/release/egocensus query "$tmpdir/dense.txt" --define "$tri_def" "$tri_sql" \
+  | sed -n 's/.*algo=\([A-Za-z]*\).*/\1/p')
+sparse_algo=$(./target/release/egocensus query "$tmpdir/sparse.txt" --define "$tri_def" "$tri_sql" \
+  | sed -n 's/.*algo=\([A-Za-z]*\).*/\1/p')
+case "$dense_algo" in
+  Nd*) ;;
+  *) echo "FAIL: dense clique should choose a node-driven algorithm (got '$dense_algo')"; exit 1 ;;
+esac
+case "$sparse_algo" in
+  Pt*) ;;
+  *) echo "FAIL: sparse path should choose a pattern-driven algorithm (got '$sparse_algo')"; exit 1 ;;
+esac
+echo "    sidecar adopted ($choices ranked alternatives); dense -> $dense_algo, sparse -> $sparse_algo"
 
 echo "==> verify OK"

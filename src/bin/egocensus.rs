@@ -3,6 +3,7 @@
 //! ```text
 //! egocensus generate --model ba --nodes 10000 --param 5 --labels 4 --seed 1 -o g.txt
 //! egocensus stats g.txt
+//! egocensus analyze g.txt
 //! egocensus match g.txt --pattern 'PATTERN t { ?A-?B; ?B-?C; ?A-?C; }' [--matcher gql]
 //! egocensus query g.txt --define 'PATTERN t { ... }' \
 //!     'SELECT ID, COUNTP(t, SUBGRAPH(ID, 2)) FROM nodes ORDER BY 2 DESC LIMIT 10' [--csv]
@@ -22,7 +23,7 @@ use egocensus::dynamic::{update_census_exec, DeltaGraph};
 use egocensus::graph::{io, stats, Graph, NodeId};
 use egocensus::matcher::{find_matches, MatcherKind};
 use egocensus::pattern::Pattern;
-use egocensus::query::{parse_mutations, Catalog, MutationKind, QueryEngine, Table};
+use egocensus::query::{parse_mutations, Catalog, GraphStats, MutationKind, QueryEngine, Table};
 use egocensus::server::{Client, Response, Server, ServerConfig};
 use egocensus::shard::{Router, RouterConfig, ShardSpec, WorkerFleet};
 use std::process::ExitCode;
@@ -49,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "generate" => cmd_generate(rest),
         "convert" => cmd_convert(rest),
         "stats" => cmd_stats(rest),
+        "analyze" => cmd_analyze(rest),
         "match" => cmd_match(rest),
         "query" => cmd_query(rest),
         "topk" => cmd_topk(rest),
@@ -75,6 +77,7 @@ USAGE:
                      [--seed <S>] -o <file>
   egocensus convert <graph-file> -o <file>
   egocensus stats <graph-file>
+  egocensus analyze <graph-file>
   egocensus match <graph-file> --pattern <DSL> [--matcher <cn|gql>] [--threads <T>]
                   [--stats]
   egocensus query <graph-file> [--define <DSL>]... [--algorithm <name>]
@@ -89,7 +92,7 @@ USAGE:
                   [--algorithm <name>] [--shard-of <M/N>] [--define <DSL>]...
                   [--workers <N> | --attach <host:port,...>]
   egocensus client [--addr <host:port>] [--define <DSL>]... [--update <script>]
-                   [--stats] [--shutdown] [--csv] [<SQL>]
+                   [--analyze] [--stats] [--shutdown] [--csv] [<SQL>]
 
 Graph files: `.egb` selects the binary CSR format (opened read-only via
 mmap: O(1) load, physical pages shared between processes); any other
@@ -98,6 +101,13 @@ translates between them by extension and verifies the written graph.
 Algorithms: auto (default), nd-bas, nd-pivot, nd-diff, pt-bas, pt-rnd, pt-opt.
 Threads: 0 = all hardware threads (the default); results are identical
 for every thread count.
+Analyze: profiles the graph (degree/label/clustering statistics) and
+persists the snapshot to `<graph-file>.stats`; the cost-based query
+planner (see `EXPLAIN`) then picks census algorithms from measured
+numbers instead of its structural heuristic. `query` and `serve` adopt
+the sidecar automatically and detect staleness by graph fingerprint.
+The `ANALYZE` SQL statement (and `client --analyze`) does the same
+in-engine and server-side respectively.
 Mutate: applies an edge-mutation script (`INSERT EDGE (a, b); DELETE
 EDGE (a, b); ...`) as a delta overlay; with --pattern it re-censuses
 only the dirty focal nodes incrementally (--verify cross-checks against
@@ -295,6 +305,35 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `analyze <graph-file>`: profile the graph for the cost-based query
+/// planner and persist the snapshot next to the graph. Reports whether
+/// an existing sidecar was fresh, stale (fingerprint mismatch — e.g.
+/// the graph file was regenerated), or absent.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &[])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let engine = QueryEngine::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let sidecar = engine
+        .stats_path()
+        .expect("open always derives the sidecar path")
+        .to_path_buf();
+    let fingerprint = engine.graph().fingerprint();
+    match engine.graph_stats() {
+        Some(prev) if prev.is_stale(fingerprint) => println!(
+            "sidecar {} is stale (profiled {:016x}, graph is {:016x}); re-profiling",
+            sidecar.display(),
+            prev.fingerprint,
+            fingerprint
+        ),
+        Some(_) => println!("sidecar {} is current; re-profiling", sidecar.display()),
+        None => println!("no sidecar yet; profiling {path}"),
+    }
+    let table = engine.analyze().map_err(|e| e.to_string())?;
+    print!("{table}");
+    println!("wrote {}", sidecar.display());
+    Ok(())
+}
+
 fn cmd_match(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args, &["stats"])?;
     let path = f.positional.first().ok_or("missing graph file")?;
@@ -370,8 +409,11 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("missing SQL query (quote it as one argument)")?;
-    let g = load_graph(path)?;
-    let mut engine = QueryEngine::with_builtins(&g);
+    // `open` (rather than a borrowed engine over `load_graph`) adopts
+    // the graph's `.stats` sidecar, so a prior `egocensus analyze` (or
+    // an `ANALYZE` statement, which re-persists it) feeds the planner.
+    let mut engine =
+        QueryEngine::open_with_builtins(path).map_err(|e| format!("cannot load {path}: {e}"))?;
     for def in f.get_all("define") {
         // The one-shot CLI keeps replace semantics: a --define may
         // intentionally override a preloaded builtin.
@@ -534,6 +576,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         seed: f.parse("seed", 0xC0FFEEu64)?,
         shard,
         algorithm: parse_algorithm(f.get("algorithm").unwrap_or("auto"))?,
+        stats_path: Some(GraphStats::sidecar_path(std::path::Path::new(&path))),
         ..ServerConfig::default()
     };
     let graph = Arc::new(load_graph(&path)?);
@@ -610,7 +653,7 @@ fn cmd_serve_router(f: &Flags, path: &str, addr: &str, workers: usize) -> Result
 }
 
 fn cmd_client(args: &[String]) -> Result<(), String> {
-    let f = parse_flags(args, &["csv", "stats", "shutdown"])?;
+    let f = parse_flags(args, &["csv", "analyze", "stats", "shutdown"])?;
     let addr = f.get("addr").unwrap_or("127.0.0.1:7878");
     let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let print = |resp: Response| -> Result<(), String> {
@@ -639,6 +682,11 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     }
     for script in f.get_all("update") {
         print(client.update(script).map_err(|e| e.to_string())?)?;
+    }
+    // Analyze before any query so `--analyze 'EXPLAIN ...'` shows the
+    // cost-model basis the fresh snapshot enables.
+    if f.has("analyze") {
+        print(client.analyze().map_err(|e| e.to_string())?)?;
     }
     if let Some(sql) = f.positional.first() {
         print(client.query(sql).map_err(|e| e.to_string())?)?;
