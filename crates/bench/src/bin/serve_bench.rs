@@ -327,5 +327,6 @@ fn expect_table(resp: Response) {
     match resp {
         Response::Table(_) => {}
         Response::Error { message } => panic!("server error: {message}"),
+        Response::Notify(_) => unreachable!("request() filters notify frames"),
     }
 }

@@ -2,11 +2,14 @@
 
 use crate::delta::DeltaGraph;
 use crate::dirty::DirtyIndex;
+use crate::matches::{maintain_match_list, MaintainStats};
 use ego_census::{
     run_batch_exec, Algorithm, CensusError, CensusSpec, CountVector, ExecConfig, FocalNodes,
     PtConfig,
 };
 use ego_graph::{Graph, NodeId};
+use ego_matcher::MatchList;
+use std::sync::Arc;
 
 /// What an incremental update had to do.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -28,8 +31,15 @@ pub struct IncrementalUpdate {
     pub graph: Graph,
     /// Per-spec counts, bit-identical to a full recompute on `graph`.
     pub counts: Vec<CountVector>,
+    /// Per-spec global match lists on the new graph, when available —
+    /// maintained incrementally from the caller's previous lists or
+    /// computed by the fresh run (`None` for ND-BAS, which never
+    /// materializes them). Feed these back on the next update.
+    pub matches: Vec<Option<Arc<MatchList>>>,
     /// Work accounting.
     pub stats: UpdateStats,
+    /// Match-list maintenance accounting (summed over specs).
+    pub match_stats: MaintainStats,
 }
 
 /// Incrementally maintain a batch of census results under an edge-delta
@@ -54,10 +64,10 @@ pub struct IncrementalUpdate {
 /// to `k + (|V(p)| - 1)` (every changed match contains a touched
 /// endpoint, and — for a connected pattern — its image nodes lie within
 /// `|V(p)| - 1` union-graph hops of it); a disconnected pattern has no
-/// such bound, so every focal node of that spec goes dirty. Global
-/// match lists *are* recomputed on the new graph (they are cheap
-/// relative to per-focal work, and stale ones would be unsound); the
-/// savings are the per-focal neighborhood sweeps, which dominate.
+/// such bound, so every focal node of that spec goes dirty. Without
+/// previous match lists, global match lists are recomputed on the new
+/// graph; see [`update_batch_exec_with_matches`] to maintain them
+/// incrementally instead.
 pub fn update_batch_exec(
     delta: &DeltaGraph,
     specs: &[CensusSpec<'_>],
@@ -66,14 +76,77 @@ pub fn update_batch_exec(
     config: &PtConfig,
     exec: &ExecConfig,
 ) -> Result<IncrementalUpdate, CensusError> {
+    let none = vec![None; specs.len()];
+    update_batch_exec_with_matches(delta, specs, previous, &none, algorithm, config, exec)
+}
+
+/// [`update_batch_exec`] plus incremental **match-list maintenance**:
+/// `previous_matches[i]`, when given, must be the global match list of
+/// `specs[i]`'s pattern on `delta.base()`. Supported patterns
+/// ([`crate::matches::supports_match_maintenance`]) are maintained in
+/// |delta|-scaled work (survivor scan + anchored ball re-enumeration,
+/// see [`crate::matches`]) and fed to [`run_batch_exec`] as provided
+/// lists, so the fresh run skips global matching entirely; unsupported
+/// patterns (or `None` slots) recompute as before. The returned
+/// [`IncrementalUpdate::matches`] carries each spec's list on the new
+/// graph for the caller to feed back on the next update.
+pub fn update_batch_exec_with_matches(
+    delta: &DeltaGraph,
+    specs: &[CensusSpec<'_>],
+    previous: &[CountVector],
+    previous_matches: &[Option<Arc<MatchList>>],
+    algorithm: Algorithm,
+    config: &PtConfig,
+    exec: &ExecConfig,
+) -> Result<IncrementalUpdate, CensusError> {
+    let graph = delta.compact();
+    let out = update_batch_on(
+        delta,
+        &graph,
+        specs,
+        previous,
+        previous_matches,
+        algorithm,
+        config,
+        exec,
+    )?;
+    Ok(IncrementalUpdate {
+        graph,
+        counts: out.counts,
+        matches: out.matches,
+        stats: out.stats,
+        match_stats: out.match_stats,
+    })
+}
+
+/// [`update_batch_exec_with_matches`] minus the compaction: `graph` must
+/// be `delta.compact()` (or byte-identical). Callers maintaining many
+/// independent batches over one mutation — the continuous subscription
+/// engine, where every subscription updates against the same new graph —
+/// compact once and share it.
+#[allow(clippy::too_many_arguments)]
+pub fn update_batch_on(
+    delta: &DeltaGraph,
+    graph: &Graph,
+    specs: &[CensusSpec<'_>],
+    previous: &[CountVector],
+    previous_matches: &[Option<Arc<MatchList>>],
+    algorithm: Algorithm,
+    config: &PtConfig,
+    exec: &ExecConfig,
+) -> Result<UpdateOutcome, CensusError> {
+    assert_eq!(
+        specs.len(),
+        previous_matches.len(),
+        "one previous match-list slot per spec"
+    );
     assert_eq!(
         specs.len(),
         previous.len(),
         "one previous CountVector per spec"
     );
-    let graph = delta.compact();
     for (spec, prev) in specs.iter().zip(previous) {
-        spec.validate(&graph)?;
+        spec.validate(graph)?;
         assert_eq!(
             prev.len(),
             graph.num_nodes(),
@@ -93,7 +166,7 @@ pub fn update_batch_exec(
     let mut dirty_sets: Vec<Vec<NodeId>> = Vec::with_capacity(specs.len());
     let mut restricted: Vec<CensusSpec<'_>> = Vec::with_capacity(specs.len());
     for (spec, radius) in specs.iter().zip(&radii) {
-        let focal = spec.focal().nodes(&graph);
+        let focal = spec.focal().nodes(graph);
         let dirty: Vec<NodeId> = focal
             .iter()
             .copied()
@@ -113,14 +186,37 @@ pub fn update_batch_exec(
         restricted.push(r);
     }
 
+    // Maintain the global match lists the caller handed in. One
+    // maintained list per distinct pattern: specs sharing a pattern
+    // (by pointer, as in `run_batch_exec`) share the work.
+    let mut match_stats = MaintainStats::default();
+    let mut maintained: Vec<Option<Arc<MatchList>>> = vec![None; specs.len()];
+    for i in 0..specs.len() {
+        let Some(prev_list) = &previous_matches[i] else {
+            continue;
+        };
+        if let Some(j) = (0..i).find(|&j| {
+            maintained[j].is_some() && std::ptr::eq(specs[j].pattern(), specs[i].pattern())
+        }) {
+            maintained[i] = maintained[j].clone();
+            continue;
+        }
+        if let Some((list, st)) =
+            maintain_match_list(delta, graph, specs[i].pattern(), prev_list, exec.resolve())
+        {
+            match_stats.absorb(&st);
+            maintained[i] = Some(Arc::new(list));
+        }
+    }
+
     // Re-census the dirty nodes only. With an all-clean batch there is
-    // nothing to run (and no match lists worth computing).
+    // nothing to run (maintained lists still carry over).
     let fresh = if stats.dirty_focal == 0 {
         None
     } else {
-        let provided = vec![None; restricted.len()];
+        let provided: Vec<Option<Arc<MatchList>>> = maintained.clone();
         Some(run_batch_exec(
-            &graph,
+            graph,
             &restricted,
             algorithm,
             config,
@@ -133,7 +229,7 @@ pub fn update_batch_exec(
     // their previous one. The focal mask matches a full recompute's.
     let mut counts = Vec::with_capacity(specs.len());
     for (i, spec) in specs.iter().enumerate() {
-        let mask = spec.focal().mask(&graph);
+        let mask = spec.focal().mask(graph);
         let mut dirty_mask = vec![false; graph.num_nodes()];
         for &n in &dirty_sets[i] {
             dirty_mask[n.index()] = true;
@@ -157,11 +253,40 @@ pub fn update_batch_exec(
         counts.push(cv);
     }
 
-    Ok(IncrementalUpdate {
-        graph,
+    // Lists for the caller's next round: prefer the fresh run's (for
+    // slots it filled — it echoes provided lists and computes missing
+    // ones), falling back to maintained lists (e.g. ND-BAS never
+    // materializes lists, and an all-clean batch skips the run).
+    let matches: Vec<Option<Arc<MatchList>>> = match &fresh {
+        Some(batch) => batch
+            .matches
+            .iter()
+            .zip(&maintained)
+            .map(|(f, m)| f.clone().or_else(|| m.clone()))
+            .collect(),
+        None => maintained,
+    };
+
+    Ok(UpdateOutcome {
         counts,
+        matches,
         stats,
+        match_stats,
     })
+}
+
+/// Counts, match lists, and accounting of one [`update_batch_on`] call
+/// (an [`IncrementalUpdate`] without the graph, which the caller owns).
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// Per-spec counts, bit-identical to a full recompute.
+    pub counts: Vec<CountVector>,
+    /// Per-spec global match lists on the new graph, when available.
+    pub matches: Vec<Option<Arc<MatchList>>>,
+    /// Work accounting.
+    pub stats: UpdateStats,
+    /// Match-list maintenance accounting (summed over specs).
+    pub match_stats: MaintainStats,
 }
 
 /// How far (in union-graph hops from a touched endpoint) a spec's count

@@ -22,11 +22,24 @@
 //!   counts into the previous [`ego_census::CountVector`]s. Results are
 //!   bit-identical to a full recompute for every algorithm family
 //!   (enforced by `tests/incremental_equivalence.rs`).
+//! * [`maintain_match_list`] — incremental **match-list maintenance**:
+//!   the previous global match list is carried across a delta in
+//!   |delta|-scaled work (drop matches touching a mutated pair, re-find
+//!   matches through the mutation by anchored search in the ball around
+//!   the touched endpoints) instead of re-matching the whole graph.
+//!   [`update_batch_exec_with_matches`] / [`update_batch_on`] feed the
+//!   maintained lists into the batch runner as provided lists, which is
+//!   what lets the continuous subscription tier scale with the delta.
 
 pub mod delta;
 pub mod dirty;
 pub mod engine;
+pub mod matches;
 
 pub use delta::{DeltaError, DeltaGraph};
 pub use dirty::{dirty_focal_nodes, DirtyIndex};
-pub use engine::{update_batch_exec, update_census_exec, IncrementalUpdate, UpdateStats};
+pub use engine::{
+    update_batch_exec, update_batch_exec_with_matches, update_batch_on, update_census_exec,
+    IncrementalUpdate, UpdateOutcome, UpdateStats,
+};
+pub use matches::{maintain_match_list, supports_match_maintenance, MaintainStats};

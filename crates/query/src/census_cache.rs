@@ -111,20 +111,51 @@ pub struct CensusCacheStats {
     pub count_entries: usize,
     pub count_hits: u64,
     pub count_misses: u64,
-    /// Times [`CensusCache::invalidate`] ran (graph mutations).
+    /// Times [`CensusCache::invalidate`] or
+    /// [`CensusCache::retain_counts`] ran (graph mutations).
     pub invalidations: u64,
+    /// Count entries that survived a dirty-set-aware invalidation
+    /// (rekeyed to the new fingerprint instead of dropped).
+    pub count_retained: u64,
+}
+
+/// Provenance of a cached count vector, kept alongside the entry so a
+/// mutation can decide whether the entry is still exact: the counts are
+/// unchanged iff no focal node is within `radius` union-graph hops of a
+/// touched delta endpoint (`radius = None` means no bound — always
+/// invalidate). See `ego-dynamic`'s dirty-radius rule: `k` for COUNTP,
+/// `k + |V(p)| - 1` for COUNTSP over a connected pattern.
+#[derive(Clone, Debug)]
+pub struct CountMeta {
+    /// Canonical pattern DSL (first key component).
+    pub dsl: String,
+    /// Neighborhood radius.
+    pub k: u32,
+    /// COUNTSP subpattern name, if any.
+    pub subpattern: Option<String>,
+    /// The focal set the counts cover, ascending.
+    pub focal: std::sync::Arc<Vec<NodeId>>,
+    /// Dirty radius bound; `None` = unbounded (disconnected COUNTSP).
+    pub radius: Option<u32>,
 }
 
 /// Shared (thread-safe) cache of census intermediates. See the module
 /// docs for the keying discipline.
 pub struct CensusCache {
     matches: Mutex<LruMap<std::sync::Arc<MatchList>>>,
-    counts: Mutex<LruMap<std::sync::Arc<CountVector>>>,
+    #[allow(clippy::type_complexity)]
+    counts: Mutex<
+        LruMap<(
+            std::sync::Arc<CountVector>,
+            Option<std::sync::Arc<CountMeta>>,
+        )>,
+    >,
     match_hits: AtomicU64,
     match_misses: AtomicU64,
     count_hits: AtomicU64,
     count_misses: AtomicU64,
     invalidations: AtomicU64,
+    count_retained: AtomicU64,
 }
 
 impl CensusCache {
@@ -139,6 +170,7 @@ impl CensusCache {
             count_hits: AtomicU64::new(0),
             count_misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            count_retained: AtomicU64::new(0),
         }
     }
 
@@ -195,7 +227,7 @@ impl CensusCache {
     pub fn get_counts(&self, key: &str) -> Option<std::sync::Arc<CountVector>> {
         let got = self.counts.lock().unwrap().get(key);
         match got {
-            Some(v) => {
+            Some((v, _)) => {
                 self.count_hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
@@ -206,9 +238,24 @@ impl CensusCache {
         }
     }
 
-    /// Store a count vector.
+    /// Store a count vector without provenance: the entry is dropped by
+    /// any dirty-set-aware invalidation (it cannot prove itself clean).
     pub fn put_counts(&self, key: String, value: std::sync::Arc<CountVector>) {
-        self.counts.lock().unwrap().put(key, value);
+        self.counts.lock().unwrap().put(key, (value, None));
+    }
+
+    /// Store a count vector with provenance, making it eligible to
+    /// survive [`CensusCache::retain_counts`] across a mutation.
+    pub fn put_counts_with_meta(
+        &self,
+        key: String,
+        value: std::sync::Arc<CountVector>,
+        meta: CountMeta,
+    ) {
+        self.counts
+            .lock()
+            .unwrap()
+            .put(key, (value, Some(std::sync::Arc::new(meta))));
     }
 
     /// Non-counting, non-touching lookup — `EXPLAIN` uses these to
@@ -220,6 +267,67 @@ impl CensusCache {
     /// Non-counting, non-touching count-vector lookup.
     pub fn peek_counts(&self, key: &str) -> bool {
         self.counts.lock().unwrap().peek(key).is_some()
+    }
+
+    /// The largest bounded dirty radius among count entries carrying
+    /// provenance, for sizing one dirty-BFS that classifies them all.
+    /// Entries without meta or with an unbounded radius don't contribute
+    /// (they never survive a mutation anyway).
+    pub fn max_count_radius(&self) -> u32 {
+        let counts = self.counts.lock().unwrap();
+        counts
+            .map
+            .values()
+            .filter_map(|((_, meta), _)| meta.as_ref().and_then(|m| m.radius))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Dirty-set-aware invalidation of the count side: every entry whose
+    /// provenance proves it untouched by the mutation (`keep` returns
+    /// `true` — typically "no focal node is dirty at the entry's
+    /// radius") is **rekeyed** to `new_fingerprint` and kept; everything
+    /// else — meta-less entries, unbounded radii, dirty focal sets — is
+    /// dropped. The match side is NOT touched; pair with
+    /// [`CensusCache::invalidate_matches`] (global match lists depend on
+    /// the whole graph) unless the caller re-seeds maintained lists.
+    pub fn retain_counts<F>(&self, new_fingerprint: u64, mut keep: F)
+    where
+        F: FnMut(&CountMeta) -> bool,
+    {
+        let mut counts = self.counts.lock().unwrap();
+        let capacity = counts.capacity;
+        let old = std::mem::replace(&mut *counts, LruMap::new(capacity));
+        let mut retained = 0u64;
+        // Reinsert in recency order so LRU ordering survives the sweep.
+        for (_, key) in old.recency.iter() {
+            let Some((value, _)) = old.map.get(key) else {
+                continue;
+            };
+            let (cv, meta) = value;
+            let Some(meta) = meta else { continue };
+            if meta.radius.is_none() || !keep(meta) {
+                continue;
+            }
+            let new_key = CensusCache::count_key(
+                &meta.dsl,
+                meta.k,
+                meta.subpattern.as_deref(),
+                &meta.focal,
+                new_fingerprint,
+            );
+            counts.put(new_key, (cv.clone(), Some(meta.clone())));
+            retained += 1;
+        }
+        drop(counts);
+        self.count_retained.fetch_add(retained, Ordering::Relaxed);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drop every cached match list (global lists depend on the whole
+    /// graph, so any edge mutation can change them).
+    pub fn invalidate_matches(&self) {
+        self.matches.lock().unwrap().clear();
     }
 
     /// Drop every cached entry and bump the invalidation counter. Called
@@ -243,6 +351,7 @@ impl CensusCache {
             count_hits: self.count_hits.load(Ordering::Relaxed),
             count_misses: self.count_misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
+            count_retained: self.count_retained.load(Ordering::Relaxed),
         }
     }
 }

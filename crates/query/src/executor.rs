@@ -905,7 +905,29 @@ impl<'g> QueryEngine<'g> {
                         c.put_matches(match_keys[j].clone(), m.clone());
                     }
                     if let Some(key) = &count_keys[i] {
-                        c.put_counts(key.clone(), cv.clone());
+                        let job = &jobs[i];
+                        // Provenance: the dirty radius bound under which
+                        // these counts stay exact across a mutation
+                        // (mirrors ego-dynamic's rule), so a localized
+                        // update can keep the entry instead of dropping it.
+                        let radius = if job.subpattern.is_none() {
+                            Some(job.k)
+                        } else if job.pattern.is_connected() {
+                            Some(job.k + (job.pattern.num_nodes() as u32).saturating_sub(1))
+                        } else {
+                            None
+                        };
+                        c.put_counts_with_meta(
+                            key.clone(),
+                            cv.clone(),
+                            crate::census_cache::CountMeta {
+                                dsl: ego_pattern::to_dsl(job.pattern),
+                                k: job.k,
+                                subpattern: job.subpattern.clone(),
+                                focal: Arc::new(job.focal.clone()),
+                                radius,
+                            },
+                        );
                     }
                 }
                 results[i] = Some(cv);
@@ -952,6 +974,80 @@ impl<'g> QueryEngine<'g> {
         }
         apply_order_limit(&mut table, stmt);
         Ok(table)
+    }
+
+    /// Compile a `SUBSCRIBE` statement (or bare SELECT) into a standing
+    /// query: validate the shape (single table; projections are `ID`
+    /// and at least one aggregate; no ORDER BY / LIMIT), freeze the
+    /// focal set (WHERE + `RND()` + focal shard, exactly as a query
+    /// would evaluate them), and resolve each aggregate's pattern into
+    /// an owned copy detached from this engine's catalog.
+    pub fn compile_subscription(
+        &self,
+        sql: &str,
+    ) -> Result<crate::subscribe::SubscriptionSpec, QueryError> {
+        let body = crate::subscribe::strip_subscribe(sql);
+        let stmt = parse_query(body)?;
+        if stmt.tables.len() != 1 {
+            return Err(QueryError::Semantic(
+                "SUBSCRIBE takes a single-table census statement".into(),
+            ));
+        }
+        if !stmt.order_by.is_empty() || stmt.limit.is_some() {
+            return Err(QueryError::Semantic(
+                "SUBSCRIBE does not allow ORDER BY or LIMIT: notifications are \
+                 per-focal row deltas, not an ordered result"
+                    .into(),
+            ));
+        }
+        let alias = stmt.tables[0].alias.as_str();
+        validate_single_aggs(&stmt, alias)?;
+        let mut aggs = Vec::new();
+        for proj in &stmt.projections {
+            match proj {
+                Projection::Column(c) => {
+                    if !c.is_id() {
+                        return Err(QueryError::Semantic(format!(
+                            "SUBSCRIBE projections must be `ID` or census aggregates; \
+                             found column `{}`",
+                            c.column
+                        )));
+                    }
+                }
+                Projection::Agg(agg) => {
+                    let pattern = self.catalog.require(&agg.pattern)?;
+                    if let Some(sp) = &agg.subpattern {
+                        if pattern.subpattern(sp).is_none() {
+                            return Err(QueryError::Semantic(format!(
+                                "pattern `{}` has no subpattern `{sp}`",
+                                agg.pattern
+                            )));
+                        }
+                    }
+                    let NeighborhoodAst::Subgraph { k, .. } = &agg.neighborhood else {
+                        unreachable!("validate_single_aggs admits only SUBGRAPH");
+                    };
+                    aggs.push(crate::subscribe::SubscriptionAgg {
+                        column: projection_name(proj),
+                        pattern: pattern.clone(),
+                        pattern_dsl: ego_pattern::to_dsl(pattern),
+                        k: *k,
+                        subpattern: agg.subpattern.clone(),
+                    });
+                }
+            }
+        }
+        if aggs.is_empty() {
+            return Err(QueryError::Semantic(
+                "SUBSCRIBE needs at least one census aggregate".into(),
+            ));
+        }
+        let focal = self.compute_focal(&stmt, alias)?;
+        Ok(crate::subscribe::SubscriptionSpec {
+            statement: body.trim().to_string(),
+            focal,
+            aggs,
+        })
     }
 
     // --- pairwise queries ---

@@ -51,19 +51,23 @@ pub mod parser;
 pub mod plan;
 pub mod shard;
 pub mod stats;
+pub mod subscribe;
 pub mod table;
 pub mod value;
 
 pub use ast::{MutationKind, MutationStmt};
 pub use canon::canonical_query_key;
 pub use catalog::Catalog;
-pub use census_cache::{CensusCache, CensusCacheStats};
+pub use census_cache::{CensusCache, CensusCacheStats, CountMeta};
 pub use error::QueryError;
 pub use executor::QueryEngine;
 pub use parser::{is_analyze_statement, is_mutation_statement, parse_mutations};
 pub use plan::{build_plan, plan_statement, Plan, PlanNode, StatsBasis};
 pub use shard::ShardSpec;
 pub use stats::{GraphStats, PlannerCounters, StatsSlot};
+pub use subscribe::{
+    is_subscribe_statement, strip_subscribe, ChangedRow, SubscriptionAgg, SubscriptionSpec,
+};
 pub use table::Table;
 pub use value::Value;
 

@@ -14,11 +14,18 @@
 //! is not a dead one, and re-sending over the same stream would desync
 //! the request/response pairing.
 
-use crate::protocol::{Request, Response, TableData};
+use crate::protocol::{NotifyFrame, Request, Response, TableData};
 use ego_query::ShardSpec;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Default bound on the client-side notification buffer. When a burst of
+/// pushed frames outruns the application's draining, the *oldest* frames
+/// are dropped (and counted) — the newest frame per subscription carries
+/// the freshest counts, so dropping from the front loses the least.
+const NOTIFY_BUFFER_FRAMES: usize = 256;
 
 /// Bounded retry with exponential backoff.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -86,6 +93,11 @@ impl Request {
 }
 
 /// A blocking protocol client.
+///
+/// Subscription notify frames may arrive interleaved with responses on
+/// the same connection; every receive path filters them into a bounded
+/// buffer ([`Client::drain_notifications`]) so request/response pairing
+/// never observes them.
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
@@ -93,6 +105,13 @@ pub struct Client {
     addr: SocketAddr,
     retry: RetryPolicy,
     timeout: Option<Duration>,
+    /// Buffered notify frames, oldest first, bounded by `notify_capacity`.
+    notifications: VecDeque<NotifyFrame>,
+    notify_capacity: usize,
+    notify_dropped: u64,
+    /// A half-received line, preserved when a bounded read (e.g.
+    /// [`Client::poll_notification`]) times out mid-frame.
+    partial: String,
 }
 
 impl Client {
@@ -139,6 +158,10 @@ impl Client {
             addr,
             retry: RetryPolicy::default(),
             timeout: None,
+            notifications: VecDeque::new(),
+            notify_capacity: NOTIFY_BUFFER_FRAMES,
+            notify_dropped: 0,
+            partial: String::new(),
         })
     }
 
@@ -170,6 +193,9 @@ impl Client {
         stream.set_read_timeout(self.timeout)?;
         self.reader = BufReader::new(stream.try_clone()?);
         self.writer = stream;
+        // A half-line from the dead connection must not prefix the new
+        // stream's first response.
+        self.partial.clear();
         Ok(())
     }
 
@@ -181,12 +207,8 @@ impl Client {
         let retryable = req.is_idempotent();
         let mut attempt = 0u32;
         loop {
-            match self.send_raw(&line) {
-                Ok(raw) => {
-                    return Response::decode(&raw).map_err(|e| {
-                        std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}"))
-                    })
-                }
+            match self.send_line(&line).and_then(|()| self.recv_response()) {
+                Ok(resp) => return Ok(resp),
                 Err(e) if retryable && is_connection_error(&e) => {
                     attempt += 1;
                     if attempt >= self.retry.attempts.max(1) {
@@ -211,11 +233,85 @@ impl Client {
     }
 
     /// Read the next pending response (one must be outstanding from
-    /// [`Client::send_request`]).
+    /// [`Client::send_request`]). Notify frames arriving first are
+    /// buffered, not returned: the caller always gets the answer to its
+    /// request.
     pub fn recv_response(&mut self) -> std::io::Result<Response> {
-        let raw = self.recv_line()?;
-        Response::decode(&raw)
-            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}")))
+        loop {
+            let raw = self.recv_line()?;
+            let resp = Response::decode(&raw).map_err(|e| {
+                std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}"))
+            })?;
+            match resp {
+                Response::Notify(frame) => self.buffer_notification(frame),
+                other => return Ok(other),
+            }
+        }
+    }
+
+    fn buffer_notification(&mut self, frame: NotifyFrame) {
+        while self.notifications.len() >= self.notify_capacity.max(1) {
+            self.notifications.pop_front();
+            self.notify_dropped += 1;
+        }
+        self.notifications.push_back(frame);
+    }
+
+    /// Resize the notification buffer (minimum 1). Shrinking below the
+    /// current occupancy drops the oldest frames, like an overflow.
+    pub fn set_notification_capacity(&mut self, capacity: usize) {
+        self.notify_capacity = capacity.max(1);
+        while self.notifications.len() > self.notify_capacity {
+            self.notifications.pop_front();
+            self.notify_dropped += 1;
+        }
+    }
+
+    /// Take every buffered notify frame, oldest first.
+    pub fn drain_notifications(&mut self) -> Vec<NotifyFrame> {
+        self.notifications.drain(..).collect()
+    }
+
+    /// Take the oldest buffered notify frame, if any (no socket read).
+    pub fn take_notification(&mut self) -> Option<NotifyFrame> {
+        self.notifications.pop_front()
+    }
+
+    /// Frames dropped so far because the buffer overflowed.
+    pub fn notifications_dropped(&self) -> u64 {
+        self.notify_dropped
+    }
+
+    /// Wait up to `wait` for a notify frame: the oldest buffered frame
+    /// if one exists, otherwise a blocking read bounded by `wait`.
+    /// `Ok(None)` means the wait elapsed quietly. A non-notify line
+    /// arriving here (with no request outstanding) is a protocol
+    /// violation and surfaces as `InvalidData`.
+    pub fn poll_notification(&mut self, wait: Duration) -> std::io::Result<Option<NotifyFrame>> {
+        if let Some(frame) = self.notifications.pop_front() {
+            return Ok(Some(frame));
+        }
+        self.reader.get_ref().set_read_timeout(Some(wait))?;
+        let got = self.recv_line();
+        self.reader.get_ref().set_read_timeout(self.timeout)?;
+        let raw = match got {
+            Ok(raw) => raw,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        match Response::decode(&raw) {
+            Ok(Response::Notify(frame)) => Ok(Some(frame)),
+            Ok(_) => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                "unsolicited non-notify response",
+            )),
+            Err(e) => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("bad response: {e}"),
+            )),
+        }
     }
 
     /// Write one raw line (no response read).
@@ -225,16 +321,19 @@ impl Client {
         self.writer.flush()
     }
 
-    /// Read one raw response line, without its trailing newline.
+    /// Read one raw response line, without its trailing newline. A read
+    /// that errors mid-line (timeout) keeps the received prefix; the
+    /// next call resumes it, so bounded polls never corrupt framing.
     pub fn recv_line(&mut self) -> std::io::Result<String> {
-        let mut response = String::new();
-        let n = self.reader.read_line(&mut response)?;
+        let n = self.reader.read_line(&mut self.partial)?;
         if n == 0 {
+            self.partial.clear();
             return Err(std::io::Error::new(
                 ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ));
         }
+        let mut response = std::mem::take(&mut self.partial);
         while response.ends_with(['\n', '\r']) {
             response.pop();
         }
@@ -297,11 +396,37 @@ impl Client {
         })
     }
 
+    /// Register a standing census statement (`SUBSCRIBE SELECT ...`);
+    /// the ack table carries the subscription id under the
+    /// `subscription` key. Changed rows arrive as notify frames — see
+    /// [`Client::drain_notifications`] / [`Client::poll_notification`].
+    pub fn subscribe(&mut self, sql: &str) -> std::io::Result<Response> {
+        self.request(&Request::Subscribe {
+            sql: sql.to_string(),
+            shard: None,
+        })
+    }
+
+    /// [`Client::subscribe`] restricted to one focal shard.
+    pub fn subscribe_sharded(&mut self, sql: &str, shard: ShardSpec) -> std::io::Result<Response> {
+        self.request(&Request::Subscribe {
+            sql: sql.to_string(),
+            shard: Some(shard),
+        })
+    }
+
+    /// Remove a subscription created on this connection.
+    pub fn unsubscribe(&mut self, id: u64) -> std::io::Result<Response> {
+        self.request(&Request::Unsubscribe { id })
+    }
+
     /// Fetch the server/cache counter table.
     pub fn stats(&mut self) -> std::io::Result<TableData> {
         match self.request(&Request::Stats)? {
             Response::Table(t) => Ok(t),
             Response::Error { message } => Err(std::io::Error::other(message)),
+            // `request` buffers notify frames and never returns one.
+            Response::Notify(_) => unreachable!("request() filters notify frames"),
         }
     }
 
@@ -335,6 +460,14 @@ mod tests {
             ),
             (Request::Analyze, true),
             (Request::Stats, true),
+            (
+                Request::Subscribe {
+                    sql: "SUBSCRIBE SELECT 1".into(),
+                    shard: None,
+                },
+                false,
+            ),
+            (Request::Unsubscribe { id: 1 }, false),
             (
                 Request::Define {
                     pattern: "PATTERN p { ?A; }".into(),
@@ -420,6 +553,120 @@ mod tests {
             .update("INSERT EDGE (0, 1)")
             .expect_err("update must not be retried");
         assert!(is_connection_error(&err), "unexpected error: {err}");
+    }
+
+    /// Answer one connection: for each request line, write the given
+    /// notify frames (encoded) and then a pong table, `n` times.
+    fn serve_with_frames(
+        listener: &TcpListener,
+        n: usize,
+        frames_per_reply: usize,
+    ) -> std::net::TcpStream {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for round in 0..n {
+            let mut line = String::new();
+            if reader.read_line(&mut line).expect("read") == 0 {
+                break;
+            }
+            for f in 0..frames_per_reply {
+                let frame = Response::Notify(NotifyFrame {
+                    subscription: 1,
+                    generation: (round * frames_per_reply + f) as u64 + 1,
+                    columns: vec!["c".into()],
+                    rows: vec![vec![
+                        ego_query::Value::Int(0),
+                        ego_query::Value::Str("c".into()),
+                        ego_query::Value::Int(f as i64),
+                        ego_query::Value::Int(f as i64 + 1),
+                    ]],
+                })
+                .encode();
+                stream.write_all(frame.as_bytes()).expect("write frame");
+                stream.write_all(b"\n").expect("write frame");
+            }
+            let reply = Response::Table(TableData {
+                columns: vec!["reply".into()],
+                rows: vec![vec![ego_query::Value::Str("pong".into())]],
+            })
+            .encode();
+            stream.write_all(reply.as_bytes()).expect("write");
+            stream.write_all(b"\n").expect("write");
+        }
+        stream
+    }
+
+    #[test]
+    fn interleaved_notify_frames_are_buffered_not_returned() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let _stream = serve_with_frames(&listener, 2, 2);
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        // Two frames precede the response; request() must return the
+        // table, with the frames waiting in the buffer in push order.
+        let resp = client.ping().expect("ping");
+        assert!(matches!(resp, Response::Table(_)), "{resp:?}");
+        let frames = client.drain_notifications();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].generation, 1);
+        assert_eq!(frames[1].generation, 2);
+        assert_eq!(frames[1].rows[0][3], ego_query::Value::Int(2));
+        assert_eq!(client.notifications_dropped(), 0);
+        // Draining empties the buffer; the next exchange refills it.
+        assert!(client.drain_notifications().is_empty());
+        let _ = client.ping().expect("second ping");
+        assert_eq!(client.drain_notifications().len(), 2);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn notification_buffer_is_bounded_and_drops_oldest() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let _stream = serve_with_frames(&listener, 1, 5);
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        client.set_notification_capacity(3);
+        let _ = client.ping().expect("ping");
+        assert_eq!(client.notifications_dropped(), 2, "oldest two dropped");
+        let frames = client.drain_notifications();
+        assert_eq!(frames.len(), 3);
+        // The survivors are the newest three, still in order.
+        assert_eq!(
+            frames.iter().map(|f| f.generation).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn poll_notification_times_out_quietly_and_picks_up_buffered_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let stream = serve_with_frames(&listener, 1, 1);
+            // Keep the connection open a moment so the quiet poll sees
+            // silence rather than EOF.
+            std::thread::sleep(Duration::from_millis(60));
+            drop(stream);
+        });
+
+        let mut client = Client::connect(addr).expect("connect");
+        let _ = client.ping().expect("ping");
+        let first = client
+            .poll_notification(Duration::from_millis(10))
+            .expect("poll buffered");
+        assert!(first.is_some(), "buffered frame returned without a read");
+        let quiet = client
+            .poll_notification(Duration::from_millis(20))
+            .expect("poll quiet");
+        assert!(quiet.is_none(), "quiet wait yields None, not an error");
+        server.join().expect("server thread");
     }
 
     #[test]

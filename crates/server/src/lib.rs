@@ -12,8 +12,10 @@
 //!   layered over a shared base catalog ([`ego_query::Catalog::layered`]),
 //!   so `define`s are per-session and can never shadow shared built-ins.
 //! * The wire protocol is line-delimited JSON ([`protocol`]): `ping` /
-//!   `define` / `query` / `explain` / `update` / `stats` / `shutdown`
-//!   requests, `table` / `error` responses.
+//!   `define` / `query` / `explain` / `update` / `subscribe` /
+//!   `unsubscribe` / `stats` / `shutdown` requests, `table` / `error`
+//!   responses, plus asynchronous `notify` frames pushed to
+//!   subscribers.
 //! * Concurrency is a bounded thread-per-connection pool over
 //!   `std::net` ([`server`]) — the build environment is offline, so no
 //!   async runtime — with per-request read/write timeouts and graceful
@@ -27,8 +29,16 @@
 //!   exposed through `stats`.
 //! * `update` applies an edge-mutation script
 //!   ([`ego_dynamic::DeltaGraph`]) to the shared graph, swapping in a
-//!   freshly compacted CSR and invalidating both caches; sessions pick
-//!   up the new graph lazily via a generation counter.
+//!   freshly compacted CSR; sessions pick up the new graph lazily via a
+//!   generation counter. Census-cache invalidation is **dirty-set
+//!   aware**: count entries whose focal set provably can't see the
+//!   delta survive the mutation.
+//! * `subscribe` registers a **standing query**
+//!   ([`ego_continuous::ContinuousEngine`]): every subsequent update
+//!   pushes the changed rows `(focal, column, old, new)` to the
+//!   subscribing connection as `notify` frames, maintained
+//!   incrementally (dirty-focal re-census + match-list maintenance)
+//!   rather than recomputed.
 //! * Each census execution still parallelizes internally through the
 //!   existing `ExecConfig { threads }` plumbing.
 //!
@@ -82,6 +92,6 @@ pub mod session;
 
 pub use cache::{CacheStats, QueryCache};
 pub use client::{Client, RetryPolicy};
-pub use protocol::{Request, Response, TableData};
+pub use protocol::{NotifyFrame, Request, Response, TableData};
 pub use server::{Server, ServerConfig, ShutdownHandle};
-pub use session::{ServerStats, Session, Shared, UpdateSummary};
+pub use session::{NotifyQueue, ServerStats, Session, Shared, UpdateSummary};

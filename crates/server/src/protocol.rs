@@ -14,6 +14,9 @@
 //! {"op":"explain","sql":"SELECT ..."}
 //! {"op":"analyze"}
 //! {"op":"update","mutations":"INSERT EDGE (4, 6); DELETE EDGE (0, 1)"}
+//! {"op":"subscribe","sql":"SUBSCRIBE SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"}
+//! {"op":"subscribe","sql":"SUBSCRIBE SELECT ...","shard":"0/4"}
+//! {"op":"unsubscribe","id":1}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -28,6 +31,20 @@
 //! Every successful operation answers with a table — `ping` a one-cell
 //! `reply` table, `define` a one-cell `defined` table, `stats` a
 //! key/value table — so clients need exactly one success decoder.
+//!
+//! A connection holding subscriptions additionally receives **notify
+//! frames**, pushed asynchronously after each applied mutation batch:
+//!
+//! ```text
+//! {"ok":true,"type":"notify","subscription":1,"generation":3,
+//!  "columns":["COUNTP(t, SUBGRAPH(ID, 1))"],"rows":[[4,"COUNTP(t, SUBGRAPH(ID, 1))",0,1]]}
+//! ```
+//!
+//! Each row is `[focal, column, old, new]`. Frames always precede the
+//! response of the `update` that produced them when both travel over the
+//! same connection, so a client that mutates and subscribes on one
+//! connection collects the full delta by reading until its update
+//! response arrives ([`crate::Client`] does this transparently).
 
 use crate::json::Json;
 use ego_query::{ShardSpec, Table, Value};
@@ -68,6 +85,22 @@ pub enum Request {
         /// The mutation script.
         mutations: String,
     },
+    /// Register a standing census statement (`SUBSCRIBE SELECT ...`):
+    /// after every applied mutation the server pushes the changed rows
+    /// as notify frames on this connection. Answers with a key/value
+    /// table carrying the subscription id.
+    Subscribe {
+        /// The `SUBSCRIBE SELECT ...` text.
+        sql: String,
+        /// Optional focal shard, like [`Request::Query`]'s: the router
+        /// registers one shard of the focal space per worker.
+        shard: Option<ShardSpec>,
+    },
+    /// Remove a subscription created on this connection.
+    Unsubscribe {
+        /// The id from the subscribe acknowledgment.
+        id: u64,
+    },
     /// Server and cache counters.
     Stats,
     /// Ask the server to stop accepting connections and exit.
@@ -102,6 +135,20 @@ impl Request {
             Request::Update { mutations } => vec![
                 ("op".to_string(), Json::Str("update".into())),
                 ("mutations".to_string(), Json::Str(mutations.clone())),
+            ],
+            Request::Subscribe { sql, shard } => {
+                let mut fields = vec![
+                    ("op".to_string(), Json::Str("subscribe".into())),
+                    ("sql".to_string(), Json::Str(sql.clone())),
+                ];
+                if let Some(s) = shard {
+                    fields.push(("shard".to_string(), Json::Str(s.to_string())));
+                }
+                fields
+            }
+            Request::Unsubscribe { id } => vec![
+                ("op".to_string(), Json::Str("unsubscribe".into())),
+                ("id".to_string(), Json::Int(*id as i64)),
             ],
             Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".into()))],
         };
@@ -145,11 +192,32 @@ impl Request {
             "update" => Ok(Request::Update {
                 mutations: field("mutations")?,
             }),
+            "subscribe" => {
+                let shard = match v.get("shard") {
+                    None => None,
+                    Some(j) => {
+                        let text = j.as_str().ok_or("`shard` must be an `i/n` string")?;
+                        Some(ShardSpec::parse(text)?)
+                    }
+                };
+                Ok(Request::Subscribe {
+                    sql: field("sql")?,
+                    shard,
+                })
+            }
+            "unsubscribe" => {
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_i64)
+                    .filter(|&i| i >= 0)
+                    .ok_or("op `unsubscribe` requires a non-negative integer `id` field")?;
+                Ok(Request::Unsubscribe { id: id as u64 })
+            }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (ping, define, query, explain, analyze, update, stats, \
-                 shutdown)"
+                "unknown op `{other}` (ping, define, query, explain, analyze, update, \
+                 subscribe, unsubscribe, stats, shutdown)"
             )),
         }
     }
@@ -160,11 +228,29 @@ impl Request {
 pub enum Response {
     /// A result table.
     Table(TableData),
+    /// A pushed subscription frame (asynchronous; not the answer to any
+    /// request). [`crate::Client::recv_response`] filters these into its
+    /// notification buffer, so request/response pairing never sees them.
+    Notify(NotifyFrame),
     /// A failure; the connection stays open.
     Error {
         /// Human-readable description.
         message: String,
     },
+}
+
+/// One pushed subscription frame on the wire.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct NotifyFrame {
+    /// The subscription the frame belongs to (connection-scoped id).
+    pub subscription: u64,
+    /// Graph generation after the mutation batch that produced it.
+    pub generation: u64,
+    /// Aggregate column names of the subscribed statement.
+    pub columns: Vec<String>,
+    /// Changed rows `[focal, column, old, new]`, focal-ascending then
+    /// column order. Empty rows = generation acknowledgment.
+    pub rows: Vec<Vec<Value>>,
 }
 
 /// A result table on the wire: column names plus rows of values.
@@ -234,6 +320,24 @@ impl Response {
                 ])
                 .render()
             }
+            Response::Notify(f) => {
+                let columns = Json::Arr(f.columns.iter().cloned().map(Json::Str).collect());
+                let rows = Json::Arr(
+                    f.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(value_to_json).collect()))
+                        .collect(),
+                );
+                Json::Obj(vec![
+                    ("ok".into(), Json::Bool(true)),
+                    ("type".into(), Json::Str("notify".into())),
+                    ("subscription".into(), Json::Int(f.subscription as i64)),
+                    ("generation".into(), Json::Int(f.generation as i64)),
+                    ("columns".into(), columns),
+                    ("rows".into(), rows),
+                ])
+                .render()
+            }
             Response::Error { message } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(false)),
                 ("type".into(), Json::Str("error".into())),
@@ -275,7 +379,40 @@ impl Response {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Response::Table(TableData { columns, rows }))
             }
-            _ => Err("response must have type `table` or `error`".into()),
+            Some("notify") => {
+                let uint = |name: &str| -> Result<u64, String> {
+                    v.get(name)
+                        .and_then(Json::as_i64)
+                        .filter(|&i| i >= 0)
+                        .map(|i| i as u64)
+                        .ok_or(format!("notify frame missing `{name}`"))
+                };
+                let columns = v
+                    .get("columns")
+                    .and_then(Json::as_array)
+                    .ok_or("notify frame missing `columns`")?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_string).ok_or("non-string column"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rows = v
+                    .get("rows")
+                    .and_then(Json::as_array)
+                    .ok_or("notify frame missing `rows`")?
+                    .iter()
+                    .map(|r| {
+                        r.as_array()
+                            .ok_or("non-array row")
+                            .map(|cells| cells.iter().map(json_to_value).collect::<Vec<_>>())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Notify(NotifyFrame {
+                    subscription: uint("subscription")?,
+                    generation: uint("generation")?,
+                    columns,
+                    rows,
+                }))
+            }
+            _ => Err("response must have type `table`, `notify`, or `error`".into()),
         }
     }
 }
@@ -329,11 +466,65 @@ mod tests {
             Request::Update {
                 mutations: "INSERT EDGE (4, 6); DELETE EDGE (0, 1)".into(),
             },
+            Request::Subscribe {
+                sql: "SUBSCRIBE SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes".into(),
+                shard: None,
+            },
+            Request::Subscribe {
+                sql: "SUBSCRIBE SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes".into(),
+                shard: Some(ShardSpec::new(1, 3).unwrap()),
+            },
+            Request::Unsubscribe { id: 7 },
             Request::Stats,
             Request::Shutdown,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn notify_frame_roundtrip() {
+        let frame = NotifyFrame {
+            subscription: 3,
+            generation: 9,
+            columns: vec!["COUNTP(t, SUBGRAPH(ID, 1))".into()],
+            rows: vec![
+                vec![
+                    Value::Int(4),
+                    Value::Str("COUNTP(t, SUBGRAPH(ID, 1))".into()),
+                    Value::Int(0),
+                    Value::Int(1),
+                ],
+                vec![
+                    Value::Int(6),
+                    Value::Str("COUNTP(t, SUBGRAPH(ID, 1))".into()),
+                    Value::Int(2),
+                    Value::Int(1),
+                ],
+            ],
+        };
+        let resp = Response::Notify(frame.clone());
+        let line = resp.encode();
+        assert!(line.starts_with(r#"{"ok":true,"type":"notify""#), "{line}");
+        assert!(!resp.is_error());
+        assert_eq!(Response::decode(&line).unwrap(), resp);
+        // Empty-rows frames (generation acknowledgments) roundtrip too.
+        let empty = Response::Notify(NotifyFrame {
+            subscription: 1,
+            generation: 2,
+            columns: vec!["c".into()],
+            rows: vec![],
+        });
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn subscribe_decode_errors() {
+        assert!(Request::decode(r#"{"op":"subscribe"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"subscribe","sql":"S","shard":"9/4"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"unsubscribe"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"unsubscribe","id":-1}"#).is_err());
+        assert!(Request::decode(r#"{"op":"unsubscribe","id":"x"}"#).is_err());
     }
 
     #[test]

@@ -208,6 +208,15 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, config: &ServerConfi
                 continue;
             }
             let response = session.handle_line(line);
+            // Frames produced by handling this request (an `update` on a
+            // connection that also subscribes) go out *before* its
+            // response: a client that sees generation `G` acknowledged
+            // has already seen every frame up to `G`.
+            for frame in session.drain_notifications() {
+                if write_line(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
             if write_line(&mut stream, &response).is_err() {
                 return;
             }
@@ -225,8 +234,17 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, config: &ServerConfi
             Ok(0) => return, // client closed
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // Idle poll tick. An idle connection may wait forever;
-                // a half-received request may not.
+                // Idle poll tick: push frames parked by *other*
+                // connections' updates to this subscriber.
+                if session.has_subscriptions() {
+                    for frame in session.drain_notifications() {
+                        if write_line(&mut stream, &frame).is_err() {
+                            return;
+                        }
+                    }
+                }
+                // An idle connection may wait forever; a half-received
+                // request may not.
                 if let Some(since) = partial_since {
                     if since.elapsed() >= config.request_timeout {
                         let _ = write_line(

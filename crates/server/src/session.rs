@@ -8,14 +8,16 @@
 //! All sessions share one result cache and one set of counters.
 
 use crate::cache::{CacheStats, QueryCache};
-use crate::protocol::{Request, Response};
+use crate::protocol::{NotifyFrame, Request, Response};
 use crate::server::ServerConfig;
-use ego_dynamic::DeltaGraph;
+use ego_continuous::{ContinuousEngine, ExecConfig, Notification, PtConfig, SubscribeAck};
+use ego_dynamic::{DeltaGraph, DirtyIndex};
 use ego_graph::{Graph, NodeId};
 use ego_query::{
     canonical_query_key, parse_mutations, Algorithm, Catalog, CensusCache, MutationKind,
-    PlannerCounters, QueryEngine, ShardSpec, StatsSlot, Table, Value,
+    PlannerCounters, QueryEngine, ShardSpec, StatsSlot, SubscriptionSpec, Table, Value,
 };
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -28,10 +30,25 @@ use std::time::Instant;
 /// result cache (`--cache-mb 0`).
 const CENSUS_CACHE_ENTRIES: usize = 256;
 
+/// Bound on a connection's outbound notify queue. A subscriber that
+/// stops reading loses the *oldest* frames first (counted in
+/// `notifications_dropped`); the newest frame per subscription carries
+/// the freshest counts.
+const NOTIFY_QUEUE_FRAMES: usize = 1024;
+
 /// Protocol op names, in the order of [`ServerStats::latency`]. The
 /// request-duration breakdown is keyed by these.
-pub const OP_NAMES: [&str; 8] = [
-    "analyze", "define", "explain", "ping", "query", "shutdown", "stats", "update",
+pub const OP_NAMES: [&str; 10] = [
+    "analyze",
+    "define",
+    "explain",
+    "ping",
+    "query",
+    "shutdown",
+    "stats",
+    "subscribe",
+    "unsubscribe",
+    "update",
 ];
 
 fn op_index(req: &Request) -> usize {
@@ -43,7 +60,9 @@ fn op_index(req: &Request) -> usize {
         Request::Query { .. } => 4,
         Request::Shutdown => 5,
         Request::Stats => 6,
-        Request::Update { .. } => 7,
+        Request::Subscribe { .. } => 7,
+        Request::Unsubscribe { .. } => 8,
+        Request::Update { .. } => 9,
     }
 }
 
@@ -101,8 +120,16 @@ pub struct ServerStats {
     pub edges_inserted: AtomicU64,
     /// Net edges deleted across all graph updates.
     pub edges_deleted: AtomicU64,
+    /// Notify frames dropped because a subscriber's outbound queue was
+    /// full (drop-oldest; see [`NOTIFY_QUEUE_FRAMES`]).
+    pub notifications_dropped: AtomicU64,
+    /// Incremental evaluations that errored. Every live subscription is
+    /// dropped when this happens — silence a client can observe and
+    /// respond to by re-subscribing — rather than pushing deltas off a
+    /// stale baseline.
+    pub continuous_errors: AtomicU64,
     /// Per-op request durations, indexed like [`OP_NAMES`].
-    pub latency: [OpLatency; 8],
+    pub latency: [OpLatency; 10],
 }
 
 impl ServerStats {
@@ -112,6 +139,44 @@ impl ServerStats {
             .iter()
             .position(|&n| n == op)
             .map(|i| &self.latency[i])
+    }
+}
+
+/// A connection's outbound notify-frame queue.
+///
+/// The mutating connection's update handler produces frames for *every*
+/// subscriber, but can only write to its own socket — so frames are
+/// parked here, per connection, as pre-encoded lines. The owning
+/// connection's serve loop drains them: before each of its own
+/// responses (frames for generation `G` always precede the response
+/// that acknowledged `G` on the same connection), and on idle poll
+/// ticks for connections that merely listen.
+#[derive(Debug, Default)]
+pub struct NotifyQueue {
+    frames: Mutex<VecDeque<String>>,
+    dropped: AtomicU64,
+}
+
+impl NotifyQueue {
+    /// Park one encoded frame, dropping the oldest beyond the bound.
+    /// Returns how many frames were dropped to make room.
+    fn push(&self, frame: String) -> u64 {
+        let mut frames = self.frames.lock().unwrap();
+        let mut dropped = 0;
+        while frames.len() >= NOTIFY_QUEUE_FRAMES {
+            frames.pop_front();
+            dropped += 1;
+        }
+        frames.push_back(frame);
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// Take every parked frame, oldest first.
+    pub fn drain(&self) -> Vec<String> {
+        self.frames.lock().unwrap().drain(..).collect()
     }
 }
 
@@ -174,6 +239,11 @@ pub struct Shared {
     pub shard: Option<ShardSpec>,
     /// Census algorithm every session executes with.
     pub algorithm: Algorithm,
+    /// The continuous-census registry: standing queries whose counts
+    /// and match lists are maintained through every mutation.
+    pub continuous: Arc<ContinuousEngine>,
+    /// Subscription id -> the owning connection's outbound frame queue.
+    routes: Arc<Mutex<HashMap<u64, Arc<NotifyQueue>>>>,
 }
 
 impl Shared {
@@ -208,6 +278,8 @@ impl Shared {
             seed: config.seed,
             shard: config.shard.filter(|s| !s.is_whole()),
             algorithm: config.algorithm,
+            continuous: Arc::new(ContinuousEngine::new()),
+            routes: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -263,13 +335,47 @@ impl Shared {
         let new_graph = Arc::new(delta.compact());
         let num_edges = new_graph.num_edges();
         let fingerprint = new_graph.fingerprint();
-        *self.graph.write().unwrap() = new_graph;
+        *self.graph.write().unwrap() = new_graph.clone();
         let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
-        // Stale entries are already unreachable (keys embed the
-        // fingerprint); invalidation reclaims their memory and makes the
-        // mutation observable in `stats`.
+        // Whole-result entries key on the statement + fingerprint; they
+        // go stale wholesale.
         self.cache.invalidate();
-        self.census.invalidate();
+        // The census cache is invalidated *dirty-set aware*: a cached
+        // count vector whose every focal node sits outside the delta's
+        // dirty set at the entry's radius is provably untouched by this
+        // mutation, so it is rekeyed to the new fingerprint and kept.
+        // Global match lists depend on the whole graph and always drop.
+        let dirty = DirtyIndex::build(&delta, self.census.max_count_radius());
+        self.census
+            .retain_counts(fingerprint, |meta| match meta.radius {
+                Some(r) => meta.focal.iter().all(|&n| !dirty.is_dirty(n, r)),
+                None => false,
+            });
+        self.census.invalidate_matches();
+        // Push changed rows to every standing query while the update
+        // lock is still held, so subscribers see generations in order.
+        if !self.continuous.is_empty() {
+            match self.continuous.apply_update(
+                &delta,
+                &new_graph,
+                generation,
+                self.algorithm,
+                &PtConfig::default(),
+                &self.exec_config(),
+            ) {
+                Ok(notifications) => self.route_notifications(&notifications),
+                Err(_) => {
+                    // The registry's baselines are now unreliable; drop
+                    // every subscription rather than diff against them.
+                    self.stats.continuous_errors.fetch_add(1, Ordering::Relaxed);
+                    let mut routes = self.routes.lock().unwrap();
+                    for (id, _) in self.continuous.subscriptions() {
+                        self.continuous.unsubscribe(id);
+                        routes.remove(&id);
+                    }
+                }
+            }
+        }
         self.stats.graph_updates.fetch_add(1, Ordering::Relaxed);
         self.stats
             .edges_inserted
@@ -290,6 +396,67 @@ impl Shared {
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
+
+    /// The execution configuration sessions evaluate with.
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig::with_threads(self.exec_threads)
+    }
+
+    /// Register a compiled standing query and route its frames to
+    /// `queue`. Takes the update lock so the initial evaluation and the
+    /// generation it is stamped with cannot straddle a mutation.
+    pub fn subscribe(
+        &self,
+        spec: SubscriptionSpec,
+        queue: &Arc<NotifyQueue>,
+    ) -> Result<SubscribeAck, String> {
+        let _guard = self.update_lock.lock().unwrap();
+        let ack = self
+            .continuous
+            .subscribe(
+                &self.current_graph(),
+                spec,
+                self.generation(),
+                self.algorithm,
+                &PtConfig::default(),
+                &self.exec_config(),
+            )
+            .map_err(|e| e.to_string())?;
+        self.routes.lock().unwrap().insert(ack.id, queue.clone());
+        Ok(ack)
+    }
+
+    /// Drop a subscription and its route. Returns `false` for unknown
+    /// ids.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        self.routes.lock().unwrap().remove(&id);
+        self.continuous.unsubscribe(id)
+    }
+
+    /// Encode each notification as a wire frame and park it on the
+    /// owning connection's queue (dropping unrouted ones — their session
+    /// closed between evaluation and routing).
+    fn route_notifications(&self, notifications: &[Notification]) {
+        let routes = self.routes.lock().unwrap();
+        for n in notifications {
+            let Some(queue) = routes.get(&n.subscription) else {
+                continue;
+            };
+            let frame = Response::Notify(NotifyFrame {
+                subscription: n.subscription,
+                generation: n.generation,
+                columns: n.columns.as_ref().clone(),
+                rows: n.rows.iter().map(|r| r.to_values(&n.columns)).collect(),
+            })
+            .encode();
+            let dropped = queue.push(frame);
+            if dropped > 0 {
+                self.stats
+                    .notifications_dropped
+                    .fetch_add(dropped, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// One connection's execution context.
@@ -298,6 +465,11 @@ pub struct Session {
     engine: QueryEngine<'static>,
     /// Generation of the graph this session's engine was built over.
     generation: u64,
+    /// This connection's outbound notify queue (shared with the routing
+    /// table while subscriptions are live).
+    queue: Arc<NotifyQueue>,
+    /// Subscription ids owned by this connection; dropped with it.
+    subs: Vec<u64>,
 }
 
 impl Session {
@@ -318,7 +490,22 @@ impl Session {
             shared: shared.clone(),
             engine,
             generation,
+            queue: Arc::new(NotifyQueue::default()),
+            subs: Vec::new(),
         }
+    }
+
+    /// Take the notify frames parked for this connection, oldest first,
+    /// as encoded lines. The serve loop writes them before its next
+    /// response and on idle poll ticks.
+    pub fn drain_notifications(&self) -> Vec<String> {
+        self.queue.drain()
+    }
+
+    /// Does this connection own any live subscriptions? (Lets the serve
+    /// loop skip queue polls for plain request/response connections.)
+    pub fn has_subscriptions(&self) -> bool {
+        !self.subs.is_empty()
     }
 
     /// Rebuild the engine over the current graph if another session
@@ -375,6 +562,8 @@ impl Session {
             Request::Explain { sql } => self.encode_execution(|e| e.explain(sql)),
             Request::Analyze => self.encode_execution(|e| e.analyze()),
             Request::Update { mutations } => self.handle_update(mutations),
+            Request::Subscribe { sql, shard } => self.handle_subscribe(sql, *shard),
+            Request::Unsubscribe { id } => self.handle_unsubscribe(*id),
             Request::Stats => self.handle_stats(),
             Request::Shutdown => {
                 self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -466,6 +655,54 @@ impl Session {
         }
     }
 
+    fn handle_subscribe(&mut self, sql: &str, shard: Option<ShardSpec>) -> String {
+        // Same shard resolution as `query`: a per-request shard beats
+        // the server default, and the frozen focal set respects it.
+        let effective = shard.filter(|s| !s.is_whole()).or(self.shared.shard);
+        self.engine.set_focal_shard(effective);
+        let spec = match self.engine.compile_subscription(sql) {
+            Ok(spec) => spec,
+            Err(e) => return Response::error(e.to_string()).encode(),
+        };
+        match self.shared.subscribe(spec, &self.queue) {
+            Ok(ack) => {
+                self.subs.push(ack.id);
+                let mut t = Table::new(vec!["stat".into(), "value".into()]);
+                t.push_row(vec![
+                    Value::Str("subscription".into()),
+                    Value::Int(ack.id as i64),
+                ]);
+                t.push_row(vec![
+                    Value::Str("generation".into()),
+                    Value::Int(ack.generation as i64),
+                ]);
+                t.push_row(vec![
+                    Value::Str("focal".into()),
+                    Value::Int(ack.focal as i64),
+                ]);
+                t.push_row(vec![
+                    Value::Str("columns".into()),
+                    Value::Str(ack.columns.join("|")),
+                ]);
+                Response::table(&t).encode()
+            }
+            Err(message) => Response::error(message).encode(),
+        }
+    }
+
+    fn handle_unsubscribe(&mut self, id: u64) -> String {
+        // Subscriptions are connection-scoped: a session can cancel only
+        // its own (ids are never reused, so this cannot misfire).
+        if !self.subs.contains(&id) {
+            return Response::error(format!("unknown subscription id {id}")).encode();
+        }
+        self.shared.unsubscribe(id);
+        self.subs.retain(|&s| s != id);
+        let mut t = Table::new(vec!["unsubscribed".into()]);
+        t.push_row(vec![Value::Int(id as i64)]);
+        Response::table(&t).encode()
+    }
+
     fn encode_execution(
         &mut self,
         run: impl FnOnce(&QueryEngine<'static>) -> Result<Table, ego_query::QueryError>,
@@ -483,6 +720,7 @@ impl Session {
     fn handle_stats(&self) -> String {
         let cache = self.shared.cache.stats();
         let census = self.shared.census.stats();
+        let cont = self.shared.continuous.stats();
         let setops = ego_graph::setops::global_snapshot();
         let stats = &self.shared.stats;
         let mut t = Table::new(vec!["stat".into(), "value".into()]);
@@ -498,11 +736,29 @@ impl Session {
             ("census_count_entries", census.count_entries as u64),
             ("census_count_hits", census.count_hits),
             ("census_count_misses", census.count_misses),
+            ("census_count_retained", census.count_retained),
             ("census_invalidations", census.invalidations),
             ("census_match_entries", census.match_entries as u64),
             ("census_match_hits", census.match_hits),
             ("census_match_misses", census.match_misses),
             ("connections", stats.connections.load(Ordering::Relaxed)),
+            ("continuous_clean_focal", cont.clean_focal),
+            ("continuous_created", cont.created),
+            ("continuous_dirty_focal", cont.dirty_focal),
+            (
+                "continuous_errors",
+                stats.continuous_errors.load(Ordering::Relaxed),
+            ),
+            ("continuous_match_discovered", cont.match_discovered),
+            ("continuous_match_survivors", cont.match_survivors),
+            ("continuous_notifications", cont.notifications),
+            ("continuous_rows_pushed", cont.rows_pushed),
+            ("continuous_subscriptions", cont.subscriptions as u64),
+            ("continuous_updates", cont.updates),
+            (
+                "notifications_dropped",
+                stats.notifications_dropped.load(Ordering::Relaxed),
+            ),
             ("edges_deleted", stats.edges_deleted.load(Ordering::Relaxed)),
             (
                 "edges_inserted",
@@ -565,6 +821,16 @@ impl Session {
     }
 }
 
+impl Drop for Session {
+    /// Subscriptions are connection-scoped: when the connection ends,
+    /// its standing queries end with it.
+    fn drop(&mut self) {
+        for &id in &self.subs {
+            self.shared.unsubscribe(id);
+        }
+    }
+}
+
 fn reply_table(text: &str) -> String {
     let mut t = Table::new(vec!["reply".into()]);
     t.push_row(vec![Value::Str(text.into())]);
@@ -613,6 +879,7 @@ mod tests {
         match Response::decode(encoded).unwrap() {
             Response::Table(t) => t,
             Response::Error { message } => panic!("unexpected error: {message}"),
+            Response::Notify(f) => panic!("unexpected notify frame: {f:?}"),
         }
     }
 
@@ -947,6 +1214,206 @@ mod tests {
             .map(|r| r[1].to_string())
             .expect("census row");
         assert!(detail.contains("stats=analyzed"), "{detail}");
+    }
+
+    fn notify(encoded: &str) -> crate::protocol::NotifyFrame {
+        match Response::decode(encoded).unwrap() {
+            Response::Notify(f) => f,
+            other => panic!("expected a notify frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribe_routes_changed_rows_to_the_subscribing_session() {
+        let sh = shared();
+        let mut sub = Session::new(&sh);
+        let mut mutator = Session::new(&sh);
+        let ack = table(&sub.handle_line(
+            r#"{"op":"subscribe","sql":"SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#,
+        ));
+        assert_eq!(ack.stat("subscription"), Some(1));
+        assert_eq!(ack.stat("generation"), Some(0));
+        assert_eq!(ack.stat("focal"), Some(7));
+        assert!(sub.has_subscriptions());
+
+        // A mutation on *another* connection parks a frame on the
+        // subscriber's queue, not the mutator's.
+        assert!(!Response::decode(
+            &mutator.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        assert!(mutator.drain_notifications().is_empty());
+        let frames = sub.drain_notifications();
+        assert_eq!(frames.len(), 1);
+        let f = notify(&frames[0]);
+        assert_eq!((f.subscription, f.generation), (1, 1));
+        // The new 4-5-6 triangle: node 4 goes 1 -> 2, nodes 5 and 6 go
+        // 0 -> 1, focal-ascending.
+        let rows: Vec<(i64, i64, i64)> = f
+            .rows
+            .iter()
+            .map(|r| match (&r[0], &r[2], &r[3]) {
+                (Value::Int(n), Value::Int(old), Value::Int(new)) => (*n, *old, *new),
+                other => panic!("unexpected row shape: {other:?}"),
+            })
+            .collect();
+        assert_eq!(rows, vec![(4, 1, 2), (5, 0, 1), (6, 0, 1)]);
+        // Draining is destructive; no frames remain.
+        assert!(sub.drain_notifications().is_empty());
+
+        // A no-op update produces no frame (the graph never changed).
+        assert!(!Response::decode(
+            &mutator.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        assert!(sub.drain_notifications().is_empty());
+
+        let st = table(&sub.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("continuous_subscriptions"), Some(1));
+        assert_eq!(st.stat("continuous_updates"), Some(1));
+        assert_eq!(st.stat("continuous_rows_pushed"), Some(3));
+        assert_eq!(st.stat("notifications_dropped"), Some(0));
+    }
+
+    #[test]
+    fn empty_frames_acknowledge_generations_for_unaffected_focal_sets() {
+        let sh = shared();
+        let mut sub = Session::new(&sh);
+        let mut mutator = Session::new(&sh);
+        // Focal frozen to {0, 1}: the far-side mutation can't touch it.
+        let ack = table(&sub.handle_line(
+            r#"{"op":"subscribe","sql":"SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 2"}"#,
+        ));
+        assert_eq!(ack.stat("focal"), Some(2));
+        assert!(!Response::decode(
+            &mutator.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        let frames = sub.drain_notifications();
+        assert_eq!(frames.len(), 1, "generation ack even with no changes");
+        let f = notify(&frames[0]);
+        assert_eq!(f.generation, 1);
+        assert!(f.rows.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_is_connection_scoped_and_stops_frames() {
+        let sh = shared();
+        let mut sub = Session::new(&sh);
+        let mut other = Session::new(&sh);
+        let ack = table(&sub.handle_line(
+            r#"{"op":"subscribe","sql":"SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#,
+        ));
+        let id = ack.stat("subscription").unwrap();
+        // Another connection cannot cancel it...
+        let r =
+            Response::decode(&other.handle_line(&format!(r#"{{"op":"unsubscribe","id":{id}}}"#)))
+                .unwrap();
+        assert!(r.is_error());
+        // ...the owner can, and frames stop.
+        let t = table(&sub.handle_line(&format!(r#"{{"op":"unsubscribe","id":{id}}}"#)));
+        assert_eq!(t.rows[0][0], Value::Int(id));
+        assert!(!sub.has_subscriptions());
+        assert!(!Response::decode(
+            &other.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        assert!(sub.drain_notifications().is_empty());
+        assert_eq!(sh.continuous.stats().subscriptions, 0);
+        // Unknown ids error without side effects.
+        assert!(
+            Response::decode(&sub.handle_line(r#"{"op":"unsubscribe","id":99}"#))
+                .unwrap()
+                .is_error()
+        );
+    }
+
+    #[test]
+    fn dropping_a_session_drops_its_subscriptions() {
+        let sh = shared();
+        {
+            let mut sub = Session::new(&sh);
+            let _ = sub.handle_line(
+                r#"{"op":"subscribe","sql":"SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#,
+            );
+            assert_eq!(sh.continuous.stats().subscriptions, 1);
+        }
+        assert_eq!(sh.continuous.stats().subscriptions, 0);
+        // Updates after the drop evaluate nothing.
+        let mut s = Session::new(&sh);
+        assert!(!Response::decode(
+            &s.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        assert_eq!(sh.continuous.stats().updates, 0);
+    }
+
+    #[test]
+    fn subscribe_rejects_malformed_standing_queries() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        for sql in [
+            "SELECT ID FROM nodes", // no aggregate
+            "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes LIMIT 3", // LIMIT
+            "SELECT ID, COUNTP(ghost, SUBGRAPH(ID, 1)) FROM nodes", // unknown pattern
+        ] {
+            let line = format!(r#"{{"op":"subscribe","sql":"{sql}"}}"#);
+            let r = Response::decode(&s.handle_line(&line)).unwrap();
+            assert!(r.is_error(), "{sql} should be rejected");
+        }
+        assert_eq!(sh.continuous.stats().created, 0);
+    }
+
+    #[test]
+    fn clean_census_count_entries_survive_a_localized_mutation() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        // Focal {0, 1} at radius 1 — two hops clear of the 4-5-6 chain.
+        let q = r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 2"}"#;
+        let before = table(&s.handle_line(q));
+        assert_eq!(before.rows[0][1], Value::Int(1));
+        let hits_before = sh.census.stats().count_hits;
+        assert_eq!(sh.census.stats().count_entries, 1);
+
+        // INSERT (4, 6) dirties {2, 3, 4, 5, 6} at radius 1 — not the
+        // cached entry's focal set, so the entry is rekeyed and kept.
+        assert!(!Response::decode(
+            &s.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        let census = sh.census.stats();
+        assert_eq!(census.count_retained, 1, "clean entry must survive");
+        assert_eq!(census.count_entries, 1);
+        assert_eq!(census.invalidations, 1);
+        assert_eq!(census.match_entries, 0, "match lists always drop");
+
+        // Re-running the query hits the retained entry under the *new*
+        // fingerprint (the whole-result cache was invalidated, so this
+        // exercises the census cache, and the counts are still right).
+        let after = table(&s.handle_line(q));
+        assert_eq!(after.rows[0][1], Value::Int(1));
+        assert_eq!(after.rows[1][1], Value::Int(1));
+        assert!(sh.census.stats().count_hits > hits_before);
+
+        // A mutation *inside* the focal neighborhood drops the entry.
+        assert!(!Response::decode(
+            &s.handle_line(r#"{"op":"update","mutations":"DELETE EDGE (0, 2)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        assert_eq!(sh.census.stats().count_entries, 0);
+        assert_eq!(sh.census.stats().count_retained, 1, "no new retention");
+        let t = table(&s.handle_line(q));
+        assert_eq!(t.rows[0][1], Value::Int(0), "triangle gone");
+        // The retention counter surfaces through the stats op.
+        let st = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("census_count_retained"), Some(1));
     }
 
     #[test]

@@ -25,6 +25,18 @@
 //!   the same statistics snapshot; profiles must agree byte-for-byte.
 //! * `stats`: scattered, aggregated by [`crate::merge::merge_stats`],
 //!   with `router_*` counters appended.
+//! * `subscribe`: **broadcast as shard legs**. The standing query is
+//!   registered once per live worker, leg `j` covering focal shard
+//!   `j/n` (`n` frozen at subscribe time, like a scattered query), and
+//!   the legs' initial counts are scattered into a per-subscription
+//!   *baseline*. On every update each leg pushes its shard's changed
+//!   rows; the router merges the per-leg `notify` frames of one
+//!   generation in shard order (contiguous ID ranges, so concatenation
+//!   is globally focal-ascending) and pushes one frame to the client.
+//!   When a leg's worker dies, the leg is re-subscribed on a survivor
+//!   and one **coalesced** frame is synthesized by diffing a fresh
+//!   scatter of the statement against the baseline — the client's view
+//!   stays exact even across the lost frames.
 //! * `ping`: answered locally; `shutdown`: broadcast, then the router
 //!   itself stops.
 //!
@@ -36,8 +48,9 @@
 //! answer any shard, and the merged bytes are unchanged.
 
 use crate::merge::{merge_stats, merge_tables};
-use ego_query::{is_analyze_statement, plan_statement, ShardSpec, Value};
-use ego_server::{Client, Request, Response, RetryPolicy, TableData};
+use ego_query::{is_analyze_statement, plan_statement, strip_subscribe, ShardSpec, Value};
+use ego_server::{Client, NotifyFrame, Request, Response, RetryPolicy, TableData};
+use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -91,6 +104,13 @@ pub struct RouterStats {
     pub worker_failures: AtomicU64,
     /// Shards re-sent to a survivor after their worker failed.
     pub rescattered_shards: AtomicU64,
+    /// Subscriptions registered through the router.
+    pub subscriptions_created: AtomicU64,
+    /// Merged notify frames pushed to clients.
+    pub frames_pushed: AtomicU64,
+    /// Subscription legs re-homed onto a survivor after their worker
+    /// died (each re-home also pushes one coalesced frame).
+    pub legs_recovered: AtomicU64,
 }
 
 struct WorkerSlot {
@@ -112,6 +132,8 @@ pub struct RouterShared {
     pub shutdown: Arc<AtomicBool>,
     config: RouterConfig,
     next_proxy: AtomicUsize,
+    /// Client-facing subscription ids (unique fleet-wide, never reused).
+    next_sub: AtomicU64,
 }
 
 impl RouterShared {
@@ -154,6 +176,40 @@ impl RouterShutdownHandle {
     }
 }
 
+/// One shard leg of a router-level subscription: the worker currently
+/// serving shard `j` and the worker-side subscription id there.
+#[derive(Clone)]
+struct Leg {
+    worker: usize,
+    sub_id: u64,
+}
+
+/// One standing query registered through the router, fanned out as one
+/// leg per worker that was alive at subscribe time.
+struct RouterSub {
+    /// Client-facing id (router-assigned, never reused).
+    id: u64,
+    /// The statement body (SELECT, `SUBSCRIBE` verb stripped) — re-sent
+    /// verbatim when a leg is re-homed.
+    sql: String,
+    /// Aggregate column names, projection order.
+    columns: Vec<String>,
+    /// Shard legs, indexed by shard `j`; the count is frozen at
+    /// subscribe time.
+    legs: Vec<Leg>,
+    /// The counts last pushed to the client: focal node -> per-aggregate
+    /// values. Recovery diffs a fresh scatter against this, so the
+    /// synthesized frame's `old` values are exactly what the client
+    /// last saw.
+    baseline: HashMap<i64, Vec<i64>>,
+    /// Per-generation partial frames: shard legs report independently,
+    /// and a generation is pushed only once every leg has.
+    pending: BTreeMap<u64, Vec<Option<Vec<Vec<Value>>>>>,
+    /// Last generation pushed to the client; late frames at or below it
+    /// are duplicates of coalesced recovery and are dropped.
+    generation: u64,
+}
+
 /// One client connection's view of the fleet: a lazily-opened
 /// connection per worker plus the session's `define` history, replayed
 /// whenever a worker connection is (re)opened so session catalogs stay
@@ -162,6 +218,11 @@ pub struct RouterSession {
     shared: Arc<RouterShared>,
     conns: Vec<Option<Client>>,
     defines: Vec<String>,
+    subs: Vec<RouterSub>,
+    /// Merged frames ready for this client, oldest first, pre-encoded.
+    /// The serve loop writes them before the next response and on idle
+    /// poll ticks.
+    pending_frames: Vec<String>,
 }
 
 impl RouterSession {
@@ -172,7 +233,19 @@ impl RouterSession {
             shared,
             conns: (0..n).map(|_| None).collect(),
             defines: Vec::new(),
+            subs: Vec::new(),
+            pending_frames: Vec::new(),
         }
+    }
+
+    /// Take the merged frames queued for this client, oldest first.
+    pub fn take_pending_frames(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.pending_frames)
+    }
+
+    /// Does this connection own any live subscriptions?
+    pub fn has_subscriptions(&self) -> bool {
+        !self.subs.is_empty()
     }
 
     /// The session's connection to worker `i`, dialing and replaying
@@ -199,6 +272,7 @@ impl RouterSession {
                             "define replay rejected: {message}"
                         )))
                     }
+                    Response::Notify(_) => unreachable!("request() filters notify frames"),
                 }
             }
             self.conns[i] = Some(c);
@@ -238,6 +312,8 @@ impl RouterSession {
             }
             Request::Analyze => self.handle_analyze(),
             Request::Update { mutations } => self.handle_update(mutations),
+            Request::Subscribe { sql, shard } => self.handle_subscribe(sql, *shard),
+            Request::Unsubscribe { id } => self.handle_unsubscribe(*id),
             Request::Shutdown => {
                 for w in self.shared.up_indices() {
                     let _ = self.conn(w).map(|c| c.send_request(&Request::Shutdown));
@@ -363,6 +439,7 @@ impl RouterSession {
             .map(|r| match r {
                 Response::Table(t) => t,
                 Response::Error { .. } => unreachable!("errors returned above"),
+                Response::Notify(_) => unreachable!("recv_response filters notify frames"),
             })
             .collect();
         match merge_tables(&tables) {
@@ -461,6 +538,13 @@ impl RouterSession {
     /// that every worker reports the same generation and fingerprint.
     /// A worker that fails mid-broadcast is marked down permanently —
     /// it missed the mutation and can no longer answer shards.
+    ///
+    /// Workers write this session's subscription frames *before* the
+    /// update response on the same connection, so once the broadcast
+    /// returns, every live leg's frame is already buffered on its
+    /// worker client — they are merged (and dead legs recovered) before
+    /// the update response reaches the client, preserving the direct
+    /// server's ordering guarantee.
     fn handle_update(&mut self, mutations: &str) -> String {
         let shared = self.shared.clone();
         let _write = shared.coherence.write().expect("coherence poisoned");
@@ -484,7 +568,438 @@ impl RouterSession {
             return Response::error(format!("workers diverged after update: {first} vs {odd}"))
                 .encode();
         }
+        if self.has_subscriptions() {
+            self.absorb_buffered_frames();
+            self.recover_dead_legs();
+        }
         first.clone()
+    }
+
+    // --- continuous subscriptions ---
+
+    /// Register a standing query as one leg per live worker, shard
+    /// `j/n`, and capture its initial counts as the baseline. Runs
+    /// under the coherence write lock so no mutation interleaves
+    /// between the legs' initial evaluations.
+    fn handle_subscribe(&mut self, sql: &str, shard: Option<ShardSpec>) -> String {
+        if shard.is_some() {
+            return Response::error(
+                "subscribe through the router does not accept an explicit shard",
+            )
+            .encode();
+        }
+        let shared = self.shared.clone();
+        let _write = shared.coherence.write().expect("coherence poisoned");
+        let ups = self.shared.up_indices();
+        if ups.is_empty() {
+            return Response::error("no workers available").encode();
+        }
+        let n = ups.len() as u32;
+        let body = strip_subscribe(sql).trim().to_string();
+        let mut legs: Vec<Leg> = Vec::with_capacity(ups.len());
+        let mut columns: Vec<String> = Vec::new();
+        let mut generation = 0u64;
+        let mut focal_total = 0i64;
+        for (j, &w) in ups.iter().enumerate() {
+            let req = Request::Subscribe {
+                sql: body.clone(),
+                shard: Some(ShardSpec::new(j as u32, n).expect("shard index < count")),
+            };
+            let resp = match self.conn(w).and_then(|c| c.request(&req)) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    self.fail_worker(w);
+                    self.rollback_legs(&legs);
+                    return Response::error("a worker failed during subscribe; retry").encode();
+                }
+            };
+            match resp {
+                Response::Table(t) => {
+                    let (Some(sub_id), Some(gen), Some(focal)) = (
+                        t.stat("subscription"),
+                        t.stat("generation"),
+                        t.stat("focal"),
+                    ) else {
+                        self.rollback_legs(&legs);
+                        return Response::error("malformed subscribe ack from worker").encode();
+                    };
+                    if columns.is_empty() {
+                        columns = t
+                            .rows
+                            .iter()
+                            .find(|r| matches!(r.first(), Some(Value::Str(s)) if s == "columns"))
+                            .and_then(|r| r.get(1))
+                            .and_then(|v| match v {
+                                Value::Str(s) => Some(s.split('|').map(str::to_string).collect()),
+                                _ => None,
+                            })
+                            .unwrap_or_default();
+                    }
+                    generation = gen as u64;
+                    focal_total += focal;
+                    legs.push(Leg {
+                        worker: w,
+                        sub_id: sub_id as u64,
+                    });
+                }
+                // A rejected statement fails identically on every
+                // worker; the first rejection is the direct server's
+                // error, byte-identical.
+                Response::Error { message } => {
+                    self.rollback_legs(&legs);
+                    return Response::error(message).encode();
+                }
+                Response::Notify(_) => unreachable!("request() filters notify frames"),
+            }
+        }
+        let baseline = match self.scatter_counts(&body, &legs) {
+            Ok(b) => b,
+            Err(message) => {
+                self.rollback_legs(&legs);
+                return Response::error(message).encode();
+            }
+        };
+        let id = self.shared.next_sub.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .subscriptions_created
+            .fetch_add(1, Ordering::Relaxed);
+        let ack_columns = columns.join("|");
+        self.subs.push(RouterSub {
+            id,
+            sql: body,
+            columns,
+            legs,
+            baseline,
+            pending: BTreeMap::new(),
+            generation,
+        });
+        Response::Table(TableData {
+            columns: vec!["stat".into(), "value".into()],
+            rows: vec![
+                vec![Value::Str("subscription".into()), Value::Int(id as i64)],
+                vec![
+                    Value::Str("generation".into()),
+                    Value::Int(generation as i64),
+                ],
+                vec![Value::Str("focal".into()), Value::Int(focal_total)],
+                vec![Value::Str("columns".into()), Value::Str(ack_columns)],
+            ],
+        })
+        .encode()
+    }
+
+    /// Cancel a subscription created on this connection, dropping every
+    /// worker-side leg.
+    fn handle_unsubscribe(&mut self, id: u64) -> String {
+        let Some(pos) = self.subs.iter().position(|s| s.id == id) else {
+            return Response::error(format!("unknown subscription id {id}")).encode();
+        };
+        let sub = self.subs.remove(pos);
+        self.rollback_legs(&sub.legs);
+        Response::Table(TableData {
+            columns: vec!["unsubscribed".into()],
+            rows: vec![vec![Value::Int(id as i64)]],
+        })
+        .encode()
+    }
+
+    /// Best-effort cancel of worker-side legs (a failed subscribe, an
+    /// unsubscribe, or an unrecoverable subscription). Legs on down
+    /// workers are skipped — their server-side sessions die with the
+    /// dropped connections.
+    fn rollback_legs(&mut self, legs: &[Leg]) {
+        for leg in legs {
+            if !self.shared.workers[leg.worker].up.load(Ordering::SeqCst) {
+                continue;
+            }
+            let id = leg.sub_id;
+            let _ = self
+                .conn(leg.worker)
+                .and_then(|c| c.request(&Request::Unsubscribe { id }));
+        }
+    }
+
+    /// Scatter `sql` over the given legs (shard `j/n` on leg `j`'s
+    /// worker) and fold the rows into focal -> per-aggregate counts.
+    fn scatter_counts(
+        &mut self,
+        sql: &str,
+        legs: &[Leg],
+    ) -> Result<HashMap<i64, Vec<i64>>, String> {
+        let n = legs.len() as u32;
+        let mut counts: HashMap<i64, Vec<i64>> = HashMap::new();
+        for (j, leg) in legs.iter().enumerate() {
+            let req = Request::Query {
+                sql: sql.to_string(),
+                shard: Some(ShardSpec::new(j as u32, n).expect("shard index < count")),
+            };
+            let w = leg.worker;
+            match self.conn(w).and_then(|c| c.request(&req)) {
+                Ok(Response::Table(t)) => {
+                    for row in &t.rows {
+                        let Some(Value::Int(focal)) = row.first() else {
+                            return Err("non-integer focal id in scattered counts".into());
+                        };
+                        counts.insert(
+                            *focal,
+                            row[1..].iter().map(|v| v.as_int().unwrap_or(0)).collect(),
+                        );
+                    }
+                }
+                Ok(Response::Error { message }) => return Err(message),
+                Ok(Response::Notify(_)) => unreachable!("request() filters notify frames"),
+                Err(e) => {
+                    self.fail_worker(w);
+                    return Err(format!("worker failed during scattered counts: {e}"));
+                }
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Worker indices currently carrying at least one leg.
+    fn leg_workers(&self) -> Vec<usize> {
+        let mut ws: Vec<usize> = self
+            .subs
+            .iter()
+            .flat_map(|s| s.legs.iter().map(|l| l.worker))
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+
+    /// Absorb the notify frames already buffered on every leg-carrying
+    /// worker client (the update broadcast read past them), merging any
+    /// generation that became complete.
+    fn absorb_buffered_frames(&mut self) {
+        for w in self.leg_workers() {
+            let frames = match self.conns[w].as_mut() {
+                Some(c) => c.drain_notifications(),
+                None => continue,
+            };
+            for f in frames {
+                self.absorb_frame(w, f);
+            }
+        }
+    }
+
+    /// Poll every leg-carrying worker connection for pushed frames (an
+    /// update through *another* router connection reaches this
+    /// session's legs on the workers' own idle flush ticks) and re-home
+    /// legs whose workers died. Called from the serve loop's idle tick.
+    pub fn poll_subscription_frames(&mut self) {
+        if !self.has_subscriptions() {
+            return;
+        }
+        let mut failed = false;
+        for w in self.leg_workers() {
+            while let Some(c) = self.conns[w].as_mut() {
+                match c.poll_notification(Duration::from_millis(1)) {
+                    Ok(Some(f)) => self.absorb_frame(w, f),
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.fail_worker(w);
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let down = self.subs.iter().any(|s| {
+            s.legs
+                .iter()
+                .any(|l| !self.shared.workers[l.worker].up.load(Ordering::SeqCst))
+        });
+        if failed || down {
+            // Recovery scatters fresh counts; exclude concurrent
+            // updates so the refresh sees one generation.
+            let shared = self.shared.clone();
+            let _read = shared.coherence.read().expect("coherence poisoned");
+            self.recover_dead_legs();
+        }
+    }
+
+    /// File one worker frame under its (subscription, leg), then push
+    /// any newly completed generations. Frames for unknown legs (just
+    /// unsubscribed) or at-or-below the last pushed generation (already
+    /// covered by a coalesced recovery frame) are dropped.
+    fn absorb_frame(&mut self, worker: usize, frame: NotifyFrame) {
+        let Some((si, j)) = self.subs.iter().enumerate().find_map(|(si, s)| {
+            s.legs
+                .iter()
+                .position(|l| l.worker == worker && l.sub_id == frame.subscription)
+                .map(|j| (si, j))
+        }) else {
+            return;
+        };
+        let sub = &mut self.subs[si];
+        if frame.generation <= sub.generation {
+            return;
+        }
+        let n_legs = sub.legs.len();
+        sub.pending
+            .entry(frame.generation)
+            .or_insert_with(|| vec![None; n_legs])[j] = Some(frame.rows);
+        self.complete_generations(si);
+    }
+
+    /// Push every pending generation whose legs have all reported,
+    /// oldest first, concatenating rows in shard order — shards are
+    /// contiguous ID ranges, so the merged rows are globally
+    /// focal-ascending, matching a direct server's frame.
+    fn complete_generations(&mut self, si: usize) {
+        loop {
+            {
+                let sub = &self.subs[si];
+                let Some(slots) = sub.pending.values().next() else {
+                    break;
+                };
+                if !slots.iter().all(Option::is_some) {
+                    break;
+                }
+            }
+            let sub = &mut self.subs[si];
+            let (gen, slots) = sub.pending.pop_first().expect("entry just seen");
+            let rows: Vec<Vec<Value>> = slots.into_iter().flatten().flatten().collect();
+            self.emit_frame(si, gen, rows);
+        }
+    }
+
+    /// Encode one merged frame for the client and fold its `new` values
+    /// into the baseline.
+    fn emit_frame(&mut self, si: usize, generation: u64, rows: Vec<Vec<Value>>) {
+        let frame = {
+            let sub = &mut self.subs[si];
+            sub.generation = generation;
+            for row in &rows {
+                let (Some(Value::Int(focal)), Some(Value::Str(col)), Some(Value::Int(new))) =
+                    (row.first(), row.get(1), row.get(3))
+                else {
+                    continue;
+                };
+                if let Some(agg) = sub.columns.iter().position(|c| c == col) {
+                    let width = sub.columns.len();
+                    sub.baseline.entry(*focal).or_insert_with(|| vec![0; width])[agg] = *new;
+                }
+            }
+            Response::Notify(NotifyFrame {
+                subscription: sub.id,
+                generation,
+                columns: sub.columns.clone(),
+                rows,
+            })
+            .encode()
+        };
+        self.pending_frames.push(frame);
+        self.shared
+            .stats
+            .frames_pushed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-home every leg whose worker is down and push one coalesced
+    /// catch-up frame per affected subscription. A subscription no
+    /// survivor can carry is dropped — the client observes the silence
+    /// (no further generations) and re-subscribes. Callers must hold
+    /// the coherence lock (either side) so no update interleaves with
+    /// the refresh.
+    fn recover_dead_legs(&mut self) {
+        let mut si = 0;
+        while si < self.subs.len() {
+            let dead: Vec<usize> = self.subs[si]
+                .legs
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !self.shared.workers[l.worker].up.load(Ordering::SeqCst))
+                .map(|(j, _)| j)
+                .collect();
+            if dead.is_empty() {
+                si += 1;
+                continue;
+            }
+            match self.recover_sub(si, &dead) {
+                Ok(()) => si += 1,
+                Err(_) => {
+                    let sub = self.subs.remove(si);
+                    self.rollback_legs(&sub.legs);
+                }
+            }
+        }
+    }
+
+    /// Re-subscribe the given dead legs of `subs[si]` on survivors,
+    /// then synthesize the catch-up frame: a fresh scatter of the
+    /// statement over the (re-homed) legs, diffed against the baseline
+    /// — exactly the changes the client has not seen, no matter how
+    /// many frames the dead worker swallowed.
+    fn recover_sub(&mut self, si: usize, dead: &[usize]) -> Result<(), String> {
+        let n = self.subs[si].legs.len() as u32;
+        let sql = self.subs[si].sql.clone();
+        let mut generation = self.subs[si].generation;
+        for &j in dead {
+            let mut homed = false;
+            for w in self.shared.up_indices() {
+                let req = Request::Subscribe {
+                    sql: sql.clone(),
+                    shard: Some(ShardSpec::new(j as u32, n).expect("shard index < count")),
+                };
+                match self.conn(w).and_then(|c| c.request(&req)) {
+                    Ok(Response::Table(t)) => {
+                        let Some(sub_id) = t.stat("subscription") else {
+                            return Err("malformed subscribe ack from worker".into());
+                        };
+                        generation = t.stat("generation").unwrap_or(0) as u64;
+                        self.subs[si].legs[j] = Leg {
+                            worker: w,
+                            sub_id: sub_id as u64,
+                        };
+                        self.shared
+                            .stats
+                            .legs_recovered
+                            .fetch_add(1, Ordering::Relaxed);
+                        homed = true;
+                        break;
+                    }
+                    Ok(Response::Error { message }) => return Err(message),
+                    Ok(Response::Notify(_)) => unreachable!("request() filters notify frames"),
+                    Err(_) => self.fail_worker(w),
+                }
+            }
+            if !homed {
+                return Err("no workers available to re-home a subscription leg".into());
+            }
+        }
+        let legs = self.subs[si].legs.clone();
+        let current = self.scatter_counts(&sql, &legs)?;
+        let sub = &self.subs[si];
+        let mut focal: Vec<i64> = current.keys().copied().collect();
+        focal.sort_unstable();
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for f in focal {
+            let new_vals = &current[&f];
+            for (agg, col) in sub.columns.iter().enumerate() {
+                let old = sub
+                    .baseline
+                    .get(&f)
+                    .and_then(|v| v.get(agg))
+                    .copied()
+                    .unwrap_or(0);
+                let new = new_vals.get(agg).copied().unwrap_or(0);
+                if old != new {
+                    rows.push(vec![
+                        Value::Int(f),
+                        Value::Str(col.clone()),
+                        Value::Int(old),
+                        Value::Int(new),
+                    ]);
+                }
+            }
+        }
+        self.subs[si].pending.clear();
+        self.emit_frame(si, generation, rows);
+        Ok(())
     }
 
     /// Aggregate `stats` across the live fleet and append `router_*`
@@ -495,6 +1010,7 @@ impl RouterSession {
             match self.conn(w).and_then(|c| c.request(&Request::Stats)) {
                 Ok(Response::Table(t)) => tables.push(t),
                 Ok(Response::Error { message }) => return Response::error(message).encode(),
+                Ok(Response::Notify(_)) => unreachable!("request() filters notify frames"),
                 Err(_) => self.fail_worker(w),
             }
         }
@@ -509,8 +1025,20 @@ impl RouterSession {
                 stats.connections.load(Ordering::Relaxed) as i64,
             ),
             (
+                "router_frames_pushed".to_string(),
+                stats.frames_pushed.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_legs_recovered".to_string(),
+                stats.legs_recovered.load(Ordering::Relaxed) as i64,
+            ),
+            (
                 "router_proxied_requests".to_string(),
                 stats.proxied_requests.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "router_subscriptions_created".to_string(),
+                stats.subscriptions_created.load(Ordering::Relaxed) as i64,
             ),
             (
                 "router_requests".to_string(),
@@ -588,6 +1116,7 @@ impl Router {
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
             next_proxy: AtomicUsize::new(0),
+            next_sub: AtomicU64::new(1),
         });
         Ok(Router { listener, shared })
     }
@@ -683,6 +1212,15 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<RouterShared>) {
                 continue;
             }
             let response = session.handle_line(line);
+            // Merged frames produced by handling this request (an
+            // `update` on a connection that also subscribes) go out
+            // *before* its response, mirroring `ego-server`'s ordering
+            // guarantee.
+            for frame in session.take_pending_frames() {
+                if write_line(&mut stream, &frame).is_err() {
+                    return;
+                }
+            }
             if write_line(&mut stream, &response).is_err() {
                 return;
             }
@@ -700,6 +1238,17 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<RouterShared>) {
             Ok(0) => return,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle poll tick: collect frames workers flushed for
+                // updates made through *other* router connections and
+                // forward them to this subscriber.
+                if session.has_subscriptions() {
+                    session.poll_subscription_frames();
+                    for frame in session.take_pending_frames() {
+                        if write_line(&mut stream, &frame).is_err() {
+                            return;
+                        }
+                    }
+                }
                 if let Some(since) = partial_since {
                     if since.elapsed() >= config.request_timeout {
                         let _ =

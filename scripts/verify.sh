@@ -18,6 +18,7 @@ echo "==> batch smoke test (multi-COUNTP statement == two single-agg runs)"
 tmpdir=$(mktemp -d)
 serve_pid=""
 cleanup() {
+  [ -n "${sub_pid:-}" ] && kill "$sub_pid" 2>/dev/null || true
   [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
   rm -rf "$tmpdir"
 }
@@ -173,6 +174,66 @@ echo "$shard_stats" | grep -q '^router_workers_up,1$' \
 wait "$serve_pid" || true
 serve_pid=""
 echo "    router matched the direct engine byte-for-byte, before and after losing a worker"
+
+echo "==> continuous census smoke test (subscribe; update pushes changed rows)"
+# Same 7-node fixture: INSERT EDGE (4, 6) closes a triangle, so nodes
+# 4/5/6 change and the standing query must push exactly those rows.
+sub_sql='SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes'
+sub_pid=""
+run_subscribe_smoke() { # $1 = serve args, $2 = label
+  # shellcheck disable=SC2086
+  ./target/release/egocensus serve "$tmpdir/dyn.txt" --addr 127.0.0.1:0 \
+    $1 >"$tmpdir/sub-serve.log" &
+  serve_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$tmpdir/sub-serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "FAIL: $2 server never printed its address"; exit 1; }
+  ./target/release/egocensus client --addr "$addr" --csv \
+    --subscribe "$sub_sql" --watch 30 >"$tmpdir/sub.log" &
+  sub_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q '^watching for' "$tmpdir/sub.log" && break
+    sleep 0.1
+  done
+  grep -q '^watching for' "$tmpdir/sub.log" \
+    || { echo "FAIL: $2 subscriber never registered"; exit 1; }
+  ./target/release/egocensus client --addr "$addr" --update 'INSERT EDGE (4, 6)' >/dev/null
+  for _ in $(seq 1 100); do
+    grep -q '^notify subscription=1 generation=1$' "$tmpdir/sub.log" && break
+    sleep 0.1
+  done
+  grep -q '^notify subscription=1 generation=1$' "$tmpdir/sub.log" \
+    || { echo "FAIL: $2 subscriber never received the pushed frame"; exit 1; }
+  # Node 5 goes 0 -> 1; the frame row is (focal, column, old, new).
+  grep -q '^5,.*,0,1$' "$tmpdir/sub.log" \
+    || { echo "FAIL: $2 frame should carry node 5 going 0 -> 1"; exit 1; }
+  kill "$sub_pid" 2>/dev/null || true
+  wait "$sub_pid" 2>/dev/null || true
+  sub_pid=""
+}
+run_subscribe_smoke "--threads 2 --cache-mb 8" "direct"
+stats=$(./target/release/egocensus client --addr "$addr" --csv --stats)
+echo "$stats" | grep -q '^continuous_subscriptions,0$' \
+  || { echo "FAIL: killed subscriber should have been cleaned up"; exit 1; }
+echo "$stats" | grep -q '^continuous_notifications,1$' \
+  || { echo "FAIL: stats should report one pushed notification"; exit 1; }
+./target/release/egocensus client --addr "$addr" --shutdown >/dev/null
+wait "$serve_pid"
+serve_pid=""
+run_subscribe_smoke "--workers 2 --threads 2 --cache-mb 8" "routed"
+shard_sub_stats=$(./target/release/egocensus client --addr "$addr" --csv --stats)
+echo "$shard_sub_stats" | grep -q '^router_subscriptions_created,1$' \
+  || { echo "FAIL: router stats should report the subscription"; exit 1; }
+echo "$shard_sub_stats" | grep -q '^router_frames_pushed,[1-9]' \
+  || { echo "FAIL: router stats should report pushed frames"; exit 1; }
+./target/release/egocensus client --addr "$addr" --shutdown >/dev/null
+wait "$serve_pid" || true
+serve_pid=""
+echo "    changed rows pushed end to end, direct and through the router"
 
 echo "==> planner smoke test (ANALYZE sidecar; EXPLAIN costs; dense-vs-sparse choice)"
 ./target/release/egocensus analyze "$tmpdir/g.txt" >/dev/null

@@ -92,6 +92,7 @@ USAGE:
                   [--algorithm <name>] [--shard-of <M/N>] [--define <DSL>]...
                   [--workers <N> | --attach <host:port,...>]
   egocensus client [--addr <host:port>] [--define <DSL>]... [--update <script>]
+                   [--subscribe <SQL> [--watch <secs>]]
                    [--analyze] [--stats] [--shutdown] [--csv] [<SQL>]
 
 Graph files: `.egb` selects the binary CSR format (opened read-only via
@@ -117,7 +118,10 @@ line-delimited JSON protocol, and memoizes repeated census queries in an
 LRU result cache (--cache-mb 0 disables). --threads bounds concurrent
 connections; --exec-threads parallelizes each census internally. The
 `update` op (client --update) applies a mutation script server-side,
-swapping the shared graph and invalidating the caches.
+swapping the shared graph and invalidating the caches. `client
+--subscribe SQL` registers a standing query and then prints the changed
+rows (focal, column, old, new) the server pushes after each update,
+watching for --watch seconds (default 30) before unsubscribing.
 Sharding: --workers N spawns N worker subprocesses over the same graph
 file (mmap'd .egb files share one physical copy) behind a scatter/gather
 router; --attach fronts already-running workers instead. Responses are
@@ -672,12 +676,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
                 Ok(())
             }
             Response::Error { message } => Err(format!("server error: {message}")),
+            Response::Notify(_) => unreachable!("request() filters notify frames"),
         }
     };
     for def in f.get_all("define") {
         match client.define(def).map_err(|e| e.to_string())? {
             Response::Table(_) => {}
             Response::Error { message } => return Err(format!("server error: {message}")),
+            Response::Notify(_) => unreachable!("request() filters notify frames"),
         }
     }
     for script in f.get_all("update") {
@@ -690,6 +696,45 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     }
     if let Some(sql) = f.positional.first() {
         print(client.query(sql).map_err(|e| e.to_string())?)?;
+    }
+    if let Some(sql) = f.get("subscribe") {
+        let watch_secs: u64 = f.parse("watch", 30u64)?;
+        let ack = match client.subscribe(sql).map_err(|e| e.to_string())? {
+            Response::Table(t) => t,
+            Response::Error { message } => return Err(format!("server error: {message}")),
+            Response::Notify(_) => unreachable!("request() filters notify frames"),
+        };
+        let id = ack.stat("subscription").ok_or("malformed subscribe ack")? as u64;
+        print(Response::Table(ack))?;
+        println!("watching for {watch_secs}s (updates push changed rows)...");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(watch_secs);
+        while std::time::Instant::now() < deadline {
+            let frame = client
+                .poll_notification(std::time::Duration::from_millis(200))
+                .map_err(|e| e.to_string())?;
+            let Some(frame) = frame else { continue };
+            println!(
+                "notify subscription={} generation={}",
+                frame.subscription, frame.generation
+            );
+            // Frame rows are [focal, column, old, new]; `frame.columns`
+            // names the subscribed aggregates, not these display columns.
+            let mut table =
+                Table::new(["FOCAL", "COLUMN", "OLD", "NEW"].map(String::from).to_vec());
+            for row in frame.rows {
+                table.push_row(row);
+            }
+            if f.has("csv") {
+                print!("{}", table.to_csv());
+            } else {
+                print!("{table}");
+                println!("({} rows)", table.num_rows());
+            }
+            std::io::stdout().flush().ok();
+        }
+        client.unsubscribe(id).map_err(|e| e.to_string())?;
     }
     if f.has("stats") {
         print(Response::Table(client.stats().map_err(|e| e.to_string())?))?;

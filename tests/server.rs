@@ -4,7 +4,7 @@
 
 use egocensus::datagen::{assign_random_labels, barabasi_albert, rng};
 use egocensus::graph::Graph;
-use egocensus::query::{Catalog, QueryEngine};
+use egocensus::query::{Catalog, QueryEngine, Value};
 use egocensus::server::{Client, Response, Server, ServerConfig, ShutdownHandle, TableData};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -57,6 +57,7 @@ fn expect_table(resp: Response) -> TableData {
     match resp {
         Response::Table(t) => t,
         Response::Error { message } => panic!("unexpected error response: {message}"),
+        Response::Notify(f) => panic!("unexpected notify frame: {f:?}"),
     }
 }
 
@@ -183,6 +184,7 @@ fn malformed_requests_get_errors_without_killing_the_connection() {
         match client.request_raw_as_response(bad) {
             Response::Error { .. } => {}
             Response::Table(_) => panic!("expected an error for: {bad}"),
+            Response::Notify(_) => unreachable!("request() filters notify frames"),
         }
     }
 
@@ -213,11 +215,13 @@ fn session_defines_are_isolated_and_duplicates_rejected() {
             );
         }
         Response::Table(_) => panic!("duplicate define must be rejected"),
+        Response::Notify(_) => unreachable!("request() filters notify frames"),
     }
     // ...as is shadowing a shared builtin...
     match a.define("PATTERN clq3_unlb { ?A-?B; }").expect("shadow") {
         Response::Error { message } => assert!(message.contains("already defined")),
         Response::Table(_) => panic!("shadowing a builtin must be rejected"),
+        Response::Notify(_) => unreachable!("request() filters notify frames"),
     }
     // ...but session B never saw A's pattern.
     match b
@@ -226,6 +230,7 @@ fn session_defines_are_isolated_and_duplicates_rejected() {
     {
         Response::Error { .. } => {}
         Response::Table(_) => panic!("B must not see A's session patterns"),
+        Response::Notify(_) => unreachable!("request() filters notify frames"),
     }
     expect_table(b.define(dsl).expect("define in b"));
 
@@ -252,4 +257,84 @@ impl RawResponse for Client {
         let raw = self.send_raw(line).expect("raw round-trip");
         Response::decode(&raw).expect("decodable response")
     }
+}
+
+// --- continuous subscriptions over the wire ---
+
+const SUB_SQL: &str = "SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes";
+const COUNT_SQL: &str = "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes";
+
+/// `(focal, column, old, new)` rows expected from two count tables.
+fn expect_rows(before: &TableData, after: &TableData, column: &str) -> Vec<Vec<Value>> {
+    use std::collections::BTreeMap;
+    let to_map = |t: &TableData| -> BTreeMap<i64, i64> {
+        t.rows
+            .iter()
+            .map(|r| {
+                let id = r[0].as_int().expect("focal id");
+                let count = r[1].as_int().expect("count");
+                (id, count)
+            })
+            .collect()
+    };
+    let (b, a) = (to_map(before), to_map(after));
+    b.iter()
+        .filter(|(id, old)| a[id] != **old)
+        .map(|(id, old)| {
+            vec![
+                Value::Int(*id),
+                Value::Str(column.to_string()),
+                Value::Int(*old),
+                Value::Int(a[id]),
+            ]
+        })
+        .collect()
+}
+
+/// A subscriber whose connection drops can reconnect, re-subscribe, and
+/// keep receiving correct deltas: the new baseline is the current graph,
+/// so pushed `old` values are exactly what a fresh query just returned.
+#[test]
+fn subscriber_survives_reconnect_with_fresh_baseline() {
+    let (addr, handle, thread) = spawn_server(config());
+
+    // First incarnation: subscribe, mutate, receive the delta frame.
+    let mut a = Client::connect(addr).expect("connect a");
+    let q0 = expect_table(a.query(COUNT_SQL).expect("query before"));
+    let ack = expect_table(a.subscribe(SUB_SQL).expect("subscribe"));
+    assert_eq!(ack.stat("generation"), Some(0));
+    expect_table(
+        a.update("INSERT EDGE (0, 57); DELETE EDGE (0, 1)")
+            .expect("update 1"),
+    );
+    let q1 = expect_table(a.query(COUNT_SQL).expect("query after 1"));
+    let frames = a.drain_notifications();
+    assert_eq!(frames.len(), 1, "one frame per update");
+    assert_eq!(frames[0].generation, 1);
+    let column = frames[0].columns[0].clone();
+    assert_eq!(frames[0].rows, expect_rows(&q0, &q1, &column));
+
+    // Drop the connection: the server-side session unsubscribes on its
+    // way out, so the next update evaluates nothing for it.
+    drop(a);
+
+    // Second incarnation: re-subscribe at the current generation and
+    // receive deltas relative to the *current* graph, not the original.
+    let mut b = Client::connect(addr).expect("connect b");
+    let ack2 = expect_table(b.subscribe(SUB_SQL).expect("re-subscribe"));
+    assert_eq!(ack2.stat("generation"), Some(1));
+    expect_table(b.update("INSERT EDGE (3, 99)").expect("update 2"));
+    let q2 = expect_table(b.query(COUNT_SQL).expect("query after 2"));
+    let frames = b.drain_notifications();
+    assert_eq!(frames.len(), 1);
+    assert_eq!(frames[0].generation, 2);
+    assert_eq!(frames[0].rows, expect_rows(&q1, &q2, &column));
+
+    // The dropped subscription really is gone: one live, two created.
+    let stats = b.stats().expect("stats");
+    assert_eq!(stats.stat("continuous_subscriptions"), Some(1));
+    assert_eq!(stats.stat("continuous_created"), Some(2));
+
+    handle.shutdown();
+    thread.join().expect("server thread");
 }

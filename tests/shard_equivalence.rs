@@ -405,3 +405,141 @@ fn router_stats_aggregate_worker_counters_and_latency() {
     );
     fleet.stop();
 }
+
+// --- continuous subscriptions through the router ---
+
+const SUB_SQL: &str = "SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes";
+const UPDATES: [&str; 3] = [
+    "INSERT EDGE (0, 57); INSERT EDGE (3, 99); DELETE EDGE (0, 1)",
+    "INSERT EDGE (5, 60)",
+    "INSERT EDGE (7, 80); DELETE EDGE (5, 60)",
+];
+
+fn table(resp: egocensus::server::Response) -> egocensus::server::TableData {
+    match resp {
+        egocensus::server::Response::Table(t) => t,
+        other => panic!("expected a table, got {other:?}"),
+    }
+}
+
+/// Subscribe + mutate on one direct server; returns the ack table and
+/// the frame pushed for each update script.
+fn direct_subscription_frames(
+    updates: &[&str],
+) -> (
+    egocensus::server::TableData,
+    Vec<egocensus::server::NotifyFrame>,
+) {
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        Arc::new(test_graph()),
+        Arc::new(Catalog::with_builtins()),
+        server_config("auto"),
+    )
+    .expect("bind direct");
+    let addr = server.local_addr().expect("direct addr");
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("direct run"));
+    let mut client = Client::connect(addr).expect("connect direct");
+    let ack = table(client.subscribe(SUB_SQL).expect("subscribe"));
+    let mut frames = Vec::new();
+    for script in updates {
+        table(client.update(script).expect("update"));
+        let mut f = client.drain_notifications();
+        assert_eq!(f.len(), 1, "one frame per update");
+        frames.push(f.remove(0));
+    }
+    handle.shutdown();
+    thread.join().expect("direct thread");
+    (ack, frames)
+}
+
+/// The router's merged subscription frames — legs concatenated in shard
+/// order — must be byte-identical to a single direct server's, ack
+/// included, and unsubscribing must stop the pushes.
+#[test]
+fn subscription_frames_through_the_router_match_a_direct_server() {
+    let (want_ack, want_frames) = direct_subscription_frames(&UPDATES);
+    for workers in [1usize, 2, 4] {
+        let fleet = spawn_fleet(workers, "auto");
+        let mut client = Client::connect(fleet.router_addr).expect("connect router");
+        let ack = table(client.subscribe(SUB_SQL).expect("subscribe"));
+        assert_eq!(ack, want_ack, "workers={workers}");
+        let id = ack.stat("subscription").expect("sub id") as u64;
+        for (script, want) in UPDATES.iter().zip(&want_frames) {
+            table(client.update(script).expect("update"));
+            let mut frames = client.drain_notifications();
+            assert_eq!(frames.len(), 1, "workers={workers} script={script}");
+            assert_eq!(&frames.remove(0), want, "workers={workers} script={script}");
+        }
+        table(client.unsubscribe(id).expect("unsubscribe"));
+        table(
+            client
+                .update("INSERT EDGE (9, 70)")
+                .expect("post-unsubscribe update"),
+        );
+        assert!(
+            client.drain_notifications().is_empty(),
+            "no frames after unsubscribe"
+        );
+        fleet.stop();
+    }
+}
+
+/// Killing a worker that carries subscription legs must not lose the
+/// subscription: the router re-homes the dead shard onto a survivor and
+/// keeps pushing frames identical to a direct server's.
+#[test]
+fn subscriber_survives_a_worker_killed_mid_push() {
+    let (_, want_frames) = direct_subscription_frames(&UPDATES);
+    let fleet = spawn_fleet(2, "auto");
+    let mut client = Client::connect(fleet.router_addr).expect("connect router");
+    table(client.subscribe(SUB_SQL).expect("subscribe"));
+    table(client.update(UPDATES[0]).expect("update 1"));
+    let mut frames = client.drain_notifications();
+    assert_eq!(frames.len(), 1);
+    assert_eq!(&frames.remove(0), &want_frames[0]);
+
+    // Kill worker 0 mid-subscription. The router notices on its next
+    // touch of the dead connection (idle poll or update broadcast),
+    // re-subscribes shard 0/2 on the survivor, and emits a coalesced
+    // catch-up frame covering whatever the client has not seen — here
+    // nothing has changed since generation 1, so any catch-up frame is
+    // an empty re-acknowledgment.
+    fleet.worker_handles[0].shutdown();
+    std::thread::sleep(Duration::from_millis(400));
+    while let Some(f) = client
+        .poll_notification(Duration::from_millis(100))
+        .expect("poll catch-up")
+    {
+        assert!(
+            f.rows.is_empty() && f.generation <= 1,
+            "catch-up must not invent rows: {f:?}"
+        );
+    }
+
+    // Updates keep flowing, frames stay byte-identical to direct.
+    for (script, want) in UPDATES[1..].iter().zip(&want_frames[1..]) {
+        table(client.update(script).expect("update after kill"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got = client.drain_notifications();
+        while got.is_empty() && std::time::Instant::now() < deadline {
+            if let Some(f) = client
+                .poll_notification(Duration::from_millis(50))
+                .expect("poll")
+            {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 1, "script={script}");
+        assert_eq!(&got.remove(0), want, "script={script}");
+    }
+
+    let stats = client.stats().expect("router stats");
+    assert!(
+        stats.stat("router_legs_recovered").unwrap_or(0) >= 1,
+        "recovery must be counted"
+    );
+    assert_eq!(stats.stat("router_subscriptions_created"), Some(1));
+    fleet.stop();
+}
