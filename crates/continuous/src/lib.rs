@@ -27,18 +27,21 @@
 //! `ego-server` owns the session registry and the push path; a fleet
 //! router owns broadcast and per-shard merging. Both layer on this type.
 
-use ego_census::{run_batch_exec, CensusSpec, CountVector, FocalNodes};
+use ego_census::run_batch_exec;
 use ego_dynamic::{update_batch_on, DeltaGraph, MaintainStats, UpdateStats};
 use ego_graph::{Graph, NodeId};
-use ego_matcher::MatchList;
 use ego_query::{ChangedRow, SubscriptionSpec};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-// Re-exported so hosts (e.g. the server) can configure evaluation
-// without a direct ego-census dependency.
-pub use ego_census::{Algorithm, CensusError, ExecConfig, PtConfig};
+// Re-exported so hosts (e.g. the server) can configure evaluation —
+// and drive view refresh / baseline seeding — without a direct
+// ego-census dependency.
+pub use ego_census::{
+    Algorithm, CensusError, CensusSpec, CountVector, ExecConfig, FocalNodes, PtConfig,
+};
+pub use ego_matcher::MatchList;
 
 /// Acknowledgment returned by [`ContinuousEngine::subscribe`].
 #[derive(Clone, Debug)]
@@ -118,6 +121,10 @@ pub struct ContinuousStats {
     pub match_survivors: u64,
     /// Matches discovered by anchored re-enumeration, cumulative.
     pub match_discovered: u64,
+    /// Aggregates whose baseline match list was provided by the host
+    /// (e.g. gathered from a materialized view) instead of enumerated
+    /// at subscribe time, cumulative.
+    pub seeded: u64,
 }
 
 /// The subscription registry + incremental evaluation loop.
@@ -138,6 +145,7 @@ pub struct ContinuousEngine {
     clean_focal: AtomicU64,
     match_survivors: AtomicU64,
     match_discovered: AtomicU64,
+    seeded: AtomicU64,
 }
 
 impl ContinuousEngine {
@@ -162,6 +170,28 @@ impl ContinuousEngine {
         config: &PtConfig,
         exec: &ExecConfig,
     ) -> Result<SubscribeAck, CensusError> {
+        self.subscribe_seeded(graph, spec, generation, algorithm, config, exec, &[])
+    }
+
+    /// [`ContinuousEngine::subscribe`], but with per-aggregate global
+    /// match lists the host already holds (e.g. gathered from a
+    /// materialized view maintained through every mutation): a `Some`
+    /// slot skips that aggregate's enumeration pass entirely, so the
+    /// initial evaluation pays only the neighborhood projection. Slots
+    /// beyond `provided.len()` (or `None` slots) enumerate as usual.
+    /// Provided lists must be current for `graph` — the caller holds the
+    /// update lock, so a view refreshed on that same lock qualifies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn subscribe_seeded(
+        &self,
+        graph: &Graph,
+        spec: SubscriptionSpec,
+        generation: u64,
+        algorithm: Algorithm,
+        config: &PtConfig,
+        exec: &ExecConfig,
+        provided: &[Option<Arc<MatchList>>],
+    ) -> Result<SubscribeAck, CensusError> {
         let columns: Arc<Vec<String>> =
             Arc::new(spec.aggs.iter().map(|a| a.column.clone()).collect());
         let mut state = SubState {
@@ -172,7 +202,13 @@ impl ContinuousEngine {
             generation,
         };
         let cspecs = state.census_specs();
-        let provided = vec![None; cspecs.len()];
+        let provided: Vec<Option<Arc<MatchList>>> = (0..cspecs.len())
+            .map(|i| provided.get(i).cloned().flatten())
+            .collect();
+        let seeded = provided.iter().filter(|m| m.is_some()).count() as u64;
+        if seeded > 0 {
+            self.seeded.fetch_add(seeded, Ordering::Relaxed);
+        }
         let batch = run_batch_exec(graph, &cspecs, algorithm, config, exec, &provided)?;
         let focal = state.spec.focal.len();
         drop(cspecs);
@@ -303,6 +339,7 @@ impl ContinuousEngine {
             clean_focal: self.clean_focal.load(Ordering::Relaxed),
             match_survivors: self.match_survivors.load(Ordering::Relaxed),
             match_discovered: self.match_discovered.load(Ordering::Relaxed),
+            seeded: self.seeded.load(Ordering::Relaxed),
         }
     }
 

@@ -176,6 +176,34 @@ pub struct MutationStmt {
     pub b: u32,
 }
 
+/// A parsed `MATERIALIZE <pattern> RADIUS k [SUBPATTERN sp] [MATCHES]`
+/// statement: eagerly compute and pin the full per-focal count vector
+/// (and, with `MATCHES`, the global match list) for the pattern into the
+/// engine's view registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaterializeStmt {
+    /// Pattern name, resolved against the catalog at execution time.
+    pub pattern: String,
+    /// Neighborhood radius for the materialized counts.
+    pub k: u32,
+    /// Materialize COUNTSP counts for this subpattern instead of COUNTP.
+    pub subpattern: Option<String>,
+    /// Also pin the global match list (enables subscription baselines
+    /// and exact-list incremental maintenance).
+    pub matches: bool,
+}
+
+/// A parsed `DROP VIEW <pattern> RADIUS k [SUBPATTERN sp]` statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DropViewStmt {
+    /// Pattern name of the view to drop.
+    pub pattern: String,
+    /// Radius of the view to drop.
+    pub k: u32,
+    /// Subpattern of the view to drop, for COUNTSP views.
+    pub subpattern: Option<String>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -106,9 +106,16 @@ impl<V: Clone> LruMap<V> {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CensusCacheStats {
     pub match_entries: usize,
+    /// Estimated resident bytes of cached match lists (4 bytes per
+    /// match image) — the tier's byte occupancy, for budget-pressure
+    /// observability alongside the result cache and the view registry.
+    pub match_bytes: usize,
     pub match_hits: u64,
     pub match_misses: u64,
     pub count_entries: usize,
+    /// Estimated resident bytes of cached count vectors (8 bytes per
+    /// count + 1 per focal flag).
+    pub count_bytes: usize,
     pub count_hits: u64,
     pub count_misses: u64,
     /// Times [`CensusCache::invalidate`] or
@@ -341,13 +348,31 @@ impl CensusCache {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot of occupancy and counters.
+    /// Snapshot of occupancy and counters. Byte occupancy is estimated
+    /// by walking the (entry-capped) maps, so the snapshot reflects the
+    /// live contents rather than a drifting running total.
     pub fn stats(&self) -> CensusCacheStats {
+        let (match_entries, match_bytes) = {
+            let m = self.matches.lock().unwrap();
+            let bytes = m
+                .map
+                .values()
+                .map(|(v, _)| v.iter().map(|pm| pm.nodes.len() * 4).sum::<usize>())
+                .sum();
+            (m.len(), bytes)
+        };
+        let (count_entries, count_bytes) = {
+            let c = self.counts.lock().unwrap();
+            let bytes = c.map.values().map(|((cv, _), _)| cv.len() * 9).sum();
+            (c.len(), bytes)
+        };
         CensusCacheStats {
-            match_entries: self.matches.lock().unwrap().len(),
+            match_entries,
+            match_bytes,
             match_hits: self.match_hits.load(Ordering::Relaxed),
             match_misses: self.match_misses.load(Ordering::Relaxed),
-            count_entries: self.counts.lock().unwrap().len(),
+            count_entries,
+            count_bytes,
             count_hits: self.count_hits.load(Ordering::Relaxed),
             count_misses: self.count_misses.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
@@ -375,6 +400,9 @@ mod tests {
         assert_eq!(hit.len(), 3);
         let s = c.stats();
         assert_eq!((s.count_hits, s.count_misses, s.count_entries), (1, 1, 1));
+        // Byte occupancy tracks the live vector: 3 counts * 9 bytes.
+        assert_eq!(s.count_bytes, 27);
+        assert_eq!(s.match_bytes, 0);
     }
 
     #[test]

@@ -16,10 +16,11 @@ use crate::error::QueryError;
 use crate::expr::{eval_predicate, RowContext};
 use crate::optimizer::{optimize_with, PassContext, OPTIMIZERS};
 use crate::parser::parse_query;
-use crate::plan::{build_plan, CountHint, MatchHint, Plan, PlanNode, StatsBasis};
-use crate::stats::{GraphStats, PlannerCounters, StatsSlot, CONSIDERED};
+use crate::plan::{build_plan, CountHint, MatchHint, Plan, PlanNode, StatsBasis, ViewProbeJob};
+use crate::stats::{rank_algorithms, CostJob, GraphStats, PlannerCounters, StatsSlot, CONSIDERED};
 use crate::table::Table;
 use crate::value::Value;
+use crate::views::{ViewEntry, ViewRegistry, DEFAULT_VIEW_BUDGET};
 use ego_census::{
     run_batch_exec, run_pair_census_exec, Algorithm, BatchStage, CensusSpec, CountVector,
     ExecConfig, FocalNodes, PairCensusSpec, PairCounts, PairSelector, PtConfig,
@@ -92,6 +93,13 @@ pub struct QueryEngine<'g> {
     /// Planner bookkeeping (plans built, passes fired, ...), surfaced by
     /// the server `stats` op when attached.
     planner: Option<Arc<PlannerCounters>>,
+    /// Materialized-view registry (`MATERIALIZE` / `DROP VIEW` / the
+    /// view-substitution pass). Shared across server sessions like the
+    /// census cache.
+    views: Option<Arc<ViewRegistry>>,
+    /// Where view maintenance persists the registry (the graph file's
+    /// `.views` sidecar when the engine was opened from a path).
+    views_path: Option<PathBuf>,
 }
 
 impl<'g> QueryEngine<'g> {
@@ -130,6 +138,15 @@ impl<'g> QueryEngine<'g> {
             *e.graph_stats.write().unwrap() = Some(Arc::new(stats));
         }
         e.stats_path = Some(sidecar);
+        // Adopt the `.views` sidecar the same way: views materialized by
+        // a previous process are warm immediately, a stale fingerprint
+        // silently yields a cold registry, and a malformed sidecar never
+        // blocks the open.
+        let views = Arc::new(ViewRegistry::new(DEFAULT_VIEW_BUDGET));
+        let vpath = ViewRegistry::sidecar_path(path);
+        let _ = views.adopt_sidecar(&vpath, e.graph().fingerprint(), e.graph().num_nodes());
+        e.views = Some(views);
+        e.views_path = Some(vpath);
         Ok(e)
     }
 
@@ -156,6 +173,8 @@ impl<'g> QueryEngine<'g> {
             stats_path: None,
             heuristic_stats: Mutex::new(None),
             planner: None,
+            views: None,
+            views_path: None,
         }
     }
 
@@ -177,6 +196,11 @@ impl<'g> QueryEngine<'g> {
             if let Some(cache) = &self.census_cache {
                 cache.invalidate();
             }
+            // Materialized views are deliberately NOT invalidated: the
+            // mutation host refreshes them in place through the
+            // incremental engine (`install_refreshed`), and a view whose
+            // fingerprint has not yet been refreshed simply stops
+            // matching probes until it is.
         }
         changed
     }
@@ -266,6 +290,31 @@ impl<'g> QueryEngine<'g> {
     /// The attached planner counters, if any.
     pub fn planner_counters(&self) -> Option<&Arc<PlannerCounters>> {
         self.planner.as_ref()
+    }
+
+    /// Attach a materialized-view registry: `MATERIALIZE` / `DROP VIEW`
+    /// statements become available and the view-substitution pass starts
+    /// rewriting eligible census statements into pure view probes. The
+    /// server shares one registry across sessions.
+    pub fn set_views(&mut self, views: Arc<ViewRegistry>) {
+        self.views = Some(views);
+    }
+
+    /// The attached view registry, if any.
+    pub fn views(&self) -> Option<&Arc<ViewRegistry>> {
+        self.views.as_ref()
+    }
+
+    /// Where view maintenance persists the registry (`None` disables
+    /// persistence; [`QueryEngine::open`] defaults to the graph file's
+    /// `.views` sidecar).
+    pub fn set_views_path(&mut self, path: Option<PathBuf>) {
+        self.views_path = path;
+    }
+
+    /// The view persistence path, if set.
+    pub fn views_path(&self) -> Option<&Path> {
+        self.views_path.as_deref()
     }
 
     /// Share an `ANALYZE`-snapshot slot with other engines (server
@@ -358,6 +407,7 @@ impl<'g> QueryEngine<'g> {
             stats_basis: basis,
             fingerprint: self.graph().fingerprint(),
             cache: self.census_cache.as_deref(),
+            views: self.views.as_deref(),
             focal,
             shard: self.focal_shard,
             forced: self.algorithm,
@@ -389,6 +439,12 @@ impl<'g> QueryEngine<'g> {
                  mutation host (the server `update` op or `egocensus mutate`)"
                     .into(),
             ));
+        }
+        if crate::parser::is_materialize_statement(sql) {
+            return self.execute_materialize(sql);
+        }
+        if crate::parser::is_drop_view_statement(sql) {
+            return self.execute_drop_view(sql);
         }
         let stmt = parse_query(sql)?;
         match stmt.tables.len() {
@@ -512,6 +568,31 @@ impl<'g> QueryEngine<'g> {
                 ]);
                 self.render_pair_aggs(stmt, depth + 1, table)?;
                 self.render_setops(depth + 1, table);
+                self.render_node(input, stmt, stats, depth + 1, table)?;
+            }
+            PlanNode::ViewProbe { probes, input } => {
+                table.push_row(vec![
+                    label("view-probe", depth),
+                    Value::Str(format!(
+                        "{} probe(s), pure gather over pinned views (no traversal)",
+                        probes.len()
+                    )),
+                    Value::Float(0.0),
+                ]);
+                for p in probes {
+                    let matches = p.matches.map_or("-".to_string(), |l| l.to_string());
+                    let coverage = p.coverage.map_or("full".to_string(), |s| s.to_string());
+                    table.push_row(vec![
+                        label("view", depth + 1),
+                        Value::Str(format!(
+                            "view: {} k={} sp={} matches={matches} coverage={coverage}",
+                            p.dsl,
+                            p.k,
+                            p.subpattern.as_deref().unwrap_or("-"),
+                        )),
+                        Value::Float(0.0),
+                    ]);
+                }
                 self.render_node(input, stmt, stats, depth + 1, table)?;
             }
             PlanNode::Census(c) => {
@@ -696,6 +777,154 @@ impl<'g> QueryEngine<'g> {
         ]);
     }
 
+    // --- materialized views ---
+
+    /// `MATERIALIZE <pattern> RADIUS k [SUBPATTERN sp] [MATCHES]`:
+    /// eagerly compute the full per-focal count vector over this
+    /// engine's focal coverage (the whole graph, or its focal shard's
+    /// range) and pin it in the view registry; with `MATCHES`, pin the
+    /// global match list too. Persists the `.views` sidecar when a views
+    /// path is set. The ack table is identical on every shard of a
+    /// fleet, so the router's broadcast divergence check applies.
+    fn execute_materialize(&self, sql: &str) -> Result<Table, QueryError> {
+        let m = crate::parser::parse_materialize(sql)?;
+        let Some(views) = self.views.as_deref() else {
+            return Err(QueryError::Semantic(
+                "no view registry attached; MATERIALIZE is unavailable in this context".into(),
+            ));
+        };
+        let pattern = self.catalog.require(&m.pattern)?;
+        if let Some(sp) = &m.subpattern {
+            if pattern.subpattern(sp).is_none() {
+                return Err(QueryError::Semantic(format!(
+                    "pattern `{}` has no subpattern `{sp}`",
+                    m.pattern
+                )));
+            }
+        }
+        let g = self.graph();
+        let focal: Vec<NodeId> = match self.focal_shard {
+            Some(s) => {
+                let r = s.range(g.num_nodes());
+                (r.start as u32..r.end as u32).map(NodeId).collect()
+            }
+            None => g.node_ids().collect(),
+        };
+        let algorithm = match self.algorithm {
+            Algorithm::Auto => {
+                let (stats, _) = self.planning_stats();
+                let cj = CostJob::new(&stats, pattern, m.k, m.subpattern.is_some());
+                rank_algorithms(&stats, &[cj], focal.len())[0].0
+            }
+            a => a,
+        };
+        let mut spec = CensusSpec::single(pattern, m.k).with_focal(FocalNodes::Set(focal));
+        if let Some(sp) = &m.subpattern {
+            spec = spec.with_subpattern(sp);
+        }
+        let batch = run_batch_exec(g, &[spec], algorithm, &self.pt_config, &self.exec, &[None])?;
+        let counts = Arc::new(batch.counts.into_iter().next().expect("one spec"));
+        let matches = if m.matches {
+            match batch.matches.into_iter().next().expect("one spec") {
+                Some(list) => Some(list),
+                None => Some(Arc::new(ego_census::global_matches(g, pattern))),
+            }
+        } else {
+            None
+        };
+        let dsl = ego_pattern::to_dsl(pattern);
+        let bytes = ViewEntry::estimate_bytes(&counts, matches.as_deref());
+        views.insert(ViewEntry {
+            pattern: pattern.clone(),
+            dsl,
+            k: m.k,
+            subpattern: m.subpattern.clone(),
+            counts,
+            matches: matches.clone(),
+            fingerprint: g.fingerprint(),
+            shard: self.focal_shard,
+            bytes,
+        })?;
+        self.persist_views()?;
+        let mut t = Table::new(vec!["key".into(), "value".into()]);
+        t.push_row(vec![Value::Str("pattern".into()), Value::Str(m.pattern)]);
+        t.push_row(vec![Value::Str("radius".into()), Value::Int(m.k as i64)]);
+        t.push_row(vec![
+            Value::Str("subpattern".into()),
+            Value::Str(m.subpattern.unwrap_or_else(|| "-".into())),
+        ]);
+        t.push_row(vec![
+            Value::Str("matches".into()),
+            Value::Str(if m.matches { "on".into() } else { "off".into() }),
+        ]);
+        t.push_row(vec![
+            Value::Str("status".into()),
+            Value::Str("materialized".into()),
+        ]);
+        Ok(t)
+    }
+
+    /// `DROP VIEW <pattern> RADIUS k [SUBPATTERN sp]`: unpin and remove
+    /// the view; errors if no such view exists.
+    fn execute_drop_view(&self, sql: &str) -> Result<Table, QueryError> {
+        let d = crate::parser::parse_drop_view(sql)?;
+        let Some(views) = self.views.as_deref() else {
+            return Err(QueryError::Semantic(
+                "no view registry attached; DROP VIEW is unavailable in this context".into(),
+            ));
+        };
+        let pattern = self.catalog.require(&d.pattern)?;
+        let dsl = ego_pattern::to_dsl(pattern);
+        if views.remove(&dsl, d.k, d.subpattern.as_deref()).is_none() {
+            return Err(QueryError::Semantic(format!(
+                "no materialized view for `{}` RADIUS {}{}",
+                d.pattern,
+                d.k,
+                d.subpattern
+                    .as_deref()
+                    .map(|sp| format!(" SUBPATTERN {sp}"))
+                    .unwrap_or_default()
+            )));
+        }
+        self.persist_views()?;
+        let mut t = Table::new(vec!["key".into(), "value".into()]);
+        t.push_row(vec![Value::Str("pattern".into()), Value::Str(d.pattern)]);
+        t.push_row(vec![Value::Str("radius".into()), Value::Int(d.k as i64)]);
+        t.push_row(vec![
+            Value::Str("subpattern".into()),
+            Value::Str(d.subpattern.unwrap_or_else(|| "-".into())),
+        ]);
+        t.push_row(vec![
+            Value::Str("status".into()),
+            Value::Str("dropped".into()),
+        ]);
+        Ok(t)
+    }
+
+    /// Persist the view registry to its sidecar, if both are attached.
+    fn persist_views(&self) -> Result<(), QueryError> {
+        if let (Some(views), Some(path)) = (self.views.as_deref(), self.views_path.as_deref()) {
+            views.save(path, self.graph().fingerprint())?;
+        }
+        Ok(())
+    }
+
+    /// Serve a view-probe plan's count vectors straight from the
+    /// registry (counting hits). `None` if any probed view vanished or
+    /// went stale since planning — the caller recomputes.
+    fn probe_views(&self, probes: &[ViewProbeJob]) -> Option<Vec<Arc<CountVector>>> {
+        let views = self.views.as_deref()?;
+        let fp = self.graph().fingerprint();
+        probes
+            .iter()
+            .map(|p| {
+                views
+                    .get(&p.dsl, p.k, p.subpattern.as_deref(), fp, self.focal_shard)
+                    .map(|e| Arc::clone(&e.counts))
+            })
+            .collect()
+    }
+
     // --- single-table queries ---
 
     /// Execute every statement in a `;`-separated script, returning one
@@ -708,6 +937,10 @@ impl<'g> QueryEngine<'g> {
     pub fn execute_script(&self, sql: &str) -> Result<Vec<Table>, QueryError> {
         enum Item {
             Direct(String),
+            Planned {
+                plan: Box<Plan>,
+                focal: Vec<NodeId>,
+            },
             Batched {
                 plan: Box<Plan>,
                 focal: Vec<NodeId>,
@@ -724,9 +957,11 @@ impl<'g> QueryEngine<'g> {
             }
             if crate::parser::is_analyze_statement(&text)
                 || crate::parser::is_mutation_statement(&text)
+                || crate::parser::is_materialize_statement(&text)
+                || crate::parser::is_drop_view_statement(&text)
             {
-                // Route through execute() (ANALYZE semantics / the
-                // read-only mutation error).
+                // Route through execute() (ANALYZE/view-maintenance
+                // semantics / the read-only mutation error).
                 items.push(Item::Direct(text));
                 continue;
             }
@@ -739,6 +974,16 @@ impl<'g> QueryEngine<'g> {
             let focal = self.compute_focal(&stmt, &alias)?;
             validate_single_aggs(&stmt, &alias)?;
             let plan = self.plan_single(&stmt, Some(&focal), OPTIMIZERS)?;
+            if plan.view_probe().is_some() {
+                // View-served: nothing to contribute to the shared batch
+                // and nothing to gain from it — run_plan gathers from the
+                // pinned vectors directly.
+                items.push(Item::Planned {
+                    plan: Box::new(plan),
+                    focal,
+                });
+                continue;
+            }
             let start = jobs.len();
             if let Some(c) = plan.census() {
                 for job in &c.jobs {
@@ -763,7 +1008,7 @@ impl<'g> QueryEngine<'g> {
             .iter()
             .filter_map(|item| match item {
                 Item::Batched { plan, .. } => plan.choice(),
-                Item::Direct(_) => None,
+                Item::Direct(_) | Item::Planned { .. } => None,
             })
             .collect();
         let algorithm = union_algorithm(&choices, self.algorithm);
@@ -772,6 +1017,7 @@ impl<'g> QueryEngine<'g> {
             .into_iter()
             .map(|item| match item {
                 Item::Direct(text) => self.execute(&text),
+                Item::Planned { plan, focal } => self.run_plan(&plan, &focal),
                 Item::Batched { plan, focal, range } => {
                     self.project_single(&plan.stmt, &focal, &results[range])
                 }
@@ -791,6 +1037,32 @@ impl<'g> QueryEngine<'g> {
     /// run as one batch under the plan's algorithm choice, then rows are
     /// projected (ORDER BY / LIMIT live in the statement).
     fn run_plan(&self, plan: &Plan, focal: &[NodeId]) -> Result<Table, QueryError> {
+        if let Some(probes) = plan.view_probe() {
+            if let Some(results) = self.probe_views(probes) {
+                // Pure gather: project_single reads only the focal
+                // positions of each pinned full-coverage vector.
+                return self.project_single(&plan.stmt, focal, &results);
+            }
+            // A probed view vanished between planning and execution
+            // (concurrent DROP VIEW or refresh race): recompute as an
+            // ordinary census. Counts are algorithm-invariant, so any
+            // serving algorithm gives the identical table.
+            let mut jobs = Vec::with_capacity(probes.len());
+            for p in probes {
+                jobs.push(BatchAgg {
+                    pattern: self.catalog.require(&p.pattern)?,
+                    k: p.k,
+                    subpattern: p.subpattern.clone(),
+                    focal: focal.to_vec(),
+                });
+            }
+            let algorithm = match self.algorithm {
+                Algorithm::Auto => Algorithm::NdPivot,
+                a => a,
+            };
+            let results = self.run_batched(&jobs, algorithm)?;
+            return self.project_single(&plan.stmt, focal, &results);
+        }
         let (algorithm, jobs) = match plan.census() {
             Some(c) => {
                 let algorithm = c.choice.as_ref().map_or(self.algorithm, |ch| ch.algorithm);
@@ -2124,5 +2396,203 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("ID,"));
         assert_eq!(csv.lines().count(), 4);
+    }
+
+    // --- materialized views ---
+
+    fn view_engine(g: &Graph) -> QueryEngine<'_> {
+        let mut e = engine(g);
+        e.set_views(Arc::new(ViewRegistry::new(DEFAULT_VIEW_BUDGET)));
+        e
+    }
+
+    #[test]
+    fn materialize_serves_identical_rows_as_pure_probe() {
+        let g = fixture();
+        let e = view_engine(&g);
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        let direct = e.execute(sql).unwrap();
+        let ack = e.execute("MATERIALIZE tri RADIUS 1").unwrap();
+        assert!(ack
+            .rows()
+            .iter()
+            .any(|r| r[1] == Value::Str("materialized".into())));
+        // The plan rewrites to a view probe with `view:` provenance and
+        // zero estimated cost.
+        let ex = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let probe = explain_rows(&ex, "view-probe");
+        assert_eq!(probe.len(), 1, "{ex:?}");
+        assert_eq!(probe[0][2], Value::Float(0.0));
+        let view = explain_rows(&ex, "view");
+        assert!(view[0][1].to_string().starts_with("view: "), "{view:?}");
+        assert!(explain_rows(&ex, "census").is_empty(), "{ex:?}");
+        // Serving is a pure gather: a fresh census cache attached after
+        // materialization sees zero traffic, yet rows are identical —
+        // including over a WHERE-filtered focal subset.
+        let served = e.execute(sql).unwrap();
+        assert_eq!(served.rows(), direct.rows());
+        let subset = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE age >= 40";
+        let direct_subset = {
+            let e2 = engine(&g);
+            e2.execute(subset).unwrap()
+        };
+        assert_eq!(e.execute(subset).unwrap().rows(), direct_subset.rows());
+        let stats = e.views().unwrap().stats();
+        assert!(stats.hits >= 2, "{stats:?}");
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn view_probe_bypasses_census_machinery() {
+        let g = fixture();
+        let mut e = view_engine(&g);
+        let cache = Arc::new(CensusCache::new(64));
+        e.set_census_cache(Arc::clone(&cache));
+        e.execute("MATERIALIZE tri RADIUS 1 MATCHES").unwrap();
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        e.execute(sql).unwrap();
+        // No count/match lookups: the statement never reached
+        // run_batched.
+        let cs = cache.stats();
+        assert_eq!(cs.count_hits + cs.count_misses, 0, "{cs:?}");
+        assert_eq!(cs.match_hits + cs.match_misses, 0, "{cs:?}");
+        // The pinned match list shows in EXPLAIN provenance.
+        let ex = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        let view = explain_rows(&ex, "view");
+        assert!(view[0][1].to_string().contains("matches=2"), "{view:?}");
+    }
+
+    #[test]
+    fn drop_view_restores_census_execution() {
+        let g = fixture();
+        let e = view_engine(&g);
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        let direct = e.execute(sql).unwrap();
+        e.execute("MATERIALIZE tri RADIUS 1").unwrap();
+        let ack = e.execute("DROP VIEW tri RADIUS 1").unwrap();
+        assert!(ack
+            .rows()
+            .iter()
+            .any(|r| r[1] == Value::Str("dropped".into())));
+        let ex = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        assert!(explain_rows(&ex, "view-probe").is_empty());
+        assert_eq!(explain_rows(&ex, "census").len(), 1);
+        assert_eq!(e.execute(sql).unwrap().rows(), direct.rows());
+        // Dropping again errors with a clear message.
+        let err = e.execute("DROP VIEW tri RADIUS 1").unwrap_err();
+        assert!(err.to_string().contains("no materialized view"), "{err}");
+    }
+
+    #[test]
+    fn view_matching_is_exact_on_radius_and_subpattern() {
+        let g = fixture();
+        let e = view_engine(&g);
+        e.execute("MATERIALIZE tri RADIUS 1").unwrap();
+        // Different radius: not substituted.
+        let ex = e
+            .execute("EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes")
+            .unwrap();
+        assert!(explain_rows(&ex, "view-probe").is_empty());
+        // COUNTSP over a COUNTP view: not substituted (and the statement
+        // still errors on the unknown subpattern exactly as before).
+        assert!(e
+            .execute("SELECT ID, COUNTSP(hub, tri, SUBGRAPH(ID, 1)) FROM nodes")
+            .is_err());
+        // A multi-aggregate statement with one unservable job keeps the
+        // whole census.
+        let ex = e
+            .execute(
+                "EXPLAIN SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)), \
+                 COUNTP(node1, SUBGRAPH(ID, 1)) FROM nodes",
+            )
+            .unwrap();
+        assert!(explain_rows(&ex, "view-probe").is_empty());
+        assert_eq!(explain_rows(&ex, "census").len(), 1);
+    }
+
+    #[test]
+    fn materialize_validates_inputs() {
+        let g = fixture();
+        let e = view_engine(&g);
+        assert!(e.execute("MATERIALIZE nosuch RADIUS 1").is_err());
+        assert!(e
+            .execute("MATERIALIZE tri RADIUS 1 SUBPATTERN nosuch")
+            .is_err());
+        // Without a registry, view statements are rejected cleanly.
+        let bare = engine(&g);
+        let err = bare.execute("MATERIALIZE tri RADIUS 1").unwrap_err();
+        assert!(err.to_string().contains("no view registry"), "{err}");
+        assert!(bare.execute("DROP VIEW tri RADIUS 1").is_err());
+    }
+
+    #[test]
+    fn script_mixes_materialize_and_view_served_statements() {
+        let g = fixture();
+        let e = view_engine(&g);
+        e.execute("MATERIALIZE tri RADIUS 1").unwrap();
+        let tables = e
+            .execute_script(
+                "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes; \
+                 SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 3; \
+                 DROP VIEW tri RADIUS 1;",
+            )
+            .unwrap();
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].num_rows(), 7);
+        assert_eq!(tables[1].num_rows(), 3);
+        assert_eq!(tables[0].rows()[2][1], Value::Int(2));
+        assert_eq!(e.views().unwrap().stats().entries, 0);
+    }
+
+    #[test]
+    fn sharded_views_compose_like_scatter() {
+        let g = fixture();
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        let whole = engine(&g).execute(sql).unwrap();
+        let mut concat: Vec<Vec<Value>> = Vec::new();
+        for i in 0..2 {
+            let mut e = view_engine(&g);
+            e.set_focal_shard(Some(crate::shard::ShardSpec::new(i, 2).unwrap()));
+            e.execute("MATERIALIZE tri RADIUS 1").unwrap();
+            let ex = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+            assert_eq!(explain_rows(&ex, "view-probe").len(), 1, "shard {i}");
+            let t = e.execute(sql).unwrap();
+            concat.extend(t.rows().iter().cloned());
+        }
+        assert_eq!(concat, whole.rows());
+        // A whole-coverage engine never probes a shard-covered view.
+        let mut e = view_engine(&g);
+        e.set_focal_shard(Some(crate::shard::ShardSpec::new(0, 2).unwrap()));
+        e.execute("MATERIALIZE tri RADIUS 1").unwrap();
+        e.set_focal_shard(None);
+        let ex = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        assert!(explain_rows(&ex, "view-probe").is_empty());
+    }
+
+    #[test]
+    fn open_adopts_views_sidecar() {
+        let dir = std::env::temp_dir().join(format!("egoq-views-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.graph");
+        ego_graph::io::save_path(&fixture(), &path).unwrap();
+        let sql = "SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes";
+        let define = "PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }";
+        let direct = {
+            let mut e = QueryEngine::open(&path).unwrap();
+            e.catalog_mut().define(define).unwrap();
+            e.execute("MATERIALIZE tri RADIUS 1 MATCHES").unwrap();
+            e.execute(sql).unwrap()
+        };
+        // A fresh engine over the same file adopts the sidecar: warm
+        // views, same rows, view-probe plan.
+        let mut e = QueryEngine::open(&path).unwrap();
+        e.catalog_mut().define(define).unwrap();
+        let stats = e.views().unwrap().stats();
+        assert_eq!(stats.entries, 1, "{stats:?}");
+        assert_eq!(stats.sidecar_loads, 1);
+        let ex = e.execute(&format!("EXPLAIN {sql}")).unwrap();
+        assert_eq!(explain_rows(&ex, "view-probe").len(), 1);
+        assert_eq!(e.execute(sql).unwrap().rows(), direct.rows());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

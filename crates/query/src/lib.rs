@@ -54,14 +54,18 @@ pub mod stats;
 pub mod subscribe;
 pub mod table;
 pub mod value;
+pub mod views;
 
-pub use ast::{MutationKind, MutationStmt};
+pub use ast::{DropViewStmt, MaterializeStmt, MutationKind, MutationStmt};
 pub use canon::canonical_query_key;
 pub use catalog::Catalog;
 pub use census_cache::{CensusCache, CensusCacheStats, CountMeta};
 pub use error::QueryError;
 pub use executor::QueryEngine;
-pub use parser::{is_analyze_statement, is_mutation_statement, parse_mutations};
+pub use parser::{
+    is_analyze_statement, is_drop_view_statement, is_materialize_statement, is_mutation_statement,
+    parse_drop_view, parse_materialize, parse_mutations,
+};
 pub use plan::{build_plan, plan_statement, Plan, PlanNode, StatsBasis};
 pub use shard::ShardSpec;
 pub use stats::{GraphStats, PlannerCounters, StatsSlot};
@@ -70,6 +74,7 @@ pub use subscribe::{
 };
 pub use table::Table;
 pub use value::Value;
+pub use views::{ViewEntry, ViewRegistry, ViewStats, DEFAULT_VIEW_BUDGET};
 
 // The census algorithm enum, re-exported so front ends (server, shard
 // router) can configure engines without depending on ego-census.

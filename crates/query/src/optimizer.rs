@@ -11,13 +11,20 @@
 //!    LRU promotion, no hit/miss accounting) so later passes know which
 //!    match lists exist — and exactly how long they are — and which
 //!    count vectors will short-circuit execution entirely.
-//! 3. **algorithm-selection** — rank every algorithm that can serve the
+//! 3. **view-substitution** — if *every* census job has a fresh
+//!    materialized view whose coverage matches the engine's focal shard,
+//!    rewrite the census node into a [`PlanNode::ViewProbe`]: execution
+//!    becomes a pure gather over pinned count vectors, zero traversal.
+//!    Runs after cache-substitution so EXPLAIN still shows what the
+//!    ordinary caches held, before algorithm-selection so no algorithm
+//!    is ranked for work that will not run.
+//! 4. **algorithm-selection** — rank every algorithm that can serve the
 //!    statement by estimated cost ([`crate::stats`]) and resolve `Auto`
 //!    to a concrete choice; cached match-list lengths from pass 2
 //!    replace the estimator's `m` term.
-//! 4. **batch-grouping** — group the statement's aggregates into shared
+//! 5. **batch-grouping** — group the statement's aggregates into shared
 //!    sweeps/traversals ([`ego_census::plan_stages`]) under the chosen
-//!    algorithm; needs pass 3's concrete algorithm to resolve modes.
+//!    algorithm; needs pass 4's concrete algorithm to resolve modes.
 //!
 //! Every pass is a semantic no-op on result tables: passes annotate and
 //! restructure, the executor computes.
@@ -25,9 +32,10 @@
 use crate::catalog::Catalog;
 use crate::census_cache::CensusCache;
 use crate::error::QueryError;
-use crate::plan::{AlgoChoice, CountHint, MatchHint, Plan, PlanNode, StatsBasis};
+use crate::plan::{AlgoChoice, CountHint, MatchHint, Plan, PlanNode, StatsBasis, ViewProbeJob};
 use crate::shard::ShardSpec;
 use crate::stats::{rank_algorithms, CostJob, GraphStats, PlannerCounters};
+use crate::views::ViewRegistry;
 use ego_census::{plan_stages, Algorithm, CensusSpec};
 use ego_graph::{Graph, NodeId};
 use std::sync::atomic::Ordering;
@@ -47,6 +55,8 @@ pub struct PassContext<'a> {
     pub fingerprint: u64,
     /// Census cache to probe, if attached.
     pub cache: Option<&'a CensusCache>,
+    /// Materialized-view registry to probe, if attached.
+    pub views: Option<&'a ViewRegistry>,
     /// The statement's focal set, when already computed (execution);
     /// `None` when the focal set depends on an unevaluated WHERE clause
     /// (EXPLAIN), in which case count-cache probes stay `Unknown`.
@@ -69,6 +79,7 @@ pub type Pass = fn(PlanNode, &mut PassContext<'_>) -> Result<PlanNode, QueryErro
 pub const OPTIMIZERS: &[(&str, Pass)] = &[
     ("shard-pushdown", shard_pushdown),
     ("cache-substitution", cache_substitution),
+    ("view-substitution", view_substitution),
     ("algorithm-selection", algorithm_selection),
     ("batch-grouping", batch_grouping),
 ];
@@ -206,7 +217,89 @@ fn cache_substitution(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<PlanN
     Ok(node)
 }
 
-/// Pass 3: cost-based algorithm selection. Ranks every algorithm that
+/// Pass 3: view substitution. When *every* census job resolves to a
+/// fresh materialized view whose coverage equals the engine's focal
+/// shard, the census node becomes a [`PlanNode::ViewProbe`] — a pure
+/// gather with zero traversal. Arbitrary focal subsets (WHERE filters,
+/// explicit focal lists) are fine: execution only reads the focal
+/// positions, and the engine's focal computation already restricts
+/// focal nodes to the shard range the view covers. Peek-only, like
+/// cache-substitution: the executor's real probe drives hit counters.
+fn view_substitution(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<PlanNode, QueryError> {
+    let Some(views) = ctx.views else {
+        return Ok(node);
+    };
+    let shard = ctx.shard.filter(|s| !s.is_whole());
+    fn rewrite(
+        node: PlanNode,
+        views: &ViewRegistry,
+        catalog: &Catalog,
+        fp: u64,
+        shard: Option<ShardSpec>,
+        fired: &mut bool,
+    ) -> Result<PlanNode, QueryError> {
+        Ok(match node {
+            PlanNode::Census(c) => {
+                let mut probes = Vec::with_capacity(c.jobs.len());
+                for job in &c.jobs {
+                    let pattern = catalog.require(&job.pattern)?;
+                    let dsl = ego_pattern::to_dsl(pattern);
+                    match views.peek(&dsl, job.k, job.subpattern.as_deref(), fp, shard) {
+                        Some(entry) => probes.push(ViewProbeJob {
+                            projection: job.projection,
+                            pattern: job.pattern.clone(),
+                            dsl,
+                            k: job.k,
+                            subpattern: job.subpattern.clone(),
+                            matches: entry.matches.as_ref().map(|m| m.len()),
+                            coverage: entry.shard,
+                        }),
+                        // One unservable job keeps the whole census: a
+                        // mixed probe/traverse split would break batch
+                        // sharing for the remainder.
+                        None => return Ok(PlanNode::Census(c)),
+                    }
+                }
+                if probes.is_empty() {
+                    return Ok(PlanNode::Census(c));
+                }
+                *fired = true;
+                PlanNode::ViewProbe {
+                    probes,
+                    input: c.input,
+                }
+            }
+            PlanNode::Filter { input } => PlanNode::Filter {
+                input: Box::new(rewrite(*input, views, catalog, fp, shard, fired)?),
+            },
+            PlanNode::Shard { spec, input } => PlanNode::Shard {
+                spec,
+                input: Box::new(rewrite(*input, views, catalog, fp, shard, fired)?),
+            },
+            PlanNode::Project { input } => PlanNode::Project {
+                input: Box::new(rewrite(*input, views, catalog, fp, shard, fired)?),
+            },
+            PlanNode::Order { keys, input } => PlanNode::Order {
+                keys,
+                input: Box::new(rewrite(*input, views, catalog, fp, shard, fired)?),
+            },
+            PlanNode::Limit { n, input } => PlanNode::Limit {
+                n,
+                input: Box::new(rewrite(*input, views, catalog, fp, shard, fired)?),
+            },
+            // Pairwise census has no per-focal count vector to probe.
+            leaf => leaf,
+        })
+    }
+    let mut fired = false;
+    let node = rewrite(node, views, ctx.catalog, ctx.fingerprint, shard, &mut fired)?;
+    if fired {
+        ctx.fired += 1;
+    }
+    Ok(node)
+}
+
+/// Pass 4: cost-based algorithm selection. Ranks every algorithm that
 /// can serve all of the statement's jobs and resolves `Auto` to the
 /// cheapest; a concrete engine algorithm is honored (`forced`) but the
 /// alternatives are still ranked so EXPLAIN can show the road not
@@ -261,10 +354,10 @@ fn algorithm_selection(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<Plan
     Ok(node)
 }
 
-/// Pass 4: group the statement's aggregates into shared batch stages
+/// Pass 5: group the statement's aggregates into shared batch stages
 /// under the chosen algorithm (the same `plan_stages` the batch
 /// executor uses, so the annotation is exactly what will run). Needs a
-/// concrete algorithm: with pass 3 skipped and the engine on `Auto`,
+/// concrete algorithm: with pass 4 skipped and the engine on `Auto`,
 /// grouping stays undecided and the pass does nothing.
 fn batch_grouping(node: PlanNode, ctx: &mut PassContext<'_>) -> Result<PlanNode, QueryError> {
     let graph = ctx.graph;

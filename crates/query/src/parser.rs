@@ -55,6 +55,71 @@ pub fn is_analyze_statement(sql: &str) -> bool {
     word.eq_ignore_ascii_case("ANALYZE")
 }
 
+/// Does this statement start with the `MATERIALIZE` verb?
+pub fn is_materialize_statement(sql: &str) -> bool {
+    let word: String = sql
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    word.eq_ignore_ascii_case("MATERIALIZE")
+}
+
+/// Does this statement start with the `DROP` verb (i.e. `DROP VIEW`)?
+pub fn is_drop_view_statement(sql: &str) -> bool {
+    let word: String = sql
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    word.eq_ignore_ascii_case("DROP")
+}
+
+/// Parse `MATERIALIZE <pattern> RADIUS k [SUBPATTERN sp] [MATCHES]`.
+pub fn parse_materialize(sql: &str) -> Result<MaterializeStmt, QueryError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.expect_kw("MATERIALIZE")?;
+    let pattern = p.ident()?;
+    p.expect_kw("RADIUS")?;
+    let k = p.radius()?;
+    let subpattern = if p.eat_kw("SUBPATTERN") {
+        Some(p.ident()?)
+    } else {
+        None
+    };
+    let matches = p.eat_kw("MATCHES");
+    p.expect_eof()?;
+    Ok(MaterializeStmt {
+        pattern,
+        k,
+        subpattern,
+        matches,
+    })
+}
+
+/// Parse `DROP VIEW <pattern> RADIUS k [SUBPATTERN sp]`.
+pub fn parse_drop_view(sql: &str) -> Result<DropViewStmt, QueryError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.expect_kw("DROP")?;
+    p.expect_kw("VIEW")?;
+    let pattern = p.ident()?;
+    p.expect_kw("RADIUS")?;
+    let k = p.radius()?;
+    let subpattern = if p.eat_kw("SUBPATTERN") {
+        Some(p.ident()?)
+    } else {
+        None
+    };
+    p.expect_eof()?;
+    Ok(DropViewStmt {
+        pattern,
+        k,
+        subpattern,
+    })
+}
+
 /// Parse a mutation script: one or more `;`-separated
 /// `INSERT EDGE (a, b)` / `DELETE EDGE (a, b)` statements.
 pub fn parse_mutations(script: &str) -> Result<Vec<MutationStmt>, QueryError> {
@@ -647,6 +712,47 @@ mod tests {
         assert!(is_mutation_statement("DELETE EDGE (1, 2)"));
         assert!(!is_mutation_statement("SELECT ID FROM nodes"));
         assert!(!is_mutation_statement(""));
+    }
+
+    #[test]
+    fn materialize_statement_parses() {
+        let m = parse_materialize("MATERIALIZE tri RADIUS 2").unwrap();
+        assert_eq!(
+            m,
+            MaterializeStmt {
+                pattern: "tri".into(),
+                k: 2,
+                subpattern: None,
+                matches: false
+            }
+        );
+        let m = parse_materialize("materialize tri radius 1 subpattern hub matches").unwrap();
+        assert_eq!(m.subpattern.as_deref(), Some("hub"));
+        assert!(m.matches);
+        assert!(parse_materialize("MATERIALIZE tri").is_err());
+        assert!(parse_materialize("MATERIALIZE tri RADIUS -1").is_err());
+        assert!(parse_materialize("MATERIALIZE tri RADIUS 2 extra").is_err());
+        assert!(is_materialize_statement("  materialize tri radius 2"));
+        assert!(!is_materialize_statement("SELECT ID FROM nodes"));
+    }
+
+    #[test]
+    fn drop_view_statement_parses() {
+        let d = parse_drop_view("DROP VIEW tri RADIUS 2").unwrap();
+        assert_eq!(
+            d,
+            DropViewStmt {
+                pattern: "tri".into(),
+                k: 2,
+                subpattern: None
+            }
+        );
+        let d = parse_drop_view("drop view tri radius 0 subpattern hub").unwrap();
+        assert_eq!(d.subpattern.as_deref(), Some("hub"));
+        assert!(parse_drop_view("DROP TABLE tri RADIUS 2").is_err());
+        assert!(parse_drop_view("DROP VIEW tri").is_err());
+        assert!(is_drop_view_statement("  drop view tri radius 2"));
+        assert!(!is_drop_view_statement("SELECT ID FROM nodes"));
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub enum PlanNode {
     /// Single-focal census aggregates (COUNTP/COUNTSP over
     /// `SUBGRAPH(ID, k)`), executed as one batch.
     Census(CensusNode),
+    /// Census aggregates served entirely from materialized views: a
+    /// pure gather over pinned count vectors, zero graph traversal.
+    /// The view-substitution pass rewrites a [`PlanNode::Census`] into
+    /// this when every job has a fresh view with matching coverage.
+    ViewProbe {
+        /// One probe per census aggregate in the SELECT list.
+        probes: Vec<ViewProbeJob>,
+        /// Input operator.
+        input: Box<PlanNode>,
+    },
     /// Pairwise census aggregates (`SUBGRAPH-INTERSECTION`/`-UNION`),
     /// executed per ordered node pair.
     PairCensus {
@@ -120,6 +130,27 @@ pub struct CensusJob {
     pub cached_matches: MatchHint,
     /// Whether the count vector for this job's focal set is cached.
     pub cached_counts: CountHint,
+}
+
+/// One census aggregate resolved against a materialized view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewProbeJob {
+    /// Index into `stmt.projections`.
+    pub projection: usize,
+    /// Pattern name (as written in the statement).
+    pub pattern: String,
+    /// Canonical pattern DSL — the view registry key component the
+    /// executor re-probes with.
+    pub dsl: String,
+    /// Neighborhood radius.
+    pub k: u32,
+    /// COUNTSP subpattern name.
+    pub subpattern: Option<String>,
+    /// Length of the view's pinned match list, if it keeps one
+    /// (EXPLAIN provenance).
+    pub matches: Option<usize>,
+    /// The view's focal coverage (`None` = whole graph).
+    pub coverage: Option<ShardSpec>,
 }
 
 /// Census-cache knowledge about a job's global match list.
@@ -296,6 +327,13 @@ pub fn plan_statement(sql: &str) -> Result<Plan, QueryError> {
             "ANALYZE has no query plan; it profiles the graph".into(),
         ));
     }
+    if crate::parser::is_materialize_statement(trimmed)
+        || crate::parser::is_drop_view_statement(trimmed)
+    {
+        return Err(QueryError::Semantic(
+            "view maintenance statements have no query plan".into(),
+        ));
+    }
     if trimmed.len() >= 7 && trimmed[..7].eq_ignore_ascii_case("EXPLAIN") {
         return Err(QueryError::Semantic(
             "EXPLAIN wraps a statement; plan the inner statement".into(),
@@ -319,6 +357,7 @@ impl Plan {
                 PlanNode::Scan { .. } => true,
                 PlanNode::Filter { input }
                 | PlanNode::Shard { input, .. }
+                | PlanNode::ViewProbe { input, .. }
                 | PlanNode::Project { input } => walk(input),
                 PlanNode::Census(c) => walk(&c.input),
             }
@@ -333,10 +372,30 @@ impl Plan {
                 PlanNode::Census(c) => Some(c),
                 PlanNode::Filter { input }
                 | PlanNode::Shard { input, .. }
+                | PlanNode::ViewProbe { input, .. }
                 | PlanNode::Project { input }
                 | PlanNode::Order { input, .. }
                 | PlanNode::Limit { input, .. }
                 | PlanNode::PairCensus { input, .. } => walk(input),
+                PlanNode::Scan { .. } => None,
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// The view-probe node, if the view-substitution pass rewrote the
+    /// census into one.
+    pub fn view_probe(&self) -> Option<&[ViewProbeJob]> {
+        fn walk(node: &PlanNode) -> Option<&[ViewProbeJob]> {
+            match node {
+                PlanNode::ViewProbe { probes, .. } => Some(probes),
+                PlanNode::Filter { input }
+                | PlanNode::Shard { input, .. }
+                | PlanNode::Project { input }
+                | PlanNode::Order { input, .. }
+                | PlanNode::Limit { input, .. }
+                | PlanNode::PairCensus { input, .. } => walk(input),
+                PlanNode::Census(c) => walk(&c.input),
                 PlanNode::Scan { .. } => None,
             }
         }
@@ -355,6 +414,7 @@ impl Plan {
                 PlanNode::Shard { spec, .. } => Some(*spec),
                 PlanNode::Filter { input }
                 | PlanNode::Project { input }
+                | PlanNode::ViewProbe { input, .. }
                 | PlanNode::Order { input, .. }
                 | PlanNode::Limit { input, .. }
                 | PlanNode::PairCensus { input, .. } => walk(input),
@@ -398,6 +458,10 @@ impl PlanNode {
                 aggs,
                 input: Box::new(input.map_census(f)?),
             },
+            PlanNode::ViewProbe { probes, input } => PlanNode::ViewProbe {
+                probes,
+                input: Box::new(input.map_census(f)?),
+            },
             leaf @ PlanNode::Scan { .. } => leaf,
         })
     }
@@ -409,6 +473,7 @@ impl PlanNode {
             PlanNode::Filter { .. } => "filter",
             PlanNode::Shard { .. } => "shard",
             PlanNode::Census(_) => "census",
+            PlanNode::ViewProbe { .. } => "view-probe",
             PlanNode::PairCensus { .. } => "pair-census",
             PlanNode::Project { .. } => "project",
             PlanNode::Order { .. } => "order",
@@ -493,6 +558,8 @@ mod tests {
     fn non_plannable_statements_error() {
         assert!(plan_statement("INSERT EDGE (0, 1)").is_err());
         assert!(plan_statement("ANALYZE").is_err());
+        assert!(plan_statement("MATERIALIZE tri RADIUS 2").is_err());
+        assert!(plan_statement("DROP VIEW tri RADIUS 2").is_err());
         assert!(plan_statement("EXPLAIN SELECT ID FROM nodes").is_err());
         assert!(plan_statement("SELECT FROM").is_err());
     }

@@ -420,6 +420,36 @@ impl Client {
         self.request(&Request::Unsubscribe { id })
     }
 
+    /// Materialize a pattern census as a pinned view (`MATERIALIZE
+    /// <pattern> RADIUS k [MATCHES]`): later statements over the same
+    /// (pattern, radius) are served as pure lookups.
+    pub fn materialize(&mut self, sql: &str) -> std::io::Result<Response> {
+        self.request(&Request::Materialize {
+            sql: sql.to_string(),
+            shard: None,
+        })
+    }
+
+    /// [`Client::materialize`] restricted to one focal shard (the view
+    /// then covers exactly that shard's node range).
+    pub fn materialize_sharded(
+        &mut self,
+        sql: &str,
+        shard: ShardSpec,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::Materialize {
+            sql: sql.to_string(),
+            shard: Some(shard),
+        })
+    }
+
+    /// Drop a materialized view (`DROP VIEW <pattern> RADIUS k`).
+    pub fn drop_view(&mut self, sql: &str) -> std::io::Result<Response> {
+        self.request(&Request::DropView {
+            sql: sql.to_string(),
+        })
+    }
+
     /// Fetch the server/cache counter table.
     pub fn stats(&mut self) -> std::io::Result<TableData> {
         match self.request(&Request::Stats)? {
@@ -468,6 +498,21 @@ mod tests {
                 false,
             ),
             (Request::Unsubscribe { id: 1 }, false),
+            (
+                // Re-sending could double-evict under budget pressure.
+                Request::Materialize {
+                    sql: "MATERIALIZE t RADIUS 1".into(),
+                    shard: None,
+                },
+                false,
+            ),
+            (
+                // The second send errors (`no materialized view`).
+                Request::DropView {
+                    sql: "DROP VIEW t RADIUS 1".into(),
+                },
+                false,
+            ),
             (
                 Request::Define {
                     pattern: "PATTERN p { ?A; }".into(),

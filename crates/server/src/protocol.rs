@@ -17,6 +17,9 @@
 //! {"op":"subscribe","sql":"SUBSCRIBE SELECT ID, COUNTP(t, SUBGRAPH(ID, 1)) FROM nodes"}
 //! {"op":"subscribe","sql":"SUBSCRIBE SELECT ...","shard":"0/4"}
 //! {"op":"unsubscribe","id":1}
+//! {"op":"materialize","sql":"MATERIALIZE t RADIUS 1 MATCHES"}
+//! {"op":"materialize","sql":"MATERIALIZE t RADIUS 1","shard":"0/4"}
+//! {"op":"drop_view","sql":"DROP VIEW t RADIUS 1"}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
@@ -101,6 +104,24 @@ pub enum Request {
         /// The id from the subscribe acknowledgment.
         id: u64,
     },
+    /// Eagerly compute a pattern's census and pin it in the view
+    /// registry (`MATERIALIZE <pattern> RADIUS k [MATCHES]`): later
+    /// `COUNTP`/`COUNTSP` statements over the same (pattern, radius)
+    /// rewrite to pure lookups, and every applied mutation refreshes the
+    /// pinned counts through the incremental engine.
+    Materialize {
+        /// The `MATERIALIZE ...` statement text.
+        sql: String,
+        /// Optional focal shard, like [`Request::Query`]'s: the router
+        /// materializes one focal shard per worker, so each worker's
+        /// view covers exactly the range it scatters.
+        shard: Option<ShardSpec>,
+    },
+    /// Drop a materialized view (`DROP VIEW <pattern> RADIUS k`).
+    DropView {
+        /// The `DROP VIEW ...` statement text.
+        sql: String,
+    },
     /// Server and cache counters.
     Stats,
     /// Ask the server to stop accepting connections and exit.
@@ -149,6 +170,20 @@ impl Request {
             Request::Unsubscribe { id } => vec![
                 ("op".to_string(), Json::Str("unsubscribe".into())),
                 ("id".to_string(), Json::Int(*id as i64)),
+            ],
+            Request::Materialize { sql, shard } => {
+                let mut fields = vec![
+                    ("op".to_string(), Json::Str("materialize".into())),
+                    ("sql".to_string(), Json::Str(sql.clone())),
+                ];
+                if let Some(s) = shard {
+                    fields.push(("shard".to_string(), Json::Str(s.to_string())));
+                }
+                fields
+            }
+            Request::DropView { sql } => vec![
+                ("op".to_string(), Json::Str("drop_view".into())),
+                ("sql".to_string(), Json::Str(sql.clone())),
             ],
             Request::Shutdown => vec![("op".to_string(), Json::Str("shutdown".into()))],
         };
@@ -213,11 +248,25 @@ impl Request {
                     .ok_or("op `unsubscribe` requires a non-negative integer `id` field")?;
                 Ok(Request::Unsubscribe { id: id as u64 })
             }
+            "materialize" => {
+                let shard = match v.get("shard") {
+                    None => None,
+                    Some(j) => {
+                        let text = j.as_str().ok_or("`shard` must be an `i/n` string")?;
+                        Some(ShardSpec::parse(text)?)
+                    }
+                };
+                Ok(Request::Materialize {
+                    sql: field("sql")?,
+                    shard,
+                })
+            }
+            "drop_view" => Ok(Request::DropView { sql: field("sql")? }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op `{other}` (ping, define, query, explain, analyze, update, \
-                 subscribe, unsubscribe, stats, shutdown)"
+                 subscribe, unsubscribe, materialize, drop_view, stats, shutdown)"
             )),
         }
     }
@@ -475,6 +524,17 @@ mod tests {
                 shard: Some(ShardSpec::new(1, 3).unwrap()),
             },
             Request::Unsubscribe { id: 7 },
+            Request::Materialize {
+                sql: "MATERIALIZE t RADIUS 1 MATCHES".into(),
+                shard: None,
+            },
+            Request::Materialize {
+                sql: "MATERIALIZE t RADIUS 2".into(),
+                shard: Some(ShardSpec::new(0, 2).unwrap()),
+            },
+            Request::DropView {
+                sql: "DROP VIEW t RADIUS 1".into(),
+            },
             Request::Stats,
             Request::Shutdown,
         ] {
@@ -537,6 +597,9 @@ mod tests {
         // Malformed shard specs are protocol errors, not silently whole-range.
         assert!(Request::decode(r#"{"op":"query","sql":"SELECT 1","shard":"4/4"}"#).is_err());
         assert!(Request::decode(r#"{"op":"query","sql":"SELECT 1","shard":7}"#).is_err());
+        assert!(Request::decode(r#"{"op":"materialize"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"materialize","sql":"M","shard":"9/4"}"#).is_err());
+        assert!(Request::decode(r#"{"op":"drop_view"}"#).is_err());
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub struct ServerConfig {
     /// graph's `.stats` sidecar when serving from a file). `None` keeps
     /// snapshots in memory only.
     pub stats_path: Option<std::path::PathBuf>,
+    /// Where `materialize` persists the view registry (the graph's
+    /// `.views` sidecar when serving from a file), re-adopted on the
+    /// next startup so restarts are warm. `None` keeps views in memory
+    /// only.
+    pub views_path: Option<std::path::PathBuf>,
+    /// Byte budget of the materialized-view tier (`0` admits nothing).
+    /// Unlike the result cache's LRU, views are pinned: pressure evicts
+    /// largest-first, and only to admit a new `materialize`.
+    pub view_budget_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +72,8 @@ impl Default for ServerConfig {
             shard: None,
             algorithm: Algorithm::Auto,
             stats_path: None,
+            views_path: None,
+            view_budget_bytes: ego_query::DEFAULT_VIEW_BUDGET,
         }
     }
 }

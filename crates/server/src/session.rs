@@ -10,12 +10,16 @@
 use crate::cache::{CacheStats, QueryCache};
 use crate::protocol::{NotifyFrame, Request, Response};
 use crate::server::ServerConfig;
-use ego_continuous::{ContinuousEngine, ExecConfig, Notification, PtConfig, SubscribeAck};
-use ego_dynamic::{DeltaGraph, DirtyIndex};
+use ego_continuous::{
+    CensusSpec, ContinuousEngine, CountVector, ExecConfig, FocalNodes, MatchList, Notification,
+    PtConfig, SubscribeAck,
+};
+use ego_dynamic::{update_batch_on, DeltaGraph, DirtyIndex};
 use ego_graph::{Graph, NodeId};
 use ego_query::{
     canonical_query_key, parse_mutations, Algorithm, Catalog, CensusCache, MutationKind,
     PlannerCounters, QueryEngine, ShardSpec, StatsSlot, SubscriptionSpec, Table, Value,
+    ViewRegistry,
 };
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
@@ -38,10 +42,12 @@ const NOTIFY_QUEUE_FRAMES: usize = 1024;
 
 /// Protocol op names, in the order of [`ServerStats::latency`]. The
 /// request-duration breakdown is keyed by these.
-pub const OP_NAMES: [&str; 10] = [
+pub const OP_NAMES: [&str; 12] = [
     "analyze",
     "define",
+    "drop_view",
     "explain",
+    "materialize",
     "ping",
     "query",
     "shutdown",
@@ -55,14 +61,16 @@ fn op_index(req: &Request) -> usize {
     match req {
         Request::Analyze => 0,
         Request::Define { .. } => 1,
-        Request::Explain { .. } => 2,
-        Request::Ping => 3,
-        Request::Query { .. } => 4,
-        Request::Shutdown => 5,
-        Request::Stats => 6,
-        Request::Subscribe { .. } => 7,
-        Request::Unsubscribe { .. } => 8,
-        Request::Update { .. } => 9,
+        Request::DropView { .. } => 2,
+        Request::Explain { .. } => 3,
+        Request::Materialize { .. } => 4,
+        Request::Ping => 5,
+        Request::Query { .. } => 6,
+        Request::Shutdown => 7,
+        Request::Stats => 8,
+        Request::Subscribe { .. } => 9,
+        Request::Unsubscribe { .. } => 10,
+        Request::Update { .. } => 11,
     }
 }
 
@@ -128,8 +136,12 @@ pub struct ServerStats {
     /// respond to by re-subscribing — rather than pushing deltas off a
     /// stale baseline.
     pub continuous_errors: AtomicU64,
+    /// View refreshes that errored. The whole view tier is cleared when
+    /// this happens — later probes miss and fall back to direct census —
+    /// rather than serving counts off a stale baseline.
+    pub view_refresh_errors: AtomicU64,
     /// Per-op request durations, indexed like [`OP_NAMES`].
-    pub latency: [OpLatency; 10],
+    pub latency: [OpLatency; 12],
 }
 
 impl ServerStats {
@@ -239,6 +251,13 @@ pub struct Shared {
     pub shard: Option<ShardSpec>,
     /// Census algorithm every session executes with.
     pub algorithm: Algorithm,
+    /// The materialized-view tier: pinned per-focal count vectors (and
+    /// optional global match lists) served as pure lookups, refreshed in
+    /// place through every mutation instead of invalidated.
+    pub views: Arc<ViewRegistry>,
+    /// Where view maintenance persists the `.views` sidecar (`None` =
+    /// memory only).
+    pub views_path: Option<PathBuf>,
     /// The continuous-census registry: standing queries whose counts
     /// and match lists are maintained through every mutation.
     pub continuous: Arc<ContinuousEngine>,
@@ -257,6 +276,13 @@ impl Shared {
             if let Ok(Some(stats)) = ego_query::GraphStats::load(path) {
                 *graph_stats.write().unwrap() = Some(Arc::new(stats));
             }
+        }
+        // Re-adopt persisted views so restarts are warm; a missing or
+        // stale-fingerprint sidecar just means an empty tier until the
+        // first `materialize`.
+        let views = Arc::new(ViewRegistry::new(config.view_budget_bytes));
+        if let Some(path) = &config.views_path {
+            let _ = views.adopt_sidecar(path, graph.fingerprint(), graph.num_nodes());
         }
         Shared {
             graph: Arc::new(RwLock::new(graph)),
@@ -278,9 +304,21 @@ impl Shared {
             seed: config.seed,
             shard: config.shard.filter(|s| !s.is_whole()),
             algorithm: config.algorithm,
+            views,
+            views_path: config.views_path.clone(),
             continuous: Arc::new(ContinuousEngine::new()),
             routes: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// The mutation lock, for ops that must serialize with `update`
+    /// without going through [`Shared::apply_mutations`]: `materialize`
+    /// computes against a stable graph and installs + persists its view
+    /// before any later `update` refreshes the tier, so a view is never
+    /// stamped with a fingerprint the refresh path has already moved
+    /// past.
+    fn update_lock(&self) -> Arc<Mutex<()>> {
+        self.update_lock.clone()
     }
 
     /// The current graph (cheap: clones the inner `Arc`).
@@ -352,6 +390,73 @@ impl Shared {
                 None => false,
             });
         self.census.invalidate_matches();
+        // Materialized views are *refreshed*, never invalidated: one
+        // incremental batch over every pinned view (dirty-focal
+        // re-census plus |delta|-scaled match-list maintenance),
+        // installed in place under this same update lock, keeps
+        // view-served rows bit-identical to a full recompute without
+        // re-materializing. A refresh failure clears the tier —
+        // probes then miss and fall back to direct census — rather
+        // than serving counts off a stale baseline.
+        let pinned = self.views.snapshot();
+        if !pinned.is_empty() {
+            let specs: Vec<CensusSpec<'_>> = pinned
+                .iter()
+                .map(|e| {
+                    let focal: Vec<NodeId> = e.counts.iter_focal().map(|(n, _)| n).collect();
+                    let mut s =
+                        CensusSpec::single(&e.pattern, e.k).with_focal(FocalNodes::Set(focal));
+                    if let Some(sp) = &e.subpattern {
+                        s = s.with_subpattern(sp);
+                    }
+                    s
+                })
+                .collect();
+            let previous: Vec<CountVector> = pinned.iter().map(|e| (*e.counts).clone()).collect();
+            let previous_matches: Vec<Option<Arc<MatchList>>> =
+                pinned.iter().map(|e| e.matches.clone()).collect();
+            match update_batch_on(
+                &delta,
+                &new_graph,
+                &specs,
+                &previous,
+                &previous_matches,
+                self.algorithm,
+                &PtConfig::default(),
+                &self.exec_config(),
+            ) {
+                Ok(outcome) => {
+                    for ((entry, counts), matches) in
+                        pinned.iter().zip(outcome.counts).zip(outcome.matches)
+                    {
+                        // A view materialized without MATCHES stays
+                        // without: presence is part of its definition.
+                        let matches = if entry.matches.is_some() {
+                            matches
+                        } else {
+                            None
+                        };
+                        self.views.install_refreshed(
+                            &entry.dsl,
+                            entry.k,
+                            entry.subpattern.as_deref(),
+                            Arc::new(counts),
+                            matches,
+                            fingerprint,
+                        );
+                    }
+                    if let Some(path) = &self.views_path {
+                        let _ = self.views.save(path, fingerprint);
+                    }
+                }
+                Err(_) => {
+                    self.stats
+                        .view_refresh_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.views.clear();
+                }
+            }
+        }
         // Push changed rows to every standing query while the update
         // lock is still held, so subscribers see generations in order.
         if !self.continuous.is_empty() {
@@ -405,21 +510,47 @@ impl Shared {
     /// Register a compiled standing query and route its frames to
     /// `queue`. Takes the update lock so the initial evaluation and the
     /// generation it is stamped with cannot straddle a mutation.
+    ///
+    /// `shard` is the effective focal shard the statement was compiled
+    /// under: when a materialized view with the same coverage holds a
+    /// maintained match list for an aggregate's (pattern, radius), that
+    /// list seeds the subscription's baseline and the initial evaluation
+    /// skips global enumeration for it — the view is refreshed on this
+    /// same lock, so it is current by construction.
     pub fn subscribe(
         &self,
         spec: SubscriptionSpec,
+        shard: Option<ShardSpec>,
         queue: &Arc<NotifyQueue>,
     ) -> Result<SubscribeAck, String> {
         let _guard = self.update_lock.lock().unwrap();
+        let graph = self.current_graph();
+        let fingerprint = graph.fingerprint();
+        let provided: Vec<Option<Arc<MatchList>>> = spec
+            .aggs
+            .iter()
+            .map(|a| {
+                self.views
+                    .peek(
+                        &a.pattern_dsl,
+                        a.k,
+                        a.subpattern.as_deref(),
+                        fingerprint,
+                        shard.filter(|s| !s.is_whole()),
+                    )
+                    .and_then(|e| e.matches.clone())
+            })
+            .collect();
         let ack = self
             .continuous
-            .subscribe(
-                &self.current_graph(),
+            .subscribe_seeded(
+                &graph,
                 spec,
                 self.generation(),
                 self.algorithm,
                 &PtConfig::default(),
                 &self.exec_config(),
+                &provided,
             )
             .map_err(|e| e.to_string())?;
         self.routes.lock().unwrap().insert(ack.id, queue.clone());
@@ -486,6 +617,8 @@ impl Session {
         engine.set_planner_counters(shared.planner.clone());
         engine.set_stats_slot(shared.graph_stats.clone());
         engine.set_stats_path(shared.stats_path.clone());
+        engine.set_views(shared.views.clone());
+        engine.set_views_path(shared.views_path.clone());
         Session {
             shared: shared.clone(),
             engine,
@@ -532,6 +665,8 @@ impl Session {
         engine.set_planner_counters(self.shared.planner.clone());
         engine.set_stats_slot(self.shared.graph_stats.clone());
         engine.set_stats_path(self.shared.stats_path.clone());
+        engine.set_views(self.shared.views.clone());
+        engine.set_views_path(self.shared.views_path.clone());
         self.engine = engine;
         self.generation = generation;
     }
@@ -564,6 +699,8 @@ impl Session {
             Request::Update { mutations } => self.handle_update(mutations),
             Request::Subscribe { sql, shard } => self.handle_subscribe(sql, *shard),
             Request::Unsubscribe { id } => self.handle_unsubscribe(*id),
+            Request::Materialize { sql, shard } => self.handle_materialize(sql, *shard),
+            Request::DropView { sql } => self.handle_drop_view(sql),
             Request::Stats => self.handle_stats(),
             Request::Shutdown => {
                 self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -664,7 +801,7 @@ impl Session {
             Ok(spec) => spec,
             Err(e) => return Response::error(e.to_string()).encode(),
         };
-        match self.shared.subscribe(spec, &self.queue) {
+        match self.shared.subscribe(spec, effective, &self.queue) {
             Ok(ack) => {
                 self.subs.push(ack.id);
                 let mut t = Table::new(vec!["stat".into(), "value".into()]);
@@ -688,6 +825,28 @@ impl Session {
             }
             Err(message) => Response::error(message).encode(),
         }
+    }
+
+    fn handle_materialize(&mut self, sql: &str, shard: Option<ShardSpec>) -> String {
+        // Under the update lock: the census runs against a graph no
+        // mutation can swap mid-flight, so the installed view's
+        // fingerprint is current when the lock is released and the next
+        // `update`'s refresh pass will find it. Re-refresh the engine
+        // inside the lock in case a mutation landed since dispatch.
+        let lock = self.shared.update_lock();
+        let _guard = lock.lock().unwrap();
+        self.refresh();
+        let effective = shard.filter(|s| !s.is_whole()).or(self.shared.shard);
+        self.engine.set_focal_shard(effective);
+        self.encode_execution(|e| e.execute(sql))
+    }
+
+    fn handle_drop_view(&mut self, sql: &str) -> String {
+        // The lock serializes the drop and its sidecar re-persist with
+        // concurrent materialize/update persists.
+        let lock = self.shared.update_lock();
+        let _guard = lock.lock().unwrap();
+        self.encode_execution(|e| e.execute(sql))
     }
 
     fn handle_unsubscribe(&mut self, id: u64) -> String {
@@ -720,6 +879,7 @@ impl Session {
     fn handle_stats(&self) -> String {
         let cache = self.shared.cache.stats();
         let census = self.shared.census.stats();
+        let views = self.shared.views.stats();
         let cont = self.shared.continuous.stats();
         let setops = ego_graph::setops::global_snapshot();
         let stats = &self.shared.stats;
@@ -733,11 +893,13 @@ impl Session {
             ("cache_insertions", cache.insertions),
             ("cache_invalidations", cache.invalidations),
             ("cache_misses", cache.misses),
+            ("census_count_bytes", census.count_bytes as u64),
             ("census_count_entries", census.count_entries as u64),
             ("census_count_hits", census.count_hits),
             ("census_count_misses", census.count_misses),
             ("census_count_retained", census.count_retained),
             ("census_invalidations", census.invalidations),
+            ("census_match_bytes", census.match_bytes as u64),
             ("census_match_entries", census.match_entries as u64),
             ("census_match_hits", census.match_hits),
             ("census_match_misses", census.match_misses),
@@ -753,6 +915,7 @@ impl Session {
             ("continuous_match_survivors", cont.match_survivors),
             ("continuous_notifications", cont.notifications),
             ("continuous_rows_pushed", cont.rows_pushed),
+            ("continuous_seeded", cont.seeded),
             ("continuous_subscriptions", cont.subscriptions as u64),
             ("continuous_updates", cont.updates),
             (
@@ -783,6 +946,19 @@ impl Session {
             ("setops_gallop_calls", setops.gallop_calls),
             ("setops_merge_calls", setops.merge_calls),
             ("setops_saved_allocs", setops.saved_allocs),
+            ("view_budget_bytes", views.budget_bytes as u64),
+            ("view_bytes", views.bytes as u64),
+            ("view_drops", views.drops),
+            ("view_entries", views.entries as u64),
+            ("view_evictions", views.evictions),
+            ("view_hits", views.hits),
+            ("view_materializations", views.materializations),
+            (
+                "view_refresh_errors",
+                stats.view_refresh_errors.load(Ordering::Relaxed),
+            ),
+            ("view_refreshes", views.refreshes),
+            ("view_sidecar_loads", views.sidecar_loads),
         ]
         .into_iter()
         .map(|(n, v)| (n.to_string(), v))
@@ -1414,6 +1590,173 @@ mod tests {
         // The retention counter surfaces through the stats op.
         let st = table(&s.handle_line(r#"{"op":"stats"}"#));
         assert_eq!(st.stat("census_count_retained"), Some(1));
+    }
+
+    /// Find a labeled row in an EXPLAIN table (rows are indented).
+    fn explain_has_row(t: &TableData, label: &str) -> bool {
+        t.rows
+            .iter()
+            .any(|r| matches!(&r[0], Value::Str(s) if s.trim_start() == label))
+    }
+
+    #[test]
+    fn materialize_pins_a_view_served_as_pure_probe() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let m = r#"{"op":"materialize","sql":"MATERIALIZE clq3_unlb RADIUS 1 MATCHES"}"#;
+        let ack = table(&s.handle_line(m));
+        assert!(ack
+            .rows
+            .iter()
+            .any(|r| r.contains(&Value::Str("materialized".into()))));
+        // The plan rewrites to a pure view probe...
+        let explain =
+            r#"{"op":"explain","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let t = table(&s.handle_line(explain));
+        assert!(explain_has_row(&t, "view-probe"), "{t:?}");
+        assert!(!explain_has_row(&t, "census"), "{t:?}");
+        // ...and the served rows are the census answer.
+        let q =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let t = table(&s.handle_line(q));
+        assert_eq!(t.rows[2][1], Value::Int(2));
+        assert_eq!(t.rows[5][1], Value::Int(0));
+        let st = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("view_entries"), Some(1));
+        assert_eq!(st.stat("view_materializations"), Some(1));
+        assert!(st.stat("view_hits").unwrap() >= 1);
+        assert!(st.stat("view_bytes").unwrap() > 0);
+        assert_eq!(st.stat("latency_materialize_count"), Some(1));
+        // Another session sees the same shared tier.
+        let mut s2 = Session::new(&sh);
+        let t = table(&s2.handle_line(explain));
+        assert!(explain_has_row(&t, "view-probe"));
+    }
+
+    #[test]
+    fn drop_view_restores_census_execution_and_unknown_drop_errors() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let _ = s.handle_line(r#"{"op":"materialize","sql":"MATERIALIZE clq3_unlb RADIUS 1"}"#);
+        let d = r#"{"op":"drop_view","sql":"DROP VIEW clq3_unlb RADIUS 1"}"#;
+        let ack = table(&s.handle_line(d));
+        assert!(ack
+            .rows
+            .iter()
+            .any(|r| r.contains(&Value::Str("dropped".into()))));
+        let explain =
+            r#"{"op":"explain","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let t = table(&s.handle_line(explain));
+        assert!(explain_has_row(&t, "census"), "{t:?}");
+        // Dropping again is an error naming the view.
+        let r = Response::decode(&s.handle_line(d)).unwrap();
+        assert!(r.is_error());
+        let st = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("view_entries"), Some(0));
+        assert_eq!(st.stat("view_drops"), Some(1));
+    }
+
+    #[test]
+    fn update_refreshes_views_in_place_and_serves_fresh_counts() {
+        let sh = shared();
+        let mut s = Session::new(&sh);
+        let _ =
+            s.handle_line(r#"{"op":"materialize","sql":"MATERIALIZE clq3_unlb RADIUS 1 MATCHES"}"#);
+        let q =
+            r#"{"op":"query","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let before = table(&s.handle_line(q));
+        assert_eq!(before.rows[5][1], Value::Int(0));
+        assert!(!Response::decode(
+            &s.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        // The view was refreshed through the incremental engine — not
+        // invalidated — so the statement still plans as a pure probe and
+        // the served counts match the full recompute on the new graph.
+        let explain =
+            r#"{"op":"explain","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let t = table(&s.handle_line(explain));
+        assert!(explain_has_row(&t, "view-probe"), "view survives updates");
+        let after = table(&s.handle_line(q));
+        let counts: Vec<Value> = after.rows.iter().map(|r| r[1].clone()).collect();
+        assert_eq!(
+            counts,
+            [1, 1, 2, 1, 2, 1, 1].map(Value::Int).to_vec(),
+            "view-served counts equal the recompute on the mutated graph"
+        );
+        let st = table(&s.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("view_refreshes"), Some(1));
+        assert_eq!(st.stat("view_refresh_errors"), Some(0));
+        assert_eq!(st.stat("view_entries"), Some(1));
+    }
+
+    #[test]
+    fn subscribe_seeds_its_baseline_from_a_materialized_view() {
+        let sh = shared();
+        let mut sub = Session::new(&sh);
+        let mut mutator = Session::new(&sh);
+        let _ = sub
+            .handle_line(r#"{"op":"materialize","sql":"MATERIALIZE clq3_unlb RADIUS 1 MATCHES"}"#);
+        let ack = table(&sub.handle_line(
+            r#"{"op":"subscribe","sql":"SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#,
+        ));
+        assert_eq!(ack.stat("focal"), Some(7));
+        let st = table(&sub.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(
+            st.stat("continuous_seeded"),
+            Some(1),
+            "the view's maintained match list is the baseline"
+        );
+        // The seeded baseline diffs exactly like an enumerated one.
+        assert!(!Response::decode(
+            &mutator.handle_line(r#"{"op":"update","mutations":"INSERT EDGE (4, 6)"}"#)
+        )
+        .unwrap()
+        .is_error());
+        let frames = sub.drain_notifications();
+        assert_eq!(frames.len(), 1);
+        let f = notify(&frames[0]);
+        let rows: Vec<(i64, i64, i64)> = f
+            .rows
+            .iter()
+            .map(|r| match (&r[0], &r[2], &r[3]) {
+                (Value::Int(n), Value::Int(old), Value::Int(new)) => (*n, *old, *new),
+                other => panic!("unexpected row shape: {other:?}"),
+            })
+            .collect();
+        assert_eq!(rows, vec![(4, 1, 2), (5, 0, 1), (6, 0, 1)]);
+    }
+
+    #[test]
+    fn views_sidecar_warms_a_restart() {
+        let dir = std::env::temp_dir().join(format!("ego_server_views_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fixture.egb.views");
+        let _ = std::fs::remove_file(&path);
+        let config = ServerConfig {
+            cache_bytes: 1 << 20,
+            exec_threads: 1,
+            views_path: Some(path.clone()),
+            ..ServerConfig::default()
+        };
+        let sh = Shared::new(fixture(), Arc::new(Catalog::with_builtins()), &config);
+        let mut s = Session::new(&sh);
+        let _ =
+            s.handle_line(r#"{"op":"materialize","sql":"MATERIALIZE clq3_unlb RADIUS 1 MATCHES"}"#);
+        assert!(path.exists(), "materialize persists the sidecar");
+        drop(s);
+        // A fresh Shared over the same graph re-adopts the sidecar.
+        let sh2 = Shared::new(fixture(), Arc::new(Catalog::with_builtins()), &config);
+        let mut s2 = Session::new(&sh2);
+        let st = table(&s2.handle_line(r#"{"op":"stats"}"#));
+        assert_eq!(st.stat("view_entries"), Some(1));
+        assert_eq!(st.stat("view_sidecar_loads"), Some(1));
+        let explain =
+            r#"{"op":"explain","sql":"SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes"}"#;
+        let t = table(&s2.handle_line(explain));
+        assert!(explain_has_row(&t, "view-probe"), "restart is warm");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

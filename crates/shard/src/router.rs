@@ -25,6 +25,15 @@
 //!   the same statistics snapshot; profiles must agree byte-for-byte.
 //! * `stats`: scattered, aggregated by [`crate::merge::merge_stats`],
 //!   with `router_*` counters appended.
+//! * `materialize`: **broadcast as shard legs** under the write lock —
+//!   worker `j` of `n` pins the view for focal shard `j/n`, exactly the
+//!   shard a scattered query will later send it, so every shard of a
+//!   subsequent `COUNTP` over the pattern is a pure view probe. The ack
+//!   table is deliberately shard-independent, so the per-worker acks
+//!   must agree byte-for-byte; divergence means the fleet's graphs (or
+//!   view tiers) differ and is surfaced as an error.
+//! * `drop_view`: broadcast under the write lock, acks compared like
+//!   `analyze` — an unknown view errors identically on every worker.
 //! * `subscribe`: **broadcast as shard legs**. The standing query is
 //!   registered once per live worker, leg `j` covering focal shard
 //!   `j/n` (`n` frozen at subscribe time, like a scattered query), and
@@ -311,6 +320,8 @@ impl RouterSession {
                 }
             }
             Request::Analyze => self.handle_analyze(),
+            Request::Materialize { sql, shard } => self.handle_materialize(sql, *shard),
+            Request::DropView { sql } => self.handle_drop_view(sql),
             Request::Update { mutations } => self.handle_update(mutations),
             Request::Subscribe { sql, shard } => self.handle_subscribe(sql, *shard),
             Request::Unsubscribe { id } => self.handle_unsubscribe(*id),
@@ -571,6 +582,85 @@ impl RouterSession {
         if self.has_subscriptions() {
             self.absorb_buffered_frames();
             self.recover_dead_legs();
+        }
+        first.clone()
+    }
+
+    /// Broadcast a `materialize` as one shard leg per live worker under
+    /// the coherence write lock (no mutation may interleave between the
+    /// legs' census runs, or the pinned fingerprints would diverge).
+    /// Worker `j` pins the view for focal shard `j/n` — the same
+    /// partitioning a scattered query uses, so later shards land on
+    /// workers whose views cover exactly those focal ranges. The ack
+    /// table carries no shard-dependent rows; divergent acks mean the
+    /// workers materialized different views and are reported, not
+    /// merged.
+    fn handle_materialize(&mut self, sql: &str, shard: Option<ShardSpec>) -> String {
+        if shard.is_some() {
+            return Response::error(
+                "materialize through the router does not accept an explicit shard",
+            )
+            .encode();
+        }
+        let shared = self.shared.clone();
+        let _write = shared.coherence.write().expect("coherence poisoned");
+        let ups = self.shared.up_indices();
+        if ups.is_empty() {
+            return Response::error("no workers available").encode();
+        }
+        let n = ups.len() as u32;
+        let mut encoded: Vec<String> = Vec::new();
+        for (j, &w) in ups.iter().enumerate() {
+            let req = Request::Materialize {
+                sql: sql.to_string(),
+                shard: Some(ShardSpec::new(j as u32, n).expect("shard index < count")),
+            };
+            match self.conn(w).and_then(|c| c.request(&req)) {
+                // A rejected statement (unknown pattern, over-budget
+                // view) fails identically everywhere; the first error is
+                // the direct server's bytes.
+                Ok(Response::Error { message }) => return Response::error(message).encode(),
+                Ok(resp) => encoded.push(resp.encode()),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+        let Some(first) = encoded.first() else {
+            return Response::error("no workers available").encode();
+        };
+        if let Some(odd) = encoded.iter().find(|e| *e != first) {
+            return Response::error(format!(
+                "workers diverged after materialize: {first} vs {odd}"
+            ))
+            .encode();
+        }
+        first.clone()
+    }
+
+    /// Broadcast a `drop_view` to every live worker under the coherence
+    /// write lock, then check the acks agree — dropping is
+    /// deterministic, and an unknown view errors identically on every
+    /// worker, so the first response is the direct server's bytes.
+    fn handle_drop_view(&mut self, sql: &str) -> String {
+        let shared = self.shared.clone();
+        let _write = shared.coherence.write().expect("coherence poisoned");
+        let req = Request::DropView {
+            sql: sql.to_string(),
+        };
+        let mut encoded: Vec<String> = Vec::new();
+        for w in self.shared.up_indices() {
+            match self.conn(w).and_then(|c| c.request(&req)) {
+                Ok(resp) => encoded.push(resp.encode()),
+                Err(_) => self.fail_worker(w),
+            }
+        }
+        let Some(first) = encoded.first() else {
+            return Response::error("no workers available").encode();
+        };
+        if let Some(odd) = encoded.iter().find(|e| *e != first) {
+            return Response::error(format!(
+                "workers diverged after drop view: {first} vs {odd}"
+            ))
+            .encode();
         }
         first.clone()
     }

@@ -235,6 +235,64 @@ wait "$serve_pid" || true
 serve_pid=""
 echo "    changed rows pushed end to end, direct and through the router"
 
+echo "==> materialized views smoke test (sidecar; EXPLAIN view:; freshness; direct + routed)"
+# Same 7-node fixture. A materialized view must serve byte-identically
+# to a cold recompute, stay fresh through an update without being
+# re-materialized, and behave the same through the sharded router.
+view_sql='SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes'
+./target/release/egocensus materialize "$tmpdir/dyn.txt" \
+  'MATERIALIZE clq3_unlb RADIUS 1 MATCHES' >/dev/null
+[ -f "$tmpdir/dyn.txt.views" ] \
+  || { echo "FAIL: materialize did not write the .views sidecar"; exit 1; }
+./target/release/egocensus query "$tmpdir/dyn.txt" "EXPLAIN $view_sql" >"$tmpdir/view_explain.txt"
+grep -q 'view:' "$tmpdir/view_explain.txt" \
+  || { echo "FAIL: EXPLAIN should show view: provenance after adopting the sidecar"; exit 1; }
+./target/release/egocensus query "$tmpdir/dyn.txt" --csv "$view_sql" >"$tmpdir/view_got.csv"
+rm "$tmpdir/dyn.txt.views"
+./target/release/egocensus query "$tmpdir/dyn.txt" --csv "$view_sql" >"$tmpdir/view_want.csv"
+cmp -s "$tmpdir/view_want.csv" "$tmpdir/view_got.csv" \
+  || { echo "FAIL: view-served rows diverge from the cold recompute"; exit 1; }
+# Direct reference for the post-update answer: apply the same mutation
+# offline and recompute cold.
+./target/release/egocensus mutate "$tmpdir/dyn.txt" --apply 'INSERT EDGE (4, 6)' \
+  --pattern 'PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }' --k 1 -o "$tmpdir/dyn_ins.txt" >/dev/null
+./target/release/egocensus query "$tmpdir/dyn_ins.txt" --csv "$view_sql" >"$tmpdir/view_after_want.csv"
+run_view_smoke() { # $1 = serve args, $2 = label
+  # shellcheck disable=SC2086
+  ./target/release/egocensus serve "$tmpdir/dyn.txt" --addr 127.0.0.1:0 \
+    $1 >"$tmpdir/view-serve.log" &
+  serve_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$tmpdir/view-serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "FAIL: $2 view server never printed its address"; exit 1; }
+  ./target/release/egocensus client --addr "$addr" \
+    --materialize 'MATERIALIZE clq3_unlb RADIUS 1 MATCHES' >/dev/null
+  ./target/release/egocensus client --addr "$addr" --csv "$view_sql" >"$tmpdir/view_srv.csv"
+  cmp -s "$tmpdir/view_want.csv" "$tmpdir/view_srv.csv" \
+    || { echo "FAIL: $2 view-served rows diverge from the direct recompute"; exit 1; }
+  ./target/release/egocensus client --addr "$addr" --update 'INSERT EDGE (4, 6)' >/dev/null
+  ./target/release/egocensus client --addr "$addr" --csv "$view_sql" >"$tmpdir/view_srv2.csv"
+  cmp -s "$tmpdir/view_after_want.csv" "$tmpdir/view_srv2.csv" \
+    || { echo "FAIL: $2 post-update view rows diverge from the direct recompute"; exit 1; }
+  view_stats=$(./target/release/egocensus client --addr "$addr" --csv --stats)
+  echo "$view_stats" | grep -q '^view_refresh_errors,0$' \
+    || { echo "FAIL: $2 refresh must not error"; exit 1; }
+  echo "$view_stats" | grep -q '^view_refreshes,[1-9]' \
+    || { echo "FAIL: $2 update must refresh the pinned view in place"; exit 1; }
+  echo "$view_stats" | grep -q '^view_hits,[1-9]' \
+    || { echo "FAIL: $2 queries must be served by the view tier"; exit 1; }
+  ./target/release/egocensus client --addr "$addr" --shutdown >/dev/null
+  wait "$serve_pid" || true
+  serve_pid=""
+}
+run_view_smoke "--threads 2 --cache-mb 8 --views off" "direct"
+run_view_smoke "--workers 2 --threads 2 --cache-mb 8" "routed"
+echo "    view-served answers match cold recomputes, before and after a mutation"
+
 echo "==> planner smoke test (ANALYZE sidecar; EXPLAIN costs; dense-vs-sparse choice)"
 ./target/release/egocensus analyze "$tmpdir/g.txt" >/dev/null
 [ -f "$tmpdir/g.txt.stats" ] \

@@ -53,6 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => cmd_analyze(rest),
         "match" => cmd_match(rest),
         "query" => cmd_query(rest),
+        "materialize" => cmd_materialize(rest),
         "topk" => cmd_topk(rest),
         "mutate" => cmd_mutate(rest),
         "serve" => cmd_serve(rest),
@@ -75,13 +76,15 @@ fn print_usage() {
 USAGE:
   egocensus generate --model <ba|er|ws> --nodes <N> [--param <M>] [--labels <L>]
                      [--seed <S>] -o <file>
-  egocensus convert <graph-file> -o <file>
+  egocensus convert <graph-file> -o <file> [--force]
   egocensus stats <graph-file>
   egocensus analyze <graph-file>
   egocensus match <graph-file> --pattern <DSL> [--matcher <cn|gql>] [--threads <T>]
                   [--stats]
   egocensus query <graph-file> [--define <DSL>]... [--algorithm <name>]
                   [--threads <T>] [--csv] <SQL>
+  egocensus materialize <graph-file> [--define <DSL>]... [--algorithm <name>]
+                        [--threads <T>] '<MATERIALIZE ... | DROP VIEW ...>'
   egocensus topk <graph-file> --pattern <DSL> --k <radius> [--top <n>]
                  [--subpattern <name>] [--threads <T>]
   egocensus mutate <graph-file> --apply <script> [-o <file>]
@@ -90,8 +93,10 @@ USAGE:
   egocensus serve <graph-file> [--addr <host:port>] [--threads <pool>]
                   [--exec-threads <T>] [--cache-mb <MB>] [--seed <S>]
                   [--algorithm <name>] [--shard-of <M/N>] [--define <DSL>]...
+                  [--view-budget-mb <MB>] [--views <file|off>]
                   [--workers <N> | --attach <host:port,...>]
   egocensus client [--addr <host:port>] [--define <DSL>]... [--update <script>]
+                   [--materialize <stmt>]... [--drop-view <stmt>]...
                    [--subscribe <SQL> [--watch <secs>]]
                    [--analyze] [--stats] [--shutdown] [--csv] [<SQL>]
 
@@ -109,6 +114,15 @@ numbers instead of its structural heuristic. `query` and `serve` adopt
 the sidecar automatically and detect staleness by graph fingerprint.
 The `ANALYZE` SQL statement (and `client --analyze`) does the same
 in-engine and server-side respectively.
+Materialize: runs a `MATERIALIZE <pattern> RADIUS <k> [SUBPATTERN <sp>]
+[MATCHES]` (or `DROP VIEW <pattern> RADIUS <k>`) statement against the
+graph and persists the pinned count vector to the `<graph-file>.views`
+sidecar; a later `query`, `materialize`, or `serve` on the same graph
+adopts it, and COUNTP/COUNTSP over the pattern become pure lookups
+(EXPLAIN shows `view:` provenance). Server-side, `client --materialize`
+does the same through the `materialize` op, kept fresh across `update`s
+by the incremental engine. `serve --views off` keeps views in memory
+only; `--view-budget-mb` bounds the tier (largest views evicted first).
 Mutate: applies an edge-mutation script (`INSERT EDGE (a, b); DELETE
 EDGE (a, b); ...`) as a delta overlay; with --pattern it re-censuses
 only the dirty focal nodes incrementally (--verify cross-checks against
@@ -262,9 +276,17 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let f = parse_flags(args, &[])?;
+    let f = parse_flags(args, &["force"])?;
     let path = f.positional.first().ok_or("missing graph file")?;
     let out = f.get("out").ok_or("missing -o <file>")?;
+    // Refuse to clobber an existing graph: the write below truncates
+    // before the source is even validated, so a typo'd -o would destroy
+    // data. --force opts back in.
+    if std::path::Path::new(out).exists() && !f.has("force") {
+        return Err(format!(
+            "{out} already exists; pass --force to overwrite it"
+        ));
+    }
     let g = load_graph(path)?;
     io::save_path(&g, out).map_err(|e| format!("cannot write {out}: {e}"))?;
     // Re-open what we just wrote and prove it is the same graph: equal
@@ -443,6 +465,39 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `materialize <graph-file> '<stmt>'`: run a `MATERIALIZE` (or `DROP
+/// VIEW`) statement against the graph offline. The engine adopts the
+/// graph's `.views` sidecar on open and re-persists it after the
+/// statement, so a later `query` or `serve` on the same file starts
+/// with the view warm — the offline counterpart of `client
+/// --materialize`, analogous to `analyze` priming the `.stats` sidecar.
+fn cmd_materialize(args: &[String]) -> Result<(), String> {
+    let f = parse_flags(args, &[])?;
+    let path = f.positional.first().ok_or("missing graph file")?;
+    let stmt = f
+        .positional
+        .get(1)
+        .ok_or("missing MATERIALIZE or DROP VIEW statement (quote it as one argument)")?;
+    let mut engine =
+        QueryEngine::open_with_builtins(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    for def in f.get_all("define") {
+        engine
+            .catalog_mut()
+            .define_or_replace(def)
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(a) = f.get("algorithm") {
+        engine.set_algorithm(parse_algorithm(a)?);
+    }
+    engine.set_threads(f.parse("threads", 0usize)?);
+    let table = engine.execute(stmt).map_err(|e| e.to_string())?;
+    print!("{table}");
+    if let Some(sidecar) = engine.views_path() {
+        println!("wrote {}", sidecar.display());
+    }
+    Ok(())
+}
+
 fn cmd_topk(args: &[String]) -> Result<(), String> {
     let f = parse_flags(args, &[])?;
     let path = f.positional.first().ok_or("missing graph file")?;
@@ -573,6 +628,21 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None => None,
         Some(text) => Some(ShardSpec::parse(text)?),
     };
+    // Views persist to the graph's `.views` sidecar by default so a
+    // restart is warm; `--views off` keeps the tier in memory only
+    // (router-spawned workers run this way — per-shard views from N
+    // workers would clobber one shared sidecar file).
+    let views_path = match f.get("views") {
+        Some("off") => None,
+        Some(p) => Some(std::path::PathBuf::from(p)),
+        None => Some(egocensus::query::ViewRegistry::sidecar_path(
+            std::path::Path::new(&path),
+        )),
+    };
+    let view_budget_mb: usize = f.parse(
+        "view-budget-mb",
+        egocensus::query::DEFAULT_VIEW_BUDGET >> 20,
+    )?;
     let config = ServerConfig {
         pool_threads: f.parse("threads", 4usize)?,
         exec_threads: f.parse("exec-threads", 0usize)?,
@@ -581,6 +651,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         shard,
         algorithm: parse_algorithm(f.get("algorithm").unwrap_or("auto"))?,
         stats_path: Some(GraphStats::sidecar_path(std::path::Path::new(&path))),
+        views_path,
+        view_budget_bytes: view_budget_mb << 20,
         ..ServerConfig::default()
     };
     let graph = Arc::new(load_graph(&path)?);
@@ -626,7 +698,18 @@ fn cmd_serve_router(f: &Flags, path: &str, addr: &str, workers: usize) -> Result
             let fleet = WorkerFleet::spawn(workers, |_j| {
                 let mut c = std::process::Command::new(&exe);
                 c.arg("serve").arg(path).args(["--addr", "127.0.0.1:0"]);
-                for flag in ["threads", "exec-threads", "cache-mb", "seed", "algorithm"] {
+                // Workers keep views in memory: each pins a different
+                // focal shard of a view, and N workers persisting to the
+                // graph's one shared `.views` sidecar would clobber it.
+                c.args(["--views", "off"]);
+                for flag in [
+                    "threads",
+                    "exec-threads",
+                    "cache-mb",
+                    "seed",
+                    "algorithm",
+                    "view-budget-mb",
+                ] {
                     if let Some(v) = f.get(flag) {
                         c.arg(format!("--{flag}")).arg(v);
                     }
@@ -688,6 +771,14 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     }
     for script in f.get_all("update") {
         print(client.update(script).map_err(|e| e.to_string())?)?;
+    }
+    // Materialize (and drop) before any query so `client --materialize
+    // '...' 'SELECT ...'` probes the view it just pinned.
+    for stmt in f.get_all("materialize") {
+        print(client.materialize(stmt).map_err(|e| e.to_string())?)?;
+    }
+    for stmt in f.get_all("drop-view") {
+        print(client.drop_view(stmt).map_err(|e| e.to_string())?)?;
     }
     // Analyze before any query so `--analyze 'EXPLAIN ...'` shows the
     // cost-model basis the fresh snapshot enables.

@@ -406,6 +406,57 @@ fn router_stats_aggregate_worker_counters_and_latency() {
     fleet.stop();
 }
 
+/// Materialized views through the router: worker `j` pins shard `j/n`
+/// of the view, a scattered query's shard `j/n` then probes it, and
+/// every response — materialize ack, view-served rows, post-update
+/// rows (refreshed in place), drop ack, and the census rows after the
+/// drop — must be byte-identical to a single direct server's.
+#[test]
+fn materialized_views_through_the_router_match_a_direct_server() {
+    let sql = QUERIES[0];
+    let lines = vec![
+        r#"{"op":"materialize","sql":"MATERIALIZE clq3_unlb RADIUS 1 MATCHES"}"#.to_string(),
+        raw_query(sql),
+        r#"{"op":"update","mutations":"INSERT EDGE (5, 60)"}"#.to_string(),
+        raw_query(sql),
+        r#"{"op":"drop_view","sql":"DROP VIEW clq3_unlb RADIUS 1"}"#.to_string(),
+        raw_query(sql),
+        // A second drop errors; the error bytes must match too.
+        r#"{"op":"drop_view","sql":"DROP VIEW clq3_unlb RADIUS 1"}"#.to_string(),
+    ];
+    let expected = direct_responses("auto", &lines);
+    for workers in [1usize, 2, 4] {
+        let fleet = spawn_fleet(workers, "auto");
+        let mut client = Client::connect(fleet.router_addr).expect("connect router");
+        for (line, want) in lines.iter().zip(&expected) {
+            let got = client.send_raw(line).expect("router response");
+            assert_eq!(&got, want, "workers={workers} line={line}");
+        }
+        // Every worker pinned, probed, refreshed, and dropped its shard
+        // of the view; the merged stats sum the fleet's counters.
+        let stats = client.stats().expect("router stats");
+        let w = workers as i64;
+        assert_eq!(stats.stat("view_entries"), Some(0), "workers={workers}");
+        assert_eq!(
+            stats.stat("view_materializations"),
+            Some(w),
+            "workers={workers}"
+        );
+        assert_eq!(stats.stat("view_drops"), Some(w), "workers={workers}");
+        assert_eq!(stats.stat("view_refreshes"), Some(w), "workers={workers}");
+        assert!(
+            stats.stat("view_hits").unwrap_or(0) >= w,
+            "workers={workers}: each shard probe must hit its worker's view"
+        );
+        assert_eq!(
+            stats.stat("view_refresh_errors"),
+            Some(0),
+            "workers={workers}"
+        );
+        fleet.stop();
+    }
+}
+
 // --- continuous subscriptions through the router ---
 
 const SUB_SQL: &str = "SUBSCRIBE SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes";

@@ -1,0 +1,282 @@
+//! Bit-identity for the materialized-view tier.
+//!
+//! Two layers of evidence:
+//!
+//! 1. **Engine-level**: for any graph, any census algorithm, any thread
+//!    count, `COUNTP` and `COUNTSP`, and any focal subset (`WHERE`
+//!    filters including `RND()` sampling), a query served from a
+//!    materialized view must reproduce a plain engine's recompute
+//!    exactly. A proptest sweeps random graphs × the full combination
+//!    space; the view registry's hit counter proves the probe path
+//!    actually served the rows.
+//! 2. **Server-level freshness**: a server that materialized its views
+//!    must stay byte-identical to a view-less server across random
+//!    `INSERT`/`DELETE EDGE` update scripts — the view is *refreshed*
+//!    through the incremental engine's dirty-focal sets, never
+//!    invalidated and never re-materialized, and `view_refresh_errors`
+//!    must stay zero.
+
+use egocensus::census::Algorithm;
+use egocensus::datagen::{assign_random_labels, barabasi_albert, rng};
+use egocensus::graph::{Graph, GraphBuilder, Label, NodeId};
+use egocensus::query::{Catalog, QueryEngine, ViewRegistry, DEFAULT_VIEW_BUDGET};
+use egocensus::server::{Client, Server, ServerConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SEED: u64 = 0xC0FFEE;
+
+const ALGORITHMS: [Algorithm; 7] = [
+    Algorithm::Auto,
+    Algorithm::NdBaseline,
+    Algorithm::NdPivot,
+    Algorithm::NdDiff,
+    Algorithm::PtBaseline,
+    Algorithm::PtRandom,
+    Algorithm::PtOpt,
+];
+
+/// `COUNTSP` needs a per-focal match list; the two algorithms that
+/// reject it error *before* any view could serve the rows, so there is
+/// no successful recompute to compare against.
+fn supports_countsp(a: Algorithm) -> bool {
+    !matches!(a, Algorithm::NdBaseline | Algorithm::NdDiff)
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (8usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut b = GraphBuilder::undirected();
+        for _ in 0..n {
+            b.add_node(Label((next() % 3) as u16));
+        }
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if next() % 4 == 0 {
+                    b.add_edge(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+fn engine(g: &Graph, algorithm: Algorithm, threads: usize) -> QueryEngine<'_> {
+    let mut e = QueryEngine::with_builtins(g);
+    e.set_algorithm(algorithm);
+    e.set_threads(threads);
+    e.set_seed(SEED);
+    e
+}
+
+/// The focal-subset shapes a view probe must gather correctly: whole
+/// range, ID prefix, label class, interior ID band, and a `RND()`
+/// sample (the stream is seeded identically on both engines).
+fn focal_filter(choice: u8, n: usize) -> String {
+    match choice % 5 {
+        0 => String::new(),
+        1 => format!(" WHERE ID < {}", n / 2),
+        2 => " WHERE LABEL = 1".to_string(),
+        3 => format!(" WHERE ID >= {} AND ID < {}", n / 3, 2 * n / 3),
+        _ => " WHERE RND() < 0.5".to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole invariant: view-served rows are bit-identical to a
+    /// direct recompute for every algorithm × thread count × aggregate
+    /// × focal subset.
+    #[test]
+    fn view_probe_is_bit_identical_to_direct_recompute(
+        g in arb_graph(),
+        algorithm_index in 0usize..7,
+        threads in 1usize..5,
+        countsp in any::<bool>(),
+        filter_choice in any::<u8>(),
+    ) {
+        let algorithm = ALGORITHMS[algorithm_index];
+        let countsp = countsp && supports_countsp(algorithm);
+        let sql = if countsp {
+            format!(
+                "SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 1)) FROM nodes{}",
+                focal_filter(filter_choice, g.num_nodes())
+            )
+        } else {
+            format!(
+                "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes{}",
+                focal_filter(filter_choice, g.num_nodes())
+            )
+        };
+
+        let direct = engine(&g, algorithm, threads);
+        let want = direct.execute(&sql).expect("direct recompute");
+
+        let mut viewed = engine(&g, algorithm, threads);
+        viewed.set_views(Arc::new(ViewRegistry::new(DEFAULT_VIEW_BUDGET)));
+        let materialize = if countsp {
+            "MATERIALIZE triad RADIUS 1 SUBPATTERN coordinator MATCHES"
+        } else {
+            "MATERIALIZE clq3_unlb RADIUS 1 MATCHES"
+        };
+        viewed.execute(materialize).expect("materialize");
+        let got = viewed.execute(&sql).expect("view-served execution");
+
+        prop_assert_eq!(got.columns(), want.columns());
+        prop_assert_eq!(got.rows(), want.rows());
+        let stats = viewed.views().expect("registry attached").stats();
+        prop_assert!(stats.hits >= 1, "the probe path must have served the rows");
+    }
+}
+
+// --- server-level freshness across random update scripts ---
+
+fn freshness_graph() -> Graph {
+    let mut r = rng(77);
+    let g = barabasi_albert(60, 2, &mut r);
+    assign_random_labels(&g, 3, &mut r)
+}
+
+fn spawn(
+    algorithm: Algorithm,
+) -> (
+    std::net::SocketAddr,
+    egocensus::server::ShutdownHandle,
+    std::thread::JoinHandle<()>,
+) {
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        Arc::new(freshness_graph()),
+        Arc::new(Catalog::with_builtins()),
+        ServerConfig {
+            pool_threads: 2,
+            exec_threads: 1,
+            seed: SEED,
+            algorithm,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run().expect("run"));
+    (addr, handle, thread)
+}
+
+/// Random edge-mutation scripts over the 60-node freshness graph.
+/// Inserts of existing edges and deletes of absent ones are legal
+/// no-ops, so no filtering is needed beyond self-loops.
+fn arb_scripts() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..60, 0u32..60, any::<bool>()), 1..6),
+        1..4,
+    )
+    .prop_map(|scripts| {
+        scripts
+            .into_iter()
+            .map(|ops| {
+                let stmts: Vec<String> = ops
+                    .into_iter()
+                    .filter(|(a, b, _)| a != b)
+                    .map(|(a, b, insert)| {
+                        let verb = if insert { "INSERT" } else { "DELETE" };
+                        format!("{verb} EDGE ({}, {})", a.min(b), a.max(b))
+                    })
+                    .collect();
+                if stmts.is_empty() {
+                    "INSERT EDGE (0, 59)".to_string()
+                } else {
+                    stmts.join("; ")
+                }
+            })
+            .collect()
+    })
+}
+
+const FRESHNESS_QUERIES: [&str; 3] = [
+    "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes",
+    "SELECT ID, COUNTP(clq3_unlb, SUBGRAPH(ID, 1)) FROM nodes WHERE ID < 30",
+    "SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 1)) FROM nodes WHERE ID >= 10",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// After every random update script, the materialized server's
+    /// responses must stay byte-identical to a view-less server's —
+    /// freshness comes from incremental refresh, never invalidation.
+    #[test]
+    fn views_stay_fresh_across_random_update_scripts(scripts in arb_scripts()) {
+        let (plain_addr, plain_stop, plain_thread) = spawn(Algorithm::Auto);
+        let (view_addr, view_stop, view_thread) = spawn(Algorithm::Auto);
+        let mut plain = Client::connect(plain_addr).expect("connect plain");
+        let mut viewed = Client::connect(view_addr).expect("connect viewed");
+
+        for m in [
+            "MATERIALIZE clq3_unlb RADIUS 1 MATCHES",
+            "MATERIALIZE triad RADIUS 1 SUBPATTERN coordinator MATCHES",
+        ] {
+            let resp = viewed.materialize(m).expect("materialize");
+            prop_assert!(!resp.is_error(), "materialize failed: {:?}", resp);
+        }
+        let generation_before = viewed
+            .stats()
+            .expect("stats")
+            .stat("graph_generation")
+            .unwrap_or(0);
+
+        for script in &scripts {
+            let raw = format!(
+                r#"{{"op":"update","mutations":"{}"}}"#,
+                script.replace('"', "\\\"")
+            );
+            let a = plain.send_raw(&raw).expect("plain update");
+            let b = viewed.send_raw(&raw).expect("viewed update");
+            prop_assert_eq!(&a, &b, "update acks diverged for `{}`", script);
+            for sql in FRESHNESS_QUERIES {
+                let raw = format!(
+                    r#"{{"op":"query","sql":"{}"}}"#,
+                    sql.replace('"', "\\\"")
+                );
+                let want = plain.send_raw(&raw).expect("plain query");
+                let got = viewed.send_raw(&raw).expect("viewed query");
+                prop_assert_eq!(
+                    &got, &want,
+                    "view-served bytes diverged after `{}` for `{}`", script, sql
+                );
+            }
+        }
+
+        let stats = viewed.stats().expect("stats");
+        prop_assert_eq!(stats.stat("view_entries"), Some(2), "views must stay pinned");
+        prop_assert_eq!(stats.stat("view_refresh_errors"), Some(0));
+        prop_assert_eq!(
+            stats.stat("view_materializations"), Some(2),
+            "freshness must come from refresh, not re-materialization"
+        );
+        // A script of pure no-ops (deleting absent edges) neither bumps
+        // the generation nor invalidates the result cache, so refresh
+        // and probe counts scale with *effective* updates, not scripts.
+        let effective = stats.stat("graph_generation").unwrap_or(0) - generation_before;
+        prop_assert!(
+            stats.stat("view_refreshes").unwrap_or(0) >= 2 * effective,
+            "every effective update must refresh both pinned views in place"
+        );
+        prop_assert!(
+            stats.stat("view_hits").unwrap_or(0) >= 3,
+            "queries must be served by the view tier"
+        );
+
+        plain_stop.shutdown();
+        view_stop.shutdown();
+        plain_thread.join().expect("plain thread");
+        view_thread.join().expect("view thread");
+    }
+}
